@@ -1,0 +1,334 @@
+//! Fluent builders for constructing Reflex programs directly in Rust.
+//!
+//! The concrete `.rx` syntax (see `reflex-parser`) is the primary frontend,
+//! but tests, examples and generated workloads frequently want to build
+//! [`Program`]s programmatically. [`ProgramBuilder`] and [`CmdBuilder`]
+//! provide that without sacrificing readability:
+//!
+//! ```
+//! use reflex_ast::build::ProgramBuilder;
+//! use reflex_ast::{Expr, Ty};
+//!
+//! let p = ProgramBuilder::new("counter")
+//!     .component("Client", "client.py", [])
+//!     .message("Bump", [])
+//!     .state("count", Ty::Num, Expr::lit(0i64))
+//!     .init_spawn("c", "Client", [])
+//!     .handler("Client", "Bump", [], |h| {
+//!         h.assign("count", Expr::var("count").add(Expr::lit(1i64)));
+//!     })
+//!     .finish();
+//! assert_eq!(p.state.len(), 1);
+//! ```
+
+use crate::cmd::Cmd;
+use crate::expr::Expr;
+use crate::program::{CompTypeDecl, Handler, MsgDecl, Program, StateVarDecl};
+use crate::prop::PropertyDecl;
+use crate::value::Ty;
+
+/// Builds a handler or init body command-by-command.
+#[derive(Debug, Default)]
+pub struct CmdBuilder {
+    cmds: Vec<Cmd>,
+}
+
+impl CmdBuilder {
+    /// Creates an empty body.
+    pub fn new() -> CmdBuilder {
+        CmdBuilder::default()
+    }
+
+    /// Appends a raw command.
+    pub fn push(&mut self, cmd: Cmd) -> &mut Self {
+        self.cmds.push(cmd);
+        self
+    }
+
+    /// Appends `var = expr`.
+    pub fn assign(&mut self, var: impl Into<String>, expr: Expr) -> &mut Self {
+        self.cmds.push(Cmd::Assign(var.into(), expr));
+        self
+    }
+
+    /// Appends `send(target, msg(args…))`.
+    pub fn send(
+        &mut self,
+        target: Expr,
+        msg: impl Into<String>,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.cmds.push(Cmd::Send {
+            target,
+            msg: msg.into(),
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Appends `binder <- spawn ctype(config…)`.
+    pub fn spawn(
+        &mut self,
+        binder: impl Into<String>,
+        ctype: impl Into<String>,
+        config: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.cmds.push(Cmd::Spawn {
+            binder: binder.into(),
+            ctype: ctype.into(),
+            config: config.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Appends `binder <- call func(args…)`.
+    pub fn call(
+        &mut self,
+        binder: impl Into<String>,
+        func: impl Into<String>,
+        args: impl IntoIterator<Item = Expr>,
+    ) -> &mut Self {
+        self.cmds.push(Cmd::Call {
+            binder: binder.into(),
+            func: func.into(),
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Appends `if cond { then } else { else }`, with both branches built by
+    /// closures.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_branch: impl FnOnce(&mut CmdBuilder),
+        else_branch: impl FnOnce(&mut CmdBuilder),
+    ) -> &mut Self {
+        let mut t = CmdBuilder::new();
+        then_branch(&mut t);
+        let mut e = CmdBuilder::new();
+        else_branch(&mut e);
+        self.cmds.push(Cmd::If {
+            cond,
+            then_branch: Box::new(t.finish()),
+            else_branch: Box::new(e.finish()),
+        });
+        self
+    }
+
+    /// Appends `if cond { then }` with an empty else branch.
+    pub fn when(&mut self, cond: Expr, then_branch: impl FnOnce(&mut CmdBuilder)) -> &mut Self {
+        self.if_else(cond, then_branch, |_| {})
+    }
+
+    /// Appends a `lookup` over components of `ctype` whose configuration
+    /// (visible through `binder`) satisfies `pred`.
+    pub fn lookup(
+        &mut self,
+        ctype: impl Into<String>,
+        binder: impl Into<String>,
+        pred: Expr,
+        found: impl FnOnce(&mut CmdBuilder),
+        missing: impl FnOnce(&mut CmdBuilder),
+    ) -> &mut Self {
+        let mut f = CmdBuilder::new();
+        found(&mut f);
+        let mut m = CmdBuilder::new();
+        missing(&mut m);
+        self.cmds.push(Cmd::Lookup {
+            ctype: ctype.into(),
+            binder: binder.into(),
+            pred,
+            found: Box::new(f.finish()),
+            missing: Box::new(m.finish()),
+        });
+        self
+    }
+
+    /// Finishes the body, producing a single command.
+    pub fn finish(self) -> Cmd {
+        Cmd::seq(self.cmds)
+    }
+}
+
+/// Builds a [`Program`] section by section.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    program: Program,
+    init: CmdBuilder,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            program: Program::new(name),
+            init: CmdBuilder::new(),
+        }
+    }
+
+    /// Declares a component type.
+    pub fn component(
+        mut self,
+        name: impl Into<String>,
+        exe: impl Into<String>,
+        config: impl IntoIterator<Item = (&'static str, Ty)>,
+    ) -> Self {
+        self.program.components.push(CompTypeDecl {
+            name: name.into(),
+            exe: exe.into(),
+            config: config.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+        });
+        self
+    }
+
+    /// Declares a message type.
+    pub fn message(mut self, name: impl Into<String>, payload: impl IntoIterator<Item = Ty>) -> Self {
+        self.program.messages.push(MsgDecl {
+            name: name.into(),
+            payload: payload.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Declares a global state variable with an initializer.
+    pub fn state(mut self, name: impl Into<String>, ty: Ty, init: Expr) -> Self {
+        self.program.state.push(StateVarDecl {
+            name: name.into(),
+            ty,
+            init: Some(init),
+        });
+        self
+    }
+
+    /// Declares a global state variable initialized to its type's default.
+    pub fn state_default(mut self, name: impl Into<String>, ty: Ty) -> Self {
+        self.program.state.push(StateVarDecl {
+            name: name.into(),
+            ty,
+            init: None,
+        });
+        self
+    }
+
+    /// Appends a `spawn` to the init section, binding a global
+    /// component-typed variable.
+    pub fn init_spawn(
+        mut self,
+        binder: impl Into<String>,
+        ctype: impl Into<String>,
+        config: impl IntoIterator<Item = Expr>,
+    ) -> Self {
+        self.init.spawn(binder, ctype, config);
+        self
+    }
+
+    /// Appends arbitrary commands to the init section.
+    pub fn init_with(mut self, f: impl FnOnce(&mut CmdBuilder)) -> Self {
+        f(&mut self.init);
+        self
+    }
+
+    /// Declares a handler for messages of type `msg` from components of
+    /// type `ctype`, with the payload bound to `params`.
+    pub fn handler(
+        mut self,
+        ctype: impl Into<String>,
+        msg: impl Into<String>,
+        params: impl IntoIterator<Item = &'static str>,
+        body: impl FnOnce(&mut CmdBuilder),
+    ) -> Self {
+        let mut b = CmdBuilder::new();
+        body(&mut b);
+        self.program.handlers.push(Handler {
+            ctype: ctype.into(),
+            msg: msg.into(),
+            params: params.into_iter().map(str::to_owned).collect(),
+            body: b.finish(),
+        });
+        self
+    }
+
+    /// Like [`ProgramBuilder::handler`], but with owned parameter names —
+    /// convenient for generated programs.
+    pub fn handler_owned(
+        mut self,
+        ctype: impl Into<String>,
+        msg: impl Into<String>,
+        params: impl IntoIterator<Item = String>,
+        body: impl FnOnce(&mut CmdBuilder),
+    ) -> Self {
+        let mut b = CmdBuilder::new();
+        body(&mut b);
+        self.program.handlers.push(Handler {
+            ctype: ctype.into(),
+            msg: msg.into(),
+            params: params.into_iter().collect(),
+            body: b.finish(),
+        });
+        self
+    }
+
+    /// Adds a property declaration.
+    pub fn property(mut self, prop: PropertyDecl) -> Self {
+        self.program.properties.push(prop);
+        self
+    }
+
+    /// Finishes the program.
+    pub fn finish(mut self) -> Program {
+        self.program.init = self.init.finish();
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_all_sections() {
+        let p = ProgramBuilder::new("t")
+            .component("C", "c.py", [("id", Ty::Num)])
+            .message("M", [Ty::Str])
+            .state("x", Ty::Num, Expr::lit(0i64))
+            .state_default("s", Ty::Str)
+            .init_spawn("c0", "C", [Expr::lit(1i64)])
+            .handler("C", "M", ["p"], |h| {
+                h.when(Expr::var("x").le(Expr::lit(3i64)), |h| {
+                    h.assign("x", Expr::var("x").add(Expr::lit(1i64)));
+                    h.send(Expr::var("c0"), "M", [Expr::var("p")]);
+                });
+            })
+            .finish();
+        assert_eq!(p.components.len(), 1);
+        assert_eq!(p.messages.len(), 1);
+        assert_eq!(p.state.len(), 2);
+        assert_eq!(p.handlers.len(), 1);
+        assert_eq!(p.init_comp_vars(), vec![("c0".to_owned(), "C".to_owned())]);
+        assert_eq!(p.handlers[0].body.max_actions(), 1);
+    }
+
+    #[test]
+    fn lookup_builder_produces_both_branches() {
+        let mut b = CmdBuilder::new();
+        b.lookup(
+            "Cookie",
+            "k",
+            Expr::var("k").cfg("domain").eq(Expr::var("d")),
+            |f| {
+                f.send(Expr::var("k"), "Set", []);
+            },
+            |m| {
+                m.spawn("n", "Cookie", [Expr::var("d")]);
+            },
+        );
+        match b.finish() {
+            Cmd::Lookup { found, missing, .. } => {
+                assert!(matches!(*found, Cmd::Send { .. }));
+                assert!(matches!(*missing, Cmd::Spawn { .. }));
+            }
+            other => panic!("expected lookup, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! The loop-free command language of Reflex handlers.
+
+use crate::expr::Expr;
+
+/// A handler command.
+///
+/// Handlers are deliberately **loop-free** — the central Language and
+/// Automation Co-design restriction. It guarantees that every handler has a
+/// statically bounded set of execution paths, each emitting a statically
+/// bounded list of actions, which is what makes it possible to compute the
+/// behavioral abstraction `BehAbs` by total symbolic evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cmd {
+    /// Does nothing. The handler of every (component-type, message-type)
+    /// pair without an explicit rule is `Nop`.
+    Nop,
+    /// Runs commands in sequence.
+    Block(Vec<Cmd>),
+    /// Assigns the value of an expression to a global state variable.
+    Assign(String, Expr),
+    /// Branches on a boolean expression.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Command run when `cond` evaluates to `true`.
+        then_branch: Box<Cmd>,
+        /// Command run when `cond` evaluates to `false`.
+        else_branch: Box<Cmd>,
+    },
+    /// Sends message `msg(args…)` to the component denoted by `target`.
+    Send {
+        /// Component-typed expression naming the recipient.
+        target: Expr,
+        /// Message type name.
+        msg: String,
+        /// Payload expressions, matching the message signature.
+        args: Vec<Expr>,
+    },
+    /// Spawns a new component of type `ctype` with the given configuration
+    /// and binds the new component handle to `binder`.
+    Spawn {
+        /// Local variable bound to the new component.
+        binder: String,
+        /// Component type to instantiate.
+        ctype: String,
+        /// Configuration field values, matching the component type's
+        /// configuration signature.
+        config: Vec<Expr>,
+    },
+    /// Invokes the external (non-deterministic) string function `func` and
+    /// binds its result to `binder`.
+    ///
+    /// In the paper these are custom OCaml functions; their results are
+    /// modelled as inputs from the non-deterministic outside world (the
+    /// "non-deterministic context tree" of Section 4.2).
+    Call {
+        /// Local variable bound to the call result (a string).
+        binder: String,
+        /// External function name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Sends `msg(args…)` to **every** component of type `ctype` whose
+    /// configuration (visible through `binder`) satisfies `pred`.
+    ///
+    /// This is the primitive the paper *removed* (§7): "a single broadcast
+    /// command could generate an unbounded number of send actions; handling
+    /// this unbounded behavior proved extraordinarily difficult. We instead
+    /// use lookup." It is retained here exactly to reproduce that design
+    /// lesson: the interpreter executes it, but the proof automation
+    /// rejects programs that use it (see `reflex-verify`).
+    Broadcast {
+        /// Component type addressed.
+        ctype: String,
+        /// Variable bound to each candidate inside `pred`.
+        binder: String,
+        /// Predicate over the candidate's configuration.
+        pred: Expr,
+        /// Message type name.
+        msg: String,
+        /// Payload expressions (may mention `binder`).
+        args: Vec<Expr>,
+    },
+    /// Searches the current component list for a component of type `ctype`
+    /// whose configuration satisfies `pred` (with `binder` in scope denoting
+    /// the candidate); runs `found` with `binder` bound if one exists,
+    /// otherwise runs `missing`.
+    ///
+    /// `lookup` replaced the earlier `broadcast` primitive precisely because
+    /// it emits a statically bounded number of actions (paper §7).
+    Lookup {
+        /// Component type searched.
+        ctype: String,
+        /// Variable bound to the found component (in `pred` and `found`).
+        binder: String,
+        /// Predicate over the candidate component's configuration.
+        pred: Expr,
+        /// Branch taken when a matching component exists.
+        found: Box<Cmd>,
+        /// Branch taken when no component matches.
+        missing: Box<Cmd>,
+    },
+}
+
+impl Cmd {
+    /// Sequences commands, flattening nested blocks.
+    pub fn seq(cmds: impl IntoIterator<Item = Cmd>) -> Cmd {
+        let mut flat = Vec::new();
+        for c in cmds {
+            match c {
+                Cmd::Nop => {}
+                Cmd::Block(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Cmd::Nop,
+            1 => flat.pop().expect("len checked"),
+            _ => Cmd::Block(flat),
+        }
+    }
+
+    /// Collects the global state variables this command may assign,
+    /// in syntactic order, with duplicates removed.
+    pub fn assigned_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |c| {
+            if let Cmd::Assign(x, _) = c {
+                if !out.contains(x) {
+                    out.push(x.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects the local binders introduced by `spawn`, `call` and `lookup`
+    /// anywhere in this command, in syntactic order.
+    pub fn binders(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |c| match c {
+            Cmd::Spawn { binder, .. } | Cmd::Call { binder, .. } | Cmd::Lookup { binder, .. } => {
+                out.push(binder.clone());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// Returns `true` if this command contains no `Send`, `Spawn` or `Call`
+    /// (i.e. it can emit no trace actions beyond the implicit `Recv`/`Select`
+    /// of the exchange).
+    pub fn is_silent(&self) -> bool {
+        let mut silent = true;
+        self.visit(&mut |c| {
+            if matches!(
+                c,
+                Cmd::Send { .. } | Cmd::Spawn { .. } | Cmd::Call { .. } | Cmd::Broadcast { .. }
+            ) {
+                silent = false;
+            }
+        });
+        silent
+    }
+
+    /// Collects the message types this command may send, deduplicated.
+    pub fn sent_message_types(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |c| {
+            if let Cmd::Send { msg, .. } | Cmd::Broadcast { msg, .. } = c {
+                if !out.contains(msg) {
+                    out.push(msg.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Collects the component types this command may spawn, deduplicated.
+    pub fn spawned_comp_types(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |c| {
+            if let Cmd::Spawn { ctype, .. } = c {
+                if !out.contains(ctype) {
+                    out.push(ctype.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Rebuilds the command in canonical form: nested/singleton/empty
+    /// blocks are flattened the way [`Cmd::seq`] builds them, so two
+    /// commands with the same semantics and statement sequence compare
+    /// equal. The pretty-printer's output always reparses to the canonical
+    /// form.
+    pub fn normalize(&self) -> Cmd {
+        match self {
+            Cmd::Block(cs) => Cmd::seq(cs.iter().map(Cmd::normalize)),
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Cmd::If {
+                cond: cond.clone(),
+                then_branch: Box::new(then_branch.normalize()),
+                else_branch: Box::new(else_branch.normalize()),
+            },
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => Cmd::Lookup {
+                ctype: ctype.clone(),
+                binder: binder.clone(),
+                pred: pred.clone(),
+                found: Box::new(found.normalize()),
+                missing: Box::new(missing.normalize()),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Applies `f` to this command and, recursively, every sub-command, in
+    /// pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Cmd)) {
+        f(self);
+        match self {
+            Cmd::Block(cs) => {
+                for c in cs {
+                    c.visit(f);
+                }
+            }
+            Cmd::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                then_branch.visit(f);
+                else_branch.visit(f);
+            }
+            Cmd::Lookup { found, missing, .. } => {
+                found.visit(f);
+                missing.visit(f);
+            }
+            Cmd::Nop
+            | Cmd::Assign(..)
+            | Cmd::Send { .. }
+            | Cmd::Spawn { .. }
+            | Cmd::Call { .. }
+            | Cmd::Broadcast { .. } => {}
+        }
+    }
+
+    /// The maximum number of trace actions a single run of this command can
+    /// emit (sends, spawns and calls each emit exactly one action).
+    ///
+    /// This is finite by construction — the static bound that `lookup`
+    /// preserves and `broadcast` would have broken.
+    pub fn max_actions(&self) -> usize {
+        match self {
+            Cmd::Nop | Cmd::Assign(..) => 0,
+            Cmd::Send { .. } | Cmd::Spawn { .. } | Cmd::Call { .. } => 1,
+            // The whole point of the §7 lesson: no static bound exists.
+            // We report the best lower bound (it may send to any number of
+            // components, including zero).
+            Cmd::Broadcast { .. } => usize::MAX,
+            Cmd::Block(cs) => cs
+                .iter()
+                .map(Cmd::max_actions)
+                .fold(0usize, usize::saturating_add),
+            Cmd::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.max_actions().max(else_branch.max_actions()),
+            Cmd::Lookup { found, missing, .. } => found.max_actions().max(missing.max_actions()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(msg: &str) -> Cmd {
+        Cmd::Send {
+            target: Expr::var("c"),
+            msg: msg.into(),
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_nops() {
+        let c = Cmd::seq([
+            Cmd::Nop,
+            Cmd::Block(vec![send("A"), send("B")]),
+            Cmd::Nop,
+            send("C"),
+        ]);
+        match c {
+            Cmd::Block(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected block, got {other:?}"),
+        }
+        assert_eq!(Cmd::seq([]), Cmd::Nop);
+        assert_eq!(Cmd::seq([send("A")]), send("A"));
+    }
+
+    #[test]
+    fn assigned_vars_dedup() {
+        let c = Cmd::Block(vec![
+            Cmd::Assign("x".into(), Expr::lit(1i64)),
+            Cmd::If {
+                cond: Expr::lit(true),
+                then_branch: Box::new(Cmd::Assign("y".into(), Expr::lit(2i64))),
+                else_branch: Box::new(Cmd::Assign("x".into(), Expr::lit(3i64))),
+            },
+        ]);
+        assert_eq!(c.assigned_vars(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn silence_and_action_bounds() {
+        let silent = Cmd::Block(vec![Cmd::Assign("x".into(), Expr::lit(1i64)), Cmd::Nop]);
+        assert!(silent.is_silent());
+        assert_eq!(silent.max_actions(), 0);
+
+        let branchy = Cmd::If {
+            cond: Expr::var("b"),
+            then_branch: Box::new(Cmd::Block(vec![send("A"), send("B")])),
+            else_branch: Box::new(send("C")),
+        };
+        assert!(!branchy.is_silent());
+        assert_eq!(branchy.max_actions(), 2);
+    }
+
+    #[test]
+    fn collectors_find_nested_uses() {
+        let c = Cmd::Lookup {
+            ctype: "Tab".into(),
+            binder: "t".into(),
+            pred: Expr::lit(true),
+            found: Box::new(send("Render")),
+            missing: Box::new(Cmd::Spawn {
+                binder: "n".into(),
+                ctype: "Tab".into(),
+                config: vec![],
+            }),
+        };
+        assert_eq!(c.binders(), vec!["t", "n"]);
+        assert_eq!(c.sent_message_types(), vec!["Render"]);
+        assert_eq!(c.spawned_comp_types(), vec!["Tab"]);
+    }
+}

@@ -1,0 +1,453 @@
+//! Pretty-printing of Reflex programs back to concrete `.rx` syntax.
+//!
+//! The printer and `reflex-parser` are kept in sync: for every well-formed
+//! program `p`, `parse(p.to_string())` structurally equals `p` (this
+//! round-trip is exercised by the parser's test suite).
+
+use std::fmt::{self, Write as _};
+
+use crate::cmd::Cmd;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::pattern::{ActionPat, CompPat, PatField};
+use crate::program::Program;
+use crate::prop::{PropBody, PropertyDecl, TraceProp};
+
+fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+/// Binding strength of each operator, for minimal parenthesization.
+fn binop_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le => 3,
+        BinOp::Add | BinOp::Sub | BinOp::Cat => 4,
+    }
+}
+
+fn binop_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Cat => "++",
+    }
+}
+
+fn fmt_expr(e: &Expr, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match e {
+        Expr::Lit(v) => write!(f, "{v}"),
+        Expr::Var(x) => f.write_str(x),
+        Expr::Cfg(inner, field) => {
+            fmt_expr(inner, 6, f)?;
+            write!(f, ".{field}")
+        }
+        Expr::Un(op, inner) => {
+            f.write_str(match op {
+                UnOp::Not => "!",
+                UnOp::Neg => "-",
+            })?;
+            fmt_expr(inner, 5, f)
+        }
+        Expr::Bin(op, l, r) => {
+            let prec = binop_prec(*op);
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                f.write_char('(')?;
+            }
+            fmt_expr(l, prec, f)?;
+            write!(f, " {} ", binop_str(*op))?;
+            // Left-associative: right operand binds one tighter.
+            fmt_expr(r, prec + 1, f)?;
+            if need_parens {
+                f.write_char(')')?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, 0, f)
+    }
+}
+
+fn fmt_args(args: &[Expr], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        fmt_expr(a, 0, f)?;
+    }
+    Ok(())
+}
+
+fn fmt_cmd(c: &Cmd, level: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match c {
+        Cmd::Nop => Ok(()),
+        Cmd::Block(cs) => {
+            for inner in cs {
+                fmt_cmd(inner, level, f)?;
+            }
+            Ok(())
+        }
+        Cmd::Assign(x, e) => {
+            indent(f, level)?;
+            writeln!(f, "{x} = {e};")
+        }
+        Cmd::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            indent(f, level)?;
+            writeln!(f, "if ({cond}) {{")?;
+            fmt_cmd(then_branch, level + 1, f)?;
+            if **else_branch == Cmd::Nop {
+                indent(f, level)?;
+                writeln!(f, "}}")
+            } else {
+                indent(f, level)?;
+                writeln!(f, "}} else {{")?;
+                fmt_cmd(else_branch, level + 1, f)?;
+                indent(f, level)?;
+                writeln!(f, "}}")
+            }
+        }
+        Cmd::Send { target, msg, args } => {
+            indent(f, level)?;
+            write!(f, "send({target}, {msg}(")?;
+            fmt_args(args, f)?;
+            writeln!(f, "));")
+        }
+        Cmd::Spawn {
+            binder,
+            ctype,
+            config,
+        } => {
+            indent(f, level)?;
+            write!(f, "{binder} <- spawn {ctype}(")?;
+            fmt_args(config, f)?;
+            writeln!(f, ");")
+        }
+        Cmd::Call { binder, func, args } => {
+            indent(f, level)?;
+            write!(f, "{binder} <- call {func}(")?;
+            fmt_args(args, f)?;
+            writeln!(f, ");")
+        }
+        Cmd::Broadcast {
+            ctype,
+            binder,
+            pred,
+            msg,
+            args,
+        } => {
+            indent(f, level)?;
+            write!(f, "broadcast {ctype}({binder} : {pred}), {msg}(")?;
+            fmt_args(args, f)?;
+            writeln!(f, ");")
+        }
+        Cmd::Lookup {
+            ctype,
+            binder,
+            pred,
+            found,
+            missing,
+        } => {
+            indent(f, level)?;
+            writeln!(f, "lookup {ctype}({binder} : {pred}) {{")?;
+            fmt_cmd(found, level + 1, f)?;
+            if **missing == Cmd::Nop {
+                indent(f, level)?;
+                writeln!(f, "}}")
+            } else {
+                indent(f, level)?;
+                writeln!(f, "}} else {{")?;
+                fmt_cmd(missing, level + 1, f)?;
+                indent(f, level)?;
+                writeln!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Cmd {
+    /// Prints the command in `.rx` statement syntax at indentation level 0.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_cmd(self, 0, f)
+    }
+}
+
+impl fmt::Display for PatField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatField::Lit(v) => write!(f, "{v}"),
+            PatField::Var(x) => f.write_str(x),
+            PatField::Any => f.write_char('_'),
+        }
+    }
+}
+
+impl fmt::Display for CompPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.ctype, &self.config) {
+            (None, _) => f.write_char('*'),
+            (Some(t), None) => f.write_str(t),
+            (Some(t), Some(cfg)) => {
+                write!(f, "{t}(")?;
+                for (i, p) in cfg.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_char(')')
+            }
+        }
+    }
+}
+
+fn fmt_pat_fields(fields: &[PatField], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for (i, p) in fields.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{p}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for ActionPat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionPat::Select { comp } => write!(f, "Select({comp})"),
+            ActionPat::Spawn { comp } => write!(f, "Spawn({comp})"),
+            ActionPat::Recv { comp, msg, args } => {
+                write!(f, "Recv({comp}, {msg}(")?;
+                fmt_pat_fields(args, f)?;
+                f.write_str("))")
+            }
+            ActionPat::Send { comp, msg, args } => {
+                write!(f, "Send({comp}, {msg}(")?;
+                fmt_pat_fields(args, f)?;
+                f.write_str("))")
+            }
+            ActionPat::Call { func, args, result } => {
+                write!(f, "Call({func}(")?;
+                match args {
+                    None => f.write_str("...")?,
+                    Some(fields) => fmt_pat_fields(fields, f)?,
+                }
+                write!(f, "), {result})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TraceProp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} [{}]", self.a, self.kind.keyword(), self.b)
+    }
+}
+
+impl fmt::Display for PropertyDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "  {}:", self.name)?;
+        if !self.forall.is_empty() {
+            f.write_str(" forall ")?;
+            for (i, (v, t)) in self.forall.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{v}: {t}")?;
+            }
+            f.write_char('.')?;
+        }
+        match &self.body {
+            PropBody::Trace(tp) => writeln!(f, "\n    {tp};"),
+            PropBody::NonInterference(spec) => {
+                writeln!(f, " noninterference {{")?;
+                write!(f, "    high components:")?;
+                for (i, cp) in spec.high_comps.iter().enumerate() {
+                    write!(f, "{}{cp}", if i > 0 { ", " } else { " " })?;
+                }
+                writeln!(f, ";")?;
+                write!(f, "    high vars:")?;
+                for (i, v) in spec.high_vars.iter().enumerate() {
+                    write!(f, "{}{v}", if i > 0 { ", " } else { " " })?;
+                }
+                writeln!(f, ";")?;
+                writeln!(f, "  }}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    /// Prints the whole program in concrete `.rx` syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "components {{")?;
+        for c in &self.components {
+            write!(f, "  {} {:?} (", c.name, c.exe)?;
+            for (i, (n, t)) in c.config.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{n}: {t}")?;
+            }
+            writeln!(f, ");")?;
+        }
+        writeln!(f, "}}\n")?;
+
+        writeln!(f, "messages {{")?;
+        for m in &self.messages {
+            write!(f, "  {}(", m.name)?;
+            for (i, t) in m.payload.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            writeln!(f, ");")?;
+        }
+        writeln!(f, "}}\n")?;
+
+        if !self.state.is_empty() {
+            writeln!(f, "state {{")?;
+            for v in &self.state {
+                match &v.init {
+                    Some(e) => writeln!(f, "  {}: {} = {};", v.name, v.ty, e)?,
+                    None => writeln!(f, "  {}: {};", v.name, v.ty)?,
+                }
+            }
+            writeln!(f, "}}\n")?;
+        }
+
+        writeln!(f, "init {{")?;
+        fmt_cmd(&self.init, 1, f)?;
+        writeln!(f, "}}\n")?;
+
+        writeln!(f, "handlers {{")?;
+        for h in &self.handlers {
+            write!(f, "  when {}:{}(", h.ctype, h.msg)?;
+            for (i, p) in h.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(p)?;
+            }
+            writeln!(f, ") {{")?;
+            fmt_cmd(&h.body, 2, f)?;
+            writeln!(f, "  }}")?;
+        }
+        writeln!(f, "}}\n")?;
+
+        if !self.properties.is_empty() {
+            writeln!(f, "properties {{")?;
+            for p in &self.properties {
+                write!(f, "{p}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::value::Ty;
+
+    #[test]
+    fn expr_precedence_minimal_parens() {
+        let e = Expr::var("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::var("b").or(Expr::var("c")));
+        assert_eq!(e.to_string(), "a == 1 && (b || c)");
+
+        let n = Expr::var("x").add(Expr::lit(1i64)).eq(Expr::lit(2i64));
+        assert_eq!(n.to_string(), "x + 1 == 2");
+
+        let s = Expr::var("x").sub(Expr::var("y").sub(Expr::var("z")));
+        assert_eq!(s.to_string(), "x - (y - z)");
+
+        let not = Expr::var("p").and(Expr::var("q")).not();
+        assert_eq!(not.to_string(), "!(p && q)");
+    }
+
+    #[test]
+    fn cfg_and_literals() {
+        let e = Expr::var("t").cfg("domain").eq(Expr::lit("a.org"));
+        assert_eq!(e.to_string(), "t.domain == \"a.org\"");
+    }
+
+    #[test]
+    fn cmd_statements_render() {
+        let c = Cmd::Send {
+            target: Expr::var("P"),
+            msg: "ReqAuth".into(),
+            args: vec![Expr::var("user"), Expr::var("pass")],
+        };
+        assert_eq!(c.to_string(), "send(P, ReqAuth(user, pass));\n");
+    }
+
+    #[test]
+    fn pattern_rendering_matches_paper_notation() {
+        let p = ActionPat::Send {
+            comp: CompPat::with_config("C", []),
+            msg: "M".into(),
+            args: vec![
+                PatField::lit(3i64),
+                PatField::Any,
+                PatField::var("s"),
+            ],
+        };
+        assert_eq!(p.to_string(), "Send(C(), M(3, _, s))");
+        let q = ActionPat::Call {
+            func: "wget".into(),
+            args: None,
+            result: PatField::var("r"),
+        };
+        assert_eq!(q.to_string(), "Call(wget(...), r)");
+    }
+
+    #[test]
+    fn whole_program_prints_all_sections() {
+        let p = ProgramBuilder::new("t")
+            .component("C", "c.py", [("d", Ty::Str)])
+            .message("M", [Ty::Str])
+            .state("x", Ty::Num, Expr::lit(0i64))
+            .init_spawn("c0", "C", [Expr::lit("init")])
+            .handler("C", "M", ["s"], |h| {
+                h.assign("x", Expr::var("x").add(Expr::lit(1i64)));
+            })
+            .finish();
+        let text = p.to_string();
+        for needle in [
+            "components {",
+            "messages {",
+            "state {",
+            "init {",
+            "handlers {",
+            "C \"c.py\" (d: str);",
+            "M(str);",
+            "x: num = 0;",
+            "c0 <- spawn C(\"init\");",
+            "when C:M(s) {",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

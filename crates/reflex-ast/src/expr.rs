@@ -1,0 +1,206 @@
+//! Pure expressions of the Reflex command language.
+
+use crate::value::Value;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnOp {
+    /// Boolean negation.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BinOp {
+    /// Equality (any type; both operands must have the same type).
+    Eq,
+    /// Disequality.
+    Ne,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Numeric addition.
+    Add,
+    /// Numeric subtraction.
+    Sub,
+    /// Numeric strictly-less-than.
+    Lt,
+    /// Numeric less-than-or-equal.
+    Le,
+    /// String concatenation.
+    Cat,
+}
+
+impl BinOp {
+    /// Whether this operator produces a boolean.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or | BinOp::Lt | BinOp::Le
+        )
+    }
+}
+
+/// A pure expression.
+///
+/// Expressions appear in handler bodies (assignments, branch conditions,
+/// message payloads, spawn configurations) and in `lookup` predicates. They
+/// may read global state variables, handler parameters and local binders, and
+/// the configuration fields of component values — but they have no side
+/// effects, which is essential for symbolic evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A variable reference: a global state variable, a message parameter, a
+    /// handler-local binder (from `spawn` / `call` / `lookup`), or the
+    /// implicit handler variable `sender`.
+    Var(String),
+    /// A read of a configuration field of a component-valued expression.
+    ///
+    /// Configurations are read-only records fixed at spawn time (a LAC
+    /// decision that aids proof automation), so `Cfg` is pure.
+    Cfg(Box<Expr>, String),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A literal expression.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Reads configuration field `field` of component expression `self`.
+    pub fn cfg(self, field: impl Into<String>) -> Expr {
+        Expr::Cfg(Box::new(self), field.into())
+    }
+
+    /// Boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+
+    /// Equality test.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// Disequality test.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Ne, Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+
+    /// Numeric addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// Numeric subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// Numeric strictly-less-than.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// Numeric less-than-or-equal.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// String concatenation.
+    pub fn cat(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Cat, Box::new(self), Box::new(rhs))
+    }
+
+    /// Collects the names of all variables read by this expression into
+    /// `out`, in left-to-right order (with duplicates).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(x) => out.push(x.clone()),
+            Expr::Cfg(e, _) => e.collect_vars(out),
+            Expr::Un(_, e) => e.collect_vars(out),
+            Expr::Bin(_, l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// Returns the set-like list (deduplicated, first-occurrence order) of
+    /// variables read by this expression.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut all = Vec::new();
+        self.collect_vars(&mut all);
+        let mut seen = std::collections::HashSet::new();
+        all.retain(|v| seen.insert(v.clone()));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::var("x").eq(Expr::lit(3i64)).and(Expr::var("ok"));
+        match &e {
+            Expr::Bin(BinOp::And, l, r) => {
+                assert!(matches!(**l, Expr::Bin(BinOp::Eq, _, _)));
+                assert!(matches!(**r, Expr::Var(ref n) if n == "ok"));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_vars_deduplicates_in_order() {
+        let e = Expr::var("b")
+            .cat(Expr::var("a"))
+            .cat(Expr::var("b"))
+            .cat(Expr::var("c"));
+        assert_eq!(e.free_vars(), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn cfg_reads_inner_vars() {
+        let e = Expr::var("t").cfg("domain").eq(Expr::lit("d.org"));
+        assert_eq!(e.free_vars(), vec!["t"]);
+    }
+
+    #[test]
+    fn predicate_classification() {
+        assert!(BinOp::Eq.is_predicate());
+        assert!(BinOp::Le.is_predicate());
+        assert!(!BinOp::Add.is_predicate());
+        assert!(!BinOp::Cat.is_predicate());
+    }
+}

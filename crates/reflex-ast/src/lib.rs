@@ -1,0 +1,60 @@
+//! Abstract syntax for the Reflex DSL.
+//!
+//! Reflex (PLDI 2014, "Automating Formal Proofs for Reactive Systems") is a
+//! domain-specific language for implementing reactive-system *kernels*: small
+//! programs that orchestrate message traffic between sandboxed components and
+//! whose safety and security properties can be verified *fully automatically*.
+//!
+//! This crate defines the shared syntax used by every other crate in the
+//! workspace:
+//!
+//! * [`Value`], [`Ty`] — the base value domain (booleans, numbers, strings,
+//!   file descriptors, component handles);
+//! * [`Expr`] — pure expressions appearing in handler code;
+//! * [`Cmd`] — the loop-free command language of handlers (assignment,
+//!   branching, `send`, `spawn`, `call`, `lookup`);
+//! * [`Program`] — a complete kernel: component types, message signatures,
+//!   state variables, init code, handlers and properties;
+//! * [`ActionPat`], [`TraceProp`], [`NiSpec`] — the property language: the
+//!   five trace-pattern primitives (`ImmBefore`, `ImmAfter`, `Enables`,
+//!   `Ensures`, `Disables`) and non-interference specifications.
+//!
+//! The concrete `.rx` syntax is parsed by `reflex-parser`; programs can also
+//! be constructed directly through [`build::ProgramBuilder`].
+//!
+//! # Example
+//!
+//! ```
+//! use reflex_ast::build::ProgramBuilder;
+//! use reflex_ast::{Expr, Ty};
+//!
+//! let program = ProgramBuilder::new("ping")
+//!     .component("Echo", "echo.py", [])
+//!     .message("Ping", [Ty::Str])
+//!     .message("Pong", [Ty::Str])
+//!     .init_spawn("E", "Echo", [])
+//!     .handler("Echo", "Ping", ["s"], |h| {
+//!         h.send(Expr::var("E"), "Pong", [Expr::var("s")]);
+//!     })
+//!     .finish();
+//! assert_eq!(program.handlers.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+mod cmd;
+mod display;
+mod expr;
+mod pattern;
+mod program;
+mod prop;
+mod value;
+
+pub use cmd::Cmd;
+pub use expr::{BinOp, Expr, UnOp};
+pub use pattern::{ActionPat, CompPat, PatField};
+pub use program::{CompTypeDecl, Handler, MsgDecl, Program, StateVarDecl};
+pub use prop::{NiSpec, PropBody, PropertyDecl, TraceProp, TracePropKind};
+pub use value::{CompId, Fdesc, Ty, Value};

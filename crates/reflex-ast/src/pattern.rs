@@ -1,0 +1,233 @@
+//! Action patterns: the atoms of the Reflex property language.
+
+use crate::value::Value;
+
+/// A single field of an action pattern.
+///
+/// Pattern fields match one payload value, configuration field, call
+/// argument or call result. All pattern variables are universally
+/// quantified at the outermost level of the enclosing property.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatField {
+    /// Matches exactly this literal value.
+    Lit(Value),
+    /// Matches any value and binds (or constrains, on repeated occurrence)
+    /// the named property variable.
+    Var(String),
+    /// Matches any value (the paper's `_` wildcard).
+    Any,
+}
+
+impl PatField {
+    /// A literal pattern field.
+    pub fn lit(v: impl Into<Value>) -> PatField {
+        PatField::Lit(v.into())
+    }
+
+    /// A variable pattern field.
+    pub fn var(name: impl Into<String>) -> PatField {
+        PatField::Var(name.into())
+    }
+
+    /// The property variable bound by this field, if any.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            PatField::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A pattern over component instances.
+///
+/// `CompPat { ctype: Some("C"), config: Some(vec![...]) }` corresponds to the
+/// paper's `C(...)` notation. A `None` component type matches components of
+/// any type; a `None` config matches any configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompPat {
+    /// Required component type, or `None` for any type.
+    pub ctype: Option<String>,
+    /// Patterns over the configuration fields (must match the configuration
+    /// signature's arity), or `None` to accept any configuration.
+    pub config: Option<Vec<PatField>>,
+}
+
+impl CompPat {
+    /// Matches any component of the given type, with any configuration.
+    pub fn of_type(ctype: impl Into<String>) -> CompPat {
+        CompPat {
+            ctype: Some(ctype.into()),
+            config: None,
+        }
+    }
+
+    /// Matches a component of the given type whose configuration matches the
+    /// given field patterns.
+    pub fn with_config(
+        ctype: impl Into<String>,
+        config: impl IntoIterator<Item = PatField>,
+    ) -> CompPat {
+        CompPat {
+            ctype: Some(ctype.into()),
+            config: Some(config.into_iter().collect()),
+        }
+    }
+
+    /// Matches any component whatsoever.
+    pub fn any() -> CompPat {
+        CompPat {
+            ctype: None,
+            config: None,
+        }
+    }
+
+    /// Collects the property variables occurring in this pattern.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        if let Some(cfg) = &self.config {
+            for f in cfg {
+                if let PatField::Var(v) = f {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+}
+
+/// A pattern over trace actions.
+///
+/// Each variant matches the correspondingly-named runtime action. For
+/// example the paper's `Send(C(), M(3, _, s))` is
+/// `ActionPat::Send { comp: CompPat::with_config("C", []), msg: "M", args:
+/// [lit(3), Any, var("s")] }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ActionPat {
+    /// Matches the kernel selecting a ready component.
+    Select {
+        /// Pattern over the selected component.
+        comp: CompPat,
+    },
+    /// Matches the kernel receiving message `msg` from a component.
+    Recv {
+        /// Pattern over the sending component.
+        comp: CompPat,
+        /// Message type name.
+        msg: String,
+        /// Patterns over the message payload.
+        args: Vec<PatField>,
+    },
+    /// Matches the kernel sending message `msg` to a component.
+    Send {
+        /// Pattern over the recipient component.
+        comp: CompPat,
+        /// Message type name.
+        msg: String,
+        /// Patterns over the message payload.
+        args: Vec<PatField>,
+    },
+    /// Matches the kernel spawning a component.
+    Spawn {
+        /// Pattern over the spawned component.
+        comp: CompPat,
+    },
+    /// Matches an invocation of an external function.
+    Call {
+        /// External function name.
+        func: String,
+        /// Patterns over the arguments, or `None` to accept any argument
+        /// list.
+        args: Option<Vec<PatField>>,
+        /// Pattern over the (string) result.
+        result: PatField,
+    },
+}
+
+impl ActionPat {
+    /// Collects the property variables occurring in this pattern, in
+    /// syntactic order (with duplicates, which encode equality constraints).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            ActionPat::Select { comp } | ActionPat::Spawn { comp } => comp.collect_vars(out),
+            ActionPat::Recv { comp, args, .. } | ActionPat::Send { comp, args, .. } => {
+                comp.collect_vars(out);
+                for f in args {
+                    if let PatField::Var(v) = f {
+                        out.push(v.clone());
+                    }
+                }
+            }
+            ActionPat::Call { args, result, .. } => {
+                if let Some(args) = args {
+                    for f in args {
+                        if let PatField::Var(v) = f {
+                            out.push(v.clone());
+                        }
+                    }
+                }
+                if let PatField::Var(v) = result {
+                    out.push(v.clone());
+                }
+            }
+        }
+    }
+
+    /// The deduplicated list of property variables in this pattern.
+    pub fn vars(&self) -> Vec<String> {
+        let mut all = Vec::new();
+        self.collect_vars(&mut all);
+        let mut seen = std::collections::HashSet::new();
+        all.retain(|v| seen.insert(v.clone()));
+        all
+    }
+
+    /// The message type this pattern is specific to, if it is a `Recv` or
+    /// `Send` pattern.
+    pub fn msg_type(&self) -> Option<&str> {
+        match self {
+            ActionPat::Recv { msg, .. } | ActionPat::Send { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_dedup_in_order() {
+        let p = ActionPat::Send {
+            comp: CompPat::with_config("C", [PatField::var("d")]),
+            msg: "M".into(),
+            args: vec![PatField::lit(3i64), PatField::Any, PatField::var("s"), PatField::var("d")],
+        };
+        assert_eq!(p.vars(), vec!["d", "s"]);
+        assert_eq!(p.msg_type(), Some("M"));
+    }
+
+    #[test]
+    fn spawn_pattern_vars_come_from_config() {
+        let p = ActionPat::Spawn {
+            comp: CompPat::with_config("Tab", [PatField::var("id"), PatField::Any]),
+        };
+        assert_eq!(p.vars(), vec!["id"]);
+        assert_eq!(p.msg_type(), None);
+    }
+
+    #[test]
+    fn call_pattern_vars() {
+        let p = ActionPat::Call {
+            func: "wget".into(),
+            args: Some(vec![PatField::var("u")]),
+            result: PatField::var("r"),
+        };
+        assert_eq!(p.vars(), vec!["u", "r"]);
+    }
+
+    #[test]
+    fn comp_pat_constructors() {
+        assert_eq!(CompPat::any(), CompPat { ctype: None, config: None });
+        let t = CompPat::of_type("Engine");
+        assert_eq!(t.ctype.as_deref(), Some("Engine"));
+        assert!(t.config.is_none());
+    }
+}

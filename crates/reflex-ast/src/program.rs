@@ -1,0 +1,280 @@
+//! Whole-program structure: declarations, init code, handlers, properties.
+
+use crate::cmd::Cmd;
+use crate::expr::Expr;
+use crate::prop::PropertyDecl;
+use crate::value::Ty;
+
+/// A component *type* declaration (the `Components` section).
+///
+/// A component type names a kind of sandboxed process the kernel talks to,
+/// the executable implementing it, and the signature of its read-only
+/// configuration record (set at spawn time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompTypeDecl {
+    /// Component type name, e.g. `"Connection"`.
+    pub name: String,
+    /// Executable on disk implementing this component, e.g. `"client.py"`.
+    /// In this reproduction the executable name keys into a registry of
+    /// simulated component behaviors.
+    pub exe: String,
+    /// Configuration signature: named, typed, read-only fields.
+    pub config: Vec<(String, Ty)>,
+}
+
+impl CompTypeDecl {
+    /// The index and type of configuration field `field`, if declared.
+    pub fn config_field(&self, field: &str) -> Option<(usize, Ty)> {
+        self.config
+            .iter()
+            .position(|(n, _)| n == field)
+            .map(|i| (i, self.config[i].1))
+    }
+}
+
+/// A message type declaration (the `Messages` section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsgDecl {
+    /// Message type name, e.g. `"ReqAuth"`.
+    pub name: String,
+    /// Payload types, in order.
+    pub payload: Vec<Ty>,
+}
+
+/// A global state variable declaration (the `State` section).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateVarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Variable type.
+    pub ty: Ty,
+    /// Initial value expression (must be a closed literal expression for
+    /// data-typed variables; component-typed variables are instead bound by
+    /// `spawn` commands in the init section).
+    pub init: Option<Expr>,
+}
+
+/// A message handler (one rule of the `Handlers` section).
+///
+/// The rule fires whenever the kernel receives a message of type `msg` from
+/// *any* component of type `ctype`. Inside `body`, the payload is bound to
+/// `params` and the sending component is bound to the implicit variable
+/// [`Handler::SENDER`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handler {
+    /// Component type whose messages this handler services.
+    pub ctype: String,
+    /// Message type this handler services.
+    pub msg: String,
+    /// Names binding the message payload, matching the message signature.
+    pub params: Vec<String>,
+    /// Handler body.
+    pub body: Cmd,
+}
+
+impl Handler {
+    /// The implicit variable bound to the component that sent the message.
+    pub const SENDER: &'static str = "sender";
+}
+
+/// A complete Reflex program: a reactive-system kernel together with the
+/// properties it must satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (used in diagnostics and reports).
+    pub name: String,
+    /// Declared component types.
+    pub components: Vec<CompTypeDecl>,
+    /// Declared message types.
+    pub messages: Vec<MsgDecl>,
+    /// Declared global state variables.
+    pub state: Vec<StateVarDecl>,
+    /// Initialization code, run once at startup. `spawn` binders introduced
+    /// here become global component-typed variables.
+    pub init: Cmd,
+    /// Message handlers. At most one handler per (component type, message
+    /// type) pair; pairs without a handler behave as `Nop`.
+    pub handlers: Vec<Handler>,
+    /// Properties to verify.
+    pub properties: Vec<PropertyDecl>,
+}
+
+impl Program {
+    /// Creates an empty program with the given name.
+    pub fn new(name: impl Into<String>) -> Program {
+        Program {
+            name: name.into(),
+            components: Vec::new(),
+            messages: Vec::new(),
+            state: Vec::new(),
+            init: Cmd::Nop,
+            handlers: Vec::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Looks up a component type declaration by name.
+    pub fn comp_type(&self, name: &str) -> Option<&CompTypeDecl> {
+        self.components.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a message declaration by name.
+    pub fn msg_decl(&self, name: &str) -> Option<&MsgDecl> {
+        self.messages.iter().find(|m| m.name == name)
+    }
+
+    /// Looks up a state variable declaration by name.
+    pub fn state_var(&self, name: &str) -> Option<&StateVarDecl> {
+        self.state.iter().find(|v| v.name == name)
+    }
+
+    /// Looks up a property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyDecl> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// The explicit handler for `(ctype, msg)`, if one was declared.
+    pub fn handler(&self, ctype: &str, msg: &str) -> Option<&Handler> {
+        self.handlers
+            .iter()
+            .find(|h| h.ctype == ctype && h.msg == msg)
+    }
+
+    /// The global component-typed variables bound by `spawn` commands in the
+    /// init section, with their component types, in order.
+    pub fn init_comp_vars(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        self.init.visit(&mut |c| {
+            if let Cmd::Spawn { binder, ctype, .. } = c {
+                out.push((binder.clone(), ctype.clone()));
+            }
+        });
+        out
+    }
+
+    /// Enumerates every `(component type, message type)` exchange case of
+    /// the behavioral abstraction: all pairs of declared component type and
+    /// declared message type, each with either its declared handler body or
+    /// `Nop`.
+    ///
+    /// This is exactly the case split performed by the induction over
+    /// `BehAbs` — untrusted components may send *any* declared message at
+    /// any time, so every pair is a reachable exchange.
+    pub fn exchange_cases(&self) -> Vec<ExchangeCase<'_>> {
+        static NOP: Cmd = Cmd::Nop;
+        let mut cases = Vec::new();
+        for c in &self.components {
+            for m in &self.messages {
+                let handler = self.handler(&c.name, &m.name);
+                cases.push(ExchangeCase {
+                    ctype: &c.name,
+                    msg: &m.name,
+                    params: handler.map(|h| h.params.as_slice()).unwrap_or(&[]),
+                    body: handler.map(|h| &h.body).unwrap_or(&NOP),
+                    explicit: handler.is_some(),
+                });
+            }
+        }
+        cases
+    }
+}
+
+/// One case of the exchange relation: a component type, a message type, and
+/// the (possibly implicit `Nop`) handler servicing it.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeCase<'p> {
+    /// Component type of the sender.
+    pub ctype: &'p str,
+    /// Message type received.
+    pub msg: &'p str,
+    /// Payload binder names (empty for implicit handlers).
+    pub params: &'p [String],
+    /// Handler body (`Nop` for implicit handlers).
+    pub body: &'p Cmd,
+    /// Whether this case has an explicitly declared handler.
+    pub explicit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Program {
+        let mut p = Program::new("toy");
+        p.components.push(CompTypeDecl {
+            name: "A".into(),
+            exe: "a.py".into(),
+            config: vec![("id".into(), Ty::Num)],
+        });
+        p.components.push(CompTypeDecl {
+            name: "B".into(),
+            exe: "b.py".into(),
+            config: vec![],
+        });
+        p.messages.push(MsgDecl {
+            name: "M".into(),
+            payload: vec![Ty::Str],
+        });
+        p.messages.push(MsgDecl {
+            name: "N".into(),
+            payload: vec![],
+        });
+        p.handlers.push(Handler {
+            ctype: "A".into(),
+            msg: "M".into(),
+            params: vec!["s".into()],
+            body: Cmd::Nop,
+        });
+        p.init = Cmd::seq([
+            Cmd::Spawn {
+                binder: "a0".into(),
+                ctype: "A".into(),
+                config: vec![Expr::lit(0i64)],
+            },
+            Cmd::Spawn {
+                binder: "b0".into(),
+                ctype: "B".into(),
+                config: vec![],
+            },
+        ]);
+        p
+    }
+
+    #[test]
+    fn lookups_find_declarations() {
+        let p = toy();
+        assert!(p.comp_type("A").is_some());
+        assert!(p.comp_type("C").is_none());
+        assert_eq!(p.msg_decl("M").map(|m| m.payload.len()), Some(1));
+        assert!(p.handler("A", "M").is_some());
+        assert!(p.handler("A", "N").is_none());
+        assert_eq!(
+            p.comp_type("A").and_then(|c| c.config_field("id")),
+            Some((0, Ty::Num))
+        );
+    }
+
+    #[test]
+    fn exchange_cases_cover_all_pairs() {
+        let p = toy();
+        let cases = p.exchange_cases();
+        assert_eq!(cases.len(), 4); // 2 comp types x 2 msg types
+        let explicit: Vec<_> = cases.iter().filter(|c| c.explicit).collect();
+        assert_eq!(explicit.len(), 1);
+        assert_eq!(explicit[0].ctype, "A");
+        assert_eq!(explicit[0].msg, "M");
+        assert!(cases
+            .iter()
+            .filter(|c| !c.explicit)
+            .all(|c| matches!(c.body, Cmd::Nop)));
+    }
+
+    #[test]
+    fn init_comp_vars_in_order() {
+        let p = toy();
+        assert_eq!(
+            p.init_comp_vars(),
+            vec![("a0".to_owned(), "A".to_owned()), ("b0".to_owned(), "B".to_owned())]
+        );
+    }
+}

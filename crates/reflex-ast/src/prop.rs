@@ -1,0 +1,248 @@
+//! The Reflex property language: trace properties and non-interference.
+
+use crate::pattern::{ActionPat, CompPat};
+use crate::value::Ty;
+
+/// The five primitive trace-pattern combinators (paper §4.1).
+///
+/// Each primitive relates two action patterns `A` and `B`; all pattern
+/// variables are universally quantified at the outermost level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TracePropKind {
+    /// `ImmBefore A B`: every action matching `B` is *immediately* preceded
+    /// (chronologically) by an action matching `A`.
+    ImmBefore,
+    /// `ImmAfter A B`: every action matching `A` is *immediately* followed
+    /// by an action matching `B`.
+    ImmAfter,
+    /// `Enables A B`: every action matching `B` is preceded, somewhere
+    /// earlier in the trace, by an action matching `A`.
+    Enables,
+    /// `Ensures A B`: every action matching `A` is followed, somewhere later
+    /// in the trace, by an action matching `B`.
+    Ensures,
+    /// `Disables A B`: no action matching `B` is preceded by an action
+    /// matching `A` (equivalently: once `A` happens, `B` never happens).
+    Disables,
+}
+
+impl TracePropKind {
+    /// All five primitives.
+    pub const ALL: [TracePropKind; 5] = [
+        TracePropKind::ImmBefore,
+        TracePropKind::ImmAfter,
+        TracePropKind::Enables,
+        TracePropKind::Ensures,
+        TracePropKind::Disables,
+    ];
+
+    /// The surface keyword of this primitive.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TracePropKind::ImmBefore => "ImmBefore",
+            TracePropKind::ImmAfter => "ImmAfter",
+            TracePropKind::Enables => "Enables",
+            TracePropKind::Ensures => "Ensures",
+            TracePropKind::Disables => "Disables",
+        }
+    }
+
+    /// Which of the two patterns is the *trigger*: the pattern whose matches
+    /// generate proof obligations.
+    ///
+    /// For `ImmBefore`, `Enables` and `Disables` the trigger is `B` (each
+    /// `B`-match demands something about earlier actions); for `ImmAfter`
+    /// and `Ensures` it is `A` (each `A`-match demands a later action).
+    pub fn trigger_is_b(self) -> bool {
+        matches!(
+            self,
+            TracePropKind::ImmBefore | TracePropKind::Enables | TracePropKind::Disables
+        )
+    }
+}
+
+/// A trace property: one primitive applied to two action patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceProp {
+    /// The primitive combinator.
+    pub kind: TracePropKind,
+    /// The left pattern (`A`).
+    pub a: ActionPat,
+    /// The right pattern (`B`).
+    pub b: ActionPat,
+}
+
+impl TraceProp {
+    /// Creates `a kind b`.
+    pub fn new(kind: TracePropKind, a: ActionPat, b: ActionPat) -> TraceProp {
+        TraceProp { kind, a, b }
+    }
+
+    /// The trigger pattern (see [`TracePropKind::trigger_is_b`]).
+    pub fn trigger(&self) -> &ActionPat {
+        if self.kind.trigger_is_b() {
+            &self.b
+        } else {
+            &self.a
+        }
+    }
+
+    /// The non-trigger ("obligation") pattern.
+    pub fn obligation(&self) -> &ActionPat {
+        if self.kind.trigger_is_b() {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+}
+
+/// A non-interference specification (paper §4.2).
+///
+/// The user provides a labeling of components (`high_comps`: a component is
+/// *high* iff it matches one of the patterns, with the property's `forall`
+/// variables bound) and of global state variables (`high_vars`). The
+/// property states that the sequence of outputs sent to high components is a
+/// function of the sequence of inputs received from high components together
+/// with the non-deterministic contexts of their handlers — i.e. low
+/// components cannot influence what high components observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NiSpec {
+    /// Component patterns labeled *high*; everything else is *low*.
+    pub high_comps: Vec<CompPat>,
+    /// Global state variables labeled *high*.
+    pub high_vars: Vec<String>,
+}
+
+impl NiSpec {
+    /// Creates a specification with the given high component patterns and
+    /// high variables.
+    pub fn new(
+        high_comps: impl IntoIterator<Item = CompPat>,
+        high_vars: impl IntoIterator<Item = impl Into<String>>,
+    ) -> NiSpec {
+        NiSpec {
+            high_comps: high_comps.into_iter().collect(),
+            high_vars: high_vars.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+/// The body of a property declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropBody {
+    /// A trace property.
+    Trace(TraceProp),
+    /// A non-interference property.
+    NonInterference(NiSpec),
+}
+
+/// A named, universally quantified property of a Reflex program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyDecl {
+    /// Property name (unique within the program).
+    pub name: String,
+    /// Outermost universally quantified variables with their types.
+    pub forall: Vec<(String, Ty)>,
+    /// The property body.
+    pub body: PropBody,
+}
+
+impl PropertyDecl {
+    /// Creates a trace property declaration.
+    pub fn trace(
+        name: impl Into<String>,
+        forall: impl IntoIterator<Item = (&'static str, Ty)>,
+        kind: TracePropKind,
+        a: ActionPat,
+        b: ActionPat,
+    ) -> PropertyDecl {
+        PropertyDecl {
+            name: name.into(),
+            forall: forall.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+            body: PropBody::Trace(TraceProp::new(kind, a, b)),
+        }
+    }
+
+    /// Creates a non-interference property declaration.
+    pub fn non_interference(
+        name: impl Into<String>,
+        forall: impl IntoIterator<Item = (&'static str, Ty)>,
+        spec: NiSpec,
+    ) -> PropertyDecl {
+        PropertyDecl {
+            name: name.into(),
+            forall: forall.into_iter().map(|(n, t)| (n.to_owned(), t)).collect(),
+            body: PropBody::NonInterference(spec),
+        }
+    }
+
+    /// The declared type of quantified variable `v`, if any.
+    pub fn forall_ty(&self, v: &str) -> Option<Ty> {
+        self.forall.iter().find(|(n, _)| n == v).map(|(_, t)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{CompPat, PatField};
+
+    fn recv_auth() -> ActionPat {
+        ActionPat::Recv {
+            comp: CompPat::of_type("Password"),
+            msg: "Auth".into(),
+            args: vec![PatField::var("u")],
+        }
+    }
+
+    fn send_reqterm() -> ActionPat {
+        ActionPat::Send {
+            comp: CompPat::of_type("Terminal"),
+            msg: "ReqTerm".into(),
+            args: vec![PatField::var("u")],
+        }
+    }
+
+    #[test]
+    fn trigger_selection_matches_paper_semantics() {
+        let p = TraceProp::new(TracePropKind::Enables, recv_auth(), send_reqterm());
+        // For Enables, each B-match (the ReqTerm send) generates the
+        // obligation that an A-match happened earlier.
+        assert_eq!(p.trigger(), &send_reqterm());
+        assert_eq!(p.obligation(), &recv_auth());
+
+        let q = TraceProp::new(TracePropKind::Ensures, recv_auth(), send_reqterm());
+        assert_eq!(q.trigger(), &recv_auth());
+        assert_eq!(q.obligation(), &send_reqterm());
+    }
+
+    #[test]
+    fn keywords_are_distinct() {
+        let mut kws: Vec<&str> = TracePropKind::ALL.iter().map(|k| k.keyword()).collect();
+        kws.sort_unstable();
+        kws.dedup();
+        assert_eq!(kws.len(), 5);
+    }
+
+    #[test]
+    fn property_decl_accessors() {
+        let p = PropertyDecl::trace(
+            "AuthBeforeTerm",
+            [("u", Ty::Str)],
+            TracePropKind::Enables,
+            recv_auth(),
+            send_reqterm(),
+        );
+        assert_eq!(p.forall_ty("u"), Some(Ty::Str));
+        assert_eq!(p.forall_ty("v"), None);
+        assert!(matches!(p.body, PropBody::Trace(_)));
+    }
+
+    #[test]
+    fn ni_spec_construction() {
+        let spec = NiSpec::new([CompPat::of_type("Engine")], ["mode"]);
+        assert_eq!(spec.high_comps.len(), 1);
+        assert_eq!(spec.high_vars, vec!["mode"]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Runtime values and base types of the Reflex value domain.
+
+use std::fmt;
+
+/// A runtime file descriptor, as handed out by the (simulated) operating
+/// system when a component or pseudo-terminal is created.
+///
+/// File descriptors are opaque: Reflex programs can store and forward them
+/// but never inspect or fabricate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fdesc(u64);
+
+impl Fdesc {
+    /// Creates a file descriptor with the given raw index.
+    pub fn new(raw: u64) -> Self {
+        Fdesc(raw)
+    }
+
+    /// Returns the raw index of this descriptor.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fdesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd#{}", self.0)
+    }
+}
+
+/// A runtime component identity.
+///
+/// Every spawned component instance receives a fresh `CompId`; ids are never
+/// reused within a run. Like [`Fdesc`], component ids are opaque to Reflex
+/// programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompId(u64);
+
+impl CompId {
+    /// Creates a component id with the given raw index.
+    pub fn new(raw: u64) -> Self {
+        CompId(raw)
+    }
+
+    /// Returns the raw index of this id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "comp#{}", self.0)
+    }
+}
+
+/// The base types of the Reflex value domain.
+///
+/// Reflex deliberately has a small, flat type universe: this is one of the
+/// Language and Automation Co-design (LAC) restrictions that keeps proof
+/// automation tractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Ty {
+    /// Booleans.
+    Bool,
+    /// 64-bit signed integers.
+    Num,
+    /// Strings.
+    Str,
+    /// Opaque file descriptors.
+    Fdesc,
+    /// Component handles.
+    Comp,
+}
+
+impl Ty {
+    /// All base types, in declaration order.
+    pub const ALL: [Ty; 5] = [Ty::Bool, Ty::Num, Ty::Str, Ty::Fdesc, Ty::Comp];
+
+    /// Returns the default value of this type, used when a state variable is
+    /// declared without an initializer.
+    ///
+    /// `Fdesc` and `Comp` have no closed default; those variables must be
+    /// explicitly initialized, which the type checker enforces, so this
+    /// returns `None` for them.
+    pub fn default_value(self) -> Option<Value> {
+        match self {
+            Ty::Bool => Some(Value::Bool(false)),
+            Ty::Num => Some(Value::Num(0)),
+            Ty::Str => Some(Value::Str(String::new())),
+            Ty::Fdesc | Ty::Comp => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::Bool => "bool",
+            Ty::Num => "num",
+            Ty::Str => "str",
+            Ty::Fdesc => "fdesc",
+            Ty::Comp => "comp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A closed runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Num(i64),
+    /// A string.
+    Str(String),
+    /// A file descriptor.
+    Fdesc(Fdesc),
+    /// A component handle.
+    Comp(CompId),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Bool(_) => Ty::Bool,
+            Value::Num(_) => Ty::Num,
+            Value::Str(_) => Ty::Str,
+            Value::Fdesc(_) => Ty::Fdesc,
+            Value::Comp(_) => Ty::Comp,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric payload, if this is a `Num`.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the component handle, if this is a `Comp`.
+    pub fn as_comp(&self) -> Option<CompId> {
+        match self {
+            Value::Comp(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns the file descriptor, if this is an `Fdesc`.
+    pub fn as_fdesc(&self) -> Option<Fdesc> {
+        match self {
+            Value::Fdesc(fd) => Some(*fd),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Fdesc> for Value {
+    fn from(fd: Fdesc) -> Self {
+        Value::Fdesc(fd)
+    }
+}
+
+impl From<CompId> for Value {
+    fn from(c: CompId) -> Self {
+        Value::Comp(c)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Fdesc(fd) => write!(f, "{fd}"),
+            Value::Comp(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_roundtrip() {
+        assert_eq!(Value::Bool(true).ty(), Ty::Bool);
+        assert_eq!(Value::Num(7).ty(), Ty::Num);
+        assert_eq!(Value::from("x").ty(), Ty::Str);
+        assert_eq!(Value::Fdesc(Fdesc::new(3)).ty(), Ty::Fdesc);
+        assert_eq!(Value::Comp(CompId::new(1)).ty(), Ty::Comp);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Num(4).as_bool(), None);
+        assert_eq!(Value::Num(4).as_num(), Some(4));
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Comp(CompId::new(9)).as_comp(), Some(CompId::new(9)));
+        assert_eq!(Value::Fdesc(Fdesc::new(2)).as_fdesc(), Some(Fdesc::new(2)));
+    }
+
+    #[test]
+    fn defaults_exist_only_for_data_types() {
+        assert_eq!(Ty::Bool.default_value(), Some(Value::Bool(false)));
+        assert_eq!(Ty::Num.default_value(), Some(Value::Num(0)));
+        assert_eq!(Ty::Str.default_value(), Some(Value::Str(String::new())));
+        assert_eq!(Ty::Fdesc.default_value(), None);
+        assert_eq!(Ty::Comp.default_value(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Num(-3).to_string(), "-3");
+        assert_eq!(Value::from("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Fdesc::new(5).to_string(), "fd#5");
+        assert_eq!(CompId::new(5).to_string(), "comp#5");
+        assert_eq!(Ty::Fdesc.to_string(), "fdesc");
+    }
+}

@@ -1,0 +1,46 @@
+//! Criterion benches for the §6.4 optimization ablation: total
+//! verification time for a representative set of properties under each
+//! prover configuration. The paper reports 80× average speedup (over
+//! 1000× on some benchmarks) from these optimizations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reflex_bench::ablation_configs;
+use reflex_verify::{prove_with, Abstraction};
+
+/// The invariant-heavy rows, where the optimizations matter most.
+const WORKLOAD: [(&str, &str); 5] = [
+    ("ssh", "SecondAttemptOnlyOnce"),
+    ("ssh", "LoginEnablesPty"),
+    ("browser", "UniqueTabIds"),
+    ("browser", "DomainNI"),
+    ("car", "NoLockAfterCrash"),
+];
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (config, options) in ablation_configs() {
+        // Pre-check and pre-parse outside the timed region; abstraction
+        // construction is configuration-dependent, so it stays inside.
+        let kernels: Vec<_> = WORKLOAD
+            .iter()
+            .map(|(k, p)| {
+                let bench = reflex_kernels::benchmark(k).expect("kernel exists");
+                ((bench.checked)(), *p)
+            })
+            .collect();
+        group.bench_function(config, |b| {
+            b.iter(|| {
+                for (checked, prop) in &kernels {
+                    let abs = Abstraction::build(checked, &options);
+                    let outcome = prove_with(&abs, prop, &options).expect("exists");
+                    assert!(outcome.is_proved(), "{prop} must verify under {config}");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablation_benches, ablation);
+criterion_main!(ablation_benches);

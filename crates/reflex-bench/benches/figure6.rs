@@ -1,0 +1,67 @@
+//! Criterion benches for Figure 6: one benchmark group per kernel, one
+//! measurement per property (proof search against a pre-built behavioral
+//! abstraction, exactly the workflow the paper times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reflex_kernels::figure6;
+use reflex_verify::{prove_with, Abstraction, ProverOptions};
+
+fn bench_kernel(c: &mut Criterion, kernel: &str) {
+    let bench = reflex_kernels::benchmark(kernel).expect("kernel exists");
+    let checked = (bench.checked)();
+    let options = ProverOptions::default();
+    let abs = Abstraction::build(&checked, &options);
+    let mut group = c.benchmark_group(format!("fig6_{kernel}"));
+    group.sample_size(10);
+    for row in figure6::ROWS.iter().filter(|r| r.benchmark == kernel) {
+        group.bench_function(row.property, |b| {
+            b.iter(|| {
+                let outcome =
+                    prove_with(&abs, row.property, &options).expect("property exists");
+                assert!(outcome.is_proved(), "{} must verify", row.property);
+                outcome
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig6_car(c: &mut Criterion) {
+    bench_kernel(c, "car");
+}
+
+fn fig6_browser(c: &mut Criterion) {
+    bench_kernel(c, "browser");
+}
+
+fn fig6_browser2(c: &mut Criterion) {
+    bench_kernel(c, "browser2");
+}
+
+fn fig6_browser3(c: &mut Criterion) {
+    bench_kernel(c, "browser3");
+}
+
+fn fig6_ssh(c: &mut Criterion) {
+    bench_kernel(c, "ssh");
+}
+
+fn fig6_ssh2(c: &mut Criterion) {
+    bench_kernel(c, "ssh2");
+}
+
+fn fig6_webserver(c: &mut Criterion) {
+    bench_kernel(c, "webserver");
+}
+
+criterion_group!(
+    figure6_benches,
+    fig6_car,
+    fig6_browser,
+    fig6_browser2,
+    fig6_browser3,
+    fig6_ssh,
+    fig6_ssh2,
+    fig6_webserver
+);
+criterion_main!(figure6_benches);

@@ -1,0 +1,120 @@
+//! Criterion benches for the pipeline stages underneath verification:
+//! parsing, type checking, behavioral-abstraction construction, certificate
+//! checking, and the runtime's exchange throughput. These quantify the
+//! substrates so the Figure 6 numbers can be decomposed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reflex_ast::Value;
+use reflex_runtime::{EmptyWorld, Interpreter, Registry, ScriptedBehavior};
+use reflex_trace::Msg;
+use reflex_verify::{check_certificate, prove, Abstraction, ProverOptions};
+
+fn parse_and_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    for bench in reflex_kernels::all_benchmarks() {
+        group.bench_function(format!("parse_{}", bench.name), |b| {
+            b.iter(|| reflex_parser::parse_program(bench.name, bench.source).expect("parses"))
+        });
+        let program = (bench.program)();
+        group.bench_function(format!("typecheck_{}", bench.name), |b| {
+            b.iter(|| reflex_typeck::check(&program).expect("checks"))
+        });
+    }
+    group.finish();
+}
+
+fn abstraction_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("behabs");
+    group.sample_size(20);
+    let options = ProverOptions::default();
+    for bench in reflex_kernels::all_benchmarks() {
+        let checked = (bench.checked)();
+        group.bench_function(bench.name, |b| {
+            b.iter(|| Abstraction::build(&checked, &options))
+        });
+    }
+    group.finish();
+}
+
+fn certificate_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    group.sample_size(20);
+    let options = ProverOptions::default();
+    let checked = reflex_kernels::ssh::checked();
+    let outcome = prove(&checked, "LoginEnablesPty", &options).expect("exists");
+    let cert = outcome.certificate().expect("proved").clone();
+    group.bench_function("ssh_LoginEnablesPty", |b| {
+        b.iter(|| check_certificate(&checked, &cert, &options).expect("valid"))
+    });
+    group.finish();
+}
+
+fn runtime_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(20);
+    let checked = reflex_kernels::browser::checked();
+    group.bench_function("browser_100_exchanges", |b| {
+        b.iter(|| {
+            let registry = Registry::new().register("chrome-ui.py", |_| {
+                Box::new(ScriptedBehavior::new().starts_with(
+                    (0..20).map(|i| {
+                        Msg::new("NewTab", [Value::from(format!("d{}.org", i % 4))])
+                    }),
+                ))
+            });
+            let mut kernel =
+                Interpreter::new(&checked, registry, Box::new(EmptyWorld), 0).expect("boots");
+            kernel.run(100).expect("runs");
+            let tabs = kernel.components_of("Tab").len();
+            assert_eq!(tabs, 20);
+            kernel.trace().len()
+        })
+    });
+    group.finish();
+}
+
+fn incremental_reverification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    let options = ProverOptions::default();
+    let old = reflex_kernels::browser::checked();
+    let previous: Vec<_> = reflex_verify::prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| (name, o.certificate().expect("proved").clone()))
+        .collect();
+    let edited_src = reflex_kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {",
+        "    if (host == sender.domain && host != \"\") {",
+    );
+    let new = reflex_typeck::check(
+        &reflex_parser::parse_program("browser", &edited_src).expect("parses"),
+    )
+    .expect("checks");
+
+    group.bench_function("full_reproving", |b| {
+        b.iter(|| {
+            let outcomes = reflex_verify::prove_all(&new, &options);
+            assert!(outcomes.iter().all(|(_, o)| o.is_proved()));
+            outcomes.len()
+        })
+    });
+    group.bench_function("certificate_reuse", |b| {
+        b.iter(|| {
+            let report = reflex_verify::reverify(&old, &previous, &new, &options);
+            assert!(report.outcomes.iter().all(|(_, o)| o.is_proved()));
+            assert!(!report.reused.is_empty());
+            report.outcomes.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    pipeline_benches,
+    parse_and_check,
+    abstraction_build,
+    certificate_checking,
+    runtime_throughput,
+    incremental_reverification
+);
+criterion_main!(pipeline_benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's evaluation tables and figures as text.
+//!
+//! ```sh
+//! cargo run -p reflex-bench --release --bin figures            # everything
+//! cargo run -p reflex-bench --release --bin figures -- fig6    # Figure 6
+//! cargo run -p reflex-bench --release --bin figures -- table1
+//! cargo run -p reflex-bench --release --bin figures -- ablation
+//! cargo run -p reflex-bench --release --bin figures -- utility
+//! ```
+
+use reflex_bench::{
+    render_ablation, render_figure6, render_table1, render_utility, run_ablation, run_figure6,
+    run_utility, table1,
+};
+use reflex_verify::ProverOptions;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let all = what == "all";
+
+    if all || what == "table1" {
+        println!("== Table 1: benchmark sizes (lines of Reflex code) ==\n");
+        println!("{}", render_table1(&table1()));
+    }
+    if all || what == "fig6" {
+        println!("== Figure 6: the 41 benchmark properties, proved fully automatically ==\n");
+        let results = run_figure6(&ProverOptions::default());
+        println!("{}", render_figure6(&results));
+    }
+    if all || what == "ablation" {
+        println!("== §6.4 ablation: effect of the proof-search optimizations ==\n");
+        println!("{}", render_ablation(&run_ablation()));
+    }
+    if all || what == "scaling" {
+        println!("== Optimization scaling (synthetic kernels; the §6.4 speedups grow with kernel size) ==\n");
+        println!("-- sweep 1: irrelevant handlers (branch depth 8) --");
+        let points = reflex_bench::stress::run_scaling(&[0, 4, 8, 16, 32], 8);
+        println!("{}", reflex_bench::stress::render_scaling(&points));
+        println!("-- sweep 2: branch depth (8 irrelevant handlers; x-axis = depth) --");
+        let points = reflex_bench::stress::run_depth_scaling(8, &[2, 4, 6, 8, 10, 12]);
+        println!("{}", reflex_bench::stress::render_scaling(&points));
+    }
+    if all || what == "utility" {
+        println!("== §6.3 utility: seeded bugs caught by pushbutton re-verification ==\n");
+        println!("{}", render_utility(&run_utility()));
+    }
+    if !all && !["table1", "fig6", "ablation", "scaling", "utility"].contains(&what.as_str()) {
+        eprintln!("unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | all)");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,384 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (§6) against this reproduction.
+//!
+//! * [`table1`] — benchmark sizes (kernel LoC vs. property LoC), Table 1;
+//! * [`run_figure6`] — all 41 properties, proved and certificate-checked,
+//!   with wall-clock times next to the paper's (Figure 6);
+//! * [`run_ablation`] — the §6.4 optimization ablation (syntactic skip,
+//!   path pruning, invariant caching);
+//! * [`run_utility`] — the §6.3 seeded-bug / false-policy experiment.
+//!
+//! The `figures` binary prints these as paper-style text tables; the
+//! Criterion benches in `benches/` measure the same workloads with
+//! statistical rigor.
+//!
+//! We do not expect to match the paper's absolute times — their prover is
+//! Coq's kernel plus Ltac search, ours is native Rust — but the *shape*
+//! must hold: every property verifies automatically, non-interference and
+//! invariant-heavy rows are the most expensive, and the optimizations buy
+//! large speedups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stress;
+
+use std::time::Instant;
+
+use reflex_kernels::{all_benchmarks, figure6, loc_split};
+use reflex_verify::{check_certificate, prove_with, Abstraction, ProverOptions};
+
+/// One measured Figure 6 row.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// The paper row (benchmark, description, paper time).
+    pub row: figure6::Row,
+    /// Our proof-search wall-clock, milliseconds.
+    pub prove_ms: f64,
+    /// Certificate-checking wall-clock, milliseconds.
+    pub check_ms: f64,
+    /// Number of discharged obligations in the certificate.
+    pub obligations: usize,
+}
+
+/// Proves (and certificate-checks) all 41 Figure 6 properties.
+///
+/// # Panics
+///
+/// Panics if any property fails to verify or any certificate is rejected —
+/// the headline claim of the reproduction.
+pub fn run_figure6(options: &ProverOptions) -> Vec<Fig6Result> {
+    let mut out = Vec::with_capacity(figure6::ROWS.len());
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        let abs = Abstraction::build(&checked, options);
+        for row in figure6::ROWS.iter().filter(|r| r.benchmark == bench.name) {
+            let t0 = Instant::now();
+            let outcome = prove_with(&abs, row.property, options).expect("property exists");
+            let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let cert = outcome.certificate().unwrap_or_else(|| {
+                panic!(
+                    "{}::{} failed: {}",
+                    row.benchmark,
+                    row.property,
+                    outcome.failure().expect("failed")
+                )
+            });
+            let t1 = Instant::now();
+            check_certificate(&checked, cert, options)
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", row.benchmark, row.property));
+            let check_ms = t1.elapsed().as_secs_f64() * 1e3;
+            out.push(Fig6Result {
+                row: *row,
+                prove_ms,
+                check_ms,
+                obligations: cert.obligation_count(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 6 as a text table.
+pub fn render_figure6(results: &[Fig6Result]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<10} {:<55} {:>9} {:>10} {:>10} {:>6}\n",
+        "bench", "policy", "paper(s)", "ours(ms)", "check(ms)", "oblig"
+    ));
+    s.push_str(&"-".repeat(105));
+    s.push('\n');
+    for r in results {
+        s.push_str(&format!(
+            "{:<10} {:<55} {:>9} {:>10.2} {:>10.2} {:>6}\n",
+            r.row.benchmark,
+            r.row.description,
+            r.row.paper_seconds,
+            r.prove_ms,
+            r.check_ms,
+            r.obligations
+        ));
+    }
+    let total_paper: u32 = results.iter().map(|r| r.row.paper_seconds).sum();
+    let total_ours: f64 = results.iter().map(|r| r.prove_ms).sum();
+    s.push_str(&"-".repeat(105));
+    s.push('\n');
+    s.push_str(&format!(
+        "{} properties, all proved automatically; paper total {total_paper}s, ours {total_ours:.1}ms\n",
+        results.len()
+    ));
+    s
+}
+
+/// One Table 1 row: a benchmark's kernel vs. property line counts.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Non-empty, non-comment kernel (code) lines.
+    pub kernel_loc: usize,
+    /// Non-empty, non-comment property lines.
+    pub props_loc: usize,
+    /// The paper's kernel/property counts for the matching system, if it
+    /// reported them (Table 1 covers ssh, browser, webserver).
+    pub paper: Option<(usize, usize)>,
+}
+
+/// Computes Table 1 (benchmark sizes) over our kernel sources.
+pub fn table1() -> Vec<Table1Row> {
+    all_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let (kernel_loc, props_loc) = loc_split(b.source);
+            let paper = match b.name {
+                "ssh" => Some((64, 22)),
+                "browser" => Some((81, 37)),
+                "webserver" => Some((56, 29)),
+                _ => None,
+            };
+            Table1Row {
+                name: b.name,
+                kernel_loc,
+                props_loc,
+                paper,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 as a text table.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<11} {:>11} {:>10} {:>14} {:>13}\n",
+        "benchmark", "kernel LoC", "props LoC", "paper kernel", "paper props"
+    ));
+    s.push_str(&"-".repeat(64));
+    s.push('\n');
+    for r in rows {
+        let (pk, pp) = match r.paper {
+            Some((k, p)) => (k.to_string(), p.to_string()),
+            None => ("-".into(), "-".into()),
+        };
+        s.push_str(&format!(
+            "{:<11} {:>11} {:>10} {:>14} {:>13}\n",
+            r.name, r.kernel_loc, r.props_loc, pk, pp
+        ));
+    }
+    s
+}
+
+/// One ablation configuration with its total verification time.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// Configuration label.
+    pub config: &'static str,
+    /// The options used.
+    pub options: ProverOptions,
+    /// Total wall-clock over all 41 properties, milliseconds.
+    pub total_ms: f64,
+    /// Total certificate obligations (a proof-size proxy for the paper's
+    /// memory-reduction claim).
+    pub total_obligations: usize,
+}
+
+/// The ablation configurations of the §6.4 experiment.
+pub fn ablation_configs() -> Vec<(&'static str, ProverOptions)> {
+    vec![
+        ("all optimizations", ProverOptions::optimized()),
+        (
+            "no syntactic skip",
+            ProverOptions {
+                syntactic_skip: false,
+                ..ProverOptions::default()
+            },
+        ),
+        (
+            "no path pruning",
+            ProverOptions {
+                prune_paths: false,
+                ..ProverOptions::default()
+            },
+        ),
+        (
+            "no invariant cache",
+            ProverOptions {
+                cache_invariants: false,
+                ..ProverOptions::default()
+            },
+        ),
+        ("none (unoptimized)", ProverOptions::unoptimized()),
+    ]
+}
+
+/// Runs the §6.4 ablation: verifies all 41 properties under each
+/// configuration.
+pub fn run_ablation() -> Vec<AblationResult> {
+    ablation_configs()
+        .into_iter()
+        .map(|(config, options)| {
+            let t0 = Instant::now();
+            let results = run_figure6(&options);
+            let total_ms = t0.elapsed().as_secs_f64() * 1e3;
+            AblationResult {
+                config,
+                options,
+                total_ms,
+                total_obligations: results.iter().map(|r| r.obligations).sum(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the ablation as a text table with speedups relative to the
+/// unoptimized configuration.
+pub fn render_ablation(results: &[AblationResult]) -> String {
+    let baseline = results
+        .iter()
+        .find(|r| r.config == "none (unoptimized)")
+        .map(|r| r.total_ms)
+        .unwrap_or(f64::NAN);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<22} {:>12} {:>9} {:>12}\n",
+        "configuration", "total (ms)", "speedup", "obligations"
+    ));
+    s.push_str(&"-".repeat(60));
+    s.push('\n');
+    for r in results {
+        s.push_str(&format!(
+            "{:<22} {:>12.1} {:>8.1}x {:>12}\n",
+            r.config,
+            r.total_ms,
+            baseline / r.total_ms,
+            r.total_obligations
+        ));
+    }
+    s
+}
+
+/// One §6.3 utility experiment: a seeded mutation and whether the
+/// automation caught it.
+#[derive(Debug, Clone)]
+pub struct UtilityResult {
+    /// What was mutated.
+    pub mutation: &'static str,
+    /// The property expected to fail.
+    pub property: &'static str,
+    /// Whether verification (correctly) failed.
+    pub caught: bool,
+    /// Whether the bounded falsifier found a concrete counterexample.
+    pub counterexample: bool,
+}
+
+/// Runs the seeded-bug experiment of §6.3 on the benchmark kernels.
+pub fn run_utility() -> Vec<UtilityResult> {
+    use reflex_verify::{falsify, prove, FalsifyOptions};
+    let cases: Vec<(&'static str, String, &'static str)> = vec![
+        (
+            "browser: socket handler loses its domain check",
+            reflex_kernels::browser::SOURCE.replace(
+                "    if (host == sender.domain) {\n      send(N, Connect(host));\n    }",
+                "    send(N, Connect(host));",
+            ),
+            "SocketsOnlyToOwnDomain",
+        ),
+        (
+            "car: crash handler forgets to latch `crashed`",
+            reflex_kernels::car::SOURCE.replace("    crashed = true;\n", ""),
+            "NoLockAfterCrash",
+        ),
+        (
+            "ssh: attempts counter reset on success",
+            reflex_kernels::ssh::SOURCE.replace(
+                "    auth_ok = true;\n  }",
+                "    auth_ok = true;\n    attempts = 0;\n  }",
+            ),
+            "FirstAttemptOnlyOnce",
+        ),
+        (
+            "webserver: duplicate-session guard removed",
+            reflex_kernels::webserver::SOURCE.replace(
+                "    lookup Client(c : c.user == user) {\n    } else {\n      n <- spawn Client(user);\n    }",
+                "    n <- spawn Client(user);",
+            ),
+            "ClientsNeverDuplicated",
+        ),
+    ];
+    let options = ProverOptions::default();
+    cases
+        .into_iter()
+        .map(|(mutation, src, property)| {
+            let program =
+                reflex_parser::parse_program("mutant", &src).expect("mutant parses");
+            let checked = reflex_typeck::check(&program).expect("mutant checks");
+            let caught = !prove(&checked, property, &options)
+                .expect("property exists")
+                .is_proved();
+            let counterexample = falsify(
+                &checked,
+                property,
+                &FalsifyOptions {
+                    max_exchanges: 4,
+                    ..FalsifyOptions::default()
+                },
+            )
+            .is_some();
+            UtilityResult {
+                mutation,
+                property,
+                caught,
+                counterexample,
+            }
+        })
+        .collect()
+}
+
+/// Renders the utility experiment as a text table.
+pub fn render_utility(results: &[UtilityResult]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<55} {:<28} {:>7} {:>8}\n",
+        "seeded mutation", "property", "caught", "cex"
+    ));
+    s.push_str(&"-".repeat(102));
+    s.push('\n');
+    for r in results {
+        s.push_str(&format!(
+            "{:<55} {:<28} {:>7} {:>8}\n",
+            r.mutation,
+            r.property,
+            if r.caught { "yes" } else { "NO" },
+            if r.counterexample { "found" } else { "-" }
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_in_paper_ballpark() {
+        let rows = table1();
+        assert_eq!(rows.len(), 7);
+        for r in rows {
+            assert!(r.kernel_loc > 10, "{}: {}", r.name, r.kernel_loc);
+            assert!(r.props_loc > 3, "{}: {}", r.name, r.props_loc);
+            if let Some((pk, pp)) = r.paper {
+                // Same order of magnitude as the paper's counts.
+                assert!(r.kernel_loc < pk * 3 && r.kernel_loc > pk / 3, "{}", r.name);
+                assert!(r.props_loc < pp * 3 && r.props_loc > pp / 3, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn utility_catches_every_seeded_bug() {
+        for r in run_utility() {
+            assert!(r.caught, "{} was not caught", r.mutation);
+            assert!(r.counterexample, "{}: no counterexample", r.mutation);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Synthetic workload generator for the optimization-scaling experiment.
+//!
+//! The paper reports 80× average (1000× peak) speedups from its proof
+//! search optimizations (§6.4). Those factors are functions of kernel
+//! *size*: the syntactic skip avoids symbolically evaluating every
+//! handler that cannot matter, and path pruning avoids exploring branches
+//! the path condition already closes. On the (small) benchmark kernels
+//! our native search is fast either way; this generator produces kernels
+//! with `n` message types and branch-heavy handlers so the ablation's
+//! scaling shape can be measured — the optimized configuration is
+//! near-constant in the irrelevant-handler count while the unoptimized
+//! one grows with it.
+
+use reflex_ast::build::ProgramBuilder;
+use reflex_ast::{
+    ActionPat, CompPat, Expr, PatField, Program, PropertyDecl, TracePropKind, Ty,
+};
+
+/// Generates a stress kernel with `n_msgs` message types, each with a
+/// handler of `depth` nested (partially infeasible) branches, plus one
+/// guarded "grant" handler and an `Enables` property about it.
+///
+/// Only the grant handler can emit the property's trigger, so the
+/// syntactic skip closes the other `n_msgs` cases instantly; without it
+/// the prover symbolically evaluates ~`2^depth` paths per case.
+pub fn stress_kernel(n_msgs: usize, depth: usize) -> Program {
+    let mut b = ProgramBuilder::new("stress")
+        .component("Worker", "worker.py", [])
+        .component("Sink", "sink.py", [])
+        .message("Auth", [Ty::Str])
+        .message("Grant", [Ty::Str])
+        .message("Granted", [Ty::Str])
+        .state("who", Ty::Str, Expr::lit(""))
+        .state("armed", Ty::Bool, Expr::lit(false))
+        .init_spawn("w", "Worker", [])
+        .init_spawn("s", "Sink", []);
+
+    // The property-relevant handlers.
+    b = b.handler("Worker", "Auth", ["u"], |h| {
+        h.assign("who", Expr::var("u"));
+        h.assign("armed", Expr::lit(true));
+    });
+    b = b.handler("Worker", "Grant", ["u"], |h| {
+        h.when(
+            Expr::var("armed").and(Expr::var("u").eq(Expr::var("who"))),
+            |t| {
+                t.send(Expr::var("s"), "Granted", [Expr::var("u")]);
+            },
+        );
+    });
+
+    // `n_msgs` irrelevant, branch-heavy handlers. Each nests `depth`
+    // branches whose conditions repeat, so half the syntactic paths are
+    // infeasible — pruning collapses them.
+    let msg_names: Vec<String> = (0..n_msgs).map(|i| format!("Noise{i}")).collect();
+    for name in &msg_names {
+        b = b.message(name.clone(), [Ty::Num]);
+    }
+    for name in &msg_names {
+        b = b.handler("Worker", name.clone(), ["n"], |h| {
+            fn nest(h: &mut reflex_ast::build::CmdBuilder, depth: usize) {
+                if depth == 0 {
+                    h.assign("who", Expr::var("who").cat(Expr::lit("")));
+                    return;
+                }
+                // The same condition at every level: one side of each
+                // inner branch is infeasible.
+                h.if_else(
+                    Expr::var("n").lt(Expr::lit(0i64)),
+                    |t| nest(t, depth - 1),
+                    |e| nest(e, depth - 1),
+                );
+            }
+            nest(h, depth);
+        });
+    }
+
+    b.property(PropertyDecl::trace(
+        "AuthBeforeGrant",
+        [("u", Ty::Str)],
+        TracePropKind::Enables,
+        ActionPat::Recv {
+            comp: CompPat::of_type("Worker"),
+            msg: "Auth".into(),
+            args: vec![PatField::var("u")],
+        },
+        ActionPat::Send {
+            comp: CompPat::of_type("Sink"),
+            msg: "Granted".into(),
+            args: vec![PatField::var("u")],
+        },
+    ))
+    .finish()
+}
+
+/// Measures verification time of the stress kernel's property under the
+/// given options; returns milliseconds.
+pub fn verify_stress_ms(program: &Program, options: &reflex_verify::ProverOptions) -> f64 {
+    let checked = reflex_typeck::check(program).expect("stress kernel checks");
+    let t0 = std::time::Instant::now();
+    let abs = reflex_verify::Abstraction::build(&checked, options);
+    let outcome =
+        reflex_verify::prove_with(&abs, "AuthBeforeGrant", options).expect("property exists");
+    assert!(outcome.is_proved(), "stress property must verify");
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// One point of the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Number of irrelevant message handlers.
+    pub n_msgs: usize,
+    /// Optimized time (ms).
+    pub optimized_ms: f64,
+    /// Unoptimized time (ms).
+    pub unoptimized_ms: f64,
+}
+
+/// Runs the scaling sweep: kernels of growing size, optimized vs.
+/// unoptimized.
+pub fn run_scaling(sizes: &[usize], depth: usize) -> Vec<ScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n_msgs| {
+            let program = stress_kernel(n_msgs, depth);
+            let optimized_ms =
+                verify_stress_ms(&program, &reflex_verify::ProverOptions::optimized());
+            let unoptimized_ms =
+                verify_stress_ms(&program, &reflex_verify::ProverOptions::unoptimized());
+            ScalingPoint {
+                n_msgs,
+                optimized_ms,
+                unoptimized_ms,
+            }
+        })
+        .collect()
+}
+
+/// Runs the depth sweep: fixed handler count, growing branch depth (the
+/// per-handler path count is `2^depth`, so the unoptimized cost grows
+/// exponentially while pruning keeps the optimized cost flat).
+pub fn run_depth_scaling(n_msgs: usize, depths: &[usize]) -> Vec<ScalingPoint> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let program = stress_kernel(n_msgs, depth);
+            let optimized_ms =
+                verify_stress_ms(&program, &reflex_verify::ProverOptions::optimized());
+            let unoptimized_ms =
+                verify_stress_ms(&program, &reflex_verify::ProverOptions::unoptimized());
+            ScalingPoint {
+                n_msgs: depth, // reuse the field as the x-axis
+                optimized_ms,
+                unoptimized_ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders the scaling sweep as a text table.
+pub fn render_scaling(points: &[ScalingPoint]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:>8} {:>14} {:>16} {:>9}\n",
+        "handlers", "optimized(ms)", "unoptimized(ms)", "speedup"
+    ));
+    s.push_str(&"-".repeat(52));
+    s.push('\n');
+    for p in points {
+        s.push_str(&format!(
+            "{:>8} {:>14.2} {:>16.2} {:>8.1}x\n",
+            p.n_msgs,
+            p.optimized_ms,
+            p.unoptimized_ms,
+            p.unoptimized_ms / p.optimized_ms
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stress_kernels_verify_under_all_configurations() {
+        let program = stress_kernel(4, 3);
+        for options in [
+            reflex_verify::ProverOptions::optimized(),
+            reflex_verify::ProverOptions::unoptimized(),
+        ] {
+            let ms = verify_stress_ms(&program, &options);
+            assert!(ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn generated_kernels_are_well_formed_at_scale() {
+        for n in [0, 1, 8, 32] {
+            let program = stress_kernel(n, 4);
+            reflex_typeck::check(&program).expect("checks");
+            assert_eq!(program.messages.len(), 3 + n);
+        }
+    }
+}

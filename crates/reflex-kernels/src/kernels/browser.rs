@@ -1,0 +1,21 @@
+//! The web browser kernel, first variant (Figure 6 rows `browser:9–14`).
+//!
+//! A Quark-style browser kernel: each tab runs in its own process, cookies
+//! are cached by one cookie process per domain, and the kernel mediates
+//! every interaction — tab creation, cookie traffic, and socket opening.
+//! Unlike Quark's broadcast of cookie updates, this kernel routes each
+//! cookie message individually with `lookup` (the paper's `broadcast` →
+//! `lookup` design lesson, §7).
+
+/// Concrete `.rx` source of the browser kernel (variant 1).
+pub const SOURCE: &str = include_str!("../../rx/browser.rx");
+
+/// Parses the browser kernel (variant 1).
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("browser", SOURCE).expect("browser kernel parses")
+}
+
+/// Parses and type-checks the browser kernel (variant 1).
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("browser kernel is well-formed")
+}

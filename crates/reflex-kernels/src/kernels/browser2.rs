@@ -1,0 +1,21 @@
+//! The web browser kernel, second variant (Figure 6 rows `browser2:15–21`).
+//!
+//! This variant explores a different cookie protocol (the paper: "the
+//! quark variants explore implementation trade-offs for handling
+//! cookies"): tabs *fetch* cookies on demand (`GetCookie`/`Fetch`/`Value`)
+//! instead of receiving pushes, which splits the "cookies stay in their
+//! domain" policy into separate tab-side and cookie-process-side
+//! properties (two Figure 6 rows instead of one).
+
+/// Concrete `.rx` source of the browser kernel (variant 2).
+pub const SOURCE: &str = include_str!("../../rx/browser2.rx");
+
+/// Parses the browser kernel (variant 2).
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("browser2", SOURCE).expect("browser2 kernel parses")
+}
+
+/// Parses and type-checks the browser kernel (variant 2).
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("browser2 kernel is well-formed")
+}

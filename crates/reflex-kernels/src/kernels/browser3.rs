@@ -1,0 +1,20 @@
+//! The web browser kernel, third variant (Figure 6 rows `browser3:22–28`).
+//!
+//! This variant adds world interaction to the hot paths — a `prefetch`
+//! call when a tab is created and a `fetch_favicon` call on navigation —
+//! which stresses the treatment of non-deterministic contexts in both the
+//! trace proofs and the non-interference analysis. Cookie handling uses
+//! the connect-then-push protocol of variant 1.
+
+/// Concrete `.rx` source of the browser kernel (variant 3).
+pub const SOURCE: &str = include_str!("../../rx/browser3.rx");
+
+/// Parses the browser kernel (variant 3).
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("browser3", SOURCE).expect("browser3 kernel parses")
+}
+
+/// Parses and type-checks the browser kernel (variant 3).
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("browser3 kernel is well-formed")
+}

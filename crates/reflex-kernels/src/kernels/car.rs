@@ -1,0 +1,19 @@
+//! The automobile controller benchmark (paper §6.1, Figure 5 extended).
+//!
+//! A "substantially more detailed version of the hypothetical automobile
+//! controller": the kernel mediates between the engine, brakes, doors,
+//! radio, airbags and cruise control. Its eight properties (Figure 6 rows
+//! `car:1–8`) exercise every trace primitive plus non-interference.
+
+/// Concrete `.rx` source of the car kernel.
+pub const SOURCE: &str = include_str!("../../rx/car.rx");
+
+/// Parses the car kernel.
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("car", SOURCE).expect("car kernel parses")
+}
+
+/// Parses and type-checks the car kernel.
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("car kernel is well-formed")
+}

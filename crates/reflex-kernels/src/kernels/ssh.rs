@@ -1,0 +1,24 @@
+//! The SSH server benchmark (paper §2 and §6.1, Figure 6 rows `ssh:29–33`).
+//!
+//! A privilege-separated SSH daemon in the style of Provos et al.: the
+//! untrusted `Client` (connection manager) talks to the network; the
+//! `Pass` component checks passwords against the system password file; the
+//! `Term` component allocates pseudo-terminals. The kernel enforces that
+//! (1) clients authenticate before receiving a PTY and (2) at most three
+//! authentication attempts are ever forwarded — the attempt number is
+//! stamped into each forwarded `CheckPass`, which lets the "at most 3"
+//! policy be expressed with the five trace primitives (the paper encodes
+//! it as four properties the same way).
+
+/// Concrete `.rx` source of the SSH kernel.
+pub const SOURCE: &str = include_str!("../../rx/ssh.rx");
+
+/// Parses the SSH kernel.
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("ssh", SOURCE).expect("ssh kernel parses")
+}
+
+/// Parses and type-checks the SSH kernel.
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("ssh kernel is well-formed")
+}

@@ -1,0 +1,20 @@
+//! The second SSH variant (Figure 6 rows `ssh2:34–35`): "uses a separate
+//! component to count authentication attempts".
+//!
+//! Instead of an in-kernel counter, login attempts are forwarded to a
+//! dedicated `Counter` component; only attempts it approves reach the
+//! password checker. The headline property is that every password check
+//! was approved by the counter.
+
+/// Concrete `.rx` source of the ssh2 kernel.
+pub const SOURCE: &str = include_str!("../../rx/ssh2.rx");
+
+/// Parses the ssh2 kernel.
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("ssh2", SOURCE).expect("ssh2 kernel parses")
+}
+
+/// Parses and type-checks the ssh2 kernel.
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("ssh2 kernel is well-formed")
+}

@@ -1,0 +1,22 @@
+//! The web server benchmark (paper §6.1, Figure 6 rows `webserver:36–41`).
+//!
+//! "A simple file server with authentication. It comprises four
+//! components: one listens on the network, one performs access control
+//! checks, one accesses the filesystem, and one handles
+//! successfully-connected clients." This is the benchmark the paper kept
+//! untouched while developing the automation (§6.3) — two of its
+//! originally-stated policies turned out to be false; see
+//! `tests/utility_mutations.rs` for the reproduction of that anecdote.
+
+/// Concrete `.rx` source of the web server kernel.
+pub const SOURCE: &str = include_str!("../../rx/webserver.rx");
+
+/// Parses the web server kernel.
+pub fn program() -> reflex_ast::Program {
+    reflex_parser::parse_program("webserver", SOURCE).expect("webserver kernel parses")
+}
+
+/// Parses and type-checks the web server kernel.
+pub fn checked() -> reflex_typeck::CheckedProgram {
+    reflex_typeck::check(&program()).expect("webserver kernel is well-formed")
+}

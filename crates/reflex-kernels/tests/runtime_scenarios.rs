@@ -1,0 +1,324 @@
+//! End-to-end runtime scenarios: each benchmark kernel is actually *run*
+//! with scripted components, and every produced trace is (a) a member of
+//! the behavioral abstraction and (b) satisfies the kernel's verified
+//! trace properties — the dynamic counterpart of the proofs.
+
+use reflex_ast::Value;
+use reflex_runtime::oracle::check_trace_inclusion;
+use reflex_runtime::{EmptyWorld, Interpreter, Registry, ScriptedBehavior, ScriptedWorld};
+use reflex_trace::{check_trace_properties, Action, Msg};
+
+fn assert_run_is_sound(checked: &reflex_typeck::CheckedProgram, kernel: &Interpreter) {
+    check_trace_inclusion(checked, kernel.trace())
+        .unwrap_or_else(|e| panic!("{}: {e}\n{}", checked.program().name, kernel.trace()));
+    check_trace_properties(kernel.trace(), &checked.program().properties).unwrap_or_else(
+        |(name, e)| panic!("{}: property {name} violated at runtime: {e}", checked.program().name),
+    );
+}
+
+#[test]
+fn car_crash_scenario() {
+    let checked = reflex_kernels::car::checked();
+    let mut kernel =
+        Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), 5).expect("boots");
+    let engine = kernel.components_of("Engine")[0].id;
+    let radio = kernel.components_of("Radio")[0].id;
+    let brakes = kernel.components_of("Brakes")[0].id;
+
+    // Normal driving: radio locks the doors, brakes kill cruise control.
+    kernel.inject(radio, Msg::new("LockReq", [])).unwrap();
+    kernel.inject(brakes, Msg::new("Braking", [])).unwrap();
+    kernel.run(10).unwrap();
+    assert!(kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { comp, msg } if comp.ctype == "Doors" && msg.name == "Lock"
+    )));
+
+    // Crash: airbags deploy, doors unlock, and locking is now refused.
+    kernel.inject(engine, Msg::new("Crash", [])).unwrap();
+    kernel.run(10).unwrap();
+    assert_eq!(kernel.state_var("crashed"), Some(&Value::Bool(true)));
+    let lock_count = kernel
+        .trace()
+        .iter_chrono()
+        .filter(|a| matches!(a, Action::Send { comp, msg } if comp.ctype == "Doors" && msg.name == "Lock"))
+        .count();
+    kernel.inject(radio, Msg::new("LockReq", [])).unwrap();
+    kernel.run(10).unwrap();
+    let lock_count_after = kernel
+        .trace()
+        .iter_chrono()
+        .filter(|a| matches!(a, Action::Send { comp, msg } if comp.ctype == "Doors" && msg.name == "Lock"))
+        .count();
+    assert_eq!(lock_count, lock_count_after, "no Lock after a crash");
+
+    assert_run_is_sound(&checked, &kernel);
+}
+
+#[test]
+fn ssh_login_and_pty_scenario() {
+    let checked = reflex_kernels::ssh::checked();
+    let registry = Registry::new()
+        .register("ssh-pass-auth.c", |_| {
+            Box::new(ScriptedBehavior::new().replies("CheckPass", |m| {
+                // Approve alice with the right password, whatever attempt.
+                if m.args[1] == Value::from("alice") && m.args[2] == Value::from("hunter2") {
+                    vec![Msg::new("PassOk", [m.args[1].clone()])]
+                } else {
+                    vec![Msg::new("PassFail", [m.args[1].clone()])]
+                }
+            }))
+        })
+        .register("ssh-pty-alloc.c", |_| {
+            Box::new(ScriptedBehavior::new().replies("CreatePty", |m| {
+                vec![Msg::new(
+                    "PtyCreated",
+                    [m.args[0].clone(), Value::Fdesc(reflex_ast::Fdesc::new(42))],
+                )]
+            }))
+        });
+    let mut kernel =
+        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 9).expect("boots");
+    let client = kernel.components_of("Client")[0].id;
+
+    // Two failed attempts, then a good one — then five more (ignored).
+    for pass in ["wrong", "nope", "hunter2", "x", "x", "x", "x", "x"] {
+        kernel
+            .inject(
+                client,
+                Msg::new("LoginReq", [Value::from("alice"), Value::from(pass)]),
+            )
+            .unwrap();
+    }
+    kernel.run(40).unwrap();
+    // The attempt cap held: exactly 3 CheckPass sends.
+    let checks = kernel
+        .trace()
+        .iter_chrono()
+        .filter(|a| matches!(a, Action::Send { msg, .. } if msg.name == "CheckPass"))
+        .count();
+    assert_eq!(checks, 3);
+    assert_eq!(kernel.state_var("auth_ok"), Some(&Value::Bool(true)));
+
+    // PTY handshake.
+    kernel
+        .inject(client, Msg::new("PtyReq", [Value::from("alice")]))
+        .unwrap();
+    kernel.run(10).unwrap();
+    assert!(kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { comp, msg } if comp.ctype == "Client" && msg.name == "PtyHandle"
+    )));
+
+    assert_run_is_sound(&checked, &kernel);
+}
+
+#[test]
+fn browser_two_domains_scenario() {
+    let checked = reflex_kernels::browser::checked();
+    let mut kernel =
+        Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), 21).expect("boots");
+    let chrome = kernel.components_of("Chrome")[0].id;
+
+    // Open three tabs across two domains.
+    for d in ["a.org", "b.org", "a.org"] {
+        kernel
+            .inject(chrome, Msg::new("NewTab", [Value::from(d)]))
+            .unwrap();
+    }
+    kernel.run(10).unwrap();
+    assert_eq!(kernel.components_of("Tab").len(), 3);
+
+    // Tabs set cookies; one cookie process per domain appears.
+    let tabs: Vec<_> = kernel
+        .components_of("Tab")
+        .iter()
+        .map(|t| (t.id, t.config[0].clone()))
+        .collect();
+    for (id, _) in &tabs {
+        kernel
+            .inject(*id, Msg::new("SetCookie", [Value::from("k=v")]))
+            .unwrap();
+        kernel.inject(*id, Msg::new("ConnectCookie", [])).unwrap();
+    }
+    kernel.run(30).unwrap();
+    assert_eq!(kernel.components_of("CookieMgr").len(), 2);
+
+    // Socket policy: same-domain allowed, cross-domain dropped.
+    let (tab_a, _) = tabs[0].clone();
+    kernel
+        .inject(tab_a, Msg::new("OpenSocket", [Value::from("a.org")]))
+        .unwrap();
+    kernel
+        .inject(tab_a, Msg::new("OpenSocket", [Value::from("evil.org")]))
+        .unwrap();
+    kernel.run(10).unwrap();
+    let connects: Vec<Value> = kernel
+        .trace()
+        .iter_chrono()
+        .filter_map(|a| match a {
+            Action::Send { comp, msg } if comp.ctype == "Net" && msg.name == "Connect" => {
+                Some(msg.args[0].clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(connects, vec![Value::from("a.org")]);
+
+    assert_run_is_sound(&checked, &kernel);
+}
+
+#[test]
+fn browser3_world_calls_scenario() {
+    let checked = reflex_kernels::browser3::checked();
+    let world = ScriptedWorld::new()
+        .provides("prefetch", |args| {
+            format!("cached:{}", args[0].as_str().unwrap_or(""))
+        })
+        .provides("fetch_favicon", |_| "icon-bytes".to_owned());
+    let mut kernel =
+        Interpreter::new(&checked, Registry::new(), Box::new(world), 2).expect("boots");
+    let chrome = kernel.components_of("Chrome")[0].id;
+    kernel
+        .inject(chrome, Msg::new("NewTab", [Value::from("a.org")]))
+        .unwrap();
+    kernel.run(10).unwrap();
+    let tab = kernel.components_of("Tab")[0].id;
+    kernel
+        .inject(tab, Msg::new("Navigate", [Value::from("a.org")]))
+        .unwrap();
+    kernel.run(10).unwrap();
+
+    // The prefetch result reached the tab; the favicon followed navigation.
+    assert!(kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { msg, .. } if msg.name == "Prefetched" && msg.args[1] == Value::from("cached:a.org")
+    )));
+    assert!(kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { msg, .. } if msg.name == "Favicon" && msg.args[0] == Value::from("icon-bytes")
+    )));
+    assert_run_is_sound(&checked, &kernel);
+}
+
+#[test]
+fn webserver_session_scenario() {
+    let checked = reflex_kernels::webserver::checked();
+    let registry = Registry::new()
+        .register("ws-access-ctl.py", |_| {
+            Box::new(
+                ScriptedBehavior::new()
+                    .replies("AuthCheck", |m| {
+                        if m.args[1] == Value::from("sesame") {
+                            vec![Msg::new("AuthYes", [m.args[0].clone()])]
+                        } else {
+                            vec![Msg::new("AuthNo", [m.args[0].clone()])]
+                        }
+                    })
+                    .replies("PathCheck", |m| {
+                        if m.args[1] == Value::from("/public/index.html") {
+                            vec![Msg::new("PathOk", [m.args[0].clone(), m.args[1].clone()])]
+                        } else {
+                            vec![Msg::new("PathNo", [m.args[0].clone(), m.args[1].clone()])]
+                        }
+                    }),
+            )
+        })
+        .register("ws-disk.py", |_| {
+            Box::new(ScriptedBehavior::new().replies("ReadFile", |m| {
+                vec![Msg::new(
+                    "FileData",
+                    [m.args[0].clone(), Value::from("<html>hello</html>")],
+                )]
+            }))
+        });
+    let mut kernel =
+        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 17).expect("boots");
+    let listener = kernel.components_of("Listener")[0].id;
+
+    // Login (twice — the client session must not duplicate).
+    for _ in 0..2 {
+        kernel
+            .inject(
+                listener,
+                Msg::new("ConnReq", [Value::from("alice"), Value::from("sesame")]),
+            )
+            .unwrap();
+    }
+    kernel.run(20).unwrap();
+    assert_eq!(kernel.components_of("Client").len(), 1);
+
+    // Authorized file request flows through ACL → disk → client.
+    let client = kernel.components_of("Client")[0].id;
+    kernel
+        .inject(client, Msg::new("FileReq", [Value::from("/public/index.html")]))
+        .unwrap();
+    kernel.run(20).unwrap();
+    assert!(kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { comp, msg } if comp.ctype == "Client"
+            && msg.name == "Deliver"
+            && msg.args[1] == Value::from("<html>hello</html>")
+    )));
+
+    // Unauthorized path never reaches the disk.
+    kernel
+        .inject(client, Msg::new("FileReq", [Value::from("/etc/shadow")]))
+        .unwrap();
+    kernel.run(20).unwrap();
+    let reads: Vec<Value> = kernel
+        .trace()
+        .iter_chrono()
+        .filter_map(|a| match a {
+            Action::Send { comp, msg } if comp.ctype == "Disk" && msg.name == "ReadFile" => {
+                Some(msg.args[0].clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(reads, vec![Value::from("/public/index.html")]);
+
+    assert_run_is_sound(&checked, &kernel);
+}
+
+#[test]
+fn ssh2_counter_scenario() {
+    let checked = reflex_kernels::ssh2::checked();
+    let registry = Registry::new()
+        .register("ssh-attempt-counter.c", |_| {
+            let mut seen = 0;
+            Box::new(ScriptedBehavior::new().replies("CountReq", move |m| {
+                seen += 1;
+                if seen <= 3 {
+                    vec![Msg::new("Approved", [m.args[0].clone(), m.args[1].clone()])]
+                } else {
+                    vec![Msg::new("Rejected", [])]
+                }
+            }))
+        })
+        .register("ssh-pass-auth.c", |_| {
+            Box::new(ScriptedBehavior::new().replies("CheckPass2", |m| {
+                vec![Msg::new("PassOk", [m.args[0].clone()])]
+            }))
+        });
+    let mut kernel =
+        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 3).expect("boots");
+    let client = kernel.components_of("Client")[0].id;
+    for _ in 0..5 {
+        kernel
+            .inject(
+                client,
+                Msg::new("LoginReq", [Value::from("bob"), Value::from("pw")]),
+            )
+            .unwrap();
+    }
+    kernel.run(40).unwrap();
+    // Counter cut off the fourth and fifth attempts.
+    let forwarded = kernel
+        .trace()
+        .iter_chrono()
+        .filter(|a| matches!(a, Action::Send { msg, .. } if msg.name == "CheckPass2"))
+        .count();
+    assert_eq!(forwarded, 3);
+    assert_run_is_sound(&checked, &kernel);
+}

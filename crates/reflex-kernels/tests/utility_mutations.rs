@@ -1,0 +1,167 @@
+//! Reproduction of the paper's §6.3 utility anecdotes:
+//!
+//! 1. On the *untouched* web server benchmark, some initially-stated
+//!    policies turned out to be **false** — the automation failed, and the
+//!    failures were real bugs in the policy statements. We reproduce this
+//!    with two plausible-but-false policies: the falsifier produces
+//!    concrete counterexample traces, and the corrected statements verify.
+//! 2. "During substantial modification of the web browser … we
+//!    inadvertently introduced subtle bugs which we did not discover until
+//!    our proof automation failed": we seed such bugs by mutation and show
+//!    the affected properties (and only those shapes of property) stop
+//!    verifying.
+
+use reflex_parser::parse_program;
+use reflex_typeck::check;
+use reflex_verify::{falsify, prove, FalsifyOptions, ProverOptions};
+
+fn checked_src(name: &str, src: &str) -> reflex_typeck::CheckedProgram {
+    check(&parse_program(name, src).expect("parses")).expect("well-formed")
+}
+
+#[test]
+fn false_webserver_policies_fail_and_falsify() {
+    // Plausible-but-false policy #1: "every authorization check is
+    // answered positively before a file is delivered *for that user*"
+    // stated with the wrong pattern: it demands PathOk for every Deliver
+    // *payload path*, but deliveries are driven by FileData, which an
+    // untrusted Disk component can send spontaneously.
+    let src = reflex_kernels::webserver::SOURCE.replace(
+        "properties {",
+        r#"properties {
+  FalseDeliverNeedsPathOk: forall p: str.
+    [Recv(AccessCtl(), PathOk(_, p))] Enables [Send(Client(_), Deliver(p, _))];
+  FalseSingleAuth: forall u: str.
+    [Recv(AccessCtl(), AuthYes(u))] Disables [Recv(AccessCtl(), AuthYes(u))];
+"#,
+    );
+    let c = checked_src("webserver-false", &src);
+    let options = ProverOptions::default();
+
+    // Both fail to verify…
+    for prop in ["FalseDeliverNeedsPathOk", "FalseSingleAuth"] {
+        let outcome = prove(&c, prop, &options).expect("exists");
+        assert!(!outcome.is_proved(), "{prop} should not verify");
+    }
+    // …and both are genuinely false: concrete counterexamples exist.
+    let cx = falsify(
+        &c,
+        "FalseDeliverNeedsPathOk",
+        &FalsifyOptions {
+            max_exchanges: 3,
+            ..FalsifyOptions::default()
+        },
+    )
+    .expect("the disk can push FileData without any PathOk");
+    assert!(cx.trace.len() >= 2);
+
+    let cx = falsify(
+        &c,
+        "FalseSingleAuth",
+        &FalsifyOptions {
+            max_exchanges: 3,
+            ..FalsifyOptions::default()
+        },
+    )
+    .expect("the access controller may re-confirm a login");
+    assert!(cx.trace.len() >= 4);
+
+    // The *corrected* statements (the ones actually in the benchmark)
+    // still verify on the same program.
+    for prop in ["DeliverOnlyDiskData", "ClientsNeverDuplicated"] {
+        let outcome = prove(&c, prop, &options).expect("exists");
+        assert!(outcome.is_proved(), "{prop} should verify");
+    }
+}
+
+#[test]
+fn seeded_browser_bug_is_caught_by_the_automation() {
+    // Mutation: during a "protocol change", the socket handler loses its
+    // domain check.
+    let src = reflex_kernels::browser::SOURCE.replace(
+        "  when Tab:OpenSocket(host) {\n    if (host == sender.domain) {\n      send(N, Connect(host));\n    }\n  }",
+        "  when Tab:OpenSocket(host) {\n    send(N, Connect(host));\n  }",
+    );
+    assert_ne!(src, reflex_kernels::browser::SOURCE, "mutation applied");
+    let c = checked_src("browser-buggy", &src);
+    let options = ProverOptions::default();
+
+    let outcome = prove(&c, "SocketsOnlyToOwnDomain", &options).expect("exists");
+    assert!(!outcome.is_proved(), "the mutation must be caught");
+    // Unrelated properties keep verifying.
+    for prop in ["UniqueTabIds", "UniqueCookieMgrPerDomain", "CookiesStayInDomain"] {
+        let outcome = prove(&c, prop, &options).expect("exists");
+        assert!(outcome.is_proved(), "{prop} unaffected by the mutation");
+    }
+}
+
+#[test]
+fn seeded_cookie_isolation_bug_breaks_ni() {
+    // Mutation: the cookie push handler routes to *any* tab, not just the
+    // cookie process's own domain — cross-domain interference.
+    let src = reflex_kernels::browser::SOURCE.replace(
+        "lookup Tab(t : t.domain == sender.domain) {\n      send(t, Cookie(sender.domain, v));\n    }",
+        "lookup Tab(t : t.id <= tab_counter) {\n      send(t, Cookie(sender.domain, v));\n    }",
+    );
+    assert_ne!(src, reflex_kernels::browser::SOURCE, "mutation applied");
+    let c = checked_src("browser-leaky", &src);
+    let options = ProverOptions::default();
+
+    let outcome = prove(&c, "DomainNI", &options).expect("exists");
+    let failure = outcome.failure().expect("NI must fail");
+    assert!(
+        failure.reason.contains("possibly-high") || failure.reason.contains("lookup"),
+        "unexpected reason: {failure}"
+    );
+}
+
+#[test]
+fn seeded_attempt_counter_bug_is_caught() {
+    // Mutation: the reset-on-success "optimization" silently reopens the
+    // attempt limit.
+    let src = reflex_kernels::ssh::SOURCE.replace(
+        "  when Pass:PassOk(user) {\n    auth_user = user;\n    auth_ok = true;\n  }",
+        "  when Pass:PassOk(user) {\n    auth_user = user;\n    auth_ok = true;\n    attempts = 0;\n  }",
+    );
+    assert_ne!(src, reflex_kernels::ssh::SOURCE, "mutation applied");
+    let c = checked_src("ssh-reset", &src);
+    let options = ProverOptions::default();
+
+    // Uniqueness of the first attempt is now false: after a successful
+    // login the counter restarts and CheckPass(1, …) repeats.
+    let outcome = prove(&c, "FirstAttemptOnlyOnce", &options).expect("exists");
+    assert!(!outcome.is_proved(), "reset bug must be caught");
+    // Authentication ordering is unaffected.
+    let outcome = prove(&c, "LoginEnablesPty", &options).expect("exists");
+    assert!(outcome.is_proved());
+}
+
+#[test]
+fn seeded_car_bug_is_caught() {
+    // Mutation: the crash handler forgets to latch `crashed`.
+    let src = reflex_kernels::car::SOURCE.replace(
+        "    send(A, Deploy());\n    send(D, Unlock());\n    crashed = true;",
+        "    send(A, Deploy());\n    send(D, Unlock());",
+    );
+    assert_ne!(src, reflex_kernels::car::SOURCE, "mutation applied");
+    let c = checked_src("car-nolatch", &src);
+    let options = ProverOptions::default();
+
+    let outcome = prove(&c, "NoLockAfterCrash", &options).expect("exists");
+    assert!(!outcome.is_proved());
+    let cx = falsify(
+        &c,
+        "NoLockAfterCrash",
+        &FalsifyOptions {
+            max_exchanges: 3,
+            ..FalsifyOptions::default()
+        },
+    )
+    .expect("crash then lock request violates the policy");
+    assert!(cx.trace.len() >= 4);
+    // The immediate-response properties still hold.
+    for prop in ["AirbagsDeployImmediately", "DoorsUnlockAfterAirbags"] {
+        let outcome = prove(&c, prop, &options).expect("exists");
+        assert!(outcome.is_proved(), "{prop} unaffected");
+    }
+}

@@ -1,0 +1,55 @@
+//! The headline result: every one of the 41 Figure 6 properties is proved
+//! fully automatically, and every certificate validates.
+
+use std::collections::BTreeMap;
+
+use reflex_kernels::{all_benchmarks, figure6};
+use reflex_verify::{check_certificate, prove_all, Abstraction, ProverOptions};
+
+#[test]
+fn all_41_figure6_properties_verify_with_checked_certificates() {
+    let options = ProverOptions::default();
+    let mut outcomes: BTreeMap<(String, String), bool> = BTreeMap::new();
+
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        for (name, outcome) in prove_all(&checked, &options) {
+            match outcome.failure() {
+                None => {}
+                Some(f) => panic!("{}::{name} failed to verify: {f}", bench.name),
+            }
+            let cert = outcome.certificate().expect("proved");
+            check_certificate(&checked, cert, &options).unwrap_or_else(|e| {
+                panic!("{}::{name}: certificate rejected: {e}", bench.name)
+            });
+            outcomes.insert((bench.name.to_owned(), name), true);
+        }
+    }
+
+    // Exactly the Figure 6 inventory, all proved.
+    assert_eq!(figure6::ROWS.len(), 41);
+    for row in &figure6::ROWS {
+        assert_eq!(
+            outcomes.get(&(row.benchmark.to_owned(), row.property.to_owned())),
+            Some(&true),
+            "{}::{} missing from proved set",
+            row.benchmark,
+            row.property
+        );
+    }
+    assert_eq!(outcomes.len(), 41, "no extra properties beyond Figure 6");
+}
+
+#[test]
+fn verification_reuses_one_abstraction_per_kernel() {
+    // The re-verification workflow of §6.4: building the behavioral
+    // abstraction once and proving all properties against it.
+    let options = ProverOptions::default();
+    let checked = reflex_kernels::ssh::checked();
+    let abs = Abstraction::build(&checked, &options);
+    for p in &checked.program().properties {
+        let outcome = reflex_verify::prove_with(&abs, &p.name, &options).expect("exists");
+        assert!(outcome.is_proved(), "{} should verify", p.name);
+    }
+    assert!(abs.path_count() > 10);
+}

@@ -1,0 +1,69 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A line/column source position (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing or parsing `.rx` source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the error occurred (`None` for end-of-input errors).
+    pub pos: Option<Pos>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// An error at a known position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: Some(pos),
+            message: message.into(),
+        }
+    }
+
+    /// An error at end of input.
+    pub fn eof(message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pos {
+            Some(pos) => write!(f, "parse error at {pos}: {}", self.message),
+            None => write!(f, "parse error at end of input: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::at(Pos { line: 3, col: 7 }, "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `;`");
+        let e = ParseError::eof("expected `}`");
+        assert_eq!(e.to_string(), "parse error at end of input: expected `}`");
+    }
+}

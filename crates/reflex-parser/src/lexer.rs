@@ -1,0 +1,483 @@
+//! Lexer for the concrete `.rx` syntax.
+
+use std::fmt;
+
+use crate::error::{ParseError, Pos};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (non-negative; unary minus is an operator).
+    Num(i64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `...`
+    Ellipsis,
+    /// `<-`
+    LArrow,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `+`
+    Plus,
+    /// `++`
+    PlusPlus,
+    /// `-`
+    Minus,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `!`
+    Bang,
+    /// `*`
+    Star,
+    /// `_`
+    Underscore,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Num(n) => write!(f, "`{n}`"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::LBrace => f.write_str("`{`"),
+            Tok::RBrace => f.write_str("`}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::LBracket => f.write_str("`[`"),
+            Tok::RBracket => f.write_str("`]`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Semi => f.write_str("`;`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Ellipsis => f.write_str("`...`"),
+            Tok::LArrow => f.write_str("`<-`"),
+            Tok::Assign => f.write_str("`=`"),
+            Tok::EqEq => f.write_str("`==`"),
+            Tok::NotEq => f.write_str("`!=`"),
+            Tok::AndAnd => f.write_str("`&&`"),
+            Tok::OrOr => f.write_str("`||`"),
+            Tok::Plus => f.write_str("`+`"),
+            Tok::PlusPlus => f.write_str("`++`"),
+            Tok::Minus => f.write_str("`-`"),
+            Tok::Lt => f.write_str("`<`"),
+            Tok::Le => f.write_str("`<=`"),
+            Tok::Bang => f.write_str("`!`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Underscore => f.write_str("`_`"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Position of the token's first character.
+    pub pos: Pos,
+}
+
+/// Tokenizes `.rx` source.
+///
+/// Comments run from `//` to end of line. Whitespace separates tokens.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings, invalid escapes,
+/// numeric overflow or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some((_, ch)) = c {
+                if ch == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    while let Some(&(_, c)) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '/')) => {
+                        while let Some(&(_, ch)) = chars.peek() {
+                            if ch == '\n' {
+                                break;
+                            }
+                            bump!();
+                        }
+                    }
+                    _ => return Err(ParseError::at(pos, "unexpected character `/`")),
+                }
+            }
+            'a'..='z' | 'A'..='Z' => {
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    pos,
+                });
+            }
+            '_' => {
+                bump!();
+                // `_` followed by ident chars is an identifier; alone it is
+                // the wildcard token.
+                let mut s = String::new();
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    out.push(Spanned {
+                        tok: Tok::Underscore,
+                        pos,
+                    });
+                } else {
+                    out.push(Spanned {
+                        tok: Tok::Ident(format!("_{s}")),
+                        pos,
+                    });
+                }
+            }
+            '0'..='9' => {
+                let mut n: i64 = 0;
+                while let Some(&(_, ch)) = chars.peek() {
+                    if let Some(d) = ch.to_digit(10) {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(d as i64))
+                            .ok_or_else(|| ParseError::at(pos, "integer literal overflows i64"))?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Num(n), pos });
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        None => return Err(ParseError::at(pos, "unterminated string literal")),
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match bump!() {
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, 'r')) => s.push('\r'),
+                            Some((_, '0')) => s.push('\0'),
+                            Some((_, 'u')) => {
+                                // \u{XXXX}
+                                match bump!() {
+                                    Some((_, '{')) => {}
+                                    _ => {
+                                        return Err(ParseError::at(
+                                            pos,
+                                            "expected `{` after `\\u` escape",
+                                        ))
+                                    }
+                                }
+                                let mut hex = String::new();
+                                loop {
+                                    match bump!() {
+                                        Some((_, '}')) => break,
+                                        Some((_, h)) if h.is_ascii_hexdigit() => hex.push(h),
+                                        _ => {
+                                            return Err(ParseError::at(
+                                                pos,
+                                                "invalid `\\u{...}` escape",
+                                            ))
+                                        }
+                                    }
+                                }
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .ok()
+                                    .and_then(char::from_u32)
+                                    .ok_or_else(|| {
+                                        ParseError::at(pos, "invalid unicode escape value")
+                                    })?;
+                                s.push(cp);
+                            }
+                            Some((_, other)) => {
+                                return Err(ParseError::at(
+                                    pos,
+                                    format!("unknown escape `\\{other}`"),
+                                ))
+                            }
+                            None => {
+                                return Err(ParseError::at(pos, "unterminated string literal"))
+                            }
+                        },
+                        Some((_, ch)) => s.push(ch),
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), pos });
+            }
+            '{' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBrace, pos });
+            }
+            '}' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBrace, pos });
+            }
+            '(' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LParen, pos });
+            }
+            ')' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RParen, pos });
+            }
+            '[' => {
+                bump!();
+                out.push(Spanned { tok: Tok::LBracket, pos });
+            }
+            ']' => {
+                bump!();
+                out.push(Spanned { tok: Tok::RBracket, pos });
+            }
+            ',' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Comma, pos });
+            }
+            ';' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Semi, pos });
+            }
+            ':' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Colon, pos });
+            }
+            '.' => {
+                bump!();
+                if let Some(&(_, '.')) = chars.peek() {
+                    bump!();
+                    match chars.peek() {
+                        Some(&(_, '.')) => {
+                            bump!();
+                            out.push(Spanned {
+                                tok: Tok::Ellipsis,
+                                pos,
+                            });
+                        }
+                        _ => return Err(ParseError::at(pos, "expected `...`")),
+                    }
+                } else {
+                    out.push(Spanned { tok: Tok::Dot, pos });
+                }
+            }
+            '<' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '-')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::LArrow, pos });
+                    }
+                    Some(&(_, '=')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::Le, pos });
+                    }
+                    _ => out.push(Spanned { tok: Tok::Lt, pos }),
+                }
+            }
+            '=' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::EqEq, pos });
+                    }
+                    _ => out.push(Spanned { tok: Tok::Assign, pos }),
+                }
+            }
+            '!' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::NotEq, pos });
+                    }
+                    _ => out.push(Spanned { tok: Tok::Bang, pos }),
+                }
+            }
+            '&' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '&')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::AndAnd, pos });
+                    }
+                    _ => return Err(ParseError::at(pos, "expected `&&`")),
+                }
+            }
+            '|' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '|')) => {
+                        bump!();
+                        out.push(Spanned { tok: Tok::OrOr, pos });
+                    }
+                    _ => return Err(ParseError::at(pos, "expected `||`")),
+                }
+            }
+            '+' => {
+                bump!();
+                match chars.peek() {
+                    Some(&(_, '+')) => {
+                        bump!();
+                        out.push(Spanned {
+                            tok: Tok::PlusPlus,
+                            pos,
+                        });
+                    }
+                    _ => out.push(Spanned { tok: Tok::Plus, pos }),
+                }
+            }
+            '-' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Minus, pos });
+            }
+            '*' => {
+                bump!();
+                out.push(Spanned { tok: Tok::Star, pos });
+            }
+            other => {
+                return Err(ParseError::at(pos, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn operators_disambiguate() {
+        assert_eq!(
+            toks("<- <= < == = != ! && || + ++ - . ... * _ _x"),
+            vec![
+                Tok::LArrow,
+                Tok::Le,
+                Tok::Lt,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::NotEq,
+                Tok::Bang,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Plus,
+                Tok::PlusPlus,
+                Tok::Minus,
+                Tok::Dot,
+                Tok::Ellipsis,
+                Tok::Star,
+                Tok::Underscore,
+                Tok::Ident("_x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""a\"b" "\n" "\u{263a}""#),
+            vec![
+                Tok::Str("a\"b".into()),
+                Tok::Str("\n".into()),
+                Tok::Str("\u{263a}".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // comment\n b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("a\n  b").expect("lexes");
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("99999999999999999999").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex(r#""\q""#).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Frontend for the concrete Reflex (`.rx`) syntax.
+//!
+//! The paper used a Python frontend to translate concrete Reflex syntax to
+//! the Coq AST, insulating programmers from the dependently typed
+//! embedding; this crate plays the same role for the Rust reproduction. It
+//! is the inverse of the pretty-printer in `reflex-ast`: for every
+//! well-formed program `p`, `parse_program(&p.name, &p.to_string()) == p`.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! components {
+//!   Echo "echo.py" ();
+//! }
+//! messages {
+//!   Ping(str);
+//!   Pong(str);
+//! }
+//! init {
+//!   e <- spawn Echo();
+//! }
+//! handlers {
+//!   when Echo:Ping(s) {
+//!     send(e, Pong(s));
+//!   }
+//! }
+//! properties {
+//!   PongAfterPing: forall s: str.
+//!     [Recv(Echo(), Ping(s))] Enables [Send(Echo(), Pong(s))];
+//! }
+//! "#;
+//! let program = reflex_parser::parse_program("ping", src)?;
+//! assert_eq!(program.handlers.len(), 1);
+//! assert_eq!(program.properties.len(), 1);
+//! # Ok::<(), reflex_parser::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod lexer;
+mod parser;
+
+pub use error::{ParseError, Pos};
+pub use lexer::{lex, Spanned, Tok};
+pub use parser::parse_program;

@@ -1,0 +1,712 @@
+//! Recursive-descent parser for `.rx` programs.
+
+use reflex_ast::{
+    ActionPat, Cmd, CompPat, CompTypeDecl, Expr, Handler, MsgDecl, NiSpec, PatField, Program,
+    PropBody, PropertyDecl, StateVarDecl, TraceProp, TracePropKind, Ty, UnOp, Value,
+};
+
+use crate::error::{ParseError, Pos};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Parses a complete `.rx` program.
+///
+/// `name` becomes [`Program::name`] (diagnostic only — `.rx` files do not
+/// carry a program name).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with its source position.
+pub fn parse_program(name: &str, src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let mut program = Program::new(name);
+    while !p.at_end() {
+        let (kw, pos) = p.expect_ident("section name")?;
+        match kw.as_str() {
+            "components" => {
+                p.expect(Tok::LBrace)?;
+                while !p.eat(Tok::RBrace) {
+                    program.components.push(p.comp_decl()?);
+                }
+            }
+            "messages" => {
+                p.expect(Tok::LBrace)?;
+                while !p.eat(Tok::RBrace) {
+                    program.messages.push(p.msg_decl()?);
+                }
+            }
+            "state" => {
+                p.expect(Tok::LBrace)?;
+                while !p.eat(Tok::RBrace) {
+                    program.state.push(p.state_decl()?);
+                }
+            }
+            "init" => {
+                p.expect(Tok::LBrace)?;
+                let mut cmds = Vec::new();
+                while !p.eat(Tok::RBrace) {
+                    cmds.push(p.stmt()?);
+                }
+                program.init = Cmd::seq(cmds);
+            }
+            "handlers" => {
+                p.expect(Tok::LBrace)?;
+                while !p.eat(Tok::RBrace) {
+                    program.handlers.push(p.handler()?);
+                }
+            }
+            "properties" => {
+                p.expect(Tok::LBrace)?;
+                while !p.eat(Tok::RBrace) {
+                    program.properties.push(p.property()?);
+                }
+            }
+            other => {
+                return Err(ParseError::at(
+                    pos,
+                    format!("unknown section `{other}` (expected components/messages/state/init/handlers/properties)"),
+                ))
+            }
+        }
+    }
+    Ok(program)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    i: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|s| &s.tok)
+    }
+
+    fn pos(&self) -> Option<Pos> {
+        self.toks.get(self.i).map(|s| s.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        match self.pos() {
+            Some(pos) => ParseError::at(pos, msg),
+            None => ParseError::eof(msg),
+        }
+    }
+
+    fn eat(&mut self, tok: Tok) -> bool {
+        if self.peek() == Some(&tok) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        if self.eat(tok.clone()) {
+            Ok(())
+        } else {
+            match self.peek() {
+                Some(got) => Err(self.err_here(format!("expected {tok}, found {got}"))),
+                None => Err(ParseError::eof(format!("expected {tok}"))),
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Pos), ParseError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Ident(s),
+                pos,
+            }) => Ok((s, pos)),
+            Some(Spanned { tok, pos }) => {
+                Err(ParseError::at(pos, format!("expected {what}, found {tok}")))
+            }
+            None => Err(ParseError::eof(format!("expected {what}"))),
+        }
+    }
+
+    /// Consumes the given contextual keyword.
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        let (got, pos) = self.expect_ident(&format!("`{kw}`"))?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(ParseError::at(pos, format!("expected `{kw}`, found `{got}`")))
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        let (name, pos) = self.expect_ident("type")?;
+        match name.as_str() {
+            "bool" => Ok(Ty::Bool),
+            "num" => Ok(Ty::Num),
+            "str" => Ok(Ty::Str),
+            "fdesc" => Ok(Ty::Fdesc),
+            "comp" => Ok(Ty::Comp),
+            other => Err(ParseError::at(pos, format!("unknown type `{other}`"))),
+        }
+    }
+
+    // ---- declarations -------------------------------------------------
+
+    fn comp_decl(&mut self) -> Result<CompTypeDecl, ParseError> {
+        let (name, _) = self.expect_ident("component type name")?;
+        let exe = match self.next() {
+            Some(Spanned { tok: Tok::Str(s), .. }) => s,
+            _ => return Err(self.err_here("expected executable string literal")),
+        };
+        self.expect(Tok::LParen)?;
+        let mut config = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                let (f, _) = self.expect_ident("configuration field name")?;
+                self.expect(Tok::Colon)?;
+                let t = self.ty()?;
+                config.push((f, t));
+                if self.eat(Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(CompTypeDecl { name, exe, config })
+    }
+
+    fn msg_decl(&mut self) -> Result<MsgDecl, ParseError> {
+        let (name, _) = self.expect_ident("message type name")?;
+        self.expect(Tok::LParen)?;
+        let mut payload = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                payload.push(self.ty()?);
+                if self.eat(Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        self.expect(Tok::Semi)?;
+        Ok(MsgDecl { name, payload })
+    }
+
+    fn state_decl(&mut self) -> Result<StateVarDecl, ParseError> {
+        let (name, _) = self.expect_ident("state variable name")?;
+        self.expect(Tok::Colon)?;
+        let ty = self.ty()?;
+        let init = if self.eat(Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(Tok::Semi)?;
+        Ok(StateVarDecl { name, ty, init })
+    }
+
+    fn handler(&mut self) -> Result<Handler, ParseError> {
+        self.expect_kw("when")?;
+        let (ctype, _) = self.expect_ident("component type")?;
+        self.expect(Tok::Colon)?;
+        let (msg, _) = self.expect_ident("message type")?;
+        self.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(Tok::RParen) {
+            loop {
+                let (p, _) = self.expect_ident("parameter name")?;
+                params.push(p);
+                if self.eat(Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Handler {
+            ctype,
+            msg,
+            params,
+            body,
+        })
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn block(&mut self) -> Result<Cmd, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut cmds = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            cmds.push(self.stmt()?);
+        }
+        Ok(Cmd::seq(cmds))
+    }
+
+    fn stmt(&mut self) -> Result<Cmd, ParseError> {
+        if self.at_kw("if") {
+            self.expect_kw("if")?;
+            self.expect(Tok::LParen)?;
+            let cond = self.expr()?;
+            self.expect(Tok::RParen)?;
+            let then_branch = self.block()?;
+            let else_branch = if self.at_kw("else") {
+                self.expect_kw("else")?;
+                self.block()?
+            } else {
+                Cmd::Nop
+            };
+            return Ok(Cmd::If {
+                cond,
+                then_branch: Box::new(then_branch),
+                else_branch: Box::new(else_branch),
+            });
+        }
+        if self.at_kw("send") {
+            self.expect_kw("send")?;
+            self.expect(Tok::LParen)?;
+            let target = self.expr()?;
+            self.expect(Tok::Comma)?;
+            let (msg, _) = self.expect_ident("message type")?;
+            self.expect(Tok::LParen)?;
+            let args = self.expr_list(Tok::RParen)?;
+            self.expect(Tok::RParen)?; // closes the message payload
+            self.expect(Tok::RParen)?; // closes the send(...) itself
+            self.expect(Tok::Semi)?;
+            return Ok(Cmd::Send { target, msg, args });
+        }
+        if self.at_kw("broadcast") {
+            self.expect_kw("broadcast")?;
+            let (ctype, _) = self.expect_ident("component type")?;
+            self.expect(Tok::LParen)?;
+            let (binder, _) = self.expect_ident("broadcast binder")?;
+            self.expect(Tok::Colon)?;
+            let pred = self.expr()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Comma)?;
+            let (msg, _) = self.expect_ident("message type")?;
+            self.expect(Tok::LParen)?;
+            let args = self.expr_list(Tok::RParen)?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Semi)?;
+            return Ok(Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            });
+        }
+        if self.at_kw("lookup") {
+            self.expect_kw("lookup")?;
+            let (ctype, _) = self.expect_ident("component type")?;
+            self.expect(Tok::LParen)?;
+            let (binder, _) = self.expect_ident("lookup binder")?;
+            self.expect(Tok::Colon)?;
+            let pred = self.expr()?;
+            self.expect(Tok::RParen)?;
+            let found = self.block()?;
+            let missing = if self.at_kw("else") {
+                self.expect_kw("else")?;
+                self.block()?
+            } else {
+                Cmd::Nop
+            };
+            return Ok(Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found: Box::new(found),
+                missing: Box::new(missing),
+            });
+        }
+        // Assignment or binder statement.
+        let (name, _) = self.expect_ident("statement")?;
+        if self.eat(Tok::Assign) {
+            let e = self.expr()?;
+            self.expect(Tok::Semi)?;
+            return Ok(Cmd::Assign(name, e));
+        }
+        if self.eat(Tok::LArrow) {
+            if self.at_kw("spawn") {
+                self.expect_kw("spawn")?;
+                let (ctype, _) = self.expect_ident("component type")?;
+                self.expect(Tok::LParen)?;
+                let config = self.expr_list(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                return Ok(Cmd::Spawn {
+                    binder: name,
+                    ctype,
+                    config,
+                });
+            }
+            if self.at_kw("call") {
+                self.expect_kw("call")?;
+                let (func, _) = self.expect_ident("function name")?;
+                self.expect(Tok::LParen)?;
+                let args = self.expr_list(Tok::RParen)?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                return Ok(Cmd::Call {
+                    binder: name,
+                    func,
+                    args,
+                });
+            }
+            return Err(self.err_here("expected `spawn` or `call` after `<-`"));
+        }
+        Err(self.err_here("expected `=` or `<-` in statement"))
+    }
+
+    fn expr_list(&mut self, terminator: Tok) -> Result<Vec<Expr>, ParseError> {
+        let mut out = Vec::new();
+        if self.peek() == Some(&terminator) {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.expr()?);
+            if self.peek() == Some(&terminator) {
+                return Ok(out);
+            }
+            self.expect(Tok::Comma)?;
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_or()
+    }
+
+    fn expr_or(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_and()?;
+        while self.eat(Tok::OrOr) {
+            e = e.or(self.expr_and()?);
+        }
+        Ok(e)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_cmp()?;
+        while self.eat(Tok::AndAnd) {
+            e = e.and(self.expr_cmp()?);
+        }
+        Ok(e)
+    }
+
+    fn expr_cmp(&mut self) -> Result<Expr, ParseError> {
+        let e = self.expr_add()?;
+        if self.eat(Tok::EqEq) {
+            return Ok(e.eq(self.expr_add()?));
+        }
+        if self.eat(Tok::NotEq) {
+            return Ok(e.ne(self.expr_add()?));
+        }
+        if self.eat(Tok::Lt) {
+            return Ok(e.lt(self.expr_add()?));
+        }
+        if self.eat(Tok::Le) {
+            return Ok(e.le(self.expr_add()?));
+        }
+        Ok(e)
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_unary()?;
+        loop {
+            if self.eat(Tok::Plus) {
+                e = e.add(self.expr_unary()?);
+            } else if self.eat(Tok::Minus) {
+                e = e.sub(self.expr_unary()?);
+            } else if self.eat(Tok::PlusPlus) {
+                e = e.cat(self.expr_unary()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(Tok::Bang) {
+            return Ok(self.expr_unary()?.not());
+        }
+        if self.eat(Tok::Minus) {
+            let inner = self.expr_unary()?;
+            // Fold unary minus on numeric literals so that `-3` round-trips
+            // as the literal -3.
+            return Ok(match inner {
+                Expr::Lit(Value::Num(n)) => Expr::Lit(Value::Num(-n)),
+                other => Expr::Un(UnOp::Neg, Box::new(other)),
+            });
+        }
+        self.expr_postfix()
+    }
+
+    fn expr_postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.expr_primary()?;
+        while self.eat(Tok::Dot) {
+            let (field, _) = self.expect_ident("configuration field")?;
+            e = e.cfg(field);
+        }
+        Ok(e)
+    }
+
+    fn expr_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Spanned { tok: Tok::Num(n), .. }) => Ok(Expr::lit(n)),
+            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(Expr::lit(s)),
+            Some(Spanned {
+                tok: Tok::Ident(id), ..
+            }) => match id.as_str() {
+                "true" => Ok(Expr::lit(true)),
+                "false" => Ok(Expr::lit(false)),
+                _ => Ok(Expr::var(id)),
+            },
+            Some(Spanned {
+                tok: Tok::LParen, ..
+            }) => {
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Spanned { tok, pos }) => Err(ParseError::at(
+                pos,
+                format!("expected expression, found {tok}"),
+            )),
+            None => Err(ParseError::eof("expected expression")),
+        }
+    }
+
+    // ---- properties ---------------------------------------------------
+
+    fn property(&mut self) -> Result<PropertyDecl, ParseError> {
+        let (name, _) = self.expect_ident("property name")?;
+        self.expect(Tok::Colon)?;
+        let mut forall = Vec::new();
+        if self.at_kw("forall") {
+            self.expect_kw("forall")?;
+            loop {
+                let (v, _) = self.expect_ident("quantified variable")?;
+                self.expect(Tok::Colon)?;
+                let t = self.ty()?;
+                forall.push((v, t));
+                if self.eat(Tok::Dot) {
+                    break;
+                }
+                self.expect(Tok::Comma)?;
+            }
+        }
+        let body = if self.at_kw("noninterference") {
+            self.expect_kw("noninterference")?;
+            PropBody::NonInterference(self.ni_spec()?)
+        } else if self.at_kw("atmostonce") {
+            // Sugar anticipated by the paper (§6.1): "future updates to
+            // Reflex will include syntax for expressing common patterns
+            // such as *at most n of some action*. This syntax will
+            // immediately desugar to our existing primitives."
+            // `atmostonce [A];` desugars to `[A] Disables [A]`.
+            self.expect_kw("atmostonce")?;
+            self.expect(Tok::LBracket)?;
+            let pat = self.action_pat()?;
+            self.expect(Tok::RBracket)?;
+            self.expect(Tok::Semi)?;
+            PropBody::Trace(TraceProp::new(TracePropKind::Disables, pat.clone(), pat))
+        } else {
+            self.expect(Tok::LBracket)?;
+            let a = self.action_pat()?;
+            self.expect(Tok::RBracket)?;
+            let (kw, pos) = self.expect_ident("trace property keyword")?;
+            let kind = TracePropKind::ALL
+                .into_iter()
+                .find(|k| k.keyword() == kw)
+                .ok_or_else(|| {
+                    ParseError::at(pos, format!("unknown trace property keyword `{kw}`"))
+                })?;
+            self.expect(Tok::LBracket)?;
+            let b = self.action_pat()?;
+            self.expect(Tok::RBracket)?;
+            self.expect(Tok::Semi)?;
+            PropBody::Trace(TraceProp::new(kind, a, b))
+        };
+        Ok(PropertyDecl { name, forall, body })
+    }
+
+    fn ni_spec(&mut self) -> Result<NiSpec, ParseError> {
+        self.expect(Tok::LBrace)?;
+        let mut high_comps = Vec::new();
+        let mut high_vars = Vec::new();
+        while !self.eat(Tok::RBrace) {
+            self.expect_kw("high")?;
+            let (what, pos) = self.expect_ident("`components` or `vars`")?;
+            self.expect(Tok::Colon)?;
+            match what.as_str() {
+                "components" => {
+                    if !self.eat(Tok::Semi) {
+                        loop {
+                            high_comps.push(self.comp_pat()?);
+                            if self.eat(Tok::Semi) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                }
+                "vars" => {
+                    if !self.eat(Tok::Semi) {
+                        loop {
+                            let (v, _) = self.expect_ident("variable name")?;
+                            high_vars.push(v);
+                            if self.eat(Tok::Semi) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                }
+                other => {
+                    return Err(ParseError::at(
+                        pos,
+                        format!("expected `components` or `vars`, found `{other}`"),
+                    ))
+                }
+            }
+        }
+        Ok(NiSpec {
+            high_comps,
+            high_vars,
+        })
+    }
+
+    fn comp_pat(&mut self) -> Result<CompPat, ParseError> {
+        if self.eat(Tok::Star) {
+            return Ok(CompPat::any());
+        }
+        let (ctype, _) = self.expect_ident("component type")?;
+        if self.peek() == Some(&Tok::LParen) {
+            self.expect(Tok::LParen)?;
+            let mut fields = Vec::new();
+            if !self.eat(Tok::RParen) {
+                loop {
+                    fields.push(self.pat_field()?);
+                    if self.eat(Tok::RParen) {
+                        break;
+                    }
+                    self.expect(Tok::Comma)?;
+                }
+            }
+            Ok(CompPat {
+                ctype: Some(ctype),
+                config: Some(fields),
+            })
+        } else {
+            Ok(CompPat::of_type(ctype))
+        }
+    }
+
+    fn pat_field(&mut self) -> Result<PatField, ParseError> {
+        match self.next() {
+            Some(Spanned {
+                tok: Tok::Underscore,
+                ..
+            }) => Ok(PatField::Any),
+            Some(Spanned { tok: Tok::Num(n), .. }) => Ok(PatField::lit(n)),
+            Some(Spanned { tok: Tok::Minus, .. }) => match self.next() {
+                Some(Spanned { tok: Tok::Num(n), .. }) => Ok(PatField::lit(-n)),
+                _ => Err(self.err_here("expected number after `-` in pattern")),
+            },
+            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(PatField::lit(s)),
+            Some(Spanned {
+                tok: Tok::Ident(id), ..
+            }) => match id.as_str() {
+                "true" => Ok(PatField::lit(true)),
+                "false" => Ok(PatField::lit(false)),
+                _ => Ok(PatField::var(id)),
+            },
+            Some(Spanned { tok, pos }) => Err(ParseError::at(
+                pos,
+                format!("expected pattern field, found {tok}"),
+            )),
+            None => Err(ParseError::eof("expected pattern field")),
+        }
+    }
+
+    fn action_pat(&mut self) -> Result<ActionPat, ParseError> {
+        let (kind, pos) = self.expect_ident("action pattern")?;
+        self.expect(Tok::LParen)?;
+        let pat = match kind.as_str() {
+            "Select" => ActionPat::Select {
+                comp: self.comp_pat()?,
+            },
+            "Spawn" => ActionPat::Spawn {
+                comp: self.comp_pat()?,
+            },
+            "Recv" | "Send" => {
+                let comp = self.comp_pat()?;
+                self.expect(Tok::Comma)?;
+                let (msg, _) = self.expect_ident("message type")?;
+                self.expect(Tok::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(Tok::RParen) {
+                    loop {
+                        args.push(self.pat_field()?);
+                        if self.eat(Tok::RParen) {
+                            break;
+                        }
+                        self.expect(Tok::Comma)?;
+                    }
+                }
+                if kind == "Recv" {
+                    ActionPat::Recv { comp, msg, args }
+                } else {
+                    ActionPat::Send { comp, msg, args }
+                }
+            }
+            "Call" => {
+                let (func, _) = self.expect_ident("function name")?;
+                self.expect(Tok::LParen)?;
+                let args = if self.eat(Tok::Ellipsis) {
+                    self.expect(Tok::RParen)?;
+                    None
+                } else {
+                    let mut fields = Vec::new();
+                    if !self.eat(Tok::RParen) {
+                        loop {
+                            fields.push(self.pat_field()?);
+                            if self.eat(Tok::RParen) {
+                                break;
+                            }
+                            self.expect(Tok::Comma)?;
+                        }
+                    }
+                    Some(fields)
+                };
+                self.expect(Tok::Comma)?;
+                let result = self.pat_field()?;
+                ActionPat::Call { func, args, result }
+            }
+            other => {
+                return Err(ParseError::at(
+                    pos,
+                    format!("unknown action pattern `{other}` (expected Select/Recv/Send/Spawn/Call)"),
+                ))
+            }
+        };
+        self.expect(Tok::RParen)?;
+        Ok(pat)
+    }
+}

@@ -1,0 +1,324 @@
+//! Integration tests: parsing full programs and round-tripping through the
+//! pretty-printer.
+
+use reflex_ast::{
+    ActionPat, Cmd, CompPat, Expr, PatField, PropBody, TracePropKind, Ty, Value,
+};
+use reflex_parser::parse_program;
+
+const SSH_SRC: &str = r#"
+// Simplified SSH kernel (paper Figure 3).
+components {
+  Connection "client.py" ();
+  Password "user-auth.c" ();
+  Terminal "pty-alloc.c" ();
+}
+
+messages {
+  ReqAuth(str, str);
+  Auth(str);
+  ReqTerm(str);
+  Term(str, fdesc);
+}
+
+state {
+  auth_user: str = "";
+  auth_ok: bool = false;
+}
+
+init {
+  C <- spawn Connection();
+  P <- spawn Password();
+  T <- spawn Terminal();
+}
+
+handlers {
+  when Connection:ReqAuth(user, pass) {
+    send(P, ReqAuth(user, pass));
+  }
+  when Password:Auth(user) {
+    auth_user = user;
+    auth_ok = true;
+  }
+  when Connection:ReqTerm(user) {
+    if (user == auth_user && auth_ok) {
+      send(T, ReqTerm(user));
+    }
+  }
+  when Terminal:Term(user, t) {
+    if (user == auth_user && auth_ok) {
+      send(C, Term(user, t));
+    }
+  }
+}
+
+properties {
+  AuthBeforeTerm: forall u: str.
+    [Recv(Password(), Auth(u))] Enables [Send(Terminal(), ReqTerm(u))];
+}
+"#;
+
+#[test]
+fn parses_the_paper_ssh_kernel() {
+    let p = parse_program("ssh", SSH_SRC).expect("parses");
+    assert_eq!(p.components.len(), 3);
+    assert_eq!(p.messages.len(), 4);
+    assert_eq!(p.state.len(), 2);
+    assert_eq!(p.handlers.len(), 4);
+    assert_eq!(p.properties.len(), 1);
+    assert_eq!(
+        p.init_comp_vars(),
+        vec![
+            ("C".to_owned(), "Connection".to_owned()),
+            ("P".to_owned(), "Password".to_owned()),
+            ("T".to_owned(), "Terminal".to_owned()),
+        ]
+    );
+
+    let h = p.handler("Connection", "ReqTerm").expect("handler exists");
+    match &h.body {
+        Cmd::If { cond, .. } => {
+            let expected = Expr::var("user")
+                .eq(Expr::var("auth_user"))
+                .and(Expr::var("auth_ok"));
+            assert_eq!(cond, &expected);
+        }
+        other => panic!("expected if, got {other:?}"),
+    }
+
+    let prop = p.property("AuthBeforeTerm").expect("property exists");
+    assert_eq!(prop.forall, vec![("u".to_owned(), Ty::Str)]);
+    match &prop.body {
+        PropBody::Trace(tp) => {
+            assert_eq!(tp.kind, TracePropKind::Enables);
+            assert_eq!(
+                tp.a,
+                ActionPat::Recv {
+                    comp: CompPat::with_config("Password", []),
+                    msg: "Auth".into(),
+                    args: vec![PatField::var("u")],
+                }
+            );
+        }
+        other => panic!("expected trace property, got {other:?}"),
+    }
+}
+
+#[test]
+fn roundtrips_through_pretty_printer() {
+    let p = parse_program("ssh", SSH_SRC).expect("parses");
+    let printed = p.to_string();
+    let reparsed = parse_program("ssh", &printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+    assert_eq!(p, reparsed, "print→parse must be the identity");
+}
+
+#[test]
+fn parses_noninterference_and_quantified_patterns() {
+    let src = r#"
+components {
+  Engine "engine.c" ();
+  Tab "tab.py" (domain: str, id: num);
+}
+messages {
+  Crash();
+}
+init {
+  e <- spawn Engine();
+}
+handlers {
+}
+properties {
+  EngineNI: noninterference {
+    high components: Engine;
+    high vars: ;
+  }
+  DomainNI: forall d: str. noninterference {
+    high components: Tab(d, _), Engine;
+    high vars: mode, focus;
+  }
+  UniqueIds: forall i: num.
+    [Spawn(Tab(_, i))] Disables [Spawn(Tab(_, i))];
+}
+"#;
+    let p = parse_program("car", src).expect("parses");
+    assert_eq!(p.properties.len(), 3);
+    match &p.properties[1].body {
+        PropBody::NonInterference(spec) => {
+            assert_eq!(spec.high_comps.len(), 2);
+            assert_eq!(
+                spec.high_comps[0],
+                CompPat::with_config("Tab", [PatField::var("d"), PatField::Any])
+            );
+            assert_eq!(spec.high_vars, vec!["mode", "focus"]);
+        }
+        other => panic!("expected NI property, got {other:?}"),
+    }
+    // Round-trip the NI program too.
+    let printed = p.to_string();
+    let reparsed = parse_program("car", &printed)
+        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    assert_eq!(p, reparsed);
+}
+
+#[test]
+fn parses_full_command_language() {
+    let src = r#"
+components {
+  Cookie "cookie.py" (domain: str);
+  Tab "tab.py" (domain: str);
+}
+messages {
+  SetCookie(str, str);
+  Result(str);
+}
+state {
+  hits: num = 0;
+}
+init {
+}
+handlers {
+  when Tab:SetCookie(d, v) {
+    hits = hits + 1;
+    r <- call sanitize(v, "strict");
+    lookup Cookie(k : k.domain == sender.domain) {
+      send(k, SetCookie(d, r));
+    } else {
+      n <- spawn Cookie(sender.domain);
+      send(n, SetCookie(d, r));
+    }
+    if (hits <= 3 || d != "") {
+      hits = 0 - hits;
+    } else {
+      hits = -1;
+    }
+  }
+}
+"#;
+    let p = parse_program("cookies", src).expect("parses");
+    let h = &p.handlers[0];
+    assert_eq!(h.body.binders(), vec!["r", "k", "n"]);
+    assert_eq!(h.body.max_actions(), 3); // call + (send | spawn+send) + 0
+    let printed = p.to_string();
+    assert_eq!(parse_program("cookies", &printed).expect("reparse"), p);
+}
+
+#[test]
+fn negative_literals_roundtrip() {
+    let src = r#"
+components { C "c" (); }
+messages { M(num); }
+state { x: num = -5; }
+init { }
+handlers {
+  when C:M(n) {
+    if (n == -5) {
+      x = -n;
+    }
+  }
+}
+"#;
+    let p = parse_program("neg", src).expect("parses");
+    assert_eq!(p.state[0].init, Some(Expr::Lit(Value::Num(-5))));
+    let printed = p.to_string();
+    assert_eq!(parse_program("neg", &printed).expect("reparse"), p);
+}
+
+#[test]
+fn call_patterns_parse_both_forms() {
+    let src = r#"
+components { C "c" (); }
+messages { M(); }
+init { }
+handlers { }
+properties {
+  P1: [Call(wget(...), r)] Disables [Call(wget(...), r)];
+  P2: forall u: str.
+    [Call(check(u, _), "ok")] Enables [Send(C(), M())];
+}
+"#;
+    let p = parse_program("calls", src).expect("parses");
+    match &p.properties[0].body {
+        PropBody::Trace(tp) => match &tp.a {
+            ActionPat::Call { args, result, .. } => {
+                assert!(args.is_none());
+                assert_eq!(result, &PatField::var("r"));
+            }
+            other => panic!("expected call pattern, got {other:?}"),
+        },
+        _ => panic!("expected trace prop"),
+    }
+    match &p.properties[1].body {
+        PropBody::Trace(tp) => match &tp.a {
+            ActionPat::Call { args, result, .. } => {
+                assert_eq!(
+                    args,
+                    &Some(vec![PatField::var("u"), PatField::Any])
+                );
+                assert_eq!(result, &PatField::lit("ok"));
+            }
+            other => panic!("expected call pattern, got {other:?}"),
+        },
+        _ => panic!("expected trace prop"),
+    }
+    let printed = p.to_string();
+    assert_eq!(parse_program("calls", &printed).expect("reparse"), p);
+}
+
+#[test]
+fn error_positions_are_reported() {
+    let err = parse_program("bad", "components {\n  C \"c\" ()\n}").unwrap_err();
+    // Missing semicolon after the component declaration: the error points at
+    // the closing brace on line 3.
+    let pos = err.pos.expect("has position");
+    assert_eq!(pos.line, 3);
+
+    let err = parse_program("bad", "handlers { when C:M() { x = ; } }").unwrap_err();
+    assert!(err.to_string().contains("expected expression"));
+
+    let err = parse_program("bad", "frobnicate { }").unwrap_err();
+    assert!(err.to_string().contains("unknown section"));
+
+    let err = parse_program("bad", "properties { P: [Recv(C, M())] Foo [Recv(C, M())]; }")
+        .unwrap_err();
+    assert!(err.to_string().contains("unknown trace property keyword"));
+}
+
+#[test]
+fn empty_sections_and_programs() {
+    let p = parse_program("empty", "").expect("empty program parses");
+    assert!(p.components.is_empty());
+    let p = parse_program("empty", "components { } messages { } init { } handlers { }")
+        .expect("parses");
+    assert_eq!(p.init, Cmd::Nop);
+}
+
+#[test]
+fn atmostonce_sugar_desugars_to_disables() {
+    let src = r#"
+components { Tab "t.py" (id: num); }
+messages { M(); }
+init { }
+handlers { }
+properties {
+  UniqueIds: forall i: num. atmostonce [Spawn(Tab(i))];
+}
+"#;
+    let p = parse_program("sugar", src).expect("parses");
+    match &p.properties[0].body {
+        PropBody::Trace(tp) => {
+            assert_eq!(tp.kind, TracePropKind::Disables);
+            assert_eq!(tp.a, tp.b);
+            assert_eq!(
+                tp.a,
+                ActionPat::Spawn {
+                    comp: CompPat::with_config("Tab", [PatField::var("i")])
+                }
+            );
+        }
+        other => panic!("expected desugared Disables, got {other:?}"),
+    }
+    // The desugared form round-trips (printing shows the core primitive).
+    let printed = p.to_string();
+    assert_eq!(parse_program("sugar", &printed).expect("reparse"), p);
+}

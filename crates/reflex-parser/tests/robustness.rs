@@ -1,0 +1,67 @@
+//! Robustness: the lexer and parser must never panic, whatever the input.
+
+use proptest::prelude::*;
+use reflex_parser::{lex, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC*") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse_program("fuzz", &input);
+    }
+
+    /// Structured garbage: interleavings of real tokens are more likely to
+    /// reach deep parser states than uniform noise.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("components"), Just("messages"), Just("state"), Just("init"),
+                Just("handlers"), Just("properties"), Just("when"), Just("if"),
+                Just("else"), Just("send"), Just("spawn"), Just("call"),
+                Just("lookup"), Just("broadcast"), Just("forall"), Just("Enables"),
+                Just("Disables"), Just("noninterference"), Just("atmostonce"),
+                Just("{"), Just("}"), Just("("), Just(")"), Just("["), Just("]"),
+                Just(";"), Just(":"), Just(","), Just("."), Just("<-"), Just("=="),
+                Just("="), Just("&&"), Just("!"), Just("x"), Just("C"), Just("M"),
+                Just("\"s\""), Just("42"), Just("str"), Just("num"), Just("_"),
+            ],
+            0..40,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_program("fuzz", &input);
+    }
+
+    /// Anything that parses must round-trip through the printer.
+    #[test]
+    fn parsed_programs_roundtrip(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("components { C \"c\" (); }"),
+                Just("messages { M(str); }"),
+                Just("state { x: num = 0; }"),
+                Just("init { }"),
+                Just("init { a <- spawn C(); }"),
+                Just("handlers { }"),
+                Just("handlers { when C:M(s) { x = x + 1; } }"),
+                Just("properties { P: [Recv(C(), M(_))] Enables [Recv(C(), M(_))]; }"),
+            ],
+            0..5,
+        )
+    ) {
+        let input = words.join("\n");
+        if let Ok(program) = parse_program("fuzz", &input) {
+            let printed = program.to_string();
+            let reparsed = parse_program("fuzz", &printed)
+                .unwrap_or_else(|e| panic!("printed output failed to reparse: {e}\n{printed}"));
+            prop_assert_eq!(program, reparsed);
+        }
+    }
+}

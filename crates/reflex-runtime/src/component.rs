@@ -1,0 +1,151 @@
+//! Simulated components.
+//!
+//! In the paper, components are sandboxed OS processes (WebKit, OpenSSH,
+//! Python scripts) talking to the kernel over Unix domain sockets. This
+//! reproduction replaces the process boundary with the [`ComponentBehavior`]
+//! trait: a component is an in-process scripted object that receives the
+//! messages the kernel sends it and may hand back messages for the kernel
+//! to service. The kernel-side semantics — and therefore everything the
+//! verified guarantees talk about — is unchanged (see DESIGN.md).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use reflex_trace::{CompInst, Msg};
+
+/// A simulated component implementation.
+pub trait ComponentBehavior {
+    /// Messages the component wants to send to the kernel immediately
+    /// after being spawned.
+    fn on_start(&mut self) -> Vec<Msg> {
+        Vec::new()
+    }
+
+    /// Called when the kernel delivers `msg` to this component; returns
+    /// messages the component sends back to the kernel (serviced in
+    /// order, when the scheduler selects this component).
+    fn on_message(&mut self, msg: &Msg) -> Vec<Msg>;
+}
+
+/// A component that never reacts (the default for unregistered
+/// executables).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentBehavior;
+
+impl ComponentBehavior for SilentBehavior {
+    fn on_message(&mut self, _msg: &Msg) -> Vec<Msg> {
+        Vec::new()
+    }
+}
+
+/// A table-driven component: a queue of startup messages plus
+/// message-name-keyed reply rules.
+///
+/// ```
+/// use reflex_runtime::ScriptedBehavior;
+/// use reflex_trace::Msg;
+/// use reflex_ast::Value;
+///
+/// let mut b = ScriptedBehavior::new()
+///     .starts_with([Msg::new("Hello", [])])
+///     .replies("Ping", |msg| vec![Msg::new("Pong", msg.args.clone())]);
+/// # use reflex_runtime::ComponentBehavior;
+/// assert_eq!(b.on_start().len(), 1);
+/// assert_eq!(b.on_message(&Msg::new("Ping", [Value::Num(1)])).len(), 1);
+/// assert!(b.on_message(&Msg::new("Other", [])).is_empty());
+/// ```
+#[derive(Default)]
+pub struct ScriptedBehavior {
+    startup: Vec<Msg>,
+    #[allow(clippy::type_complexity)]
+    rules: Vec<(String, Box<dyn FnMut(&Msg) -> Vec<Msg>>)>,
+}
+
+impl ScriptedBehavior {
+    /// An empty script (equivalent to [`SilentBehavior`]).
+    pub fn new() -> ScriptedBehavior {
+        ScriptedBehavior::default()
+    }
+
+    /// Messages sent at startup.
+    pub fn starts_with(mut self, msgs: impl IntoIterator<Item = Msg>) -> Self {
+        self.startup.extend(msgs);
+        self
+    }
+
+    /// Adds a reply rule for messages named `msg`.
+    pub fn replies(
+        mut self,
+        msg: impl Into<String>,
+        rule: impl FnMut(&Msg) -> Vec<Msg> + 'static,
+    ) -> Self {
+        self.rules.push((msg.into(), Box::new(rule)));
+        self
+    }
+}
+
+impl fmt::Debug for ScriptedBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedBehavior")
+            .field("startup", &self.startup)
+            .field("rules", &self.rules.iter().map(|(m, _)| m).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ComponentBehavior for ScriptedBehavior {
+    fn on_start(&mut self) -> Vec<Msg> {
+        std::mem::take(&mut self.startup)
+    }
+
+    fn on_message(&mut self, msg: &Msg) -> Vec<Msg> {
+        for (name, rule) in &mut self.rules {
+            if *name == msg.name {
+                return rule(msg);
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Creates behaviors for spawned components, keyed by the *executable*
+/// declared for the component type (mirroring how the paper's kernel
+/// spawns the executable on disk).
+#[allow(clippy::type_complexity)]
+#[derive(Default)]
+pub struct Registry {
+    factories: HashMap<String, Box<dyn Fn(&CompInst) -> Box<dyn ComponentBehavior>>>,
+}
+
+impl Registry {
+    /// An empty registry; unknown executables behave as [`SilentBehavior`].
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers a behavior factory for `exe`.
+    pub fn register(
+        mut self,
+        exe: impl Into<String>,
+        factory: impl Fn(&CompInst) -> Box<dyn ComponentBehavior> + 'static,
+    ) -> Self {
+        self.factories.insert(exe.into(), Box::new(factory));
+        self
+    }
+
+    /// Instantiates the behavior for a freshly spawned component.
+    pub fn instantiate(&self, exe: &str, comp: &CompInst) -> Box<dyn ComponentBehavior> {
+        match self.factories.get(exe) {
+            Some(f) => f(comp),
+            None => Box::new(SilentBehavior),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("exes", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}

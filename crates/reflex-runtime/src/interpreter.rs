@@ -1,0 +1,499 @@
+//! The Reflex interpreter (paper Figure 4).
+//!
+//! The kernel repeatedly: *selects* a ready component (one with a pending
+//! message for the kernel), *receives* its message, and runs the matching
+//! handler, which may assign state, *send* messages to components, *spawn*
+//! new components and *call* external functions. Every effectful primitive
+//! appends its action to the trace — the ghost state over which all
+//! verified properties are stated. Unlike the paper's ghost traces, the
+//! trace here is materialized so tests and the [`crate::oracle`] can
+//! inspect it.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use reflex_ast::{BinOp, Cmd, CompId, Expr, Fdesc, Handler, UnOp, Value};
+use reflex_trace::{Action, CompInst, Msg, Trace};
+use reflex_typeck::CheckedProgram;
+
+use crate::component::{ComponentBehavior, Registry};
+use crate::world::World;
+
+/// A runtime fault. With a type-checked program these indicate misuse of
+/// the embedding API (e.g. injecting a message for an undeclared
+/// component), not programming errors in the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+fn err(message: impl Into<String>) -> RuntimeError {
+    RuntimeError {
+        message: message.into(),
+    }
+}
+
+/// What one [`Interpreter::step`] serviced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The component whose message was serviced.
+    pub sender: CompInst,
+    /// The message.
+    pub msg: Msg,
+    /// Whether an explicit handler ran (`false` for the implicit no-op).
+    pub handled: bool,
+}
+
+/// Handler-local bindings, dropped when the handler returns.
+#[derive(Debug, Default)]
+struct Frame {
+    data: HashMap<String, Value>,
+    comps: HashMap<String, CompInst>,
+}
+
+/// The executable kernel.
+pub struct Interpreter {
+    checked: CheckedProgram,
+    registry: Registry,
+    world: Box<dyn World>,
+    data: BTreeMap<String, Value>,
+    comp_vars: BTreeMap<String, CompInst>,
+    comp_list: Vec<CompInst>,
+    behaviors: HashMap<CompId, Box<dyn ComponentBehavior>>,
+    mailboxes: BTreeMap<CompId, VecDeque<Msg>>,
+    trace: Trace,
+    next_id: u64,
+    next_fd: u64,
+    rng: StdRng,
+}
+
+impl fmt::Debug for Interpreter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("program", &self.checked.program().name)
+            .field("components", &self.comp_list.len())
+            .field("trace_len", &self.trace.len())
+            .finish()
+    }
+}
+
+impl Interpreter {
+    /// Boots the kernel: runs the init section (spawning the initial
+    /// components) under the given component registry, world and scheduler
+    /// seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if init misbehaves (cannot happen for checked
+    /// programs unless a behavior or world misuses the API).
+    pub fn new(
+        checked: &CheckedProgram,
+        registry: Registry,
+        world: Box<dyn World>,
+        seed: u64,
+    ) -> Result<Interpreter, RuntimeError> {
+        let mut interp = Interpreter {
+            checked: checked.clone(),
+            registry,
+            world,
+            data: checked.state_initial_values().into_iter().collect(),
+            comp_vars: BTreeMap::new(),
+            comp_list: Vec::new(),
+            behaviors: HashMap::new(),
+            mailboxes: BTreeMap::new(),
+            trace: Trace::new(),
+            next_id: 0,
+            next_fd: 100,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let init = interp.checked.program().init.clone();
+        let mut frame = Frame::default();
+        interp.exec(&init, &mut frame)?;
+        // Init binders become global component variables.
+        for (name, comp) in frame.comps {
+            interp.comp_vars.insert(name, comp);
+        }
+        for (name, value) in frame.data {
+            interp.data.insert(name, value);
+        }
+        Ok(interp)
+    }
+
+    /// The trace so far (chronological order).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// All live components, in spawn order.
+    pub fn components(&self) -> &[CompInst] {
+        &self.comp_list
+    }
+
+    /// The live components of the given type.
+    pub fn components_of(&self, ctype: &str) -> Vec<&CompInst> {
+        self.comp_list.iter().filter(|c| c.ctype == ctype).collect()
+    }
+
+    /// The current value of a global state variable.
+    pub fn state_var(&self, name: &str) -> Option<&Value> {
+        self.data.get(name)
+    }
+
+    /// Enqueues `msg` as if component `comp` had sent it to the kernel.
+    ///
+    /// This is how tests model spontaneous component activity (e.g. the
+    /// engine reporting a crash): in the paper such messages arrive over
+    /// the component's socket at any time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `comp` is not a live component or the message type is
+    /// undeclared / ill-typed.
+    pub fn inject(&mut self, comp: CompId, msg: Msg) -> Result<(), RuntimeError> {
+        if !self.comp_list.iter().any(|c| c.id == comp) {
+            return Err(err(format!("no live component {comp}")));
+        }
+        let decl = self
+            .checked
+            .program()
+            .msg_decl(&msg.name)
+            .ok_or_else(|| err(format!("undeclared message `{}`", msg.name)))?;
+        if decl.payload.len() != msg.args.len()
+            || decl
+                .payload
+                .iter()
+                .zip(&msg.args)
+                .any(|(ty, v)| v.ty() != *ty)
+        {
+            return Err(err(format!("ill-typed payload for `{}`", msg.name)));
+        }
+        self.mailboxes.entry(comp).or_default().push_back(msg);
+        Ok(())
+    }
+
+    /// Whether any component has a pending message.
+    pub fn has_ready(&self) -> bool {
+        self.mailboxes.values().any(|q| !q.is_empty())
+    }
+
+    /// Services one exchange: selects a ready component (uniformly at
+    /// random among ready components), receives its message, and runs the
+    /// matching handler. Returns `None` when no component is ready.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime faults from handler execution.
+    pub fn step(&mut self) -> Result<Option<StepReport>, RuntimeError> {
+        let ready: Vec<CompId> = self
+            .mailboxes
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(id, _)| *id)
+            .collect();
+        if ready.is_empty() {
+            return Ok(None);
+        }
+        let id = ready[self.rng.random_range(0..ready.len())];
+        let msg = self
+            .mailboxes
+            .get_mut(&id)
+            .and_then(VecDeque::pop_front)
+            .expect("ready queue non-empty");
+        let sender = self
+            .comp_list
+            .iter()
+            .find(|c| c.id == id)
+            .expect("ready component is live")
+            .clone();
+
+        self.trace.push(Action::Select {
+            comp: sender.clone(),
+        });
+        self.trace.push(Action::Recv {
+            comp: sender.clone(),
+            msg: msg.clone(),
+        });
+
+        let handler = self
+            .checked
+            .program()
+            .handler(&sender.ctype, &msg.name)
+            .cloned();
+        let handled = handler.is_some();
+        if let Some(h) = handler {
+            let mut frame = Frame::default();
+            frame
+                .comps
+                .insert(Handler::SENDER.to_owned(), sender.clone());
+            for (p, v) in h.params.iter().zip(&msg.args) {
+                frame.data.insert(p.clone(), v.clone());
+            }
+            self.exec(&h.body, &mut frame)?;
+        }
+        Ok(Some(StepReport {
+            sender,
+            msg,
+            handled,
+        }))
+    }
+
+    /// Runs until quiescent or `max_steps` exchanges, returning the number
+    /// of exchanges serviced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime faults from handler execution.
+    pub fn run(&mut self, max_steps: usize) -> Result<usize, RuntimeError> {
+        let mut steps = 0;
+        while steps < max_steps {
+            if self.step()?.is_none() {
+                break;
+            }
+            steps += 1;
+        }
+        Ok(steps)
+    }
+
+    // ---- command execution ----------------------------------------------
+
+    fn exec(&mut self, cmd: &Cmd, frame: &mut Frame) -> Result<(), RuntimeError> {
+        match cmd {
+            Cmd::Nop => Ok(()),
+            Cmd::Block(cs) => {
+                for c in cs {
+                    self.exec(c, frame)?;
+                }
+                Ok(())
+            }
+            Cmd::Assign(x, e) => {
+                let v = self.eval(e, frame)?;
+                self.data.insert(x.clone(), v);
+                Ok(())
+            }
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = self.eval(cond, frame)? == Value::Bool(true);
+                self.exec(if taken { then_branch } else { else_branch }, frame)
+            }
+            Cmd::Send { target, msg, args } => {
+                let comp = self.eval_comp(target, frame)?;
+                let values: Result<Vec<Value>, _> =
+                    args.iter().map(|a| self.eval(a, frame)).collect();
+                let m = Msg::new(msg, values?);
+                self.trace.push(Action::Send {
+                    comp: comp.clone(),
+                    msg: m.clone(),
+                });
+                // Deliver to the component; its replies queue up for the
+                // kernel to service later.
+                let replies = match self.behaviors.get_mut(&comp.id) {
+                    Some(b) => b.on_message(&m),
+                    None => Vec::new(),
+                };
+                if !replies.is_empty() {
+                    self.mailboxes.entry(comp.id).or_default().extend(replies);
+                }
+                Ok(())
+            }
+            Cmd::Spawn {
+                binder,
+                ctype,
+                config,
+            } => {
+                let values: Result<Vec<Value>, _> =
+                    config.iter().map(|c| self.eval(c, frame)).collect();
+                let comp = self.spawn(ctype, values?)?;
+                frame.comps.insert(binder.clone(), comp);
+                Ok(())
+            }
+            Cmd::Call { binder, func, args } => {
+                let values: Result<Vec<Value>, _> =
+                    args.iter().map(|a| self.eval(a, frame)).collect();
+                let values = values?;
+                let result = self.world.call(func, &values);
+                self.trace.push(Action::Call {
+                    func: func.clone(),
+                    args: values,
+                    result: Value::Str(result.clone()),
+                });
+                frame.data.insert(binder.clone(), Value::Str(result));
+                Ok(())
+            }
+            Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            } => {
+                // Send to every matching component, in spawn order.
+                let candidates: Vec<CompInst> = self
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                for c in candidates {
+                    frame.comps.insert(binder.clone(), c.clone());
+                    let hit = self.eval(pred, frame)? == Value::Bool(true);
+                    if hit {
+                        let values: Result<Vec<Value>, _> =
+                            args.iter().map(|a| self.eval(a, frame)).collect();
+                        let m = Msg::new(msg, values?);
+                        self.trace.push(Action::Send {
+                            comp: c.clone(),
+                            msg: m.clone(),
+                        });
+                        let replies = match self.behaviors.get_mut(&c.id) {
+                            Some(b) => b.on_message(&m),
+                            None => Vec::new(),
+                        };
+                        if !replies.is_empty() {
+                            self.mailboxes.entry(c.id).or_default().extend(replies);
+                        }
+                    }
+                }
+                frame.comps.remove(binder);
+                Ok(())
+            }
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => {
+                // First-match semantics over spawn order.
+                let candidates: Vec<CompInst> = self
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                for c in candidates {
+                    frame.comps.insert(binder.clone(), c);
+                    let hit = self.eval(pred, frame)? == Value::Bool(true);
+                    if hit {
+                        let result = self.exec(found, frame);
+                        frame.comps.remove(binder);
+                        return result;
+                    }
+                }
+                frame.comps.remove(binder);
+                self.exec(missing, frame)
+            }
+        }
+    }
+
+    fn spawn(&mut self, ctype: &str, config: Vec<Value>) -> Result<CompInst, RuntimeError> {
+        let decl = self
+            .checked
+            .program()
+            .comp_type(ctype)
+            .ok_or_else(|| err(format!("undeclared component type `{ctype}`")))?;
+        let comp = CompInst::new(CompId::new(self.next_id), ctype, config);
+        self.next_id += 1;
+        self.next_fd += 1;
+        self.comp_list.push(comp.clone());
+        self.trace.push(Action::Spawn { comp: comp.clone() });
+        let mut behavior = self.registry.instantiate(&decl.exe, &comp);
+        let startup = behavior.on_start();
+        self.behaviors.insert(comp.id, behavior);
+        if !startup.is_empty() {
+            self.mailboxes.entry(comp.id).or_default().extend(startup);
+        }
+        Ok(comp)
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &Frame) -> Result<Value, RuntimeError> {
+        Ok(match e {
+            Expr::Lit(v) => v.clone(),
+            Expr::Var(x) => {
+                if let Some(v) = frame.data.get(x) {
+                    v.clone()
+                } else if let Some(c) = frame.comps.get(x) {
+                    Value::Comp(c.id)
+                } else if let Some(v) = self.data.get(x) {
+                    v.clone()
+                } else if let Some(c) = self.comp_vars.get(x) {
+                    Value::Comp(c.id)
+                } else {
+                    return Err(err(format!("unbound variable `{x}`")));
+                }
+            }
+            Expr::Cfg(inner, field) => {
+                let comp = self.eval_comp(inner, frame)?;
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(&comp.ctype)
+                    .ok_or_else(|| err(format!("undeclared component type `{}`", comp.ctype)))?;
+                let (idx, _) = decl
+                    .config_field(field)
+                    .ok_or_else(|| err(format!("no configuration field `{field}`")))?;
+                comp.config[idx].clone()
+            }
+            Expr::Un(op, t) => {
+                let v = self.eval(t, frame)?;
+                match (op, v) {
+                    (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (UnOp::Neg, Value::Num(n)) => Value::Num(n.wrapping_neg()),
+                    (op, v) => return Err(err(format!("type error: {op:?} on {v}"))),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval(l, frame)?;
+                let b = self.eval(r, frame)?;
+                match (op, a, b) {
+                    (BinOp::Eq, a, b) => Value::Bool(a == b),
+                    (BinOp::Ne, a, b) => Value::Bool(a != b),
+                    (BinOp::And, Value::Bool(x), Value::Bool(y)) => Value::Bool(x && y),
+                    (BinOp::Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(x || y),
+                    (BinOp::Add, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_add(y)),
+                    (BinOp::Sub, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_sub(y)),
+                    (BinOp::Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
+                    (BinOp::Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
+                    (BinOp::Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
+                    (op, a, b) => {
+                        return Err(err(format!("type error: {op:?} on {a} and {b}")))
+                    }
+                }
+            }
+        })
+    }
+
+    fn eval_comp(&mut self, e: &Expr, frame: &Frame) -> Result<CompInst, RuntimeError> {
+        let v = self.eval(e, frame)?;
+        let Value::Comp(id) = v else {
+            return Err(err(format!("expected a component, got {v}")));
+        };
+        self.comp_list
+            .iter()
+            .find(|c| c.id == id)
+            .cloned()
+            .ok_or_else(|| err(format!("no live component {id}")))
+    }
+
+    /// Allocates a fresh file descriptor (exposed for behaviors that model
+    /// resources like pseudo-terminals).
+    pub fn fresh_fd(&mut self) -> Fdesc {
+        let fd = Fdesc::new(self.next_fd);
+        self.next_fd += 1;
+        fd
+    }
+}

@@ -1,0 +1,58 @@
+//! Executable interpreter for Reflex programs, with simulated components
+//! and dynamic soundness oracles.
+//!
+//! This crate is the runtime of the reproduction (paper §3.2): a kernel
+//! event loop that selects ready components, receives their messages, runs
+//! handlers, and records every observable action in a
+//! [`Trace`](reflex_trace::Trace). Components are in-process scripted
+//! behaviors ([`ComponentBehavior`]) and world non-determinism comes from a
+//! pluggable [`World`] — see DESIGN.md for why this substitution preserves
+//! the verified guarantees.
+//!
+//! The [`oracle`] module decides trace inclusion in the behavioral
+//! abstraction (the dynamic counterpart of the paper's once-and-for-all
+//! Coq theorem) and provides the identity-erased π_o projection used to
+//! test non-interference over pairs of runs.
+//!
+//! # Example
+//!
+//! ```
+//! use reflex_runtime::{Interpreter, Registry, ScriptedBehavior, EmptyWorld};
+//! use reflex_trace::Msg;
+//! use reflex_ast::Value;
+//!
+//! let src = r#"
+//! components { Echo "echo.py" (); }
+//! messages { Ping(str); Pong(str); }
+//! init { e <- spawn Echo(); }
+//! handlers {
+//!   when Echo:Ping(s) { send(e, Pong(s)); }
+//! }
+//! "#;
+//! let program = reflex_parser::parse_program("ping", src).unwrap();
+//! let checked = reflex_typeck::check(&program).unwrap();
+//!
+//! // The echo component pings once at startup.
+//! let registry = Registry::new().register("echo.py", |_| {
+//!     Box::new(ScriptedBehavior::new().starts_with([Msg::new("Ping", [Value::from("hi")])]))
+//! });
+//! let mut kernel = Interpreter::new(&checked, registry, Box::new(EmptyWorld), 0).unwrap();
+//! kernel.run(10).unwrap();
+//!
+//! // The kernel received the ping and sent the pong...
+//! assert_eq!(kernel.trace().len(), 4); // Spawn, Select, Recv, Send
+//! // ...and the trace is a possible behavior of the program.
+//! reflex_runtime::oracle::check_trace_inclusion(&checked, kernel.trace()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod component;
+mod interpreter;
+pub mod oracle;
+mod world;
+
+pub use component::{ComponentBehavior, Registry, ScriptedBehavior, SilentBehavior};
+pub use interpreter::{Interpreter, RuntimeError, StepReport};
+pub use world::{EmptyWorld, RandomWorld, ScriptedWorld, World};

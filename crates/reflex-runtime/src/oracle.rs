@@ -1,0 +1,462 @@
+//! Dynamic soundness oracles.
+//!
+//! The paper proves once and for all, in Coq, that every trace the
+//! interpreter produces is included in the program's behavioral
+//! abstraction `BehAbs` (arrow (A) of Figure 1). This reproduction cannot
+//! state that meta-theorem in Rust's type system; instead,
+//! [`check_trace_inclusion`] *decides* membership for any concrete trace
+//! by deterministic replay, and the property-based tests run it against
+//! thousands of random executions. A second oracle,
+//! [`observable_outputs`], provides the π_o projection used to test
+//! non-interference dynamically (comparing pairs of runs modulo component
+//! identities and file-descriptor values — allocator artifacts that
+//! legitimately differ between runs, see DESIGN.md).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use reflex_ast::{BinOp, Cmd, Expr, Handler, UnOp, Value};
+use reflex_trace::{Action, CompInst, Trace};
+use reflex_typeck::CheckedProgram;
+
+/// A trace that is not a possible behavior of the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleError {
+    /// Chronological index of the offending action (or the trace length
+    /// for "trace ended unexpectedly").
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace not in BehAbs at action #{}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+struct Replay<'a> {
+    checked: &'a CheckedProgram,
+    actions: &'a [Action],
+    cursor: usize,
+    data: BTreeMap<String, Value>,
+    globals: BTreeMap<String, CompInst>,
+    comp_list: Vec<CompInst>,
+}
+
+/// Decides whether `trace` is a possible behavior of the program: it must
+/// decompose into the init segment followed by complete exchanges, each
+/// action matching a deterministic replay of the corresponding command
+/// (with the recorded world inputs and message payloads as the
+/// non-deterministic choices).
+///
+/// # Errors
+///
+/// Returns the position and reason of the first divergence.
+pub fn check_trace_inclusion(checked: &CheckedProgram, trace: &Trace) -> Result<(), OracleError> {
+    let mut replay = Replay {
+        checked,
+        actions: trace.actions(),
+        cursor: 0,
+        data: checked.state_initial_values().into_iter().collect(),
+        globals: BTreeMap::new(),
+        comp_list: Vec::new(),
+    };
+
+    // Init segment.
+    let init = checked.program().init.clone();
+    let mut frame = BTreeMap::new();
+    let mut comps = BTreeMap::new();
+    replay.replay_cmd(&init, &mut frame, &mut comps)?;
+    for (k, v) in comps {
+        replay.globals.insert(k, v);
+    }
+    for (k, v) in frame {
+        replay.data.insert(k, v);
+    }
+
+    // Exchange segments.
+    while replay.cursor < replay.actions.len() {
+        replay.replay_exchange()?;
+    }
+    Ok(())
+}
+
+impl<'a> Replay<'a> {
+    fn fail(&self, message: impl Into<String>) -> OracleError {
+        OracleError {
+            position: self.cursor,
+            message: message.into(),
+        }
+    }
+
+    fn next_action(&mut self) -> Result<&'a Action, OracleError> {
+        let a = self
+            .actions
+            .get(self.cursor)
+            .ok_or_else(|| self.fail("trace ended in the middle of a command"))?;
+        self.cursor += 1;
+        Ok(a)
+    }
+
+    fn replay_exchange(&mut self) -> Result<(), OracleError> {
+        let select = self.next_action()?;
+        let Action::Select { comp: sender } = select else {
+            return Err(self.fail(format!("expected Select, found {select}")));
+        };
+        if !self.comp_list.contains(sender) {
+            return Err(self.fail(format!("selected component {sender} is not live")));
+        }
+        let recv = self.next_action()?;
+        let Action::Recv { comp, msg } = recv else {
+            return Err(self.fail(format!("expected Recv, found {recv}")));
+        };
+        if comp != sender {
+            return Err(self.fail("Recv component differs from the selected one"));
+        }
+        let decl = self
+            .checked
+            .program()
+            .msg_decl(&msg.name)
+            .ok_or_else(|| self.fail(format!("undeclared message `{}`", msg.name)))?;
+        if decl.payload.len() != msg.args.len()
+            || decl
+                .payload
+                .iter()
+                .zip(&msg.args)
+                .any(|(ty, v)| v.ty() != *ty)
+        {
+            return Err(self.fail(format!("ill-typed payload for `{}`", msg.name)));
+        }
+        let handler = self
+            .checked
+            .program()
+            .handler(&sender.ctype, &msg.name)
+            .cloned();
+        if let Some(h) = handler {
+            let mut frame: BTreeMap<String, Value> = h
+                .params
+                .iter()
+                .cloned()
+                .zip(msg.args.iter().cloned())
+                .collect();
+            let mut comps = BTreeMap::new();
+            comps.insert(Handler::SENDER.to_owned(), sender.clone());
+            self.replay_cmd(&h.body, &mut frame, &mut comps)?;
+        }
+        Ok(())
+    }
+
+    fn replay_cmd(
+        &mut self,
+        cmd: &Cmd,
+        frame: &mut BTreeMap<String, Value>,
+        comps: &mut BTreeMap<String, CompInst>,
+    ) -> Result<(), OracleError> {
+        match cmd {
+            Cmd::Nop => Ok(()),
+            Cmd::Block(cs) => {
+                for c in cs {
+                    self.replay_cmd(c, frame, comps)?;
+                }
+                Ok(())
+            }
+            Cmd::Assign(x, e) => {
+                let v = self.eval(e, frame, comps)?;
+                self.data.insert(x.clone(), v);
+                Ok(())
+            }
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = self.eval(cond, frame, comps)? == Value::Bool(true);
+                self.replay_cmd(if taken { then_branch } else { else_branch }, frame, comps)
+            }
+            Cmd::Send { target, msg, args } => {
+                let comp = self.eval_comp(target, frame, comps)?;
+                let values: Result<Vec<Value>, _> =
+                    args.iter().map(|a| self.eval(a, frame, comps)).collect();
+                let values = values?;
+                let action = self.next_action()?;
+                match action {
+                    Action::Send { comp: c, msg: m }
+                        if *c == comp && m.name == *msg && m.args == values =>
+                    {
+                        Ok(())
+                    }
+                    other => Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!(
+                            "expected Send({comp}, {msg}(…)), found {other}"
+                        ),
+                    }),
+                }
+            }
+            Cmd::Spawn {
+                binder,
+                ctype,
+                config,
+            } => {
+                let values: Result<Vec<Value>, _> =
+                    config.iter().map(|c| self.eval(c, frame, comps)).collect();
+                let values = values?;
+                let action = self.next_action()?;
+                let Action::Spawn { comp } = action else {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!("expected Spawn({ctype}), found {action}"),
+                    });
+                };
+                if comp.ctype != *ctype || comp.config != values {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!(
+                            "spawned component {comp} does not match spawn of {ctype}"
+                        ),
+                    });
+                }
+                if self.comp_list.iter().any(|c| c.id == comp.id) {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!("component id {} reused", comp.id),
+                    });
+                }
+                self.comp_list.push(comp.clone());
+                comps.insert(binder.clone(), comp.clone());
+                Ok(())
+            }
+            Cmd::Call { binder, func, args } => {
+                let values: Result<Vec<Value>, _> =
+                    args.iter().map(|a| self.eval(a, frame, comps)).collect();
+                let values = values?;
+                let action = self.next_action()?;
+                let Action::Call {
+                    func: f,
+                    args: a,
+                    result,
+                } = action
+                else {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!("expected Call({func}), found {action}"),
+                    });
+                };
+                if f != func || *a != values {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: format!("call {f}({a:?}) does not match {func}({values:?})"),
+                    });
+                }
+                let Value::Str(s) = result else {
+                    return Err(OracleError {
+                        position: self.cursor - 1,
+                        message: "call results must be strings".into(),
+                    });
+                };
+                frame.insert(binder.clone(), Value::Str(s.clone()));
+                Ok(())
+            }
+            Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            } => {
+                // One recorded Send per matching component, in spawn order.
+                let candidates: Vec<CompInst> = self
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                for c in candidates {
+                    comps.insert(binder.clone(), c.clone());
+                    let hit = self.eval(pred, frame, comps)? == Value::Bool(true);
+                    if hit {
+                        let values: Result<Vec<Value>, _> =
+                            args.iter().map(|a| self.eval(a, frame, comps)).collect();
+                        let values = values?;
+                        let action = self.next_action()?;
+                        match action {
+                            Action::Send { comp, msg: m }
+                                if *comp == c && m.name == *msg && m.args == values => {}
+                            other => {
+                                return Err(OracleError {
+                                    position: self.cursor - 1,
+                                    message: format!(
+                                        "expected broadcast Send({c}, {msg}(…)), found {other}"
+                                    ),
+                                })
+                            }
+                        }
+                    }
+                }
+                comps.remove(binder);
+                Ok(())
+            }
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => {
+                // Deterministic first-match, mirroring the interpreter.
+                let candidates: Vec<CompInst> = self
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                for c in candidates {
+                    comps.insert(binder.clone(), c);
+                    let hit = self.eval(pred, frame, comps)? == Value::Bool(true);
+                    if hit {
+                        let result = self.replay_cmd(found, frame, comps);
+                        comps.remove(binder);
+                        return result;
+                    }
+                }
+                comps.remove(binder);
+                self.replay_cmd(missing, frame, comps)
+            }
+        }
+    }
+
+    fn eval(
+        &self,
+        e: &Expr,
+        frame: &BTreeMap<String, Value>,
+        comps: &BTreeMap<String, CompInst>,
+    ) -> Result<Value, OracleError> {
+        Ok(match e {
+            Expr::Lit(v) => v.clone(),
+            Expr::Var(x) => {
+                if let Some(v) = frame.get(x) {
+                    v.clone()
+                } else if let Some(c) = comps.get(x) {
+                    Value::Comp(c.id)
+                } else if let Some(v) = self.data.get(x) {
+                    v.clone()
+                } else if let Some(c) = self.globals.get(x) {
+                    Value::Comp(c.id)
+                } else {
+                    return Err(self.fail(format!("unbound variable `{x}`")));
+                }
+            }
+            Expr::Cfg(inner, field) => {
+                let comp = self.eval_comp(inner, frame, comps)?;
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(&comp.ctype)
+                    .ok_or_else(|| self.fail("undeclared component type"))?;
+                let (idx, _) = decl
+                    .config_field(field)
+                    .ok_or_else(|| self.fail(format!("no configuration field `{field}`")))?;
+                comp.config[idx].clone()
+            }
+            Expr::Un(op, t) => {
+                let v = self.eval(t, frame, comps)?;
+                match (op, v) {
+                    (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (UnOp::Neg, Value::Num(n)) => Value::Num(n.wrapping_neg()),
+                    _ => return Err(self.fail("type error in unary operator")),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval(l, frame, comps)?;
+                let b = self.eval(r, frame, comps)?;
+                match (op, a, b) {
+                    (BinOp::Eq, a, b) => Value::Bool(a == b),
+                    (BinOp::Ne, a, b) => Value::Bool(a != b),
+                    (BinOp::And, Value::Bool(x), Value::Bool(y)) => Value::Bool(x && y),
+                    (BinOp::Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(x || y),
+                    (BinOp::Add, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_add(y)),
+                    (BinOp::Sub, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_sub(y)),
+                    (BinOp::Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
+                    (BinOp::Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
+                    (BinOp::Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
+                    _ => return Err(self.fail("type error in binary operator")),
+                }
+            }
+        })
+    }
+
+    fn eval_comp(
+        &self,
+        e: &Expr,
+        frame: &BTreeMap<String, Value>,
+        comps: &BTreeMap<String, CompInst>,
+    ) -> Result<CompInst, OracleError> {
+        let v = self.eval(e, frame, comps)?;
+        let Value::Comp(id) = v else {
+            return Err(self.fail(format!("expected component, got {v}")));
+        };
+        self.comp_list
+            .iter()
+            .find(|c| c.id == id)
+            .cloned()
+            .ok_or_else(|| self.fail(format!("no live component {id}")))
+    }
+}
+
+/// One identity-erased observable output: what the π_o comparison of
+/// non-interference sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservableOutput {
+    /// `"Send"` or `"Spawn"`.
+    pub kind: &'static str,
+    /// Recipient / spawned component type.
+    pub ctype: String,
+    /// Its configuration.
+    pub config: Vec<Value>,
+    /// Message name (empty for spawns).
+    pub msg: String,
+    /// Message payload with file-descriptor values erased (they are
+    /// allocator artifacts).
+    pub payload: Vec<Value>,
+}
+
+/// Projects the `Send`/`Spawn` actions directed at components selected by
+/// `is_high`, erasing component identities and file descriptors (π_o of
+/// §4.2, up to allocator artifacts).
+pub fn observable_outputs(
+    trace: &Trace,
+    is_high: impl Fn(&CompInst) -> bool,
+) -> Vec<ObservableOutput> {
+    let erase = |v: &Value| match v {
+        Value::Fdesc(_) => Value::Fdesc(reflex_ast::Fdesc::new(0)),
+        other => other.clone(),
+    };
+    let mut out = Vec::new();
+    for a in trace.iter_chrono() {
+        match a {
+            Action::Send { comp, msg } if is_high(comp) => out.push(ObservableOutput {
+                kind: "Send",
+                ctype: comp.ctype.clone(),
+                config: comp.config.clone(),
+                msg: msg.name.clone(),
+                payload: msg.args.iter().map(erase).collect(),
+            }),
+            Action::Spawn { comp } if is_high(comp) => out.push(ObservableOutput {
+                kind: "Spawn",
+                ctype: comp.ctype.clone(),
+                config: comp.config.clone(),
+                msg: String::new(),
+                payload: Vec::new(),
+            }),
+            _ => {}
+        }
+    }
+    out
+}

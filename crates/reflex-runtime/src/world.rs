@@ -1,0 +1,129 @@
+//! The non-deterministic outside world.
+//!
+//! `call` commands invoke external functions whose results the kernel
+//! cannot predict — in the paper these are custom OCaml functions (fetching
+//! a URL, reading the password file, …) and their results are modelled as
+//! inputs from the outside world (the non-deterministic context trees of
+//! §4.2). The [`World`] trait supplies those results to the interpreter;
+//! tests plug in scripted or random worlds.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use reflex_ast::Value;
+
+/// Supplies results for external `call`s.
+pub trait World {
+    /// Produces the result of calling `func(args…)`. Reflex `call` results
+    /// are strings.
+    fn call(&mut self, func: &str, args: &[Value]) -> String;
+}
+
+/// A world where every call returns the empty string.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EmptyWorld;
+
+impl World for EmptyWorld {
+    fn call(&mut self, _func: &str, _args: &[Value]) -> String {
+        String::new()
+    }
+}
+
+/// A world with per-function scripted implementations; unscripted
+/// functions return the empty string.
+#[derive(Default)]
+pub struct ScriptedWorld {
+    #[allow(clippy::type_complexity)]
+    functions: HashMap<String, Box<dyn FnMut(&[Value]) -> String>>,
+}
+
+impl ScriptedWorld {
+    /// An empty scripted world.
+    pub fn new() -> ScriptedWorld {
+        ScriptedWorld::default()
+    }
+
+    /// Scripts `func`.
+    pub fn provides(
+        mut self,
+        func: impl Into<String>,
+        f: impl FnMut(&[Value]) -> String + 'static,
+    ) -> Self {
+        self.functions.insert(func.into(), Box::new(f));
+        self
+    }
+}
+
+impl fmt::Debug for ScriptedWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedWorld")
+            .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl World for ScriptedWorld {
+    fn call(&mut self, func: &str, args: &[Value]) -> String {
+        match self.functions.get_mut(func) {
+            Some(f) => f(args),
+            None => String::new(),
+        }
+    }
+}
+
+/// A world producing pseudo-random short strings from a seed — used by the
+/// property-based trace-inclusion tests to exercise non-determinism.
+#[derive(Debug, Clone)]
+pub struct RandomWorld {
+    state: u64,
+}
+
+impl RandomWorld {
+    /// Creates a random world from a seed.
+    pub fn new(seed: u64) -> RandomWorld {
+        RandomWorld {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl World for RandomWorld {
+    fn call(&mut self, _func: &str, _args: &[Value]) -> String {
+        let n = self.next() % 4;
+        ["", "a", "b", "ok"][n as usize].to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_world_dispatches_by_name() {
+        let mut w = ScriptedWorld::new()
+            .provides("wget", |args| format!("page:{}", args.len()))
+            .provides("rand", |_| "4".to_owned());
+        assert_eq!(w.call("wget", &[Value::from("u")]), "page:1");
+        assert_eq!(w.call("rand", &[]), "4");
+        assert_eq!(w.call("unknown", &[]), "");
+    }
+
+    #[test]
+    fn random_world_is_deterministic_per_seed() {
+        let mut a = RandomWorld::new(7);
+        let mut b = RandomWorld::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.call("f", &[]), b.call("f", &[]));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Unit-level tests of interpreter mechanics: scheduling, mailboxes,
+//! handler scoping, lookup order, and error behavior.
+
+use reflex_ast::{CompId, Value};
+use reflex_runtime::{
+    ComponentBehavior, EmptyWorld, Interpreter, Registry, ScriptedBehavior, SilentBehavior,
+};
+use reflex_trace::{Action, Msg};
+use reflex_typeck::CheckedProgram;
+
+fn checked(src: &str) -> CheckedProgram {
+    reflex_typeck::check(&reflex_parser::parse_program("t", src).expect("parses"))
+        .expect("checks")
+}
+
+const PIPE: &str = r#"
+components {
+  A "a.py" ();
+  B "b.py" ();
+}
+messages {
+  Step(num);
+  Done(num);
+}
+state {
+  seen: num = 0;
+}
+init {
+  a0 <- spawn A();
+  b0 <- spawn B();
+}
+handlers {
+  when A:Step(n) {
+    seen = seen + 1;
+    send(b0, Step(n));
+  }
+  when B:Done(n) {
+    seen = seen + n;
+  }
+}
+"#;
+
+#[test]
+fn mailbox_is_fifo_per_component() {
+    let c = checked(PIPE);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let a = k.components_of("A")[0].id;
+    for n in [10, 20, 30] {
+        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+    }
+    k.run(10).expect("runs");
+    let received: Vec<i64> = k
+        .trace()
+        .iter_chrono()
+        .filter_map(|act| match act {
+            Action::Recv { msg, .. } if msg.name == "Step" => msg.args[0].as_num(),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(received, vec![10, 20, 30], "FIFO order per mailbox");
+    assert_eq!(k.state_var("seen"), Some(&Value::Num(3)));
+}
+
+#[test]
+fn scheduler_is_deterministic_per_seed() {
+    let c = checked(PIPE);
+    let run = |seed: u64| {
+        let registry = Registry::new().register("a.py", |_| {
+            Box::new(
+                ScriptedBehavior::new()
+                    .starts_with((0..5).map(|n| Msg::new("Step", [Value::Num(n)]))),
+            )
+        });
+        let mut k = Interpreter::new(&c, registry, Box::new(EmptyWorld), seed).expect("boots");
+        k.run(32).expect("runs");
+        k.trace().clone()
+    };
+    assert_eq!(run(42), run(42), "same seed, same schedule");
+}
+
+#[test]
+fn run_respects_step_budget() {
+    let c = checked(PIPE);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let a = k.components_of("A")[0].id;
+    for n in 0..6 {
+        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+    }
+    assert_eq!(k.run(2).expect("runs"), 2);
+    assert!(k.has_ready());
+    assert_eq!(k.run(100).expect("runs"), 4);
+    assert!(!k.has_ready());
+}
+
+#[test]
+fn behavior_replies_are_delivered_on_selection() {
+    let c = checked(PIPE);
+    let registry = Registry::new().register("b.py", |_| {
+        Box::new(ScriptedBehavior::new().replies("Step", |m| {
+            vec![Msg::new("Done", [m.args[0].clone()])]
+        }))
+    });
+    let mut k = Interpreter::new(&c, registry, Box::new(EmptyWorld), 1).expect("boots");
+    let a = k.components_of("A")[0].id;
+    k.inject(a, Msg::new("Step", [Value::Num(7)])).expect("inject");
+    k.run(10).expect("runs");
+    // seen = 1 (A handler) + 7 (B's Done reply).
+    assert_eq!(k.state_var("seen"), Some(&Value::Num(8)));
+}
+
+#[test]
+fn stateful_behaviors_accumulate() {
+    // A custom behavior with internal state across deliveries.
+    struct Counterer {
+        count: i64,
+    }
+    impl ComponentBehavior for Counterer {
+        fn on_message(&mut self, m: &Msg) -> Vec<Msg> {
+            self.count += 1;
+            if m.name == "Step" && self.count == 3 {
+                vec![Msg::new("Done", [Value::Num(self.count)])]
+            } else {
+                vec![]
+            }
+        }
+    }
+    let c = checked(PIPE);
+    let registry = Registry::new().register("b.py", |_| Box::new(Counterer { count: 0 }));
+    let mut k = Interpreter::new(&c, registry, Box::new(EmptyWorld), 5).expect("boots");
+    let a = k.components_of("A")[0].id;
+    for n in 0..3 {
+        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+    }
+    k.run(20).expect("runs");
+    // Only the third delivery triggered Done(3): seen = 3 + 3.
+    assert_eq!(k.state_var("seen"), Some(&Value::Num(6)));
+}
+
+#[test]
+fn silent_behavior_is_inert_and_fresh_fds_advance() {
+    let mut b = SilentBehavior;
+    assert!(b.on_start().is_empty());
+    assert!(b.on_message(&Msg::new("X", [])).is_empty());
+
+    let c = checked(PIPE);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let f1 = k.fresh_fd();
+    let f2 = k.fresh_fd();
+    assert_ne!(f1, f2);
+}
+
+const LOOKUP_ORDER: &str = r#"
+components {
+  C "c.py" ();
+  K "k.py" (tag: str);
+}
+messages {
+  Find(str);
+  Hit(str);
+}
+init {
+  c0 <- spawn C();
+  k1 <- spawn K("x");
+  k2 <- spawn K("x");
+}
+handlers {
+  when C:Find(t) {
+    lookup K(k : k.tag == t) {
+      send(k, Hit(t));
+    }
+  }
+}
+"#;
+
+#[test]
+fn lookup_picks_the_first_match_in_spawn_order() {
+    let c = checked(LOOKUP_ORDER);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let c0 = k.components_of("C")[0].id;
+    let first_k = k.components_of("K")[0].id;
+    k.inject(c0, Msg::new("Find", [Value::from("x")])).expect("inject");
+    k.run(4).expect("runs");
+    let hit = k
+        .trace()
+        .iter_chrono()
+        .find_map(|a| match a {
+            Action::Send { comp, msg } if msg.name == "Hit" => Some(comp.id),
+            _ => None,
+        })
+        .expect("hit sent");
+    assert_eq!(hit, first_k);
+}
+
+#[test]
+fn missing_lookup_takes_else_branch_silently() {
+    let c = checked(LOOKUP_ORDER);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let c0 = k.components_of("C")[0].id;
+    k.inject(c0, Msg::new("Find", [Value::from("nope")])).expect("inject");
+    k.run(4).expect("runs");
+    assert!(!k
+        .trace()
+        .iter_chrono()
+        .any(|a| matches!(a, Action::Send { msg, .. } if msg.name == "Hit")));
+}
+
+#[test]
+fn step_on_quiescent_kernel_returns_none() {
+    let c = checked(PIPE);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    assert!(k.step().expect("steps").is_none());
+    assert_eq!(k.trace().len(), 2, "only the init spawns");
+}
+
+#[test]
+fn inject_rejects_dead_component_ids() {
+    let c = checked(PIPE);
+    let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    assert!(k.inject(CompId::new(77), Msg::new("Step", [Value::Num(1)])).is_err());
+}

@@ -1,0 +1,391 @@
+//! Integration tests for the interpreter and the dynamic oracles.
+
+use proptest::prelude::*;
+use reflex_ast::{CompId, Value};
+use reflex_runtime::oracle::{check_trace_inclusion, observable_outputs};
+use reflex_runtime::{
+    EmptyWorld, Interpreter, RandomWorld, Registry, ScriptedBehavior, ScriptedWorld,
+};
+use reflex_trace::{Action, Msg};
+use reflex_typeck::CheckedProgram;
+
+fn checked(name: &str, src: &str) -> CheckedProgram {
+    let p = reflex_parser::parse_program(name, src).expect("parses");
+    reflex_typeck::check(&p).expect("well-formed")
+}
+
+const SSH: &str = r#"
+components {
+  Connection "client.py" ();
+  Password "user-auth.c" ();
+  Terminal "pty-alloc.c" ();
+}
+messages {
+  ReqAuth(str, str);
+  Auth(str);
+  ReqTerm(str);
+  Term(str, fdesc);
+}
+state {
+  auth_user: str = "";
+  auth_ok: bool = false;
+}
+init {
+  C <- spawn Connection();
+  P <- spawn Password();
+  T <- spawn Terminal();
+}
+handlers {
+  when Connection:ReqAuth(user, pass) {
+    send(P, ReqAuth(user, pass));
+  }
+  when Password:Auth(user) {
+    auth_user = user;
+    auth_ok = true;
+  }
+  when Connection:ReqTerm(user) {
+    if (user == auth_user && auth_ok) {
+      send(T, ReqTerm(user));
+    }
+  }
+  when Terminal:Term(user, t) {
+    if (user == auth_user && auth_ok) {
+      send(C, Term(user, t));
+    }
+  }
+}
+properties {
+  AuthBeforeTerm: forall u: str.
+    [Recv(Password(), Auth(u))] Enables [Send(Terminal(), ReqTerm(u))];
+}
+"#;
+
+/// A full SSH session: the client authenticates, the password component
+/// approves, the client requests and receives a terminal.
+fn ssh_registry() -> Registry {
+    Registry::new()
+        .register("client.py", |_| {
+            Box::new(
+                ScriptedBehavior::new()
+                    .starts_with([Msg::new(
+                        "ReqAuth",
+                        [Value::from("alice"), Value::from("hunter2")],
+                    )])
+                    // After the password check succeeds the kernel does not
+                    // notify the client directly; the scripted client just
+                    // asks for a terminal after its auth message.
+                    .replies("Term", |_| vec![]),
+            )
+        })
+        .register("user-auth.c", |_| {
+            Box::new(ScriptedBehavior::new().replies("ReqAuth", |m| {
+                // Approve alice/hunter2 only.
+                if m.args == vec![Value::from("alice"), Value::from("hunter2")] {
+                    vec![Msg::new("Auth", [m.args[0].clone()])]
+                } else {
+                    vec![]
+                }
+            }))
+        })
+        .register("pty-alloc.c", |_| {
+            Box::new(ScriptedBehavior::new().replies("ReqTerm", |m| {
+                vec![Msg::new(
+                    "Term",
+                    [m.args[0].clone(), Value::Fdesc(reflex_ast::Fdesc::new(7))],
+                )]
+            }))
+        })
+}
+
+#[test]
+fn ssh_session_runs_and_satisfies_properties() {
+    let c = checked("ssh", SSH);
+    let mut kernel =
+        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 42).expect("boots");
+    kernel.run(10).expect("runs");
+
+    // The password component authenticated alice.
+    assert_eq!(kernel.state_var("auth_ok"), Some(&Value::Bool(true)));
+    assert_eq!(kernel.state_var("auth_user"), Some(&Value::from("alice")));
+
+    // Now the (authenticated) client asks for a terminal.
+    let client = kernel.components_of("Connection")[0].id;
+    kernel
+        .inject(client, Msg::new("ReqTerm", [Value::from("alice")]))
+        .expect("inject");
+    kernel.run(10).expect("runs");
+
+    let trace = kernel.trace().clone();
+    // The terminal fd was forwarded to the client.
+    assert!(trace.iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { comp, msg } if comp.ctype == "Connection" && msg.name == "Term"
+    )));
+    // The trace is a possible behavior and satisfies the property.
+    check_trace_inclusion(&c, &trace).expect("in BehAbs");
+    reflex_trace::check_trace_properties(&trace, &c.program().properties)
+        .expect("properties hold on the run");
+}
+
+#[test]
+fn unauthenticated_terminal_requests_are_dropped() {
+    let c = checked("ssh", SSH);
+    let registry = Registry::new().register("client.py", |_| {
+        Box::new(
+            ScriptedBehavior::new()
+                .starts_with([Msg::new("ReqTerm", [Value::from("mallory")])]),
+        )
+    });
+    let mut kernel = Interpreter::new(&c, registry, Box::new(EmptyWorld), 1).expect("boots");
+    kernel.run(10).expect("runs");
+    // No terminal was requested from the Terminal component.
+    assert!(!kernel.trace().iter_chrono().any(|a| matches!(
+        a,
+        Action::Send { comp, .. } if comp.ctype == "Terminal"
+    )));
+    check_trace_inclusion(&c, kernel.trace()).expect("in BehAbs");
+}
+
+#[test]
+fn inject_validates_component_and_payload() {
+    let c = checked("ssh", SSH);
+    let mut kernel =
+        Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let client = kernel.components_of("Connection")[0].id;
+    // Unknown component id.
+    assert!(kernel
+        .inject(CompId::new(999), Msg::new("Auth", [Value::from("x")]))
+        .is_err());
+    // Undeclared message.
+    assert!(kernel.inject(client, Msg::new("Nope", [])).is_err());
+    // Wrong payload type.
+    assert!(kernel
+        .inject(client, Msg::new("Auth", [Value::Num(3)]))
+        .is_err());
+    // Correct.
+    assert!(kernel
+        .inject(client, Msg::new("ReqTerm", [Value::from("alice")]))
+        .is_ok());
+}
+
+#[test]
+fn oracle_rejects_corrupted_traces() {
+    let c = checked("ssh", SSH);
+    let mut kernel =
+        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 7).expect("boots");
+    kernel.run(10).expect("runs");
+    let good = kernel.trace().clone();
+    check_trace_inclusion(&c, &good).expect("valid");
+
+    // Corrupt 1: drop the init spawn actions.
+    let tampered: reflex_trace::Trace =
+        good.iter_chrono().skip(1).cloned().collect();
+    assert!(check_trace_inclusion(&c, &tampered).is_err());
+
+    // Corrupt 2: append a Send the kernel never performed.
+    let mut tampered = good.clone();
+    let victim = kernel.components_of("Terminal")[0].clone();
+    tampered.push(Action::Send {
+        comp: victim,
+        msg: Msg::new("ReqTerm", [Value::from("mallory")]),
+    });
+    assert!(check_trace_inclusion(&c, &tampered).is_err());
+
+    // Corrupt 3: a Recv without its Select.
+    let mut tampered = good.clone();
+    let sender = kernel.components_of("Connection")[0].clone();
+    tampered.push(Action::Recv {
+        comp: sender,
+        msg: Msg::new("ReqTerm", [Value::from("alice")]),
+    });
+    assert!(check_trace_inclusion(&c, &tampered).is_err());
+}
+
+const COOKIES: &str = r#"
+components {
+  Tab "tab.py" (domain: str);
+  Cookie "cookie.py" (domain: str);
+}
+messages {
+  SetCookie(str);
+  CookieSet(str);
+}
+init {
+}
+handlers {
+  when Tab:SetCookie(v) {
+    lookup Cookie(k : k.domain == sender.domain) {
+      send(k, SetCookie(v));
+    } else {
+      n <- spawn Cookie(sender.domain);
+      send(n, SetCookie(v));
+    }
+  }
+}
+properties {
+  UniqueCookiePerDomain: forall d: str.
+    [Spawn(Cookie(d))] Disables [Spawn(Cookie(d))];
+}
+"#;
+
+#[test]
+fn lookup_reuses_existing_components() {
+    // Note: this kernel spawns tabs nowhere — tests drive it by spawning
+    // via a bootstrap init. Extend the source with two tabs.
+    let src = COOKIES.replace(
+        "init {\n}",
+        "init {\n  t1 <- spawn Tab(\"a.org\");\n  t2 <- spawn Tab(\"a.org\");\n  t3 <- spawn Tab(\"b.org\");\n}",
+    );
+    let c = checked("cookies", &src);
+    let mut kernel =
+        Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 3).expect("boots");
+    let tabs: Vec<CompId> = kernel.components_of("Tab").iter().map(|t| t.id).collect();
+    for (i, t) in tabs.iter().enumerate() {
+        kernel
+            .inject(*t, Msg::new("SetCookie", [Value::from(format!("v{i}"))]))
+            .expect("inject");
+    }
+    kernel.run(20).expect("runs");
+    // Two cookie processes: one for a.org (shared), one for b.org.
+    assert_eq!(kernel.components_of("Cookie").len(), 2);
+    check_trace_inclusion(&c, kernel.trace()).expect("in BehAbs");
+    reflex_trace::check_trace_properties(kernel.trace(), &c.program().properties)
+        .expect("uniqueness holds");
+}
+
+#[test]
+fn observable_outputs_erase_identities() {
+    let c = checked("ssh", SSH);
+    let mut kernel =
+        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 11).expect("boots");
+    kernel.run(10).expect("runs");
+    let outs = observable_outputs(kernel.trace(), |comp| comp.ctype == "Password");
+    // Only the forwarded ReqAuth went to the Password component.
+    assert_eq!(outs.len(), 2); // its Spawn + the Send
+    assert_eq!(outs[0].kind, "Spawn");
+    assert_eq!(outs[1].kind, "Send");
+    assert_eq!(outs[1].msg, "ReqAuth");
+}
+
+const CALLER: &str = r#"
+components {
+  Client "c.py" ();
+}
+messages {
+  Fetch(str);
+  Page(str);
+}
+init {
+  cl <- spawn Client();
+}
+handlers {
+  when Client:Fetch(url) {
+    body <- call wget(url);
+    send(cl, Page(body));
+  }
+}
+"#;
+
+#[test]
+fn world_results_flow_through_calls() {
+    let c = checked("caller", CALLER);
+    let world = ScriptedWorld::new().provides("wget", |args| {
+        format!("<html>{}</html>", args[0].as_str().unwrap_or(""))
+    });
+    let registry = Registry::new().register("c.py", |_| {
+        Box::new(ScriptedBehavior::new().starts_with([Msg::new("Fetch", [Value::from("x.org")])]))
+    });
+    let mut kernel = Interpreter::new(&c, registry, Box::new(world), 0).expect("boots");
+    kernel.run(5).expect("runs");
+    let sent = kernel
+        .trace()
+        .iter_chrono()
+        .find_map(|a| match a {
+            Action::Send { msg, .. } if msg.name == "Page" => Some(msg.args[0].clone()),
+            _ => None,
+        })
+        .expect("page sent");
+    assert_eq!(sent, Value::from("<html>x.org</html>"));
+    check_trace_inclusion(&c, kernel.trace()).expect("in BehAbs");
+}
+
+// ---- property-based: every random execution stays inside BehAbs ---------
+
+/// A small kernel exercising every command form, driven by random
+/// schedules, worlds and client payloads.
+const FUZZ: &str = r#"
+components {
+  Client "cl.py" (tag: str);
+  Worker "wk.py" (kind: str);
+}
+messages {
+  Job(str, num);
+  Done(str);
+  Report(num);
+}
+state {
+  jobs: num = 0;
+  last: str = "";
+}
+init {
+  c1 <- spawn Client("one");
+  c2 <- spawn Client("two");
+}
+handlers {
+  when Client:Job(name, weight) {
+    jobs = jobs + 1;
+    r <- call classify(name);
+    if (weight < 10 && r != "reject") {
+      lookup Worker(w : w.kind == r) {
+        send(w, Job(name, weight));
+      } else {
+        n <- spawn Worker(r);
+        send(n, Job(name, weight));
+      }
+    } else {
+      last = name;
+      send(sender, Done(name));
+    }
+  }
+  when Worker:Done(name) {
+    last = name;
+    send(sender, Report(jobs));
+  }
+}
+"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_executions_stay_in_behabs(
+        seed in any::<u64>(),
+        world_seed in any::<u64>(),
+        jobs in proptest::collection::vec((0usize..2, "[a-c]{0,3}", -5i64..15), 0..6),
+    ) {
+        let c = checked("fuzz", FUZZ);
+        let registry = Registry::new().register("wk.py", |_| {
+            Box::new(ScriptedBehavior::new().replies("Job", |m| {
+                vec![Msg::new("Done", [m.args[0].clone()])]
+            }))
+        });
+        let mut kernel = Interpreter::new(
+            &c,
+            registry,
+            Box::new(RandomWorld::new(world_seed)),
+            seed,
+        ).expect("boots");
+        let clients: Vec<CompId> =
+            kernel.components_of("Client").iter().map(|t| t.id).collect();
+        for (which, name, weight) in jobs {
+            kernel.inject(
+                clients[which],
+                Msg::new("Job", [Value::from(name), Value::Num(weight)]),
+            ).expect("inject");
+            // Interleave stepping with injection for schedule diversity.
+            kernel.step().expect("steps");
+        }
+        kernel.run(64).expect("drains");
+        check_trace_inclusion(&c, kernel.trace()).expect("trace ⊆ BehAbs");
+    }
+}

@@ -1,0 +1,496 @@
+//! Symbolic trace actions and their unification with action patterns.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use reflex_ast::{ActionPat, BinOp, CompPat, PatField, Value};
+
+use crate::comp::SymComp;
+use crate::term::Term;
+
+/// A symbolic trace action: the symbolic counterpart of
+/// `reflex_trace::Action`, emitted by symbolic evaluation of a handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymAction {
+    /// The kernel selected a component.
+    Select {
+        /// The selected component.
+        comp: SymComp,
+    },
+    /// The kernel received a message.
+    Recv {
+        /// The sending component.
+        comp: SymComp,
+        /// Message type.
+        msg: String,
+        /// Payload terms.
+        args: Vec<Term>,
+    },
+    /// The kernel sent a message.
+    Send {
+        /// The recipient component.
+        comp: SymComp,
+        /// Message type.
+        msg: String,
+        /// Payload terms.
+        args: Vec<Term>,
+    },
+    /// The kernel spawned a component.
+    Spawn {
+        /// The new component.
+        comp: SymComp,
+    },
+    /// The kernel invoked an external function.
+    Call {
+        /// Function name.
+        func: String,
+        /// Argument terms.
+        args: Vec<Term>,
+        /// Result term (opaque world input).
+        result: Term,
+    },
+}
+
+impl SymAction {
+    /// The component involved, if any.
+    pub fn comp(&self) -> Option<&SymComp> {
+        match self {
+            SymAction::Select { comp }
+            | SymAction::Recv { comp, .. }
+            | SymAction::Send { comp, .. }
+            | SymAction::Spawn { comp } => Some(comp),
+            SymAction::Call { .. } => None,
+        }
+    }
+
+    /// Short tag naming the action kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SymAction::Select { .. } => "Select",
+            SymAction::Recv { .. } => "Recv",
+            SymAction::Send { .. } => "Send",
+            SymAction::Spawn { .. } => "Spawn",
+            SymAction::Call { .. } => "Call",
+        }
+    }
+}
+
+impl fmt::Display for SymAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn args(f: &mut fmt::Formatter<'_>, ts: &[Term]) -> fmt::Result {
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            Ok(())
+        }
+        match self {
+            SymAction::Select { comp } => write!(f, "Select({comp})"),
+            SymAction::Recv { comp, msg, args: a } => {
+                write!(f, "Recv({comp}, {msg}(")?;
+                args(f, a)?;
+                f.write_str("))")
+            }
+            SymAction::Send { comp, msg, args: a } => {
+                write!(f, "Send({comp}, {msg}(")?;
+                args(f, a)?;
+                f.write_str("))")
+            }
+            SymAction::Spawn { comp } => write!(f, "Spawn({comp})"),
+            SymAction::Call {
+                func,
+                args: a,
+                result,
+            } => {
+                write!(f, "Call({func}(")?;
+                args(f, a)?;
+                write!(f, ") = {result})")
+            }
+        }
+    }
+}
+
+/// A substitution from property variables to symbolic terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymBindings {
+    map: BTreeMap<String, Term>,
+}
+
+impl SymBindings {
+    /// The empty substitution.
+    pub fn new() -> SymBindings {
+        SymBindings::default()
+    }
+
+    /// The term bound to `var`.
+    pub fn get(&self, var: &str) -> Option<&Term> {
+        self.map.get(var)
+    }
+
+    /// Binds `var` to `term` (caller ensures freshness or handles the
+    /// returned previous binding).
+    pub fn insert(&mut self, var: impl Into<String>, term: Term) -> Option<Term> {
+        self.map.insert(var.into(), term)
+    }
+
+    /// Iterates over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Term)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Display for SymBindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} := {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+/// The result of unifying a pattern with a symbolic action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unify {
+    /// The pattern can never match the action (kind, message type or
+    /// component type differ, or literal fields are definitely unequal).
+    Never,
+    /// The pattern matches exactly when `conditions` hold, with property
+    /// variables bound as in `bindings`. Empty `conditions` means a
+    /// definite match.
+    Match {
+        /// Extended substitution.
+        bindings: SymBindings,
+        /// Equality side-conditions (term, polarity) that must hold.
+        conditions: Vec<(Term, bool)>,
+    },
+}
+
+impl Unify {
+    /// Whether this is a definite (unconditional) match.
+    pub fn is_definite(&self) -> bool {
+        matches!(self, Unify::Match { conditions, .. } if conditions.is_empty())
+    }
+}
+
+fn unify_field(
+    pat: &PatField,
+    term: &Term,
+    bindings: &mut SymBindings,
+    conditions: &mut Vec<(Term, bool)>,
+) -> bool {
+    match pat {
+        PatField::Any => true,
+        PatField::Lit(v) => match term {
+            Term::Lit(actual) => actual == v,
+            _ => {
+                conditions.push((
+                    Term::bin(BinOp::Eq, term.clone(), Term::Lit(v.clone())),
+                    true,
+                ));
+                true
+            }
+        },
+        PatField::Var(x) => match bindings.get(x).cloned() {
+            None => {
+                bindings.insert(x.clone(), term.clone());
+                true
+            }
+            Some(prev) => {
+                if prev == *term {
+                    true
+                } else if let (Term::Lit(a), Term::Lit(b)) = (&prev, term) {
+                    a == b
+                } else {
+                    conditions.push((Term::bin(BinOp::Eq, prev, term.clone()), true));
+                    true
+                }
+            }
+        },
+    }
+}
+
+fn unify_comp(
+    pat: &CompPat,
+    comp: &SymComp,
+    bindings: &mut SymBindings,
+    conditions: &mut Vec<(Term, bool)>,
+) -> bool {
+    if let Some(ct) = &pat.ctype {
+        if *ct != comp.ctype {
+            return false;
+        }
+    }
+    if let Some(fields) = &pat.config {
+        if fields.len() != comp.config.len() {
+            return false;
+        }
+        for (f, t) in fields.iter().zip(&comp.config) {
+            if !unify_field(f, t, bindings, conditions) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Unifies an action pattern with a symbolic action under a partial
+/// substitution.
+///
+/// Returns [`Unify::Never`] when the pattern cannot match regardless of how
+/// symbolic values are instantiated, and otherwise the minimal extension of
+/// `bindings` plus the equality side-conditions under which the match
+/// occurs. The caller decides what to do with conditional matches (the
+/// prover case-splits on them; the certificate checker re-derives them).
+pub fn unify_action(pat: &ActionPat, action: &SymAction, bindings: &SymBindings) -> Unify {
+    let mut b = bindings.clone();
+    let mut conditions = Vec::new();
+    let ok = match (pat, action) {
+        (ActionPat::Select { comp: cp }, SymAction::Select { comp }) => {
+            unify_comp(cp, comp, &mut b, &mut conditions)
+        }
+        (ActionPat::Spawn { comp: cp }, SymAction::Spawn { comp }) => {
+            unify_comp(cp, comp, &mut b, &mut conditions)
+        }
+        (
+            ActionPat::Recv {
+                comp: cp,
+                msg,
+                args,
+            },
+            SymAction::Recv {
+                comp,
+                msg: m,
+                args: ts,
+            },
+        )
+        | (
+            ActionPat::Send {
+                comp: cp,
+                msg,
+                args,
+            },
+            SymAction::Send {
+                comp,
+                msg: m,
+                args: ts,
+            },
+        ) => {
+            msg == m
+                && args.len() == ts.len()
+                && unify_comp(cp, comp, &mut b, &mut conditions)
+                && args
+                    .iter()
+                    .zip(ts)
+                    .all(|(p, t)| unify_field(p, t, &mut b, &mut conditions))
+        }
+        (
+            ActionPat::Call { func, args, result },
+            SymAction::Call {
+                func: f,
+                args: ts,
+                result: r,
+            },
+        ) => {
+            func == f
+                && match args {
+                    None => true,
+                    Some(fields) => {
+                        fields.len() == ts.len()
+                            && fields
+                                .iter()
+                                .zip(ts)
+                                .all(|(p, t)| unify_field(p, t, &mut b, &mut conditions))
+                    }
+                }
+                && unify_field(result, r, &mut b, &mut conditions)
+        }
+        _ => false,
+    };
+    if ok {
+        Unify::Match {
+            bindings: b,
+            conditions,
+        }
+    } else {
+        Unify::Never
+    }
+}
+
+/// Substitutes bound property variables into `value`-level pattern checks:
+/// returns the literal a variable is pinned to, if its bound term is a
+/// literal.
+pub fn binding_literal(bindings: &SymBindings, var: &str) -> Option<Value> {
+    match bindings.get(var) {
+        Some(Term::Lit(v)) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comp::CompOrigin;
+    use crate::term::{SymCtx, SymKind};
+    use reflex_ast::Ty;
+
+    fn sym_comp(ctx: &mut SymCtx, ctype: &str, config: Vec<Term>) -> SymComp {
+        SymComp {
+            ctype: ctype.into(),
+            config,
+            id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+            origin: CompOrigin::Sender,
+        }
+    }
+
+    #[test]
+    fn definite_match_on_known_types() {
+        let mut ctx = SymCtx::new();
+        let user = ctx.fresh_term(Ty::Str, SymKind::Param("user".into()));
+        let term = sym_comp(&mut ctx, "Terminal", vec![]);
+        let act = SymAction::Send {
+            comp: term,
+            msg: "ReqTerm".into(),
+            args: vec![user.clone()],
+        };
+        let pat = ActionPat::Send {
+            comp: CompPat::of_type("Terminal"),
+            msg: "ReqTerm".into(),
+            args: vec![PatField::var("u")],
+        };
+        match unify_action(&pat, &act, &SymBindings::new()) {
+            Unify::Match {
+                bindings,
+                conditions,
+            } => {
+                assert!(conditions.is_empty());
+                assert_eq!(bindings.get("u"), Some(&user));
+            }
+            other => panic!("expected match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn never_on_kind_msg_or_ctype_mismatch() {
+        let mut ctx = SymCtx::new();
+        let c = sym_comp(&mut ctx, "Password", vec![]);
+        let act = SymAction::Send {
+            comp: c.clone(),
+            msg: "Auth".into(),
+            args: vec![],
+        };
+        let recv_pat = ActionPat::Recv {
+            comp: CompPat::of_type("Password"),
+            msg: "Auth".into(),
+            args: vec![],
+        };
+        assert_eq!(unify_action(&recv_pat, &act, &SymBindings::new()), Unify::Never);
+        let wrong_type = ActionPat::Send {
+            comp: CompPat::of_type("Terminal"),
+            msg: "Auth".into(),
+            args: vec![],
+        };
+        assert_eq!(
+            unify_action(&wrong_type, &act, &SymBindings::new()),
+            Unify::Never
+        );
+        let wrong_msg = ActionPat::Send {
+            comp: CompPat::of_type("Password"),
+            msg: "Nope".into(),
+            args: vec![],
+        };
+        assert_eq!(
+            unify_action(&wrong_msg, &act, &SymBindings::new()),
+            Unify::Never
+        );
+    }
+
+    #[test]
+    fn literal_fields_produce_conditions_or_never() {
+        let mut ctx = SymCtx::new();
+        let n = ctx.fresh_term(Ty::Num, SymKind::Param("n".into()));
+        let c = sym_comp(&mut ctx, "P", vec![]);
+        let pat = ActionPat::Send {
+            comp: CompPat::of_type("P"),
+            msg: "M".into(),
+            args: vec![PatField::lit(1i64)],
+        };
+        // Symbolic argument: conditional match.
+        let act = SymAction::Send {
+            comp: c.clone(),
+            msg: "M".into(),
+            args: vec![n.clone()],
+        };
+        match unify_action(&pat, &act, &SymBindings::new()) {
+            Unify::Match { conditions, .. } => {
+                assert_eq!(conditions.len(), 1);
+                assert_eq!(
+                    conditions[0],
+                    (Term::bin(BinOp::Eq, n.clone(), Term::lit(1i64)), true)
+                );
+            }
+            other => panic!("expected conditional match, got {other:?}"),
+        }
+        // Concrete unequal argument: never.
+        let act2 = SymAction::Send {
+            comp: c,
+            msg: "M".into(),
+            args: vec![Term::lit(2i64)],
+        };
+        assert_eq!(unify_action(&pat, &act2, &SymBindings::new()), Unify::Never);
+    }
+
+    #[test]
+    fn repeated_variables_generate_equalities() {
+        let mut ctx = SymCtx::new();
+        let a = ctx.fresh_term(Ty::Str, SymKind::Fresh);
+        let b = ctx.fresh_term(Ty::Str, SymKind::Fresh);
+        let c = sym_comp(&mut ctx, "P", vec![]);
+        let pat = ActionPat::Send {
+            comp: CompPat::of_type("P"),
+            msg: "M".into(),
+            args: vec![PatField::var("x"), PatField::var("x")],
+        };
+        let act = SymAction::Send {
+            comp: c,
+            msg: "M".into(),
+            args: vec![a.clone(), b.clone()],
+        };
+        match unify_action(&pat, &act, &SymBindings::new()) {
+            Unify::Match { conditions, .. } => {
+                assert_eq!(conditions, vec![(Term::bin(BinOp::Eq, a, b), true)]);
+            }
+            other => panic!("expected conditional match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prebound_variable_conflicts() {
+        let mut ctx = SymCtx::new();
+        let c = sym_comp(&mut ctx, "P", vec![Term::lit("a.org")]);
+        let pat = ActionPat::Spawn {
+            comp: CompPat::with_config("P", [PatField::var("d")]),
+        };
+        let mut pre = SymBindings::new();
+        pre.insert("d", Term::lit("b.org"));
+        assert_eq!(
+            unify_action(&pat, &SymAction::Spawn { comp: c }, &pre),
+            Unify::Never
+        );
+    }
+}

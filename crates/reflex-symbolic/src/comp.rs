@@ -1,0 +1,63 @@
+//! Symbolic component instances.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// Where a symbolic component came from, within the exchange under
+/// analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompOrigin {
+    /// Bound by a `spawn` in the init section (a global component
+    /// variable). Its configuration is the init-evaluated one — often fully
+    /// concrete.
+    Init {
+        /// The init binder name.
+        binder: String,
+    },
+    /// The component that sent the message triggering the current handler.
+    /// Its configuration fields are opaque.
+    Sender,
+    /// Spawned by the current handler run (`index`-th spawn on this path).
+    Spawned {
+        /// Zero-based spawn counter within the path.
+        index: usize,
+    },
+    /// Found by a `lookup` in the current handler run. Opaque, except that
+    /// the lookup predicate holds of its configuration (recorded in the
+    /// path condition).
+    Lookup {
+        /// Zero-based lookup counter within the path.
+        index: usize,
+    },
+}
+
+/// A symbolic component instance.
+///
+/// The component *type* is always statically known (enforced by
+/// `reflex-typeck`), which is what lets pattern unification decide
+/// component-type matches definitely rather than conditionally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymComp {
+    /// Component type name.
+    pub ctype: String,
+    /// Configuration field terms.
+    pub config: Vec<Term>,
+    /// Identity term (opaque).
+    pub id: Term,
+    /// Provenance.
+    pub origin: CompOrigin,
+}
+
+impl fmt::Display for SymComp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}⟨{}⟩(", self.ctype, self.id)?;
+        for (i, t) in self.config.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}

@@ -1,0 +1,567 @@
+//! Symbolic evaluation of Reflex commands: the `Exchange` relation.
+//!
+//! Handlers are loop-free (a core LAC restriction), so a handler body has a
+//! statically bounded set of execution paths, each emitting a bounded list
+//! of actions. [`Evaluator::eval_exchange`] enumerates those paths for one
+//! `(component type, message type)` case of the behavioral abstraction
+//! `BehAbs`: it runs the handler on a *generic* pre-state (opaque state
+//! variables, opaque sender and payload) and returns every path with its
+//! path condition, emitted symbolic actions and final symbolic state.
+//!
+//! The induction performed by `reflex-verify` is exactly the paper's (§5):
+//! base case over [`Evaluator::eval_init`], inductive step over
+//! `eval_exchange` for every case in
+//! [`Program::exchange_cases`](reflex_ast::Program::exchange_cases).
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{Cmd, Expr, Handler, Ty, UnOp};
+use reflex_typeck::CheckedProgram;
+
+use crate::comp::{CompOrigin, SymComp};
+use crate::solver::Solver;
+use crate::action::SymAction;
+use crate::term::{SymCtx, SymKind, Term};
+
+/// A symbolic program state: data variables and component variables in
+/// scope.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymState {
+    /// Data-typed variables (state variables, parameters, call binders).
+    pub data: BTreeMap<String, Term>,
+    /// Component-typed variables (init binders, `sender`, spawn/lookup
+    /// binders).
+    pub comps: BTreeMap<String, SymComp>,
+}
+
+/// Provenance of one path-condition literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondKind {
+    /// An `if` branch condition.
+    Branch,
+    /// A `lookup` predicate, asserted of the found component.
+    LookupPred {
+        /// The opaque component the lookup found.
+        comp: SymComp,
+    },
+}
+
+/// A `lookup` that took its `missing` branch on this path: no component of
+/// `ctype` satisfied `pred` at that point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissedLookup {
+    /// Component type searched.
+    pub ctype: String,
+    /// Binder name used in the predicate.
+    pub binder: String,
+    /// The predicate expression (unevaluated; the captured `state` gives
+    /// meaning to its free variables).
+    pub pred: Expr,
+    /// Symbolic state at the lookup point.
+    pub state: SymState,
+    /// The predicate evaluated against a hypothetical candidate component
+    /// with opaque configuration (used by the non-interference analysis to
+    /// decide whether the search was restricted to high components).
+    pub pred_term: Term,
+    /// The hypothetical candidate component `pred_term` refers to.
+    pub candidate: SymComp,
+    /// How many path-condition literals preceded this lookup.
+    pub cond_index: usize,
+}
+
+/// One symbolic execution path through a command.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Path {
+    /// Path condition: conjunction of `(boolean term, polarity)` literals.
+    pub condition: Vec<(Term, bool)>,
+    /// Provenance of each path-condition literal (parallel to
+    /// [`Path::condition`]).
+    pub cond_kinds: Vec<CondKind>,
+    /// Actions emitted along the path, in chronological order.
+    pub actions: Vec<SymAction>,
+    /// Final symbolic state.
+    pub state: SymState,
+    /// Lookups that missed on this path.
+    pub missed_lookups: Vec<MissedLookup>,
+    /// Number of spawns performed (used to index [`CompOrigin::Spawned`]).
+    pub spawn_count: usize,
+    /// Number of successful lookups (used to index [`CompOrigin::Lookup`]).
+    pub lookup_count: usize,
+    /// Number of `broadcast` commands executed on this path. Non-zero
+    /// counts mark the path as outside the automatable fragment (§7); the
+    /// verifier refuses such programs.
+    pub broadcast_count: usize,
+}
+
+impl Path {
+    /// A path starting from `state` with empty condition and no actions.
+    pub fn start(state: SymState) -> Path {
+        Path {
+            state,
+            ..Path::default()
+        }
+    }
+
+    /// A solver primed with this path's condition.
+    pub fn solver(&self) -> Solver {
+        Solver::with_assumptions(&self.condition)
+    }
+}
+
+/// One case of the symbolic exchange relation.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Component type of the sender.
+    pub ctype: String,
+    /// Message type received.
+    pub msg: String,
+    /// The symbolic sender (opaque configuration).
+    pub sender: SymComp,
+    /// Payload parameter names and their opaque terms.
+    pub params: Vec<(String, Term)>,
+    /// The `Select` and `Recv` actions that precede the handler's own
+    /// actions, in chronological order.
+    pub prefix: Vec<SymAction>,
+    /// All execution paths of the handler.
+    pub paths: Vec<Path>,
+    /// Whether the case has an explicitly declared handler.
+    pub explicit: bool,
+}
+
+impl Exchange {
+    /// All actions appended to the trace by this exchange on `path`, in
+    /// chronological order: `Select`, `Recv`, then the handler's actions.
+    pub fn appended_actions<'a>(&'a self, path: &'a Path) -> Vec<&'a SymAction> {
+        self.prefix.iter().chain(path.actions.iter()).collect()
+    }
+}
+
+/// Symbolic evaluator over a checked program.
+#[derive(Debug, Clone, Copy)]
+pub struct Evaluator<'p> {
+    checked: &'p CheckedProgram,
+    /// Whether to prune infeasible branches with the solver and collapse
+    /// branches whose condition is entailed. This is one of the §6.4
+    /// optimizations ("domain-specific reduction strategies"); disabling it
+    /// only grows the path set, never changes soundness.
+    pub prune: bool,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator with pruning enabled.
+    pub fn new(checked: &'p CheckedProgram) -> Evaluator<'p> {
+        Evaluator {
+            checked,
+            prune: true,
+        }
+    }
+
+    /// The checked program.
+    pub fn checked(&self) -> &'p CheckedProgram {
+        self.checked
+    }
+
+    /// Evaluates a data-typed expression to a term.
+    ///
+    /// Component-typed variables evaluate to their identity term, so `==`
+    /// on components compares identities.
+    pub fn eval_expr(&self, state: &SymState, e: &Expr) -> Term {
+        match e {
+            Expr::Lit(v) => Term::Lit(v.clone()),
+            Expr::Var(x) => {
+                if let Some(t) = state.data.get(x) {
+                    t.clone()
+                } else if let Some(c) = state.comps.get(x) {
+                    c.id.clone()
+                } else {
+                    unreachable!("typeck guarantees `{x}` is in scope")
+                }
+            }
+            Expr::Cfg(inner, field) => {
+                let comp = self.eval_comp_expr(state, inner);
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(&comp.ctype)
+                    .expect("typeck: component type declared");
+                let (idx, _) = decl
+                    .config_field(field)
+                    .expect("typeck: configuration field exists");
+                comp.config[idx].clone()
+            }
+            Expr::Un(op, inner) => Term::un(*op, self.eval_expr(state, inner)),
+            Expr::Bin(op, l, r) => {
+                Term::bin(*op, self.eval_expr(state, l), self.eval_expr(state, r))
+            }
+        }
+    }
+
+    /// Resolves a component-typed expression to its symbolic component.
+    ///
+    /// Component-typed expressions are always variables (typeck enforces
+    /// statically known component types, and no operator produces a
+    /// component).
+    pub fn eval_comp_expr(&self, state: &SymState, e: &Expr) -> SymComp {
+        match e {
+            Expr::Var(x) => state
+                .comps
+                .get(x)
+                .unwrap_or_else(|| unreachable!("typeck guarantees component `{x}` in scope"))
+                .clone(),
+            other => unreachable!("typeck guarantees component expressions are variables: {other:?}"),
+        }
+    }
+
+    /// Evaluates a command from `start`, returning all resulting paths.
+    pub fn eval_cmd(&self, ctx: &mut SymCtx, start: Path, cmd: &Cmd) -> Vec<Path> {
+        match cmd {
+            Cmd::Nop => vec![start],
+            Cmd::Block(cs) => {
+                let mut paths = vec![start];
+                for c in cs {
+                    let mut next = Vec::new();
+                    for p in paths {
+                        next.extend(self.eval_cmd(ctx, p, c));
+                    }
+                    paths = next;
+                }
+                paths
+            }
+            Cmd::Assign(x, e) => {
+                let mut p = start;
+                let t = self.eval_expr(&p.state, e);
+                p.state.data.insert(x.clone(), t);
+                vec![p]
+            }
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let cond_term = self.eval_expr(&start.state, cond);
+                match cond_term.as_bool() {
+                    Some(true) => return self.eval_cmd(ctx, start, then_branch),
+                    Some(false) => return self.eval_cmd(ctx, start, else_branch),
+                    None => {}
+                }
+                if self.prune {
+                    let solver = start.solver();
+                    if solver.entails(&cond_term, true) {
+                        return self.eval_cmd(ctx, start, then_branch);
+                    }
+                    if solver.entails(&cond_term, false) {
+                        return self.eval_cmd(ctx, start, else_branch);
+                    }
+                }
+                let mut out = Vec::new();
+                let mut then_path = start.clone();
+                then_path.condition.push((cond_term.clone(), true));
+                then_path.cond_kinds.push(CondKind::Branch);
+                if !(self.prune && then_path.solver().is_unsat()) {
+                    out.extend(self.eval_cmd(ctx, then_path, then_branch));
+                }
+                let mut else_path = start;
+                else_path.condition.push((cond_term, false));
+                else_path.cond_kinds.push(CondKind::Branch);
+                if !(self.prune && else_path.solver().is_unsat()) {
+                    out.extend(self.eval_cmd(ctx, else_path, else_branch));
+                }
+                out
+            }
+            Cmd::Send { target, msg, args } => {
+                let mut p = start;
+                let comp = self.eval_comp_expr(&p.state, target);
+                let terms = args.iter().map(|a| self.eval_expr(&p.state, a)).collect();
+                p.actions.push(SymAction::Send {
+                    comp,
+                    msg: msg.clone(),
+                    args: terms,
+                });
+                vec![p]
+            }
+            Cmd::Spawn {
+                binder,
+                ctype,
+                config,
+            } => {
+                let mut p = start;
+                let terms: Vec<Term> =
+                    config.iter().map(|a| self.eval_expr(&p.state, a)).collect();
+                let comp = SymComp {
+                    ctype: ctype.clone(),
+                    config: terms,
+                    id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+                    origin: CompOrigin::Spawned {
+                        index: p.spawn_count,
+                    },
+                };
+                p.spawn_count += 1;
+                p.actions.push(SymAction::Spawn { comp: comp.clone() });
+                p.state.comps.insert(binder.clone(), comp);
+                vec![p]
+            }
+            Cmd::Call { binder, func, args } => {
+                let mut p = start;
+                let terms: Vec<Term> = args.iter().map(|a| self.eval_expr(&p.state, a)).collect();
+                let result = ctx.fresh_term(Ty::Str, SymKind::CallResult(func.clone()));
+                p.actions.push(SymAction::Call {
+                    func: func.clone(),
+                    args: terms,
+                    result: result.clone(),
+                });
+                p.state.data.insert(binder.clone(), result);
+                vec![p]
+            }
+            Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            } => {
+                // The §7 design lesson: a broadcast emits an *unbounded*
+                // number of sends, which total symbolic evaluation cannot
+                // represent. We record a single summary send to an opaque
+                // recipient and count the broadcast; the verifier refuses
+                // programs whose handlers contain broadcasts, so this
+                // under-approximation never reaches a certificate.
+                let mut p = start;
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(ctype)
+                    .expect("typeck: component type declared");
+                let comp = SymComp {
+                    ctype: ctype.clone(),
+                    config: decl
+                        .config
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, ty))| ctx.fresh_term(*ty, SymKind::LookupCfg(i)))
+                        .collect(),
+                    id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+                    origin: CompOrigin::Lookup {
+                        index: p.lookup_count,
+                    },
+                };
+                p.lookup_count += 1;
+                let mut probe_state = p.state.clone();
+                probe_state.comps.insert(binder.clone(), comp.clone());
+                let _pred_term = self.eval_expr(&probe_state, pred);
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.eval_expr(&probe_state, a))
+                    .collect();
+                p.actions.push(SymAction::Send {
+                    comp,
+                    msg: msg.clone(),
+                    args: terms,
+                });
+                p.broadcast_count += 1;
+                vec![p]
+            }
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => {
+                let mut out = Vec::new();
+
+                // Found branch: an opaque component of `ctype` whose
+                // configuration satisfies the predicate.
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(ctype)
+                    .expect("typeck: component type declared");
+                let mut found_path = start.clone();
+                let comp = SymComp {
+                    ctype: ctype.clone(),
+                    config: decl
+                        .config
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, ty))| ctx.fresh_term(*ty, SymKind::LookupCfg(i)))
+                        .collect(),
+                    id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+                    origin: CompOrigin::Lookup {
+                        index: found_path.lookup_count,
+                    },
+                };
+                found_path.lookup_count += 1;
+                found_path
+                    .state
+                    .comps
+                    .insert(binder.clone(), comp.clone());
+                let pred_term = self.eval_expr(&found_path.state, pred);
+                match pred_term.as_bool() {
+                    Some(false) => {} // predicate can never hold: no found branch
+                    Some(true) => out.extend(self.eval_cmd(ctx, found_path, found)),
+                    None => {
+                        found_path.condition.push((pred_term, true));
+                        found_path
+                            .cond_kinds
+                            .push(CondKind::LookupPred { comp: comp.clone() });
+                        if !(self.prune && found_path.solver().is_unsat()) {
+                            out.extend(self.eval_cmd(ctx, found_path, found));
+                        }
+                    }
+                }
+
+                // Missing branch: no such component exists. Record the
+                // predicate over a hypothetical candidate so downstream
+                // analyses can reason about what was searched for.
+                let mut missing_path = start;
+                let candidate = SymComp {
+                    ctype: ctype.clone(),
+                    config: decl
+                        .config
+                        .iter()
+                        .enumerate()
+                        .map(|(i, (_, ty))| ctx.fresh_term(*ty, SymKind::LookupCfg(i)))
+                        .collect(),
+                    id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+                    origin: CompOrigin::Lookup {
+                        index: missing_path.lookup_count,
+                    },
+                };
+                let mut probe_state = missing_path.state.clone();
+                probe_state.comps.insert(binder.clone(), candidate.clone());
+                let missed_pred_term = self.eval_expr(&probe_state, pred);
+                missing_path.missed_lookups.push(MissedLookup {
+                    ctype: ctype.clone(),
+                    binder: binder.clone(),
+                    pred: pred.clone(),
+                    state: missing_path.state.clone(),
+                    pred_term: missed_pred_term,
+                    candidate,
+                    cond_index: missing_path.condition.len(),
+                });
+                out.extend(self.eval_cmd(ctx, missing_path, missing));
+                out
+            }
+        }
+    }
+
+    /// Evaluates the init section from the concrete initial state.
+    ///
+    /// The returned paths' actions are the init-time `Spawn`/`Send`/`Call`
+    /// actions; their final states are the possible post-init states, which
+    /// are the base cases of the `BehAbs` induction.
+    pub fn eval_init(&self, ctx: &mut SymCtx) -> Vec<Path> {
+        let mut state = SymState::default();
+        for (name, value) in self.checked.state_initial_values() {
+            state.data.insert(name, Term::Lit(value));
+        }
+        self.eval_cmd(ctx, Path::start(state), &self.checked.program().init)
+    }
+
+    /// Builds the *generic* pre-state for the inductive step from a
+    /// post-init state: mutable state variables become fresh opaque values
+    /// (they may have been modified by earlier exchanges), while immutable
+    /// globals — component handles and init `call` results — keep their
+    /// init-time values (they cannot change).
+    pub fn generic_pre_state(&self, ctx: &mut SymCtx, init_state: &SymState) -> SymState {
+        let mut pre = SymState::default();
+        for (name, term) in &init_state.data {
+            let fresh = match self.checked.global(name) {
+                Some(info) if info.mutable => {
+                    ctx.fresh_term(info.ty, SymKind::StateVar(name.clone()))
+                }
+                _ => term.clone(),
+            };
+            pre.data.insert(name.clone(), fresh);
+        }
+        for (name, comp) in &init_state.comps {
+            let mut c = comp.clone();
+            c.origin = CompOrigin::Init {
+                binder: name.clone(),
+            };
+            pre.comps.insert(name.clone(), c);
+        }
+        pre
+    }
+
+    /// Evaluates one case of the exchange relation: a component of type
+    /// `ctype` sends a message of type `msg` with arbitrary payload to the
+    /// kernel in pre-state `pre`.
+    pub fn eval_exchange(
+        &self,
+        ctx: &mut SymCtx,
+        pre: &SymState,
+        ctype: &str,
+        msg: &str,
+    ) -> Exchange {
+        let program = self.checked.program();
+        let comp_decl = program.comp_type(ctype).expect("component type declared");
+        let msg_decl = program.msg_decl(msg).expect("message type declared");
+        let handler = program.handler(ctype, msg);
+
+        let sender = SymComp {
+            ctype: ctype.to_owned(),
+            config: comp_decl
+                .config
+                .iter()
+                .enumerate()
+                .map(|(i, (_, ty))| ctx.fresh_term(*ty, SymKind::SenderCfg(i)))
+                .collect(),
+            id: ctx.fresh_term(Ty::Num, SymKind::CompId),
+            origin: CompOrigin::Sender,
+        };
+
+        let param_names: Vec<String> = match handler {
+            Some(h) => h.params.clone(),
+            None => (0..msg_decl.payload.len()).map(|i| format!("_p{i}")).collect(),
+        };
+        let params: Vec<(String, Term)> = param_names
+            .iter()
+            .zip(&msg_decl.payload)
+            .map(|(name, ty)| {
+                (
+                    name.clone(),
+                    ctx.fresh_term(*ty, SymKind::Param(name.clone())),
+                )
+            })
+            .collect();
+
+        let mut state = pre.clone();
+        state
+            .comps
+            .insert(Handler::SENDER.to_owned(), sender.clone());
+        for (name, term) in &params {
+            state.data.insert(name.clone(), term.clone());
+        }
+
+        let prefix = vec![
+            SymAction::Select {
+                comp: sender.clone(),
+            },
+            SymAction::Recv {
+                comp: sender.clone(),
+                msg: msg.to_owned(),
+                args: params.iter().map(|(_, t)| t.clone()).collect(),
+            },
+        ];
+
+        static NOP: Cmd = Cmd::Nop;
+        let body = handler.map(|h| &h.body).unwrap_or(&NOP);
+        let paths = self.eval_cmd(ctx, Path::start(state), body);
+
+        Exchange {
+            ctype: ctype.to_owned(),
+            msg: msg.to_owned(),
+            sender,
+            params,
+            prefix,
+            paths,
+            explicit: handler.is_some(),
+        }
+    }
+
+    /// Negation helper: evaluates `!e` (used for recording branch guards).
+    pub fn eval_not(&self, state: &SymState, e: &Expr) -> Term {
+        Term::un(UnOp::Not, self.eval_expr(state, e))
+    }
+}

@@ -1,0 +1,816 @@
+//! A small, sound-for-UNSAT constraint solver over symbolic terms.
+//!
+//! The verifier needs two judgments about conjunctions of boolean literals
+//! (path conditions, guards, match side-conditions):
+//!
+//! * **infeasibility** — `Φ ⊢ ⊥`, used to prune unreachable paths and to
+//!   discharge "the guard contradicts the branch condition" cases;
+//! * **entailment** — `Φ ⊨ ℓ`, implemented as `Φ ∧ ¬ℓ ⊢ ⊥`.
+//!
+//! Soundness contract: [`Solver::is_unsat`] returns `true` only for truly
+//! unsatisfiable assumption sets. The converse is incomplete — `false`
+//! means *unknown* — which costs only verification power, never soundness.
+//!
+//! The procedure keeps asserted equalities in a persistent store (`eqs`),
+//! builds equality classes over them, substitutes literal/canonical
+//! representatives into all other facts and re-simplifies (a cheap form of
+//! congruence closure), performs interval reasoning for numeric bounds, and
+//! unit-propagates the clauses produced by negated conjunctions and
+//! asserted disjunctions.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{BinOp, Ty, UnOp, Value};
+
+use crate::term::Term;
+
+/// Maximum saturation rounds; a safety net — each productive round shrinks
+/// or grounds some fact.
+const MAX_ROUNDS: usize = 16;
+
+/// A conjunction of assumptions with saturation-based UNSAT detection.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    /// Asserted equalities `a == b` (the union-find substrate).
+    eqs: Vec<(Term, Term)>,
+    /// Other atomic literals: `(term, polarity)` where `term` is an
+    /// `Eq`-disequality, `Lt`/`Le` atom or opaque boolean term.
+    lits: Vec<(Term, bool)>,
+    /// Disjunctions awaiting unit propagation.
+    clauses: Vec<Vec<(Term, bool)>>,
+    unsat: bool,
+    saturated: bool,
+}
+
+impl Solver {
+    /// An empty (trivially satisfiable) solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Creates a solver from a set of assumptions.
+    pub fn with_assumptions<'a>(assumptions: impl IntoIterator<Item = &'a (Term, bool)>) -> Solver {
+        let mut s = Solver::new();
+        for (t, pol) in assumptions {
+            s.assert_term(t.clone(), *pol);
+        }
+        s
+    }
+
+    /// Asserts `term == polarity`.
+    pub fn assert_term(&mut self, term: Term, polarity: bool) {
+        self.saturated = false;
+        self.push(term, polarity);
+    }
+
+    fn push(&mut self, term: Term, polarity: bool) {
+        if self.unsat {
+            return;
+        }
+        match (&term, polarity) {
+            (Term::Lit(Value::Bool(b)), _) => {
+                if *b != polarity {
+                    self.unsat = true;
+                }
+            }
+            (Term::Un(UnOp::Not, inner), _) => self.push((**inner).clone(), !polarity),
+            (Term::Bin(BinOp::And, l, r), true) => {
+                self.push((**l).clone(), true);
+                self.push((**r).clone(), true);
+            }
+            (Term::Bin(BinOp::And, l, r), false) => {
+                self.clauses
+                    .push(vec![((**l).clone(), false), ((**r).clone(), false)]);
+            }
+            (Term::Bin(BinOp::Or, l, r), true) => {
+                self.clauses
+                    .push(vec![((**l).clone(), true), ((**r).clone(), true)]);
+            }
+            (Term::Bin(BinOp::Or, l, r), false) => {
+                self.push((**l).clone(), false);
+                self.push((**r).clone(), false);
+            }
+            (Term::Bin(BinOp::Eq, l, r), true) => {
+                self.eqs.push(((**l).clone(), (**r).clone()));
+            }
+            // Asserting a bare boolean variable b is the equality b == pol,
+            // which lets substitution ground other occurrences of b.
+            (Term::Sym(s), _) if s.ty == Ty::Bool => {
+                self.eqs
+                    .push((term.clone(), Term::Lit(Value::Bool(polarity))));
+            }
+            _ => self.lits.push((term, polarity)),
+        }
+    }
+
+    /// Whether the assumptions are (provably) unsatisfiable.
+    pub fn is_unsat(&mut self) -> bool {
+        self.saturate();
+        self.unsat
+    }
+
+    /// Whether the assumptions entail `term == polarity`.
+    ///
+    /// Sound but incomplete: `true` is a proof, `false` is "unknown".
+    pub fn entails(&self, term: &Term, polarity: bool) -> bool {
+        let mut probe = self.clone();
+        probe.assert_term(term.clone(), !polarity);
+        probe.is_unsat()
+    }
+
+    /// Whether the assumptions entail `a == b`.
+    pub fn entails_equal(&self, a: &Term, b: &Term) -> bool {
+        self.entails(&Term::bin(BinOp::Eq, a.clone(), b.clone()), true)
+    }
+
+    /// Whether the assumptions entail `a != b`.
+    pub fn entails_disequal(&self, a: &Term, b: &Term) -> bool {
+        self.entails(&Term::bin(BinOp::Eq, a.clone(), b.clone()), false)
+    }
+
+    /// The concrete value of `t` implied by the assumptions, if saturation
+    /// has pinned it to a literal.
+    pub fn implied_value(&mut self, t: &Term) -> Option<Value> {
+        self.saturate();
+        if self.unsat {
+            return None;
+        }
+        let subst = self.substitution();
+        match t.rewrite_leaves(&|leaf| subst.get(leaf).cloned()) {
+            Term::Lit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The current leaf substitution (symbolic variable → representative).
+    fn substitution(&self) -> BTreeMap<Term, Term> {
+        let mut uf = UnionFind::new();
+        for (a, b) in &self.eqs {
+            uf.union(a.clone(), b.clone());
+        }
+        uf.leaf_substitution()
+    }
+
+    // ---- saturation -----------------------------------------------------
+
+    fn saturate(&mut self) {
+        if self.saturated || self.unsat {
+            self.saturated = true;
+            return;
+        }
+        for _ in 0..MAX_ROUNDS {
+            if self.unsat {
+                break;
+            }
+            let mut changed = false;
+
+            // (1) Equality classes and the induced substitution.
+            let mut uf = UnionFind::new();
+            for (a, b) in &self.eqs {
+                uf.union(a.clone(), b.clone());
+            }
+            if uf.conflict {
+                self.unsat = true;
+                break;
+            }
+            let subst = uf.leaf_substitution();
+
+            // (2) Substitute representatives everywhere and re-simplify.
+            if !subst.is_empty() {
+                let rewrite = |t: &Term| t.rewrite_leaves(&|leaf| subst.get(leaf).cloned());
+                let mut new_eqs = Vec::with_capacity(self.eqs.len());
+                for (a, b) in std::mem::take(&mut self.eqs) {
+                    let (na, nb) = (rewrite(&a), rewrite(&b));
+                    if na != a || nb != b {
+                        changed = true;
+                    }
+                    match Term::bin(BinOp::Eq, na.clone(), nb.clone()) {
+                        Term::Lit(Value::Bool(true)) => {
+                            // Redundant — but keep leaf↦rep pairs so the
+                            // substitution itself stays derivable.
+                            new_eqs.push((a, b));
+                        }
+                        Term::Lit(Value::Bool(false)) => {
+                            self.unsat = true;
+                            break;
+                        }
+                        _ => new_eqs.push((na, nb)),
+                    }
+                }
+                self.eqs = new_eqs;
+                if self.unsat {
+                    break;
+                }
+                for (t, _) in self.lits.iter_mut() {
+                    let nt = rewrite(t);
+                    if nt != *t {
+                        *t = nt;
+                        changed = true;
+                    }
+                }
+                for clause in self.clauses.iter_mut() {
+                    for (t, _) in clause.iter_mut() {
+                        let nt = rewrite(t);
+                        if nt != *t {
+                            *t = nt;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+
+            // (3) Re-decompose literals that folded into structure
+            // (e.g. a disequality that became Lit(false), or an And).
+            let lits = std::mem::take(&mut self.lits);
+            for (t, pol) in lits {
+                self.push(t, pol);
+            }
+            if self.unsat {
+                break;
+            }
+
+            // (4) Conflicts among atomic literals and against equalities.
+            if self.detect_conflicts(&mut uf) {
+                break;
+            }
+
+            // (5) Numeric bounds.
+            match self.bound_analysis() {
+                BoundOutcome::Conflict => {
+                    self.unsat = true;
+                    break;
+                }
+                BoundOutcome::NewFacts(facts) => {
+                    for (t, pol) in facts {
+                        self.push(t, pol);
+                        changed = true;
+                    }
+                }
+                BoundOutcome::Quiet => {}
+            }
+
+            // (6) Unit propagation over clauses.
+            changed |= self.propagate_clauses();
+            if self.unsat || !changed {
+                break;
+            }
+        }
+        self.saturated = true;
+    }
+
+    fn detect_conflicts(&mut self, uf: &mut UnionFind) -> bool {
+        // Opposite polarities of the same atom.
+        let mut polarity: BTreeMap<&Term, bool> = BTreeMap::new();
+        for (t, pol) in &self.lits {
+            match polarity.get(t) {
+                Some(prev) if *prev != *pol => {
+                    self.unsat = true;
+                    return true;
+                }
+                _ => {
+                    polarity.insert(t, *pol);
+                }
+            }
+        }
+        // Disequality refuted by the equality classes.
+        for (t, pol) in &self.lits {
+            if let (Term::Bin(BinOp::Eq, a, b), false) = (t, *pol) {
+                if uf.same((**a).clone(), (**b).clone()) {
+                    self.unsat = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Extracts interval bounds `atom ∈ [lo, hi]` from numeric facts of the
+    /// shape `±atom + c ⋈ 0`, detecting empty intervals and pinning
+    /// `atom == c` when the interval collapses.
+    fn bound_analysis(&self) -> BoundOutcome {
+        #[derive(Default, Clone)]
+        struct Interval {
+            lo: Option<i64>,
+            hi: Option<i64>,
+            not: Vec<i64>,
+        }
+        let mut intervals: BTreeMap<Term, Interval> = BTreeMap::new();
+
+        // Decompose `l - r` into `sign*(key) + constant`, where `key` is a
+        // canonical non-constant linear term (a single variable, or a
+        // difference like `x - y`). `sign` is +1 unless the normalized
+        // leading coefficient was negative, in which case the key is the
+        // negation and `sign` is -1. This gives sound difference-bound
+        // reasoning: `x + 1 < y` and `y <= x` meet on the same key.
+        let decompose = |l: &Term, r: &Term| -> Option<(Term, i64, i64)> {
+            let diff = Term::bin(BinOp::Sub, l.clone(), r.clone());
+            // Split off the trailing constant of the normalized form.
+            let (key_raw, c): (Term, i64) = match &diff {
+                Term::Lit(_) => return None,
+                Term::Bin(BinOp::Add, a, k) => match &**k {
+                    Term::Lit(Value::Num(n)) => ((**a).clone(), *n),
+                    _ => (diff.clone(), 0),
+                },
+                Term::Bin(BinOp::Sub, a, k) => match &**k {
+                    Term::Lit(Value::Num(n)) => ((**a).clone(), -*n),
+                    _ => (diff.clone(), 0),
+                },
+                other => (other.clone(), 0),
+            };
+            // Canonical sign: the normalized linear form leads with a
+            // negated atom iff its leftmost leaf is a negation.
+            fn leading_neg(t: &Term) -> bool {
+                match t {
+                    Term::Un(UnOp::Neg, _) => true,
+                    Term::Bin(BinOp::Add | BinOp::Sub, a, _) => leading_neg(a),
+                    _ => false,
+                }
+            }
+            if leading_neg(&key_raw) {
+                let key = Term::bin(BinOp::Sub, Term::lit(0i64), key_raw);
+                Some((key, -1, c))
+            } else {
+                Some((key_raw, 1, c))
+            }
+        };
+
+        // All numeric facts: Lt/Le/diseq literals plus the stored
+        // equalities (treated as Eq-true).
+        let mut facts: Vec<(BinOp, Term, Term, bool)> = Vec::new();
+        for (t, pol) in &self.lits {
+            if let Term::Bin(op @ (BinOp::Lt | BinOp::Le | BinOp::Eq), l, r) = t {
+                facts.push((*op, (**l).clone(), (**r).clone(), *pol));
+            }
+        }
+        for (a, b) in &self.eqs {
+            facts.push((BinOp::Eq, a.clone(), b.clone(), true));
+        }
+
+        for (op, l, r, pol) in facts {
+            if l.ty() != Ty::Num {
+                continue;
+            }
+            let Some((atom, sign, c)) = decompose(&l, &r) else {
+                continue;
+            };
+            let entry = intervals.entry(atom).or_default();
+            let set_hi = |e: &mut Interval, v: i64| {
+                e.hi = Some(e.hi.map_or(v, |h| h.min(v)));
+            };
+            let set_lo = |e: &mut Interval, v: i64| {
+                e.lo = Some(e.lo.map_or(v, |l| l.max(v)));
+            };
+            // l - r = sign*atom + c; the fact is (l op r) == pol.
+            match (op, pol, sign) {
+                (BinOp::Lt, true, 1) => set_hi(entry, -c - 1),
+                (BinOp::Lt, true, -1) => set_lo(entry, c + 1),
+                (BinOp::Lt, false, 1) => set_lo(entry, -c),
+                (BinOp::Lt, false, -1) => set_hi(entry, c),
+                (BinOp::Le, true, 1) => set_hi(entry, -c),
+                (BinOp::Le, true, -1) => set_lo(entry, c),
+                (BinOp::Le, false, 1) => set_lo(entry, -c + 1),
+                (BinOp::Le, false, -1) => set_hi(entry, c - 1),
+                (BinOp::Eq, true, 1) => {
+                    set_lo(entry, -c);
+                    set_hi(entry, -c);
+                }
+                (BinOp::Eq, true, -1) => {
+                    set_lo(entry, c);
+                    set_hi(entry, c);
+                }
+                (BinOp::Eq, false, 1) => entry.not.push(-c),
+                (BinOp::Eq, false, -1) => entry.not.push(c),
+                _ => unreachable!("sign is ±1"),
+            }
+        }
+
+        let mut new_facts = Vec::new();
+        for (atom, iv) in intervals {
+            if let (Some(mut lo), Some(mut hi)) = (iv.lo, iv.hi) {
+                if lo > hi {
+                    return BoundOutcome::Conflict;
+                }
+                // Shrink around excluded points at the edges.
+                loop {
+                    if iv.not.contains(&lo) {
+                        lo += 1;
+                    } else if iv.not.contains(&hi) {
+                        hi -= 1;
+                    } else {
+                        break;
+                    }
+                    if lo > hi {
+                        return BoundOutcome::Conflict;
+                    }
+                }
+                if lo == hi {
+                    let eq = Term::bin(BinOp::Eq, atom.clone(), Term::lit(lo));
+                    match eq {
+                        Term::Lit(Value::Bool(true)) => {}
+                        Term::Lit(Value::Bool(false)) => return BoundOutcome::Conflict,
+                        other => {
+                            if !self
+                                .eqs
+                                .iter()
+                                .any(|(a, b)| {
+                                    Term::bin(BinOp::Eq, a.clone(), b.clone()) == other
+                                })
+                            {
+                                new_facts.push((other, true));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if new_facts.is_empty() {
+            BoundOutcome::Quiet
+        } else {
+            BoundOutcome::NewFacts(new_facts)
+        }
+    }
+
+    fn propagate_clauses(&mut self) -> bool {
+        let mut changed = false;
+        let lits = self.lits.clone();
+        let eq_terms: Vec<Term> = self
+            .eqs
+            .iter()
+            .map(|(a, b)| Term::bin(BinOp::Eq, a.clone(), b.clone()))
+            .collect();
+        let established = |t: &Term, pol: bool| -> bool {
+            matches!(t, Term::Lit(Value::Bool(b)) if *b == pol)
+                || lits.contains(&(t.clone(), pol))
+                || (pol && eq_terms.contains(t))
+        };
+        let refuted = |t: &Term, pol: bool| -> bool {
+            matches!(t, Term::Lit(Value::Bool(b)) if *b != pol)
+                || lits.contains(&(t.clone(), !pol))
+                || (!pol && eq_terms.contains(t))
+        };
+        let mut remaining = Vec::new();
+        let mut to_assert = Vec::new();
+        for mut clause in std::mem::take(&mut self.clauses) {
+            if clause.iter().any(|(t, pol)| established(t, *pol)) {
+                changed = true;
+                continue; // satisfied
+            }
+            let before = clause.len();
+            clause.retain(|(t, pol)| !refuted(t, *pol));
+            if clause.len() != before {
+                changed = true;
+            }
+            match clause.len() {
+                0 => {
+                    self.unsat = true;
+                    return true;
+                }
+                1 => {
+                    let (t, pol) = clause.pop().expect("len checked");
+                    to_assert.push((t, pol));
+                    changed = true;
+                }
+                _ => remaining.push(clause),
+            }
+        }
+        self.clauses = remaining;
+        for (t, pol) in to_assert {
+            self.push(t, pol);
+        }
+        changed
+    }
+}
+
+enum BoundOutcome {
+    Conflict,
+    NewFacts(Vec<(Term, bool)>),
+    Quiet,
+}
+
+/// Union-find over terms, used for equality classes.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: BTreeMap<Term, Term>,
+    /// Set when two distinct literals were merged — an immediate conflict.
+    conflict: bool,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind::default()
+    }
+
+    fn find(&mut self, t: Term) -> Term {
+        match self.parent.get(&t) {
+            None => t,
+            Some(p) => {
+                let root = self.find(p.clone());
+                self.parent.insert(t, root.clone());
+                root
+            }
+        }
+    }
+
+    /// Preference order for representatives: literals first, then symbolic
+    /// leaves, then compound terms; ties broken by `Ord`.
+    fn rank(t: &Term) -> (u8, &Term) {
+        let class = match t {
+            Term::Lit(_) => 0,
+            Term::Sym(_) => 1,
+            _ => 2,
+        };
+        (class, t)
+    }
+
+    fn union(&mut self, a: Term, b: Term) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        if let (Term::Lit(x), Term::Lit(y)) = (&ra, &rb) {
+            if x != y {
+                self.conflict = true;
+            }
+        }
+        if Self::rank(&ra) <= Self::rank(&rb) {
+            self.parent.insert(rb, ra);
+        } else {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    fn same(&mut self, a: Term, b: Term) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The substitution mapping each *leaf* (symbolic variable) to its
+    /// class representative, when the representative is a literal or a
+    /// different symbolic leaf.
+    fn leaf_substitution(&mut self) -> BTreeMap<Term, Term> {
+        let keys: Vec<Term> = self.parent.keys().cloned().collect();
+        let mut subst = BTreeMap::new();
+        for k in keys {
+            if !matches!(k, Term::Sym(_)) {
+                continue;
+            }
+            let rep = self.find(k.clone());
+            if rep != k && matches!(rep, Term::Lit(_) | Term::Sym(_)) {
+                subst.insert(k, rep);
+            }
+        }
+        subst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{SymCtx, SymKind};
+
+    fn ctx() -> SymCtx {
+        SymCtx::new()
+    }
+
+    fn num(c: &mut SymCtx) -> Term {
+        c.fresh_term(Ty::Num, SymKind::Fresh)
+    }
+
+    fn string(c: &mut SymCtx) -> Term {
+        c.fresh_term(Ty::Str, SymKind::Fresh)
+    }
+
+    fn boolean(c: &mut SymCtx) -> Term {
+        c.fresh_term(Ty::Bool, SymKind::Fresh)
+    }
+
+    fn eq(a: &Term, b: &Term) -> Term {
+        Term::bin(BinOp::Eq, a.clone(), b.clone())
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(!Solver::new().is_unsat());
+    }
+
+    #[test]
+    fn direct_contradiction() {
+        let mut c = ctx();
+        let b = boolean(&mut c);
+        let mut s = Solver::new();
+        s.assert_term(b.clone(), true);
+        s.assert_term(b.clone(), false);
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn equality_chains_propagate_constants() {
+        let mut c = ctx();
+        let x = string(&mut c);
+        let y = string(&mut c);
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &y), true);
+        s.assert_term(eq(&y, &Term::lit("alice")), true);
+        s.assert_term(eq(&x, &Term::lit("bob")), true);
+        assert!(s.is_unsat());
+
+        let mut s2 = Solver::new();
+        s2.assert_term(eq(&x, &y), true);
+        s2.assert_term(eq(&y, &Term::lit("alice")), true);
+        assert!(!s2.is_unsat());
+        assert!(s2.entails_equal(&x, &Term::lit("alice")));
+        assert!(s2.entails_disequal(&x, &Term::lit("bob")));
+        assert_eq!(s2.implied_value(&x), Some(Value::from("alice")));
+    }
+
+    #[test]
+    fn disequality_with_merge_conflicts() {
+        let mut c = ctx();
+        let x = string(&mut c);
+        let y = string(&mut c);
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &y), false);
+        s.assert_term(eq(&x, &y), true);
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn arithmetic_through_equalities() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        // x == 0 && x + 1 == 0 → unsat
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &Term::lit(0i64)), true);
+        s.assert_term(
+            eq(
+                &Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                &Term::lit(0i64),
+            ),
+            true,
+        );
+        assert!(s.is_unsat());
+
+        // x == 2 ⊨ x + 1 == 3
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &Term::lit(2i64)), true);
+        assert!(s.entails(
+            &eq(
+                &Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                &Term::lit(3i64)
+            ),
+            true
+        ));
+    }
+
+    #[test]
+    fn interval_conflicts() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        // x <= 2 && 3 <= x → unsat
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Le, x.clone(), Term::lit(2i64)), true);
+        s.assert_term(Term::bin(BinOp::Le, Term::lit(3i64), x.clone()), true);
+        assert!(s.is_unsat());
+
+        // x < 3 && x != 0 && x != 1 && x != 2 && 0 <= x → unsat
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Lt, x.clone(), Term::lit(3i64)), true);
+        s.assert_term(Term::bin(BinOp::Le, Term::lit(0i64), x.clone()), true);
+        for k in 0..3i64 {
+            s.assert_term(eq(&x, &Term::lit(k)), false);
+        }
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn interval_collapse_pins_value() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        // 2 <= x <= 2 ⊨ x == 2, and then x+1 == 3.
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Le, Term::lit(2i64), x.clone()), true);
+        s.assert_term(Term::bin(BinOp::Le, x.clone(), Term::lit(2i64)), true);
+        assert!(!s.is_unsat());
+        assert_eq!(s.implied_value(&x), Some(Value::Num(2)));
+    }
+
+    #[test]
+    fn negated_lt_flips() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        // !(x < 3) && x <= 2 → unsat
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Lt, x.clone(), Term::lit(3i64)), false);
+        s.assert_term(Term::bin(BinOp::Le, x.clone(), Term::lit(2i64)), true);
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn difference_bounds() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        let y = num(&mut c);
+        // x + 1 < y ⊨ x < y
+        let mut s = Solver::new();
+        s.assert_term(
+            Term::bin(
+                BinOp::Lt,
+                Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                y.clone(),
+            ),
+            true,
+        );
+        assert!(s.entails(&Term::bin(BinOp::Lt, x.clone(), y.clone()), true));
+        assert!(!s.is_unsat());
+
+        // x < y && y < x → unsat (keys canonicalize to the same difference)
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Lt, x.clone(), y.clone()), true);
+        s.assert_term(Term::bin(BinOp::Lt, y.clone(), x.clone()), true);
+        assert!(s.is_unsat());
+
+        // x <= y && y <= x is satisfiable (x == y)
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Le, x.clone(), y.clone()), true);
+        s.assert_term(Term::bin(BinOp::Le, y.clone(), x.clone()), true);
+        assert!(!s.is_unsat());
+
+        // x < y && x == y + 1 → unsat
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Lt, x.clone(), y.clone()), true);
+        s.assert_term(
+            Term::bin(
+                BinOp::Eq,
+                x.clone(),
+                Term::bin(BinOp::Add, y.clone(), Term::lit(1i64)),
+            ),
+            true,
+        );
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn clause_unit_propagation() {
+        let mut c = ctx();
+        let a = boolean(&mut c);
+        let b = boolean(&mut c);
+        // (a || b) && !a ⊨ b
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Or, a.clone(), b.clone()), true);
+        s.assert_term(a.clone(), false);
+        assert!(!s.is_unsat());
+        assert!(s.entails(&b, true));
+
+        // !(a && b) && a && b → unsat
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::And, a.clone(), b.clone()), false);
+        s.assert_term(a.clone(), true);
+        s.assert_term(b.clone(), true);
+        assert!(s.is_unsat());
+    }
+
+    #[test]
+    fn entailment_is_conservative() {
+        let mut c = ctx();
+        let x = string(&mut c);
+        let y = string(&mut c);
+        let s = Solver::new();
+        // Nothing is known: neither x == y nor x != y is entailed.
+        assert!(!s.entails_equal(&x, &y));
+        assert!(!s.entails_disequal(&x, &y));
+    }
+
+    #[test]
+    fn variable_variable_substitution() {
+        let mut c = ctx();
+        let x = num(&mut c);
+        let y = num(&mut c);
+        // x == y ⊨ x + 1 == y + 1
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &y), true);
+        assert!(s.entails(
+            &eq(
+                &Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                &Term::bin(BinOp::Add, y.clone(), Term::lit(1i64)),
+            ),
+            true
+        ));
+        assert!(!s.is_unsat());
+    }
+
+    #[test]
+    fn string_concat_congruence() {
+        let mut c = ctx();
+        let x = string(&mut c);
+        // x == "a" ⊨ x ++ "b" == "ab"
+        let mut s = Solver::new();
+        s.assert_term(eq(&x, &Term::lit("a")), true);
+        assert!(s.entails(
+            &eq(
+                &Term::bin(BinOp::Cat, x.clone(), Term::lit("b")),
+                &Term::lit("ab")
+            ),
+            true
+        ));
+    }
+}

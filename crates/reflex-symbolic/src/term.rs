@@ -1,0 +1,542 @@
+//! Symbolic terms: the value language of symbolic evaluation.
+
+use std::fmt;
+use std::rc::Rc;
+
+use reflex_ast::{BinOp, Ty, UnOp, Value};
+
+/// What a symbolic variable stands for. Used for diagnostics and — in the
+/// verifier — to recognize which opaque values denote pre-state variables,
+/// message parameters, etc.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SymKind {
+    /// The value of a global state variable in the pre-state of the
+    /// exchange under analysis.
+    StateVar(String),
+    /// A message payload parameter of the handler under analysis.
+    Param(String),
+    /// A configuration field of the triggering component (`sender`).
+    SenderCfg(usize),
+    /// A configuration field of a component found by `lookup`.
+    LookupCfg(usize),
+    /// The result of an external `call` (non-deterministic world input).
+    CallResult(String),
+    /// The identity of a component.
+    CompId,
+    /// A universally quantified property variable.
+    PropVar(String),
+    /// Anything else.
+    Fresh,
+}
+
+/// An opaque symbolic variable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymVar {
+    /// Unique id within a [`SymCtx`].
+    pub id: u32,
+    /// The variable's type.
+    pub ty: Ty,
+    /// What it denotes.
+    pub kind: SymKind,
+}
+
+impl fmt::Display for SymVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SymKind::StateVar(n) => write!(f, "{n}₀"),
+            SymKind::Param(n) => write!(f, "m.{n}"),
+            SymKind::SenderCfg(i) => write!(f, "sender.cfg{i}"),
+            SymKind::LookupCfg(i) => write!(f, "lk{}.cfg{i}", self.id),
+            SymKind::CallResult(fun) => write!(f, "{fun}#{}", self.id),
+            SymKind::CompId => write!(f, "id#{}", self.id),
+            SymKind::PropVar(n) => write!(f, "?{n}"),
+            SymKind::Fresh => write!(f, "ν{}", self.id),
+        }
+    }
+}
+
+/// Allocator for fresh symbolic variables.
+#[derive(Debug, Clone, Default)]
+pub struct SymCtx {
+    next: u32,
+}
+
+impl SymCtx {
+    /// A fresh context.
+    pub fn new() -> SymCtx {
+        SymCtx::default()
+    }
+
+    /// Allocates a fresh symbolic variable.
+    pub fn fresh(&mut self, ty: Ty, kind: SymKind) -> SymVar {
+        let id = self.next;
+        self.next += 1;
+        SymVar { id, ty, kind }
+    }
+
+    /// Allocates a fresh variable and wraps it as a term.
+    pub fn fresh_term(&mut self, ty: Ty, kind: SymKind) -> Term {
+        Term::Sym(self.fresh(ty, kind))
+    }
+}
+
+/// A symbolic term.
+///
+/// Terms are immutable trees with shared subtrees ([`Rc`]); cloning is
+/// cheap. Construction via [`Term::bin`]/[`Term::un`] applies bottom-up
+/// simplification (constant folding, neutral elements, canonical ordering
+/// of commutative operators and linear normalization of arithmetic), so
+/// syntactic equality of built terms is a useful — though incomplete —
+/// semantic equality check.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A literal value.
+    Lit(Value),
+    /// An opaque symbolic variable.
+    Sym(SymVar),
+    /// A unary operation.
+    Un(UnOp, Rc<Term>),
+    /// A binary operation.
+    Bin(BinOp, Rc<Term>, Rc<Term>),
+}
+
+impl Term {
+    /// The boolean literal `true`.
+    pub fn tt() -> Term {
+        Term::Lit(Value::Bool(true))
+    }
+
+    /// The boolean literal `false`.
+    pub fn ff() -> Term {
+        Term::Lit(Value::Bool(false))
+    }
+
+    /// A literal term.
+    pub fn lit(v: impl Into<Value>) -> Term {
+        Term::Lit(v.into())
+    }
+
+    /// The term's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Term::Lit(v) => v.ty(),
+            Term::Sym(s) => s.ty,
+            Term::Un(UnOp::Not, _) => Ty::Bool,
+            Term::Un(UnOp::Neg, _) => Ty::Num,
+            Term::Bin(op, l, _) => match op {
+                BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or | BinOp::Lt | BinOp::Le => Ty::Bool,
+                BinOp::Add | BinOp::Sub => Ty::Num,
+                BinOp::Cat => {
+                    debug_assert_eq!(l.ty(), Ty::Str);
+                    Ty::Str
+                }
+            },
+        }
+    }
+
+    /// The literal value, if this term is a literal.
+    pub fn as_lit(&self) -> Option<&Value> {
+        match self {
+            Term::Lit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The boolean constant, if this term is a boolean literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        self.as_lit().and_then(Value::as_bool)
+    }
+
+    /// Builds a simplified unary operation.
+    pub fn un(op: UnOp, t: Term) -> Term {
+        match (op, &t) {
+            (UnOp::Not, Term::Lit(Value::Bool(b))) => Term::Lit(Value::Bool(!b)),
+            (UnOp::Not, Term::Un(UnOp::Not, inner)) => (**inner).clone(),
+            (UnOp::Neg, Term::Lit(Value::Num(n))) => Term::Lit(Value::Num(n.wrapping_neg())),
+            (UnOp::Neg, Term::Un(UnOp::Neg, inner)) => (**inner).clone(),
+            _ => Term::Un(op, Rc::new(t)),
+        }
+    }
+
+    /// Builds a simplified binary operation.
+    pub fn bin(op: BinOp, l: Term, r: Term) -> Term {
+        use BinOp::*;
+        // Constant folding.
+        if let (Term::Lit(a), Term::Lit(b)) = (&l, &r) {
+            if let Some(v) = eval_bin(op, a, b) {
+                return Term::Lit(v);
+            }
+        }
+        match op {
+            And => match (l.as_bool(), r.as_bool()) {
+                (Some(true), _) => return r,
+                (_, Some(true)) => return l,
+                (Some(false), _) | (_, Some(false)) => return Term::ff(),
+                _ => {}
+            },
+            Or => match (l.as_bool(), r.as_bool()) {
+                (Some(false), _) => return r,
+                (_, Some(false)) => return l,
+                (Some(true), _) | (_, Some(true)) => return Term::tt(),
+                _ => {}
+            },
+            Eq => {
+                if l == r {
+                    return Term::tt();
+                }
+                // Two distinct literals are unequal (folded above), two
+                // syntactically distinct terms are unknown — except when
+                // linear arithmetic settles it.
+                if l.ty() == Ty::Num {
+                    if let Some(b) = linear_compare(&l, &r).map(|d| d == 0) {
+                        return Term::Lit(Value::Bool(b));
+                    }
+                }
+            }
+            Ne => {
+                return Term::un(UnOp::Not, Term::bin(Eq, l, r));
+            }
+            Lt => {
+                if let Some(d) = linear_compare(&l, &r) {
+                    return Term::Lit(Value::Bool(d < 0));
+                }
+            }
+            Le => {
+                if let Some(d) = linear_compare(&l, &r) {
+                    return Term::Lit(Value::Bool(d <= 0));
+                }
+            }
+            Add | Sub => {
+                return normalize_linear(op, l, r);
+            }
+            Cat => {
+                if let Term::Lit(Value::Str(a)) = &l {
+                    if a.is_empty() {
+                        return r;
+                    }
+                }
+                if let Term::Lit(Value::Str(b)) = &r {
+                    if b.is_empty() {
+                        return l;
+                    }
+                }
+            }
+        }
+        // Canonical operand order for commutative operators.
+        let (l, r) = match op {
+            Eq | And | Or if l > r => (r, l),
+            _ => (l, r),
+        };
+        Term::Bin(op, Rc::new(l), Rc::new(r))
+    }
+
+    /// Shorthand: `self == other`.
+    pub fn eq(self, other: Term) -> Term {
+        Term::bin(BinOp::Eq, self, other)
+    }
+
+    /// Shorthand: `self && other`.
+    pub fn and(self, other: Term) -> Term {
+        Term::bin(BinOp::And, self, other)
+    }
+
+    /// Shorthand: `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Term {
+        Term::un(UnOp::Not, self)
+    }
+
+    /// Rewrites the term bottom-up: `f` maps leaves (literals and symbolic
+    /// variables) to replacement terms; operations are rebuilt with
+    /// simplification.
+    pub fn rewrite_leaves(&self, f: &impl Fn(&Term) -> Option<Term>) -> Term {
+        match self {
+            Term::Lit(_) | Term::Sym(_) => f(self).unwrap_or_else(|| self.clone()),
+            Term::Un(op, t) => Term::un(*op, t.rewrite_leaves(f)),
+            Term::Bin(op, l, r) => Term::bin(*op, l.rewrite_leaves(f), r.rewrite_leaves(f)),
+        }
+    }
+
+    /// Collects all symbolic variables in the term.
+    pub fn collect_syms(&self, out: &mut Vec<SymVar>) {
+        match self {
+            Term::Lit(_) => {}
+            Term::Sym(s) => out.push(s.clone()),
+            Term::Un(_, t) => t.collect_syms(out),
+            Term::Bin(_, l, r) => {
+                l.collect_syms(out);
+                r.collect_syms(out);
+            }
+        }
+    }
+
+    /// Whether the term mentions the given symbolic variable.
+    pub fn mentions(&self, sym: &SymVar) -> bool {
+        match self {
+            Term::Lit(_) => false,
+            Term::Sym(s) => s == sym,
+            Term::Un(_, t) => t.mentions(sym),
+            Term::Bin(_, l, r) => l.mentions(sym) || r.mentions(sym),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Lit(v) => write!(f, "{v}"),
+            Term::Sym(s) => write!(f, "{s}"),
+            Term::Un(UnOp::Not, t) => write!(f, "!({t})"),
+            Term::Un(UnOp::Neg, t) => write!(f, "-({t})"),
+            Term::Bin(op, l, r) => {
+                let sym = match op {
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Cat => "++",
+                };
+                write!(f, "({l} {sym} {r})")
+            }
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use BinOp::*;
+    Some(match (op, a, b) {
+        (Eq, _, _) => Value::Bool(a == b),
+        (Ne, _, _) => Value::Bool(a != b),
+        (And, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x && *y),
+        (Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(*x || *y),
+        (Add, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_add(*y)),
+        (Sub, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_sub(*y)),
+        (Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
+        (Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
+        (Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
+        _ => return None,
+    })
+}
+
+/// Decomposes a numeric term into `(atoms with signs, constant)` where the
+/// term equals `Σ ±atom + constant`. Atoms are non-literal subterms that
+/// are not themselves `Add`/`Sub`/`Neg`.
+fn linearize(t: &Term, sign: i64, atoms: &mut Vec<(Term, i64)>, constant: &mut i64) {
+    match t {
+        Term::Lit(Value::Num(n)) => *constant = constant.wrapping_add(sign.wrapping_mul(*n)),
+        Term::Un(UnOp::Neg, inner) => linearize(inner, -sign, atoms, constant),
+        Term::Bin(BinOp::Add, l, r) => {
+            linearize(l, sign, atoms, constant);
+            linearize(r, sign, atoms, constant);
+        }
+        Term::Bin(BinOp::Sub, l, r) => {
+            linearize(l, sign, atoms, constant);
+            linearize(r, -sign, atoms, constant);
+        }
+        other => atoms.push((other.clone(), sign)),
+    }
+}
+
+/// Rebuilds a canonical linear form: atoms sorted, cancelled, constant last.
+fn normalize_linear(op: BinOp, l: Term, r: Term) -> Term {
+    let probe = Term::Bin(op, Rc::new(l), Rc::new(r));
+    let mut atoms = Vec::new();
+    let mut constant = 0i64;
+    linearize(&probe, 1, &mut atoms, &mut constant);
+    // Combine coefficients of identical atoms.
+    atoms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut combined: Vec<(Term, i64)> = Vec::new();
+    for (t, c) in atoms {
+        match combined.last_mut() {
+            Some((prev, pc)) if *prev == t => *pc += c,
+            _ => combined.push((t, c)),
+        }
+    }
+    combined.retain(|(_, c)| *c != 0);
+
+    let mut acc: Option<Term> = None;
+    for (t, c) in combined {
+        let (abs, neg) = if c < 0 { (-c, true) } else { (c, false) };
+        // Materialize |c| copies (coefficients are tiny in practice:
+        // handlers are loop-free, so they are bounded by handler size).
+        for _ in 0..abs {
+            acc = Some(match (acc, neg) {
+                (None, false) => t.clone(),
+                (None, true) => Term::Un(UnOp::Neg, Rc::new(t.clone())),
+                (Some(a), false) => Term::Bin(BinOp::Add, Rc::new(a), Rc::new(t.clone())),
+                (Some(a), true) => Term::Bin(BinOp::Sub, Rc::new(a), Rc::new(t.clone())),
+            });
+        }
+    }
+    match (acc, constant) {
+        (None, c) => Term::Lit(Value::Num(c)),
+        (Some(a), 0) => a,
+        (Some(a), c) if c > 0 => {
+            Term::Bin(BinOp::Add, Rc::new(a), Rc::new(Term::Lit(Value::Num(c))))
+        }
+        (Some(a), c) => Term::Bin(BinOp::Sub, Rc::new(a), Rc::new(Term::Lit(Value::Num(-c)))),
+    }
+}
+
+/// If `l - r` is a known constant (identical atom parts), returns it.
+fn linear_compare(l: &Term, r: &Term) -> Option<i64> {
+    if l.ty() != Ty::Num || r.ty() != Ty::Num {
+        return None;
+    }
+    let mut atoms = Vec::new();
+    let mut constant = 0i64;
+    linearize(l, 1, &mut atoms, &mut constant);
+    linearize(r, -1, &mut atoms, &mut constant);
+    atoms.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut sum: std::collections::BTreeMap<Term, i64> = std::collections::BTreeMap::new();
+    for (t, c) in atoms {
+        *sum.entry(t).or_insert(0) += c;
+    }
+    if sum.values().all(|c| *c == 0) {
+        Some(constant)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(ctx: &mut SymCtx, ty: Ty) -> Term {
+        ctx.fresh_term(ty, SymKind::Fresh)
+    }
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(
+            Term::bin(BinOp::Add, Term::lit(2i64), Term::lit(3i64)),
+            Term::lit(5i64)
+        );
+        assert_eq!(
+            Term::bin(BinOp::Eq, Term::lit("a"), Term::lit("a")),
+            Term::tt()
+        );
+        assert_eq!(
+            Term::bin(BinOp::Eq, Term::lit("a"), Term::lit("b")),
+            Term::ff()
+        );
+        assert_eq!(
+            Term::bin(BinOp::Cat, Term::lit("a"), Term::lit("b")),
+            Term::lit("ab")
+        );
+        assert_eq!(Term::un(UnOp::Not, Term::tt()), Term::ff());
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut ctx = SymCtx::new();
+        let b = sym(&mut ctx, Ty::Bool);
+        assert_eq!(Term::bin(BinOp::And, Term::tt(), b.clone()), b);
+        assert_eq!(Term::bin(BinOp::And, Term::ff(), b.clone()), Term::ff());
+        assert_eq!(Term::bin(BinOp::Or, Term::ff(), b.clone()), b);
+        assert_eq!(Term::bin(BinOp::Or, b.clone(), Term::tt()), Term::tt());
+        assert_eq!(Term::un(UnOp::Not, Term::un(UnOp::Not, b.clone())), b);
+    }
+
+    #[test]
+    fn reflexive_equality_and_ne_desugar() {
+        let mut ctx = SymCtx::new();
+        let x = sym(&mut ctx, Ty::Num);
+        assert_eq!(Term::bin(BinOp::Eq, x.clone(), x.clone()), Term::tt());
+        let y = sym(&mut ctx, Ty::Num);
+        let ne = Term::bin(BinOp::Ne, x.clone(), y.clone());
+        assert!(matches!(ne, Term::Un(UnOp::Not, _)));
+    }
+
+    #[test]
+    fn linear_normalization() {
+        let mut ctx = SymCtx::new();
+        let x = sym(&mut ctx, Ty::Num);
+        // (x + 1) + 1 == x + 2
+        let a = Term::bin(
+            BinOp::Add,
+            Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+            Term::lit(1i64),
+        );
+        let b = Term::bin(BinOp::Add, x.clone(), Term::lit(2i64));
+        assert_eq!(a, b);
+        // x - x == 0
+        assert_eq!(
+            Term::bin(BinOp::Sub, x.clone(), x.clone()),
+            Term::lit(0i64)
+        );
+        // x + 1 == x + 2 is false; x + 1 <= x + 2 is true.
+        assert_eq!(
+            Term::bin(
+                BinOp::Eq,
+                Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                Term::bin(BinOp::Add, x.clone(), Term::lit(2i64))
+            ),
+            Term::ff()
+        );
+        assert_eq!(
+            Term::bin(
+                BinOp::Le,
+                Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+                Term::bin(BinOp::Add, x.clone(), Term::lit(2i64))
+            ),
+            Term::tt()
+        );
+        // x + 1 == 0 stays symbolic.
+        let open = Term::bin(
+            BinOp::Eq,
+            Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+            Term::lit(0i64),
+        );
+        assert!(open.as_bool().is_none());
+    }
+
+    #[test]
+    fn commutative_canonical_order() {
+        let mut ctx = SymCtx::new();
+        let x = sym(&mut ctx, Ty::Str);
+        let y = sym(&mut ctx, Ty::Str);
+        assert_eq!(
+            Term::bin(BinOp::Eq, x.clone(), y.clone()),
+            Term::bin(BinOp::Eq, y.clone(), x.clone())
+        );
+    }
+
+    #[test]
+    fn rewrite_leaves_substitutes_and_refolds() {
+        let mut ctx = SymCtx::new();
+        let x = sym(&mut ctx, Ty::Num);
+        let t = Term::bin(BinOp::Add, x.clone(), Term::lit(1i64));
+        let rewritten = t.rewrite_leaves(&|leaf| {
+            (leaf == &x).then(|| Term::lit(4i64))
+        });
+        assert_eq!(rewritten, Term::lit(5i64));
+    }
+
+    #[test]
+    fn types_are_computed() {
+        let mut ctx = SymCtx::new();
+        let x = sym(&mut ctx, Ty::Num);
+        assert_eq!(Term::bin(BinOp::Le, x.clone(), Term::lit(3i64)).ty(), Ty::Bool);
+        assert_eq!(Term::bin(BinOp::Add, x.clone(), Term::lit(3i64)).ty(), Ty::Num);
+        let s = sym(&mut ctx, Ty::Str);
+        assert_eq!(Term::bin(BinOp::Cat, s.clone(), Term::lit("x")).ty(), Ty::Str);
+    }
+
+    #[test]
+    fn mentions_and_collect() {
+        let mut ctx = SymCtx::new();
+        let x = ctx.fresh(Ty::Num, SymKind::StateVar("count".into()));
+        let y = ctx.fresh(Ty::Num, SymKind::Fresh);
+        let t = Term::bin(BinOp::Add, Term::Sym(x.clone()), Term::Sym(y.clone()));
+        assert!(t.mentions(&x));
+        let mut syms = Vec::new();
+        t.collect_syms(&mut syms);
+        assert_eq!(syms.len(), 2);
+    }
+}

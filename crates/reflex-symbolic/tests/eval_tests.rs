@@ -1,0 +1,183 @@
+//! Unit tests for the symbolic evaluator: path enumeration, branch
+//! collapse, lookup semantics and the exchange construction.
+
+use reflex_ast::build::ProgramBuilder;
+use reflex_ast::{Expr, Ty};
+use reflex_symbolic::{CondKind, Evaluator, SymAction, SymCtx, SymKind, Term};
+use reflex_typeck::CheckedProgram;
+
+fn checked(b: ProgramBuilder) -> CheckedProgram {
+    reflex_typeck::check(&b.finish()).expect("well-formed")
+}
+
+fn base() -> ProgramBuilder {
+    ProgramBuilder::new("t")
+        .component("C", "c.py", [])
+        .component("K", "k.py", [("tag", Ty::Str)])
+        .message("M", [Ty::Num])
+        .message("N", [Ty::Str])
+        .state("x", Ty::Num, Expr::lit(0i64))
+        .init_spawn("c0", "C", [])
+}
+
+#[test]
+fn literal_branches_do_not_split() {
+    let c = checked(base().handler("C", "M", ["n"], |h| {
+        h.if_else(
+            Expr::lit(true),
+            |t| {
+                t.assign("x", Expr::lit(1i64));
+            },
+            |e| {
+                e.assign("x", Expr::lit(2i64));
+            },
+        );
+    }));
+    let eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    let pre = eval.generic_pre_state(&mut ctx, &init[0].state);
+    let ex = eval.eval_exchange(&mut ctx, &pre, "C", "M");
+    assert_eq!(ex.paths.len(), 1);
+    assert_eq!(ex.paths[0].state.data["x"], Term::lit(1i64));
+}
+
+#[test]
+fn entailed_branches_collapse_with_pruning() {
+    // Second branch repeats the first condition: with pruning the inner
+    // split is collapsed, leaving exactly two paths instead of four.
+    let body = |h: &mut reflex_ast::build::CmdBuilder| {
+        h.if_else(
+            Expr::var("n").lt(Expr::lit(0i64)),
+            |t| {
+                t.when(Expr::var("n").lt(Expr::lit(0i64)), |tt| {
+                    tt.assign("x", Expr::lit(1i64));
+                });
+            },
+            |e| {
+                e.when(Expr::var("n").lt(Expr::lit(0i64)), |ee| {
+                    ee.assign("x", Expr::lit(2i64));
+                });
+            },
+        );
+    };
+    let c = checked(base().handler("C", "M", ["n"], body));
+    let mut eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    let pre = eval.generic_pre_state(&mut ctx, &init[0].state);
+    assert_eq!(eval.eval_exchange(&mut ctx, &pre, "C", "M").paths.len(), 2);
+
+    eval.prune = false;
+    // Without pruning the inner (infeasible) splits stay: 4 paths, one of
+    // which is contradictory — kept but harmless.
+    let n = eval.eval_exchange(&mut ctx, &pre, "C", "M").paths.len();
+    assert_eq!(n, 4);
+}
+
+#[test]
+fn lookup_produces_found_and_missing_paths_with_metadata() {
+    let c = checked(base().handler("C", "N", ["s"], |h| {
+        h.lookup(
+            "K",
+            "k",
+            Expr::var("k").cfg("tag").eq(Expr::var("s")),
+            |f| {
+                f.send(Expr::var("k"), "N", [Expr::var("s")]);
+            },
+            |m| {
+                m.spawn("fresh", "K", [Expr::var("s")]);
+            },
+        );
+    }));
+    let eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    let pre = eval.generic_pre_state(&mut ctx, &init[0].state);
+    let ex = eval.eval_exchange(&mut ctx, &pre, "C", "N");
+    assert_eq!(ex.paths.len(), 2);
+
+    // Found path: one pred condition tagged as a lookup, one send to the
+    // opaque component.
+    let found = &ex.paths[0];
+    assert_eq!(found.condition.len(), 1);
+    assert!(matches!(found.cond_kinds[0], CondKind::LookupPred { .. }));
+    assert!(matches!(&found.actions[0], SymAction::Send { comp, .. } if comp.ctype == "K"));
+    assert!(found.missed_lookups.is_empty());
+
+    // Missing path: no condition, a recorded missed lookup, and the spawn.
+    let missing = &ex.paths[1];
+    assert!(missing.condition.is_empty());
+    assert_eq!(missing.missed_lookups.len(), 1);
+    assert_eq!(missing.missed_lookups[0].ctype, "K");
+    assert!(matches!(&missing.actions[0], SymAction::Spawn { comp } if comp.ctype == "K"));
+}
+
+#[test]
+fn exchange_prefix_and_params_are_wired() {
+    let c = checked(base().handler("C", "M", ["n"], |h| {
+        h.assign("x", Expr::var("n"));
+    }));
+    let eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    let pre = eval.generic_pre_state(&mut ctx, &init[0].state);
+    let ex = eval.eval_exchange(&mut ctx, &pre, "C", "M");
+    assert!(ex.explicit);
+    assert_eq!(ex.prefix.len(), 2);
+    assert!(matches!(&ex.prefix[0], SymAction::Select { comp } if comp.ctype == "C"));
+    let SymAction::Recv { msg, args, .. } = &ex.prefix[1] else {
+        panic!("prefix[1] is Recv");
+    };
+    assert_eq!(msg, "M");
+    assert_eq!(args.len(), 1);
+    // The post-state x is exactly the payload parameter.
+    assert_eq!(ex.paths[0].state.data["x"], ex.params[0].1);
+    // Appended actions = prefix + handler actions.
+    assert_eq!(ex.appended_actions(&ex.paths[0]).len(), 2);
+}
+
+#[test]
+fn implicit_cases_are_silent_single_paths() {
+    let c = checked(base());
+    let eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    let pre = eval.generic_pre_state(&mut ctx, &init[0].state);
+    let ex = eval.eval_exchange(&mut ctx, &pre, "C", "M");
+    assert!(!ex.explicit);
+    assert_eq!(ex.paths.len(), 1);
+    assert!(ex.paths[0].actions.is_empty());
+}
+
+#[test]
+fn init_spawn_actions_and_generic_pre_state() {
+    let c = checked(
+        base()
+            .state("greeting", Ty::Str, Expr::lit("hello"))
+            .init_with(|h| {
+                h.call("banner", "motd", []);
+            }),
+    );
+    let eval = Evaluator::new(&c);
+    let mut ctx = SymCtx::new();
+    let init = eval.eval_init(&mut ctx);
+    assert_eq!(init.len(), 1);
+    let path = &init[0];
+    // One spawn + one call action.
+    assert_eq!(path.actions.len(), 2);
+    assert!(matches!(&path.actions[0], SymAction::Spawn { comp } if comp.ctype == "C"));
+    assert!(matches!(&path.actions[1], SymAction::Call { func, .. } if func == "motd"));
+    // Init state: concrete literals for state vars, opaque call binder.
+    assert_eq!(path.state.data["greeting"], Term::lit("hello"));
+
+    let pre = eval.generic_pre_state(&mut ctx, &path.state);
+    // Mutable state vars become opaque; the immutable call binder keeps
+    // its init value (an opaque call-result symbol).
+    assert!(matches!(
+        &pre.data["x"],
+        Term::Sym(s) if matches!(&s.kind, SymKind::StateVar(n) if n == "x")
+    ));
+    assert_eq!(pre.data["banner"], path.state.data["banner"]);
+    assert_eq!(pre.comps["c0"].ctype, "C");
+}

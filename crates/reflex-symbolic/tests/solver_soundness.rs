@@ -1,0 +1,244 @@
+//! Metamorphic soundness tests for the solver.
+//!
+//! The solver's contract is *sound UNSAT*: it may fail to detect
+//! unsatisfiability, but it must never call a satisfiable set
+//! unsatisfiable, and everything it claims entailed must actually be
+//! entailed. We test this against a concrete model: generate a random
+//! assignment σ for the symbolic variables, generate random boolean terms,
+//! and assert only literals that are *true under σ* — then σ is a model,
+//! so:
+//!
+//! * `is_unsat()` must be `false`;
+//! * any `entails(t, pol)` claim must agree with σ's evaluation of `t`;
+//! * `implied_value(t)` must be `None` or exactly σ's value.
+
+use proptest::prelude::*;
+use reflex_ast::{BinOp, Ty, UnOp, Value};
+use reflex_symbolic::{Solver, SymCtx, SymKind, SymVar, Term};
+
+/// Fixed symbolic variables: three numbers, two strings, two booleans.
+fn variables() -> Vec<SymVar> {
+    let mut ctx = SymCtx::new();
+    vec![
+        ctx.fresh(Ty::Num, SymKind::Fresh),
+        ctx.fresh(Ty::Num, SymKind::Fresh),
+        ctx.fresh(Ty::Num, SymKind::Fresh),
+        ctx.fresh(Ty::Str, SymKind::Fresh),
+        ctx.fresh(Ty::Str, SymKind::Fresh),
+        ctx.fresh(Ty::Bool, SymKind::Fresh),
+        ctx.fresh(Ty::Bool, SymKind::Fresh),
+    ]
+}
+
+/// A concrete assignment for [`variables`].
+#[derive(Debug, Clone)]
+struct Model {
+    values: Vec<Value>,
+}
+
+impl Model {
+    fn eval(&self, t: &Term, vars: &[SymVar]) -> Value {
+        match t {
+            Term::Lit(v) => v.clone(),
+            Term::Sym(s) => {
+                let idx = vars.iter().position(|v| v == s).expect("known var");
+                self.values[idx].clone()
+            }
+            Term::Un(UnOp::Not, inner) => match self.eval(inner, vars) {
+                Value::Bool(b) => Value::Bool(!b),
+                _ => unreachable!("typing"),
+            },
+            Term::Un(UnOp::Neg, inner) => match self.eval(inner, vars) {
+                Value::Num(n) => Value::Num(n.wrapping_neg()),
+                _ => unreachable!("typing"),
+            },
+            Term::Bin(op, l, r) => {
+                let a = self.eval(l, vars);
+                let b = self.eval(r, vars);
+                match (op, a, b) {
+                    (BinOp::Eq, a, b) => Value::Bool(a == b),
+                    (BinOp::Ne, a, b) => Value::Bool(a != b),
+                    (BinOp::And, Value::Bool(x), Value::Bool(y)) => Value::Bool(x && y),
+                    (BinOp::Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(x || y),
+                    (BinOp::Add, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_add(y)),
+                    (BinOp::Sub, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_sub(y)),
+                    (BinOp::Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
+                    (BinOp::Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
+                    (BinOp::Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
+                    _ => unreachable!("typing"),
+                }
+            }
+        }
+    }
+}
+
+fn gen_model() -> impl Strategy<Value = Model> {
+    (
+        proptest::collection::vec(-3i64..4, 3),
+        proptest::collection::vec(prop_oneof![Just("a"), Just("b"), Just("c")], 2),
+        proptest::collection::vec(any::<bool>(), 2),
+    )
+        .prop_map(|(nums, strs, bools)| Model {
+            values: nums
+                .into_iter()
+                .map(Value::Num)
+                .chain(strs.into_iter().map(Value::from))
+                .chain(bools.into_iter().map(Value::Bool))
+                .collect(),
+        })
+}
+
+/// A random term of the requested type over the fixed variables
+/// (represented by a recipe so shrinking works well).
+fn gen_term(ty: Ty, depth: u32) -> BoxedStrategy<Term> {
+    let vars = variables();
+    let leaves: Vec<Term> = vars
+        .iter()
+        .filter(|v| v.ty == ty)
+        .map(|v| Term::Sym(v.clone()))
+        .collect();
+    let lit = match ty {
+        Ty::Num => prop_oneof![(-3i64..4).prop_map(Term::lit)].boxed(),
+        Ty::Str => prop_oneof![Just("a"), Just("b"), Just("c")]
+            .prop_map(Term::lit)
+            .boxed(),
+        Ty::Bool => any::<bool>().prop_map(Term::lit).boxed(),
+        _ => unreachable!("data types only"),
+    };
+    let leaf = prop_oneof![
+        lit,
+        proptest::sample::select(leaves.clone()),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    match ty {
+        Ty::Num => prop_oneof![
+            leaf.clone(),
+            (gen_term(Ty::Num, depth - 1), gen_term(Ty::Num, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Add, a, b)),
+            (gen_term(Ty::Num, depth - 1), gen_term(Ty::Num, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Sub, a, b)),
+        ]
+        .boxed(),
+        Ty::Str => prop_oneof![
+            leaf.clone(),
+            (gen_term(Ty::Str, depth - 1), gen_term(Ty::Str, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Cat, a, b)),
+        ]
+        .boxed(),
+        Ty::Bool => prop_oneof![
+            leaf.clone(),
+            gen_term(Ty::Bool, depth - 1).prop_map(|t| Term::un(UnOp::Not, t)),
+            (gen_term(Ty::Bool, depth - 1), gen_term(Ty::Bool, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::And, a, b)),
+            (gen_term(Ty::Bool, depth - 1), gen_term(Ty::Bool, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Or, a, b)),
+            (gen_term(Ty::Num, depth - 1), gen_term(Ty::Num, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Eq, a, b)),
+            (gen_term(Ty::Num, depth - 1), gen_term(Ty::Num, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Lt, a, b)),
+            (gen_term(Ty::Num, depth - 1), gen_term(Ty::Num, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Le, a, b)),
+            (gen_term(Ty::Str, depth - 1), gen_term(Ty::Str, depth - 1))
+                .prop_map(|(a, b)| Term::bin(BinOp::Eq, a, b)),
+        ]
+        .boxed(),
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Term construction is semantics-preserving: the simplified term
+    /// evaluates like the unsimplified structure would.
+    #[test]
+    fn simplification_preserves_models(
+        model in gen_model(),
+        t in gen_term(Ty::Bool, 3),
+    ) {
+        let vars = variables();
+        // Build an equivalent term through Term::bin (already done by the
+        // generator) and evaluate; then substitute the model values as
+        // literals and the folded result must equal direct evaluation.
+        let expected = model.eval(&t, &vars);
+        let substituted = t.rewrite_leaves(&|leaf| match leaf {
+            Term::Sym(s) => {
+                let idx = vars.iter().position(|v| v == s)?;
+                Some(Term::Lit(model.values[idx].clone()))
+            }
+            _ => None,
+        });
+        prop_assert_eq!(
+            substituted,
+            Term::Lit(expected),
+            "ground substitution must fully fold"
+        );
+    }
+
+    /// A satisfiable assumption set is never reported UNSAT, and all
+    /// entailment claims hold in the model.
+    #[test]
+    fn solver_never_refutes_a_model(
+        model in gen_model(),
+        candidates in proptest::collection::vec(gen_term(Ty::Bool, 2), 1..8),
+        probes in proptest::collection::vec(gen_term(Ty::Bool, 2), 1..4),
+    ) {
+        let vars = variables();
+        // Assert each candidate with the polarity the model gives it, so
+        // the model satisfies every assumption by construction.
+        let mut solver = Solver::new();
+        for t in &candidates {
+            let Value::Bool(pol) = model.eval(t, &vars) else { unreachable!() };
+            solver.assert_term(t.clone(), pol);
+        }
+        prop_assert!(!solver.is_unsat(), "model satisfies all assumptions");
+
+        for probe in &probes {
+            let Value::Bool(actual) = model.eval(probe, &vars) else { unreachable!() };
+            // Entailment claims must agree with the model.
+            if solver.entails(probe, true) {
+                prop_assert!(actual, "claimed ⊨ {probe} but model refutes it");
+            }
+            if solver.entails(probe, false) {
+                prop_assert!(!actual, "claimed ⊨ ¬({probe}) but model satisfies it");
+            }
+        }
+
+        // Implied values must match the model.
+        for v in &vars {
+            let t = Term::Sym(v.clone());
+            if let Some(implied) = solver.implied_value(&t) {
+                let idx = vars.iter().position(|x| x == v).expect("known");
+                prop_assert_eq!(implied, model.values[idx].clone());
+            }
+        }
+    }
+
+    /// Monotonicity: adding assumptions can only refine entailment, and an
+    /// UNSAT set stays UNSAT under strengthening.
+    #[test]
+    fn unsat_is_monotone(
+        model in gen_model(),
+        base in proptest::collection::vec(gen_term(Ty::Bool, 2), 1..5),
+        extra in gen_term(Ty::Bool, 2),
+    ) {
+        let vars = variables();
+        // Force a contradiction: assert something and its negation.
+        let mut solver = Solver::new();
+        for t in &base {
+            let Value::Bool(pol) = model.eval(t, &vars) else { unreachable!() };
+            solver.assert_term(t.clone(), pol);
+        }
+        solver.assert_term(base[0].clone(), {
+            let Value::Bool(pol) = model.eval(&base[0], &vars) else { unreachable!() };
+            !pol
+        });
+        if solver.clone().is_unsat() {
+            solver.assert_term(extra, true);
+            prop_assert!(solver.is_unsat(), "UNSAT must be stable under strengthening");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Trace actions: the observable interactions between kernel and world.
+
+use std::fmt;
+
+use reflex_ast::{CompId, Value};
+
+/// A concrete component instance, as it appears in trace actions and in the
+/// kernel's component list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompInst {
+    /// Unique runtime identity.
+    pub id: CompId,
+    /// Component type name.
+    pub ctype: String,
+    /// Configuration field values, fixed at spawn time.
+    pub config: Vec<Value>,
+}
+
+impl CompInst {
+    /// Creates a component instance.
+    pub fn new(id: CompId, ctype: impl Into<String>, config: impl IntoIterator<Item = Value>) -> Self {
+        CompInst {
+            id,
+            ctype: ctype.into(),
+            config: config.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for CompInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>(", self.ctype, self.id)?;
+        for (i, v) in self.config.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A concrete message: type name plus payload values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Msg {
+    /// Message type name.
+    pub name: String,
+    /// Payload values.
+    pub args: Vec<Value>,
+}
+
+impl Msg {
+    /// Creates a message.
+    pub fn new(name: impl Into<String>, args: impl IntoIterator<Item = Value>) -> Msg {
+        Msg {
+            name: name.into(),
+            args: args.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, v) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// One observable action performed by the kernel.
+///
+/// Traces record the kernel's calls to effectful primitives, with their
+/// arguments and results (paper §3.2). The five action kinds mirror the five
+/// primitives: `select`, `recv`, `send`, `spawn` and custom external `call`s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// The kernel selected a ready component to service.
+    Select {
+        /// The selected component.
+        comp: CompInst,
+    },
+    /// The kernel received a message from a component.
+    Recv {
+        /// The sending component.
+        comp: CompInst,
+        /// The received message.
+        msg: Msg,
+    },
+    /// The kernel sent a message to a component.
+    Send {
+        /// The recipient component.
+        comp: CompInst,
+        /// The sent message.
+        msg: Msg,
+    },
+    /// The kernel spawned a new component.
+    Spawn {
+        /// The new component.
+        comp: CompInst,
+    },
+    /// The kernel invoked an external function, obtaining a
+    /// non-deterministic result from the outside world.
+    Call {
+        /// Function name.
+        func: String,
+        /// Argument values.
+        args: Vec<Value>,
+        /// The (string) result produced by the outside world.
+        result: Value,
+    },
+}
+
+impl Action {
+    /// The component this action interacts with, if any.
+    pub fn comp(&self) -> Option<&CompInst> {
+        match self {
+            Action::Select { comp }
+            | Action::Recv { comp, .. }
+            | Action::Send { comp, .. }
+            | Action::Spawn { comp } => Some(comp),
+            Action::Call { .. } => None,
+        }
+    }
+
+    /// The message carried by this action, if it is a `Recv` or `Send`.
+    pub fn msg(&self) -> Option<&Msg> {
+        match self {
+            Action::Recv { msg, .. } | Action::Send { msg, .. } => Some(msg),
+            _ => None,
+        }
+    }
+
+    /// Short tag naming the action kind, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Action::Select { .. } => "Select",
+            Action::Recv { .. } => "Recv",
+            Action::Send { .. } => "Send",
+            Action::Spawn { .. } => "Spawn",
+            Action::Call { .. } => "Call",
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Select { comp } => write!(f, "Select({comp})"),
+            Action::Recv { comp, msg } => write!(f, "Recv({comp}, {msg})"),
+            Action::Send { comp, msg } => write!(f, "Send({comp}, {msg})"),
+            Action::Spawn { comp } => write!(f, "Spawn({comp})"),
+            Action::Call { func, args, result } => {
+                write!(f, "Call({func}(")?;
+                for (i, v) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ") = {result})")
+            }
+        }
+    }
+}
+
+/// A trace of observable actions.
+///
+/// The paper stores traces as Coq lists in *reverse chronological* order
+/// (most recent action at the head). We store actions in chronological
+/// order internally — `actions()[0]` is the **oldest** action — and expose
+/// both views; every property definition in [`crate::props`] is written
+/// against chronological positions and proven (in tests) equivalent to the
+/// paper's list formulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    actions: Vec<Action>,
+}
+
+impl Trace {
+    /// The empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an action (which becomes the most recent).
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Appends several actions in chronological order.
+    pub fn extend(&mut self, actions: impl IntoIterator<Item = Action>) {
+        self.actions.extend(actions);
+    }
+
+    /// The actions in chronological order (oldest first).
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates in chronological order (oldest first).
+    pub fn iter_chrono(&self) -> impl DoubleEndedIterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// Iterates in the paper's list order (most recent first).
+    pub fn iter_rev(&self) -> impl DoubleEndedIterator<Item = &Action> {
+        self.actions.iter().rev()
+    }
+
+    /// The most recent action, if any (the head of the paper's list).
+    pub fn most_recent(&self) -> Option<&Action> {
+        self.actions.last()
+    }
+}
+
+impl FromIterator<Action> for Trace {
+    /// Builds a trace from actions given in chronological order.
+    fn from_iter<I: IntoIterator<Item = Action>>(iter: I) -> Self {
+        Trace {
+            actions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Action> for Trace {
+    fn extend<I: IntoIterator<Item = Action>>(&mut self, iter: I) {
+        self.actions.extend(iter);
+    }
+}
+
+impl fmt::Display for Trace {
+    /// Prints the trace in chronological order, one action per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.actions.iter().enumerate() {
+            writeln!(f, "{i:4}: {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(id: u64) -> CompInst {
+        CompInst::new(CompId::new(id), "C", [])
+    }
+
+    #[test]
+    fn trace_orders_are_consistent() {
+        let mut t = Trace::new();
+        t.push(Action::Select { comp: comp(0) });
+        t.push(Action::Spawn { comp: comp(1) });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.most_recent(), Some(&Action::Spawn { comp: comp(1) }));
+        let chrono: Vec<_> = t.iter_chrono().map(Action::kind).collect();
+        assert_eq!(chrono, vec!["Select", "Spawn"]);
+        let rev: Vec<_> = t.iter_rev().map(Action::kind).collect();
+        assert_eq!(rev, vec!["Spawn", "Select"]);
+    }
+
+    #[test]
+    fn accessors() {
+        let a = Action::Recv {
+            comp: comp(3),
+            msg: Msg::new("M", [Value::Num(1)]),
+        };
+        assert_eq!(a.comp().map(|c| c.id), Some(CompId::new(3)));
+        assert_eq!(a.msg().map(|m| m.name.as_str()), Some("M"));
+        let c = Action::Call {
+            func: "wget".into(),
+            args: vec![Value::from("url")],
+            result: Value::from("body"),
+        };
+        assert!(c.comp().is_none());
+        assert!(c.msg().is_none());
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Action::Send {
+            comp: CompInst::new(CompId::new(7), "Tab", [Value::from("a.org")]),
+            msg: Msg::new("Render", []),
+        };
+        assert_eq!(a.to_string(), "Send(Tab<comp#7>(\"a.org\"), Render())");
+    }
+}

@@ -1,0 +1,55 @@
+//! Concrete traces and the Reflex property semantics.
+//!
+//! A Reflex kernel's observable behavior is its *trace*: the sequence of
+//! `Select` / `Recv` / `Send` / `Spawn` / `Call` actions it performs
+//! (paper §3.2). This crate defines:
+//!
+//! * [`Action`], [`Trace`], [`CompInst`], [`Msg`] — the trace model;
+//! * [`matching`] — matching action patterns against concrete actions,
+//!   producing minimal substitutions for the universally quantified
+//!   property variables;
+//! * [`props`] — decidable checkers for the five trace-property primitives
+//!   (`ImmBefore`, `ImmAfter`, `Enables`, `Ensures`, `Disables`), used both
+//!   as the ground-truth semantics in tests and by the runtime oracle;
+//! * [`ni`] — the `π_i` / `π_o` projections underlying non-interference.
+//!
+//! # Example
+//!
+//! ```
+//! use reflex_ast::{ActionPat, CompPat, PatField, TraceProp, TracePropKind, Value, CompId};
+//! use reflex_trace::{Action, CompInst, Msg, Trace, props::check_trace};
+//!
+//! let pw = CompInst::new(CompId::new(1), "Password", []);
+//! let term = CompInst::new(CompId::new(2), "Terminal", []);
+//! let trace: Trace = [
+//!     Action::Recv { comp: pw, msg: Msg::new("Auth", [Value::from("alice")]) },
+//!     Action::Send { comp: term, msg: Msg::new("ReqTerm", [Value::from("alice")]) },
+//! ].into_iter().collect();
+//!
+//! let prop = TraceProp::new(
+//!     TracePropKind::Enables,
+//!     ActionPat::Recv {
+//!         comp: CompPat::of_type("Password"),
+//!         msg: "Auth".into(),
+//!         args: vec![PatField::var("u")],
+//!     },
+//!     ActionPat::Send {
+//!         comp: CompPat::of_type("Terminal"),
+//!         msg: "ReqTerm".into(),
+//!         args: vec![PatField::var("u")],
+//!     },
+//! );
+//! assert!(check_trace(&trace, &prop).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+pub mod matching;
+pub mod ni;
+pub mod props;
+
+pub use action::{Action, CompInst, Msg, Trace};
+pub use matching::Bindings;
+pub use props::{check_trace, check_trace_properties, PropError, Violation};

@@ -1,0 +1,281 @@
+//! Matching action patterns against concrete actions.
+//!
+//! All property variables are universally quantified at the outermost level
+//! of a property; matching a pattern against a concrete action produces the
+//! *minimal substitution* (bindings) under which they agree. Repeated
+//! variables encode equality constraints, exactly as in the paper's
+//! `AMatch`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use reflex_ast::{ActionPat, CompPat, PatField, Value};
+
+use crate::action::{Action, CompInst};
+
+/// A substitution from property variables to concrete values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    map: BTreeMap<String, Value>,
+}
+
+impl Bindings {
+    /// The empty substitution.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Creates a substitution from (variable, value) pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Bindings {
+        Bindings {
+            map: pairs.into_iter().map(|(k, v)| (k.into(), v)).collect(),
+        }
+    }
+
+    /// The value bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.map.get(var)
+    }
+
+    /// Binds `var` to `value`, or — if already bound — checks consistency.
+    /// Returns `false` on conflict (the match fails).
+    pub fn bind(&mut self, var: &str, value: &Value) -> bool {
+        match self.map.get(var) {
+            Some(existing) => existing == value,
+            None => {
+                self.map.insert(var.to_owned(), value.clone());
+                true
+            }
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over (variable, value) pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{k} := {v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+fn match_field(pat: &PatField, value: &Value, bindings: &mut Bindings) -> bool {
+    match pat {
+        PatField::Any => true,
+        PatField::Lit(v) => v == value,
+        PatField::Var(x) => bindings.bind(x, value),
+    }
+}
+
+fn match_fields(pats: &[PatField], values: &[Value], bindings: &mut Bindings) -> bool {
+    pats.len() == values.len()
+        && pats
+            .iter()
+            .zip(values)
+            .all(|(p, v)| match_field(p, v, bindings))
+}
+
+/// Matches a component pattern against a component instance, extending
+/// `bindings`. Returns `false` (leaving `bindings` possibly partially
+/// extended) on mismatch; callers that need rollback should clone first —
+/// [`match_action`] does this for you.
+pub fn match_comp(pat: &CompPat, comp: &CompInst, bindings: &mut Bindings) -> bool {
+    if let Some(ct) = &pat.ctype {
+        if *ct != comp.ctype {
+            return false;
+        }
+    }
+    match &pat.config {
+        None => true,
+        Some(fields) => match_fields(fields, &comp.config, bindings),
+    }
+}
+
+/// Attempts to match `pat` against `action` under the partial substitution
+/// `bindings`.
+///
+/// On success returns the minimal extension of `bindings` under which the
+/// pattern matches; on failure returns `None` (and `bindings` is not
+/// consumed conceptually — pass a clone-by-value).
+pub fn match_action(pat: &ActionPat, action: &Action, bindings: &Bindings) -> Option<Bindings> {
+    let mut b = bindings.clone();
+    let ok = match (pat, action) {
+        (ActionPat::Select { comp: cp }, Action::Select { comp }) => match_comp(cp, comp, &mut b),
+        (ActionPat::Spawn { comp: cp }, Action::Spawn { comp }) => match_comp(cp, comp, &mut b),
+        (
+            ActionPat::Recv {
+                comp: cp,
+                msg,
+                args,
+            },
+            Action::Recv { comp, msg: m },
+        )
+        | (
+            ActionPat::Send {
+                comp: cp,
+                msg,
+                args,
+            },
+            Action::Send { comp, msg: m },
+        ) => *msg == m.name && match_comp(cp, comp, &mut b) && match_fields(args, &m.args, &mut b),
+        (
+            ActionPat::Call {
+                func,
+                args,
+                result,
+            },
+            Action::Call {
+                func: f,
+                args: a,
+                result: r,
+            },
+        ) => {
+            *func == *f
+                && match args {
+                    None => true,
+                    Some(fields) => match_fields(fields, a, &mut b),
+                }
+                && match_field(result, r, &mut b)
+        }
+        _ => false,
+    };
+    ok.then_some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reflex_ast::CompId;
+
+    fn tab(id: u64, domain: &str) -> CompInst {
+        CompInst::new(CompId::new(id), "Tab", [Value::from(domain)])
+    }
+
+    fn send(comp: CompInst, msg: &str, args: Vec<Value>) -> Action {
+        Action::Send {
+            comp,
+            msg: crate::action::Msg::new(msg, args),
+        }
+    }
+
+    #[test]
+    fn literal_and_wildcard_fields() {
+        let pat = ActionPat::Send {
+            comp: CompPat::of_type("Tab"),
+            msg: "M".into(),
+            args: vec![PatField::lit(3i64), PatField::Any],
+        };
+        let a = send(tab(1, "a.org"), "M", vec![Value::Num(3), Value::from("x")]);
+        assert!(match_action(&pat, &a, &Bindings::new()).is_some());
+
+        let b = send(tab(1, "a.org"), "M", vec![Value::Num(4), Value::from("x")]);
+        assert!(match_action(&pat, &b, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn variables_bind_and_enforce_equality() {
+        // Send(Tab(d), Cookie(d, v)) — the domain in the config must equal
+        // the first payload field.
+        let pat = ActionPat::Send {
+            comp: CompPat::with_config("Tab", [PatField::var("d")]),
+            msg: "Cookie".into(),
+            args: vec![PatField::var("d"), PatField::var("v")],
+        };
+        let good = send(
+            tab(1, "a.org"),
+            "Cookie",
+            vec![Value::from("a.org"), Value::from("k=1")],
+        );
+        let got = match_action(&pat, &good, &Bindings::new()).expect("should match");
+        assert_eq!(got.get("d"), Some(&Value::from("a.org")));
+        assert_eq!(got.get("v"), Some(&Value::from("k=1")));
+
+        let bad = send(
+            tab(1, "a.org"),
+            "Cookie",
+            vec![Value::from("b.org"), Value::from("k=1")],
+        );
+        assert!(match_action(&pat, &bad, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn pre_bound_variables_constrain_the_match() {
+        let pat = ActionPat::Spawn {
+            comp: CompPat::with_config("Tab", [PatField::var("d")]),
+        };
+        let a = Action::Spawn { comp: tab(2, "a.org") };
+        let pre = Bindings::from_pairs([("d", Value::from("b.org"))]);
+        assert!(match_action(&pat, &a, &pre).is_none());
+        let pre_ok = Bindings::from_pairs([("d", Value::from("a.org"))]);
+        assert!(match_action(&pat, &a, &pre_ok).is_some());
+    }
+
+    #[test]
+    fn kind_and_message_mismatches() {
+        let pat = ActionPat::Recv {
+            comp: CompPat::any(),
+            msg: "M".into(),
+            args: vec![],
+        };
+        let s = send(tab(1, "a.org"), "M", vec![]);
+        assert!(match_action(&pat, &s, &Bindings::new()).is_none()); // Recv vs Send
+        let r = Action::Recv {
+            comp: tab(1, "a.org"),
+            msg: crate::action::Msg::new("N", vec![]),
+        };
+        assert!(match_action(&pat, &r, &Bindings::new()).is_none()); // M vs N
+    }
+
+    #[test]
+    fn call_patterns() {
+        let a = Action::Call {
+            func: "wget".into(),
+            args: vec![Value::from("http://x")],
+            result: Value::from("body"),
+        };
+        let p_any_args = ActionPat::Call {
+            func: "wget".into(),
+            args: None,
+            result: PatField::var("r"),
+        };
+        let got = match_action(&p_any_args, &a, &Bindings::new()).expect("matches");
+        assert_eq!(got.get("r"), Some(&Value::from("body")));
+
+        let p_wrong_arity = ActionPat::Call {
+            func: "wget".into(),
+            args: Some(vec![]),
+            result: PatField::Any,
+        };
+        assert!(match_action(&p_wrong_arity, &a, &Bindings::new()).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_fails_not_panics() {
+        let pat = ActionPat::Send {
+            comp: CompPat::with_config("Tab", [PatField::Any, PatField::Any]),
+            msg: "M".into(),
+            args: vec![],
+        };
+        let a = send(tab(1, "a.org"), "M", vec![]);
+        assert!(match_action(&pat, &a, &Bindings::new()).is_none());
+    }
+}

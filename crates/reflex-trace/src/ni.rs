@@ -1,0 +1,145 @@
+//! Trace projections for non-interference (paper §4.2).
+//!
+//! Non-interference is a *relational* property: it compares the
+//! high-component projections of two executions. This module provides the
+//! projection functions `π_i` (high inputs) and `π_o` (high outputs) over
+//! concrete traces; the relational check itself lives in `reflex-runtime`
+//! (dynamic, over pairs of runs) and `reflex-verify` (static, via the
+//! `NIlo`/`NIhi` sufficient conditions).
+
+use reflex_ast::{NiSpec, Value};
+
+use crate::action::{Action, CompInst, Trace};
+use crate::matching::{match_comp, Bindings};
+
+/// Decides whether a component is labeled *high* by `spec`, with the
+/// enclosing property's `forall` variables instantiated by `sigma`.
+///
+/// A component is high iff it matches at least one of the spec's
+/// `high_comps` patterns. Pattern variables already bound in `sigma`
+/// constrain the match; unbound variables act as wildcards.
+pub fn comp_is_high(spec: &NiSpec, sigma: &Bindings, comp: &CompInst) -> bool {
+    spec.high_comps.iter().any(|pat| {
+        let mut b = sigma.clone();
+        match_comp(pat, comp, &mut b)
+    })
+}
+
+/// `π_i`: the chronological list of `Recv` actions from high components.
+///
+/// (The full paper definition pairs each high input with the
+/// non-deterministic context of its handler; contexts are owned by the
+/// runtime, which zips them with this projection.)
+pub fn project_high_inputs<'t>(trace: &'t Trace, spec: &NiSpec, sigma: &Bindings) -> Vec<&'t Action> {
+    trace
+        .iter_chrono()
+        .filter(|a| match a {
+            Action::Recv { comp, .. } => comp_is_high(spec, sigma, comp),
+            _ => false,
+        })
+        .collect()
+}
+
+/// `π_o`: the chronological list of `Send` actions to, and `Spawn` actions
+/// of, high components.
+pub fn project_high_outputs<'t>(
+    trace: &'t Trace,
+    spec: &NiSpec,
+    sigma: &Bindings,
+) -> Vec<&'t Action> {
+    trace
+        .iter_chrono()
+        .filter(|a| match a {
+            Action::Send { comp, .. } | Action::Spawn { comp } => comp_is_high(spec, sigma, comp),
+            _ => false,
+        })
+        .collect()
+}
+
+/// Instantiates the `forall` variables of a non-interference property with
+/// concrete values drawn from `domain`, producing one [`Bindings`] per
+/// combination.
+///
+/// Used by the dynamic NI oracle to test, e.g., "for all domains `d`" over
+/// the domains actually occurring in a run.
+pub fn instantiate_foralls(
+    forall: &[(String, reflex_ast::Ty)],
+    domain: &[Value],
+) -> Vec<Bindings> {
+    let mut envs = vec![Bindings::new()];
+    for (var, ty) in forall {
+        let mut next = Vec::new();
+        for env in &envs {
+            for v in domain.iter().filter(|v| v.ty() == *ty) {
+                let mut e = env.clone();
+                assert!(e.bind(var, v), "fresh variable cannot conflict");
+                next.push(e);
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Msg;
+    use reflex_ast::{CompId, CompPat, PatField, Ty};
+
+    fn tab(id: u64, domain: &str) -> CompInst {
+        CompInst::new(CompId::new(id), "Tab", [Value::from(domain)])
+    }
+
+    fn spec_for_domain() -> NiSpec {
+        NiSpec::new(
+            [CompPat::with_config("Tab", [PatField::var("d")])],
+            Vec::<String>::new(),
+        )
+    }
+
+    #[test]
+    fn high_labeling_respects_bound_variables() {
+        let spec = spec_for_domain();
+        let sigma = Bindings::from_pairs([("d", Value::from("a.org"))]);
+        assert!(comp_is_high(&spec, &sigma, &tab(1, "a.org")));
+        assert!(!comp_is_high(&spec, &sigma, &tab(2, "b.org")));
+        // Unbound: any Tab is high.
+        assert!(comp_is_high(&spec, &Bindings::new(), &tab(2, "b.org")));
+    }
+
+    #[test]
+    fn projections_filter_by_label_and_kind() {
+        let spec = spec_for_domain();
+        let sigma = Bindings::from_pairs([("d", Value::from("a.org"))]);
+        let t: Trace = [
+            Action::Recv {
+                comp: tab(1, "a.org"),
+                msg: Msg::new("M", []),
+            },
+            Action::Recv {
+                comp: tab(2, "b.org"),
+                msg: Msg::new("M", []),
+            },
+            Action::Send {
+                comp: tab(1, "a.org"),
+                msg: Msg::new("R", []),
+            },
+            Action::Spawn { comp: tab(3, "a.org") },
+            Action::Spawn { comp: tab(4, "b.org") },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(project_high_inputs(&t, &spec, &sigma).len(), 1);
+        assert_eq!(project_high_outputs(&t, &spec, &sigma).len(), 2);
+    }
+
+    #[test]
+    fn forall_instantiation_is_typed_cartesian() {
+        let forall = vec![("d".to_owned(), Ty::Str), ("n".to_owned(), Ty::Num)];
+        let domain = vec![Value::from("a"), Value::from("b"), Value::Num(1)];
+        let envs = instantiate_foralls(&forall, &domain);
+        assert_eq!(envs.len(), 2); // 2 strings x 1 num
+        assert!(envs.iter().all(|e| e.get("d").is_some() && e.get("n").is_some()));
+    }
+}

@@ -1,0 +1,465 @@
+//! Decidable checkers for the five trace-property primitives.
+//!
+//! The definitions follow the paper's Coq formulation exactly (§4.1),
+//! re-expressed over chronological indices. Writing `t(i)` for the i-th
+//! oldest action and `σ = match(P, t(i))` for the minimal substitution under
+//! which pattern `P` matches `t(i)`:
+//!
+//! * `ImmBefore A B`: ∀ i, σ = match(B, t(i)) ⇒ i > 0 ∧ t(i−1) matches `Aσ`.
+//! * `ImmAfter  A B`: ∀ i, σ = match(A, t(i)) ⇒ i+1 < len ∧ t(i+1) matches `Bσ`.
+//! * `Enables   A B`: ∀ i, σ = match(B, t(i)) ⇒ ∃ j < i, t(j) matches `Aσ`.
+//! * `Ensures   A B`: ∀ i, σ = match(A, t(i)) ⇒ ∃ j > i, t(j) matches `Bσ`.
+//! * `Disables  A B`: ∀ i, σ = match(B, t(i)) ⇒ ∄ j < i, t(j) unifies with `Aσ`.
+//!
+//! Because all pattern variables are universally quantified at the
+//! outermost level, a *positive* obligation (the existentially demanded
+//! match) must not contain variables absent from the trigger pattern: such
+//! a property would demand one witness per value of an infinite domain and
+//! is unsatisfiable on finite traces. The type checker rejects this; the
+//! checkers here report it as a [`PropError::UnboundObligationVar`].
+//! Negative obligations (`Disables`) may mention extra variables — they
+//! simply act as wildcards, making the prohibition stronger.
+
+use std::fmt;
+
+use reflex_ast::{ActionPat, TraceProp, TracePropKind};
+
+use crate::action::Trace;
+use crate::matching::{match_action, Bindings};
+
+/// Why a trace fails (or cannot be checked against) a property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The trace violates the property.
+    Violation(Violation),
+    /// A positive obligation pattern contains a variable not bound by the
+    /// trigger pattern (ill-formed property; see module docs).
+    UnboundObligationVar {
+        /// The offending variable.
+        var: String,
+    },
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropError::Violation(v) => write!(f, "{v}"),
+            PropError::UnboundObligationVar { var } => write!(
+                f,
+                "ill-formed property: obligation variable `{var}` is not bound by the trigger pattern"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PropError {}
+
+/// A concrete counterexample to a trace property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The primitive that failed.
+    pub kind: TracePropKind,
+    /// Chronological index of the trigger action.
+    pub trigger_index: usize,
+    /// Substitution under which the trigger matched.
+    pub bindings: Bindings,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} violated at action #{} under {}: {}",
+            self.kind.keyword(),
+            self.trigger_index,
+            self.bindings,
+            self.detail
+        )
+    }
+}
+
+fn ensure_closed(obligation: &ActionPat, sigma: &Bindings) -> Result<(), PropError> {
+    for v in obligation.vars() {
+        if sigma.get(&v).is_none() {
+            return Err(PropError::UnboundObligationVar { var: v });
+        }
+    }
+    Ok(())
+}
+
+/// Checks `trace ⊨ prop`, returning the first violation found (scanning
+/// triggers chronologically).
+pub fn check_trace(trace: &Trace, prop: &TraceProp) -> Result<(), PropError> {
+    let actions = trace.actions();
+    let empty = Bindings::new();
+    match prop.kind {
+        TracePropKind::ImmBefore => {
+            for (i, act) in actions.iter().enumerate() {
+                let Some(sigma) = match_action(&prop.b, act, &empty) else {
+                    continue;
+                };
+                ensure_closed(&prop.a, &sigma)?;
+                let ok = i > 0 && match_action(&prop.a, &actions[i - 1], &sigma).is_some();
+                if !ok {
+                    return Err(PropError::Violation(Violation {
+                        kind: prop.kind,
+                        trigger_index: i,
+                        bindings: sigma,
+                        detail: format!(
+                            "no action matching [{}] immediately before [{}]",
+                            prop.a, actions[i]
+                        ),
+                    }));
+                }
+            }
+            Ok(())
+        }
+        TracePropKind::ImmAfter => {
+            for (i, act) in actions.iter().enumerate() {
+                let Some(sigma) = match_action(&prop.a, act, &empty) else {
+                    continue;
+                };
+                ensure_closed(&prop.b, &sigma)?;
+                let ok =
+                    i + 1 < actions.len() && match_action(&prop.b, &actions[i + 1], &sigma).is_some();
+                if !ok {
+                    return Err(PropError::Violation(Violation {
+                        kind: prop.kind,
+                        trigger_index: i,
+                        bindings: sigma,
+                        detail: format!(
+                            "no action matching [{}] immediately after [{}]",
+                            prop.b, actions[i]
+                        ),
+                    }));
+                }
+            }
+            Ok(())
+        }
+        TracePropKind::Enables => {
+            for (i, act) in actions.iter().enumerate() {
+                let Some(sigma) = match_action(&prop.b, act, &empty) else {
+                    continue;
+                };
+                ensure_closed(&prop.a, &sigma)?;
+                let ok = actions[..i]
+                    .iter()
+                    .any(|earlier| match_action(&prop.a, earlier, &sigma).is_some());
+                if !ok {
+                    return Err(PropError::Violation(Violation {
+                        kind: prop.kind,
+                        trigger_index: i,
+                        bindings: sigma,
+                        detail: format!(
+                            "no earlier action matching [{}] enables [{}]",
+                            prop.a, actions[i]
+                        ),
+                    }));
+                }
+            }
+            Ok(())
+        }
+        TracePropKind::Ensures => {
+            for (i, act) in actions.iter().enumerate() {
+                let Some(sigma) = match_action(&prop.a, act, &empty) else {
+                    continue;
+                };
+                ensure_closed(&prop.b, &sigma)?;
+                let ok = actions[i + 1..]
+                    .iter()
+                    .any(|later| match_action(&prop.b, later, &sigma).is_some());
+                if !ok {
+                    return Err(PropError::Violation(Violation {
+                        kind: prop.kind,
+                        trigger_index: i,
+                        bindings: sigma,
+                        detail: format!(
+                            "no later action matching [{}] after [{}]",
+                            prop.b, actions[i]
+                        ),
+                    }));
+                }
+            }
+            Ok(())
+        }
+        TracePropKind::Disables => {
+            for (i, act) in actions.iter().enumerate() {
+                let Some(sigma) = match_action(&prop.b, act, &empty) else {
+                    continue;
+                };
+                // Extra variables in A act as wildcards: any extension of σ
+                // matching an earlier action is a violation.
+                if let Some(j) = actions[..i]
+                    .iter()
+                    .position(|earlier| match_action(&prop.a, earlier, &sigma).is_some())
+                {
+                    return Err(PropError::Violation(Violation {
+                        kind: prop.kind,
+                        trigger_index: i,
+                        bindings: sigma,
+                        detail: format!(
+                            "action #{j} matching [{}] precedes forbidden [{}]",
+                            prop.a, actions[i]
+                        ),
+                    }));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a trace against every *trace* property of a list of property
+/// declarations, returning `(property name, error)` for the first failure.
+///
+/// Non-interference properties are relational (they compare pairs of
+/// executions) and are not checkable on a single trace; they are skipped.
+pub fn check_trace_properties<'p>(
+    trace: &Trace,
+    properties: impl IntoIterator<Item = &'p reflex_ast::PropertyDecl>,
+) -> Result<(), (String, PropError)> {
+    for p in properties {
+        if let reflex_ast::PropBody::Trace(tp) = &p.body {
+            check_trace(trace, tp).map_err(|e| (p.name.clone(), e))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, CompInst, Msg};
+    use reflex_ast::{CompId, CompPat, PatField, Value};
+
+    fn comp(ctype: &str, id: u64) -> CompInst {
+        CompInst::new(CompId::new(id), ctype, [])
+    }
+
+    fn recv(ctype: &str, id: u64, msg: &str, args: Vec<Value>) -> Action {
+        Action::Recv {
+            comp: comp(ctype, id),
+            msg: Msg::new(msg, args),
+        }
+    }
+
+    fn send(ctype: &str, id: u64, msg: &str, args: Vec<Value>) -> Action {
+        Action::Send {
+            comp: comp(ctype, id),
+            msg: Msg::new(msg, args),
+        }
+    }
+
+    fn recv_pat(ctype: &str, msg: &str, args: Vec<PatField>) -> ActionPat {
+        ActionPat::Recv {
+            comp: CompPat::of_type(ctype),
+            msg: msg.into(),
+            args,
+        }
+    }
+
+    fn send_pat(ctype: &str, msg: &str, args: Vec<PatField>) -> ActionPat {
+        ActionPat::Send {
+            comp: CompPat::of_type(ctype),
+            msg: msg.into(),
+            args,
+        }
+    }
+
+    fn auth_enables_term() -> TraceProp {
+        TraceProp::new(
+            TracePropKind::Enables,
+            recv_pat("Password", "Auth", vec![PatField::var("u")]),
+            send_pat("Terminal", "ReqTerm", vec![PatField::var("u")]),
+        )
+    }
+
+    #[test]
+    fn enables_holds_with_matching_user() {
+        let t: Trace = [
+            recv("Password", 1, "Auth", vec![Value::from("alice")]),
+            send("Terminal", 2, "ReqTerm", vec![Value::from("alice")]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&t, &auth_enables_term()).is_ok());
+    }
+
+    #[test]
+    fn enables_fails_for_wrong_user() {
+        // Authentication of bob does not enable a terminal for alice —
+        // the quantified variable u must match.
+        let t: Trace = [
+            recv("Password", 1, "Auth", vec![Value::from("bob")]),
+            send("Terminal", 2, "ReqTerm", vec![Value::from("alice")]),
+        ]
+        .into_iter()
+        .collect();
+        let err = check_trace(&t, &auth_enables_term()).unwrap_err();
+        match err {
+            PropError::Violation(v) => {
+                assert_eq!(v.trigger_index, 1);
+                assert_eq!(v.bindings.get("u"), Some(&Value::from("alice")));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn enables_vacuous_on_empty_and_triggerless_traces() {
+        let p = auth_enables_term();
+        assert!(check_trace(&Trace::new(), &p).is_ok());
+        let t: Trace = [recv("Password", 1, "Auth", vec![Value::from("a")])]
+            .into_iter()
+            .collect();
+        assert!(check_trace(&t, &p).is_ok());
+    }
+
+    #[test]
+    fn immbefore_requires_adjacency() {
+        let p = TraceProp::new(
+            TracePropKind::ImmBefore,
+            recv_pat("Engine", "Crash", vec![]),
+            send_pat("Airbag", "Deploy", vec![]),
+        );
+        let adjacent: Trace = [
+            recv("Engine", 1, "Crash", vec![]),
+            send("Airbag", 2, "Deploy", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&adjacent, &p).is_ok());
+
+        let separated: Trace = [
+            recv("Engine", 1, "Crash", vec![]),
+            send("Radio", 3, "Mute", vec![]),
+            send("Airbag", 2, "Deploy", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(matches!(
+            check_trace(&separated, &p),
+            Err(PropError::Violation(v)) if v.trigger_index == 2
+        ));
+
+        // A Deploy at the very start has nothing before it.
+        let first: Trace = [send("Airbag", 2, "Deploy", vec![])].into_iter().collect();
+        assert!(check_trace(&first, &p).is_err());
+    }
+
+    #[test]
+    fn immafter_fails_on_pending_trigger_at_end() {
+        let p = TraceProp::new(
+            TracePropKind::ImmAfter,
+            recv_pat("Engine", "Crash", vec![]),
+            send_pat("Airbag", "Deploy", vec![]),
+        );
+        let complete: Trace = [
+            recv("Engine", 1, "Crash", vec![]),
+            send("Airbag", 2, "Deploy", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&complete, &p).is_ok());
+
+        // The crash is the most recent action: ImmAfter is violated because
+        // this state is observable (every post-exchange state is reachable).
+        let pending: Trace = [recv("Engine", 1, "Crash", vec![])].into_iter().collect();
+        assert!(check_trace(&pending, &p).is_err());
+    }
+
+    #[test]
+    fn ensures_requires_later_match_within_trace() {
+        let p = TraceProp::new(
+            TracePropKind::Ensures,
+            recv_pat("Engine", "Crash", vec![]),
+            send_pat("Doors", "Unlock", vec![]),
+        );
+        let good: Trace = [
+            recv("Engine", 1, "Crash", vec![]),
+            send("Radio", 3, "Mute", vec![]),
+            send("Doors", 2, "Unlock", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&good, &p).is_ok());
+
+        let bad: Trace = [
+            send("Doors", 2, "Unlock", vec![]),
+            recv("Engine", 1, "Crash", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&bad, &p).is_err());
+    }
+
+    #[test]
+    fn disables_uniqueness_encoding() {
+        // Spawn(Tab(id)) Disables Spawn(Tab(id)): tab ids are unique.
+        let spawn_tab = |id: i64| Action::Spawn {
+            comp: CompInst::new(CompId::new(id as u64), "Tab", [Value::Num(id)]),
+        };
+        let pat = ActionPat::Spawn {
+            comp: CompPat::with_config("Tab", [PatField::var("id")]),
+        };
+        let p = TraceProp::new(TracePropKind::Disables, pat.clone(), pat);
+
+        let unique: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(3)].into_iter().collect();
+        assert!(check_trace(&unique, &p).is_ok());
+
+        let dup: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(1)].into_iter().collect();
+        let err = check_trace(&dup, &p).unwrap_err();
+        assert!(matches!(err, PropError::Violation(v) if v.trigger_index == 2));
+    }
+
+    #[test]
+    fn disables_extra_vars_act_as_wildcards() {
+        // Once *any* Lock message is sent, no Unlock(u) for any u.
+        let p = TraceProp::new(
+            TracePropKind::Disables,
+            send_pat("Doors", "Lock", vec![PatField::var("w")]),
+            send_pat("Doors", "Unlock", vec![]),
+        );
+        let t: Trace = [
+            send("Doors", 1, "Lock", vec![Value::from("x")]),
+            send("Doors", 1, "Unlock", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        assert!(check_trace(&t, &p).is_err());
+    }
+
+    #[test]
+    fn unbound_positive_obligation_is_reported() {
+        let p = TraceProp::new(
+            TracePropKind::Enables,
+            recv_pat("Password", "Auth", vec![PatField::var("v")]),
+            send_pat("Terminal", "ReqTerm", vec![PatField::var("u")]),
+        );
+        let t: Trace = [send("Terminal", 2, "ReqTerm", vec![Value::from("a")])]
+            .into_iter()
+            .collect();
+        assert!(matches!(
+            check_trace(&t, &p),
+            Err(PropError::UnboundObligationVar { var }) if var == "v"
+        ));
+    }
+
+    #[test]
+    fn check_trace_properties_reports_name() {
+        let decl = reflex_ast::PropertyDecl::trace(
+            "AuthBeforeTerm",
+            [("u", reflex_ast::Ty::Str)],
+            TracePropKind::Enables,
+            recv_pat("Password", "Auth", vec![PatField::var("u")]),
+            send_pat("Terminal", "ReqTerm", vec![PatField::var("u")]),
+        );
+        let bad: Trace = [send("Terminal", 2, "ReqTerm", vec![Value::from("a")])]
+            .into_iter()
+            .collect();
+        let (name, _) = check_trace_properties(&bad, [&decl]).unwrap_err();
+        assert_eq!(name, "AuthBeforeTerm");
+    }
+}

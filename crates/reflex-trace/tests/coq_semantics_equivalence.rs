@@ -1,0 +1,312 @@
+//! Equivalence of our indexed trace-property checkers with the paper's
+//! *literal* Coq definitions.
+//!
+//! The paper defines the five primitives over reverse-chronological lists
+//! by decomposition (`tr = suf ++ b :: pre`). This test file implements
+//! those definitions verbatim (quantifying over all decompositions and a
+//! finite value universe for the property variables) and checks, by
+//! property-based testing over random traces and patterns, that
+//! `reflex_trace::check_trace` decides exactly the same relation.
+
+use proptest::prelude::*;
+use reflex_ast::{ActionPat, CompPat, PatField, TraceProp, TracePropKind, Value};
+use reflex_trace::matching::{match_action, Bindings};
+use reflex_trace::{check_trace, Action, CompInst, Msg, PropError, Trace};
+
+/// The finite universe the quantified variables range over in the oracle.
+/// It must cover every value occurring in generated traces *plus* one
+/// fresh value (quantifiers range over the infinite `str`/`num` domains;
+/// a fresh value witnesses the "any other value" cases).
+fn universe() -> Vec<Value> {
+    vec![
+        Value::from("a"),
+        Value::from("b"),
+        Value::from("c"),
+        Value::from("fresh-not-in-traces"),
+        Value::Num(0),
+        Value::Num(1),
+        Value::Num(2),
+        Value::Num(999),
+    ]
+}
+
+/// All substitutions for the given variables over the universe.
+fn all_substitutions(vars: &[String]) -> Vec<Bindings> {
+    let mut envs = vec![Bindings::new()];
+    for v in vars {
+        let mut next = Vec::new();
+        for env in &envs {
+            for value in universe() {
+                let mut e = env.clone();
+                e.bind(v, &value);
+                next.push(e);
+            }
+        }
+        envs = next;
+    }
+    envs
+}
+
+/// `AMatch P a` under a *closing* substitution: the pattern must match
+/// with no leftover variable freedom (σ binds every variable).
+fn amatch(pat: &ActionPat, action: &Action, sigma: &Bindings) -> bool {
+    match match_action(pat, action, sigma) {
+        Some(extended) => extended.len() == sigma.len(),
+        None => false,
+    }
+}
+
+/// The paper's list-decomposition definitions, evaluated over the
+/// reverse-chronological list `tr` (index 0 = most recent) under a fully
+/// closing substitution σ.
+mod coq {
+    use super::*;
+
+    /// `immbefore A B tr := ∀ b pre suf, AMatch B b → tr = suf ++ b::pre →
+    ///  ∃ a pre', AMatch A a ∧ pre = a :: pre'`.
+    pub fn immbefore(a: &ActionPat, b: &ActionPat, tr: &[&Action], sigma: &Bindings) -> bool {
+        for i in 0..tr.len() {
+            // tr = suf ++ b :: pre  with  b = tr[i], pre = tr[i+1..].
+            if amatch(b, tr[i], sigma) {
+                let pre = &tr[i + 1..];
+                let ok = !pre.is_empty() && amatch(a, pre[0], sigma);
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `enables A B tr := ∀ b pre suf, AMatch B b → tr = suf ++ b::pre →
+    ///  ∃ a pre' suf', AMatch A a ∧ pre = suf' ++ a :: pre'`.
+    pub fn enables(a: &ActionPat, b: &ActionPat, tr: &[&Action], sigma: &Bindings) -> bool {
+        for i in 0..tr.len() {
+            if amatch(b, tr[i], sigma) {
+                let pre = &tr[i + 1..];
+                if !pre.iter().any(|x| amatch(a, x, sigma)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `disables A B tr`: no action matching `A` occurs strictly earlier
+    /// than an action matching `B` (§4.1 prose; the Coq snippet is the
+    /// suffix formulation of the same relation).
+    pub fn disables(a: &ActionPat, b: &ActionPat, tr: &[&Action], sigma: &Bindings) -> bool {
+        for i in 0..tr.len() {
+            if amatch(b, tr[i], sigma) {
+                let pre = &tr[i + 1..];
+                if pre.iter().any(|x| amatch(a, x, sigma)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `immafter A B tr := immbefore B A (rev tr)`.
+    pub fn immafter(a: &ActionPat, b: &ActionPat, tr: &[&Action], sigma: &Bindings) -> bool {
+        let rev: Vec<&Action> = tr.iter().rev().copied().collect();
+        immbefore(b, a, &rev, sigma)
+    }
+
+    /// `ensures A B tr := enables B A (rev tr)`.
+    pub fn ensures(a: &ActionPat, b: &ActionPat, tr: &[&Action], sigma: &Bindings) -> bool {
+        let rev: Vec<&Action> = tr.iter().rev().copied().collect();
+        enables(b, a, &rev, sigma)
+    }
+}
+
+/// Decides `trace ⊨ prop` by brute force: the property holds iff it holds
+/// under every closing substitution of its variables over the universe.
+fn oracle(trace: &Trace, prop: &TraceProp) -> bool {
+    // Reverse-chronological list, as in the Coq development.
+    let tr: Vec<&Action> = trace.iter_rev().collect();
+    let mut vars = prop.a.vars();
+    for v in prop.b.vars() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    all_substitutions(&vars).into_iter().all(|sigma| match prop.kind {
+        TracePropKind::ImmBefore => coq::immbefore(&prop.a, &prop.b, &tr, &sigma),
+        TracePropKind::ImmAfter => coq::immafter(&prop.a, &prop.b, &tr, &sigma),
+        TracePropKind::Enables => coq::enables(&prop.a, &prop.b, &tr, &sigma),
+        TracePropKind::Ensures => coq::ensures(&prop.a, &prop.b, &tr, &sigma),
+        TracePropKind::Disables => coq::disables(&prop.a, &prop.b, &tr, &sigma),
+    })
+}
+
+// ---- generators ----------------------------------------------------------
+
+fn gen_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Value::from),
+        (0i64..3).prop_map(Value::Num),
+    ]
+}
+
+fn gen_comp() -> impl Strategy<Value = CompInst> {
+    (
+        0u64..4,
+        prop_oneof![Just("T"), Just("U")],
+        proptest::collection::vec(gen_value(), 0..2),
+    )
+        .prop_map(|(id, ctype, config)| CompInst::new(reflex_ast::CompId::new(id), ctype, config))
+}
+
+fn gen_msg() -> impl Strategy<Value = Msg> {
+    (
+        prop_oneof![Just("M"), Just("N")],
+        proptest::collection::vec(gen_value(), 0..2),
+    )
+        .prop_map(|(name, args)| Msg::new(name, args))
+}
+
+fn gen_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        gen_comp().prop_map(|comp| Action::Select { comp }),
+        (gen_comp(), gen_msg()).prop_map(|(comp, msg)| Action::Recv { comp, msg }),
+        (gen_comp(), gen_msg()).prop_map(|(comp, msg)| Action::Send { comp, msg }),
+        gen_comp().prop_map(|comp| Action::Spawn { comp }),
+    ]
+}
+
+fn gen_pat_field() -> impl Strategy<Value = PatField> {
+    prop_oneof![
+        Just(PatField::Any),
+        gen_value().prop_map(PatField::Lit),
+        prop_oneof![Just("x"), Just("y")].prop_map(PatField::var),
+    ]
+}
+
+fn gen_comp_pat() -> impl Strategy<Value = CompPat> {
+    prop_oneof![
+        Just(CompPat::any()),
+        prop_oneof![Just("T"), Just("U")].prop_map(CompPat::of_type),
+        (
+            prop_oneof![Just("T"), Just("U")],
+            proptest::collection::vec(gen_pat_field(), 0..2)
+        )
+            .prop_map(|(t, cfg)| CompPat::with_config(t, cfg)),
+    ]
+}
+
+fn gen_payload_pat() -> impl Strategy<Value = Vec<PatField>> {
+    proptest::collection::vec(gen_pat_field(), 0..2)
+}
+
+fn gen_action_pat() -> impl Strategy<Value = ActionPat> {
+    prop_oneof![
+        gen_comp_pat().prop_map(|comp| ActionPat::Select { comp }),
+        (gen_comp_pat(), prop_oneof![Just("M"), Just("N")], gen_payload_pat())
+            .prop_map(|(comp, msg, args)| ActionPat::Recv {
+                comp,
+                msg: msg.into(),
+                args
+            }),
+        (gen_comp_pat(), prop_oneof![Just("M"), Just("N")], gen_payload_pat())
+            .prop_map(|(comp, msg, args)| ActionPat::Send {
+                comp,
+                msg: msg.into(),
+                args
+            }),
+        gen_comp_pat().prop_map(|comp| ActionPat::Spawn { comp }),
+    ]
+}
+
+fn gen_kind() -> impl Strategy<Value = TracePropKind> {
+    prop_oneof![
+        Just(TracePropKind::ImmBefore),
+        Just(TracePropKind::ImmAfter),
+        Just(TracePropKind::Enables),
+        Just(TracePropKind::Ensures),
+        Just(TracePropKind::Disables),
+    ]
+}
+
+/// Well-formedness filter: positive obligations must not introduce
+/// variables beyond the trigger (the type checker's rule — outside it the
+/// indexed checker reports `UnboundObligationVar` rather than deciding).
+fn well_formed(prop: &TraceProp) -> bool {
+    if prop.kind == TracePropKind::Disables {
+        return true;
+    }
+    let trigger = prop.trigger().vars();
+    prop.obligation().vars().iter().all(|v| trigger.contains(v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn indexed_checker_equals_coq_list_semantics(
+        actions in proptest::collection::vec(gen_action(), 0..7),
+        a in gen_action_pat(),
+        b in gen_action_pat(),
+        kind in gen_kind(),
+    ) {
+        let prop = TraceProp::new(kind, a, b);
+        prop_assume!(well_formed(&prop));
+        let trace: Trace = actions.into_iter().collect();
+        let ours = match check_trace(&trace, &prop) {
+            Ok(()) => true,
+            Err(PropError::Violation(_)) => false,
+            Err(PropError::UnboundObligationVar { .. }) => {
+                unreachable!("filtered by well_formed")
+            }
+        };
+        let reference = oracle(&trace, &prop);
+        prop_assert_eq!(
+            ours,
+            reference,
+            "disagreement on {} over trace:\n{}",
+            prop,
+            trace
+        );
+    }
+}
+
+#[test]
+fn oracle_sanity_on_known_cases() {
+    // A quick non-random calibration of the oracle itself.
+    let pw = CompInst::new(reflex_ast::CompId::new(1), "T", []);
+    let t: Trace = [
+        Action::Recv {
+            comp: pw.clone(),
+            msg: Msg::new("M", [Value::from("a")]),
+        },
+        Action::Send {
+            comp: pw,
+            msg: Msg::new("N", [Value::from("a")]),
+        },
+    ]
+    .into_iter()
+    .collect();
+    let p = TraceProp::new(
+        TracePropKind::Enables,
+        ActionPat::Recv {
+            comp: CompPat::of_type("T"),
+            msg: "M".into(),
+            args: vec![PatField::var("x")],
+        },
+        ActionPat::Send {
+            comp: CompPat::of_type("T"),
+            msg: "N".into(),
+            args: vec![PatField::var("x")],
+        },
+    );
+    assert!(oracle(&t, &p));
+    assert!(check_trace(&t, &p).is_ok());
+
+    let q = TraceProp::new(
+        TracePropKind::Ensures,
+        p.a.clone(),
+        p.b.clone(),
+    );
+    assert!(oracle(&t, &q));
+    assert!(check_trace(&t, &q).is_ok());
+}

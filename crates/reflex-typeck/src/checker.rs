@@ -1,0 +1,657 @@
+//! The program checker.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{BinOp, Cmd, Expr, Handler, Program, Ty, UnOp, Value};
+
+use crate::error::TypeError;
+
+/// Information about a variable in scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// The variable's base type.
+    pub ty: Ty,
+    /// For component-typed variables: the statically known component type.
+    ///
+    /// Reflex requires every component-typed expression to have a statically
+    /// known component type (needed for `.field` access and so that every
+    /// emitted `Send` action has a known recipient type — a big lever for
+    /// proof automation).
+    pub comp_type: Option<String>,
+    /// Whether the variable may be assigned in handlers (only data-typed
+    /// `state` variables are; component variables are bound once, by `init`
+    /// spawns or local binders).
+    pub mutable: bool,
+}
+
+impl VarInfo {
+    fn data(ty: Ty, mutable: bool) -> VarInfo {
+        VarInfo {
+            ty,
+            comp_type: None,
+            mutable,
+        }
+    }
+
+    fn comp(ctype: impl Into<String>) -> VarInfo {
+        VarInfo {
+            ty: Ty::Comp,
+            comp_type: Some(ctype.into()),
+            mutable: false,
+        }
+    }
+}
+
+/// A scope: variable name → info.
+pub type Scope = BTreeMap<String, VarInfo>;
+
+/// A type-checked program.
+///
+/// Wraps the [`Program`] together with the derived global scope. Obtaining
+/// a `CheckedProgram` (via [`crate::check`]) is the precondition for
+/// interpretation (`reflex-runtime`) and verification (`reflex-verify`).
+#[derive(Debug, Clone)]
+pub struct CheckedProgram {
+    program: Program,
+    globals: Scope,
+}
+
+impl CheckedProgram {
+    /// The underlying program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The global scope: state variables and init spawn binders.
+    pub fn globals(&self) -> &Scope {
+        &self.globals
+    }
+
+    /// Info for global variable `name`.
+    pub fn global(&self, name: &str) -> Option<&VarInfo> {
+        self.globals.get(name)
+    }
+
+    /// The scope visible inside the handler for `(ctype, msg)` *at entry*:
+    /// globals, message parameters and the implicit `sender`.
+    ///
+    /// Local binders (`spawn`/`call`/`lookup`) extend this scope as the body
+    /// executes; evaluators track those incrementally.
+    pub fn handler_entry_scope(&self, ctype: &str, msg: &str) -> Scope {
+        let mut scope = self.globals.clone();
+        scope.insert(Handler::SENDER.to_owned(), VarInfo::comp(ctype));
+        if let (Some(h), Some(m)) = (self.program.handler(ctype, msg), self.program.msg_decl(msg))
+        {
+            for (p, ty) in h.params.iter().zip(&m.payload) {
+                scope.insert(p.clone(), VarInfo::data(*ty, false));
+            }
+        }
+        scope
+    }
+
+    /// The names and initial values of all data-typed state variables.
+    pub fn state_initial_values(&self) -> Vec<(String, Value)> {
+        self.program
+            .state
+            .iter()
+            .map(|v| {
+                let value = match &v.init {
+                    Some(Expr::Lit(val)) => val.clone(),
+                    Some(_) => unreachable!("checked: initializers are literals"),
+                    None => v
+                        .ty
+                        .default_value()
+                        .expect("checked: state types have defaults"),
+                };
+                (v.name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+/// Checks a program, producing a [`CheckedProgram`].
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found. The checks mirror what the
+/// paper's dependently typed Coq embedding makes unrepresentable: undefined
+/// variables, arity and type errors, unknown component/message types,
+/// ill-formed properties, and the structural restrictions Reflex imposes for
+/// proof automation (data-only mutable state, statically known component
+/// types, obligation variables bound by the trigger).
+pub fn check(program: &Program) -> Result<CheckedProgram, TypeError> {
+    let checker = Checker { program };
+    checker.check_decls()?;
+    let globals = checker.check_init_and_build_globals()?;
+    for h in &program.handlers {
+        checker.check_handler(h, &globals)?;
+    }
+    crate::props::check_properties(program, &globals)?;
+    Ok(CheckedProgram {
+        program: program.clone(),
+        globals,
+    })
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Checker<'p> {
+    fn check_decls(&self) -> Result<(), TypeError> {
+        let p = self.program;
+        let mut seen = std::collections::HashSet::new();
+        for c in &p.components {
+            if !seen.insert(&c.name) {
+                return Err(TypeError::DuplicateDecl {
+                    what: "component type",
+                    name: c.name.clone(),
+                });
+            }
+            let mut fields = std::collections::HashSet::new();
+            for (f, ty) in &c.config {
+                if !fields.insert(f) {
+                    return Err(TypeError::DuplicateDecl {
+                        what: "configuration field",
+                        name: format!("{}.{f}", c.name),
+                    });
+                }
+                if !matches!(ty, Ty::Bool | Ty::Num | Ty::Str) {
+                    return Err(TypeError::BadSignatureType {
+                        context: format!("component `{}` configuration", c.name),
+                        ty: *ty,
+                    });
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for m in &p.messages {
+            if !seen.insert(&m.name) {
+                return Err(TypeError::DuplicateDecl {
+                    what: "message type",
+                    name: m.name.clone(),
+                });
+            }
+            for ty in &m.payload {
+                if matches!(ty, Ty::Comp) {
+                    return Err(TypeError::BadSignatureType {
+                        context: format!("message `{}`", m.name),
+                        ty: *ty,
+                    });
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in &p.state {
+            if !seen.insert(&v.name) {
+                return Err(TypeError::DuplicateDecl {
+                    what: "state variable",
+                    name: v.name.clone(),
+                });
+            }
+            if !matches!(v.ty, Ty::Bool | Ty::Num | Ty::Str) {
+                return Err(TypeError::BadStateType {
+                    name: v.name.clone(),
+                    ty: v.ty,
+                });
+            }
+            match &v.init {
+                None => {}
+                // Well-typed literal: fine.
+                Some(Expr::Lit(val)) if val.ty() == v.ty => {}
+                Some(Expr::Lit(val)) => {
+                    return Err(TypeError::Mismatch {
+                        context: format!("initializer of `{}`", v.name),
+                        expected: v.ty,
+                        found: val.ty(),
+                    });
+                }
+                Some(_) => {
+                    return Err(TypeError::NonLiteralInit {
+                        name: v.name.clone(),
+                    })
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for h in &p.handlers {
+            if !seen.insert((&h.ctype, &h.msg)) {
+                return Err(TypeError::DuplicateHandler {
+                    ctype: h.ctype.clone(),
+                    msg: h.msg.clone(),
+                });
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for prop in &p.properties {
+            if !seen.insert(&prop.name) {
+                return Err(TypeError::DuplicateDecl {
+                    what: "property",
+                    name: prop.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_init_and_build_globals(&self) -> Result<Scope, TypeError> {
+        let mut globals: Scope = Scope::new();
+        for v in &self.program.state {
+            globals.insert(v.name.clone(), VarInfo::data(v.ty, true));
+        }
+        // Init runs with the state variables in scope; its binders become
+        // globals (immutable component handles / call results).
+        let mut scope = globals.clone();
+        self.check_cmd(&self.program.init, &mut scope, "init")?;
+        // Everything init bound beyond the state variables becomes global.
+        for (name, info) in scope {
+            globals.entry(name).or_insert(info);
+        }
+        Ok(globals)
+    }
+
+    fn check_handler(&self, h: &Handler, globals: &Scope) -> Result<(), TypeError> {
+        self.program
+            .comp_type(&h.ctype)
+            .ok_or_else(|| TypeError::Undeclared {
+                what: "component type",
+                name: h.ctype.clone(),
+            })?;
+        let m = self
+            .program
+            .msg_decl(&h.msg)
+            .ok_or_else(|| TypeError::Undeclared {
+                what: "message type",
+                name: h.msg.clone(),
+            })?;
+        if h.params.len() != m.payload.len() {
+            return Err(TypeError::Arity {
+                context: format!("handler {}:{}", h.ctype, h.msg),
+                expected: m.payload.len(),
+                found: h.params.len(),
+            });
+        }
+        let mut scope = globals.clone();
+        if scope.contains_key(Handler::SENDER) {
+            return Err(TypeError::Shadowing {
+                name: Handler::SENDER.to_owned(),
+            });
+        }
+        scope.insert(Handler::SENDER.to_owned(), VarInfo::comp(&h.ctype));
+        for (p, ty) in h.params.iter().zip(&m.payload) {
+            if scope
+                .insert(p.clone(), VarInfo::data(*ty, false))
+                .is_some()
+            {
+                return Err(TypeError::Shadowing { name: p.clone() });
+            }
+        }
+        self.check_cmd(&h.body, &mut scope, &format!("handler {}:{}", h.ctype, h.msg))
+    }
+
+    /// Checks a command, extending `scope` with binders that stay visible
+    /// for the rest of the enclosing block.
+    fn check_cmd(&self, cmd: &Cmd, scope: &mut Scope, ctx: &str) -> Result<(), TypeError> {
+        match cmd {
+            Cmd::Nop => Ok(()),
+            Cmd::Block(cs) => {
+                for c in cs {
+                    self.check_cmd(c, scope, ctx)?;
+                }
+                Ok(())
+            }
+            Cmd::Assign(x, e) => {
+                let info = scope.get(x).cloned().ok_or_else(|| TypeError::Undeclared {
+                    what: "variable",
+                    name: x.clone(),
+                })?;
+                if !info.mutable {
+                    return Err(TypeError::BadAssignTarget { name: x.clone() });
+                }
+                let (ty, _) = self.type_of(e, scope, ctx)?;
+                if ty != info.ty {
+                    return Err(TypeError::Mismatch {
+                        context: format!("assignment to `{x}` in {ctx}"),
+                        expected: info.ty,
+                        found: ty,
+                    });
+                }
+                Ok(())
+            }
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expect_ty(cond, Ty::Bool, scope, &format!("branch condition in {ctx}"))?;
+                // Binders do not escape branches: check with clones.
+                let mut t = scope.clone();
+                self.check_cmd(then_branch, &mut t, ctx)?;
+                let mut e = scope.clone();
+                self.check_cmd(else_branch, &mut e, ctx)
+            }
+            Cmd::Send { target, msg, args } => {
+                let (ty, ctype) = self.type_of(target, scope, ctx)?;
+                if ty != Ty::Comp {
+                    return Err(TypeError::Mismatch {
+                        context: format!("send target in {ctx}"),
+                        expected: Ty::Comp,
+                        found: ty,
+                    });
+                }
+                if ctype.is_none() {
+                    return Err(TypeError::UnknownCompType {
+                        context: format!("send target in {ctx}"),
+                    });
+                }
+                let m = self
+                    .program
+                    .msg_decl(msg)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "message type",
+                        name: msg.clone(),
+                    })?;
+                if args.len() != m.payload.len() {
+                    return Err(TypeError::Arity {
+                        context: format!("send of `{msg}` in {ctx}"),
+                        expected: m.payload.len(),
+                        found: args.len(),
+                    });
+                }
+                for (a, ty) in args.iter().zip(&m.payload) {
+                    self.expect_ty(a, *ty, scope, &format!("payload of `{msg}` in {ctx}"))?;
+                }
+                Ok(())
+            }
+            Cmd::Spawn {
+                binder,
+                ctype,
+                config,
+            } => {
+                let c = self
+                    .program
+                    .comp_type(ctype)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "component type",
+                        name: ctype.clone(),
+                    })?;
+                if config.len() != c.config.len() {
+                    return Err(TypeError::Arity {
+                        context: format!("spawn of `{ctype}` in {ctx}"),
+                        expected: c.config.len(),
+                        found: config.len(),
+                    });
+                }
+                for (e, (fname, ty)) in config.iter().zip(&c.config) {
+                    self.expect_ty(
+                        e,
+                        *ty,
+                        scope,
+                        &format!("configuration field `{fname}` of `{ctype}` in {ctx}"),
+                    )?;
+                }
+                if scope
+                    .insert(binder.clone(), VarInfo::comp(ctype))
+                    .is_some()
+                {
+                    return Err(TypeError::Shadowing {
+                        name: binder.clone(),
+                    });
+                }
+                Ok(())
+            }
+            Cmd::Call { binder, args, .. } => {
+                for a in args {
+                    let (ty, _) = self.type_of(a, scope, ctx)?;
+                    if !matches!(ty, Ty::Bool | Ty::Num | Ty::Str) {
+                        return Err(TypeError::Mismatch {
+                            context: format!("call argument in {ctx}"),
+                            expected: Ty::Str,
+                            found: ty,
+                        });
+                    }
+                }
+                if scope
+                    .insert(binder.clone(), VarInfo::data(Ty::Str, false))
+                    .is_some()
+                {
+                    return Err(TypeError::Shadowing {
+                        name: binder.clone(),
+                    });
+                }
+                Ok(())
+            }
+            Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            } => {
+                self.program
+                    .comp_type(ctype)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "component type",
+                        name: ctype.clone(),
+                    })?;
+                if scope.contains_key(binder) {
+                    return Err(TypeError::Shadowing {
+                        name: binder.clone(),
+                    });
+                }
+                let mut bcast_scope = scope.clone();
+                bcast_scope.insert(binder.clone(), VarInfo::comp(ctype));
+                self.expect_ty(
+                    pred,
+                    Ty::Bool,
+                    &bcast_scope,
+                    &format!("broadcast predicate in {ctx}"),
+                )?;
+                let m = self
+                    .program
+                    .msg_decl(msg)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "message type",
+                        name: msg.clone(),
+                    })?;
+                if args.len() != m.payload.len() {
+                    return Err(TypeError::Arity {
+                        context: format!("broadcast of `{msg}` in {ctx}"),
+                        expected: m.payload.len(),
+                        found: args.len(),
+                    });
+                }
+                for (a, ty) in args.iter().zip(&m.payload) {
+                    self.expect_ty(
+                        a,
+                        *ty,
+                        &bcast_scope,
+                        &format!("payload of broadcast `{msg}` in {ctx}"),
+                    )?;
+                }
+                Ok(())
+            }
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => {
+                self.program
+                    .comp_type(ctype)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "component type",
+                        name: ctype.clone(),
+                    })?;
+                if scope.contains_key(binder) {
+                    return Err(TypeError::Shadowing {
+                        name: binder.clone(),
+                    });
+                }
+                let mut pred_scope = scope.clone();
+                pred_scope.insert(binder.clone(), VarInfo::comp(ctype));
+                self.expect_ty(
+                    pred,
+                    Ty::Bool,
+                    &pred_scope,
+                    &format!("lookup predicate in {ctx}"),
+                )?;
+                let mut f = pred_scope;
+                self.check_cmd(found, &mut f, ctx)?;
+                let mut m = scope.clone();
+                self.check_cmd(missing, &mut m, ctx)
+            }
+        }
+    }
+
+    fn expect_ty(&self, e: &Expr, want: Ty, scope: &Scope, ctx: &str) -> Result<(), TypeError> {
+        let (ty, _) = self.type_of(e, scope, ctx)?;
+        if ty != want {
+            return Err(TypeError::Mismatch {
+                context: ctx.to_owned(),
+                expected: want,
+                found: ty,
+            });
+        }
+        Ok(())
+    }
+
+    /// Types an expression; returns `(type, static component type)`.
+    fn type_of(
+        &self,
+        e: &Expr,
+        scope: &Scope,
+        ctx: &str,
+    ) -> Result<(Ty, Option<String>), TypeError> {
+        match e {
+            Expr::Lit(v) => Ok((v.ty(), None)),
+            Expr::Var(x) => {
+                let info = scope.get(x).ok_or_else(|| TypeError::Undeclared {
+                    what: "variable",
+                    name: x.clone(),
+                })?;
+                Ok((info.ty, info.comp_type.clone()))
+            }
+            Expr::Cfg(inner, field) => {
+                let (ty, ctype) = self.type_of(inner, scope, ctx)?;
+                if ty != Ty::Comp {
+                    return Err(TypeError::Mismatch {
+                        context: format!("configuration access `.{field}` in {ctx}"),
+                        expected: Ty::Comp,
+                        found: ty,
+                    });
+                }
+                let ctype = ctype.ok_or_else(|| TypeError::UnknownCompType {
+                    context: format!("configuration access `.{field}` in {ctx}"),
+                })?;
+                let decl = self
+                    .program
+                    .comp_type(&ctype)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "component type",
+                        name: ctype.clone(),
+                    })?;
+                let (_, fty) = decl
+                    .config_field(field)
+                    .ok_or_else(|| TypeError::Undeclared {
+                        what: "configuration field",
+                        name: format!("{ctype}.{field}"),
+                    })?;
+                Ok((fty, None))
+            }
+            Expr::Un(op, inner) => {
+                let want = match op {
+                    UnOp::Not => Ty::Bool,
+                    UnOp::Neg => Ty::Num,
+                };
+                self.expect_ty(inner, want, scope, ctx)?;
+                Ok((want, None))
+            }
+            Expr::Bin(op, l, r) => {
+                let (lt, _) = self.type_of(l, scope, ctx)?;
+                let (rt, _) = self.type_of(r, scope, ctx)?;
+                match op {
+                    BinOp::Eq | BinOp::Ne => {
+                        if lt != rt {
+                            return Err(TypeError::Mismatch {
+                                context: format!("equality in {ctx}"),
+                                expected: lt,
+                                found: rt,
+                            });
+                        }
+                        Ok((Ty::Bool, None))
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt != Ty::Bool {
+                            return Err(TypeError::Mismatch {
+                                context: format!("boolean operator in {ctx}"),
+                                expected: Ty::Bool,
+                                found: lt,
+                            });
+                        }
+                        if rt != Ty::Bool {
+                            return Err(TypeError::Mismatch {
+                                context: format!("boolean operator in {ctx}"),
+                                expected: Ty::Bool,
+                                found: rt,
+                            });
+                        }
+                        Ok((Ty::Bool, None))
+                    }
+                    BinOp::Add | BinOp::Sub => {
+                        if lt != Ty::Num {
+                            return Err(TypeError::Mismatch {
+                                context: format!("arithmetic in {ctx}"),
+                                expected: Ty::Num,
+                                found: lt,
+                            });
+                        }
+                        if rt != Ty::Num {
+                            return Err(TypeError::Mismatch {
+                                context: format!("arithmetic in {ctx}"),
+                                expected: Ty::Num,
+                                found: rt,
+                            });
+                        }
+                        Ok((Ty::Num, None))
+                    }
+                    BinOp::Lt | BinOp::Le => {
+                        if lt != Ty::Num {
+                            return Err(TypeError::Mismatch {
+                                context: format!("comparison in {ctx}"),
+                                expected: Ty::Num,
+                                found: lt,
+                            });
+                        }
+                        if rt != Ty::Num {
+                            return Err(TypeError::Mismatch {
+                                context: format!("comparison in {ctx}"),
+                                expected: Ty::Num,
+                                found: rt,
+                            });
+                        }
+                        Ok((Ty::Bool, None))
+                    }
+                    BinOp::Cat => {
+                        if lt != Ty::Str {
+                            return Err(TypeError::Mismatch {
+                                context: format!("concatenation in {ctx}"),
+                                expected: Ty::Str,
+                                found: lt,
+                            });
+                        }
+                        if rt != Ty::Str {
+                            return Err(TypeError::Mismatch {
+                                context: format!("concatenation in {ctx}"),
+                                expected: Ty::Str,
+                                found: rt,
+                            });
+                        }
+                        Ok((Ty::Str, None))
+                    }
+                }
+            }
+        }
+    }
+}

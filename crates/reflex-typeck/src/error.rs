@@ -1,0 +1,205 @@
+//! Type-checking errors.
+
+use std::fmt;
+
+use reflex_ast::Ty;
+
+/// An error found while checking a Reflex program.
+///
+/// In the paper's Coq embedding these conditions are unrepresentable by
+/// construction thanks to dependent types; here they are rejected by
+/// [`crate::check`] before a program can be interpreted or verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two declarations share a name.
+    DuplicateDecl {
+        /// What kind of declaration (component, message, …).
+        what: &'static str,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A reference to an undeclared name.
+    Undeclared {
+        /// What kind of name was expected.
+        what: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// An expression has the wrong type.
+    Mismatch {
+        /// Where the mismatch occurred.
+        context: String,
+        /// The expected type.
+        expected: Ty,
+        /// The actual type.
+        found: Ty,
+    },
+    /// Wrong number of arguments/fields.
+    Arity {
+        /// Where the mismatch occurred.
+        context: String,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        found: usize,
+    },
+    /// A state variable was declared with a type that cannot be stored.
+    BadStateType {
+        /// The variable.
+        name: String,
+        /// Its declared type.
+        ty: Ty,
+    },
+    /// A configuration or payload signature uses a disallowed type.
+    BadSignatureType {
+        /// Where (component/message name).
+        context: String,
+        /// The offending type.
+        ty: Ty,
+    },
+    /// A component-typed expression whose component type cannot be
+    /// determined statically (required for `.field` access, `send` targets
+    /// and `lookup` predicates).
+    UnknownCompType {
+        /// Where the expression occurred.
+        context: String,
+    },
+    /// A component-typed variable is assigned components of two different
+    /// component types.
+    CompTypeConflict {
+        /// The variable.
+        var: String,
+        /// The first component type.
+        first: String,
+        /// The conflicting component type.
+        second: String,
+    },
+    /// Assignment to something that is not a global state variable.
+    BadAssignTarget {
+        /// The assigned name.
+        name: String,
+    },
+    /// A binder shadows an existing variable, which Reflex forbids.
+    Shadowing {
+        /// The shadowing name.
+        name: String,
+    },
+    /// A property pattern variable is not declared in the `forall` prefix.
+    UndeclaredPatternVar {
+        /// Property name.
+        prop: String,
+        /// The variable.
+        var: String,
+    },
+    /// A pattern variable is used at two different types.
+    PatternVarTypeConflict {
+        /// Property name.
+        prop: String,
+        /// The variable.
+        var: String,
+        /// First use.
+        first: Ty,
+        /// Conflicting use.
+        second: Ty,
+    },
+    /// A positive obligation pattern mentions a variable absent from the
+    /// trigger pattern (unsatisfiable; see `reflex-trace` docs).
+    ObligationVarNotInTrigger {
+        /// Property name.
+        prop: String,
+        /// The variable.
+        var: String,
+    },
+    /// A quantified variable has a type that cannot be pattern-matched.
+    BadForallType {
+        /// Property name.
+        prop: String,
+        /// The variable.
+        var: String,
+        /// The offending type.
+        ty: Ty,
+    },
+    /// A state-variable initializer is not a closed literal expression.
+    NonLiteralInit {
+        /// The variable.
+        name: String,
+    },
+    /// Two handlers service the same (component type, message type) pair.
+    DuplicateHandler {
+        /// Component type.
+        ctype: String,
+        /// Message type.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateDecl { what, name } => {
+                write!(f, "duplicate {what} declaration `{name}`")
+            }
+            TypeError::Undeclared { what, name } => write!(f, "undeclared {what} `{name}`"),
+            TypeError::Mismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TypeError::Arity {
+                context,
+                expected,
+                found,
+            } => write!(f, "arity mismatch in {context}: expected {expected} arguments, found {found}"),
+            TypeError::BadStateType { name, ty } => write!(
+                f,
+                "state variable `{name}` has type {ty}; only bool, num and str state is allowed (components are bound by init spawns)"
+            ),
+            TypeError::BadSignatureType { context, ty } => {
+                write!(f, "signature of {context} uses disallowed type {ty}")
+            }
+            TypeError::UnknownCompType { context } => write!(
+                f,
+                "component type of expression in {context} cannot be determined statically"
+            ),
+            TypeError::CompTypeConflict { var, first, second } => write!(
+                f,
+                "variable `{var}` holds components of conflicting types `{first}` and `{second}`"
+            ),
+            TypeError::BadAssignTarget { name } => write!(
+                f,
+                "`{name}` is not an assignable global state variable"
+            ),
+            TypeError::Shadowing { name } => write!(f, "binder `{name}` shadows an existing variable"),
+            TypeError::UndeclaredPatternVar { prop, var } => write!(
+                f,
+                "property `{prop}`: pattern variable `{var}` is not declared in the forall prefix"
+            ),
+            TypeError::PatternVarTypeConflict {
+                prop,
+                var,
+                first,
+                second,
+            } => write!(
+                f,
+                "property `{prop}`: variable `{var}` used at both {first} and {second}"
+            ),
+            TypeError::ObligationVarNotInTrigger { prop, var } => write!(
+                f,
+                "property `{prop}`: obligation variable `{var}` does not occur in the trigger pattern, making the property unsatisfiable"
+            ),
+            TypeError::BadForallType { prop, var, ty } => write!(
+                f,
+                "property `{prop}`: quantified variable `{var}` has unmatchable type {ty}"
+            ),
+            TypeError::NonLiteralInit { name } => write!(
+                f,
+                "initializer of state variable `{name}` must be a literal"
+            ),
+            TypeError::DuplicateHandler { ctype, msg } => {
+                write!(f, "duplicate handler for {ctype}:{msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}

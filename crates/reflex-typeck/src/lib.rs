@@ -1,0 +1,52 @@
+//! Static well-formedness checking for Reflex programs.
+//!
+//! In the paper, Reflex is deeply embedded in Coq and "heavy use of
+//! dependent types ensures that Reflex programmers never go wrong by
+//! attempting to access undefined variables or execute an effectful
+//! primitive without satisfying its preconditions" (§3.1). This crate
+//! provides the same guarantee as a checker pass: [`check`] validates a
+//! [`Program`](reflex_ast::Program) and returns a [`CheckedProgram`], the
+//! required input of both the interpreter (`reflex-runtime`) and the
+//! verifier (`reflex-verify`).
+//!
+//! Beyond basic scoping/typing, the checker enforces the structural
+//! restrictions Reflex imposes to make proof automation tractable:
+//!
+//! * mutable state is data-only (`bool`/`num`/`str`); component handles are
+//!   bound once (init spawns, local binders) and never reassigned;
+//! * every component-typed expression has a *statically known* component
+//!   type, so every emitted `Send`/`Spawn` action has a known recipient
+//!   type;
+//! * configurations and message payloads carry data, not component handles;
+//! * property pattern variables are declared, consistently typed, and
+//!   positive obligations introduce no variables beyond their trigger.
+//!
+//! # Example
+//!
+//! ```
+//! use reflex_ast::build::ProgramBuilder;
+//! use reflex_ast::{Expr, Ty};
+//!
+//! let program = ProgramBuilder::new("ok")
+//!     .component("C", "c.py", [])
+//!     .message("M", [Ty::Num])
+//!     .state("total", Ty::Num, Expr::lit(0i64))
+//!     .init_spawn("c0", "C", [])
+//!     .handler("C", "M", ["n"], |h| {
+//!         h.assign("total", Expr::var("total").add(Expr::var("n")));
+//!     })
+//!     .finish();
+//! let checked = reflex_typeck::check(&program)?;
+//! assert_eq!(checked.global("total").unwrap().ty, Ty::Num);
+//! # Ok::<(), reflex_typeck::TypeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod error;
+mod props;
+
+pub use checker::{check, CheckedProgram, Scope, VarInfo};
+pub use error::TypeError;

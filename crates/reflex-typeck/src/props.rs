@@ -1,0 +1,220 @@
+//! Well-formedness of property declarations.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{ActionPat, CompPat, PatField, Program, PropBody, PropertyDecl, Ty};
+
+use crate::checker::Scope;
+use crate::error::TypeError;
+
+pub(crate) fn check_properties(program: &Program, globals: &Scope) -> Result<(), TypeError> {
+    for prop in &program.properties {
+        check_property(program, globals, prop)?;
+    }
+    Ok(())
+}
+
+fn check_property(
+    program: &Program,
+    globals: &Scope,
+    prop: &PropertyDecl,
+) -> Result<(), TypeError> {
+    // Quantified variables: unique, data-typed (component handles are not
+    // first-class in properties; component identity is expressed through
+    // configurations, which is why configurations exist — paper §3.1).
+    let mut seen = std::collections::HashSet::new();
+    for (v, ty) in &prop.forall {
+        if !seen.insert(v) {
+            return Err(TypeError::DuplicateDecl {
+                what: "quantified variable",
+                name: v.clone(),
+            });
+        }
+        if !matches!(ty, Ty::Bool | Ty::Num | Ty::Str | Ty::Fdesc) {
+            return Err(TypeError::BadForallType {
+                prop: prop.name.clone(),
+                var: v.clone(),
+                ty: *ty,
+            });
+        }
+    }
+
+    match &prop.body {
+        PropBody::Trace(tp) => {
+            let mut var_types: BTreeMap<String, Ty> = BTreeMap::new();
+            check_action_pat(program, prop, &tp.a, &mut var_types)?;
+            check_action_pat(program, prop, &tp.b, &mut var_types)?;
+
+            // Positive obligations must not introduce variables beyond the
+            // trigger (see `reflex-trace::props` module docs). `Disables`
+            // has a negative obligation, where extra variables are fine.
+            if tp.kind != reflex_ast::TracePropKind::Disables {
+                let trigger_vars = tp.trigger().vars();
+                for v in tp.obligation().vars() {
+                    if !trigger_vars.contains(&v) {
+                        return Err(TypeError::ObligationVarNotInTrigger {
+                            prop: prop.name.clone(),
+                            var: v,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+        PropBody::NonInterference(spec) => {
+            let mut var_types: BTreeMap<String, Ty> = BTreeMap::new();
+            for cp in &spec.high_comps {
+                check_comp_pat(program, prop, cp, &mut var_types)?;
+            }
+            for v in &spec.high_vars {
+                match globals.get(v) {
+                    Some(info) if info.mutable => {}
+                    Some(_) => {
+                        return Err(TypeError::BadAssignTarget { name: v.clone() });
+                    }
+                    None => {
+                        return Err(TypeError::Undeclared {
+                            what: "state variable",
+                            name: v.clone(),
+                        })
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_action_pat(
+    program: &Program,
+    prop: &PropertyDecl,
+    pat: &ActionPat,
+    var_types: &mut BTreeMap<String, Ty>,
+) -> Result<(), TypeError> {
+    match pat {
+        ActionPat::Select { comp } | ActionPat::Spawn { comp } => {
+            check_comp_pat(program, prop, comp, var_types)
+        }
+        ActionPat::Recv { comp, msg, args } | ActionPat::Send { comp, msg, args } => {
+            check_comp_pat(program, prop, comp, var_types)?;
+            let m = program.msg_decl(msg).ok_or_else(|| TypeError::Undeclared {
+                what: "message type",
+                name: msg.clone(),
+            })?;
+            if args.len() != m.payload.len() {
+                return Err(TypeError::Arity {
+                    context: format!("pattern over message `{msg}` in property `{}`", prop.name),
+                    expected: m.payload.len(),
+                    found: args.len(),
+                });
+            }
+            for (f, ty) in args.iter().zip(&m.payload) {
+                check_field(prop, f, Some(*ty), var_types)?;
+            }
+            Ok(())
+        }
+        ActionPat::Call { args, result, .. } => {
+            if let Some(args) = args {
+                for f in args {
+                    // Call argument positions are untyped (external
+                    // functions are not declared); variables must still be
+                    // quantified.
+                    check_field(prop, f, None, var_types)?;
+                }
+            }
+            check_field(prop, result, Some(Ty::Str), var_types)
+        }
+    }
+}
+
+fn check_comp_pat(
+    program: &Program,
+    prop: &PropertyDecl,
+    pat: &CompPat,
+    var_types: &mut BTreeMap<String, Ty>,
+) -> Result<(), TypeError> {
+    match (&pat.ctype, &pat.config) {
+        (None, Some(_)) => Err(TypeError::UnknownCompType {
+            context: format!(
+                "configuration pattern on wildcard component in property `{}`",
+                prop.name
+            ),
+        }),
+        (None, None) => Ok(()),
+        (Some(ct), config) => {
+            let decl = program.comp_type(ct).ok_or_else(|| TypeError::Undeclared {
+                what: "component type",
+                name: ct.clone(),
+            })?;
+            if let Some(fields) = config {
+                if fields.len() != decl.config.len() {
+                    return Err(TypeError::Arity {
+                        context: format!(
+                            "configuration pattern of `{ct}` in property `{}`",
+                            prop.name
+                        ),
+                        expected: decl.config.len(),
+                        found: fields.len(),
+                    });
+                }
+                for (f, (_, ty)) in fields.iter().zip(&decl.config) {
+                    check_field(prop, f, Some(*ty), var_types)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_field(
+    prop: &PropertyDecl,
+    field: &PatField,
+    expected: Option<Ty>,
+    var_types: &mut BTreeMap<String, Ty>,
+) -> Result<(), TypeError> {
+    match field {
+        PatField::Any => Ok(()),
+        PatField::Lit(v) => {
+            if let Some(want) = expected {
+                if v.ty() != want {
+                    return Err(TypeError::Mismatch {
+                        context: format!("literal pattern field in property `{}`", prop.name),
+                        expected: want,
+                        found: v.ty(),
+                    });
+                }
+            }
+            Ok(())
+        }
+        PatField::Var(x) => {
+            let declared = prop
+                .forall_ty(x)
+                .ok_or_else(|| TypeError::UndeclaredPatternVar {
+                    prop: prop.name.clone(),
+                    var: x.clone(),
+                })?;
+            if let Some(want) = expected {
+                if declared != want {
+                    return Err(TypeError::PatternVarTypeConflict {
+                        prop: prop.name.clone(),
+                        var: x.clone(),
+                        first: declared,
+                        second: want,
+                    });
+                }
+            }
+            match var_types.get(x) {
+                Some(prev) if *prev != declared => Err(TypeError::PatternVarTypeConflict {
+                    prop: prop.name.clone(),
+                    var: x.clone(),
+                    first: *prev,
+                    second: declared,
+                }),
+                _ => {
+                    var_types.insert(x.clone(), declared);
+                    Ok(())
+                }
+            }
+        }
+    }
+}

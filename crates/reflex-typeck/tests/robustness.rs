@@ -1,0 +1,229 @@
+//! Robustness: the type checker must reject (never panic on) arbitrary —
+//! including wildly ill-formed — ASTs.
+
+use proptest::prelude::*;
+use reflex_ast::{
+    ActionPat, Cmd, CompPat, CompTypeDecl, Expr, Handler, MsgDecl, NiSpec, PatField, Program,
+    PropBody, PropertyDecl, StateVarDecl, TraceProp, TracePropKind, Ty, Value,
+};
+
+fn gen_ty() -> impl Strategy<Value = Ty> {
+    prop_oneof![
+        Just(Ty::Bool),
+        Just(Ty::Num),
+        Just(Ty::Str),
+        Just(Ty::Fdesc),
+        Just(Ty::Comp)
+    ]
+}
+
+fn gen_name() -> impl Strategy<Value = String> {
+    // Small name pool to provoke collisions and dangling references alike.
+    prop_oneof![
+        Just("A"), Just("B"), Just("M"), Just("x"), Just("y"),
+        Just("sender"), Just("ghost"), Just("s"), Just("k"),
+    ]
+    .prop_map(str::to_owned)
+}
+
+fn gen_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<bool>().prop_map(Value::Bool),
+        (-5i64..5).prop_map(Value::Num),
+        Just(Value::from("v")),
+    ]
+}
+
+fn gen_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        gen_value().prop_map(Expr::Lit),
+        gen_name().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), gen_name()).prop_map(|(e, f)| e.cfg(f)),
+            inner.clone().prop_map(Expr::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.cat(b)),
+        ]
+    })
+    .boxed()
+}
+
+fn gen_cmd(depth: u32) -> BoxedStrategy<Cmd> {
+    let leaf = prop_oneof![
+        Just(Cmd::Nop),
+        (gen_name(), gen_expr(1)).prop_map(|(x, e)| Cmd::Assign(x, e)),
+        (gen_expr(1), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
+            .prop_map(|(t, m, a)| Cmd::Send { target: t, msg: m, args: a }),
+        (gen_name(), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
+            .prop_map(|(b, c, cfg)| Cmd::Spawn { binder: b, ctype: c, config: cfg }),
+        (gen_name(), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
+            .prop_map(|(b, f, a)| Cmd::Call { binder: b, func: f, args: a }),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Cmd::Block),
+            (gen_expr(1), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Cmd::If {
+                cond: c,
+                then_branch: Box::new(t),
+                else_branch: Box::new(e)
+            }),
+            (gen_name(), gen_name(), gen_expr(1), inner.clone(), inner).prop_map(
+                |(c, b, p, f, m)| Cmd::Lookup {
+                    ctype: c,
+                    binder: b,
+                    pred: p,
+                    found: Box::new(f),
+                    missing: Box::new(m)
+                }
+            ),
+        ]
+    })
+    .boxed()
+}
+
+fn gen_pat_field() -> impl Strategy<Value = PatField> {
+    prop_oneof![
+        Just(PatField::Any),
+        gen_value().prop_map(PatField::Lit),
+        gen_name().prop_map(PatField::Var),
+    ]
+}
+
+fn gen_comp_pat() -> impl Strategy<Value = CompPat> {
+    (
+        proptest::option::of(gen_name()),
+        proptest::option::of(proptest::collection::vec(gen_pat_field(), 0..3)),
+    )
+        .prop_map(|(ctype, config)| CompPat { ctype, config })
+}
+
+fn gen_action_pat() -> BoxedStrategy<ActionPat> {
+    prop_oneof![
+        gen_comp_pat().prop_map(|comp| ActionPat::Select { comp }),
+        gen_comp_pat().prop_map(|comp| ActionPat::Spawn { comp }),
+        (gen_comp_pat(), gen_name(), proptest::collection::vec(gen_pat_field(), 0..3))
+            .prop_map(|(comp, msg, args)| ActionPat::Recv { comp, msg, args }),
+        (gen_comp_pat(), gen_name(), proptest::collection::vec(gen_pat_field(), 0..3))
+            .prop_map(|(comp, msg, args)| ActionPat::Send { comp, msg, args }),
+    ]
+    .boxed()
+}
+
+fn gen_prop() -> BoxedStrategy<PropertyDecl> {
+    let kind = prop_oneof![
+        Just(TracePropKind::ImmBefore),
+        Just(TracePropKind::ImmAfter),
+        Just(TracePropKind::Enables),
+        Just(TracePropKind::Ensures),
+        Just(TracePropKind::Disables),
+    ];
+    fn forall() -> impl Strategy<Value = Vec<(String, Ty)>> {
+        proptest::collection::vec((gen_name(), gen_ty()), 0..2)
+    }
+    prop_oneof![
+        (gen_name(), forall(), kind, gen_action_pat(), gen_action_pat()).prop_map(
+            |(name, forall, kind, a, b)| PropertyDecl {
+                name,
+                forall,
+                body: PropBody::Trace(TraceProp::new(kind, a, b)),
+            }
+        ),
+        (
+            gen_name(),
+            forall(),
+            proptest::collection::vec(gen_comp_pat(), 0..2),
+            proptest::collection::vec(gen_name(), 0..2)
+        )
+            .prop_map(|(name, forall, high_comps, high_vars)| PropertyDecl {
+                name,
+                forall,
+                body: PropBody::NonInterference(NiSpec {
+                    high_comps,
+                    high_vars
+                }),
+            }),
+    ]
+    .boxed()
+}
+
+fn gen_program() -> BoxedStrategy<Program> {
+    (
+        proptest::collection::vec((gen_name(), proptest::collection::vec((gen_name(), gen_ty()), 0..2)), 0..3),
+        proptest::collection::vec((gen_name(), proptest::collection::vec(gen_ty(), 0..3)), 0..3),
+        proptest::collection::vec((gen_name(), gen_ty(), proptest::option::of(gen_expr(1))), 0..3),
+        gen_cmd(2),
+        proptest::collection::vec((gen_name(), gen_name(), proptest::collection::vec(gen_name(), 0..2), gen_cmd(2)), 0..3),
+        proptest::collection::vec(gen_prop(), 0..3),
+    )
+        .prop_map(|(comps, msgs, state, init, handlers, properties)| Program {
+            name: "fuzz".into(),
+            components: comps
+                .into_iter()
+                .map(|(name, config)| CompTypeDecl {
+                    name,
+                    exe: "x".into(),
+                    config,
+                })
+                .collect(),
+            messages: msgs
+                .into_iter()
+                .map(|(name, payload)| MsgDecl { name, payload })
+                .collect(),
+            state: state
+                .into_iter()
+                .map(|(name, ty, init)| StateVarDecl { name, ty, init })
+                .collect(),
+            init,
+            handlers: handlers
+                .into_iter()
+                .map(|(ctype, msg, params, body)| Handler {
+                    ctype,
+                    msg,
+                    params,
+                    body,
+                })
+                .collect(),
+            properties,
+        })
+        .boxed()
+}
+
+/// Canonicalizes the command structure everywhere, so the print→parse
+/// comparison is insensitive to non-canonical `Block` nesting (which the
+/// printer cannot represent).
+fn normalize(mut program: Program) -> Program {
+    program.init = program.init.normalize();
+    for h in &mut program.handlers {
+        h.body = h.body.normalize();
+    }
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn typeck_never_panics(program in gen_program()) {
+        // Accept or reject — either is fine; panicking is not.
+        let _ = reflex_typeck::check(&program);
+    }
+
+    /// Whatever typeck accepts must also survive the downstream pipeline
+    /// entry points without panicking.
+    #[test]
+    fn accepted_programs_are_safe_downstream(program in gen_program()) {
+        if let Ok(_checked) = reflex_typeck::check(&program) {
+            // Printing an accepted program must produce reparseable output
+            // (equal up to block canonicalization, which the printed form
+            // cannot distinguish).
+            let printed = program.to_string();
+            let reparsed = reflex_parser::parse_program("fuzz", &printed)
+                .unwrap_or_else(|e| panic!("accepted program failed to reparse: {e}\n{printed}"));
+            prop_assert_eq!(normalize(reparsed), normalize(program));
+        }
+    }
+}

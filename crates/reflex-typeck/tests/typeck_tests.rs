@@ -1,0 +1,441 @@
+//! Integration tests for the type checker: accepted programs, and one test
+//! per rejection rule.
+
+use reflex_ast::build::ProgramBuilder;
+use reflex_ast::{
+    ActionPat, CompPat, Expr, PatField, PropertyDecl, TracePropKind, Ty,
+};
+use reflex_parser::parse_program;
+use reflex_typeck::{check, TypeError};
+
+fn base() -> ProgramBuilder {
+    ProgramBuilder::new("t")
+        .component("C", "c.py", [("domain", Ty::Str)])
+        .component("D", "d.py", [])
+        .message("M", [Ty::Str])
+        .message("N", [Ty::Num])
+        .state("count", Ty::Num, Expr::lit(0i64))
+        .init_spawn("c0", "C", [Expr::lit("a.org")])
+}
+
+#[test]
+fn accepts_well_formed_program() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.assign("count", Expr::var("count").add(Expr::lit(1i64)));
+            h.send(Expr::var("c0"), "M", [Expr::var("s")]);
+            h.send(Expr::var("sender"), "N", [Expr::var("count")]);
+        })
+        .finish();
+    let checked = check(&p).expect("accepts");
+    assert_eq!(checked.global("count").unwrap().ty, Ty::Num);
+    assert_eq!(
+        checked.global("c0").unwrap().comp_type.as_deref(),
+        Some("C")
+    );
+    let scope = checked.handler_entry_scope("C", "M");
+    assert_eq!(scope.get("s").unwrap().ty, Ty::Str);
+    assert_eq!(scope.get("sender").unwrap().comp_type.as_deref(), Some("C"));
+}
+
+#[test]
+fn state_initial_values_fill_defaults() {
+    let p = base().state_default("name", Ty::Str).finish();
+    let checked = check(&p).expect("accepts");
+    let values = checked.state_initial_values();
+    assert!(values.contains(&("count".to_owned(), reflex_ast::Value::Num(0))));
+    assert!(values.contains(&("name".to_owned(), reflex_ast::Value::Str(String::new()))));
+}
+
+#[test]
+fn rejects_duplicate_declarations() {
+    let p = base().component("C", "c2.py", []).finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::DuplicateDecl { what: "component type", .. })
+    ));
+
+    let p = base().message("M", []).finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::DuplicateDecl { what: "message type", .. })
+    ));
+
+    let p = base()
+        .handler("C", "M", ["a"], |_| {})
+        .handler("C", "M", ["b"], |_| {})
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::DuplicateHandler { .. })));
+}
+
+#[test]
+fn rejects_undeclared_references() {
+    let p = base().handler("Nope", "M", ["s"], |_| {}).finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "component type", .. })
+    ));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.assign("ghost", Expr::lit(1i64));
+        })
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "variable", .. })
+    ));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.send(Expr::var("c0"), "Ghost", []);
+        })
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "message type", .. })
+    ));
+}
+
+#[test]
+fn rejects_type_and_arity_errors() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.assign("count", Expr::var("s")); // str into num
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Mismatch { .. })));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.send(Expr::var("c0"), "M", []); // M takes one arg
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Arity { .. })));
+
+    let p = base().handler("C", "M", [], |_| {}).finish(); // params arity
+    assert!(matches!(check(&p), Err(TypeError::Arity { .. })));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.when(Expr::var("count"), |_| {}); // num condition
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Mismatch { .. })));
+}
+
+#[test]
+fn rejects_component_typed_state() {
+    let p = base().state_default("who", Ty::Comp).finish();
+    assert!(matches!(check(&p), Err(TypeError::BadStateType { .. })));
+    let p = base().state_default("fd", Ty::Fdesc).finish();
+    assert!(matches!(check(&p), Err(TypeError::BadStateType { .. })));
+}
+
+#[test]
+fn rejects_send_to_non_component_and_assignment_to_binder() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.send(Expr::var("count"), "M", [Expr::var("s")]);
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Mismatch { .. })));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.assign("c0", Expr::var("sender")); // c0 is an init binder
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::BadAssignTarget { .. })));
+}
+
+#[test]
+fn rejects_shadowing() {
+    let p = base()
+        .handler("C", "M", ["count"], |_| {}) // param shadows state var
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Shadowing { .. })));
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.spawn("s", "D", []); // binder shadows param
+        })
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Shadowing { .. })));
+}
+
+#[test]
+fn branch_binders_do_not_escape() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.when(Expr::lit(true), |t| {
+                t.spawn("fresh", "D", []);
+            });
+            h.send(Expr::var("fresh"), "M", [Expr::var("s")]); // out of scope
+        })
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "variable", .. })
+    ));
+}
+
+#[test]
+fn sequential_binders_stay_in_scope() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.spawn("fresh", "D", []);
+            h.send(Expr::var("fresh"), "M", [Expr::var("s")]);
+            h.call("r", "lookup_user", [Expr::var("s")]);
+            h.send(Expr::var("fresh"), "M", [Expr::var("r")]);
+        })
+        .finish();
+    check(&p).expect("accepts");
+}
+
+#[test]
+fn config_access_requires_known_component_type() {
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            h.when(Expr::var("sender").cfg("domain").eq(Expr::var("s")), |t| {
+                t.send(Expr::var("c0"), "M", [Expr::var("s")]);
+            });
+        })
+        .finish();
+    check(&p).expect("accepts: sender has a static component type");
+
+    let p = base()
+        .handler("C", "M", ["s"], |h| {
+            // D has no `domain` field.
+            h.spawn("d", "D", []);
+            h.when(Expr::var("d").cfg("domain").eq(Expr::var("s")), |_| {});
+        })
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "configuration field", .. })
+    ));
+}
+
+#[test]
+fn property_pattern_rules() {
+    // Undeclared pattern var.
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [],
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+        ))
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::UndeclaredPatternVar { .. })
+    ));
+
+    // Var declared at wrong type (M carries a str).
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [("u", Ty::Num)],
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+        ))
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::PatternVarTypeConflict { .. })
+    ));
+
+    // Positive obligation with a variable missing from the trigger.
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [("u", Ty::Str), ("v", Ty::Str)],
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("v")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+        ))
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::ObligationVarNotInTrigger { .. })
+    ));
+
+    // The same shape is fine for Disables (negative obligation).
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [("u", Ty::Str), ("v", Ty::Str)],
+            TracePropKind::Disables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("v")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::var("u")],
+            },
+        ))
+        .finish();
+    check(&p).expect("accepts");
+
+    // Wrong pattern arity.
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [],
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("C"),
+                msg: "M".into(),
+                args: vec![PatField::Any],
+            },
+        ))
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::Arity { .. })));
+
+    // Config pattern on a wildcard component type.
+    let p = base()
+        .property(PropertyDecl::trace(
+            "P",
+            [],
+            TracePropKind::Enables,
+            ActionPat::Spawn {
+                comp: CompPat {
+                    ctype: None,
+                    config: Some(vec![PatField::Any]),
+                },
+            },
+            ActionPat::Spawn {
+                comp: CompPat::of_type("C"),
+            },
+        ))
+        .finish();
+    assert!(matches!(check(&p), Err(TypeError::UnknownCompType { .. })));
+}
+
+#[test]
+fn ni_spec_rules() {
+    use reflex_ast::NiSpec;
+    let p = base()
+        .property(PropertyDecl::non_interference(
+            "NI",
+            [],
+            NiSpec::new([CompPat::of_type("C")], ["count"]),
+        ))
+        .finish();
+    check(&p).expect("accepts");
+
+    let p = base()
+        .property(PropertyDecl::non_interference(
+            "NI",
+            [],
+            NiSpec::new([CompPat::of_type("C")], ["ghost"]),
+        ))
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "state variable", .. })
+    ));
+
+    let p = base()
+        .property(PropertyDecl::non_interference(
+            "NI",
+            [],
+            NiSpec::new([CompPat::of_type("Ghost")], Vec::<String>::new()),
+        ))
+        .finish();
+    assert!(matches!(
+        check(&p),
+        Err(TypeError::Undeclared { what: "component type", .. })
+    ));
+}
+
+#[test]
+fn checks_parsed_ssh_kernel() {
+    let src = r#"
+components {
+  Connection "client.py" ();
+  Password "user-auth.c" ();
+  Terminal "pty-alloc.c" ();
+}
+messages {
+  ReqAuth(str, str);
+  Auth(str);
+  ReqTerm(str);
+  Term(str, fdesc);
+}
+state {
+  auth_user: str = "";
+  auth_ok: bool = false;
+}
+init {
+  C <- spawn Connection();
+  P <- spawn Password();
+  T <- spawn Terminal();
+}
+handlers {
+  when Connection:ReqAuth(user, pass) {
+    send(P, ReqAuth(user, pass));
+  }
+  when Password:Auth(user) {
+    auth_user = user;
+    auth_ok = true;
+  }
+  when Connection:ReqTerm(user) {
+    if (user == auth_user && auth_ok) {
+      send(T, ReqTerm(user));
+    }
+  }
+  when Terminal:Term(user, t) {
+    if (user == auth_user && auth_ok) {
+      send(C, Term(user, t));
+    }
+  }
+}
+properties {
+  AuthBeforeTerm: forall u: str.
+    [Recv(Password(), Auth(u))] Enables [Send(Terminal(), ReqTerm(u))];
+}
+"#;
+    let p = parse_program("ssh", src).expect("parses");
+    let checked = check(&p).expect("well-formed");
+    assert_eq!(
+        checked.global("P").unwrap().comp_type.as_deref(),
+        Some("Password")
+    );
+}

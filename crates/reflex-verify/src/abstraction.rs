@@ -1,0 +1,356 @@
+//! The cached behavioral abstraction: init paths and all exchange cases.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{BinOp, Ty, UnOp, Value};
+use reflex_symbolic::{Evaluator, Exchange, Path, SymCtx, SymState, SymVar, Term};
+use reflex_typeck::CheckedProgram;
+
+use crate::options::ProverOptions;
+
+/// One "world": the behavioral abstraction rooted at one init path.
+///
+/// Init sections may branch (e.g. on an external `call` result), producing
+/// several post-init states; the induction must hold over each. Handlers
+/// are evaluated against the *generic* pre-state derived from the init
+/// state (opaque mutable variables, init-time component handles).
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The init path this world is rooted at.
+    pub init: Path,
+    /// The generic pre-state for the inductive step.
+    pub pre: SymState,
+    /// One exchange per `(component type, message type)` pair, in
+    /// [`reflex_ast::Program::exchange_cases`] order.
+    pub exchanges: Vec<Exchange>,
+    /// Sound interval facts about numeric state variables in *every*
+    /// reachable pre-state (e.g. `0 <= attempts`), instantiated at this
+    /// world's pre-state symbols. Derived by a standard interval fixpoint
+    /// with widening over the exchange paths; the provers and the checker
+    /// add them to every inductive-step solver context.
+    pub range_assumptions: Vec<(Term, bool)>,
+}
+
+/// The symbolic behavioral abstraction of a program, computed once and
+/// shared by every property proof (one of the reasons re-verification after
+/// program edits is fast).
+#[derive(Debug)]
+pub struct Abstraction<'p> {
+    checked: &'p CheckedProgram,
+    /// The worlds, one per init path.
+    pub worlds: Vec<World>,
+}
+
+impl<'p> Abstraction<'p> {
+    /// Builds the abstraction by symbolically evaluating init and every
+    /// exchange case.
+    pub fn build(checked: &'p CheckedProgram, options: &ProverOptions) -> Abstraction<'p> {
+        let mut evaluator = Evaluator::new(checked);
+        evaluator.prune = options.prune_paths;
+        let mut ctx = SymCtx::new();
+        let init_paths = evaluator.eval_init(&mut ctx);
+        let mut worlds = Vec::with_capacity(init_paths.len());
+        for init in init_paths {
+            let pre = evaluator.generic_pre_state(&mut ctx, &init.state);
+            let mut exchanges = Vec::new();
+            for case in checked.program().exchange_cases() {
+                exchanges.push(evaluator.eval_exchange(&mut ctx, &pre, case.ctype, case.msg));
+            }
+            let range_assumptions = compute_ranges(checked, &init.state, &pre, &exchanges);
+            worlds.push(World {
+                init,
+                pre,
+                exchanges,
+                range_assumptions,
+            });
+        }
+        Abstraction { checked, worlds }
+    }
+
+    /// The checked program.
+    pub fn checked(&self) -> &'p CheckedProgram {
+        self.checked
+    }
+
+    /// Total number of symbolic paths across all worlds and cases (a
+    /// proof-effort measure reported by the benches).
+    pub fn path_count(&self) -> usize {
+        self.worlds
+            .iter()
+            .map(|w| {
+                w.exchanges
+                    .iter()
+                    .map(|e| e.paths.len())
+                    .sum::<usize>()
+                    + 1
+            })
+            .sum()
+    }
+}
+
+/// A (possibly unbounded) integer interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Interval {
+    lo: Option<i64>,
+    hi: Option<i64>,
+}
+
+impl Interval {
+    const TOP: Interval = Interval { lo: None, hi: None };
+
+    fn exact(n: i64) -> Interval {
+        Interval {
+            lo: Some(n),
+            hi: Some(n),
+        }
+    }
+
+    fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                _ => None,
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+
+    fn meet(self, other: Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).and_then(|(a, b)| a.checked_add(b)),
+            hi: self.hi.zip(other.hi).and_then(|(a, b)| a.checked_add(b)),
+        }
+    }
+
+    fn neg(self) -> Interval {
+        Interval {
+            lo: self.hi.and_then(i64::checked_neg),
+            hi: self.lo.and_then(i64::checked_neg),
+        }
+    }
+}
+
+/// Abstractly evaluates a numeric term under per-symbol intervals.
+fn eval_interval(t: &Term, env: &BTreeMap<SymVar, Interval>) -> Interval {
+    match t {
+        Term::Lit(Value::Num(n)) => Interval::exact(*n),
+        Term::Sym(s) => env.get(s).copied().unwrap_or(Interval::TOP),
+        Term::Un(UnOp::Neg, inner) => eval_interval(inner, env).neg(),
+        Term::Bin(BinOp::Add, l, r) => eval_interval(l, env).add(eval_interval(r, env)),
+        Term::Bin(BinOp::Sub, l, r) => eval_interval(l, env).add(eval_interval(r, env).neg()),
+        _ => Interval::TOP,
+    }
+}
+
+/// Refines `env` with single-variable bounds extracted from a path
+/// condition literal (`var ⋈ const` shapes only — this is a cheap
+/// refinement, not the solver).
+fn refine_with_condition(env: &mut BTreeMap<SymVar, Interval>, term: &Term, pol: bool) {
+    let (op, l, r) = match term {
+        Term::Bin(op @ (BinOp::Lt | BinOp::Le | BinOp::Eq), l, r) => (*op, &**l, &**r),
+        _ => return,
+    };
+    let (sym, c, var_on_left) = match (l, r) {
+        (Term::Sym(s), Term::Lit(Value::Num(n))) if s.ty == Ty::Num => (s.clone(), *n, true),
+        (Term::Lit(Value::Num(n)), Term::Sym(s)) if s.ty == Ty::Num => (s.clone(), *n, false),
+        _ => return,
+    };
+    let cur = env.entry(sym).or_insert(Interval::TOP);
+    let bound = match (op, pol, var_on_left) {
+        (BinOp::Lt, true, true) => Interval { lo: None, hi: Some(c - 1) },
+        (BinOp::Lt, true, false) => Interval { lo: Some(c + 1), hi: None },
+        (BinOp::Lt, false, true) => Interval { lo: Some(c), hi: None },
+        (BinOp::Lt, false, false) => Interval { lo: None, hi: Some(c) },
+        (BinOp::Le, true, true) => Interval { lo: None, hi: Some(c) },
+        (BinOp::Le, true, false) => Interval { lo: Some(c), hi: None },
+        (BinOp::Le, false, true) => Interval { lo: Some(c + 1), hi: None },
+        (BinOp::Le, false, false) => Interval { lo: None, hi: Some(c - 1) },
+        (BinOp::Eq, true, _) => Interval::exact(c),
+        (BinOp::Eq, false, _) => return,
+        _ => unreachable!("op restricted above"),
+    };
+    *cur = cur.meet(bound);
+}
+
+/// Computes sound interval invariants for the mutable numeric state
+/// variables of one world, by fixpoint over the exchange paths (with
+/// widening to ⊤ for bounds still unstable after a fixed number of
+/// rounds), and returns them as solver assumptions over the pre-state
+/// symbols.
+fn compute_ranges(
+    checked: &CheckedProgram,
+    init_state: &SymState,
+    pre: &SymState,
+    exchanges: &[Exchange],
+) -> Vec<(Term, bool)> {
+    // Mutable numeric state variables and their pre-state symbols.
+    let mut vars: Vec<(String, SymVar)> = Vec::new();
+    for (name, info) in checked.globals() {
+        if info.mutable && info.ty == Ty::Num {
+            if let Some(Term::Sym(sym)) = pre.data.get(name) {
+                vars.push((name.clone(), sym.clone()));
+            }
+        }
+    }
+    if vars.is_empty() {
+        return Vec::new();
+    }
+
+    // Start from the init values.
+    let mut ranges: BTreeMap<String, Interval> = BTreeMap::new();
+    for (name, _) in &vars {
+        let iv = match init_state.data.get(name) {
+            Some(Term::Lit(Value::Num(n))) => Interval::exact(*n),
+            _ => Interval::TOP,
+        };
+        ranges.insert(name.clone(), iv);
+    }
+
+    const WIDEN_AFTER: usize = 8;
+    for round in 0..WIDEN_AFTER + 2 {
+        let mut next = ranges.clone();
+        for exchange in exchanges {
+            for path in &exchange.paths {
+                // Pre-state environment refined by the path condition.
+                let mut env: BTreeMap<SymVar, Interval> = vars
+                    .iter()
+                    .map(|(name, sym)| (sym.clone(), ranges[name]))
+                    .collect();
+                for (t, pol) in &path.condition {
+                    refine_with_condition(&mut env, t, *pol);
+                }
+                for (name, _) in &vars {
+                    let post = path.state.data.get(name).expect("state var present");
+                    let post_iv = eval_interval(post, &env);
+                    let entry = next.get_mut(name).expect("seeded");
+                    *entry = entry.join(post_iv);
+                }
+            }
+        }
+        if next == ranges {
+            break;
+        }
+        if round >= WIDEN_AFTER {
+            // Widen whatever is still moving.
+            for (name, iv) in next.iter_mut() {
+                let old = ranges[name];
+                if iv.lo != old.lo {
+                    iv.lo = None;
+                }
+                if iv.hi != old.hi {
+                    iv.hi = None;
+                }
+            }
+        }
+        ranges = next;
+    }
+    // One more safety pass: after widening the result must be inductive;
+    // verify and drop anything that still moves.
+    let verify = |ranges: &BTreeMap<String, Interval>| -> bool {
+        for exchange in exchanges {
+            for path in &exchange.paths {
+                let mut env: BTreeMap<SymVar, Interval> = vars
+                    .iter()
+                    .map(|(name, sym)| (sym.clone(), ranges[name]))
+                    .collect();
+                for (t, pol) in &path.condition {
+                    refine_with_condition(&mut env, t, *pol);
+                }
+                for (name, _) in &vars {
+                    let post = path.state.data.get(name).expect("state var present");
+                    let post_iv = eval_interval(post, &env);
+                    if ranges[name].join(post_iv) != ranges[name] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    };
+    if !verify(&ranges) {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    for (name, sym) in &vars {
+        let iv = ranges[name];
+        let sym_term = Term::Sym(sym.clone());
+        if let Some(lo) = iv.lo {
+            out.push((
+                Term::bin(BinOp::Le, Term::lit(lo), sym_term.clone()),
+                true,
+            ));
+        }
+        if let Some(hi) = iv.hi {
+            out.push((Term::bin(BinOp::Le, sym_term, Term::lit(hi)), true));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reflex_ast::build::ProgramBuilder;
+    use reflex_ast::Expr;
+
+    #[test]
+    fn builds_worlds_and_exchanges() {
+        let program = ProgramBuilder::new("t")
+            .component("C", "c.py", [])
+            .component("D", "d.py", [])
+            .message("M", [Ty::Num])
+            .message("N", [])
+            .state("x", Ty::Num, Expr::lit(0i64))
+            .init_spawn("c0", "C", [])
+            .handler("C", "M", ["n"], |h| {
+                h.if_else(
+                    Expr::var("x").le(Expr::lit(2i64)),
+                    |t| {
+                        t.assign("x", Expr::var("x").add(Expr::lit(1i64)));
+                    },
+                    |e| {
+                        e.send(Expr::var("c0"), "N", []);
+                    },
+                );
+            })
+            .finish();
+        let checked = reflex_typeck::check(&program).expect("well-formed");
+        let abs = Abstraction::build(&checked, &ProverOptions::default());
+        assert_eq!(abs.worlds.len(), 1);
+        let w = &abs.worlds[0];
+        assert_eq!(w.exchanges.len(), 4); // 2 comp types × 2 msgs
+        let cm = w
+            .exchanges
+            .iter()
+            .find(|e| e.ctype == "C" && e.msg == "M")
+            .expect("case exists");
+        assert_eq!(cm.paths.len(), 2);
+        assert!(abs.path_count() >= 5);
+        // Implicit cases have a single silent path.
+        let dn = w
+            .exchanges
+            .iter()
+            .find(|e| e.ctype == "D" && e.msg == "N")
+            .expect("case exists");
+        assert_eq!(dn.paths.len(), 1);
+        assert!(dn.paths[0].actions.is_empty());
+        assert!(!dn.explicit);
+    }
+}

@@ -1,0 +1,384 @@
+//! Canonical symbolic variables and state guards.
+//!
+//! Auxiliary invariants (the "secondary induction" of §5.1) must be stated
+//! independently of any particular symbolic-evaluation context: each
+//! context allocates its own fresh variables for pre-state values. Guards
+//! are therefore expressed over *canonical* symbols — id `0`, distinguished
+//! purely by their [`SymKind`] payload — and instantiated into a context by
+//! leaf rewriting.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::Ty;
+use reflex_symbolic::{SymKind, SymState, SymVar, Term};
+
+/// The canonical symbol denoting the current value of state variable
+/// `name`.
+pub fn state_sym(name: &str, ty: Ty) -> SymVar {
+    SymVar {
+        id: 0,
+        ty,
+        kind: SymKind::StateVar(name.to_owned()),
+    }
+}
+
+/// The canonical symbol denoting universally quantified property variable
+/// `name`.
+pub fn prop_sym(name: &str, ty: Ty) -> SymVar {
+    SymVar {
+        id: 0,
+        ty,
+        kind: SymKind::PropVar(name.to_owned()),
+    }
+}
+
+/// The canonical term for property variable `name`.
+pub fn prop_term(name: &str, ty: Ty) -> Term {
+    Term::Sym(prop_sym(name, ty))
+}
+
+/// A guard: a conjunction of boolean literals over canonical state
+/// variables and canonical property variables.
+///
+/// `Guard { atoms }` denotes `⋀ (term == polarity)`. Guards are the
+/// hypotheses of auxiliary invariants: "whenever the kernel state satisfies
+/// this guard, the trace contains / does not contain an action matching the
+/// pattern".
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Guard {
+    /// The literals, in canonical (sorted, deduplicated) order.
+    pub atoms: Vec<(Term, bool)>,
+}
+
+impl Guard {
+    /// Creates a guard, sorting and deduplicating the literals.
+    pub fn new(mut atoms: Vec<(Term, bool)>) -> Guard {
+        atoms.sort();
+        atoms.dedup();
+        Guard { atoms }
+    }
+
+    /// The trivially true guard.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Instantiates the guard at a symbolic state: canonical state symbols
+    /// become the state's value terms; canonical property variables are
+    /// left as-is (they are globally shared across contexts).
+    pub fn instantiate(&self, state: &SymState) -> Vec<(Term, bool)> {
+        self.atoms
+            .iter()
+            .map(|(t, pol)| {
+                let inst = t.rewrite_leaves(&|leaf| match leaf {
+                    Term::Sym(SymVar {
+                        kind: SymKind::StateVar(name),
+                        ..
+                    }) => state.data.get(name).cloned(),
+                    _ => None,
+                });
+                (inst, *pol)
+            })
+            .collect()
+    }
+
+    /// Instantiates the guard with both a state (for canonical state
+    /// symbols) and a binding for property variables. Used by the
+    /// certificate checker to verify that an invariant applies to a
+    /// specific obligation.
+    pub fn instantiate_with(
+        &self,
+        state: &SymState,
+        prop_binding: &impl Fn(&str) -> Option<Term>,
+    ) -> Vec<(Term, bool)> {
+        self.atoms
+            .iter()
+            .map(|(t, pol)| {
+                let inst = t.rewrite_leaves(&|leaf| match leaf {
+                    Term::Sym(SymVar {
+                        kind: SymKind::StateVar(name),
+                        ..
+                    }) => state.data.get(name).cloned(),
+                    Term::Sym(SymVar {
+                        kind: SymKind::PropVar(name),
+                        ..
+                    }) => prop_binding(name),
+                    _ => None,
+                });
+                (inst, *pol)
+            })
+            .collect()
+    }
+
+    /// The property variables mentioned by the guard.
+    pub fn prop_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (t, _) in &self.atoms {
+            let mut syms = Vec::new();
+            t.collect_syms(&mut syms);
+            for s in syms {
+                if let SymKind::PropVar(n) = &s.kind {
+                    if !out.contains(n) {
+                        out.push(n.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Guard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, (t, pol)) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ∧ ")?;
+            }
+            if *pol {
+                write!(f, "{t}")?;
+            } else {
+                write!(f, "¬({t})")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Converts a context literal into canonical guard form, if possible.
+///
+/// `sigma_inverse` maps context terms (the terms property variables are
+/// bound to) back to canonical property-variable terms; context pre-state
+/// symbols are mapped to canonical state symbols. Returns `None` when the
+/// literal mentions anything else (payload parameters not bound by the
+/// property, sender configuration, call results, …), because such literals
+/// cannot be stated as an invariant over kernel states.
+pub fn generalize_literal(
+    term: &Term,
+    polarity: bool,
+    sigma_inverse: &BTreeMap<Term, Term>,
+) -> Option<(Term, bool)> {
+    // First replace whole bound subterms with their property variables.
+    let replaced = replace_subterms(term, sigma_inverse);
+    // Then canonicalize state symbols and reject anything else.
+    let ok = std::cell::Cell::new(true);
+    let canon = replaced.rewrite_leaves(&|leaf| match leaf {
+        Term::Sym(sv) => match &sv.kind {
+            SymKind::StateVar(name) => Some(Term::Sym(state_sym(name, sv.ty))),
+            SymKind::PropVar(_) => None, // already canonical
+            _ => {
+                ok.set(false);
+                None
+            }
+        },
+        _ => None,
+    });
+    ok.get().then_some((canon, polarity))
+}
+
+/// Canonicalizes a context term over state variables: pre-state symbols
+/// become canonical state symbols; property variables stay; anything else
+/// makes the term non-canonicalizable (`None`).
+pub fn canonicalize_state_term(term: &Term) -> Option<Term> {
+    let ok = std::cell::Cell::new(true);
+    let canon = term.rewrite_leaves(&|leaf| match leaf {
+        Term::Sym(sv) => match &sv.kind {
+            SymKind::StateVar(name) => Some(Term::Sym(state_sym(name, sv.ty))),
+            SymKind::PropVar(_) => None,
+            _ => {
+                ok.set(false);
+                None
+            }
+        },
+        _ => None,
+    });
+    ok.get().then_some(canon)
+}
+
+/// Weakens equality atoms of the form `?v == K + c` (with `K` a term over
+/// state variables and `c ≠ 0`) into the strict inequality they entail
+/// (`K < ?v` for `c > 0`, `?v < K` for `c < 0`).
+///
+/// This is the *widening* step of invariant synthesis: for monotone
+/// counters, the exact equality chain `?v == K + 1`, `?v == K + 2`, …
+/// diverges, while the widened `K < ?v` is inductive. Returns `None` when
+/// no atom is weakenable.
+pub fn weaken_guard(guard: &Guard) -> Option<Guard> {
+    use reflex_ast::BinOp;
+    let mut changed = false;
+    let mut atoms = Vec::with_capacity(guard.atoms.len());
+    for (term, pol) in &guard.atoms {
+        let weakened = if *pol {
+            weaken_atom(term)
+        } else {
+            None
+        };
+        match weakened {
+            Some(w) => {
+                changed = true;
+                atoms.push((w, true));
+            }
+            None => atoms.push((term.clone(), *pol)),
+        }
+    }
+    return changed.then(|| Guard::new(atoms));
+
+    fn weaken_atom(term: &Term) -> Option<Term> {
+        let Term::Bin(BinOp::Eq, l, r) = term else {
+            return None;
+        };
+        // One side must be a bare property variable; the other a numeric
+        // state-variable term with a nonzero constant offset.
+        let oriented = [(&**l, &**r), (&**r, &**l)];
+        for (var_side, other) in oriented {
+            let Term::Sym(sv) = var_side else { continue };
+            if !matches!(sv.kind, SymKind::PropVar(_)) || sv.ty != Ty::Num {
+                continue;
+            }
+            // Split the trailing constant of the normalized linear form.
+            let (k, c): (Term, i64) = match other {
+                Term::Bin(BinOp::Add, a, n) => match &**n {
+                    Term::Lit(reflex_ast::Value::Num(c)) => ((**a).clone(), *c),
+                    _ => continue,
+                },
+                Term::Bin(BinOp::Sub, a, n) => match &**n {
+                    Term::Lit(reflex_ast::Value::Num(c)) => ((**a).clone(), -*c),
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            if c == 0 {
+                continue;
+            }
+            // Only weaken when the remaining term is state-variable-only.
+            let mut syms = Vec::new();
+            k.collect_syms(&mut syms);
+            if !syms.iter().all(|s| matches!(s.kind, SymKind::StateVar(_))) {
+                continue;
+            }
+            return Some(if c > 0 {
+                Term::bin(BinOp::Lt, k, var_side.clone())
+            } else {
+                Term::bin(BinOp::Lt, var_side.clone(), k)
+            });
+        }
+        None
+    }
+}
+
+/// Flattens a literal set: conjunctions asserted true, disjunctions
+/// asserted false and negations are decomposed into their atomic literals,
+/// so guard extraction can salvage the generalizable conjuncts of a
+/// compound branch condition.
+pub fn flatten_literals(phi: &[(Term, bool)]) -> Vec<(Term, bool)> {
+    use reflex_ast::{BinOp, UnOp};
+    let mut out = Vec::with_capacity(phi.len());
+    let mut stack: Vec<(Term, bool)> = phi.to_vec();
+    while let Some((t, pol)) = stack.pop() {
+        match (&t, pol) {
+            (Term::Un(UnOp::Not, inner), _) => stack.push(((**inner).clone(), !pol)),
+            (Term::Bin(BinOp::And, l, r), true) => {
+                stack.push(((**l).clone(), true));
+                stack.push(((**r).clone(), true));
+            }
+            (Term::Bin(BinOp::Or, l, r), false) => {
+                stack.push(((**l).clone(), false));
+                stack.push(((**r).clone(), false));
+            }
+            _ => out.push((t, pol)),
+        }
+    }
+    out
+}
+
+/// Replaces every occurrence of each key of `map` (as a whole subtree) with
+/// its value, preferring larger keys first so overlapping replacements
+/// behave predictably.
+pub fn replace_subterms(term: &Term, map: &BTreeMap<Term, Term>) -> Term {
+    if map.is_empty() {
+        return term.clone();
+    }
+    if let Some(rep) = map.get(term) {
+        return rep.clone();
+    }
+    match term {
+        Term::Lit(_) | Term::Sym(_) => term.clone(),
+        Term::Un(op, inner) => Term::un(*op, replace_subterms(inner, map)),
+        Term::Bin(op, l, r) => Term::bin(
+            *op,
+            replace_subterms(l, map),
+            replace_subterms(r, map),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reflex_ast::BinOp;
+    use reflex_symbolic::SymCtx;
+
+    #[test]
+    fn guard_instantiation_substitutes_state_vars() {
+        let guard = Guard::new(vec![(
+            Term::bin(
+                BinOp::Eq,
+                Term::Sym(state_sym("auth_user", Ty::Str)),
+                prop_term("u", Ty::Str),
+            ),
+            true,
+        )]);
+        let mut state = SymState::default();
+        state.data.insert("auth_user".into(), Term::lit("alice"));
+        let inst = guard.instantiate(&state);
+        assert_eq!(
+            inst,
+            vec![(
+                Term::bin(BinOp::Eq, Term::lit("alice"), prop_term("u", Ty::Str)),
+                true
+            )]
+        );
+        assert_eq!(guard.prop_vars(), vec!["u"]);
+    }
+
+    #[test]
+    fn generalize_accepts_state_and_bound_terms_only() {
+        let mut ctx = SymCtx::new();
+        let state_val = ctx.fresh_term(Ty::Str, SymKind::StateVar("auth_user".into()));
+        let param = ctx.fresh_term(Ty::Str, SymKind::Param("user".into()));
+        let other = ctx.fresh_term(Ty::Str, SymKind::CallResult("wget".into()));
+
+        let mut inv = BTreeMap::new();
+        inv.insert(param.clone(), prop_term("u", Ty::Str));
+
+        // auth_user₀ == m.user generalizes to auth_user == ?u.
+        let lit = Term::bin(BinOp::Eq, state_val.clone(), param.clone());
+        let (g, pol) = generalize_literal(&lit, true, &inv).expect("generalizes");
+        assert!(pol);
+        assert_eq!(
+            g,
+            Term::bin(
+                BinOp::Eq,
+                Term::Sym(state_sym("auth_user", Ty::Str)),
+                prop_term("u", Ty::Str)
+            )
+        );
+
+        // Literals mentioning unbound context symbols are rejected.
+        let bad = Term::bin(BinOp::Eq, state_val, other);
+        assert!(generalize_literal(&bad, true, &inv).is_none());
+    }
+
+    #[test]
+    fn guards_deduplicate_and_compare() {
+        let a = (Term::Sym(state_sym("ok", Ty::Bool)), true);
+        let g1 = Guard::new(vec![a.clone(), a.clone()]);
+        assert_eq!(g1.atoms.len(), 1);
+        let g2 = Guard::new(vec![a]);
+        assert_eq!(g1, g2);
+        assert!(!g1.is_trivial());
+        assert!(Guard::new(vec![]).is_trivial());
+    }
+}

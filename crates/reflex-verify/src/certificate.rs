@@ -1,0 +1,427 @@
+//! Proof certificates.
+//!
+//! A successful proof search emits a [`Certificate`]: an explicit record of
+//! the complete inductive argument — one justification per obligation, per
+//! symbolic path, per exchange case, plus every auxiliary invariant used.
+//! Certificates play the role of Coq proof terms in the paper's
+//! architecture: the search is untrusted; [`crate::check_certificate`]
+//! independently re-derives each claimed step (re-running symbolic
+//! evaluation and the solver) and rejects anything that does not check.
+
+use std::fmt;
+
+use reflex_ast::{ActionPat, Ty};
+
+use crate::canon::Guard;
+
+/// How one trigger obligation is discharged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Justification {
+    /// The trigger's match side-conditions contradict the path condition:
+    /// this instance can never actually fire.
+    Refuted,
+    /// An action inside the same exchange discharges the obligation; the
+    /// index points into the exchange's appended actions. For `ImmBefore`
+    /// the witness is at `trigger_index - 1`, for `ImmAfter` at
+    /// `trigger_index + 1`, for `Enables` strictly before, for `Ensures`
+    /// strictly after.
+    Witness {
+        /// Index of the witnessing action.
+        index: usize,
+    },
+    /// (`Enables` only) The prior trace contains the required action, by
+    /// the auxiliary invariant with this id.
+    Invariant {
+        /// Index into [`TraceCert::invariants`].
+        inv_id: usize,
+    },
+    /// (`Disables` only) No earlier action can match the forbidden
+    /// pattern: matches within the exchange are refuted (re-derived by the
+    /// checker) and the prior trace is clean per `prior`.
+    NoMatch {
+        /// Why the prior trace contains no forbidden action.
+        prior: NegPrior,
+    },
+    /// (`Enables` only) The obligation's variables are pinned to the
+    /// configuration of a component that *exists* (the sender, or a
+    /// component found by `lookup`). Every live component corresponds to a
+    /// `Spawn` action in the trace, and the lemma — itself a proved
+    /// `Enables` trace property — shows that such spawns are always
+    /// preceded by the required action.
+    ViaCompOrigin {
+        /// Which component on this path supplies the spawn witness.
+        origin: CompOriginRef,
+        /// Index into [`TraceCert::lemmas`], or `None` when the obligation
+        /// pattern *is* a spawn pattern matching the origin component —
+        /// the origin's own `Spawn` action is then the required witness.
+        lemma_id: Option<usize>,
+    },
+}
+
+/// A reference to a component whose existence justifies a spawn witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompOriginRef {
+    /// The component that sent the message triggering the handler.
+    Sender,
+    /// The `index`-th `lookup`-found component of the path.
+    Lookup {
+        /// Zero-based index among the path's successful lookups.
+        index: usize,
+    },
+}
+
+/// Why a *prior* (pre-exchange) trace contains no action matching a
+/// forbidden pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NegPrior {
+    /// The prior trace is empty (base case of the induction).
+    EmptyTrace,
+    /// A negative auxiliary invariant covers it.
+    Invariant {
+        /// Index into [`TraceCert::invariants`].
+        inv_id: usize,
+    },
+    /// A `lookup` on this path found *no* component of the forbidden
+    /// spawn's type satisfying a predicate that covers the pattern: since
+    /// components never die, a prior matching `Spawn` would have left a
+    /// live component for the lookup to find.
+    MissedLookup {
+        /// Index into the path's missed lookups.
+        lookup_index: usize,
+    },
+}
+
+/// Discharges for all trigger obligations along one symbolic path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathCert {
+    /// `(trigger index into the appended actions, justification)`, in
+    /// trigger order. Actions that cannot unify with the trigger at all do
+    /// not appear.
+    pub obligations: Vec<(usize, Justification)>,
+}
+
+/// One `(component type, message type)` case of the main induction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseCert {
+    /// Component type of the sender.
+    pub ctype: String,
+    /// Message type received.
+    pub msg: String,
+    /// The case was discharged by the syntactic-skip check (§6.4): the
+    /// handler cannot emit any action unifiable with the trigger.
+    pub skipped: bool,
+    /// Per-path justifications (empty if skipped).
+    pub paths: Vec<PathCert>,
+}
+
+/// Justification of one path (or one base case) of an auxiliary
+/// invariant's induction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvPathJust {
+    /// The guard cannot hold in the post-state of this path.
+    GuardUnsat,
+    /// (positive) The guard already held in the pre-state, so the
+    /// induction hypothesis supplies the witness.
+    Preserved,
+    /// (positive) An action of this exchange witnesses the pattern; index
+    /// into the appended actions.
+    Witness {
+        /// Index of the witnessing action.
+        index: usize,
+    },
+    /// (positive) The pre-state satisfies another proved invariant's guard,
+    /// which supplies the witness in the prior trace.
+    ViaInvariant {
+        /// Index into [`TraceCert::invariants`].
+        inv_id: usize,
+    },
+    /// (negative) No action of this exchange can match the pattern
+    /// (re-derived by the checker) and the prior trace is clean per
+    /// `prior`.
+    NegativeOk {
+        /// Why the prior trace is clean.
+        prior: NegPriorStep,
+    },
+}
+
+/// Why the prior trace of an invariant induction step is clean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NegPriorStep {
+    /// The guard held in the pre-state: the induction hypothesis applies.
+    Ih,
+    /// A (different) negative invariant whose guard the pre-state
+    /// provably satisfies.
+    Invariant {
+        /// Index into [`TraceCert::invariants`].
+        inv_id: usize,
+    },
+    /// The prior trace is empty (base case).
+    EmptyTrace,
+}
+
+/// One case of an auxiliary invariant's induction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvCaseCert {
+    /// Component type of the sender.
+    pub ctype: String,
+    /// Message type received.
+    pub msg: String,
+    /// Discharged by the syntactic-skip check *and* untouched guard
+    /// variables.
+    pub skipped: bool,
+    /// Per-path justifications (empty if skipped).
+    pub paths: Vec<InvPathJust>,
+}
+
+/// A proved auxiliary invariant: `∀ vars, guard(state) ⇒ trace (contains /
+/// does not contain) an action matching pattern`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantCert {
+    /// Quantified variable names and types.
+    pub vars: Vec<(String, Ty)>,
+    /// Hypothesis over the kernel state (canonical symbols).
+    pub guard: Guard,
+    /// The action pattern (property variables refer to `vars`).
+    pub pattern: ActionPat,
+    /// `true`: the trace *contains* a match; `false`: it contains none.
+    pub positive: bool,
+    /// Base-case justifications, one per init path.
+    pub base: Vec<InvPathJust>,
+    /// Inductive cases.
+    pub cases: Vec<InvCaseCert>,
+}
+
+impl fmt::Display for InvariantCert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let polarity = if self.positive { "∃" } else { "∄" };
+        write!(f, "∀")?;
+        for (i, (v, t)) in self.vars.iter().enumerate() {
+            write!(f, "{}{v}: {t}", if i > 0 { ", " } else { " " })?;
+        }
+        write!(f, ". {} ⇒ {polarity} action ≈ {}", self.guard, self.pattern)
+    }
+}
+
+/// Certificate for a trace property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCert {
+    /// Property name.
+    pub property: String,
+    /// Base cases, one per init path.
+    pub base: Vec<PathCert>,
+    /// Inductive cases, one per (component type, message type).
+    pub cases: Vec<CaseCert>,
+    /// Auxiliary invariants referenced by id.
+    pub invariants: Vec<InvariantCert>,
+    /// Auxiliary `Enables` lemmas referenced by [`Justification::ViaCompOrigin`].
+    pub lemmas: Vec<LemmaCert>,
+}
+
+/// An auxiliary trace lemma: `∀ vars, [a] Enables [Spawn(b)]` with its own
+/// full inductive certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LemmaCert {
+    /// Quantified variables.
+    pub vars: Vec<(String, Ty)>,
+    /// The enabling pattern.
+    pub a: ActionPat,
+    /// The spawn pattern whose occurrences `a` enables.
+    pub b: ActionPat,
+    /// The lemma's own certificate (its `property` field is a synthetic
+    /// name; it proves `a Enables b`).
+    pub cert: TraceCert,
+}
+
+/// Sender-labeling summary for one NI case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NiCaseCert {
+    /// Component type of the sender.
+    pub ctype: String,
+    /// Message type received.
+    pub msg: String,
+    /// Number of paths checked under the "sender is low" assumption
+    /// (`NIlo`), or `None` if the sender is provably high.
+    pub low_paths: Option<usize>,
+    /// Number of paths checked under the "sender is high" assumption
+    /// (`NIhi`), or `None` if the sender can never be high.
+    pub high_paths: Option<usize>,
+}
+
+/// Certificate for a non-interference property (Theorem 1: the `NIlo` and
+/// `NIhi` sufficient conditions hold for every handler case).
+///
+/// The NI analysis is deterministic given the program and labeling, so the
+/// certificate records the case inventory; the checker re-runs the full
+/// analysis and verifies the inventory matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NiCert {
+    /// Property name.
+    pub property: String,
+    /// Per-case summaries.
+    pub cases: Vec<NiCaseCert>,
+}
+
+/// A proof certificate for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Certificate {
+    /// A trace-property certificate.
+    Trace(TraceCert),
+    /// A non-interference certificate.
+    NonInterference(NiCert),
+}
+
+impl Certificate {
+    /// The name of the certified property.
+    pub fn property(&self) -> &str {
+        match self {
+            Certificate::Trace(c) => &c.property,
+            Certificate::NonInterference(c) => &c.property,
+        }
+    }
+
+    /// Total number of discharged obligations (a rough proof-size
+    /// measure, reported by the benchmark harness).
+    pub fn obligation_count(&self) -> usize {
+        match self {
+            Certificate::Trace(c) => {
+                let main: usize = c
+                    .base
+                    .iter()
+                    .chain(c.cases.iter().flat_map(|k| k.paths.iter()))
+                    .map(|p| p.obligations.len())
+                    .sum();
+                let invs: usize = c
+                    .invariants
+                    .iter()
+                    .map(|inv| {
+                        inv.base.len()
+                            + inv
+                                .cases
+                                .iter()
+                                .map(|k| if k.skipped { 1 } else { k.paths.len() })
+                                .sum::<usize>()
+                    })
+                    .sum();
+                let lemmas: usize = c
+                    .lemmas
+                    .iter()
+                    .map(|l| Certificate::Trace(l.cert.clone()).obligation_count())
+                    .sum();
+                main + invs + lemmas
+            }
+            Certificate::NonInterference(c) => c
+                .cases
+                .iter()
+                .map(|k| k.low_paths.unwrap_or(0) + k.high_paths.unwrap_or(0))
+                .sum(),
+        }
+    }
+}
+
+impl Certificate {
+    /// Renders a human-readable proof sketch: how many cases were skipped
+    /// or analyzed, which justifications discharged the obligations, and
+    /// the full statements of every synthesized invariant and lemma.
+    pub fn render_proof_sketch(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        match self {
+            Certificate::Trace(t) => {
+                let skipped = t.cases.iter().filter(|c| c.skipped).count();
+                let _ = writeln!(
+                    s,
+                    "proof of `{}` by induction over BehAbs:",
+                    t.property
+                );
+                let _ = writeln!(
+                    s,
+                    "  base: {} init path(s); step: {} case(s) ({} closed by the syntactic skip)",
+                    t.base.len(),
+                    t.cases.len(),
+                    skipped
+                );
+                let mut refuted = 0usize;
+                let mut witness = 0usize;
+                let mut by_inv = 0usize;
+                let mut no_match = 0usize;
+                let mut by_origin = 0usize;
+                for path in t.base.iter().chain(t.cases.iter().flat_map(|c| c.paths.iter())) {
+                    for (_, just) in &path.obligations {
+                        match just {
+                            Justification::Refuted => refuted += 1,
+                            Justification::Witness { .. } => witness += 1,
+                            Justification::Invariant { .. } => by_inv += 1,
+                            Justification::NoMatch { .. } => no_match += 1,
+                            Justification::ViaCompOrigin { .. } => by_origin += 1,
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    s,
+                    "  obligations: {refuted} refuted, {witness} local witnesses, {by_inv} via invariants, {no_match} prior-trace exclusions, {by_origin} via component origins"
+                );
+                for (i, inv) in t.invariants.iter().enumerate() {
+                    let _ = writeln!(s, "  invariant #{i}: {inv}");
+                }
+                for (i, lemma) in t.lemmas.iter().enumerate() {
+                    let _ = writeln!(
+                        s,
+                        "  lemma #{i}: ∀…, [{}] Enables [{}] (own certificate: {} obligations)",
+                        lemma.a,
+                        lemma.b,
+                        Certificate::Trace(lemma.cert.clone()).obligation_count()
+                    );
+                }
+            }
+            Certificate::NonInterference(n) => {
+                let _ = writeln!(
+                    s,
+                    "proof of `{}` via the NIlo/NIhi sufficient conditions (Theorem 1):",
+                    n.property
+                );
+                for case in &n.cases {
+                    let lo = case
+                        .low_paths
+                        .map(|k| format!("NIlo over {k} path(s)"))
+                        .unwrap_or_else(|| "sender always high".into());
+                    let hi = case
+                        .high_paths
+                        .map(|k| format!("NIhi over {k} path(s)"))
+                        .unwrap_or_else(|| "sender never high".into());
+                    let _ = writeln!(s, "  case {}:{} — {lo}; {hi}", case.ctype, case.msg);
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Certificate::Trace(c) => {
+                writeln!(
+                    f,
+                    "certificate for `{}`: {} base path(s), {} case(s), {} invariant(s), {} lemma(s)",
+                    c.property,
+                    c.base.len(),
+                    c.cases.len(),
+                    c.invariants.len(),
+                    c.lemmas.len()
+                )?;
+                for inv in &c.invariants {
+                    writeln!(f, "  invariant: {inv}")?;
+                }
+                Ok(())
+            }
+            Certificate::NonInterference(c) => {
+                writeln!(
+                    f,
+                    "certificate for `{}`: NIlo/NIhi over {} case(s)",
+                    c.property,
+                    c.cases.len()
+                )
+            }
+        }
+    }
+}

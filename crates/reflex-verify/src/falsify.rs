@@ -1,0 +1,462 @@
+//! Bounded counterexample search (falsification).
+//!
+//! When proof search fails, Reflex's incompleteness (§5.3) leaves two
+//! possibilities: the property is true but beyond the automation, or it is
+//! simply false. This module explores the *concrete* behavioral abstraction
+//! breadth-first over small value domains, checking the property on every
+//! reachable trace; a violation yields a concrete counterexample trace.
+//! This reproduces the paper's §6.3 experience, where two failing web
+//! server properties turned out to be false.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{Cmd, CompId, Expr, Fdesc, PropBody, Ty, Value};
+use reflex_trace::{check_trace, Action, CompInst, Msg, PropError, Trace, Violation};
+use reflex_typeck::CheckedProgram;
+
+/// Limits for the bounded search.
+#[derive(Debug, Clone)]
+pub struct FalsifyOptions {
+    /// Maximum number of exchanges after init.
+    pub max_exchanges: usize,
+    /// Maximum number of explored states.
+    pub max_states: usize,
+    /// Cap on distinct literals per type in the generated payload domain.
+    pub domain_per_type: usize,
+}
+
+impl Default for FalsifyOptions {
+    fn default() -> Self {
+        FalsifyOptions {
+            max_exchanges: 4,
+            max_states: 20_000,
+            domain_per_type: 3,
+        }
+    }
+}
+
+/// A concrete counterexample to a trace property.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The violated property.
+    pub property: String,
+    /// The violating trace, in chronological order.
+    pub trace: Trace,
+    /// The concrete violation found by the trace checker.
+    pub violation: Violation,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "counterexample to `{}`:", self.property)?;
+        write!(f, "{}", self.trace)?;
+        writeln!(f, "  violation: {}", self.violation)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ConcState {
+    data: BTreeMap<String, Value>,
+    comps: BTreeMap<String, CompInst>,
+    comp_list: Vec<CompInst>,
+    trace: Trace,
+    next_id: u64,
+    next_fd: u64,
+    exchanges: usize,
+}
+
+/// Searches for a concrete counterexample to the named trace property.
+///
+/// Returns `None` when no violation is found within the bounds (which is
+/// *not* a proof — use [`crate::prove`] for that) and for non-interference
+/// properties, which are relational and outside the falsifier's scope.
+pub fn falsify(
+    checked: &CheckedProgram,
+    prop_name: &str,
+    options: &FalsifyOptions,
+) -> Option<Counterexample> {
+    let program = checked.program();
+    let prop = program.property(prop_name)?;
+    let PropBody::Trace(tp) = &prop.body else {
+        return None;
+    };
+
+    let domain = build_domain(checked, options);
+    let falsifier = Falsifier {
+        checked,
+        domain,
+        options,
+    };
+
+    // Run init (forking on external call results).
+    let init_state = ConcState {
+        data: checked.state_initial_values().into_iter().collect(),
+        comps: BTreeMap::new(),
+        comp_list: Vec::new(),
+        trace: Trace::new(),
+        next_id: 0,
+        next_fd: 0,
+        exchanges: 0,
+    };
+    let mut frontier = falsifier.run_cmd(init_state, &program.init);
+
+    let mut visited = 0usize;
+    while let Some(state) = frontier.pop() {
+        visited += 1;
+        if visited > options.max_states {
+            return None;
+        }
+        if let Err(PropError::Violation(violation)) = check_trace(&state.trace, tp) {
+            return Some(Counterexample {
+                property: prop_name.to_owned(),
+                trace: state.trace,
+                violation,
+            });
+        }
+        if state.exchanges >= options.max_exchanges {
+            continue;
+        }
+        // Enumerate exchanges: any existing component may send any message
+        // with any payload from the domain. Exchanges with no handler whose
+        // implicit Select/Recv actions cannot match either property pattern
+        // are pure noise and are skipped to keep the search tractable.
+        for sender in state.comp_list.clone() {
+            for msg_decl in &program.messages {
+                if program.handler(&sender.ctype, &msg_decl.name).is_none()
+                    && !recv_relevant(tp, &sender.ctype, &msg_decl.name)
+                {
+                    continue;
+                }
+                for payload in falsifier.payloads(&msg_decl.payload) {
+                    let mut s = state.clone();
+                    s.exchanges += 1;
+                    s.trace.push(Action::Select {
+                        comp: sender.clone(),
+                    });
+                    s.trace.push(Action::Recv {
+                        comp: sender.clone(),
+                        msg: Msg::new(&msg_decl.name, payload.clone()),
+                    });
+                    if let Some(h) = program.handler(&sender.ctype, &msg_decl.name) {
+                        s.comps
+                            .insert(reflex_ast::Handler::SENDER.to_owned(), sender.clone());
+                        for (p, v) in h.params.iter().zip(&payload) {
+                            s.data.insert(p.clone(), v.clone());
+                        }
+                        for mut out in falsifier.run_cmd(s, &h.body) {
+                            // Handler-local bindings do not persist.
+                            out.comps.remove(reflex_ast::Handler::SENDER);
+                            frontier.push(out);
+                        }
+                    } else {
+                        frontier.push(s);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the implicit `Select`/`Recv` actions of an exchange for
+/// `(ctype, msg)` could match either pattern of the property.
+fn recv_relevant(tp: &reflex_ast::TraceProp, ctype: &str, msg: &str) -> bool {
+    use reflex_ast::ActionPat;
+    [&tp.a, &tp.b].iter().any(|pat| match pat {
+        ActionPat::Recv { comp, msg: m, .. } => {
+            m == msg && comp.ctype.as_deref().is_none_or(|c| c == ctype)
+        }
+        ActionPat::Select { comp } => comp.ctype.as_deref().is_none_or(|c| c == ctype),
+        _ => false,
+    })
+}
+
+fn build_domain(checked: &CheckedProgram, options: &FalsifyOptions) -> BTreeMap<Ty, Vec<Value>> {
+    let mut strings: Vec<Value> = vec![Value::from("a"), Value::from("b")];
+    let mut nums: Vec<Value> = vec![Value::Num(0), Value::Num(1)];
+    // Literals appearing in the program make the domain relevant.
+    let mut harvest = |e: &Expr| {
+        let mut stack = vec![e];
+        while let Some(e) = stack.pop() {
+            match e {
+                Expr::Lit(Value::Str(s)) => {
+                    let v = Value::from(s.clone());
+                    if !strings.contains(&v) {
+                        strings.push(v);
+                    }
+                }
+                Expr::Lit(Value::Num(n)) => {
+                    let v = Value::Num(*n);
+                    if !nums.contains(&v) {
+                        nums.push(v);
+                    }
+                }
+                Expr::Lit(_) => {}
+                Expr::Var(_) => {}
+                Expr::Cfg(inner, _) => stack.push(inner),
+                Expr::Un(_, t) => stack.push(t),
+                Expr::Bin(_, l, r) => {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            }
+        }
+    };
+    let program = checked.program();
+    let mut visit_cmd = |cmd: &Cmd| {
+        cmd.visit(&mut |c| match c {
+            Cmd::Assign(_, e) => harvest(e),
+            Cmd::If { cond, .. } => harvest(cond),
+            Cmd::Send { target, args, .. } => {
+                harvest(target);
+                args.iter().for_each(&mut harvest);
+            }
+            Cmd::Spawn { config, .. } => config.iter().for_each(&mut harvest),
+            Cmd::Call { args, .. } => args.iter().for_each(&mut harvest),
+            Cmd::Lookup { pred, .. } => harvest(pred),
+            _ => {}
+        });
+    };
+    visit_cmd(&program.init);
+    for h in &program.handlers {
+        visit_cmd(&h.body);
+    }
+    strings.truncate(options.domain_per_type);
+    nums.truncate(options.domain_per_type);
+    let mut domain = BTreeMap::new();
+    domain.insert(Ty::Str, strings);
+    domain.insert(Ty::Num, nums);
+    domain.insert(Ty::Bool, vec![Value::Bool(false), Value::Bool(true)]);
+    domain.insert(
+        Ty::Fdesc,
+        vec![Value::Fdesc(Fdesc::new(100)), Value::Fdesc(Fdesc::new(101))],
+    );
+    domain
+}
+
+struct Falsifier<'a> {
+    checked: &'a CheckedProgram,
+    domain: BTreeMap<Ty, Vec<Value>>,
+    options: &'a FalsifyOptions,
+}
+
+impl<'a> Falsifier<'a> {
+    fn payloads(&self, tys: &[Ty]) -> Vec<Vec<Value>> {
+        let mut out = vec![Vec::new()];
+        for ty in tys {
+            let values = &self.domain[ty];
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for prefix in &out {
+                for v in values {
+                    let mut p = prefix.clone();
+                    p.push(v.clone());
+                    next.push(p);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    fn eval(&self, state: &ConcState, e: &Expr) -> Value {
+        match e {
+            Expr::Lit(v) => v.clone(),
+            Expr::Var(x) => state
+                .data
+                .get(x)
+                .cloned()
+                .or_else(|| state.comps.get(x).map(|c| Value::Comp(c.id)))
+                .expect("typeck: variable in scope"),
+            Expr::Cfg(inner, field) => {
+                let Value::Comp(id) = self.eval(state, inner) else {
+                    unreachable!("typeck: component expression");
+                };
+                let comp = state
+                    .comp_list
+                    .iter()
+                    .find(|c| c.id == id)
+                    .expect("component exists");
+                let decl = self
+                    .checked
+                    .program()
+                    .comp_type(&comp.ctype)
+                    .expect("declared");
+                let (idx, _) = decl.config_field(field).expect("field exists");
+                comp.config[idx].clone()
+            }
+            Expr::Un(op, t) => {
+                let v = self.eval(state, t);
+                match (op, v) {
+                    (reflex_ast::UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (reflex_ast::UnOp::Neg, Value::Num(n)) => Value::Num(n.wrapping_neg()),
+                    _ => unreachable!("typeck"),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                use reflex_ast::BinOp::*;
+                let a = self.eval(state, l);
+                let b = self.eval(state, r);
+                match (op, a, b) {
+                    (Eq, a, b) => Value::Bool(a == b),
+                    (Ne, a, b) => Value::Bool(a != b),
+                    (And, Value::Bool(x), Value::Bool(y)) => Value::Bool(x && y),
+                    (Or, Value::Bool(x), Value::Bool(y)) => Value::Bool(x || y),
+                    (Add, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_add(y)),
+                    (Sub, Value::Num(x), Value::Num(y)) => Value::Num(x.wrapping_sub(y)),
+                    (Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
+                    (Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
+                    (Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
+                    _ => unreachable!("typeck"),
+                }
+            }
+        }
+    }
+
+    /// Runs a command concretely; external calls fork over the string
+    /// domain (they are world inputs).
+    fn run_cmd(&self, state: ConcState, cmd: &Cmd) -> Vec<ConcState> {
+        match cmd {
+            Cmd::Nop => vec![state],
+            Cmd::Block(cs) => {
+                let mut states = vec![state];
+                for c in cs {
+                    let mut next = Vec::new();
+                    for s in states {
+                        next.extend(self.run_cmd(s, c));
+                    }
+                    states = next;
+                }
+                states
+            }
+            Cmd::Assign(x, e) => {
+                let mut s = state;
+                let v = self.eval(&s, e);
+                s.data.insert(x.clone(), v);
+                vec![s]
+            }
+            Cmd::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let taken = self.eval(&state, cond) == Value::Bool(true);
+                self.run_cmd(state, if taken { then_branch } else { else_branch })
+            }
+            Cmd::Send { target, msg, args } => {
+                let mut s = state;
+                let Value::Comp(id) = self.eval(&s, target) else {
+                    unreachable!("typeck");
+                };
+                let comp = s
+                    .comp_list
+                    .iter()
+                    .find(|c| c.id == id)
+                    .expect("component exists")
+                    .clone();
+                let values: Vec<Value> = args.iter().map(|a| self.eval(&s, a)).collect();
+                s.trace.push(Action::Send {
+                    comp,
+                    msg: Msg::new(msg, values),
+                });
+                vec![s]
+            }
+            Cmd::Spawn {
+                binder,
+                ctype,
+                config,
+            } => {
+                let mut s = state;
+                let values: Vec<Value> = config.iter().map(|c| self.eval(&s, c)).collect();
+                let comp = CompInst::new(CompId::new(s.next_id), ctype.clone(), values);
+                s.next_id += 1;
+                s.next_fd += 1;
+                s.comp_list.push(comp.clone());
+                s.comps.insert(binder.clone(), comp.clone());
+                s.trace.push(Action::Spawn { comp });
+                vec![s]
+            }
+            Cmd::Call { binder, func, args } => {
+                let values: Vec<Value> = args.iter().map(|a| self.eval(&state, a)).collect();
+                let mut out = Vec::new();
+                for result in self.domain[&Ty::Str]
+                    .iter()
+                    .take(self.options.domain_per_type.min(2))
+                {
+                    let mut s = state.clone();
+                    s.trace.push(Action::Call {
+                        func: func.clone(),
+                        args: values.clone(),
+                        result: result.clone(),
+                    });
+                    s.data.insert(binder.clone(), result.clone());
+                    out.push(s);
+                }
+                out
+            }
+            Cmd::Broadcast {
+                ctype,
+                binder,
+                pred,
+                msg,
+                args,
+            } => {
+                let mut s = state;
+                let candidates: Vec<CompInst> = s
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                for c in candidates {
+                    s.comps.insert(binder.clone(), c.clone());
+                    if self.eval(&s, pred) == Value::Bool(true) {
+                        let values: Vec<Value> =
+                            args.iter().map(|a| self.eval(&s, a)).collect();
+                        s.trace.push(Action::Send {
+                            comp: c,
+                            msg: Msg::new(msg, values),
+                        });
+                    }
+                }
+                s.comps.remove(binder);
+                vec![s]
+            }
+            Cmd::Lookup {
+                ctype,
+                binder,
+                pred,
+                found,
+                missing,
+            } => {
+                // First-match semantics, like the runtime.
+                let candidates: Vec<CompInst> = state
+                    .comp_list
+                    .iter()
+                    .filter(|c| c.ctype == *ctype)
+                    .cloned()
+                    .collect();
+                let mut hit = None;
+                for c in candidates {
+                    let mut probe = state.clone();
+                    probe.comps.insert(binder.clone(), c.clone());
+                    if self.eval(&probe, pred) == Value::Bool(true) {
+                        hit = Some(c);
+                        break;
+                    }
+                }
+                match hit {
+                    Some(c) => {
+                        let mut s = state;
+                        s.comps.insert(binder.clone(), c);
+                        let mut out = self.run_cmd(s, found);
+                        for o in &mut out {
+                            o.comps.remove(binder);
+                        }
+                        out
+                    }
+                    None => self.run_cmd(state, missing),
+                }
+            }
+        }
+    }
+}

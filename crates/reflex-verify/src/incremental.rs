@@ -1,0 +1,153 @@
+//! Incremental re-verification — the future work flagged in the paper's
+//! §6.4: "Future work can explore incremental verification in order to
+//! further reduce the time required for re-verification."
+//!
+//! After an edit, a property's previous certificate can be **reused**
+//! without any re-proving when the edit provably cannot affect its
+//! induction:
+//!
+//! * the declarations (components, messages, state, init) are unchanged —
+//!   they shape the case split and base cases;
+//! * the property itself is unchanged;
+//! * the certificate is *local* — every obligation is discharged by
+//!   refutation, an in-exchange witness or a missed-lookup argument, with
+//!   no auxiliary invariants or lemmas (those quantify over *all*
+//!   handlers, so any handler edit can break them); and
+//! * every edited handler is one whose exchange can emit no action
+//!   unifiable with the property's trigger pattern (so the edited cases
+//!   carry no obligations).
+//!
+//! Everything else is re-proved from scratch. The reuse decision is
+//! deliberately conservative: a reused outcome is exactly as trustworthy
+//! as the original run's, because the justifications of unchanged cases
+//! are facts about those cases alone.
+
+use reflex_ast::PropBody;
+use reflex_typeck::CheckedProgram;
+
+use crate::certificate::{Certificate, Justification, NegPrior};
+use crate::options::{Outcome, ProverOptions};
+use crate::shared::case_can_emit_match;
+use crate::Abstraction;
+
+/// The result of an incremental re-verification.
+#[derive(Debug)]
+pub struct IncrementalReport {
+    /// `(property, outcome)` in declaration order, as from
+    /// [`crate::prove_all`].
+    pub outcomes: Vec<(String, Outcome)>,
+    /// Properties whose previous certificates were reused.
+    pub reused: Vec<String>,
+    /// Properties that were re-proved.
+    pub reproved: Vec<String>,
+}
+
+/// Whether a certificate's every justification is local to its own
+/// exchange case (see module docs).
+fn certificate_is_local(cert: &Certificate) -> bool {
+    let Certificate::Trace(t) = cert else {
+        return false; // NI quantifies over every handler
+    };
+    if !t.invariants.is_empty() || !t.lemmas.is_empty() {
+        return false;
+    }
+    t.base
+        .iter()
+        .chain(t.cases.iter().flat_map(|c| c.paths.iter()))
+        .flat_map(|p| p.obligations.iter())
+        .all(|(_, just)| match just {
+            Justification::Refuted | Justification::Witness { .. } => true,
+            Justification::NoMatch { prior } => matches!(
+                prior,
+                NegPrior::EmptyTrace | NegPrior::MissedLookup { .. }
+            ),
+            Justification::Invariant { .. } | Justification::ViaCompOrigin { .. } => false,
+        })
+}
+
+/// Whether the non-handler parts of two programs agree.
+fn decls_unchanged(old: &reflex_ast::Program, new: &reflex_ast::Program) -> bool {
+    old.components == new.components
+        && old.messages == new.messages
+        && old.state == new.state
+        && old.init == new.init
+}
+
+/// The `(ctype, msg)` pairs whose handler differs between the programs
+/// (including added or removed handlers).
+fn changed_handlers(
+    old: &reflex_ast::Program,
+    new: &reflex_ast::Program,
+) -> Vec<(String, String)> {
+    let mut changed = Vec::new();
+    for c in &new.components {
+        for m in &new.messages {
+            if old.handler(&c.name, &m.name) != new.handler(&c.name, &m.name) {
+                changed.push((c.name.clone(), m.name.clone()));
+            }
+        }
+    }
+    changed
+}
+
+/// Re-verifies `new` given the previous program and its certificates.
+///
+/// `previous` pairs property names with the certificates obtained from a
+/// successful [`crate::prove_all`] run over `old`.
+pub fn reverify(
+    old: &CheckedProgram,
+    previous: &[(String, Certificate)],
+    new: &CheckedProgram,
+    options: &ProverOptions,
+) -> IncrementalReport {
+    let mut outcomes = Vec::new();
+    let mut reused = Vec::new();
+    let mut reproved = Vec::new();
+
+    let structure_ok = decls_unchanged(old.program(), new.program());
+    let changed = changed_handlers(old.program(), new.program());
+
+    // Build the abstraction lazily: only if something needs re-proving.
+    let mut abs: Option<Abstraction<'_>> = None;
+
+    for prop in &new.program().properties {
+        let reusable = structure_ok
+            && old.program().property(&prop.name) == Some(prop)
+            && previous.iter().any(|(name, cert)| {
+                if name != &prop.name {
+                    return false;
+                }
+                if !certificate_is_local(cert) {
+                    return false;
+                }
+                let PropBody::Trace(tp) = &prop.body else {
+                    return false;
+                };
+                changed.iter().all(|(ctype, msg)| {
+                    !case_can_emit_match(new, ctype, msg, tp.trigger())
+                })
+            });
+        if reusable {
+            let cert = previous
+                .iter()
+                .find(|(name, _)| name == &prop.name)
+                .map(|(_, c)| c.clone())
+                .expect("checked above");
+            reused.push(prop.name.clone());
+            outcomes.push((prop.name.clone(), Outcome::Proved(cert)));
+            continue;
+        }
+        let abs =
+            abs.get_or_insert_with(|| Abstraction::build(new, options));
+        let outcome =
+            crate::prove_with(abs, &prop.name, options).expect("property exists by iteration");
+        reproved.push(prop.name.clone());
+        outcomes.push((prop.name.clone(), outcome));
+    }
+
+    IncrementalReport {
+        outcomes,
+        reused,
+        reproved,
+    }
+}

@@ -1,0 +1,153 @@
+//! Pushbutton verification for Reflex programs — the paper's core
+//! contribution (§5), reproduced as a proof-search engine emitting
+//! machine-checkable certificates.
+//!
+//! * [`prove`] / [`prove_all`] — fully automatic proof search for trace
+//!   properties (`ImmBefore`, `ImmAfter`, `Enables`, `Ensures`,
+//!   `Disables`) and non-interference, by induction over the behavioral
+//!   abstraction [`Abstraction`];
+//! * [`check_certificate`] — the independent trusted checker that validates
+//!   every step of a certificate (the analog of Coq's kernel);
+//! * [`falsify`] — bounded concrete counterexample search for properties
+//!   the automation fails on;
+//! * [`ProverOptions`] — the §6.4 optimization toggles, for the ablation
+//!   experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use reflex_parser::parse_program;
+//! use reflex_verify::{prove, check_certificate, ProverOptions};
+//!
+//! let src = r#"
+//! components { Pinger "p.py" (); }
+//! messages { Ping(str); Pong(str); }
+//! init { p <- spawn Pinger(); }
+//! handlers {
+//!   when Pinger:Ping(s) { send(p, Pong(s)); }
+//! }
+//! properties {
+//!   PongOnlyAfterPing: forall s: str.
+//!     [Recv(Pinger(), Ping(s))] Enables [Send(Pinger(), Pong(s))];
+//! }
+//! "#;
+//! let program = parse_program("ping", src).unwrap();
+//! let checked = reflex_typeck::check(&program).unwrap();
+//! let options = ProverOptions::default();
+//! let outcome = prove(&checked, "PongOnlyAfterPing", &options).unwrap();
+//! let cert = outcome.certificate().expect("proved");
+//! check_certificate(&checked, cert, &options).expect("certificate valid");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abstraction;
+pub mod canon;
+pub mod certificate;
+mod checker;
+mod falsify;
+pub mod incremental;
+mod ni_prover;
+mod options;
+mod shared;
+mod trace_prover;
+
+pub use abstraction::{Abstraction, World};
+pub use certificate::Certificate;
+pub use checker::{check_certificate, CheckError};
+pub use falsify::{falsify, Counterexample, FalsifyOptions};
+pub use incremental::{reverify, IncrementalReport};
+pub use options::{Outcome, ProofFailure, ProverOptions, VerifyError};
+
+use reflex_ast::PropBody;
+use reflex_typeck::CheckedProgram;
+
+/// Proves the named property of a checked program.
+///
+/// Builds the program's behavioral abstraction and runs the appropriate
+/// prover. For verifying many properties of one program, build the
+/// [`Abstraction`] once and use [`prove_with`].
+///
+/// # Errors
+///
+/// Returns [`VerifyError::NoSuchProperty`] if the property does not exist.
+/// Proof-search failures are reported inside [`Outcome`], not as errors.
+pub fn prove(
+    checked: &CheckedProgram,
+    property: &str,
+    options: &ProverOptions,
+) -> Result<Outcome, VerifyError> {
+    let abs = Abstraction::build(checked, options);
+    prove_with(&abs, property, options)
+}
+
+/// Proves the named property against a pre-built abstraction.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::NoSuchProperty`] if the property does not exist.
+pub fn prove_with(
+    abs: &Abstraction<'_>,
+    property: &str,
+    options: &ProverOptions,
+) -> Result<Outcome, VerifyError> {
+    let prop = abs
+        .checked()
+        .program()
+        .property(property)
+        .ok_or_else(|| VerifyError::NoSuchProperty {
+            name: property.to_owned(),
+        })?;
+    // The §7 design lesson, reproduced as a hard boundary: a `broadcast`
+    // can emit an unbounded number of send actions, which the induction
+    // over BehAbs cannot case-split. (The interpreter and the falsifier
+    // execute broadcasts fine — only the *automation* refuses.)
+    if program_uses_broadcast(abs.checked().program()) {
+        return Ok(Outcome::Failed(ProofFailure {
+            location: "program".into(),
+            reason: "the program uses `broadcast`, which emits an unbounded \
+number of actions; rewrite it with `lookup` (paper §7: this is precisely \
+why Reflex replaced broadcast)"
+                .into(),
+        }));
+    }
+    Ok(match &prop.body {
+        PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp),
+        PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
+    })
+}
+
+/// Whether any handler or the init section uses the unautomatable
+/// `broadcast` primitive.
+pub(crate) fn program_uses_broadcast(program: &reflex_ast::Program) -> bool {
+    let mut found = false;
+    let mut scan = |cmd: &reflex_ast::Cmd| {
+        cmd.visit(&mut |c| {
+            if matches!(c, reflex_ast::Cmd::Broadcast { .. }) {
+                found = true;
+            }
+        });
+    };
+    scan(&program.init);
+    for h in &program.handlers {
+        scan(&h.body);
+    }
+    found
+}
+
+/// Proves every property of the program, returning `(name, outcome)`
+/// pairs in declaration order.
+pub fn prove_all(checked: &CheckedProgram, options: &ProverOptions) -> Vec<(String, Outcome)> {
+    let abs = Abstraction::build(checked, options);
+    checked
+        .program()
+        .properties
+        .iter()
+        .map(|p| {
+            let outcome =
+                prove_with(&abs, &p.name, options).expect("property exists by construction");
+            (p.name.clone(), outcome)
+        })
+        .collect()
+}

@@ -1,0 +1,132 @@
+//! Prover configuration and outcomes.
+
+use std::fmt;
+
+/// Configuration of the proof search.
+///
+/// The three toggles correspond to the §6.4 optimizations whose effect the
+/// paper reports (80× average speedup, 5× memory): disabling any of them
+/// only makes the search slower or weaker, never unsound. They exist so the
+/// ablation benches can reproduce that experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProverOptions {
+    /// Skip symbolic analysis of handler cases that cannot syntactically
+    /// emit an action matching the property's trigger pattern ("a simple
+    /// syntactic check suffices", §6.4).
+    pub syntactic_skip: bool,
+    /// Prune infeasible paths and collapse entailed branches during
+    /// symbolic evaluation ("domain-specific reduction strategies", §6.4).
+    pub prune_paths: bool,
+    /// Cache and reuse proved auxiliary invariants across obligations
+    /// ("saving subproofs at key cut points", §6.4).
+    pub cache_invariants: bool,
+    /// Maximum depth of chained auxiliary invariants (the secondary
+    /// inductions of §5.1 may themselves require supporting invariants).
+    pub max_invariant_depth: usize,
+}
+
+impl Default for ProverOptions {
+    fn default() -> Self {
+        ProverOptions {
+            syntactic_skip: true,
+            prune_paths: true,
+            cache_invariants: true,
+            max_invariant_depth: 6,
+        }
+    }
+}
+
+impl ProverOptions {
+    /// The configuration used by the paper's final system (all
+    /// optimizations on).
+    pub fn optimized() -> Self {
+        Self::default()
+    }
+
+    /// A deliberately slow configuration with every optimization disabled,
+    /// for the ablation experiment.
+    pub fn unoptimized() -> Self {
+        ProverOptions {
+            syntactic_skip: false,
+            prune_paths: false,
+            cache_invariants: false,
+            max_invariant_depth: 6,
+        }
+    }
+}
+
+/// Why the proof search failed.
+///
+/// Reflex automation is deliberately incomplete (§5.3): a failure means the
+/// property could not be *proved*, not necessarily that it is false. Use
+/// [`crate::falsify`] to search for a concrete counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofFailure {
+    /// Which part of the induction failed.
+    pub location: String,
+    /// Human-readable explanation of the unprovable obligation.
+    pub reason: String,
+}
+
+impl fmt::Display for ProofFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.location, self.reason)
+    }
+}
+
+/// The result of running the prover on one property.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The property was proved; the certificate records the full argument
+    /// and can be validated independently with
+    /// [`crate::check_certificate`].
+    Proved(crate::certificate::Certificate),
+    /// The proof search failed.
+    Failed(ProofFailure),
+}
+
+impl Outcome {
+    /// Whether the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved(_))
+    }
+
+    /// The certificate, if proved.
+    pub fn certificate(&self) -> Option<&crate::certificate::Certificate> {
+        match self {
+            Outcome::Proved(c) => Some(c),
+            Outcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if the proof search failed.
+    pub fn failure(&self) -> Option<&ProofFailure> {
+        match self {
+            Outcome::Proved(_) => None,
+            Outcome::Failed(e) => Some(e),
+        }
+    }
+}
+
+/// Errors that prevent the prover from running at all (as opposed to proof
+/// search failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The named property does not exist in the program.
+    NoSuchProperty {
+        /// The requested name.
+        name: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NoSuchProperty { name } => {
+                write!(f, "no property named `{name}` in the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

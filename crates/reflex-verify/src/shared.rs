@@ -1,0 +1,308 @@
+//! Primitives shared by the prover and the certificate checker.
+//!
+//! Everything here is *judgment-level*: given a solver context, decide
+//! whether a conditional match is refuted, entailed, etc. The prover layers
+//! search heuristics on top; the checker uses these primitives to validate
+//! the specific claims a certificate makes.
+
+use std::collections::BTreeMap;
+
+use reflex_ast::{ActionPat, Cmd, CompPat, Handler, PatField};
+use reflex_symbolic::{unify_action, Solver, SymAction, SymBindings, Term, Unify};
+use reflex_typeck::CheckedProgram;
+
+/// Whether the side conditions of a conditional match are *refuted*: at
+/// least one condition is entailed to be false, so the match can never
+/// actually occur.
+pub fn conds_refuted(solver: &Solver, conds: &[(Term, bool)]) -> bool {
+    conds.iter().any(|(t, pol)| solver.entails(t, !pol))
+}
+
+/// Whether all side conditions are entailed: the match definitely occurs.
+pub fn conds_entailed(solver: &Solver, conds: &[(Term, bool)]) -> bool {
+    conds.iter().all(|(t, pol)| solver.entails(t, *pol))
+}
+
+/// A possible trigger instance: the pattern unifies with the action at
+/// `index` under `bindings`, subject to `conds`.
+#[derive(Debug, Clone)]
+pub struct TriggerInstance {
+    /// Index into the action sequence.
+    pub index: usize,
+    /// Minimal substitution for the pattern's property variables.
+    pub bindings: SymBindings,
+    /// Equality side-conditions of the match.
+    pub conds: Vec<(Term, bool)>,
+}
+
+/// Enumerates all actions that could match `pattern` (skipping definite
+/// non-matches), starting from the substitution `sigma0`.
+pub fn trigger_instances(
+    pattern: &ActionPat,
+    actions: &[&SymAction],
+    sigma0: &SymBindings,
+) -> Vec<TriggerInstance> {
+    let mut out = Vec::new();
+    for (index, act) in actions.iter().enumerate() {
+        match unify_action(pattern, act, sigma0) {
+            Unify::Never => {}
+            Unify::Match { bindings, conditions: conds } => out.push(TriggerInstance {
+                index,
+                bindings,
+                conds,
+            }),
+        }
+    }
+    out
+}
+
+/// Whether `actions[index]` definitely matches `pattern` under `bindings`
+/// given the solver context (i.e. it unifies and all side conditions are
+/// entailed).
+pub fn definite_match(
+    solver: &Solver,
+    pattern: &ActionPat,
+    action: &SymAction,
+    bindings: &SymBindings,
+) -> bool {
+    match unify_action(pattern, action, bindings) {
+        Unify::Never => false,
+        Unify::Match { conditions: conds, .. } => conds_entailed(solver, &conds),
+    }
+}
+
+/// Whether `action` definitely does **not** match `pattern` under
+/// `bindings` given the solver context: either unification fails outright
+/// or some side condition is refuted.
+pub fn definite_no_match(
+    solver: &Solver,
+    pattern: &ActionPat,
+    action: &SymAction,
+    bindings: &SymBindings,
+) -> bool {
+    match unify_action(pattern, action, bindings) {
+        Unify::Never => true,
+        Unify::Match { conditions: conds, .. } => conds_refuted(solver, &conds),
+    }
+}
+
+/// The syntactic-skip check (§6.4): can the exchange for `(ctype, msg)`
+/// emit *any* action unifiable with `pattern`?
+///
+/// Conservative: `true` means "possibly"; `false` is a proof that no
+/// action of this exchange (including the implicit `Select`/`Recv`
+/// prefix) can match, so the case is closed without symbolic evaluation.
+pub fn case_can_emit_match(
+    checked: &CheckedProgram,
+    ctype: &str,
+    msg: &str,
+    pattern: &ActionPat,
+) -> bool {
+    let ctype_compat = |pat_ctype: &Option<String>, actual: &str| -> bool {
+        pat_ctype.as_deref().is_none_or(|c| c == actual)
+    };
+    // Prefix actions.
+    match pattern {
+        ActionPat::Select { comp } if ctype_compat(&comp.ctype, ctype) => return true,
+        ActionPat::Recv {
+            comp, msg: pmsg, ..
+        } if pmsg == msg && ctype_compat(&comp.ctype, ctype) => return true,
+        _ => {}
+    }
+    // Handler body actions, tracking the component type of each variable
+    // in scope so `send` targets can be resolved.
+    let Some(handler) = checked.program().handler(ctype, msg) else {
+        return false; // implicit Nop handler emits nothing
+    };
+    let mut scope: BTreeMap<String, String> = BTreeMap::new();
+    for (name, info) in checked.globals() {
+        if let Some(ct) = &info.comp_type {
+            scope.insert(name.clone(), ct.clone());
+        }
+    }
+    scope.insert(Handler::SENDER.to_owned(), ctype.to_owned());
+    body_can_emit(&handler.body, pattern, &mut scope)
+}
+
+fn body_can_emit(
+    cmd: &Cmd,
+    pattern: &ActionPat,
+    scope: &mut BTreeMap<String, String>,
+) -> bool {
+    let ctype_compat = |pat_ctype: &Option<String>, actual: Option<&str>| -> bool {
+        match (pat_ctype, actual) {
+            (None, _) => true,
+            (Some(_), None) => true, // unknown target: be conservative
+            (Some(p), Some(a)) => p == a,
+        }
+    };
+    match cmd {
+        Cmd::Nop | Cmd::Assign(..) => false,
+        Cmd::Block(cs) => cs.iter().any(|c| body_can_emit(c, pattern, scope)),
+        Cmd::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            // Branch binders are block-local; a fresh scope clone per
+            // branch keeps the tracking precise.
+            let mut t = scope.clone();
+            let mut e = scope.clone();
+            body_can_emit(then_branch, pattern, &mut t)
+                || body_can_emit(else_branch, pattern, &mut e)
+        }
+        Cmd::Send { target, msg, .. } => match pattern {
+            ActionPat::Send {
+                comp, msg: pmsg, ..
+            } if pmsg == msg => {
+                let actual = match target {
+                    reflex_ast::Expr::Var(x) => scope.get(x).map(String::as_str),
+                    _ => None,
+                };
+                ctype_compat(&comp.ctype, actual)
+            }
+            _ => false,
+        },
+        Cmd::Spawn { binder, ctype, .. } => {
+            let hit = matches!(
+                pattern,
+                ActionPat::Spawn { comp } if ctype_compat(&comp.ctype, Some(ctype))
+            );
+            scope.insert(binder.clone(), ctype.clone());
+            hit
+        }
+        Cmd::Call { func, .. } => {
+            matches!(pattern, ActionPat::Call { func: pf, .. } if pf == func)
+        }
+        Cmd::Broadcast { ctype, msg, .. } => match pattern {
+            ActionPat::Send {
+                comp, msg: pmsg, ..
+            } => pmsg == msg && comp.ctype.as_deref().is_none_or(|c| c == ctype),
+            _ => false,
+        },
+        Cmd::Lookup {
+            ctype,
+            binder,
+            found,
+            missing,
+            ..
+        } => {
+            let mut f = scope.clone();
+            f.insert(binder.clone(), ctype.clone());
+            let mut m = scope.clone();
+            body_can_emit(found, pattern, &mut f) || body_can_emit(missing, pattern, &mut m)
+        }
+    }
+}
+
+/// Replaces pattern variables whose binding is a literal with that literal.
+pub fn specialize_pattern(pat: &ActionPat, bindings: &SymBindings) -> ActionPat {
+    let field = |f: &PatField| -> PatField {
+        match f {
+            PatField::Var(v) => match bindings.get(v) {
+                Some(Term::Lit(val)) => PatField::Lit(val.clone()),
+                _ => f.clone(),
+            },
+            other => other.clone(),
+        }
+    };
+    let comp = |c: &CompPat| -> CompPat {
+        CompPat {
+            ctype: c.ctype.clone(),
+            config: c
+                .config
+                .as_ref()
+                .map(|fields| fields.iter().map(field).collect()),
+        }
+    };
+    match pat {
+        ActionPat::Select { comp: c } => ActionPat::Select { comp: comp(c) },
+        ActionPat::Spawn { comp: c } => ActionPat::Spawn { comp: comp(c) },
+        ActionPat::Recv {
+            comp: c,
+            msg,
+            args,
+        } => ActionPat::Recv {
+            comp: comp(c),
+            msg: msg.clone(),
+            args: args.iter().map(field).collect(),
+        },
+        ActionPat::Send {
+            comp: c,
+            msg,
+            args,
+        } => ActionPat::Send {
+            comp: comp(c),
+            msg: msg.clone(),
+            args: args.iter().map(field).collect(),
+        },
+        ActionPat::Call { func, args, result } => ActionPat::Call {
+            func: func.clone(),
+            args: args
+                .as_ref()
+                .map(|fields| fields.iter().map(field).collect()),
+            result: field(result),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reflex_ast::build::ProgramBuilder;
+    use reflex_ast::{CompPat, Expr, PatField, Ty};
+
+    fn program() -> CheckedProgram {
+        let p = ProgramBuilder::new("t")
+            .component("C", "c.py", [])
+            .component("D", "d.py", [])
+            .message("M", [Ty::Str])
+            .message("N", [])
+            .init_spawn("c0", "C", [])
+            .handler("C", "M", ["s"], |h| {
+                h.spawn("d", "D", []);
+                h.send(Expr::var("d"), "N", []);
+            })
+            .finish();
+        reflex_typeck::check(&p).expect("well-formed")
+    }
+
+    #[test]
+    fn syntactic_skip_sees_prefix_and_body() {
+        let checked = program();
+        let send_n_to_d = ActionPat::Send {
+            comp: CompPat::of_type("D"),
+            msg: "N".into(),
+            args: vec![],
+        };
+        assert!(case_can_emit_match(&checked, "C", "M", &send_n_to_d));
+        // The same send pattern cannot arise from the (implicit) D:N case.
+        assert!(!case_can_emit_match(&checked, "D", "N", &send_n_to_d));
+
+        // Recv prefix matches only the triggering message/component type.
+        let recv_m_from_c = ActionPat::Recv {
+            comp: CompPat::of_type("C"),
+            msg: "M".into(),
+            args: vec![PatField::Any],
+        };
+        assert!(case_can_emit_match(&checked, "C", "M", &recv_m_from_c));
+        assert!(!case_can_emit_match(&checked, "C", "N", &recv_m_from_c));
+        assert!(!case_can_emit_match(&checked, "D", "M", &recv_m_from_c));
+
+        // Spawn pattern.
+        let spawn_d = ActionPat::Spawn {
+            comp: CompPat::of_type("D"),
+        };
+        assert!(case_can_emit_match(&checked, "C", "M", &spawn_d));
+        assert!(!case_can_emit_match(&checked, "C", "N", &spawn_d));
+
+        // A send of N to a C component never occurs (target is a D).
+        let send_n_to_c = ActionPat::Send {
+            comp: CompPat::of_type("C"),
+            msg: "N".into(),
+            args: vec![],
+        };
+        assert!(!case_can_emit_match(&checked, "C", "M", &send_n_to_c));
+    }
+}
+

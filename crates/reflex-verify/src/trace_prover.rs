@@ -1,0 +1,1096 @@
+//! Automatic proof search for trace properties (paper §5.1).
+//!
+//! The proof is an induction over the behavioral abstraction `BehAbs`:
+//!
+//! * **base case** — the property holds on every init trace;
+//! * **inductive step** — for every `(component type, message type)`
+//!   exchange and every symbolic path of its handler, assuming the property
+//!   held before the exchange, it holds after.
+//!
+//! Each *trigger instance* (an appended action that may match the
+//! property's trigger pattern) yields one obligation, discharged by:
+//!
+//! 1. **refutation** — the match's side conditions contradict the path
+//!    condition;
+//! 2. **a local witness** — the required action occurs inside the same
+//!    exchange at the right position;
+//! 3. **an auxiliary invariant** (for `Enables`/`Disables`) — a guard over
+//!    kernel state variables, extracted from the branch conditions of the
+//!    path, that implies the presence (resp. absence) of the required
+//!    action in the prior trace. Invariants are proved by a *secondary
+//!    induction* which may recursively require further invariants — the
+//!    paper's "adding branch conditions to the context is crucial"
+//!    mechanism, generalized into a depth-bounded chain.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use reflex_ast::{ActionPat, CompPat, PatField, PropertyDecl, TraceProp, TracePropKind, Ty};
+use reflex_symbolic::{CondKind, Path, Solver, SymAction, SymBindings, SymComp, Term};
+
+use crate::abstraction::{Abstraction, World};
+use crate::canon::{
+    canonicalize_state_term, flatten_literals, generalize_literal, prop_term, weaken_guard, Guard,
+};
+use crate::certificate::{
+    CaseCert, Certificate, CompOriginRef, InvCaseCert, InvPathJust, InvariantCert, Justification,
+    LemmaCert, NegPrior, NegPriorStep, PathCert, TraceCert,
+};
+use crate::options::{Outcome, ProofFailure, ProverOptions};
+use crate::shared::{
+    case_can_emit_match, conds_refuted, definite_match, definite_no_match, specialize_pattern,
+    trigger_instances, TriggerInstance,
+};
+
+type InvKey = (Guard, ActionPat, bool);
+
+#[derive(Debug, Clone, Copy)]
+enum CacheEntry {
+    InProgress,
+    Proved(usize),
+    Failed,
+}
+
+/// Maximum nesting of component-origin lemmas.
+const MAX_LEMMA_DEPTH: usize = 2;
+
+/// Proves one trace property over the program abstraction.
+pub fn prove_trace(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    prop: &PropertyDecl,
+    tp: &TraceProp,
+) -> Outcome {
+    match prove_trace_inner(abs, options, prop, tp, 0) {
+        Ok(cert) => Outcome::Proved(Certificate::Trace(cert)),
+        Err(failure) => Outcome::Failed(failure),
+    }
+}
+
+fn prove_trace_inner(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    prop: &PropertyDecl,
+    tp: &TraceProp,
+    lemma_depth: usize,
+) -> Result<TraceCert, ProofFailure> {
+    let prover = TraceProver {
+        abs,
+        options,
+        prop,
+        tp,
+        invariants: Vec::new(),
+        cache: HashMap::new(),
+        lemmas: Vec::new(),
+        lemma_cache: HashMap::new(),
+        lemma_depth,
+    };
+    prover.prove()
+}
+
+struct TraceProver<'a, 'p> {
+    abs: &'a Abstraction<'p>,
+    options: &'a ProverOptions,
+    prop: &'a PropertyDecl,
+    tp: &'a TraceProp,
+    invariants: Vec<InvariantCert>,
+    cache: HashMap<InvKey, CacheEntry>,
+    lemmas: Vec<LemmaCert>,
+    lemma_cache: HashMap<(ActionPat, ActionPat), Option<usize>>,
+    lemma_depth: usize,
+}
+
+impl<'a, 'p> TraceProver<'a, 'p> {
+    fn fail(&self, location: impl Into<String>, reason: impl Into<String>) -> ProofFailure {
+        ProofFailure {
+            location: location.into(),
+            reason: reason.into(),
+        }
+    }
+
+    fn forall_ty(&self, var: &str) -> Ty {
+        self.prop.forall_ty(var).unwrap_or(Ty::Str)
+    }
+
+    fn prove(mut self) -> Result<TraceCert, ProofFailure> {
+        let mut base = Vec::new();
+        for (wi, world) in self.abs.worlds.iter().enumerate() {
+            let actions: Vec<&SymAction> = world.init.actions.iter().collect();
+            let location = format!("init path {wi}");
+            base.push(self.check_actions(
+                &actions,
+                &world.init.condition,
+                None,
+                &location,
+            )?);
+        }
+        let mut cases = Vec::new();
+        let trigger = self.tp.trigger().clone();
+        for (wi, world) in self.abs.worlds.iter().enumerate() {
+            for exchange in &world.exchanges {
+                if self.options.syntactic_skip
+                    && !case_can_emit_match(
+                        self.abs.checked(),
+                        &exchange.ctype,
+                        &exchange.msg,
+                        &trigger,
+                    )
+                {
+                    cases.push(CaseCert {
+                        ctype: exchange.ctype.clone(),
+                        msg: exchange.msg.clone(),
+                        skipped: true,
+                        paths: Vec::new(),
+                    });
+                    continue;
+                }
+                let mut paths = Vec::new();
+                for (pi, path) in exchange.paths.iter().enumerate() {
+                    let actions = exchange.appended_actions(path);
+                    let location = format!(
+                        "world {wi}, case {}:{}, path {pi}",
+                        exchange.ctype, exchange.msg
+                    );
+                    // Inductive steps may assume the interval invariants of
+                    // the pre-state (they hold in every reachable state).
+                    let conditions: Vec<(Term, bool)> = world
+                        .range_assumptions
+                        .iter()
+                        .chain(path.condition.iter())
+                        .cloned()
+                        .collect();
+                    paths.push(self.check_actions(
+                        &actions,
+                        &conditions,
+                        Some((&exchange.sender, path)),
+                        &location,
+                    )?);
+                }
+                cases.push(CaseCert {
+                    ctype: exchange.ctype.clone(),
+                    msg: exchange.msg.clone(),
+                    skipped: false,
+                    paths,
+                });
+            }
+        }
+        Ok(TraceCert {
+            property: self.prop.name.clone(),
+            base,
+            cases,
+            invariants: self.invariants,
+            lemmas: self.lemmas,
+        })
+    }
+
+    /// Checks every trigger obligation over one appended-action segment.
+    fn check_actions(
+        &mut self,
+        actions: &[&SymAction],
+        conditions: &[(Term, bool)],
+        exchange_ctx: Option<(&SymComp, &Path)>,
+        location: &str,
+    ) -> Result<PathCert, ProofFailure> {
+
+        let trigger = self.tp.trigger().clone();
+        let solver0 = Solver::with_assumptions(conditions);
+        let mut obligations = Vec::new();
+        for inst in trigger_instances(&trigger, actions, &SymBindings::new()) {
+            if conds_refuted(&solver0, &inst.conds) {
+                obligations.push((inst.index, Justification::Refuted));
+                continue;
+            }
+            // The obligation only needs to hold in runs where the trigger
+            // actually matches: case-split by assuming the side conditions.
+            let mut solver = solver0.clone();
+            for (t, pol) in &inst.conds {
+                solver.assert_term(t.clone(), *pol);
+            }
+            if solver.is_unsat() {
+                obligations.push((inst.index, Justification::Refuted));
+                continue;
+            }
+            let all_conds: Vec<(Term, bool)> = conditions
+                .iter()
+                .cloned()
+                .chain(inst.conds.iter().cloned())
+                .collect();
+            let just = match self.tp.kind {
+                TracePropKind::Enables => self.justify_enables(
+                    actions,
+                    &inst,
+                    &solver,
+                    &all_conds,
+                    exchange_ctx,
+                    location,
+                )?,
+                TracePropKind::Disables => self.justify_disables(
+                    actions,
+                    &inst,
+                    &solver,
+                    &all_conds,
+                    exchange_ctx,
+                    location,
+                )?,
+                TracePropKind::ImmBefore => {
+                    self.justify_imm_before(actions, &inst, &solver, location)?
+                }
+                TracePropKind::ImmAfter => {
+                    self.justify_imm_after(actions, &inst, &solver, location)?
+                }
+                TracePropKind::Ensures => {
+                    self.justify_ensures(actions, &inst, &solver, location)?
+                }
+            };
+            obligations.push((inst.index, just));
+        }
+        Ok(PathCert { obligations })
+    }
+
+    fn justify_enables(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        all_conds: &[(Term, bool)],
+        exchange_ctx: Option<(&SymComp, &Path)>,
+        location: &str,
+    ) -> Result<Justification, ProofFailure> {
+        let obligation = self.tp.obligation().clone();
+        for (j, action) in actions.iter().enumerate().take(inst.index) {
+            if definite_match(solver, &obligation, action, &inst.bindings) {
+                return Ok(Justification::Witness { index: j });
+            }
+        }
+        let Some((sender, path)) = exchange_ctx else {
+            return Err(self.fail(
+                location,
+                format!(
+                    "init emits [{}] (action #{}) without a prior [{}]",
+                    self.tp.trigger(),
+                    inst.index,
+                    obligation
+                ),
+            ));
+        };
+        let inv_result =
+            self.invariant_from_obligation(&obligation, inst, all_conds, true, location);
+        let inv_err = match inv_result {
+            Ok(inv_id) => return Ok(Justification::Invariant { inv_id }),
+            Err(e) => e,
+        };
+        // Fallback: the obligation variables may be pinned to the
+        // configuration of an existing component (the sender or a looked-up
+        // component), whose Spawn is in the prior trace; a lemma shows such
+        // spawns are always preceded by the required action.
+        match self.justify_via_comp_origin(
+            actions, inst, solver, sender, path, &obligation, location,
+        ) {
+            Ok(Some(just)) => Ok(just),
+            Ok(None) | Err(_) => Err(inv_err),
+        }
+    }
+
+    /// Attempts the component-origin justification; `Ok(None)` means "not
+    /// applicable".
+    #[allow(clippy::too_many_arguments)]
+    fn justify_via_comp_origin(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        sender: &SymComp,
+        path: &Path,
+        obligation: &ActionPat,
+        location: &str,
+    ) -> Result<Option<Justification>, ProofFailure> {
+        if self.lemma_depth >= MAX_LEMMA_DEPTH {
+            return Ok(None);
+        }
+        let pattern = specialize_pattern(obligation, &inst.bindings);
+        let free_vars = pattern.vars();
+        let mut origins: Vec<(CompOriginRef, &SymComp)> =
+            vec![(CompOriginRef::Sender, sender)];
+        let mut li = 0;
+        for kind in &path.cond_kinds {
+            if let CondKind::LookupPred { comp } = kind {
+                origins.push((CompOriginRef::Lookup { index: li }, comp));
+                li += 1;
+            }
+        }
+        'origins: for (oref, comp) in origins {
+            // Lookup-found components may have been spawned earlier in this
+            // same exchange, which would not order the enabling action
+            // before the trigger; restrict to cases where no same-type
+            // spawn occurs in this exchange.
+            if matches!(oref, CompOriginRef::Lookup { .. })
+                && actions.iter().any(|a| {
+                    matches!(a, SymAction::Spawn { comp: c } if c.ctype == comp.ctype)
+                })
+            {
+                continue;
+            }
+            // Direct discharge: the obligation is itself a spawn pattern
+            // that the origin component provably matches — its own Spawn
+            // action (in the prior trace) is the witness.
+            if let reflex_symbolic::Unify::Match { conditions, .. } =
+                reflex_symbolic::unify_action(
+                    obligation,
+                    &SymAction::Spawn { comp: comp.clone() },
+                    &inst.bindings,
+                )
+            {
+                if crate::shared::conds_entailed(solver, &conditions) {
+                    return Ok(Some(Justification::ViaCompOrigin {
+                        origin: oref,
+                        lemma_id: None,
+                    }));
+                }
+            }
+            // Build the spawn pattern: each configuration field pinned to a
+            // bound variable the solver proves equal to it.
+            let mut fields = Vec::with_capacity(comp.config.len());
+            let mut covered: Vec<String> = Vec::new();
+            for cfg_term in &comp.config {
+                let hit = inst
+                    .bindings
+                    .iter()
+                    .find(|(_, t)| *t == cfg_term || solver.entails_equal(t, cfg_term));
+                match hit {
+                    Some((v, _)) => {
+                        fields.push(PatField::var(v));
+                        covered.push(v.to_owned());
+                    }
+                    None => fields.push(PatField::Any),
+                }
+            }
+            for v in &free_vars {
+                if !covered.contains(v) {
+                    continue 'origins; // this origin does not pin everything
+                }
+            }
+            let spawn_pat = ActionPat::Spawn {
+                comp: CompPat {
+                    ctype: Some(comp.ctype.clone()),
+                    config: Some(fields),
+                },
+            };
+            if let Some(lemma_id) = self.prove_lemma(&pattern, &spawn_pat, location)? {
+                return Ok(Some(Justification::ViaCompOrigin {
+                    origin: oref,
+                    lemma_id: Some(lemma_id),
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Proves (or reuses) the lemma `∀vars, [a] Enables [b]`.
+    fn prove_lemma(
+        &mut self,
+        a: &ActionPat,
+        b: &ActionPat,
+        location: &str,
+    ) -> Result<Option<usize>, ProofFailure> {
+        let key = (a.clone(), b.clone());
+        if let Some(cached) = self.lemma_cache.get(&key) {
+            return Ok(*cached);
+        }
+        self.lemma_cache.insert(key.clone(), None); // cycle guard
+        let mut vars: Vec<(String, Ty)> = Vec::new();
+        for v in b.vars().into_iter().chain(a.vars()) {
+            if !vars.iter().any(|(n, _)| *n == v) {
+                vars.push((v.clone(), self.forall_ty(&v)));
+            }
+        }
+        let lemma_prop = PropertyDecl {
+            name: format!("lemma:{a} Enables {b}"),
+            forall: vars.clone(),
+            body: reflex_ast::PropBody::Trace(TraceProp::new(
+                TracePropKind::Enables,
+                a.clone(),
+                b.clone(),
+            )),
+        };
+        let reflex_ast::PropBody::Trace(lemma_tp) = &lemma_prop.body else {
+            unreachable!("constructed as trace property");
+        };
+        match prove_trace_inner(
+            self.abs,
+            self.options,
+            &lemma_prop,
+            lemma_tp,
+            self.lemma_depth + 1,
+        ) {
+            Ok(cert) => {
+                self.lemmas.push(LemmaCert {
+                    vars,
+                    a: a.clone(),
+                    b: b.clone(),
+                    cert,
+                });
+                let id = self.lemmas.len() - 1;
+                self.lemma_cache.insert(key, Some(id));
+                Ok(Some(id))
+            }
+            Err(e) => {
+                let _ = location;
+                let _ = e;
+                Ok(None)
+            }
+        }
+    }
+
+    fn justify_disables(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        all_conds: &[(Term, bool)],
+        exchange_ctx: Option<(&SymComp, &Path)>,
+        location: &str,
+    ) -> Result<Justification, ProofFailure> {
+        let obligation = self.tp.obligation().clone();
+        for (j, action) in actions.iter().enumerate().take(inst.index) {
+            if !definite_no_match(solver, &obligation, action, &inst.bindings) {
+                return Err(self.fail(
+                    location,
+                    format!(
+                        "forbidden [{}] (action #{j}) may precede [{}] (action #{})",
+                        obligation,
+                        self.tp.trigger(),
+                        inst.index
+                    ),
+                ));
+            }
+        }
+        let Some((_, path)) = exchange_ctx else {
+            return Ok(Justification::NoMatch {
+                prior: NegPrior::EmptyTrace,
+            });
+        };
+        // A missed lookup covering the forbidden spawn pattern shows the
+        // prior trace is clean: components never die, so a prior matching
+        // Spawn would have left something for the lookup to find.
+        if let Some(li) = missed_lookup_covering(path, &obligation, inst, solver) {
+            return Ok(Justification::NoMatch {
+                prior: NegPrior::MissedLookup { lookup_index: li },
+            });
+        }
+        let inv_id = self.invariant_from_obligation(
+            &obligation,
+            inst,
+            all_conds,
+            false,
+            location,
+        )?;
+        Ok(Justification::NoMatch {
+            prior: NegPrior::Invariant { inv_id },
+        })
+    }
+
+    fn justify_imm_before(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        location: &str,
+    ) -> Result<Justification, ProofFailure> {
+        let obligation = self.tp.obligation().clone();
+        if inst.index == 0 {
+            return Err(self.fail(
+                location,
+                format!(
+                    "[{}] may occur at the start of the exchange, where the \
+                     immediately preceding action is unknown",
+                    self.tp.trigger()
+                ),
+            ));
+        }
+        let j = inst.index - 1;
+        if definite_match(solver, &obligation, actions[j], &inst.bindings) {
+            Ok(Justification::Witness { index: j })
+        } else {
+            Err(self.fail(
+                location,
+                format!(
+                    "action immediately before [{}] (action #{}) does not match [{}]",
+                    self.tp.trigger(),
+                    inst.index,
+                    obligation
+                ),
+            ))
+        }
+    }
+
+    fn justify_imm_after(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        location: &str,
+    ) -> Result<Justification, ProofFailure> {
+        let obligation = self.tp.obligation().clone();
+        if inst.index + 1 >= actions.len() {
+            return Err(self.fail(
+                location,
+                format!(
+                    "[{}] may be the last action of a reachable trace, with no \
+                     [{}] after it",
+                    self.tp.trigger(),
+                    obligation
+                ),
+            ));
+        }
+        let j = inst.index + 1;
+        if definite_match(solver, &obligation, actions[j], &inst.bindings) {
+            Ok(Justification::Witness { index: j })
+        } else {
+            Err(self.fail(
+                location,
+                format!(
+                    "action immediately after [{}] (action #{}) does not match [{}]",
+                    self.tp.trigger(),
+                    inst.index,
+                    obligation
+                ),
+            ))
+        }
+    }
+
+    fn justify_ensures(
+        &mut self,
+        actions: &[&SymAction],
+        inst: &TriggerInstance,
+        solver: &Solver,
+        location: &str,
+    ) -> Result<Justification, ProofFailure> {
+        let obligation = self.tp.obligation().clone();
+        for (j, action) in actions.iter().enumerate().skip(inst.index + 1) {
+            if definite_match(solver, &obligation, action, &inst.bindings) {
+                return Ok(Justification::Witness { index: j });
+            }
+        }
+        Err(self.fail(
+            location,
+            format!(
+                "[{}] (action #{}) is not followed by [{}] within the same \
+                 exchange, so a reachable trace violates Ensures",
+                self.tp.trigger(),
+                inst.index,
+                obligation
+            ),
+        ))
+    }
+
+    // ---- invariant synthesis -------------------------------------------
+
+    /// Builds and proves the auxiliary invariant needed to discharge an
+    /// `Enables`/`Disables` obligation: generalize the path condition into
+    /// a guard over state variables, specialize the obligation pattern
+    /// with the literal bindings, and run the secondary induction.
+    fn invariant_from_obligation(
+        &mut self,
+        obligation: &ActionPat,
+        inst: &TriggerInstance,
+        all_conds: &[(Term, bool)],
+        positive: bool,
+        location: &str,
+    ) -> Result<usize, ProofFailure> {
+        // Literal bindings specialize the pattern; symbolic bindings must
+        // be generalized through the guard.
+        let pattern = specialize_pattern(obligation, &inst.bindings);
+        let mut sigma_inverse: BTreeMap<Term, Term> = BTreeMap::new();
+        for (v, t) in inst.bindings.iter() {
+            if !matches!(t, Term::Lit(_)) {
+                sigma_inverse.insert(t.clone(), prop_term(v, self.forall_ty(v)));
+            }
+        }
+        let mut atoms = Vec::new();
+        for (t, pol) in flatten_literals(all_conds) {
+            if let Some(atom) = generalize_literal(&t, pol, &sigma_inverse) {
+                atoms.push(atom);
+            }
+        }
+        // The bindings themselves relate property variables to the kernel
+        // state (e.g. `?i == next_id + 1` for a freshly spawned tab id):
+        // add each state-expressible binding as a guard atom.
+        for (v, t) in inst.bindings.iter() {
+            if matches!(t, Term::Lit(_)) {
+                continue;
+            }
+            if let Some(canon) = canonicalize_state_term(t) {
+                atoms.push((
+                    Term::bin(
+                        reflex_ast::BinOp::Eq,
+                        prop_term(v, self.forall_ty(v)),
+                        canon,
+                    ),
+                    true,
+                ));
+            }
+        }
+        let guard = Guard::new(atoms);
+
+        if positive {
+            // A positive invariant must pin every remaining pattern
+            // variable, else its conclusion cannot supply the witness.
+            let pinned = guard.prop_vars();
+            for v in pattern.vars() {
+                if !pinned.contains(&v) {
+                    return Err(self.fail(
+                        location,
+                        format!(
+                            "cannot relate obligation variable `{v}` (bound to a \
+                             handler-local value) to any kernel state variable; \
+                             no inductive invariant can be synthesized"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        let vars = invariant_vars(&guard, &pattern, self.prop);
+        // Candidate guards: the exact generalization, and its widened form
+        // (equalities with constant offsets weakened to inequalities, which
+        // is what monotone-counter invariants need). For negative
+        // invariants the widened guard is usually the inductive one, so it
+        // goes first; for positive invariants the exact one.
+        let mut candidates = vec![guard.clone()];
+        if let Some(weak) = weaken_guard(&guard) {
+            if positive {
+                candidates.push(weak);
+            } else {
+                candidates.insert(0, weak);
+            }
+        }
+        let mut last_err = None;
+        for cand in candidates {
+            let vars = if cand == guard {
+                vars.clone()
+            } else {
+                invariant_vars(&cand, &pattern, self.prop)
+            };
+            if positive && pattern.vars().iter().any(|v| !cand.prop_vars().contains(v)) {
+                continue; // widening lost a required pin
+            }
+            match self.prove_invariant(vars, cand, pattern.clone(), positive, 0, location) {
+                Ok(id) => return Ok(id),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            self.fail(location, "no invariant candidate could be synthesized")
+        }))
+    }
+
+    /// Proves (or reuses) the invariant `∀ vars, guard ⇒ (∃/∄) pattern`,
+    /// returning its certificate id.
+    fn prove_invariant(
+        &mut self,
+        vars: Vec<(String, Ty)>,
+        guard: Guard,
+        pattern: ActionPat,
+        positive: bool,
+        depth: usize,
+        location: &str,
+    ) -> Result<usize, ProofFailure> {
+        let key = (guard.clone(), pattern.clone(), positive);
+        match self.cache.get(&key).copied() {
+            Some(CacheEntry::Proved(id)) => return Ok(id),
+            Some(CacheEntry::InProgress) => {
+                return Err(self.fail(
+                    location,
+                    format!("cyclic invariant dependency on `{guard}`"),
+                ))
+            }
+            Some(CacheEntry::Failed) => {
+                return Err(self.fail(
+                    location,
+                    format!("invariant `{guard}` was already found unprovable"),
+                ))
+            }
+            None => {}
+        }
+        if depth >= self.options.max_invariant_depth {
+            return Err(self.fail(
+                location,
+                format!(
+                    "invariant chain exceeded depth {} at `{guard}`",
+                    self.options.max_invariant_depth
+                ),
+            ));
+        }
+        self.cache.insert(key.clone(), CacheEntry::InProgress);
+        let result = self.prove_invariant_inner(&vars, &guard, &pattern, positive, depth, location);
+        match result {
+            Ok(cert) => {
+                self.invariants.push(cert);
+                let id = self.invariants.len() - 1;
+                if self.options.cache_invariants {
+                    self.cache.insert(key, CacheEntry::Proved(id));
+                } else {
+                    // Ablation mode: forget the subproof so future
+                    // obligations re-derive it (certificates then contain
+                    // duplicate invariants — harmless, just slower).
+                    self.cache.remove(&key);
+                }
+                Ok(id)
+            }
+            Err(e) => {
+                self.cache.insert(key, CacheEntry::Failed);
+                Err(e)
+            }
+        }
+    }
+
+    fn prove_invariant_inner(
+        &mut self,
+        vars: &[(String, Ty)],
+        guard: &Guard,
+        pattern: &ActionPat,
+        positive: bool,
+        depth: usize,
+        location: &str,
+    ) -> Result<InvariantCert, ProofFailure> {
+        let mut sigma0 = SymBindings::new();
+        for (v, ty) in vars {
+            sigma0.insert(v.clone(), prop_term(v, *ty));
+        }
+        let guard_state_vars: Vec<String> = guard_state_vars(guard);
+
+        // Base cases.
+        let mut base = Vec::new();
+        for (wi, world) in self.abs.worlds.iter().enumerate() {
+            let post = guard.instantiate(&world.init.state);
+            let mut solver = Solver::with_assumptions(
+                world.init.condition.iter().chain(post.iter()),
+            );
+            if solver.is_unsat() {
+                base.push(InvPathJust::GuardUnsat);
+                continue;
+            }
+            let actions: Vec<&SymAction> = world.init.actions.iter().collect();
+            if positive {
+                let witness = (0..actions.len())
+                    .find(|&j| definite_match(&solver, pattern, actions[j], &sigma0));
+                match witness {
+                    Some(j) => base.push(InvPathJust::Witness { index: j }),
+                    None => {
+                        return Err(self.fail(
+                            location,
+                            format!(
+                                "invariant `{guard} ⇒ ∃ {pattern}` fails in init \
+                                 path {wi}: guard may hold but no matching action \
+                                 occurs"
+                            ),
+                        ))
+                    }
+                }
+            } else {
+                if let Some(j) = (0..actions.len())
+                    .find(|&j| !definite_no_match(&solver, pattern, actions[j], &sigma0))
+                {
+                    return Err(self.fail(
+                        location,
+                        format!(
+                            "invariant `{guard} ⇒ ∄ {pattern}` fails in init path \
+                             {wi}: action #{j} may match"
+                        ),
+                    ));
+                }
+                base.push(InvPathJust::NegativeOk {
+                    prior: NegPriorStep::EmptyTrace,
+                });
+            }
+        }
+
+        // Inductive cases.
+        let mut cases = Vec::new();
+        for world in &self.abs.worlds {
+            for exchange in &world.exchanges {
+                let emits = case_can_emit_match(
+                    self.abs.checked(),
+                    &exchange.ctype,
+                    &exchange.msg,
+                    pattern,
+                );
+                let assigns_guard_vars = match self
+                    .abs
+                    .checked()
+                    .program()
+                    .handler(&exchange.ctype, &exchange.msg)
+                {
+                    Some(h) => h
+                        .body
+                        .assigned_vars()
+                        .iter()
+                        .any(|v| guard_state_vars.contains(v)),
+                    None => false,
+                };
+                if self.options.syntactic_skip && !emits && !assigns_guard_vars {
+                    cases.push(InvCaseCert {
+                        ctype: exchange.ctype.clone(),
+                        msg: exchange.msg.clone(),
+                        skipped: true,
+                        paths: Vec::new(),
+                    });
+                    continue;
+                }
+                let mut paths = Vec::new();
+                for (pi, path) in exchange.paths.iter().enumerate() {
+                    let step_loc = format!(
+                        "{location} → invariant `{guard}` case {}:{} path {pi}",
+                        exchange.ctype, exchange.msg
+                    );
+                    paths.push(self.invariant_step(
+                        world, exchange, path, guard, pattern, positive, &sigma0, depth, &step_loc,
+                    )?);
+                }
+                cases.push(InvCaseCert {
+                    ctype: exchange.ctype.clone(),
+                    msg: exchange.msg.clone(),
+                    skipped: false,
+                    paths,
+                });
+            }
+        }
+
+        Ok(InvariantCert {
+            vars: vars.to_vec(),
+            guard: guard.clone(),
+            pattern: pattern.clone(),
+            positive,
+            base,
+            cases,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn invariant_step(
+        &mut self,
+        world: &World,
+        exchange: &reflex_symbolic::Exchange,
+        path: &reflex_symbolic::Path,
+        guard: &Guard,
+        pattern: &ActionPat,
+        positive: bool,
+        sigma0: &SymBindings,
+        depth: usize,
+        location: &str,
+    ) -> Result<InvPathJust, ProofFailure> {
+        let post = guard.instantiate(&path.state);
+        let phi: Vec<(Term, bool)> = world
+            .range_assumptions
+            .iter()
+            .cloned()
+            .chain(path.condition.iter().cloned())
+            .chain(post.iter().cloned())
+            .collect();
+        let mut solver = Solver::with_assumptions(&phi);
+        if solver.is_unsat() {
+            return Ok(InvPathJust::GuardUnsat);
+        }
+        let pre = guard.instantiate(&world.pre);
+        let pre_holds = pre.iter().all(|(t, pol)| solver.entails(t, *pol));
+        let actions = exchange.appended_actions(path);
+
+        if positive {
+            if pre_holds {
+                return Ok(InvPathJust::Preserved);
+            }
+            if let Some(j) =
+                (0..actions.len()).find(|&j| definite_match(&solver, pattern, actions[j], sigma0))
+            {
+                return Ok(InvPathJust::Witness { index: j });
+            }
+            // Chain: the pre-state may satisfy a different guard that
+            // already implies the witness.
+            let sub_guard = extract_canonical_guard(&phi);
+            if sub_guard != *guard && !sub_guard.is_trivial() {
+                let mut candidates = vec![sub_guard.clone()];
+                if let Some(weak) = weaken_guard(&sub_guard) {
+                    candidates.push(weak);
+                }
+                let mut last_err = None;
+                for cand in candidates {
+                    if cand == *guard
+                        || !pattern.vars().iter().all(|v| cand.prop_vars().contains(v))
+                    {
+                        continue;
+                    }
+                    let vars = invariant_vars(&cand, pattern, self.prop);
+                    match self.prove_invariant(
+                        vars,
+                        cand,
+                        pattern.clone(),
+                        true,
+                        depth + 1,
+                        location,
+                    ) {
+                        Ok(inv_id) => return Ok(InvPathJust::ViaInvariant { inv_id }),
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if let Some(e) = last_err {
+                    return Err(e);
+                }
+            }
+            Err(self.fail(
+                location,
+                format!(
+                    "guard `{guard}` may become true without the required \
+                     [{pattern}] occurring (and no supporting invariant applies)"
+                ),
+            ))
+        } else {
+            // New actions must not match, regardless of how the prior
+            // trace is justified.
+            if let Some(j) = (0..actions.len())
+                .find(|&j| !definite_no_match(&solver, pattern, actions[j], sigma0))
+            {
+                return Err(self.fail(
+                    location,
+                    format!(
+                        "guard `{guard}` may hold after an exchange that emits a \
+                         forbidden [{pattern}] (action #{j})"
+                    ),
+                ));
+            }
+            if pre_holds {
+                return Ok(InvPathJust::NegativeOk {
+                    prior: NegPriorStep::Ih,
+                });
+            }
+            let sub_guard = extract_canonical_guard(&phi);
+            if sub_guard != *guard && !sub_guard.is_trivial() {
+                let mut candidates = Vec::new();
+                if let Some(weak) = weaken_guard(&sub_guard) {
+                    candidates.push(weak);
+                }
+                candidates.push(sub_guard);
+                let mut last_err = None;
+                for cand in candidates {
+                    if cand == *guard {
+                        continue;
+                    }
+                    let vars = invariant_vars(&cand, pattern, self.prop);
+                    match self.prove_invariant(
+                        vars,
+                        cand,
+                        pattern.clone(),
+                        false,
+                        depth + 1,
+                        location,
+                    ) {
+                        Ok(inv_id) => {
+                            return Ok(InvPathJust::NegativeOk {
+                                prior: NegPriorStep::Invariant { inv_id },
+                            })
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                if let Some(e) = last_err {
+                    return Err(e);
+                }
+            }
+            Err(self.fail(
+                location,
+                format!(
+                    "guard `{guard}` may become newly true but the prior trace \
+                     cannot be shown free of [{pattern}]"
+                ),
+            ))
+        }
+    }
+}
+
+/// The state variables mentioned by a guard.
+fn guard_state_vars(guard: &Guard) -> Vec<String> {
+    let mut out = Vec::new();
+    for (t, _) in &guard.atoms {
+        let mut syms = Vec::new();
+        t.collect_syms(&mut syms);
+        for s in syms {
+            if let reflex_symbolic::SymKind::StateVar(n) = &s.kind {
+                if !out.contains(n) {
+                    out.push(n.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the strongest canonical guard entailed by a literal set: every
+/// literal expressible purely over state variables and property variables.
+fn extract_canonical_guard(phi: &[(Term, bool)]) -> Guard {
+    let empty = BTreeMap::new();
+    let atoms = flatten_literals(phi)
+        .into_iter()
+        .filter_map(|(t, pol)| generalize_literal(&t, pol, &empty))
+        .collect();
+    Guard::new(atoms)
+}
+
+/// Quantified variables of an invariant: those of its guard and pattern,
+/// typed per the enclosing property's `forall`.
+fn invariant_vars(guard: &Guard, pattern: &ActionPat, prop: &PropertyDecl) -> Vec<(String, Ty)> {
+    let mut vars: Vec<(String, Ty)> = Vec::new();
+    for v in guard.prop_vars().into_iter().chain(pattern.vars()) {
+        if !vars.iter().any(|(n, _)| *n == v) {
+            let ty = prop.forall_ty(&v).unwrap_or(Ty::Str);
+            vars.push((v, ty));
+        }
+    }
+    vars
+}
+
+
+/// Finds a missed lookup on `path` that *covers* the forbidden spawn
+/// pattern: the lookup searched the pattern's component type and its
+/// predicate is entailed for any candidate matching the pattern under the
+/// trigger's bindings. Shared with the certificate checker.
+pub(crate) fn missed_lookup_covering(
+    path: &Path,
+    obligation: &ActionPat,
+    inst: &TriggerInstance,
+    solver: &Solver,
+) -> Option<usize> {
+    (0..path.missed_lookups.len())
+        .find(|&li| missed_lookup_covers(&path.missed_lookups[li], obligation, inst, solver))
+}
+
+/// Whether one missed lookup covers the forbidden spawn pattern (see
+/// [`missed_lookup_covering`]). Also used by the certificate checker to
+/// validate a claimed index.
+pub(crate) fn missed_lookup_covers(
+    ml: &reflex_symbolic::MissedLookup,
+    obligation: &ActionPat,
+    inst: &TriggerInstance,
+    solver: &Solver,
+) -> bool {
+    let ActionPat::Spawn { comp: pat } = obligation else {
+        return false;
+    };
+    if pat.ctype.as_deref() != Some(ml.ctype.as_str()) {
+        return false;
+    }
+    // Unify the hypothetical candidate with the pattern under the trigger
+    // bindings; the resulting equalities plus the obligation context must
+    // entail the lookup predicate.
+    let probe = SymAction::Spawn {
+        comp: ml.candidate.clone(),
+    };
+    match reflex_symbolic::unify_action(obligation, &probe, &inst.bindings) {
+        reflex_symbolic::Unify::Never => false,
+        reflex_symbolic::Unify::Match { conditions, .. } => {
+            let mut s = solver.clone();
+            for (t, pol) in &conditions {
+                s.assert_term(t.clone(), *pol);
+            }
+            !s.clone().is_unsat() && s.entails(&ml.pred_term, true)
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Adversarial certificate checking: every structural element of a
+//! certificate is individually corrupted and the checker must reject it.
+//! This is the "Coq kernel" property of the reproduction — nothing the
+//! (untrusted) search produces is accepted without re-derivation.
+
+use reflex_parser::parse_program;
+use reflex_typeck::{check, CheckedProgram};
+use reflex_verify::certificate::{Certificate, InvPathJust, Justification, NegPrior};
+use reflex_verify::{check_certificate, prove, ProverOptions};
+
+fn proved(src: &str, prop: &str) -> (CheckedProgram, Certificate) {
+    let checked = check(&parse_program("t", src).expect("parses")).expect("checks");
+    let options = ProverOptions::default();
+    let outcome = prove(&checked, prop, &options).expect("exists");
+    let cert = outcome
+        .certificate()
+        .unwrap_or_else(|| panic!("{prop} should verify: {:?}", outcome.failure()))
+        .clone();
+    check_certificate(&checked, &cert, &options).expect("original is valid");
+    (checked, cert)
+}
+
+fn assert_rejected(checked: &CheckedProgram, cert: &Certificate, what: &str) {
+    let err = check_certificate(checked, cert, &ProverOptions::default());
+    assert!(err.is_err(), "tampered certificate accepted: {what}");
+}
+
+const SSH: &str = r#"
+components {
+  Client "c.py" ();
+  Pass "p.py" ();
+  Term "t.py" ();
+}
+messages {
+  Auth(str);
+  Ok(str);
+  Pty(str);
+}
+state {
+  user: str = "";
+  ok: bool = false;
+}
+init {
+  C <- spawn Client();
+  P <- spawn Pass();
+  T <- spawn Term();
+}
+handlers {
+  when Pass:Ok(u) {
+    user = u;
+    ok = true;
+  }
+  when Client:Pty(u) {
+    if (ok && u == user) {
+      send(T, Pty(u));
+    }
+  }
+}
+properties {
+  AuthFirst: forall u: str.
+    [Recv(Pass(), Ok(u))] Enables [Send(Term(), Pty(u))];
+}
+"#;
+
+#[test]
+fn invariant_justification_tampering_is_rejected() {
+    let (checked, cert) = proved(SSH, "AuthFirst");
+    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    assert!(!t.invariants.is_empty(), "proof should need an invariant");
+
+    // 1. Point an obligation at a non-existent invariant.
+    {
+        let mut t = t.clone();
+        for case in &mut t.cases {
+            for path in &mut case.paths {
+                for (_, just) in &mut path.obligations {
+                    if let Justification::Invariant { inv_id } = just {
+                        *inv_id = 999;
+                    }
+                }
+            }
+        }
+        assert_rejected(&checked, &Certificate::Trace(t), "dangling invariant id");
+    }
+
+    // 2. Flip the invariant's polarity.
+    {
+        let mut t = t.clone();
+        t.invariants[0].positive = !t.invariants[0].positive;
+        assert_rejected(&checked, &Certificate::Trace(t), "flipped polarity");
+    }
+
+    // 3. Replace an invariant step justification with `GuardUnsat` where
+    //    the guard is actually satisfiable.
+    {
+        let mut t = t.clone();
+        let mut tampered = false;
+        for inv in &mut t.invariants {
+            for case in &mut inv.cases {
+                for just in &mut case.paths {
+                    if matches!(just, InvPathJust::Witness { .. } | InvPathJust::Preserved) {
+                        *just = InvPathJust::GuardUnsat;
+                        tampered = true;
+                    }
+                }
+            }
+        }
+        if tampered {
+            assert_rejected(&checked, &Certificate::Trace(t), "bogus GuardUnsat");
+        }
+    }
+
+    // 4. Claim `Preserved` where the prover had a fresh-witness step.
+    {
+        let mut t = t.clone();
+        let mut tampered = false;
+        for inv in &mut t.invariants {
+            for case in &mut inv.cases {
+                for just in &mut case.paths {
+                    if matches!(just, InvPathJust::Witness { .. }) {
+                        *just = InvPathJust::Preserved;
+                        tampered = true;
+                    }
+                }
+            }
+        }
+        if tampered {
+            assert_rejected(&checked, &Certificate::Trace(t), "bogus Preserved");
+        }
+    }
+
+    // 5. Mark a case skipped that the skip check does not justify.
+    {
+        let mut t = t.clone();
+        let mut tampered = false;
+        for inv in &mut t.invariants {
+            for case in &mut inv.cases {
+                if !case.skipped && !case.paths.is_empty() {
+                    case.skipped = true;
+                    case.paths.clear();
+                    tampered = true;
+                    break;
+                }
+            }
+            if tampered {
+                break;
+            }
+        }
+        if tampered {
+            assert_rejected(&checked, &Certificate::Trace(t), "unjustified inv skip");
+        }
+    }
+}
+
+#[test]
+fn witness_index_tampering_is_rejected() {
+    let (checked, cert) = proved(SSH, "AuthFirst");
+    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    let mut t = t.clone();
+    let mut tampered = false;
+    for case in &mut t.cases {
+        for path in &mut case.paths {
+            for (idx, just) in &mut path.obligations {
+                if let Justification::Witness { index } = just {
+                    *index = *idx + 1; // illegal position for Enables
+                    tampered = true;
+                }
+            }
+        }
+    }
+    if tampered {
+        assert_rejected(&checked, &Certificate::Trace(t), "witness after trigger");
+    }
+}
+
+const UNIQ: &str = r#"
+components {
+  Boss "b.py" ();
+  Worker "w.py" (name: str);
+}
+messages {
+  Hire(str);
+}
+init {
+  B <- spawn Boss();
+}
+handlers {
+  when Boss:Hire(n) {
+    lookup Worker(w : w.name == n) {
+    } else {
+      x <- spawn Worker(n);
+    }
+  }
+}
+properties {
+  NoDuplicates: forall n: str.
+    [Spawn(Worker(n))] Disables [Spawn(Worker(n))];
+}
+"#;
+
+#[test]
+fn missed_lookup_tampering_is_rejected() {
+    let (checked, cert) = proved(UNIQ, "NoDuplicates");
+    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    // The proof must have used the missed-lookup mechanism somewhere.
+    let uses_ml = t
+        .cases
+        .iter()
+        .flat_map(|c| c.paths.iter())
+        .flat_map(|p| p.obligations.iter())
+        .any(|(_, j)| {
+            matches!(
+                j,
+                Justification::NoMatch {
+                    prior: NegPrior::MissedLookup { .. }
+                }
+            )
+        });
+    assert!(uses_ml, "expected a missed-lookup justification");
+
+    // Dangling lookup index.
+    let mut bad = t.clone();
+    for case in &mut bad.cases {
+        for path in &mut case.paths {
+            for (_, just) in &mut path.obligations {
+                if let Justification::NoMatch {
+                    prior: NegPrior::MissedLookup { lookup_index },
+                } = just
+                {
+                    *lookup_index = 42;
+                }
+            }
+        }
+    }
+    assert_rejected(&checked, &Certificate::Trace(bad), "dangling lookup index");
+
+    // Claim EmptyTrace in an inductive case.
+    let mut bad = t.clone();
+    for case in &mut bad.cases {
+        for path in &mut case.paths {
+            for (_, just) in &mut path.obligations {
+                if let Justification::NoMatch { prior } = just {
+                    *prior = NegPrior::EmptyTrace;
+                }
+            }
+        }
+    }
+    assert_rejected(&checked, &Certificate::Trace(bad), "EmptyTrace in step");
+}
+
+const ORIGIN: &str = r#"
+components {
+  Acl "a.py" ();
+  Client "c.py" (user: str);
+}
+messages {
+  Yes(str);
+  Req(str);
+  Check(str, str);
+}
+init {
+  A <- spawn Acl();
+}
+handlers {
+  when Acl:Yes(u) {
+    lookup Client(c : c.user == u) {
+    } else {
+      n <- spawn Client(u);
+    }
+  }
+  when Client:Req(path) {
+    send(A, Check(sender.user, path));
+  }
+}
+properties {
+  OnlyLoggedIn: forall u: str.
+    [Recv(Acl(), Yes(u))] Enables [Send(Acl(), Check(u, _))];
+}
+"#;
+
+#[test]
+fn lemma_tampering_is_rejected() {
+    let (checked, cert) = proved(ORIGIN, "OnlyLoggedIn");
+    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    assert!(!t.lemmas.is_empty(), "proof should use a component-origin lemma");
+
+    // 1. Drop the lemmas.
+    {
+        let mut bad = t.clone();
+        bad.lemmas.clear();
+        assert_rejected(&checked, &Certificate::Trace(bad), "dropped lemmas");
+    }
+
+    // 2. Swap the lemma's enabling pattern for something weaker.
+    {
+        let mut bad = t.clone();
+        bad.lemmas[0].a = bad.lemmas[0].b.clone(); // "spawn enables spawn"
+        assert_rejected(&checked, &Certificate::Trace(bad), "weakened lemma");
+    }
+
+    // 3. Point the origin justification at a dangling lemma.
+    {
+        let mut bad = t.clone();
+        for case in &mut bad.cases {
+            for path in &mut case.paths {
+                for (_, just) in &mut path.obligations {
+                    if let Justification::ViaCompOrigin {
+                        lemma_id: Some(id), ..
+                    } = just
+                    {
+                        *id = 7;
+                    }
+                }
+            }
+        }
+        assert_rejected(&checked, &Certificate::Trace(bad), "dangling lemma id");
+    }
+
+    // 4. Claim a direct (lemma-less) origin discharge that does not hold.
+    {
+        let mut bad = t.clone();
+        let mut tampered = false;
+        for case in &mut bad.cases {
+            for path in &mut case.paths {
+                for (_, just) in &mut path.obligations {
+                    if let Justification::ViaCompOrigin { lemma_id, .. } = just {
+                        if lemma_id.is_some() {
+                            *lemma_id = None;
+                            tampered = true;
+                        }
+                    }
+                }
+            }
+        }
+        if tampered {
+            assert_rejected(&checked, &Certificate::Trace(bad), "bogus direct origin");
+        }
+    }
+}
+
+#[test]
+fn ni_certificate_tampering_is_rejected() {
+    let src = r#"
+components {
+  Hi "h.py" ();
+  Lo "l.py" ();
+}
+messages { M(str); }
+state { s: str = ""; }
+init {
+  H <- spawn Hi();
+  L <- spawn Lo();
+}
+handlers {
+  when Hi:M(x) { s = x; }
+}
+properties {
+  NI: noninterference { high components: Hi; high vars: s; }
+}
+"#;
+    let (checked, cert) = proved(src, "NI");
+    let Certificate::NonInterference(n) = &cert else { panic!("NI cert") };
+    let mut bad = n.clone();
+    bad.cases.pop();
+    assert_rejected(
+        &checked,
+        &Certificate::NonInterference(bad),
+        "dropped NI case",
+    );
+}

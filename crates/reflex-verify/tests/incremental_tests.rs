@@ -1,0 +1,124 @@
+//! Tests for incremental re-verification (the paper's §6.4 future work).
+
+use reflex_parser::parse_program;
+use reflex_typeck::check;
+use reflex_verify::{prove_all, reverify, ProverOptions};
+
+#[test]
+fn unrelated_edit_reuses_local_certificates() {
+    let old = reflex_kernels::browser::checked();
+    let options = ProverOptions::default();
+    let previous: Vec<_> = prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| (name, o.certificate().expect("proved").clone()))
+        .collect();
+
+    // Edit only the OpenSocket handler (a volume tweak that keeps its
+    // behaviour shape); nothing it can emit matches the cookie or spawn
+    // properties' triggers.
+    let edited_src = reflex_kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {\n      send(N, Connect(host));\n    }",
+        "    if (host == sender.domain && host != \"\") {\n      send(N, Connect(host));\n    }",
+    );
+    assert_ne!(edited_src, reflex_kernels::browser::SOURCE);
+    let new = check(&parse_program("browser", &edited_src).expect("parses")).expect("checks");
+
+    let report = reverify(&old, &previous, &new, &options);
+    // Everything still verifies…
+    for (name, outcome) in &report.outcomes {
+        assert!(outcome.is_proved(), "{name} must verify after the edit");
+    }
+    // …and the local certificates not involving Connect were reused.
+    assert!(
+        report.reused.contains(&"CookiesStayInDomain".to_owned()),
+        "reused: {:?}",
+        report.reused
+    );
+    assert!(
+        report.reused.contains(&"UniqueCookieMgrPerDomain".to_owned()),
+        "reused: {:?}",
+        report.reused
+    );
+    // The socket property's trigger lives in the edited handler: re-proved.
+    assert!(report.reproved.contains(&"SocketsOnlyToOwnDomain".to_owned()));
+    // Invariant-based and NI certificates are never reused.
+    assert!(report.reproved.contains(&"UniqueTabIds".to_owned()));
+    assert!(report.reproved.contains(&"DomainNI".to_owned()));
+}
+
+#[test]
+fn breaking_edit_is_still_caught() {
+    let old = reflex_kernels::browser::checked();
+    let options = ProverOptions::default();
+    let previous: Vec<_> = prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| (name, o.certificate().expect("proved").clone()))
+        .collect();
+
+    // Remove the socket guard: the affected property must be re-proved
+    // (not reused!) and must now fail.
+    let edited_src = reflex_kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {\n      send(N, Connect(host));\n    }",
+        "    send(N, Connect(host));",
+    );
+    let new = check(&parse_program("browser", &edited_src).expect("parses")).expect("checks");
+    let report = reverify(&old, &previous, &new, &options);
+    let socket = report
+        .outcomes
+        .iter()
+        .find(|(n, _)| n == "SocketsOnlyToOwnDomain")
+        .expect("present");
+    assert!(!socket.1.is_proved(), "the regression must be caught");
+    assert!(report.reproved.contains(&"SocketsOnlyToOwnDomain".to_owned()));
+}
+
+#[test]
+fn declaration_changes_force_full_reproving() {
+    let old = reflex_kernels::ssh::checked();
+    let options = ProverOptions::default();
+    let previous: Vec<_> = prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| (name, o.certificate().expect("proved").clone()))
+        .collect();
+
+    // Adding a message type changes the case split: nothing is reusable.
+    let edited_src = reflex_kernels::ssh::SOURCE.replace(
+        "messages {",
+        "messages {\n  Heartbeat();",
+    );
+    let new = check(&parse_program("ssh", &edited_src).expect("parses")).expect("checks");
+    let report = reverify(&old, &previous, &new, &options);
+    assert!(report.reused.is_empty());
+    assert_eq!(report.reproved.len(), new.program().properties.len());
+    for (name, outcome) in &report.outcomes {
+        assert!(outcome.is_proved(), "{name}");
+    }
+}
+
+#[test]
+fn property_edits_are_never_reused() {
+    let old = reflex_kernels::webserver::checked();
+    let options = ProverOptions::default();
+    let previous: Vec<_> = prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| (name, o.certificate().expect("proved").clone()))
+        .collect();
+
+    // Rename a pattern variable inside a property (semantically equal but
+    // syntactically different): conservative re-prove.
+    let edited_src = reflex_kernels::webserver::SOURCE.replace(
+        "ReadsOnlyAuthorized: forall p: str.",
+        "ReadsOnlyAuthorized: forall q: str.",
+    );
+    let edited_src = edited_src.replace(
+        "[Recv(AccessCtl(), PathOk(_, p))] Enables [Send(Disk(), ReadFile(p))];",
+        "[Recv(AccessCtl(), PathOk(_, q))] Enables [Send(Disk(), ReadFile(q))];",
+    );
+    let new = check(&parse_program("webserver", &edited_src).expect("parses")).expect("checks");
+    let report = reverify(&old, &previous, &new, &options);
+    assert!(report.reproved.contains(&"ReadsOnlyAuthorized".to_owned()));
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|(_, o)| o.is_proved()));
+}

@@ -1,0 +1,67 @@
+//! Incremental re-verification (the paper's §6.4 future work): after an
+//! edit, certificates whose proofs are provably unaffected are reused;
+//! everything else is re-proved — and regressions are still caught.
+//!
+//! ```sh
+//! cargo run --example incremental_reverify
+//! ```
+
+use reflex::verify::{prove_all, reverify, ProverOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let old = reflex::kernels::browser::checked();
+    let options = ProverOptions::default();
+
+    println!("=== initial verification of the browser kernel ===");
+    let previous: Vec<_> = prove_all(&old, &options)
+        .into_iter()
+        .map(|(name, o)| {
+            println!("  proved {name}");
+            (name, o.certificate().expect("proved").clone())
+        })
+        .collect();
+
+    // Edit 1: harden the socket handler (a benign change).
+    println!("\n=== edit: harden the OpenSocket handler, re-verify ===");
+    let edited = reflex::kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {",
+        "    if (host == sender.domain && host != \"\") {",
+    );
+    let new = reflex::typeck::check(&reflex::parser::parse_program("browser", &edited)?)?;
+    let report = reverify(&old, &previous, &new, &options);
+    for name in &report.reused {
+        println!("  reused   {name}");
+    }
+    for name in &report.reproved {
+        println!("  reproved {name}");
+    }
+    assert!(report.outcomes.iter().all(|(_, o)| o.is_proved()));
+    println!(
+        "  → {} certificates reused, {} properties re-proved",
+        report.reused.len(),
+        report.reproved.len()
+    );
+
+    // Edit 2: an actual regression — caught on re-verification.
+    println!("\n=== edit: drop the socket guard entirely, re-verify ===");
+    let broken = reflex::kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {\n      send(N, Connect(host));\n    }",
+        "    send(N, Connect(host));",
+    );
+    let new = reflex::typeck::check(&reflex::parser::parse_program("browser", &broken)?)?;
+    let report = reverify(&old, &previous, &new, &options);
+    for (name, outcome) in &report.outcomes {
+        match outcome.failure() {
+            None => println!("  ✓ {name}"),
+            Some(f) => println!("  ✗ {name}: {f}"),
+        }
+    }
+    let socket = report
+        .outcomes
+        .iter()
+        .find(|(n, _)| n == "SocketsOnlyToOwnDomain")
+        .expect("present");
+    assert!(!socket.1.is_proved(), "the regression must be caught");
+    println!("\nregression detected — no stale certificate was reused for it.");
+    Ok(())
+}

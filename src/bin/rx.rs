@@ -1,0 +1,189 @@
+//! `rx` — the Reflex command-line frontend.
+//!
+//! ```text
+//! rx check   FILE             parse and type-check a kernel
+//! rx verify  FILE [PROP]      prove all (or one) of its properties
+//! rx falsify FILE PROP        search for a concrete counterexample
+//! rx explain FILE PROP        print the discovered proof's structure
+//! rx show    FILE             pretty-print the kernel and its statistics
+//! rx run     FILE [N [SEED]]  boot the kernel and run up to N exchanges
+//! ```
+//!
+//! Exit codes: 0 success, 1 the kernel/properties have problems,
+//! 2 usage errors.
+
+use std::process::ExitCode;
+
+use reflex::runtime::{EmptyWorld, Interpreter, Registry};
+use reflex::typeck::CheckedProgram;
+use reflex::verify::{
+    check_certificate, falsify, prove_all, prove_with, Abstraction, FalsifyOptions, ProverOptions,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<CheckedProgram, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel");
+    let program = reflex::parser::parse_program(name, &src).map_err(|e| format!("{path}: {e}"))?;
+    reflex::typeck::check(&program).map_err(|e| format!("{path}: type error: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    let result = match (cmd, rest) {
+        ("check", [file]) => cmd_check(file),
+        ("verify", [file]) => cmd_verify(file, None),
+        ("verify", [file, prop]) => cmd_verify(file, Some(prop)),
+        ("falsify", [file, prop]) => cmd_falsify(file, prop),
+        ("explain", [file, prop]) => cmd_explain(file, prop),
+        ("show", [file]) => cmd_show(file),
+        ("run", [file]) => cmd_run(file, 64, 0),
+        ("run", [file, steps]) => match steps.parse() {
+            Ok(n) => cmd_run(file, n, 0),
+            Err(_) => return usage(),
+        },
+        ("run", [file, steps, seed]) => match (steps.parse(), seed.parse()) {
+            (Ok(n), Ok(s)) => cmd_run(file, n, s),
+            _ => return usage(),
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rx: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_check(file: &str) -> Result<(), String> {
+    let checked = load(file)?;
+    let p = checked.program();
+    println!(
+        "{}: ok ({} component types, {} message types, {} state vars, {} handlers, {} properties)",
+        file,
+        p.components.len(),
+        p.messages.len(),
+        p.state.len(),
+        p.handlers.len(),
+        p.properties.len()
+    );
+    Ok(())
+}
+
+fn cmd_verify(file: &str, only: Option<&str>) -> Result<(), String> {
+    let checked = load(file)?;
+    let options = ProverOptions::default();
+    let outcomes = match only {
+        None => prove_all(&checked, &options),
+        Some(prop) => {
+            let abs = Abstraction::build(&checked, &options);
+            vec![(
+                prop.to_owned(),
+                prove_with(&abs, prop, &options).map_err(|e| e.to_string())?,
+            )]
+        }
+    };
+    let mut failures = 0;
+    for (name, outcome) in outcomes {
+        match outcome.certificate() {
+            Some(cert) => {
+                check_certificate(&checked, cert, &options)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                println!(
+                    "  ✓ {name}  ({} obligations, certificate checked)",
+                    cert.obligation_count()
+                );
+            }
+            None => {
+                failures += 1;
+                println!("  ✗ {name}");
+                println!("      {}", outcome.failure().expect("failed"));
+            }
+        }
+    }
+    if failures > 0 {
+        Err(format!("{failures} propert(y/ies) failed to verify"))
+    } else {
+        println!("all properties verified.");
+        Ok(())
+    }
+}
+
+fn cmd_falsify(file: &str, prop: &str) -> Result<(), String> {
+    let checked = load(file)?;
+    if checked.program().property(prop).is_none() {
+        return Err(format!("no property named `{prop}`"));
+    }
+    match falsify(&checked, prop, &FalsifyOptions::default()) {
+        Some(cx) => {
+            println!("{cx}");
+            Ok(())
+        }
+        None => {
+            println!(
+                "no counterexample within bounds (this is NOT a proof — run `rx verify {file} {prop}`)"
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_explain(file: &str, prop: &str) -> Result<(), String> {
+    let checked = load(file)?;
+    let options = ProverOptions::default();
+    let abs = Abstraction::build(&checked, &options);
+    let outcome = prove_with(&abs, prop, &options).map_err(|e| e.to_string())?;
+    match outcome.certificate() {
+        Some(cert) => {
+            check_certificate(&checked, cert, &options).map_err(|e| e.to_string())?;
+            print!("{}", cert.render_proof_sketch());
+            Ok(())
+        }
+        None => Err(format!(
+            "`{prop}` did not verify: {}",
+            outcome.failure().expect("failed")
+        )),
+    }
+}
+
+fn cmd_show(file: &str) -> Result<(), String> {
+    let checked = load(file)?;
+    print!("{}", checked.program());
+    let options = ProverOptions::default();
+    let abs = Abstraction::build(&checked, &options);
+    println!(
+        "\n// behavioral abstraction: {} world(s), {} exchange case(s), {} symbolic path(s)",
+        abs.worlds.len(),
+        abs.worlds.iter().map(|w| w.exchanges.len()).sum::<usize>(),
+        abs.path_count()
+    );
+    Ok(())
+}
+
+fn cmd_run(file: &str, steps: usize, seed: u64) -> Result<(), String> {
+    let checked = load(file)?;
+    let mut kernel = Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed)
+        .map_err(|e| e.to_string())?;
+    let n = kernel.run(steps).map_err(|e| e.to_string())?;
+    println!("ran init + {n} exchange(s); trace:");
+    print!("{}", kernel.trace());
+    reflex::runtime::oracle::check_trace_inclusion(&checked, kernel.trace())
+        .map_err(|e| e.to_string())?;
+    println!("trace ⊆ BehAbs ✓");
+    Ok(())
+}

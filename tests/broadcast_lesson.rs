@@ -1,0 +1,159 @@
+//! The paper's §7 design lesson, as an executable artifact.
+//!
+//! "We originally provided a more general `broadcast` primitive which sent
+//! a message to all components satisfying a predicate. However, broadcast
+//! complicated reasoning because a single broadcast command could generate
+//! an unbounded number of send actions; handling this unbounded behavior
+//! proved extraordinarily difficult. We instead use `lookup`."
+//!
+//! Our reproduction retains `broadcast`: the interpreter executes it and
+//! the trace-inclusion oracle accounts for it — but the proof automation
+//! refuses it, with a diagnostic pointing at the `lookup` rewrite. The two
+//! kernels below implement the same feature; only the `lookup` one can be
+//! verified.
+
+use reflex::ast::Value;
+use reflex::runtime::oracle::check_trace_inclusion;
+use reflex::runtime::{EmptyWorld, Interpreter, Registry};
+use reflex::trace::{Action, Msg};
+use reflex::verify::{falsify, prove, FalsifyOptions, ProverOptions};
+
+const BROADCAST_KERNEL: &str = r#"
+components {
+  Mgr "mgr.py" ();
+  Tab "tab.py" (domain: str);
+}
+messages {
+  NewTab(str);
+  Update(str, str);
+  Refresh(str);
+}
+state {
+  tabs: num = 0;
+}
+init {
+  M <- spawn Mgr();
+}
+handlers {
+  when Mgr:NewTab(d) {
+    tabs = tabs + 1;
+    t <- spawn Tab(d);
+  }
+  // Push the update to EVERY tab of the domain — the removed primitive.
+  when Mgr:Update(d, v) {
+    broadcast Tab(t : t.domain == d), Refresh(v);
+  }
+}
+properties {
+  RefreshStaysInDomain: forall d: str, v: str.
+    [Recv(Mgr(), Update(d, v))] Enables [Send(Tab(d), Refresh(v))];
+}
+"#;
+
+#[test]
+fn broadcast_runs_but_cannot_be_verified() {
+    let program = reflex::parser::parse_program("bcast", BROADCAST_KERNEL).expect("parses");
+    let checked = reflex::typeck::check(&program).expect("type-checks fine");
+
+    // 1. The interpreter executes broadcasts: three same-domain tabs all
+    //    get the refresh; the other domain's tab does not.
+    let mut kernel =
+        Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), 4).expect("boots");
+    let mgr = kernel.components_of("Mgr")[0].id;
+    for d in ["a.org", "a.org", "b.org", "a.org"] {
+        kernel.inject(mgr, Msg::new("NewTab", [Value::from(d)])).expect("inject");
+    }
+    kernel.run(8).expect("runs");
+    kernel
+        .inject(
+            mgr,
+            Msg::new("Update", [Value::from("a.org"), Value::from("v1")]),
+        )
+        .expect("inject");
+    kernel.run(8).expect("runs");
+    let refreshed: Vec<Value> = kernel
+        .trace()
+        .iter_chrono()
+        .filter_map(|a| match a {
+            Action::Send { comp, msg } if msg.name == "Refresh" => Some(comp.config[0].clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(refreshed.len(), 3, "one send per matching tab");
+    assert!(refreshed.iter().all(|d| *d == Value::from("a.org")));
+
+    // 2. The trace — unbounded sends and all — is a valid behavior.
+    check_trace_inclusion(&checked, kernel.trace()).expect("in BehAbs");
+
+    // 3. But the automation refuses the program, with the §7 diagnostic.
+    let outcome =
+        prove(&checked, "RefreshStaysInDomain", &ProverOptions::default()).expect("exists");
+    let failure = outcome.failure().expect("must be refused");
+    assert!(
+        failure.reason.contains("broadcast") && failure.reason.contains("lookup"),
+        "diagnostic should explain the §7 lesson: {failure}"
+    );
+
+    // 4. The falsifier still works concretely (and finds no violation —
+    //    the kernel is actually correct, just not automatable).
+    assert!(falsify(&checked, "RefreshStaysInDomain", &FalsifyOptions::default()).is_none());
+}
+
+#[test]
+fn the_lookup_rewrite_is_verifiable() {
+    // The paper's fix: route each update individually through `lookup`.
+    let rewritten = BROADCAST_KERNEL.replace(
+        "    broadcast Tab(t : t.domain == d), Refresh(v);",
+        "    lookup Tab(t : t.domain == d) {\n      send(t, Refresh(v));\n    }",
+    );
+    let program = reflex::parser::parse_program("bcast2", &rewritten).expect("parses");
+    let checked = reflex::typeck::check(&program).expect("checks");
+    let options = ProverOptions::default();
+    let outcome = prove(&checked, "RefreshStaysInDomain", &options).expect("exists");
+    let cert = outcome
+        .certificate()
+        .unwrap_or_else(|| panic!("lookup version verifies: {:?}", outcome.failure()));
+    reflex::verify::check_certificate(&checked, cert, &options).expect("valid");
+}
+
+#[test]
+fn forged_certificates_for_broadcast_programs_are_rejected() {
+    // Obtain a real certificate from the lookup version, then try to pass
+    // it off against the broadcast program: the checker must refuse before
+    // even looking at the (under-approximate) abstraction.
+    let rewritten = BROADCAST_KERNEL.replace(
+        "    broadcast Tab(t : t.domain == d), Refresh(v);",
+        "    lookup Tab(t : t.domain == d) {\n      send(t, Refresh(v));\n    }",
+    );
+    let good = reflex::typeck::check(
+        &reflex::parser::parse_program("bcast2", &rewritten).expect("parses"),
+    )
+    .expect("checks");
+    let options = ProverOptions::default();
+    let cert = prove(&good, "RefreshStaysInDomain", &options)
+        .expect("exists")
+        .certificate()
+        .expect("proved")
+        .clone();
+
+    let bcast = reflex::typeck::check(
+        &reflex::parser::parse_program("bcast", BROADCAST_KERNEL).expect("parses"),
+    )
+    .expect("checks");
+    let err = reflex::verify::check_certificate(&bcast, &cert, &options);
+    assert!(err.is_err(), "no certificate may validate against a broadcast program");
+}
+
+#[test]
+fn broadcast_round_trips_and_type_checks() {
+    let program = reflex::parser::parse_program("bcast", BROADCAST_KERNEL).expect("parses");
+    let printed = program.to_string();
+    assert!(printed.contains("broadcast Tab(t : t.domain == d), Refresh(v);"));
+    let reparsed = reflex::parser::parse_program("bcast", &printed).expect("reparses");
+    assert_eq!(program, reparsed);
+
+    // Type errors in broadcasts are caught like everywhere else.
+    let bad = BROADCAST_KERNEL.replace("Refresh(v)", "Refresh(tabs)");
+    let program = reflex::parser::parse_program("bad", &bad).expect("parses");
+    assert!(reflex::typeck::check(&program).is_err(), "num into str payload");
+}

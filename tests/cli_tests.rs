@@ -1,0 +1,112 @@
+//! Smoke tests for the `rx` command-line frontend.
+
+use std::process::Command;
+
+fn rx(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rx"))
+        .args(args)
+        .output()
+        .expect("rx runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn kernel(name: &str) -> String {
+    format!("{}/crates/reflex-kernels/rx/{name}.rx", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_reports_statistics() {
+    let (ok, stdout, _) = rx(&["check", &kernel("ssh")]);
+    assert!(ok);
+    assert!(stdout.contains("5 properties"), "{stdout}");
+}
+
+#[test]
+fn verify_proves_all_car_properties() {
+    let (ok, stdout, _) = rx(&["verify", &kernel("car")]);
+    assert!(ok, "{stdout}");
+    assert_eq!(stdout.matches("✓").count(), 8);
+    assert!(stdout.contains("all properties verified."));
+}
+
+#[test]
+fn verify_single_property() {
+    let (ok, stdout, _) = rx(&["verify", &kernel("ssh"), "LoginEnablesPty"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("✓ LoginEnablesPty"));
+}
+
+#[test]
+fn verify_fails_with_nonzero_exit_on_false_property() {
+    // Write a kernel with a false property to a temp file.
+    let dir = std::env::temp_dir().join("rx-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("bad.rx");
+    std::fs::write(
+        &path,
+        r#"
+components { C "c.py" (); }
+messages { A(); B(); }
+init { c0 <- spawn C(); }
+handlers {
+  when C:B() { send(c0, B()); }
+}
+properties {
+  Bogus: [Send(C(), A())] Enables [Send(C(), B())];
+}
+"#,
+    )
+    .expect("write");
+    let (ok, stdout, stderr) = rx(&["verify", path.to_str().expect("utf8")]);
+    assert!(!ok);
+    assert!(stdout.contains("✗ Bogus"), "{stdout}");
+    assert!(stderr.contains("failed to verify"), "{stderr}");
+
+    // And falsify finds the concrete witness.
+    let (ok, stdout, _) = rx(&["falsify", path.to_str().expect("utf8"), "Bogus"]);
+    assert!(ok);
+    assert!(stdout.contains("counterexample"), "{stdout}");
+}
+
+#[test]
+fn show_prints_program_and_behabs_stats() {
+    let (ok, stdout, _) = rx(&["show", &kernel("browser")]);
+    assert!(ok);
+    assert!(stdout.contains("handlers {"));
+    assert!(stdout.contains("behavioral abstraction"));
+}
+
+#[test]
+fn run_executes_and_checks_inclusion() {
+    let (ok, stdout, _) = rx(&["run", &kernel("car"), "8", "3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("trace ⊆ BehAbs ✓"));
+}
+
+#[test]
+fn usage_and_io_errors() {
+    let (ok, _, stderr) = rx(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = rx(&["verify", "/nonexistent.rx"]);
+    assert!(!ok);
+    assert!(stderr.contains("nonexistent"));
+    let (ok, _, stderr) = rx(&["frobnicate", "x"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let dir = std::env::temp_dir().join("rx-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("syntax.rx");
+    std::fs::write(&path, "components {\n  C \"c\" ()\n}\n").expect("write");
+    let (ok, _, stderr) = rx(&["check", path.to_str().expect("utf8")]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error at 3:"), "{stderr}");
+}

@@ -1,0 +1,112 @@
+//! Cross-validation between the three semantics in the repository:
+//!
+//! * the **prover** (symbolic, over `BehAbs`),
+//! * the **falsifier** (bounded concrete exploration of `BehAbs`),
+//! * the **runtime** (the executable interpreter).
+//!
+//! Agreement obligations:
+//! 1. a *proved* property has no bounded-depth concrete counterexample;
+//! 2. every runtime trace of every benchmark, under random drivers and
+//!    schedules, is in `BehAbs` and satisfies every proved trace property.
+
+use proptest::prelude::*;
+use reflex::ast::{PropBody, Ty, Value};
+use reflex::runtime::oracle::check_trace_inclusion;
+use reflex::runtime::{Interpreter, RandomWorld, Registry};
+use reflex::trace::{check_trace, Msg};
+use reflex::verify::{falsify, prove_all, FalsifyOptions, ProverOptions};
+
+#[test]
+fn proved_properties_have_no_bounded_counterexamples() {
+    let options = ProverOptions::default();
+    let fops = FalsifyOptions {
+        max_exchanges: 3,
+        max_states: 4_000,
+        domain_per_type: 2,
+    };
+    for bench in reflex::kernels::all_benchmarks() {
+        let checked = (bench.checked)();
+        for (name, outcome) in prove_all(&checked, &options) {
+            assert!(outcome.is_proved(), "{}::{name}", bench.name);
+            if let Some(cx) = falsify(&checked, &name, &fops) {
+                panic!(
+                    "{}::{name} was PROVED but the falsifier found:\n{cx}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// Drives a kernel with `n` random (but well-typed) injections and checks
+/// the run against the oracles.
+fn random_drive(
+    checked: &reflex::typeck::CheckedProgram,
+    seed: u64,
+    injections: usize,
+) -> Result<(), String> {
+    let mut kernel = Interpreter::new(
+        checked,
+        Registry::new(),
+        Box::new(RandomWorld::new(seed ^ 0xABCD)),
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // A simple deterministic PRNG for choosing injections.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let strings = ["a.org", "b.org", "alice", "x"];
+    let program = checked.program().clone();
+    for _ in 0..injections {
+        let comps = kernel.components().to_vec();
+        if comps.is_empty() {
+            break;
+        }
+        let comp = &comps[(next() as usize) % comps.len()];
+        let msg_decl = &program.messages[(next() as usize) % program.messages.len()];
+        let args: Vec<Value> = msg_decl
+            .payload
+            .iter()
+            .map(|ty| match ty {
+                Ty::Bool => Value::Bool(next() % 2 == 0),
+                Ty::Num => Value::Num((next() % 5) as i64),
+                Ty::Str => Value::from(strings[(next() as usize) % strings.len()]),
+                Ty::Fdesc => Value::Fdesc(reflex::ast::Fdesc::new(next() % 4)),
+                Ty::Comp => unreachable!("typeck forbids comp payloads"),
+            })
+            .collect();
+        kernel
+            .inject(comp.id, Msg::new(&msg_decl.name, args))
+            .map_err(|e| e.to_string())?;
+        kernel.step().map_err(|e| e.to_string())?;
+    }
+    kernel.run(128).map_err(|e| e.to_string())?;
+
+    check_trace_inclusion(checked, kernel.trace()).map_err(|e| format!("{e}\n{}", kernel.trace()))?;
+    for p in &program.properties {
+        if let PropBody::Trace(tp) = &p.body {
+            check_trace(kernel.trace(), tp)
+                .map_err(|e| format!("{}: {e}\n{}", p.name, kernel.trace()))?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_runs_of_every_benchmark_satisfy_proved_properties(seed in any::<u64>()) {
+        for bench in reflex::kernels::all_benchmarks() {
+            let checked = (bench.checked)();
+            random_drive(&checked, seed, 10)
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}", bench.name));
+        }
+    }
+}
