@@ -183,7 +183,11 @@ impl ProgramBuilder {
     }
 
     /// Declares a message type.
-    pub fn message(mut self, name: impl Into<String>, payload: impl IntoIterator<Item = Ty>) -> Self {
+    pub fn message(
+        mut self,
+        name: impl Into<String>,
+        payload: impl IntoIterator<Item = Ty>,
+    ) -> Self {
         self.program.messages.push(MsgDecl {
             name: name.into(),
             payload: payload.into_iter().collect(),

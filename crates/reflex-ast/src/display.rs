@@ -408,11 +408,7 @@ mod tests {
         let p = ActionPat::Send {
             comp: CompPat::with_config("C", []),
             msg: "M".into(),
-            args: vec![
-                PatField::lit(3i64),
-                PatField::Any,
-                PatField::var("s"),
-            ],
+            args: vec![PatField::lit(3i64), PatField::Any, PatField::var("s")],
         };
         assert_eq!(p.to_string(), "Send(C(), M(3, _, s))");
         let q = ActionPat::Call {

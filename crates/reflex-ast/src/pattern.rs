@@ -198,7 +198,12 @@ mod tests {
         let p = ActionPat::Send {
             comp: CompPat::with_config("C", [PatField::var("d")]),
             msg: "M".into(),
-            args: vec![PatField::lit(3i64), PatField::Any, PatField::var("s"), PatField::var("d")],
+            args: vec![
+                PatField::lit(3i64),
+                PatField::Any,
+                PatField::var("s"),
+                PatField::var("d"),
+            ],
         };
         assert_eq!(p.vars(), vec!["d", "s"]);
         assert_eq!(p.msg_type(), Some("M"));
@@ -225,7 +230,13 @@ mod tests {
 
     #[test]
     fn comp_pat_constructors() {
-        assert_eq!(CompPat::any(), CompPat { ctype: None, config: None });
+        assert_eq!(
+            CompPat::any(),
+            CompPat {
+                ctype: None,
+                config: None
+            }
+        );
         let t = CompPat::of_type("Engine");
         assert_eq!(t.ctype.as_deref(), Some("Engine"));
         assert!(t.config.is_none());

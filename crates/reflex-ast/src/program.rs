@@ -274,7 +274,10 @@ mod tests {
         let p = toy();
         assert_eq!(
             p.init_comp_vars(),
-            vec![("a0".to_owned(), "A".to_owned()), ("b0".to_owned(), "B".to_owned())]
+            vec![
+                ("a0".to_owned(), "A".to_owned()),
+                ("b0".to_owned(), "B".to_owned())
+            ]
         );
     }
 }

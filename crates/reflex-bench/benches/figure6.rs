@@ -16,8 +16,7 @@ fn bench_kernel(c: &mut Criterion, kernel: &str) {
     for row in figure6::ROWS.iter().filter(|r| r.benchmark == kernel) {
         group.bench_function(row.property, |b| {
             b.iter(|| {
-                let outcome =
-                    prove_with(&abs, row.property, &options).expect("property exists");
+                let outcome = prove_with(&abs, row.property, &options).expect("property exists");
                 assert!(outcome.is_proved(), "{} must verify", row.property);
                 outcome
             })

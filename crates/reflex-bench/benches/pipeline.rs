@@ -57,9 +57,7 @@ fn runtime_throughput(c: &mut Criterion) {
         b.iter(|| {
             let registry = Registry::new().register("chrome-ui.py", |_| {
                 Box::new(ScriptedBehavior::new().starts_with(
-                    (0..20).map(|i| {
-                        Msg::new("NewTab", [Value::from(format!("d{}.org", i % 4))])
-                    }),
+                    (0..20).map(|i| Msg::new("NewTab", [Value::from(format!("d{}.org", i % 4))])),
                 ))
             });
             let mut kernel =

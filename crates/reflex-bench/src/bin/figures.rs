@@ -3,19 +3,25 @@
 //! ```sh
 //! cargo run -p reflex-bench --release --bin figures            # everything
 //! cargo run -p reflex-bench --release --bin figures -- fig6    # Figure 6
+//! cargo run -p reflex-bench --release --bin figures -- fig6 --json   # + BENCH_fig6.json
 //! cargo run -p reflex-bench --release --bin figures -- table1
 //! cargo run -p reflex-bench --release --bin figures -- ablation
 //! cargo run -p reflex-bench --release --bin figures -- utility
 //! ```
+//!
+//! `fig6 --json` additionally measures the full suite serial (no shared
+//! cache) vs. parallel (shared cache, one worker per CPU) and writes the
+//! comparison to `BENCH_fig6.json`.
 
 use reflex_bench::{
-    render_ablation, render_figure6, render_table1, render_utility, run_ablation, run_figure6,
-    run_utility, table1,
+    render_ablation, render_figure6, render_figure6_bench_json, render_table1, render_utility,
+    run_ablation, run_figure6, run_figure6_bench, run_utility, table1,
 };
 use reflex_verify::ProverOptions;
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let json = std::env::args().any(|a| a == "--json");
     let all = what == "all";
 
     if all || what == "table1" {
@@ -26,6 +32,21 @@ fn main() {
         println!("== Figure 6: the 41 benchmark properties, proved fully automatically ==\n");
         let results = run_figure6(&ProverOptions::default());
         println!("{}", render_figure6(&results));
+        if json {
+            let bench = run_figure6_bench();
+            let doc = render_figure6_bench_json(&bench);
+            let path = "BENCH_fig6.json";
+            std::fs::write(path, &doc).expect("write BENCH_fig6.json");
+            println!(
+                "serial {:.1} ms vs parallel+cache {:.1} ms on {} core(s): {:.2}x \
+                 (outcomes identical: {}) -> wrote {path}",
+                bench.serial.total_ms,
+                bench.parallel.total_ms,
+                bench.cores,
+                bench.speedup,
+                bench.outcomes_identical
+            );
+        }
     }
     if all || what == "ablation" {
         println!("== §6.4 ablation: effect of the proof-search optimizations ==\n");
@@ -45,7 +66,9 @@ fn main() {
         println!("{}", render_utility(&run_utility()));
     }
     if !all && !["table1", "fig6", "ablation", "scaling", "utility"].contains(&what.as_str()) {
-        eprintln!("unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | all)");
+        eprintln!(
+            "unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | all)"
+        );
         std::process::exit(2);
     }
 }

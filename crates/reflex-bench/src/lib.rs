@@ -26,7 +26,7 @@ pub mod stress;
 use std::time::Instant;
 
 use reflex_kernels::{all_benchmarks, figure6, loc_split};
-use reflex_verify::{check_certificate, prove_with, Abstraction, ProverOptions};
+use reflex_verify::{check_certificate, prove_with_cache, Abstraction, ProofCache, ProverOptions};
 
 /// One measured Figure 6 row.
 #[derive(Debug, Clone)]
@@ -52,9 +52,13 @@ pub fn run_figure6(options: &ProverOptions) -> Vec<Fig6Result> {
     for bench in all_benchmarks() {
         let checked = (bench.checked)();
         let abs = Abstraction::build(&checked, options);
+        // One cross-property cache per benchmark, exactly as `prove_all`
+        // shares subproofs across a program's properties.
+        let cache = ProofCache::new();
         for row in figure6::ROWS.iter().filter(|r| r.benchmark == bench.name) {
             let t0 = Instant::now();
-            let outcome = prove_with(&abs, row.property, options).expect("property exists");
+            let outcome = prove_with_cache(&abs, row.property, options, Some(&cache))
+                .expect("property exists");
             let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
             let cert = outcome.certificate().unwrap_or_else(|| {
                 panic!(
@@ -77,6 +81,224 @@ pub fn run_figure6(options: &ProverOptions) -> Vec<Fig6Result> {
         }
     }
     out
+}
+
+/// [`run_figure6`] with all 41 `(benchmark, property)` units fanned out
+/// over `jobs` worker threads (`0`: one per available CPU) through a
+/// global work queue. Each benchmark's abstraction is built once and its
+/// properties share one [`ProofCache`]; results come back in the same
+/// order as [`run_figure6`], with identical outcomes and certificates
+/// (cached subproofs are pure functions of their keys).
+///
+/// # Panics
+///
+/// Panics if any property fails to verify or any certificate is rejected.
+pub fn run_figure6_parallel(options: &ProverOptions, jobs: usize) -> Vec<Fig6Result> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    };
+    let benches = all_benchmarks();
+    let checked: Vec<_> = benches.iter().map(|b| (b.checked)()).collect();
+    let abses: Vec<_> = checked
+        .iter()
+        .map(|c| Abstraction::build(c, options))
+        .collect();
+    let caches: Vec<ProofCache> = benches.iter().map(|_| ProofCache::new()).collect();
+    // Work units in `run_figure6` output order.
+    let units: Vec<(usize, &figure6::Row)> = benches
+        .iter()
+        .enumerate()
+        .flat_map(|(bi, bench)| {
+            figure6::ROWS
+                .iter()
+                .filter(move |r| r.benchmark == bench.name)
+                .map(move |r| (bi, r))
+        })
+        .collect();
+    let slots: Vec<OnceLock<Fig6Result>> = (0..units.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(units.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(bi, row)) = units.get(i) else {
+                    break;
+                };
+                let t0 = Instant::now();
+                let outcome =
+                    prove_with_cache(&abses[bi], row.property, options, Some(&caches[bi]))
+                        .expect("property exists");
+                let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let cert = outcome.certificate().unwrap_or_else(|| {
+                    panic!(
+                        "{}::{} failed: {}",
+                        row.benchmark,
+                        row.property,
+                        outcome.failure().expect("failed")
+                    )
+                });
+                let t1 = Instant::now();
+                check_certificate(&checked[bi], cert, options)
+                    .unwrap_or_else(|e| panic!("{}::{}: {e}", row.benchmark, row.property));
+                let check_ms = t1.elapsed().as_secs_f64() * 1e3;
+                let _ = slots[i].set(Fig6Result {
+                    row: *row,
+                    prove_ms,
+                    check_ms,
+                    obligations: cert.obligation_count(),
+                });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every fig6 slot filled"))
+        .collect()
+}
+
+/// One configuration's measurement inside [`Fig6Bench`].
+#[derive(Debug, Clone)]
+pub struct Fig6Run {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Whether the cross-property [`ProofCache`] was enabled.
+    pub shared_cache: bool,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock over the 41 units, milliseconds.
+    pub total_ms: f64,
+    /// Per-row measurements, in [`run_figure6`] order.
+    pub rows: Vec<Fig6Result>,
+}
+
+/// The serial-baseline vs. parallel+shared-cache comparison recorded in
+/// `BENCH_fig6.json`.
+#[derive(Debug, Clone)]
+pub struct Fig6Bench {
+    /// CPUs available to this process.
+    pub cores: usize,
+    /// The serial baseline: one thread, no cross-property cache (the
+    /// pre-optimization prover configuration).
+    pub serial: Fig6Run,
+    /// The optimized run: shared cache on, one worker per core.
+    pub parallel: Fig6Run,
+    /// `serial.total_ms / parallel.total_ms`.
+    pub speedup: f64,
+    /// Whether the two runs proved exactly the same properties with the
+    /// same obligation counts (they must: the parallel prover is
+    /// outcome-identical by construction, and the shared cache splices
+    /// byte-identical packages).
+    pub outcomes_identical: bool,
+}
+
+/// Measures the full fig6 suite serial-baseline vs. parallel+cached.
+pub fn run_figure6_bench() -> Fig6Bench {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let serial_options = ProverOptions {
+        shared_cache: false,
+        jobs: 1,
+        ..ProverOptions::default()
+    };
+    let t0 = Instant::now();
+    let serial_rows = run_figure6(&serial_options);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_options = ProverOptions {
+        shared_cache: true,
+        jobs: cores,
+        ..ProverOptions::default()
+    };
+    let t1 = Instant::now();
+    let parallel_rows = run_figure6_parallel(&parallel_options, cores);
+    let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let outcomes_identical = serial_rows.len() == parallel_rows.len()
+        && serial_rows.iter().zip(&parallel_rows).all(|(a, b)| {
+            a.row.benchmark == b.row.benchmark
+                && a.row.property == b.row.property
+                && a.obligations == b.obligations
+        });
+    Fig6Bench {
+        cores,
+        serial: Fig6Run {
+            label: "serial baseline (no shared cache)",
+            shared_cache: false,
+            jobs: 1,
+            total_ms: serial_ms,
+            rows: serial_rows,
+        },
+        parallel: Fig6Run {
+            label: "parallel + shared cache",
+            shared_cache: true,
+            jobs: cores,
+            total_ms: parallel_ms,
+            rows: parallel_rows,
+        },
+        speedup: serial_ms / parallel_ms,
+        outcomes_identical,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders a [`Fig6Bench`] as the `BENCH_fig6.json` document.
+pub fn render_figure6_bench_json(bench: &Fig6Bench) -> String {
+    fn run_json(run: &Fig6Run) -> String {
+        let rows: Vec<String> = run
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{\"benchmark\": \"{}\", \"property\": \"{}\", \
+                     \"prove_ms\": {:.3}, \"check_ms\": {:.3}, \"obligations\": {}}}",
+                    json_escape(r.row.benchmark),
+                    json_escape(r.row.property),
+                    r.prove_ms,
+                    r.check_ms,
+                    r.obligations
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"label\": \"{}\",\n    \"shared_cache\": {},\n    \
+             \"jobs\": {},\n    \"total_ms\": {:.3},\n    \"rows\": [\n{}\n    ]\n  }}",
+            json_escape(run.label),
+            run.shared_cache,
+            run.jobs,
+            run.total_ms,
+            rows.join(",\n")
+        )
+    }
+    format!(
+        "{{\n  \"suite\": \"figure6\",\n  \"properties\": {},\n  \"cores\": {},\n  \
+         \"serial\": {},\n  \"parallel\": {},\n  \"speedup\": {:.3},\n  \
+         \"outcomes_identical\": {}\n}}\n",
+        bench.serial.rows.len(),
+        bench.cores,
+        run_json(&bench.serial),
+        run_json(&bench.parallel),
+        bench.speedup,
+        bench.outcomes_identical
+    )
 }
 
 /// Renders Figure 6 as a text table.
@@ -207,6 +429,13 @@ pub fn ablation_configs() -> Vec<(&'static str, ProverOptions)> {
                 ..ProverOptions::default()
             },
         ),
+        (
+            "no shared cache",
+            ProverOptions {
+                shared_cache: false,
+                ..ProverOptions::default()
+            },
+        ),
         ("none (unoptimized)", ProverOptions::unoptimized()),
     ]
 }
@@ -309,8 +538,7 @@ pub fn run_utility() -> Vec<UtilityResult> {
     cases
         .into_iter()
         .map(|(mutation, src, property)| {
-            let program =
-                reflex_parser::parse_program("mutant", &src).expect("mutant parses");
+            let program = reflex_parser::parse_program("mutant", &src).expect("mutant parses");
             let checked = reflex_typeck::check(&program).expect("mutant checks");
             let caught = !prove(&checked, property, &options)
                 .expect("property exists")

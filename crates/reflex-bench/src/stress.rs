@@ -12,9 +12,7 @@
 //! one grows with it.
 
 use reflex_ast::build::ProgramBuilder;
-use reflex_ast::{
-    ActionPat, CompPat, Expr, PatField, Program, PropertyDecl, TracePropKind, Ty,
-};
+use reflex_ast::{ActionPat, CompPat, Expr, PatField, Program, PropertyDecl, TracePropKind, Ty};
 
 /// Generates a stress kernel with `n_msgs` message types, each with a
 /// handler of `depth` nested (partially infeasible) branches, plus one

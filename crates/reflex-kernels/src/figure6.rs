@@ -23,53 +23,258 @@ pub struct Row {
 /// All 41 rows, in the paper's order.
 pub const ROWS: [Row; 41] = [
     // --- car ------------------------------------------------------------
-    Row { benchmark: "car", description: "Components do not interfere with the engine", property: "EngineIsolated", paper_seconds: 13 },
-    Row { benchmark: "car", description: "Airbags do deploy when there has been a crash", property: "AirbagsDeployOnCrash", paper_seconds: 6 },
-    Row { benchmark: "car", description: "Airbags are deployed immediately after crash", property: "AirbagsDeployImmediately", paper_seconds: 4 },
-    Row { benchmark: "car", description: "Cruise control turns off immediately after braking", property: "CruiseOffImmediatelyOnBrake", paper_seconds: 5 },
-    Row { benchmark: "car", description: "Doors unlock when there is a crash", property: "DoorsUnlockOnCrash", paper_seconds: 6 },
-    Row { benchmark: "car", description: "Doors unlock immediately after airbags deployed", property: "DoorsUnlockAfterAirbags", paper_seconds: 6 },
-    Row { benchmark: "car", description: "Doors can not lock after a crash", property: "NoLockAfterCrash", paper_seconds: 21 },
-    Row { benchmark: "car", description: "Airbags only deploy if there has been a crash", property: "AirbagsOnlyAfterCrash", paper_seconds: 6 },
+    Row {
+        benchmark: "car",
+        description: "Components do not interfere with the engine",
+        property: "EngineIsolated",
+        paper_seconds: 13,
+    },
+    Row {
+        benchmark: "car",
+        description: "Airbags do deploy when there has been a crash",
+        property: "AirbagsDeployOnCrash",
+        paper_seconds: 6,
+    },
+    Row {
+        benchmark: "car",
+        description: "Airbags are deployed immediately after crash",
+        property: "AirbagsDeployImmediately",
+        paper_seconds: 4,
+    },
+    Row {
+        benchmark: "car",
+        description: "Cruise control turns off immediately after braking",
+        property: "CruiseOffImmediatelyOnBrake",
+        paper_seconds: 5,
+    },
+    Row {
+        benchmark: "car",
+        description: "Doors unlock when there is a crash",
+        property: "DoorsUnlockOnCrash",
+        paper_seconds: 6,
+    },
+    Row {
+        benchmark: "car",
+        description: "Doors unlock immediately after airbags deployed",
+        property: "DoorsUnlockAfterAirbags",
+        paper_seconds: 6,
+    },
+    Row {
+        benchmark: "car",
+        description: "Doors can not lock after a crash",
+        property: "NoLockAfterCrash",
+        paper_seconds: 21,
+    },
+    Row {
+        benchmark: "car",
+        description: "Airbags only deploy if there has been a crash",
+        property: "AirbagsOnlyAfterCrash",
+        paper_seconds: 6,
+    },
     // --- browser ----------------------------------------------------------
-    Row { benchmark: "browser", description: "Tab processes have unique IDs", property: "UniqueTabIds", paper_seconds: 70 },
-    Row { benchmark: "browser", description: "Cookie processes are unique per domain", property: "UniqueCookieMgrPerDomain", paper_seconds: 75 },
-    Row { benchmark: "browser", description: "Cookies stay in their domain (tab, cookie process)", property: "CookiesStayInDomain", paper_seconds: 37 },
-    Row { benchmark: "browser", description: "Tabs are correctly connected to their cookie process", property: "TabsConnectedToTheirCookieMgr", paper_seconds: 38 },
-    Row { benchmark: "browser", description: "Different domains do not interfere", property: "DomainNI", paper_seconds: 229 },
-    Row { benchmark: "browser", description: "Tabs can only open sockets to allowed domains", property: "SocketsOnlyToOwnDomain", paper_seconds: 94 },
+    Row {
+        benchmark: "browser",
+        description: "Tab processes have unique IDs",
+        property: "UniqueTabIds",
+        paper_seconds: 70,
+    },
+    Row {
+        benchmark: "browser",
+        description: "Cookie processes are unique per domain",
+        property: "UniqueCookieMgrPerDomain",
+        paper_seconds: 75,
+    },
+    Row {
+        benchmark: "browser",
+        description: "Cookies stay in their domain (tab, cookie process)",
+        property: "CookiesStayInDomain",
+        paper_seconds: 37,
+    },
+    Row {
+        benchmark: "browser",
+        description: "Tabs are correctly connected to their cookie process",
+        property: "TabsConnectedToTheirCookieMgr",
+        paper_seconds: 38,
+    },
+    Row {
+        benchmark: "browser",
+        description: "Different domains do not interfere",
+        property: "DomainNI",
+        paper_seconds: 229,
+    },
+    Row {
+        benchmark: "browser",
+        description: "Tabs can only open sockets to allowed domains",
+        property: "SocketsOnlyToOwnDomain",
+        paper_seconds: 94,
+    },
     // --- browser2 ---------------------------------------------------------
-    Row { benchmark: "browser2", description: "Tab processes have unique IDs", property: "UniqueTabIds", paper_seconds: 80 },
-    Row { benchmark: "browser2", description: "Cookie processes are unique per domain", property: "UniqueCookieMgrPerDomain", paper_seconds: 130 },
-    Row { benchmark: "browser2", description: "Cookies stay in their domain (tab)", property: "CookiesToMgrStayInDomain", paper_seconds: 64 },
-    Row { benchmark: "browser2", description: "Cookies stay in their domain (cookie process)", property: "CookiesToTabStayInDomain", paper_seconds: 70 },
-    Row { benchmark: "browser2", description: "Tabs are correctly connected to their cookie process", property: "TabsConnectedToTheirCookieMgr", paper_seconds: 88 },
-    Row { benchmark: "browser2", description: "Different domains do not interfere", property: "DomainNI", paper_seconds: 338 },
-    Row { benchmark: "browser2", description: "Tabs can only open sockets to allowed domains", property: "SocketsOnlyToOwnDomain", paper_seconds: 106 },
+    Row {
+        benchmark: "browser2",
+        description: "Tab processes have unique IDs",
+        property: "UniqueTabIds",
+        paper_seconds: 80,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Cookie processes are unique per domain",
+        property: "UniqueCookieMgrPerDomain",
+        paper_seconds: 130,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Cookies stay in their domain (tab)",
+        property: "CookiesToMgrStayInDomain",
+        paper_seconds: 64,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Cookies stay in their domain (cookie process)",
+        property: "CookiesToTabStayInDomain",
+        paper_seconds: 70,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Tabs are correctly connected to their cookie process",
+        property: "TabsConnectedToTheirCookieMgr",
+        paper_seconds: 88,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Different domains do not interfere",
+        property: "DomainNI",
+        paper_seconds: 338,
+    },
+    Row {
+        benchmark: "browser2",
+        description: "Tabs can only open sockets to allowed domains",
+        property: "SocketsOnlyToOwnDomain",
+        paper_seconds: 106,
+    },
     // --- browser3 ---------------------------------------------------------
-    Row { benchmark: "browser3", description: "Tab processes have unique IDs", property: "UniqueTabIds", paper_seconds: 295 },
-    Row { benchmark: "browser3", description: "Cookie processes are unique per domain", property: "UniqueCookieMgrPerDomain", paper_seconds: 193 },
-    Row { benchmark: "browser3", description: "Cookies stay in their domain (tab)", property: "CookiesToMgrStayInDomain", paper_seconds: 83 },
-    Row { benchmark: "browser3", description: "Cookies stay in their domain (cookie process)", property: "CookiesToTabStayInDomain", paper_seconds: 91 },
-    Row { benchmark: "browser3", description: "Tabs are correctly connected to their cookie process", property: "TabsConnectedToTheirCookieMgr", paper_seconds: 151 },
-    Row { benchmark: "browser3", description: "Different domains do not interfere", property: "DomainNI", paper_seconds: 532 },
-    Row { benchmark: "browser3", description: "Tabs can only open sockets to allowed domains", property: "SocketsOnlyToOwnDomain", paper_seconds: 78 },
+    Row {
+        benchmark: "browser3",
+        description: "Tab processes have unique IDs",
+        property: "UniqueTabIds",
+        paper_seconds: 295,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Cookie processes are unique per domain",
+        property: "UniqueCookieMgrPerDomain",
+        paper_seconds: 193,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Cookies stay in their domain (tab)",
+        property: "CookiesToMgrStayInDomain",
+        paper_seconds: 83,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Cookies stay in their domain (cookie process)",
+        property: "CookiesToTabStayInDomain",
+        paper_seconds: 91,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Tabs are correctly connected to their cookie process",
+        property: "TabsConnectedToTheirCookieMgr",
+        paper_seconds: 151,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Different domains do not interfere",
+        property: "DomainNI",
+        paper_seconds: 532,
+    },
+    Row {
+        benchmark: "browser3",
+        description: "Tabs can only open sockets to allowed domains",
+        property: "SocketsOnlyToOwnDomain",
+        paper_seconds: 78,
+    },
     // --- ssh --------------------------------------------------------------
-    Row { benchmark: "ssh", description: "Each login attempt enables the next one", property: "SecondAttemptNeedsFirst", paper_seconds: 54 },
-    Row { benchmark: "ssh", description: "The first attempt to login disables itself", property: "FirstAttemptOnlyOnce", paper_seconds: 58 },
-    Row { benchmark: "ssh", description: "The second attempt to login disables itself", property: "SecondAttemptOnlyOnce", paper_seconds: 297 },
-    Row { benchmark: "ssh", description: "The third attempt to login disables all attempts", property: "ThirdAttemptDisablesAll", paper_seconds: 53 },
-    Row { benchmark: "ssh", description: "Succesful login enables pseudo-terminal creation", property: "LoginEnablesPty", paper_seconds: 55 },
+    Row {
+        benchmark: "ssh",
+        description: "Each login attempt enables the next one",
+        property: "SecondAttemptNeedsFirst",
+        paper_seconds: 54,
+    },
+    Row {
+        benchmark: "ssh",
+        description: "The first attempt to login disables itself",
+        property: "FirstAttemptOnlyOnce",
+        paper_seconds: 58,
+    },
+    Row {
+        benchmark: "ssh",
+        description: "The second attempt to login disables itself",
+        property: "SecondAttemptOnlyOnce",
+        paper_seconds: 297,
+    },
+    Row {
+        benchmark: "ssh",
+        description: "The third attempt to login disables all attempts",
+        property: "ThirdAttemptDisablesAll",
+        paper_seconds: 53,
+    },
+    Row {
+        benchmark: "ssh",
+        description: "Succesful login enables pseudo-terminal creation",
+        property: "LoginEnablesPty",
+        paper_seconds: 55,
+    },
     // --- ssh2 -------------------------------------------------------------
-    Row { benchmark: "ssh2", description: "Succesful login enables pseudo-terminal creation", property: "LoginEnablesPty2", paper_seconds: 113 },
-    Row { benchmark: "ssh2", description: "Login attempts approved by counter component", property: "AttemptsApprovedByCounter", paper_seconds: 37 },
+    Row {
+        benchmark: "ssh2",
+        description: "Succesful login enables pseudo-terminal creation",
+        property: "LoginEnablesPty2",
+        paper_seconds: 113,
+    },
+    Row {
+        benchmark: "ssh2",
+        description: "Login attempts approved by counter component",
+        property: "AttemptsApprovedByCounter",
+        paper_seconds: 37,
+    },
     // --- webserver ----------------------------------------------------------
-    Row { benchmark: "webserver", description: "A client is only spawned on successful login", property: "ClientOnlyAfterLogin", paper_seconds: 26 },
-    Row { benchmark: "webserver", description: "Clients are never duplicated", property: "ClientsNeverDuplicated", paper_seconds: 70 },
-    Row { benchmark: "webserver", description: "Files can only be requested after login", property: "FileReqsOnlyFromLoggedIn", paper_seconds: 87 },
-    Row { benchmark: "webserver", description: "Files are only requested after authorization", property: "ReadsOnlyAuthorized", paper_seconds: 23 },
-    Row { benchmark: "webserver", description: "Kernel only sends a file where the disk indicates", property: "DeliverOnlyDiskData", paper_seconds: 34 },
-    Row { benchmark: "webserver", description: "Authorized requests are forwarded to disk", property: "AuthorizedForwardedToDisk", paper_seconds: 22 },
+    Row {
+        benchmark: "webserver",
+        description: "A client is only spawned on successful login",
+        property: "ClientOnlyAfterLogin",
+        paper_seconds: 26,
+    },
+    Row {
+        benchmark: "webserver",
+        description: "Clients are never duplicated",
+        property: "ClientsNeverDuplicated",
+        paper_seconds: 70,
+    },
+    Row {
+        benchmark: "webserver",
+        description: "Files can only be requested after login",
+        property: "FileReqsOnlyFromLoggedIn",
+        paper_seconds: 87,
+    },
+    Row {
+        benchmark: "webserver",
+        description: "Files are only requested after authorization",
+        property: "ReadsOnlyAuthorized",
+        paper_seconds: 23,
+    },
+    Row {
+        benchmark: "webserver",
+        description: "Kernel only sends a file where the disk indicates",
+        property: "DeliverOnlyDiskData",
+        paper_seconds: 34,
+    },
+    Row {
+        benchmark: "webserver",
+        description: "Authorized requests are forwarded to disk",
+        property: "AuthorizedForwardedToDisk",
+        paper_seconds: 22,
+    },
 ];
 
 #[cfg(test)]

@@ -27,18 +27,18 @@ pub mod figure6;
 
 /// The benchmark kernel modules.
 pub mod kernels {
-    /// Automobile controller (Figure 5 extended; 8 properties).
-    pub mod car;
-    /// SSH server, in-kernel attempt counter (5 properties).
-    pub mod ssh;
-    /// SSH server, counter component variant (2 properties).
-    pub mod ssh2;
     /// Web browser, push-cookie variant (6 properties).
     pub mod browser;
     /// Web browser, fetch-cookie variant (7 properties).
     pub mod browser2;
     /// Web browser, world-call variant (7 properties).
     pub mod browser3;
+    /// Automobile controller (Figure 5 extended; 8 properties).
+    pub mod car;
+    /// SSH server, in-kernel attempt counter (5 properties).
+    pub mod ssh;
+    /// SSH server, counter component variant (2 properties).
+    pub mod ssh2;
     /// Authenticated file server (6 properties).
     pub mod webserver;
 }
@@ -59,7 +59,9 @@ pub struct Benchmark {
 
 impl std::fmt::Debug for Benchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Benchmark").field("name", &self.name).finish()
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

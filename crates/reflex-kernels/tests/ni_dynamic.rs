@@ -32,7 +32,9 @@ fn browser_run(low_noise: usize, seed: u64) -> Interpreter {
     // High inputs, identical in every run: Chrome opens one tab per domain
     // (Chrome is high for every d, so this sequence may not vary).
     for d in [HIGH_DOMAIN, LOW_DOMAIN] {
-        kernel.inject(chrome, Msg::new("NewTab", [Value::from(d)])).unwrap();
+        kernel
+            .inject(chrome, Msg::new("NewTab", [Value::from(d)]))
+            .unwrap();
         kernel.run(4).unwrap();
     }
     let tab_of = |k: &Interpreter, d: &str| {
@@ -48,9 +50,14 @@ fn browser_run(low_noise: usize, seed: u64) -> Interpreter {
     // Low noise (varies between runs): the ads tab hammers the kernel.
     for i in 0..low_noise {
         kernel
-            .inject(low_tab, Msg::new("SetCookie", [Value::from(format!("trk={i}"))]))
+            .inject(
+                low_tab,
+                Msg::new("SetCookie", [Value::from(format!("trk={i}"))]),
+            )
             .unwrap();
-        kernel.inject(low_tab, Msg::new("ConnectCookie", [])).unwrap();
+        kernel
+            .inject(low_tab, Msg::new("ConnectCookie", []))
+            .unwrap();
         kernel
             .inject(low_tab, Msg::new("OpenSocket", [Value::from(LOW_DOMAIN)]))
             .unwrap();
@@ -59,10 +66,15 @@ fn browser_run(low_noise: usize, seed: u64) -> Interpreter {
 
     // High inputs again, identical in every run: the bank tab's session.
     kernel
-        .inject(high_tab, Msg::new("SetCookie", [Value::from("session=s3cr3t")]))
+        .inject(
+            high_tab,
+            Msg::new("SetCookie", [Value::from("session=s3cr3t")]),
+        )
         .unwrap();
     kernel.run(4).unwrap();
-    kernel.inject(high_tab, Msg::new("ConnectCookie", [])).unwrap();
+    kernel
+        .inject(high_tab, Msg::new("ConnectCookie", []))
+        .unwrap();
     kernel.run(4).unwrap();
     kernel
         .inject(high_tab, Msg::new("OpenSocket", [Value::from(HIGH_DOMAIN)]))
@@ -115,7 +127,8 @@ fn browser_domain_ni_detects_actual_interference() {
     let mut b =
         Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), 1).expect("boots");
     let chrome = b.components_of("Chrome")[0].id;
-    b.inject(chrome, Msg::new("NewTab", [Value::from(HIGH_DOMAIN)])).unwrap();
+    b.inject(chrome, Msg::new("NewTab", [Value::from(HIGH_DOMAIN)]))
+        .unwrap();
     b.run(4).unwrap();
     let outputs_a = observable_outputs(a.trace(), is_high_browser);
     let outputs_b = observable_outputs(b.trace(), is_high_browser);
@@ -127,8 +140,7 @@ fn car_engine_isolation_holds_dynamically() {
     let checked = reflex_kernels::car::checked();
     let run = |noise: usize, seed: u64| {
         let mut kernel =
-            Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed)
-                .expect("boots");
+            Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed).expect("boots");
         let engine = kernel.components_of("Engine")[0].id;
         let radio = kernel.components_of("Radio")[0].id;
         let doors = kernel.components_of("Doors")[0].id;

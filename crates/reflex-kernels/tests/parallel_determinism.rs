@@ -1,0 +1,111 @@
+//! Determinism regression tests for the parallel prover and the shared
+//! cross-property proof cache.
+//!
+//! The design claim (see `reflex-verify`'s `cache.rs`): because cached
+//! subproofs are self-contained packages that are pure functions of their
+//! keys, `prove_all`, `prove_all_parallel(jobs = 1)` and
+//! `prove_all_parallel(jobs = N)` produce *identical* outcomes — not just
+//! the same proved/failed statuses, but equal certificates and equal
+//! failure messages — on every bundled kernel. These tests pin that claim.
+
+use reflex_kernels::all_benchmarks;
+use reflex_verify::{check_certificate, prove_all, prove_all_parallel, Outcome, ProverOptions};
+
+/// Asserts two outcome lists are fully identical (names, certificates,
+/// failures).
+fn assert_outcomes_identical(
+    bench: &str,
+    label: &str,
+    a: &[(String, Outcome)],
+    b: &[(String, Outcome)],
+) {
+    assert_eq!(a.len(), b.len(), "{bench}: {label}: property count");
+    for ((an, ao), (bn, bo)) in a.iter().zip(b) {
+        assert_eq!(an, bn, "{bench}: {label}: property order");
+        match (ao, bo) {
+            (Outcome::Proved(ac), Outcome::Proved(bc)) => {
+                assert_eq!(ac, bc, "{bench}::{an}: {label}: certificates differ");
+            }
+            (Outcome::Failed(af), Outcome::Failed(bf)) => {
+                assert_eq!(af, bf, "{bench}::{an}: {label}: failures differ");
+            }
+            _ => panic!(
+                "{bench}::{an}: {label}: one run proved, the other failed \
+                 ({ao:?} vs {bo:?})"
+            ),
+        }
+    }
+}
+
+#[test]
+fn parallel_prover_is_outcome_identical_on_every_kernel() {
+    let options = ProverOptions::default();
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        let serial = prove_all(&checked, &options);
+        let par1 = prove_all_parallel(&checked, &options, 1);
+        let par4 = prove_all_parallel(&checked, &options, 4);
+        assert_outcomes_identical(bench.name, "serial vs jobs=1", &serial, &par1);
+        assert_outcomes_identical(bench.name, "serial vs jobs=4", &serial, &par4);
+        // Soundness backstop: every certificate from the parallel,
+        // shared-cache run passes the independent checker.
+        for (name, outcome) in &par4 {
+            if let Some(cert) = outcome.certificate() {
+                check_certificate(&checked, cert, &options).unwrap_or_else(|e| {
+                    panic!("{}::{name}: certificate rejected: {e}", bench.name)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn in_prover_case_parallelism_is_outcome_identical() {
+    // `jobs` also parallelizes the inductive cases inside one property
+    // proof; certificates must not depend on it.
+    let serial = ProverOptions::default();
+    let threaded = ProverOptions {
+        jobs: 4,
+        ..ProverOptions::default()
+    };
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        let a = prove_all(&checked, &serial);
+        let b = prove_all(&checked, &threaded);
+        assert_outcomes_identical(bench.name, "jobs=1 vs jobs=4 (in-prover)", &a, &b);
+    }
+}
+
+#[test]
+fn shared_cache_never_changes_proved_set() {
+    // The cache may change certificate *shapes* relative to the cache-off
+    // prover (packages splice their own dependency copies), but never
+    // which properties prove — and both configurations' certificates must
+    // pass the checker.
+    let on = ProverOptions::default();
+    let off = ProverOptions {
+        shared_cache: false,
+        ..ProverOptions::default()
+    };
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        let with_cache = prove_all(&checked, &on);
+        let without = prove_all(&checked, &off);
+        assert_eq!(with_cache.len(), without.len());
+        for ((name, a), (_, b)) in with_cache.iter().zip(&without) {
+            assert_eq!(
+                a.is_proved(),
+                b.is_proved(),
+                "{}::{name}: shared cache changed the outcome",
+                bench.name
+            );
+            for (outcome, opts) in [(a, &on), (b, &off)] {
+                if let Some(cert) = outcome.certificate() {
+                    check_certificate(&checked, cert, opts).unwrap_or_else(|e| {
+                        panic!("{}::{name}: certificate rejected: {e}", bench.name)
+                    });
+                }
+            }
+        }
+    }
+}

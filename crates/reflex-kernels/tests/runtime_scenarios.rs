@@ -12,7 +12,12 @@ fn assert_run_is_sound(checked: &reflex_typeck::CheckedProgram, kernel: &Interpr
     check_trace_inclusion(checked, kernel.trace())
         .unwrap_or_else(|e| panic!("{}: {e}\n{}", checked.program().name, kernel.trace()));
     check_trace_properties(kernel.trace(), &checked.program().properties).unwrap_or_else(
-        |(name, e)| panic!("{}: property {name} violated at runtime: {e}", checked.program().name),
+        |(name, e)| {
+            panic!(
+                "{}: property {name} violated at runtime: {e}",
+                checked.program().name
+            )
+        },
     );
 }
 
@@ -77,8 +82,7 @@ fn ssh_login_and_pty_scenario() {
                 )]
             }))
         });
-    let mut kernel =
-        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 9).expect("boots");
+    let mut kernel = Interpreter::new(&checked, registry, Box::new(EmptyWorld), 9).expect("boots");
     let client = kernel.components_of("Client")[0].id;
 
     // Two failed attempts, then a good one — then five more (ignored).
@@ -232,8 +236,7 @@ fn webserver_session_scenario() {
                 )]
             }))
         });
-    let mut kernel =
-        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 17).expect("boots");
+    let mut kernel = Interpreter::new(&checked, registry, Box::new(EmptyWorld), 17).expect("boots");
     let listener = kernel.components_of("Listener")[0].id;
 
     // Login (twice — the client session must not duplicate).
@@ -251,7 +254,10 @@ fn webserver_session_scenario() {
     // Authorized file request flows through ACL → disk → client.
     let client = kernel.components_of("Client")[0].id;
     kernel
-        .inject(client, Msg::new("FileReq", [Value::from("/public/index.html")]))
+        .inject(
+            client,
+            Msg::new("FileReq", [Value::from("/public/index.html")]),
+        )
         .unwrap();
     kernel.run(20).unwrap();
     assert!(kernel.trace().iter_chrono().any(|a| matches!(
@@ -301,8 +307,7 @@ fn ssh2_counter_scenario() {
                 vec![Msg::new("PassOk", [m.args[0].clone()])]
             }))
         });
-    let mut kernel =
-        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 3).expect("boots");
+    let mut kernel = Interpreter::new(&checked, registry, Box::new(EmptyWorld), 3).expect("boots");
     let client = kernel.components_of("Client")[0].id;
     for _ in 0..5 {
         kernel

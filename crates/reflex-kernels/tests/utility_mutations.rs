@@ -89,7 +89,11 @@ fn seeded_browser_bug_is_caught_by_the_automation() {
     let outcome = prove(&c, "SocketsOnlyToOwnDomain", &options).expect("exists");
     assert!(!outcome.is_proved(), "the mutation must be caught");
     // Unrelated properties keep verifying.
-    for prop in ["UniqueTabIds", "UniqueCookieMgrPerDomain", "CookiesStayInDomain"] {
+    for prop in [
+        "UniqueTabIds",
+        "UniqueCookieMgrPerDomain",
+        "CookiesStayInDomain",
+    ] {
         let outcome = prove(&c, prop, &options).expect("exists");
         assert!(outcome.is_proved(), "{prop} unaffected by the mutation");
     }

@@ -19,9 +19,8 @@ fn all_41_figure6_properties_verify_with_checked_certificates() {
                 Some(f) => panic!("{}::{name} failed to verify: {f}", bench.name),
             }
             let cert = outcome.certificate().expect("proved");
-            check_certificate(&checked, cert, &options).unwrap_or_else(|e| {
-                panic!("{}::{name}: certificate rejected: {e}", bench.name)
-            });
+            check_certificate(&checked, cert, &options)
+                .unwrap_or_else(|e| panic!("{}::{name}: certificate rejected: {e}", bench.name));
             outcomes.insert((bench.name.to_owned(), name), true);
         }
     }

@@ -211,7 +211,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                out.push(Spanned { tok: Tok::Num(n), pos });
+                out.push(Spanned {
+                    tok: Tok::Num(n),
+                    pos,
+                });
             }
             '"' => {
                 bump!();
@@ -265,50 +268,78 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                                     format!("unknown escape `\\{other}`"),
                                 ))
                             }
-                            None => {
-                                return Err(ParseError::at(pos, "unterminated string literal"))
-                            }
+                            None => return Err(ParseError::at(pos, "unterminated string literal")),
                         },
                         Some((_, ch)) => s.push(ch),
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), pos });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
             }
             '{' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::LBrace,
+                    pos,
+                });
             }
             '}' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBrace, pos });
+                out.push(Spanned {
+                    tok: Tok::RBrace,
+                    pos,
+                });
             }
             '(' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LParen, pos });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
             }
             ')' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RParen, pos });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
             }
             '[' => {
                 bump!();
-                out.push(Spanned { tok: Tok::LBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
             }
             ']' => {
                 bump!();
-                out.push(Spanned { tok: Tok::RBracket, pos });
+                out.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
             }
             ',' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Comma, pos });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
             }
             ';' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Semi, pos });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
             }
             ':' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Colon, pos });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    pos,
+                });
             }
             '.' => {
                 bump!();
@@ -333,7 +364,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some(&(_, '-')) => {
                         bump!();
-                        out.push(Spanned { tok: Tok::LArrow, pos });
+                        out.push(Spanned {
+                            tok: Tok::LArrow,
+                            pos,
+                        });
                     }
                     Some(&(_, '=')) => {
                         bump!();
@@ -347,9 +381,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some(&(_, '=')) => {
                         bump!();
-                        out.push(Spanned { tok: Tok::EqEq, pos });
+                        out.push(Spanned {
+                            tok: Tok::EqEq,
+                            pos,
+                        });
                     }
-                    _ => out.push(Spanned { tok: Tok::Assign, pos }),
+                    _ => out.push(Spanned {
+                        tok: Tok::Assign,
+                        pos,
+                    }),
                 }
             }
             '!' => {
@@ -357,9 +397,15 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some(&(_, '=')) => {
                         bump!();
-                        out.push(Spanned { tok: Tok::NotEq, pos });
+                        out.push(Spanned {
+                            tok: Tok::NotEq,
+                            pos,
+                        });
                     }
-                    _ => out.push(Spanned { tok: Tok::Bang, pos }),
+                    _ => out.push(Spanned {
+                        tok: Tok::Bang,
+                        pos,
+                    }),
                 }
             }
             '&' => {
@@ -367,7 +413,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some(&(_, '&')) => {
                         bump!();
-                        out.push(Spanned { tok: Tok::AndAnd, pos });
+                        out.push(Spanned {
+                            tok: Tok::AndAnd,
+                            pos,
+                        });
                     }
                     _ => return Err(ParseError::at(pos, "expected `&&`")),
                 }
@@ -377,7 +426,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 match chars.peek() {
                     Some(&(_, '|')) => {
                         bump!();
-                        out.push(Spanned { tok: Tok::OrOr, pos });
+                        out.push(Spanned {
+                            tok: Tok::OrOr,
+                            pos,
+                        });
                     }
                     _ => return Err(ParseError::at(pos, "expected `||`")),
                 }
@@ -392,19 +444,31 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                             pos,
                         });
                     }
-                    _ => out.push(Spanned { tok: Tok::Plus, pos }),
+                    _ => out.push(Spanned {
+                        tok: Tok::Plus,
+                        pos,
+                    }),
                 }
             }
             '-' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Minus, pos });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    pos,
+                });
             }
             '*' => {
                 bump!();
-                out.push(Spanned { tok: Tok::Star, pos });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
             }
             other => {
-                return Err(ParseError::at(pos, format!("unexpected character `{other}`")));
+                return Err(ParseError::at(
+                    pos,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -416,7 +480,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|s| s.tok).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
     }
 
     #[test]

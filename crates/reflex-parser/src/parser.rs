@@ -144,7 +144,10 @@ impl Parser {
         if got == kw {
             Ok(())
         } else {
-            Err(ParseError::at(pos, format!("expected `{kw}`, found `{got}`")))
+            Err(ParseError::at(
+                pos,
+                format!("expected `{kw}`, found `{got}`"),
+            ))
         }
     }
 
@@ -169,7 +172,9 @@ impl Parser {
     fn comp_decl(&mut self) -> Result<CompTypeDecl, ParseError> {
         let (name, _) = self.expect_ident("component type name")?;
         let exe = match self.next() {
-            Some(Spanned { tok: Tok::Str(s), .. }) => s,
+            Some(Spanned {
+                tok: Tok::Str(s), ..
+            }) => s,
             _ => return Err(self.err_here("expected executable string literal")),
         };
         self.expect(Tok::LParen)?;
@@ -468,10 +473,15 @@ impl Parser {
 
     fn expr_primary(&mut self) -> Result<Expr, ParseError> {
         match self.next() {
-            Some(Spanned { tok: Tok::Num(n), .. }) => Ok(Expr::lit(n)),
-            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(Expr::lit(s)),
             Some(Spanned {
-                tok: Tok::Ident(id), ..
+                tok: Tok::Num(n), ..
+            }) => Ok(Expr::lit(n)),
+            Some(Spanned {
+                tok: Tok::Str(s), ..
+            }) => Ok(Expr::lit(s)),
+            Some(Spanned {
+                tok: Tok::Ident(id),
+                ..
             }) => match id.as_str() {
                 "true" => Ok(Expr::lit(true)),
                 "false" => Ok(Expr::lit(false)),
@@ -624,14 +634,23 @@ impl Parser {
                 tok: Tok::Underscore,
                 ..
             }) => Ok(PatField::Any),
-            Some(Spanned { tok: Tok::Num(n), .. }) => Ok(PatField::lit(n)),
-            Some(Spanned { tok: Tok::Minus, .. }) => match self.next() {
-                Some(Spanned { tok: Tok::Num(n), .. }) => Ok(PatField::lit(-n)),
+            Some(Spanned {
+                tok: Tok::Num(n), ..
+            }) => Ok(PatField::lit(n)),
+            Some(Spanned {
+                tok: Tok::Minus, ..
+            }) => match self.next() {
+                Some(Spanned {
+                    tok: Tok::Num(n), ..
+                }) => Ok(PatField::lit(-n)),
                 _ => Err(self.err_here("expected number after `-` in pattern")),
             },
-            Some(Spanned { tok: Tok::Str(s), .. }) => Ok(PatField::lit(s)),
             Some(Spanned {
-                tok: Tok::Ident(id), ..
+                tok: Tok::Str(s), ..
+            }) => Ok(PatField::lit(s)),
+            Some(Spanned {
+                tok: Tok::Ident(id),
+                ..
             }) => match id.as_str() {
                 "true" => Ok(PatField::lit(true)),
                 "false" => Ok(PatField::lit(false)),
@@ -702,7 +721,9 @@ impl Parser {
             other => {
                 return Err(ParseError::at(
                     pos,
-                    format!("unknown action pattern `{other}` (expected Select/Recv/Send/Spawn/Call)"),
+                    format!(
+                        "unknown action pattern `{other}` (expected Select/Recv/Send/Spawn/Call)"
+                    ),
                 ))
             }
         };

@@ -1,9 +1,7 @@
 //! Integration tests: parsing full programs and round-tripping through the
 //! pretty-printer.
 
-use reflex_ast::{
-    ActionPat, Cmd, CompPat, Expr, PatField, PropBody, TracePropKind, Ty, Value,
-};
+use reflex_ast::{ActionPat, Cmd, CompPat, Expr, PatField, PropBody, TracePropKind, Ty, Value};
 use reflex_parser::parse_program;
 
 const SSH_SRC: &str = r#"
@@ -156,8 +154,8 @@ properties {
     }
     // Round-trip the NI program too.
     let printed = p.to_string();
-    let reparsed = parse_program("car", &printed)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    let reparsed =
+        parse_program("car", &printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
     assert_eq!(p, reparsed);
 }
 
@@ -251,10 +249,7 @@ properties {
     match &p.properties[1].body {
         PropBody::Trace(tp) => match &tp.a {
             ActionPat::Call { args, result, .. } => {
-                assert_eq!(
-                    args,
-                    &Some(vec![PatField::var("u"), PatField::Any])
-                );
+                assert_eq!(args, &Some(vec![PatField::var("u"), PatField::Any]));
                 assert_eq!(result, &PatField::lit("ok"));
             }
             other => panic!("expected call pattern, got {other:?}"),
@@ -279,8 +274,11 @@ fn error_positions_are_reported() {
     let err = parse_program("bad", "frobnicate { }").unwrap_err();
     assert!(err.to_string().contains("unknown section"));
 
-    let err = parse_program("bad", "properties { P: [Recv(C, M())] Foo [Recv(C, M())]; }")
-        .unwrap_err();
+    let err = parse_program(
+        "bad",
+        "properties { P: [Recv(C, M())] Foo [Recv(C, M())]; }",
+    )
+    .unwrap_err();
     assert!(err.to_string().contains("unknown trace property keyword"));
 }
 

@@ -88,7 +88,10 @@ impl fmt::Debug for ScriptedBehavior {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScriptedBehavior")
             .field("startup", &self.startup)
-            .field("rules", &self.rules.iter().map(|(m, _)| m).collect::<Vec<_>>())
+            .field(
+                "rules",
+                &self.rules.iter().map(|(m, _)| m).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

@@ -469,9 +469,7 @@ impl Interpreter {
                     (BinOp::Lt, Value::Num(x), Value::Num(y)) => Value::Bool(x < y),
                     (BinOp::Le, Value::Num(x), Value::Num(y)) => Value::Bool(x <= y),
                     (BinOp::Cat, Value::Str(x), Value::Str(y)) => Value::Str(format!("{x}{y}")),
-                    (op, a, b) => {
-                        return Err(err(format!("type error: {op:?} on {a} and {b}")))
-                    }
+                    (op, a, b) => return Err(err(format!("type error: {op:?} on {a} and {b}"))),
                 }
             }
         })

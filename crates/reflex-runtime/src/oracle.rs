@@ -194,9 +194,7 @@ impl<'a> Replay<'a> {
                     }
                     other => Err(OracleError {
                         position: self.cursor - 1,
-                        message: format!(
-                            "expected Send({comp}, {msg}(…)), found {other}"
-                        ),
+                        message: format!("expected Send({comp}, {msg}(…)), found {other}"),
                     }),
                 }
             }

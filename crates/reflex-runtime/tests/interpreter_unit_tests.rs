@@ -9,8 +9,7 @@ use reflex_trace::{Action, Msg};
 use reflex_typeck::CheckedProgram;
 
 fn checked(src: &str) -> CheckedProgram {
-    reflex_typeck::check(&reflex_parser::parse_program("t", src).expect("parses"))
-        .expect("checks")
+    reflex_typeck::check(&reflex_parser::parse_program("t", src).expect("parses")).expect("checks")
 }
 
 const PIPE: &str = r#"
@@ -46,7 +45,8 @@ fn mailbox_is_fifo_per_component() {
     let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
     let a = k.components_of("A")[0].id;
     for n in [10, 20, 30] {
-        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+        k.inject(a, Msg::new("Step", [Value::Num(n)]))
+            .expect("inject");
     }
     k.run(10).expect("runs");
     let received: Vec<i64> = k
@@ -84,7 +84,8 @@ fn run_respects_step_budget() {
     let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
     let a = k.components_of("A")[0].id;
     for n in 0..6 {
-        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+        k.inject(a, Msg::new("Step", [Value::Num(n)]))
+            .expect("inject");
     }
     assert_eq!(k.run(2).expect("runs"), 2);
     assert!(k.has_ready());
@@ -96,13 +97,15 @@ fn run_respects_step_budget() {
 fn behavior_replies_are_delivered_on_selection() {
     let c = checked(PIPE);
     let registry = Registry::new().register("b.py", |_| {
-        Box::new(ScriptedBehavior::new().replies("Step", |m| {
-            vec![Msg::new("Done", [m.args[0].clone()])]
-        }))
+        Box::new(
+            ScriptedBehavior::new()
+                .replies("Step", |m| vec![Msg::new("Done", [m.args[0].clone()])]),
+        )
     });
     let mut k = Interpreter::new(&c, registry, Box::new(EmptyWorld), 1).expect("boots");
     let a = k.components_of("A")[0].id;
-    k.inject(a, Msg::new("Step", [Value::Num(7)])).expect("inject");
+    k.inject(a, Msg::new("Step", [Value::Num(7)]))
+        .expect("inject");
     k.run(10).expect("runs");
     // seen = 1 (A handler) + 7 (B's Done reply).
     assert_eq!(k.state_var("seen"), Some(&Value::Num(8)));
@@ -129,7 +132,8 @@ fn stateful_behaviors_accumulate() {
     let mut k = Interpreter::new(&c, registry, Box::new(EmptyWorld), 5).expect("boots");
     let a = k.components_of("A")[0].id;
     for n in 0..3 {
-        k.inject(a, Msg::new("Step", [Value::Num(n)])).expect("inject");
+        k.inject(a, Msg::new("Step", [Value::Num(n)]))
+            .expect("inject");
     }
     k.run(20).expect("runs");
     // Only the third delivery triggered Done(3): seen = 3 + 3.
@@ -178,7 +182,8 @@ fn lookup_picks_the_first_match_in_spawn_order() {
     let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
     let c0 = k.components_of("C")[0].id;
     let first_k = k.components_of("K")[0].id;
-    k.inject(c0, Msg::new("Find", [Value::from("x")])).expect("inject");
+    k.inject(c0, Msg::new("Find", [Value::from("x")]))
+        .expect("inject");
     k.run(4).expect("runs");
     let hit = k
         .trace()
@@ -196,7 +201,8 @@ fn missing_lookup_takes_else_branch_silently() {
     let c = checked(LOOKUP_ORDER);
     let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
     let c0 = k.components_of("C")[0].id;
-    k.inject(c0, Msg::new("Find", [Value::from("nope")])).expect("inject");
+    k.inject(c0, Msg::new("Find", [Value::from("nope")]))
+        .expect("inject");
     k.run(4).expect("runs");
     assert!(!k
         .trace()
@@ -216,5 +222,7 @@ fn step_on_quiescent_kernel_returns_none() {
 fn inject_rejects_dead_component_ids() {
     let c = checked(PIPE);
     let mut k = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
-    assert!(k.inject(CompId::new(77), Msg::new("Step", [Value::Num(1)])).is_err());
+    assert!(k
+        .inject(CompId::new(77), Msg::new("Step", [Value::Num(1)]))
+        .is_err());
 }

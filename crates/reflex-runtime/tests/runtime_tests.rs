@@ -100,8 +100,7 @@ fn ssh_registry() -> Registry {
 #[test]
 fn ssh_session_runs_and_satisfies_properties() {
     let c = checked("ssh", SSH);
-    let mut kernel =
-        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 42).expect("boots");
+    let mut kernel = Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 42).expect("boots");
     kernel.run(10).expect("runs");
 
     // The password component authenticated alice.
@@ -132,8 +131,7 @@ fn unauthenticated_terminal_requests_are_dropped() {
     let c = checked("ssh", SSH);
     let registry = Registry::new().register("client.py", |_| {
         Box::new(
-            ScriptedBehavior::new()
-                .starts_with([Msg::new("ReqTerm", [Value::from("mallory")])]),
+            ScriptedBehavior::new().starts_with([Msg::new("ReqTerm", [Value::from("mallory")])]),
         )
     });
     let mut kernel = Interpreter::new(&c, registry, Box::new(EmptyWorld), 1).expect("boots");
@@ -149,8 +147,7 @@ fn unauthenticated_terminal_requests_are_dropped() {
 #[test]
 fn inject_validates_component_and_payload() {
     let c = checked("ssh", SSH);
-    let mut kernel =
-        Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
+    let mut kernel = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 0).expect("boots");
     let client = kernel.components_of("Connection")[0].id;
     // Unknown component id.
     assert!(kernel
@@ -171,15 +168,13 @@ fn inject_validates_component_and_payload() {
 #[test]
 fn oracle_rejects_corrupted_traces() {
     let c = checked("ssh", SSH);
-    let mut kernel =
-        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 7).expect("boots");
+    let mut kernel = Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 7).expect("boots");
     kernel.run(10).expect("runs");
     let good = kernel.trace().clone();
     check_trace_inclusion(&c, &good).expect("valid");
 
     // Corrupt 1: drop the init spawn actions.
-    let tampered: reflex_trace::Trace =
-        good.iter_chrono().skip(1).cloned().collect();
+    let tampered: reflex_trace::Trace = good.iter_chrono().skip(1).cloned().collect();
     assert!(check_trace_inclusion(&c, &tampered).is_err());
 
     // Corrupt 2: append a Send the kernel never performed.
@@ -237,8 +232,7 @@ fn lookup_reuses_existing_components() {
         "init {\n  t1 <- spawn Tab(\"a.org\");\n  t2 <- spawn Tab(\"a.org\");\n  t3 <- spawn Tab(\"b.org\");\n}",
     );
     let c = checked("cookies", &src);
-    let mut kernel =
-        Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 3).expect("boots");
+    let mut kernel = Interpreter::new(&c, Registry::new(), Box::new(EmptyWorld), 3).expect("boots");
     let tabs: Vec<CompId> = kernel.components_of("Tab").iter().map(|t| t.id).collect();
     for (i, t) in tabs.iter().enumerate() {
         kernel
@@ -256,8 +250,7 @@ fn lookup_reuses_existing_components() {
 #[test]
 fn observable_outputs_erase_identities() {
     let c = checked("ssh", SSH);
-    let mut kernel =
-        Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 11).expect("boots");
+    let mut kernel = Interpreter::new(&c, ssh_registry(), Box::new(EmptyWorld), 11).expect("boots");
     kernel.run(10).expect("runs");
     let outs = observable_outputs(kernel.trace(), |comp| comp.ctype == "Password");
     // Only the forwarded ReqAuth went to the Password component.

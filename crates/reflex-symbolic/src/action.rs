@@ -399,7 +399,10 @@ mod tests {
             msg: "Auth".into(),
             args: vec![],
         };
-        assert_eq!(unify_action(&recv_pat, &act, &SymBindings::new()), Unify::Never);
+        assert_eq!(
+            unify_action(&recv_pat, &act, &SymBindings::new()),
+            Unify::Never
+        );
         let wrong_type = ActionPat::Send {
             comp: CompPat::of_type("Terminal"),
             msg: "Auth".into(),

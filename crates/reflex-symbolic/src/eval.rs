@@ -18,9 +18,9 @@ use std::collections::BTreeMap;
 use reflex_ast::{Cmd, Expr, Handler, Ty, UnOp};
 use reflex_typeck::CheckedProgram;
 
+use crate::action::SymAction;
 use crate::comp::{CompOrigin, SymComp};
 use crate::solver::Solver;
-use crate::action::SymAction;
 use crate::term::{SymCtx, SymKind, Term};
 
 /// A symbolic program state: data variables and component variables in
@@ -208,7 +208,9 @@ impl<'p> Evaluator<'p> {
                 .get(x)
                 .unwrap_or_else(|| unreachable!("typeck guarantees component `{x}` in scope"))
                 .clone(),
-            other => unreachable!("typeck guarantees component expressions are variables: {other:?}"),
+            other => {
+                unreachable!("typeck guarantees component expressions are variables: {other:?}")
+            }
         }
     }
 
@@ -285,8 +287,7 @@ impl<'p> Evaluator<'p> {
                 config,
             } => {
                 let mut p = start;
-                let terms: Vec<Term> =
-                    config.iter().map(|a| self.eval_expr(&p.state, a)).collect();
+                let terms: Vec<Term> = config.iter().map(|a| self.eval_expr(&p.state, a)).collect();
                 let comp = SymComp {
                     ctype: ctype.clone(),
                     config: terms,
@@ -391,10 +392,7 @@ impl<'p> Evaluator<'p> {
                     },
                 };
                 found_path.lookup_count += 1;
-                found_path
-                    .state
-                    .comps
-                    .insert(binder.clone(), comp.clone());
+                found_path.state.comps.insert(binder.clone(), comp.clone());
                 let pred_term = self.eval_expr(&found_path.state, pred);
                 match pred_term.as_bool() {
                     Some(false) => {} // predicate can never hold: no found branch
@@ -513,7 +511,9 @@ impl<'p> Evaluator<'p> {
 
         let param_names: Vec<String> = match handler {
             Some(h) => h.params.clone(),
-            None => (0..msg_decl.payload.len()).map(|i| format!("_p{i}")).collect(),
+            None => (0..msg_decl.payload.len())
+                .map(|i| format!("_p{i}"))
+                .collect(),
         };
         let params: Vec<(String, Term)> = param_names
             .iter()

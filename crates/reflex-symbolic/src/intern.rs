@@ -1,0 +1,269 @@
+//! Hash-consed term handles: the thread-safe global term interner.
+//!
+//! Every compound [`Term`] node ([`Term::Un`] / [`Term::Bin`]) holds its
+//! children as [`TermRef`]s, and every `TermRef` is produced by
+//! [`TermRef::new`], which uniquifies the node in a global sharded table.
+//! This gives the **uniqueness invariant**: two `TermRef`s are structurally
+//! equal if and only if they point at the same allocation. Consequently
+//!
+//! - equality of handles is a pointer comparison (`Arc::ptr_eq`) — sound
+//!   *and complete*, because structurally equal nodes are never duplicated;
+//! - hashing is a copy of a structural hash cached at intern time (stable
+//!   within a process, independent of allocation addresses, so hash-map
+//!   iteration orders cannot leak nondeterminism into proofs);
+//! - ordering short-circuits on pointer equality and otherwise falls back
+//!   to the structural [`Ord`] on [`Term`], preserving the exact total
+//!   order the canonicalization passes relied on before interning.
+//!
+//! Shared subtrees also make deep clones free: cloning a `TermRef` is an
+//! `Arc` refcount bump.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::term::Term;
+
+const SHARD_COUNT: usize = 64;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+struct Interner {
+    shards: Vec<Mutex<HashMap<Term, TermRef>>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+    })
+}
+
+/// A handle to an interned (hash-consed) [`Term`] node.
+///
+/// Dereferences to [`Term`]; see the module docs for the equality, hashing
+/// and ordering contract.
+pub struct TermRef {
+    node: Arc<Term>,
+    /// Structural hash, computed once at intern time.
+    hash: u64,
+}
+
+impl TermRef {
+    /// Interns `node`, returning the canonical handle for its structure.
+    ///
+    /// `node`'s children are already interned (they are `TermRef`s), so a
+    /// shallow hash + shallow equality check suffices to uniquify it.
+    pub fn new(node: Term) -> TermRef {
+        let hash = stable_term_hash(&node);
+        let shard = &interner().shards[(hash as usize) % SHARD_COUNT];
+        let mut map = shard.lock().expect("interner shard poisoned");
+        if let Some(existing) = map.get(&node) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            return existing.clone();
+        }
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        let handle = TermRef {
+            node: Arc::new(node.clone()),
+            hash,
+        };
+        map.insert(node, handle.clone());
+        handle
+    }
+
+    /// The underlying term node.
+    pub fn as_term(&self) -> &Term {
+        &self.node
+    }
+
+    /// The cached structural hash.
+    pub fn cached_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Clone for TermRef {
+    fn clone(&self) -> Self {
+        TermRef {
+            node: Arc::clone(&self.node),
+            hash: self.hash,
+        }
+    }
+}
+
+impl Deref for TermRef {
+    type Target = Term;
+    fn deref(&self) -> &Term {
+        &self.node
+    }
+}
+
+impl PartialEq for TermRef {
+    fn eq(&self, other: &Self) -> bool {
+        // Sound and complete by the uniqueness invariant.
+        Arc::ptr_eq(&self.node, &other.node)
+    }
+}
+
+impl Eq for TermRef {}
+
+impl Hash for TermRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl PartialOrd for TermRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TermRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.node, &other.node) {
+            std::cmp::Ordering::Equal
+        } else {
+            // Structural, so orderings (canonical operand order, BTreeMap
+            // iteration) are deterministic across runs and thread counts.
+            self.node.cmp(&other.node)
+        }
+    }
+}
+
+impl fmt::Debug for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node.fmt(f)
+    }
+}
+
+impl fmt::Display for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.node, f)
+    }
+}
+
+/// Interner occupancy and hit statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InternStats {
+    /// Interned (distinct) nodes currently in the table.
+    pub nodes: u64,
+    /// `TermRef::new` calls answered from the table.
+    pub hits: u64,
+    /// `TermRef::new` calls that allocated a new node.
+    pub misses: u64,
+}
+
+/// A snapshot of the global interner statistics.
+pub fn intern_stats() -> InternStats {
+    let nodes = interner()
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("interner shard poisoned").len() as u64)
+        .sum();
+    InternStats {
+        nodes,
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// A deterministic (FNV-1a, little-endian) hasher: the cached structural
+/// hashes must not depend on allocation addresses or `RandomState` keys.
+pub(crate) struct StableHasher(u64);
+
+impl StableHasher {
+    pub(crate) fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// The stable structural hash of a term node (children contribute their
+/// cached hashes, so this is O(node), not O(tree)).
+pub(crate) fn stable_term_hash(node: &Term) -> u64 {
+    let mut hasher = StableHasher::new();
+    node.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{SymCtx, SymKind, Term};
+    use reflex_ast::{BinOp, Ty};
+
+    #[test]
+    fn structurally_equal_terms_share_one_allocation() {
+        let mut ctx = SymCtx::new();
+        let x = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+        let a = Term::bin(BinOp::Add, x.clone(), Term::lit(1i64));
+        let b = Term::bin(BinOp::Add, x.clone(), Term::lit(1i64));
+        let (Term::Bin(_, al, ar), Term::Bin(_, bl, br)) = (&a, &b) else {
+            panic!("expected Bin");
+        };
+        assert!(al == bl && ar == br, "children are pointer-equal handles");
+        assert_eq!(al.cached_hash(), bl.cached_hash());
+    }
+
+    #[test]
+    fn handle_order_matches_structural_order() {
+        let mut ctx = SymCtx::new();
+        let x = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+        let y = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+        let xr = TermRef::new(x.clone());
+        let yr = TermRef::new(y.clone());
+        assert_eq!(xr.cmp(&yr), x.cmp(&y));
+        assert_eq!(xr.cmp(&xr.clone()), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn threads_intern_to_the_same_handle() {
+        let handles: Vec<TermRef> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut ctx = SymCtx::new();
+                        let x = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+                        let Term::Bin(_, l, _) = Term::bin(BinOp::Add, x, Term::lit(41i64)) else {
+                            panic!("expected Bin");
+                        };
+                        l
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|j| j.join().expect("thread"))
+                .collect()
+        });
+        for h in &handles[1..] {
+            assert!(*h == handles[0]);
+        }
+    }
+}

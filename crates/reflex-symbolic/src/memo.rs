@@ -1,0 +1,132 @@
+//! Global memoization of solver entailment queries.
+//!
+//! [`Solver::entails`] is the hot path of proof search: the provers issue
+//! the same `Φ ⊨ ℓ` judgments over and over — across obligations, across
+//! inductive cases, and (with the shared proof cache) across properties.
+//! Each query clones the solver and re-saturates, so answering from a table
+//! is a large constant-factor win.
+//!
+//! The memo key is the solver's **assertion log** (the exact sequence of
+//! `assert_term` calls) plus the queried literal. Interned terms make the
+//! key cheap: hashing uses the cached structural hashes and equality is a
+//! shallow node comparison with pointer-equal children.
+//!
+//! Determinism: on a miss the answer is computed by *replaying the log*
+//! into a fresh solver, never from the caller's (possibly pre-saturated)
+//! state. The cached bit is therefore a pure function of the key, so
+//! concurrent provers can never observe timing-dependent answers, and a
+//! memoized run agrees with itself regardless of thread interleaving.
+//! Soundness is unaffected either way: `is_unsat` is sound-for-UNSAT and
+//! every certificate is still replayed by the independent checker.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::solver::Solver;
+use crate::term::Term;
+
+const SHARD_COUNT: usize = 64;
+/// Per-shard entry cap; a full shard is cleared wholesale. Bounds memory
+/// without LRU bookkeeping on the hot path.
+const SHARD_CAPACITY: usize = 8_192;
+
+static QUERIES: AtomicU64 = AtomicU64::new(0);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+#[derive(PartialEq, Eq, Hash)]
+struct Key {
+    log: Vec<(Term, bool)>,
+    query: Term,
+    polarity: bool,
+}
+
+struct MemoTable {
+    shards: Vec<Mutex<HashMap<Key, bool>>>,
+}
+
+fn table() -> &'static MemoTable {
+    static TABLE: OnceLock<MemoTable> = OnceLock::new();
+    TABLE.get_or_init(|| MemoTable {
+        shards: (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
+    })
+}
+
+/// Memoized `Φ ⊨ (query == polarity)` where `Φ` is the assertion log.
+pub(crate) fn entails_memoized(log: &[(Term, bool)], query: &Term, polarity: bool) -> bool {
+    QUERIES.fetch_add(1, Ordering::Relaxed);
+    let key = Key {
+        log: log.to_vec(),
+        query: query.clone(),
+        polarity,
+    };
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    let shard = &table().shards[(hasher.finish() as usize) % SHARD_COUNT];
+    if let Some(&answer) = shard.lock().expect("memo shard poisoned").get(&key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return answer;
+    }
+    // Compute from a replay of the log so the result is a pure function of
+    // the key (see module docs), then publish.
+    let mut probe = Solver::with_assumptions(key.log.iter());
+    probe.assert_term(query.clone(), !polarity);
+    let answer = probe.is_unsat();
+    let mut map = shard.lock().expect("memo shard poisoned");
+    if map.len() >= SHARD_CAPACITY {
+        map.clear();
+    }
+    map.insert(key, answer);
+    answer
+}
+
+/// Counters for the entailment memo table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EntailmentMemoStats {
+    /// Total `Solver::entails` queries since the last reset.
+    pub queries: u64,
+    /// Queries answered from the table.
+    pub hits: u64,
+}
+
+/// A snapshot of the global entailment-memo counters.
+pub fn entailment_memo_stats() -> EntailmentMemoStats {
+    EntailmentMemoStats {
+        queries: QUERIES.load(Ordering::Relaxed),
+        hits: HITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Resets the counters (the cached answers are kept — they are pure).
+pub fn reset_entailment_memo_stats() {
+    QUERIES.store(0, Ordering::Relaxed);
+    HITS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{SymCtx, SymKind};
+    use reflex_ast::{BinOp, Ty};
+
+    #[test]
+    fn memoized_agrees_with_uncached() {
+        let mut c = SymCtx::new();
+        let x = c.fresh_term(Ty::Num, SymKind::Fresh);
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Eq, x.clone(), Term::lit(2i64)), true);
+        let probe = Term::bin(
+            BinOp::Eq,
+            Term::bin(BinOp::Add, x.clone(), Term::lit(1i64)),
+            Term::lit(3i64),
+        );
+        for _ in 0..3 {
+            assert_eq!(s.entails(&probe, true), s.entails_uncached(&probe, true));
+            assert_eq!(s.entails(&probe, false), s.entails_uncached(&probe, false));
+        }
+    }
+}

@@ -38,6 +38,10 @@ pub struct Solver {
     lits: Vec<(Term, bool)>,
     /// Disjunctions awaiting unit propagation.
     clauses: Vec<Vec<(Term, bool)>>,
+    /// The exact `assert_term` call sequence: the solver's semantic state
+    /// is a pure function of this log, which makes it the memoization key
+    /// for entailment queries (see [`crate::memo`]).
+    log: Vec<(Term, bool)>,
     unsat: bool,
     saturated: bool,
 }
@@ -60,6 +64,7 @@ impl Solver {
     /// Asserts `term == polarity`.
     pub fn assert_term(&mut self, term: Term, polarity: bool) {
         self.saturated = false;
+        self.log.push((term.clone(), polarity));
         self.push(term, polarity);
     }
 
@@ -112,7 +117,19 @@ impl Solver {
     /// Whether the assumptions entail `term == polarity`.
     ///
     /// Sound but incomplete: `true` is a proof, `false` is "unknown".
+    ///
+    /// Answers are memoized globally on (assertion log, query) — interned
+    /// terms make the key cheap — and computed on a miss by replaying the
+    /// log, so the result is deterministic regardless of caller state or
+    /// thread interleaving. See [`crate::memo`].
     pub fn entails(&self, term: &Term, polarity: bool) -> bool {
+        crate::memo::entails_memoized(&self.log, term, polarity)
+    }
+
+    /// The uncached reference implementation of [`Solver::entails`]:
+    /// clone, assert the negation, saturate. Exposed so tests can check
+    /// memoized answers against it.
+    pub fn entails_uncached(&self, term: &Term, polarity: bool) -> bool {
         let mut probe = self.clone();
         probe.assert_term(term.clone(), !polarity);
         probe.is_unsat()
@@ -412,9 +429,7 @@ impl Solver {
                             if !self
                                 .eqs
                                 .iter()
-                                .any(|(a, b)| {
-                                    Term::bin(BinOp::Eq, a.clone(), b.clone()) == other
-                                })
+                                .any(|(a, b)| Term::bin(BinOp::Eq, a.clone(), b.clone()) == other)
                             {
                                 new_facts.push((other, true));
                             }

@@ -1,9 +1,10 @@
 //! Symbolic terms: the value language of symbolic evaluation.
 
 use std::fmt;
-use std::rc::Rc;
 
 use reflex_ast::{BinOp, Ty, UnOp, Value};
+
+use crate::intern::TermRef;
 
 /// What a symbolic variable stands for. Used for diagnostics and — in the
 /// verifier — to recognize which opaque values denote pre-state variables,
@@ -82,12 +83,14 @@ impl SymCtx {
 
 /// A symbolic term.
 ///
-/// Terms are immutable trees with shared subtrees ([`Rc`]); cloning is
-/// cheap. Construction via [`Term::bin`]/[`Term::un`] applies bottom-up
-/// simplification (constant folding, neutral elements, canonical ordering
-/// of commutative operators and linear normalization of arithmetic), so
-/// syntactic equality of built terms is a useful — though incomplete —
-/// semantic equality check.
+/// Terms are immutable trees whose compound nodes are hash-consed through
+/// the global interner ([`TermRef`]): structurally equal subtrees share one
+/// allocation, so cloning is a refcount bump and subterm equality is a
+/// pointer comparison. Construction via [`Term::bin`]/[`Term::un`] applies
+/// bottom-up simplification (constant folding, neutral elements, canonical
+/// ordering of commutative operators and linear normalization of
+/// arithmetic), so syntactic equality of built terms is a useful — though
+/// incomplete — semantic equality check.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A literal value.
@@ -95,9 +98,9 @@ pub enum Term {
     /// An opaque symbolic variable.
     Sym(SymVar),
     /// A unary operation.
-    Un(UnOp, Rc<Term>),
+    Un(UnOp, TermRef),
     /// A binary operation.
-    Bin(BinOp, Rc<Term>, Rc<Term>),
+    Bin(BinOp, TermRef, TermRef),
 }
 
 impl Term {
@@ -154,7 +157,7 @@ impl Term {
             (UnOp::Not, Term::Un(UnOp::Not, inner)) => (**inner).clone(),
             (UnOp::Neg, Term::Lit(Value::Num(n))) => Term::Lit(Value::Num(n.wrapping_neg())),
             (UnOp::Neg, Term::Un(UnOp::Neg, inner)) => (**inner).clone(),
-            _ => Term::Un(op, Rc::new(t)),
+            _ => Term::Un(op, TermRef::new(t)),
         }
     }
 
@@ -227,7 +230,7 @@ impl Term {
             Eq | And | Or if l > r => (r, l),
             _ => (l, r),
         };
-        Term::Bin(op, Rc::new(l), Rc::new(r))
+        Term::Bin(op, TermRef::new(l), TermRef::new(r))
     }
 
     /// Shorthand: `self == other`.
@@ -343,7 +346,7 @@ fn linearize(t: &Term, sign: i64, atoms: &mut Vec<(Term, i64)>, constant: &mut i
 
 /// Rebuilds a canonical linear form: atoms sorted, cancelled, constant last.
 fn normalize_linear(op: BinOp, l: Term, r: Term) -> Term {
-    let probe = Term::Bin(op, Rc::new(l), Rc::new(r));
+    let probe = Term::Bin(op, TermRef::new(l), TermRef::new(r));
     let mut atoms = Vec::new();
     let mut constant = 0i64;
     linearize(&probe, 1, &mut atoms, &mut constant);
@@ -366,19 +369,25 @@ fn normalize_linear(op: BinOp, l: Term, r: Term) -> Term {
         for _ in 0..abs {
             acc = Some(match (acc, neg) {
                 (None, false) => t.clone(),
-                (None, true) => Term::Un(UnOp::Neg, Rc::new(t.clone())),
-                (Some(a), false) => Term::Bin(BinOp::Add, Rc::new(a), Rc::new(t.clone())),
-                (Some(a), true) => Term::Bin(BinOp::Sub, Rc::new(a), Rc::new(t.clone())),
+                (None, true) => Term::Un(UnOp::Neg, TermRef::new(t.clone())),
+                (Some(a), false) => Term::Bin(BinOp::Add, TermRef::new(a), TermRef::new(t.clone())),
+                (Some(a), true) => Term::Bin(BinOp::Sub, TermRef::new(a), TermRef::new(t.clone())),
             });
         }
     }
     match (acc, constant) {
         (None, c) => Term::Lit(Value::Num(c)),
         (Some(a), 0) => a,
-        (Some(a), c) if c > 0 => {
-            Term::Bin(BinOp::Add, Rc::new(a), Rc::new(Term::Lit(Value::Num(c))))
-        }
-        (Some(a), c) => Term::Bin(BinOp::Sub, Rc::new(a), Rc::new(Term::Lit(Value::Num(-c)))),
+        (Some(a), c) if c > 0 => Term::Bin(
+            BinOp::Add,
+            TermRef::new(a),
+            TermRef::new(Term::Lit(Value::Num(c))),
+        ),
+        (Some(a), c) => Term::Bin(
+            BinOp::Sub,
+            TermRef::new(a),
+            TermRef::new(Term::Lit(Value::Num(-c))),
+        ),
     }
 }
 
@@ -466,10 +475,7 @@ mod tests {
         let b = Term::bin(BinOp::Add, x.clone(), Term::lit(2i64));
         assert_eq!(a, b);
         // x - x == 0
-        assert_eq!(
-            Term::bin(BinOp::Sub, x.clone(), x.clone()),
-            Term::lit(0i64)
-        );
+        assert_eq!(Term::bin(BinOp::Sub, x.clone(), x.clone()), Term::lit(0i64));
         // x + 1 == x + 2 is false; x + 1 <= x + 2 is true.
         assert_eq!(
             Term::bin(
@@ -512,9 +518,7 @@ mod tests {
         let mut ctx = SymCtx::new();
         let x = sym(&mut ctx, Ty::Num);
         let t = Term::bin(BinOp::Add, x.clone(), Term::lit(1i64));
-        let rewritten = t.rewrite_leaves(&|leaf| {
-            (leaf == &x).then(|| Term::lit(4i64))
-        });
+        let rewritten = t.rewrite_leaves(&|leaf| (leaf == &x).then(|| Term::lit(4i64)));
         assert_eq!(rewritten, Term::lit(5i64));
     }
 
@@ -522,10 +526,19 @@ mod tests {
     fn types_are_computed() {
         let mut ctx = SymCtx::new();
         let x = sym(&mut ctx, Ty::Num);
-        assert_eq!(Term::bin(BinOp::Le, x.clone(), Term::lit(3i64)).ty(), Ty::Bool);
-        assert_eq!(Term::bin(BinOp::Add, x.clone(), Term::lit(3i64)).ty(), Ty::Num);
+        assert_eq!(
+            Term::bin(BinOp::Le, x.clone(), Term::lit(3i64)).ty(),
+            Ty::Bool
+        );
+        assert_eq!(
+            Term::bin(BinOp::Add, x.clone(), Term::lit(3i64)).ty(),
+            Ty::Num
+        );
         let s = sym(&mut ctx, Ty::Str);
-        assert_eq!(Term::bin(BinOp::Cat, s.clone(), Term::lit("x")).ty(), Ty::Str);
+        assert_eq!(
+            Term::bin(BinOp::Cat, s.clone(), Term::lit("x")).ty(),
+            Ty::Str
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Equivalence tests for the two transparent solver optimizations:
+//!
+//! * **hash-consed terms** — structurally equal terms built through
+//!   independent constructor calls must be indistinguishable (equality,
+//!   hashing, ordering), because the interner may return either copy;
+//! * **memoized entailment** — [`Solver::entails`] answers through a
+//!   global replay-keyed memo table; it must agree with
+//!   [`Solver::entails_uncached`] (which re-derives from scratch) on every
+//!   context and query.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use proptest::prelude::*;
+use reflex_ast::{BinOp, Ty, UnOp};
+use reflex_symbolic::{Solver, SymCtx, SymKind, SymVar, Term};
+
+/// Fixed symbolic variables: two numbers, one string, one boolean.
+fn variables() -> Vec<SymVar> {
+    let mut ctx = SymCtx::new();
+    vec![
+        ctx.fresh(Ty::Num, SymKind::Fresh),
+        ctx.fresh(Ty::Num, SymKind::Fresh),
+        ctx.fresh(Ty::Str, SymKind::Fresh),
+        ctx.fresh(Ty::Bool, SymKind::Fresh),
+    ]
+}
+
+/// A term "recipe": a seed-driven deterministic construction, so the same
+/// recipe can build the term twice through independent constructor calls.
+fn build_term(seed: u64, ty: Ty, depth: u32) -> Term {
+    let vars = variables();
+    let mut s = seed;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    build_term_inner(&mut next, ty, depth, &vars)
+}
+
+fn build_term_inner(next: &mut impl FnMut() -> u64, ty: Ty, depth: u32, vars: &[SymVar]) -> Term {
+    if depth == 0 || next().is_multiple_of(3) {
+        // Leaf: a literal or a variable of the right type.
+        let candidates: Vec<Term> = vars
+            .iter()
+            .filter(|v| v.ty == ty)
+            .map(|v| Term::Sym(v.clone()))
+            .collect();
+        let n = next();
+        if n.is_multiple_of(2) && !candidates.is_empty() {
+            return candidates[(n / 2) as usize % candidates.len()].clone();
+        }
+        return match ty {
+            Ty::Num => Term::lit((n % 5) as i64 - 2),
+            Ty::Str => Term::lit(["a", "b", "c"][(n % 3) as usize]),
+            Ty::Bool => Term::lit(n.is_multiple_of(2)),
+            _ => unreachable!("data types only"),
+        };
+    }
+    match ty {
+        Ty::Num => {
+            let op = if next().is_multiple_of(2) {
+                BinOp::Add
+            } else {
+                BinOp::Sub
+            };
+            Term::bin(
+                op,
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+            )
+        }
+        Ty::Str => Term::bin(
+            BinOp::Cat,
+            build_term_inner(next, Ty::Str, depth - 1, vars),
+            build_term_inner(next, Ty::Str, depth - 1, vars),
+        ),
+        Ty::Bool => match next() % 6 {
+            0 => Term::un(UnOp::Not, build_term_inner(next, Ty::Bool, depth - 1, vars)),
+            1 => Term::bin(
+                BinOp::And,
+                build_term_inner(next, Ty::Bool, depth - 1, vars),
+                build_term_inner(next, Ty::Bool, depth - 1, vars),
+            ),
+            2 => Term::bin(
+                BinOp::Or,
+                build_term_inner(next, Ty::Bool, depth - 1, vars),
+                build_term_inner(next, Ty::Bool, depth - 1, vars),
+            ),
+            3 => Term::bin(
+                BinOp::Eq,
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+            ),
+            4 => Term::bin(
+                BinOp::Lt,
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+                build_term_inner(next, Ty::Num, depth - 1, vars),
+            ),
+            _ => Term::bin(
+                BinOp::Eq,
+                build_term_inner(next, Ty::Str, depth - 1, vars),
+                build_term_inner(next, Ty::Str, depth - 1, vars),
+            ),
+        },
+        _ => unreachable!(),
+    }
+}
+
+fn hash_of(t: &Term) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Two independent constructions from the same recipe must be fully
+    /// interchangeable: interning may hand out either copy.
+    #[test]
+    fn independently_built_terms_are_indistinguishable(seed in any::<u64>()) {
+        let a = build_term(seed, Ty::Bool, 3);
+        let b = build_term(seed, Ty::Bool, 3);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(hash_of(&a), hash_of(&b));
+        prop_assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        prop_assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    /// The memoized entailment query agrees with the from-scratch one on
+    /// every (context, query, polarity) — the memo layer is semantically
+    /// invisible.
+    #[test]
+    fn memoized_entailment_agrees_with_uncached(
+        ctx_seed in any::<u64>(),
+        query_seed in any::<u64>(),
+        polarity in any::<bool>(),
+    ) {
+        let mut solver = Solver::new();
+        for i in 0..3u64 {
+            let assumption = build_term(ctx_seed.wrapping_add(i.wrapping_mul(0x9e37)), Ty::Bool, 2);
+            solver.assert_term(assumption, i % 2 == 0);
+        }
+        let query = build_term(query_seed, Ty::Bool, 3);
+        let memoized = solver.entails(&query, polarity);
+        let uncached = solver.entails_uncached(&query, polarity);
+        prop_assert_eq!(
+            memoized, uncached,
+            "memo diverged on {} (polarity {})", query, polarity
+        );
+        // Ask again: the (now warm) memo must still agree.
+        prop_assert_eq!(solver.entails(&query, polarity), uncached);
+    }
+}

@@ -105,11 +105,7 @@ fn gen_term(ty: Ty, depth: u32) -> BoxedStrategy<Term> {
         Ty::Bool => any::<bool>().prop_map(Term::lit).boxed(),
         _ => unreachable!("data types only"),
     };
-    let leaf = prop_oneof![
-        lit,
-        proptest::sample::select(leaves.clone()),
-    ]
-    .boxed();
+    let leaf = prop_oneof![lit, proptest::sample::select(leaves.clone()),].boxed();
     if depth == 0 {
         return leaf;
     }

@@ -18,7 +18,11 @@ pub struct CompInst {
 
 impl CompInst {
     /// Creates a component instance.
-    pub fn new(id: CompId, ctype: impl Into<String>, config: impl IntoIterator<Item = Value>) -> Self {
+    pub fn new(
+        id: CompId,
+        ctype: impl Into<String>,
+        config: impl IntoIterator<Item = Value>,
+    ) -> Self {
         CompInst {
             id,
             ctype: ctype.into(),

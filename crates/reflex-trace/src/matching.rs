@@ -138,11 +138,7 @@ pub fn match_action(pat: &ActionPat, action: &Action, bindings: &Bindings) -> Op
             Action::Send { comp, msg: m },
         ) => *msg == m.name && match_comp(cp, comp, &mut b) && match_fields(args, &m.args, &mut b),
         (
-            ActionPat::Call {
-                func,
-                args,
-                result,
-            },
+            ActionPat::Call { func, args, result },
             Action::Call {
                 func: f,
                 args: a,
@@ -222,7 +218,9 @@ mod tests {
         let pat = ActionPat::Spawn {
             comp: CompPat::with_config("Tab", [PatField::var("d")]),
         };
-        let a = Action::Spawn { comp: tab(2, "a.org") };
+        let a = Action::Spawn {
+            comp: tab(2, "a.org"),
+        };
         let pre = Bindings::from_pairs([("d", Value::from("b.org"))]);
         assert!(match_action(&pat, &a, &pre).is_none());
         let pre_ok = Bindings::from_pairs([("d", Value::from("a.org"))]);

@@ -30,7 +30,11 @@ pub fn comp_is_high(spec: &NiSpec, sigma: &Bindings, comp: &CompInst) -> bool {
 /// (The full paper definition pairs each high input with the
 /// non-deterministic context of its handler; contexts are owned by the
 /// runtime, which zips them with this projection.)
-pub fn project_high_inputs<'t>(trace: &'t Trace, spec: &NiSpec, sigma: &Bindings) -> Vec<&'t Action> {
+pub fn project_high_inputs<'t>(
+    trace: &'t Trace,
+    spec: &NiSpec,
+    sigma: &Bindings,
+) -> Vec<&'t Action> {
     trace
         .iter_chrono()
         .filter(|a| match a {
@@ -62,10 +66,7 @@ pub fn project_high_outputs<'t>(
 ///
 /// Used by the dynamic NI oracle to test, e.g., "for all domains `d`" over
 /// the domains actually occurring in a run.
-pub fn instantiate_foralls(
-    forall: &[(String, reflex_ast::Ty)],
-    domain: &[Value],
-) -> Vec<Bindings> {
+pub fn instantiate_foralls(forall: &[(String, reflex_ast::Ty)], domain: &[Value]) -> Vec<Bindings> {
     let mut envs = vec![Bindings::new()];
     for (var, ty) in forall {
         let mut next = Vec::new();
@@ -125,8 +126,12 @@ mod tests {
                 comp: tab(1, "a.org"),
                 msg: Msg::new("R", []),
             },
-            Action::Spawn { comp: tab(3, "a.org") },
-            Action::Spawn { comp: tab(4, "b.org") },
+            Action::Spawn {
+                comp: tab(3, "a.org"),
+            },
+            Action::Spawn {
+                comp: tab(4, "b.org"),
+            },
         ]
         .into_iter()
         .collect();
@@ -140,6 +145,8 @@ mod tests {
         let domain = vec![Value::from("a"), Value::from("b"), Value::Num(1)];
         let envs = instantiate_foralls(&forall, &domain);
         assert_eq!(envs.len(), 2); // 2 strings x 1 num
-        assert!(envs.iter().all(|e| e.get("d").is_some() && e.get("n").is_some()));
+        assert!(envs
+            .iter()
+            .all(|e| e.get("d").is_some() && e.get("n").is_some()));
     }
 }

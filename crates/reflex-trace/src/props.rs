@@ -122,8 +122,8 @@ pub fn check_trace(trace: &Trace, prop: &TraceProp) -> Result<(), PropError> {
                     continue;
                 };
                 ensure_closed(&prop.b, &sigma)?;
-                let ok =
-                    i + 1 < actions.len() && match_action(&prop.b, &actions[i + 1], &sigma).is_some();
+                let ok = i + 1 < actions.len()
+                    && match_action(&prop.b, &actions[i + 1], &sigma).is_some();
                 if !ok {
                     return Err(PropError::Violation(Violation {
                         kind: prop.kind,
@@ -406,10 +406,14 @@ mod tests {
         };
         let p = TraceProp::new(TracePropKind::Disables, pat.clone(), pat);
 
-        let unique: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(3)].into_iter().collect();
+        let unique: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(3)]
+            .into_iter()
+            .collect();
         assert!(check_trace(&unique, &p).is_ok());
 
-        let dup: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(1)].into_iter().collect();
+        let dup: Trace = [spawn_tab(1), spawn_tab(2), spawn_tab(1)]
+            .into_iter()
+            .collect();
         let err = check_trace(&dup, &p).unwrap_err();
         assert!(matches!(err, PropError::Violation(v) if v.trigger_index == 2));
     }

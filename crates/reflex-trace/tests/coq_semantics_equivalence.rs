@@ -131,13 +131,15 @@ fn oracle(trace: &Trace, prop: &TraceProp) -> bool {
             vars.push(v);
         }
     }
-    all_substitutions(&vars).into_iter().all(|sigma| match prop.kind {
-        TracePropKind::ImmBefore => coq::immbefore(&prop.a, &prop.b, &tr, &sigma),
-        TracePropKind::ImmAfter => coq::immafter(&prop.a, &prop.b, &tr, &sigma),
-        TracePropKind::Enables => coq::enables(&prop.a, &prop.b, &tr, &sigma),
-        TracePropKind::Ensures => coq::ensures(&prop.a, &prop.b, &tr, &sigma),
-        TracePropKind::Disables => coq::disables(&prop.a, &prop.b, &tr, &sigma),
-    })
+    all_substitutions(&vars)
+        .into_iter()
+        .all(|sigma| match prop.kind {
+            TracePropKind::ImmBefore => coq::immbefore(&prop.a, &prop.b, &tr, &sigma),
+            TracePropKind::ImmAfter => coq::immafter(&prop.a, &prop.b, &tr, &sigma),
+            TracePropKind::Enables => coq::enables(&prop.a, &prop.b, &tr, &sigma),
+            TracePropKind::Ensures => coq::ensures(&prop.a, &prop.b, &tr, &sigma),
+            TracePropKind::Disables => coq::disables(&prop.a, &prop.b, &tr, &sigma),
+        })
 }
 
 // ---- generators ----------------------------------------------------------
@@ -202,13 +204,21 @@ fn gen_payload_pat() -> impl Strategy<Value = Vec<PatField>> {
 fn gen_action_pat() -> impl Strategy<Value = ActionPat> {
     prop_oneof![
         gen_comp_pat().prop_map(|comp| ActionPat::Select { comp }),
-        (gen_comp_pat(), prop_oneof![Just("M"), Just("N")], gen_payload_pat())
+        (
+            gen_comp_pat(),
+            prop_oneof![Just("M"), Just("N")],
+            gen_payload_pat()
+        )
             .prop_map(|(comp, msg, args)| ActionPat::Recv {
                 comp,
                 msg: msg.into(),
                 args
             }),
-        (gen_comp_pat(), prop_oneof![Just("M"), Just("N")], gen_payload_pat())
+        (
+            gen_comp_pat(),
+            prop_oneof![Just("M"), Just("N")],
+            gen_payload_pat()
+        )
             .prop_map(|(comp, msg, args)| ActionPat::Send {
                 comp,
                 msg: msg.into(),
@@ -302,11 +312,7 @@ fn oracle_sanity_on_known_cases() {
     assert!(oracle(&t, &p));
     assert!(check_trace(&t, &p).is_ok());
 
-    let q = TraceProp::new(
-        TracePropKind::Ensures,
-        p.a.clone(),
-        p.b.clone(),
-    );
+    let q = TraceProp::new(TracePropKind::Ensures, p.a.clone(), p.b.clone());
     assert!(oracle(&t, &q));
     assert!(check_trace(&t, &q).is_ok());
 }

@@ -80,8 +80,7 @@ impl CheckedProgram {
     pub fn handler_entry_scope(&self, ctype: &str, msg: &str) -> Scope {
         let mut scope = self.globals.clone();
         scope.insert(Handler::SENDER.to_owned(), VarInfo::comp(ctype));
-        if let (Some(h), Some(m)) = (self.program.handler(ctype, msg), self.program.msg_decl(msg))
-        {
+        if let (Some(h), Some(m)) = (self.program.handler(ctype, msg), self.program.msg_decl(msg)) {
             for (p, ty) in h.params.iter().zip(&m.payload) {
                 scope.insert(p.clone(), VarInfo::data(*ty, false));
             }
@@ -98,10 +97,10 @@ impl CheckedProgram {
                 let value = match &v.init {
                     Some(Expr::Lit(val)) => val.clone(),
                     Some(_) => unreachable!("checked: initializers are literals"),
-                    None => v
-                        .ty
-                        .default_value()
-                        .expect("checked: state types have defaults"),
+                    None => {
+                        v.ty.default_value()
+                            .expect("checked: state types have defaults")
+                    }
                 };
                 (v.name.clone(), value)
             })
@@ -279,14 +278,15 @@ impl<'p> Checker<'p> {
         }
         scope.insert(Handler::SENDER.to_owned(), VarInfo::comp(&h.ctype));
         for (p, ty) in h.params.iter().zip(&m.payload) {
-            if scope
-                .insert(p.clone(), VarInfo::data(*ty, false))
-                .is_some()
-            {
+            if scope.insert(p.clone(), VarInfo::data(*ty, false)).is_some() {
                 return Err(TypeError::Shadowing { name: p.clone() });
             }
         }
-        self.check_cmd(&h.body, &mut scope, &format!("handler {}:{}", h.ctype, h.msg))
+        self.check_cmd(
+            &h.body,
+            &mut scope,
+            &format!("handler {}:{}", h.ctype, h.msg),
+        )
     }
 
     /// Checks a command, extending `scope` with binders that stay visible
@@ -390,10 +390,7 @@ impl<'p> Checker<'p> {
                         &format!("configuration field `{fname}` of `{ctype}` in {ctx}"),
                     )?;
                 }
-                if scope
-                    .insert(binder.clone(), VarInfo::comp(ctype))
-                    .is_some()
-                {
+                if scope.insert(binder.clone(), VarInfo::comp(ctype)).is_some() {
                     return Err(TypeError::Shadowing {
                         name: binder.clone(),
                     });

@@ -20,8 +20,15 @@ fn gen_ty() -> impl Strategy<Value = Ty> {
 fn gen_name() -> impl Strategy<Value = String> {
     // Small name pool to provoke collisions and dangling references alike.
     prop_oneof![
-        Just("A"), Just("B"), Just("M"), Just("x"), Just("y"),
-        Just("sender"), Just("ghost"), Just("s"), Just("k"),
+        Just("A"),
+        Just("B"),
+        Just("M"),
+        Just("x"),
+        Just("y"),
+        Just("sender"),
+        Just("ghost"),
+        Just("s"),
+        Just("k"),
     ]
     .prop_map(str::to_owned)
 }
@@ -56,12 +63,36 @@ fn gen_cmd(depth: u32) -> BoxedStrategy<Cmd> {
     let leaf = prop_oneof![
         Just(Cmd::Nop),
         (gen_name(), gen_expr(1)).prop_map(|(x, e)| Cmd::Assign(x, e)),
-        (gen_expr(1), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
-            .prop_map(|(t, m, a)| Cmd::Send { target: t, msg: m, args: a }),
-        (gen_name(), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
-            .prop_map(|(b, c, cfg)| Cmd::Spawn { binder: b, ctype: c, config: cfg }),
-        (gen_name(), gen_name(), proptest::collection::vec(gen_expr(1), 0..2))
-            .prop_map(|(b, f, a)| Cmd::Call { binder: b, func: f, args: a }),
+        (
+            gen_expr(1),
+            gen_name(),
+            proptest::collection::vec(gen_expr(1), 0..2)
+        )
+            .prop_map(|(t, m, a)| Cmd::Send {
+                target: t,
+                msg: m,
+                args: a
+            }),
+        (
+            gen_name(),
+            gen_name(),
+            proptest::collection::vec(gen_expr(1), 0..2)
+        )
+            .prop_map(|(b, c, cfg)| Cmd::Spawn {
+                binder: b,
+                ctype: c,
+                config: cfg
+            }),
+        (
+            gen_name(),
+            gen_name(),
+            proptest::collection::vec(gen_expr(1), 0..2)
+        )
+            .prop_map(|(b, f, a)| Cmd::Call {
+                binder: b,
+                func: f,
+                args: a
+            }),
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
@@ -105,9 +136,17 @@ fn gen_action_pat() -> BoxedStrategy<ActionPat> {
     prop_oneof![
         gen_comp_pat().prop_map(|comp| ActionPat::Select { comp }),
         gen_comp_pat().prop_map(|comp| ActionPat::Spawn { comp }),
-        (gen_comp_pat(), gen_name(), proptest::collection::vec(gen_pat_field(), 0..3))
+        (
+            gen_comp_pat(),
+            gen_name(),
+            proptest::collection::vec(gen_pat_field(), 0..3)
+        )
             .prop_map(|(comp, msg, args)| ActionPat::Recv { comp, msg, args }),
-        (gen_comp_pat(), gen_name(), proptest::collection::vec(gen_pat_field(), 0..3))
+        (
+            gen_comp_pat(),
+            gen_name(),
+            proptest::collection::vec(gen_pat_field(), 0..3)
+        )
             .prop_map(|(comp, msg, args)| ActionPat::Send { comp, msg, args }),
     ]
     .boxed()
@@ -125,13 +164,18 @@ fn gen_prop() -> BoxedStrategy<PropertyDecl> {
         proptest::collection::vec((gen_name(), gen_ty()), 0..2)
     }
     prop_oneof![
-        (gen_name(), forall(), kind, gen_action_pat(), gen_action_pat()).prop_map(
-            |(name, forall, kind, a, b)| PropertyDecl {
+        (
+            gen_name(),
+            forall(),
+            kind,
+            gen_action_pat(),
+            gen_action_pat()
+        )
+            .prop_map(|(name, forall, kind, a, b)| PropertyDecl {
                 name,
                 forall,
                 body: PropBody::Trace(TraceProp::new(kind, a, b)),
-            }
-        ),
+            }),
         (
             gen_name(),
             forall(),
@@ -152,11 +196,31 @@ fn gen_prop() -> BoxedStrategy<PropertyDecl> {
 
 fn gen_program() -> BoxedStrategy<Program> {
     (
-        proptest::collection::vec((gen_name(), proptest::collection::vec((gen_name(), gen_ty()), 0..2)), 0..3),
-        proptest::collection::vec((gen_name(), proptest::collection::vec(gen_ty(), 0..3)), 0..3),
-        proptest::collection::vec((gen_name(), gen_ty(), proptest::option::of(gen_expr(1))), 0..3),
+        proptest::collection::vec(
+            (
+                gen_name(),
+                proptest::collection::vec((gen_name(), gen_ty()), 0..2),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (gen_name(), proptest::collection::vec(gen_ty(), 0..3)),
+            0..3,
+        ),
+        proptest::collection::vec(
+            (gen_name(), gen_ty(), proptest::option::of(gen_expr(1))),
+            0..3,
+        ),
         gen_cmd(2),
-        proptest::collection::vec((gen_name(), gen_name(), proptest::collection::vec(gen_name(), 0..2), gen_cmd(2)), 0..3),
+        proptest::collection::vec(
+            (
+                gen_name(),
+                gen_name(),
+                proptest::collection::vec(gen_name(), 0..2),
+                gen_cmd(2),
+            ),
+            0..3,
+        ),
         proptest::collection::vec(gen_prop(), 0..3),
     )
         .prop_map(|(comps, msgs, state, init, handlers, properties)| Program {

@@ -2,9 +2,7 @@
 //! per rejection rule.
 
 use reflex_ast::build::ProgramBuilder;
-use reflex_ast::{
-    ActionPat, CompPat, Expr, PatField, PropertyDecl, TracePropKind, Ty,
-};
+use reflex_ast::{ActionPat, CompPat, Expr, PatField, PropertyDecl, TracePropKind, Ty};
 use reflex_parser::parse_program;
 use reflex_typeck::{check, TypeError};
 
@@ -52,13 +50,19 @@ fn rejects_duplicate_declarations() {
     let p = base().component("C", "c2.py", []).finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::DuplicateDecl { what: "component type", .. })
+        Err(TypeError::DuplicateDecl {
+            what: "component type",
+            ..
+        })
     ));
 
     let p = base().message("M", []).finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::DuplicateDecl { what: "message type", .. })
+        Err(TypeError::DuplicateDecl {
+            what: "message type",
+            ..
+        })
     ));
 
     let p = base()
@@ -73,7 +77,10 @@ fn rejects_undeclared_references() {
     let p = base().handler("Nope", "M", ["s"], |_| {}).finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "component type", .. })
+        Err(TypeError::Undeclared {
+            what: "component type",
+            ..
+        })
     ));
 
     let p = base()
@@ -83,7 +90,10 @@ fn rejects_undeclared_references() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "variable", .. })
+        Err(TypeError::Undeclared {
+            what: "variable",
+            ..
+        })
     ));
 
     let p = base()
@@ -93,7 +103,10 @@ fn rejects_undeclared_references() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "message type", .. })
+        Err(TypeError::Undeclared {
+            what: "message type",
+            ..
+        })
     ));
 }
 
@@ -176,7 +189,10 @@ fn branch_binders_do_not_escape() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "variable", .. })
+        Err(TypeError::Undeclared {
+            what: "variable",
+            ..
+        })
     ));
 }
 
@@ -213,7 +229,10 @@ fn config_access_requires_known_component_type() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "configuration field", .. })
+        Err(TypeError::Undeclared {
+            what: "configuration field",
+            ..
+        })
     ));
 }
 
@@ -369,7 +388,10 @@ fn ni_spec_rules() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "state variable", .. })
+        Err(TypeError::Undeclared {
+            what: "state variable",
+            ..
+        })
     ));
 
     let p = base()
@@ -381,7 +403,10 @@ fn ni_spec_rules() {
         .finish();
     assert!(matches!(
         check(&p),
-        Err(TypeError::Undeclared { what: "component type", .. })
+        Err(TypeError::Undeclared {
+            what: "component type",
+            ..
+        })
     ));
 }
 

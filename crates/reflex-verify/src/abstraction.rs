@@ -77,13 +77,7 @@ impl<'p> Abstraction<'p> {
     pub fn path_count(&self) -> usize {
         self.worlds
             .iter()
-            .map(|w| {
-                w.exchanges
-                    .iter()
-                    .map(|e| e.paths.len())
-                    .sum::<usize>()
-                    + 1
-            })
+            .map(|w| w.exchanges.iter().map(|e| e.paths.len()).sum::<usize>() + 1)
             .sum()
     }
 }
@@ -173,14 +167,38 @@ fn refine_with_condition(env: &mut BTreeMap<SymVar, Interval>, term: &Term, pol:
     };
     let cur = env.entry(sym).or_insert(Interval::TOP);
     let bound = match (op, pol, var_on_left) {
-        (BinOp::Lt, true, true) => Interval { lo: None, hi: Some(c - 1) },
-        (BinOp::Lt, true, false) => Interval { lo: Some(c + 1), hi: None },
-        (BinOp::Lt, false, true) => Interval { lo: Some(c), hi: None },
-        (BinOp::Lt, false, false) => Interval { lo: None, hi: Some(c) },
-        (BinOp::Le, true, true) => Interval { lo: None, hi: Some(c) },
-        (BinOp::Le, true, false) => Interval { lo: Some(c), hi: None },
-        (BinOp::Le, false, true) => Interval { lo: Some(c + 1), hi: None },
-        (BinOp::Le, false, false) => Interval { lo: None, hi: Some(c - 1) },
+        (BinOp::Lt, true, true) => Interval {
+            lo: None,
+            hi: Some(c - 1),
+        },
+        (BinOp::Lt, true, false) => Interval {
+            lo: Some(c + 1),
+            hi: None,
+        },
+        (BinOp::Lt, false, true) => Interval {
+            lo: Some(c),
+            hi: None,
+        },
+        (BinOp::Lt, false, false) => Interval {
+            lo: None,
+            hi: Some(c),
+        },
+        (BinOp::Le, true, true) => Interval {
+            lo: None,
+            hi: Some(c),
+        },
+        (BinOp::Le, true, false) => Interval {
+            lo: Some(c),
+            hi: None,
+        },
+        (BinOp::Le, false, true) => Interval {
+            lo: Some(c + 1),
+            hi: None,
+        },
+        (BinOp::Le, false, false) => Interval {
+            lo: None,
+            hi: Some(c - 1),
+        },
         (BinOp::Eq, true, _) => Interval::exact(c),
         (BinOp::Eq, false, _) => return,
         _ => unreachable!("op restricted above"),
@@ -292,10 +310,7 @@ fn compute_ranges(
         let iv = ranges[name];
         let sym_term = Term::Sym(sym.clone());
         if let Some(lo) = iv.lo {
-            out.push((
-                Term::bin(BinOp::Le, Term::lit(lo), sym_term.clone()),
-                true,
-            ));
+            out.push((Term::bin(BinOp::Le, Term::lit(lo), sym_term.clone()), true));
         }
         if let Some(hi) = iv.hi {
             out.push((Term::bin(BinOp::Le, sym_term, Term::lit(hi)), true));

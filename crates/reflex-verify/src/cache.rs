@@ -1,0 +1,179 @@
+//! The shared cross-property proof cache.
+//!
+//! The paper's §6.4 caches subproofs "at key cut points" *within* one
+//! property's search; the Figure-6 kernels, however, re-derive the same
+//! auxiliary invariants (monotone-counter guards, spawn-origin lemmas) for
+//! property after property. This module lifts both caches out of the
+//! per-property prover state into one concurrency-safe table shared by
+//! every property of a program — including properties proved on different
+//! threads by [`crate::prove_all_parallel`].
+//!
+//! # Determinism by purity
+//!
+//! The cache memoizes **self-contained proof packages**:
+//!
+//! * an *invariant package* is the full certificate slice produced by
+//!   proving `∀ vars, guard ⇒ (∃/∄) pattern` in a **fresh** prover context
+//!   (empty local cache, depth 0, no shared-cache reads of its own);
+//! * a *lemma package* is the self-contained [`LemmaCert`] for
+//!   `∀ vars, [a] Enables [b]`, proved the same way (it may read invariant
+//!   packages, which is harmless — see below).
+//!
+//! Because a package is computed from nothing but the program abstraction,
+//! the options, and its key, it is a **pure function of the key**: a cache
+//! hit returns byte-for-byte what a fresh computation would have produced.
+//! Thread timing decides only *who pays* for a package, never its value —
+//! which is how `prove_all_parallel` can share work across racing
+//! properties and still emit certificates identical to the serial run's.
+//! (Two threads may both miss and compute the same package concurrently;
+//! the first insert wins and the duplicates are equal, so even that race
+//! is invisible.) Failures are packages too — a standalone proof failure
+//! is equally key-determined — so unprovable obligations are also shared.
+//!
+//! Purity has one structural requirement: a package computation must never
+//! read the invariant table while one of its own keys is in flight, or the
+//! answer would depend on the call chain (and a self-referential key would
+//! recurse forever). Invariant packages therefore run with the shared
+//! cache detached entirely; lemma packages run with it attached but can
+//! only reach *invariant* packages (invariant search never proves lemmas),
+//! so no package can ever wait on itself.
+//!
+//! # Soundness
+//!
+//! The cache does not extend the trusted base. Spliced packages end up as
+//! ordinary invariant/lemma entries inside the emitted [`Certificate`],
+//! and [`crate::check_certificate`] re-derives every step of every entry;
+//! a corrupted cache can only produce certificates that fail the check,
+//! never a wrong "Proved".
+//!
+//! [`Certificate`]: crate::Certificate
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use reflex_ast::{ActionPat, Ty};
+
+use crate::canon::Guard;
+use crate::certificate::{InvariantCert, LemmaCert};
+use crate::options::ProofFailure;
+
+/// Key of an invariant package: quantified variables (with the requesting
+/// property's types), canonical guard, specialized pattern, polarity.
+pub(crate) type SharedInvKey = (Vec<(String, Ty)>, Guard, ActionPat, bool);
+
+/// Key of a lemma package: quantified variables and the two action
+/// patterns of `∀ vars, [a] Enables [b]`.
+pub(crate) type SharedLemmaKey = (Vec<(String, Ty)>, ActionPat, ActionPat);
+
+/// A memoized invariant proof: the certificate slice the fresh-context
+/// proof appended (root last, every internal reference pointing backwards
+/// within the slice), or the key-determined failure.
+pub(crate) type InvariantPackage = Result<Vec<InvariantCert>, ProofFailure>;
+
+/// A memoized lemma proof (`None`: the lemma is not provable).
+pub(crate) type LemmaPackage = Option<LemmaCert>;
+
+/// Concurrency-safe cross-property cache of invariant and lemma proofs.
+///
+/// Create one per program (or per [`crate::prove_all`] /
+/// [`crate::prove_all_parallel`] run) and pass it to
+/// [`crate::prove_with_cache`]; see the module docs for the determinism
+/// and soundness arguments.
+#[derive(Default)]
+pub struct ProofCache {
+    invariants: RwLock<HashMap<SharedInvKey, Arc<InvariantPackage>>>,
+    lemmas: RwLock<HashMap<SharedLemmaKey, Arc<LemmaPackage>>>,
+    invariant_hits: AtomicU64,
+    invariant_misses: AtomicU64,
+    lemma_hits: AtomicU64,
+    lemma_misses: AtomicU64,
+}
+
+impl ProofCache {
+    /// Creates an empty cache.
+    pub fn new() -> ProofCache {
+        ProofCache::default()
+    }
+
+    /// Returns the invariant package for `key`, computing (and publishing)
+    /// it with `compute` on a miss.
+    pub(crate) fn invariant_package(
+        &self,
+        key: &SharedInvKey,
+        compute: impl FnOnce() -> InvariantPackage,
+    ) -> Arc<InvariantPackage> {
+        if let Some(hit) = self.invariants.read().expect("cache poisoned").get(key) {
+            self.invariant_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.invariant_misses.fetch_add(1, Ordering::Relaxed);
+        let pkg = Arc::new(compute());
+        Arc::clone(
+            self.invariants
+                .write()
+                .expect("cache poisoned")
+                .entry(key.clone())
+                .or_insert(pkg),
+        )
+    }
+
+    /// Returns the lemma package for `key`, computing (and publishing) it
+    /// with `compute` on a miss.
+    pub(crate) fn lemma_package(
+        &self,
+        key: &SharedLemmaKey,
+        compute: impl FnOnce() -> LemmaPackage,
+    ) -> Arc<LemmaPackage> {
+        if let Some(hit) = self.lemmas.read().expect("cache poisoned").get(key) {
+            self.lemma_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.lemma_misses.fetch_add(1, Ordering::Relaxed);
+        let pkg = Arc::new(compute());
+        Arc::clone(
+            self.lemmas
+                .write()
+                .expect("cache poisoned")
+                .entry(key.clone())
+                .or_insert(pkg),
+        )
+    }
+
+    /// A snapshot of the cache's occupancy and hit counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            invariant_entries: self.invariants.read().expect("cache poisoned").len() as u64,
+            lemma_entries: self.lemmas.read().expect("cache poisoned").len() as u64,
+            invariant_hits: self.invariant_hits.load(Ordering::Relaxed),
+            invariant_misses: self.invariant_misses.load(Ordering::Relaxed),
+            lemma_hits: self.lemma_hits.load(Ordering::Relaxed),
+            lemma_misses: self.lemma_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for ProofCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProofCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Occupancy and hit counters of a [`ProofCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Distinct invariant packages stored.
+    pub invariant_entries: u64,
+    /// Distinct lemma packages stored.
+    pub lemma_entries: u64,
+    /// Invariant requests answered from the table.
+    pub invariant_hits: u64,
+    /// Invariant requests that computed a fresh package.
+    pub invariant_misses: u64,
+    /// Lemma requests answered from the table.
+    pub lemma_hits: u64,
+    /// Lemma requests that computed a fresh package.
+    pub lemma_misses: u64,
+}

@@ -210,11 +210,7 @@ pub fn weaken_guard(guard: &Guard) -> Option<Guard> {
     let mut changed = false;
     let mut atoms = Vec::with_capacity(guard.atoms.len());
     for (term, pol) in &guard.atoms {
-        let weakened = if *pol {
-            weaken_atom(term)
-        } else {
-            None
-        };
+        let weakened = if *pol { weaken_atom(term) } else { None };
         match weakened {
             Some(w) => {
                 changed = true;
@@ -306,11 +302,7 @@ pub fn replace_subterms(term: &Term, map: &BTreeMap<Term, Term>) -> Term {
     match term {
         Term::Lit(_) | Term::Sym(_) => term.clone(),
         Term::Un(op, inner) => Term::un(*op, replace_subterms(inner, map)),
-        Term::Bin(op, l, r) => Term::bin(
-            *op,
-            replace_subterms(l, map),
-            replace_subterms(r, map),
-        ),
+        Term::Bin(op, l, r) => Term::bin(*op, replace_subterms(l, map), replace_subterms(r, map)),
     }
 }
 

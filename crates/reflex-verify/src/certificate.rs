@@ -328,11 +328,7 @@ impl Certificate {
         match self {
             Certificate::Trace(t) => {
                 let skipped = t.cases.iter().filter(|c| c.skipped).count();
-                let _ = writeln!(
-                    s,
-                    "proof of `{}` by induction over BehAbs:",
-                    t.property
-                );
+                let _ = writeln!(s, "proof of `{}` by induction over BehAbs:", t.property);
                 let _ = writeln!(
                     s,
                     "  base: {} init path(s); step: {} case(s) ({} closed by the syntactic skip)",
@@ -345,7 +341,11 @@ impl Certificate {
                 let mut by_inv = 0usize;
                 let mut no_match = 0usize;
                 let mut by_origin = 0usize;
-                for path in t.base.iter().chain(t.cases.iter().flat_map(|c| c.paths.iter())) {
+                for path in t
+                    .base
+                    .iter()
+                    .chain(t.cases.iter().flat_map(|c| c.paths.iter()))
+                {
                     for (_, just) in &path.obligations {
                         match just {
                             Justification::Refuted => refuted += 1,

@@ -45,7 +45,11 @@ pub struct CheckError(pub CheckErrorInner);
 
 impl fmt::Display for CheckError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "certificate rejected at {}: {}", self.0.context, self.0.reason)
+        write!(
+            f,
+            "certificate rejected at {}: {}",
+            self.0.context, self.0.reason
+        )
     }
 }
 
@@ -162,7 +166,14 @@ fn check_trace_cert_core(
             }
         }
         let lemma_tp = TraceProp::new(TracePropKind::Enables, lemma.a.clone(), lemma.b.clone());
-        check_trace_cert_core(checked, abs, &lemma.cert, &lemma_tp, options, lemma_depth + 1)?;
+        check_trace_cert_core(
+            checked,
+            abs,
+            &lemma.cert,
+            &lemma_tp,
+            options,
+            lemma_depth + 1,
+        )?;
     }
 
     // 1. Validate all auxiliary invariants first (references must point
@@ -283,9 +294,7 @@ fn check_segment(
                 let position_ok = match tp.kind {
                     TracePropKind::Enables => *index < inst.index,
                     TracePropKind::Ensures => *index > inst.index,
-                    TracePropKind::ImmBefore => {
-                        inst.index > 0 && *index == inst.index - 1
-                    }
+                    TracePropKind::ImmBefore => inst.index > 0 && *index == inst.index - 1,
                     TracePropKind::ImmAfter => *index == inst.index + 1,
                     TracePropKind::Disables => false,
                 };
@@ -304,7 +313,14 @@ fn check_segment(
                     return Err(reject(&octx, "invariant justification in a base case"));
                 };
                 check_invariant_applies(
-                    cert, *inv_id, true, tp.obligation(), inst, &solver, world_pre, &octx,
+                    cert,
+                    *inv_id,
+                    true,
+                    tp.obligation(),
+                    inst,
+                    &solver,
+                    world_pre,
+                    &octx,
                 )?;
             }
             Justification::NoMatch { prior } => {
@@ -384,9 +400,9 @@ fn check_segment(
                         };
                         // A same-exchange spawn of this type would break
                         // the ordering argument.
-                        if actions.iter().any(|a| {
-                            matches!(a, SymAction::Spawn { comp: s } if s.ctype == c.ctype)
-                        }) {
+                        if actions.iter().any(
+                            |a| matches!(a, SymAction::Spawn { comp: s } if s.ctype == c.ctype),
+                        ) {
                             return Err(reject(
                                 &octx,
                                 "lookup origin invalid: same-type spawn in this exchange",
@@ -428,7 +444,10 @@ fn check_segment(
                         },
                 } = &lemma.b
                 else {
-                    return Err(reject(&octx, "lemma trigger is not a concrete spawn pattern"));
+                    return Err(reject(
+                        &octx,
+                        "lemma trigger is not a concrete spawn pattern",
+                    ));
                 };
                 if *pat_ctype != comp.ctype || fields.len() != comp.config.len() {
                     return Err(reject(&octx, "lemma spawn pattern does not fit the origin"));
@@ -571,8 +590,7 @@ fn check_invariant(
     for (wi, (world, just)) in abs.worlds.iter().zip(&inv.base).enumerate() {
         let ctx = format!("{ctx0}, base {wi}");
         let post = inv.guard.instantiate(&world.init.state);
-        let mut solver =
-            Solver::with_assumptions(world.init.condition.iter().chain(post.iter()));
+        let mut solver = Solver::with_assumptions(world.init.condition.iter().chain(post.iter()));
         let actions: Vec<&SymAction> = world.init.actions.iter().collect();
         match just {
             InvPathJust::GuardUnsat => {
@@ -590,7 +608,9 @@ fn check_invariant(
                     return Err(reject(&ctx, "claimed base witness does not match"));
                 }
             }
-            InvPathJust::NegativeOk { prior: NegPriorStep::EmptyTrace } => {
+            InvPathJust::NegativeOk {
+                prior: NegPriorStep::EmptyTrace,
+            } => {
                 if inv.positive {
                     return Err(reject(&ctx, "NegativeOk in a positive invariant"));
                 }
@@ -601,7 +621,10 @@ fn check_invariant(
                 }
             }
             other => {
-                return Err(reject(&ctx, format!("illegal base justification {other:?}")))
+                return Err(reject(
+                    &ctx,
+                    format!("illegal base justification {other:?}"),
+                ))
             }
         }
     }
@@ -630,7 +653,10 @@ fn check_invariant(
     for (wi, world) in abs.worlds.iter().enumerate() {
         for exchange in &world.exchanges {
             let case = case_iter.next().expect("length checked");
-            let ctx = format!("{ctx0}, world {wi}, case {}:{}", exchange.ctype, exchange.msg);
+            let ctx = format!(
+                "{ctx0}, world {wi}, case {}:{}",
+                exchange.ctype, exchange.msg
+            );
             if case.ctype != exchange.ctype || case.msg != exchange.msg {
                 return Err(reject(&ctx, "case order mismatch"));
             }
@@ -727,10 +753,7 @@ fn check_invariant(
                                 )?;
                             }
                             NegPriorStep::EmptyTrace => {
-                                return Err(reject(
-                                    &pctx,
-                                    "EmptyTrace prior in an inductive case",
-                                ))
+                                return Err(reject(&pctx, "EmptyTrace prior in an inductive case"))
                             }
                         }
                     }
@@ -772,7 +795,10 @@ fn check_invariant_chain(
     if !conds_entailed(solver, &guard_inst) {
         return Err(reject(
             ctx,
-            format!("chained guard `{}` not entailed in the pre-state", target.guard),
+            format!(
+                "chained guard `{}` not entailed in the pre-state",
+                target.guard
+            ),
         ));
     }
     Ok(())

@@ -410,8 +410,7 @@ impl<'a> Falsifier<'a> {
                 for c in candidates {
                     s.comps.insert(binder.clone(), c.clone());
                     if self.eval(&s, pred) == Value::Bool(true) {
-                        let values: Vec<Value> =
-                            args.iter().map(|a| self.eval(&s, a)).collect();
+                        let values: Vec<Value> = args.iter().map(|a| self.eval(&s, a)).collect();
                         s.trace.push(Action::Send {
                             comp: c,
                             msg: Msg::new(msg, values),

@@ -57,10 +57,9 @@ fn certificate_is_local(cert: &Certificate) -> bool {
         .flat_map(|p| p.obligations.iter())
         .all(|(_, just)| match just {
             Justification::Refuted | Justification::Witness { .. } => true,
-            Justification::NoMatch { prior } => matches!(
-                prior,
-                NegPrior::EmptyTrace | NegPrior::MissedLookup { .. }
-            ),
+            Justification::NoMatch { prior } => {
+                matches!(prior, NegPrior::EmptyTrace | NegPrior::MissedLookup { .. })
+            }
             Justification::Invariant { .. } | Justification::ViaCompOrigin { .. } => false,
         })
 }
@@ -75,10 +74,7 @@ fn decls_unchanged(old: &reflex_ast::Program, new: &reflex_ast::Program) -> bool
 
 /// The `(ctype, msg)` pairs whose handler differs between the programs
 /// (including added or removed handlers).
-fn changed_handlers(
-    old: &reflex_ast::Program,
-    new: &reflex_ast::Program,
-) -> Vec<(String, String)> {
+fn changed_handlers(old: &reflex_ast::Program, new: &reflex_ast::Program) -> Vec<(String, String)> {
     let mut changed = Vec::new();
     for c in &new.components {
         for m in &new.messages {
@@ -123,9 +119,9 @@ pub fn reverify(
                 let PropBody::Trace(tp) = &prop.body else {
                     return false;
                 };
-                changed.iter().all(|(ctype, msg)| {
-                    !case_can_emit_match(new, ctype, msg, tp.trigger())
-                })
+                changed
+                    .iter()
+                    .all(|(ctype, msg)| !case_can_emit_match(new, ctype, msg, tp.trigger()))
             });
         if reusable {
             let cert = previous
@@ -137,8 +133,7 @@ pub fn reverify(
             outcomes.push((prop.name.clone(), Outcome::Proved(cert)));
             continue;
         }
-        let abs =
-            abs.get_or_insert_with(|| Abstraction::build(new, options));
+        let abs = abs.get_or_insert_with(|| Abstraction::build(new, options));
         let outcome =
             crate::prove_with(abs, &prop.name, options).expect("property exists by iteration");
         reproved.push(prop.name.clone());

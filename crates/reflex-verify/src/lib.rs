@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod abstraction;
+mod cache;
 pub mod canon;
 pub mod certificate;
 mod checker;
@@ -51,14 +52,17 @@ pub mod incremental;
 mod ni_prover;
 mod options;
 mod shared;
+mod stats;
 mod trace_prover;
 
 pub use abstraction::{Abstraction, World};
+pub use cache::{CacheStats, ProofCache};
 pub use certificate::Certificate;
 pub use checker::{check_certificate, CheckError};
 pub use falsify::{falsify, Counterexample, FalsifyOptions};
 pub use incremental::{reverify, IncrementalReport};
 pub use options::{Outcome, ProofFailure, ProverOptions, VerifyError};
+pub use stats::{paths_explored, PropStats, ProverStats};
 
 use reflex_ast::PropBody;
 use reflex_typeck::CheckedProgram;
@@ -92,13 +96,40 @@ pub fn prove_with(
     property: &str,
     options: &ProverOptions,
 ) -> Result<Outcome, VerifyError> {
-    let prop = abs
-        .checked()
-        .program()
-        .property(property)
-        .ok_or_else(|| VerifyError::NoSuchProperty {
-            name: property.to_owned(),
-        })?;
+    // A private cache still pays off within one property (repeated
+    // obligations), and — because cached packages are pure functions of
+    // their keys — yields exactly the certificate a warm cross-property
+    // cache would.
+    let cache = options.shared_cache.then(ProofCache::new);
+    prove_with_cache(abs, property, options, cache.as_ref())
+}
+
+/// Proves the named property against a pre-built abstraction, sharing
+/// subproofs through `cache`.
+///
+/// Pass the same [`ProofCache`] for every property of a program to reuse
+/// auxiliary invariants and lemmas across them (this is what [`prove_all`]
+/// and [`prove_all_parallel`] do). The cache never changes outcomes or
+/// certificates — cached subproofs are self-contained packages that are
+/// pure functions of their keys — and it is ignored entirely when
+/// [`ProverOptions::shared_cache`] is off.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::NoSuchProperty`] if the property does not exist.
+pub fn prove_with_cache(
+    abs: &Abstraction<'_>,
+    property: &str,
+    options: &ProverOptions,
+    cache: Option<&ProofCache>,
+) -> Result<Outcome, VerifyError> {
+    let prop =
+        abs.checked()
+            .program()
+            .property(property)
+            .ok_or_else(|| VerifyError::NoSuchProperty {
+                name: property.to_owned(),
+            })?;
     // The §7 design lesson, reproduced as a hard boundary: a `broadcast`
     // can emit an unbounded number of send actions, which the induction
     // over BehAbs cannot case-split. (The interpreter and the falsifier
@@ -112,8 +143,9 @@ why Reflex replaced broadcast)"
                 .into(),
         }));
     }
+    let shared = if options.shared_cache { cache } else { None };
     Ok(match &prop.body {
-        PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp),
+        PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp, shared),
         PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
     })
 }
@@ -137,17 +169,100 @@ pub(crate) fn program_uses_broadcast(program: &reflex_ast::Program) -> bool {
 }
 
 /// Proves every property of the program, returning `(name, outcome)`
-/// pairs in declaration order.
+/// pairs in declaration order. Properties share one [`ProofCache`], so an
+/// auxiliary invariant derived for one property is reused by the rest.
 pub fn prove_all(checked: &CheckedProgram, options: &ProverOptions) -> Vec<(String, Outcome)> {
     let abs = Abstraction::build(checked, options);
+    let cache = ProofCache::new();
     checked
         .program()
         .properties
         .iter()
         .map(|p| {
-            let outcome =
-                prove_with(&abs, &p.name, options).expect("property exists by construction");
+            let outcome = prove_with_cache(&abs, &p.name, options, Some(&cache))
+                .expect("property exists by construction");
             (p.name.clone(), outcome)
         })
         .collect()
+}
+
+/// Proves every property of the program on `jobs` worker threads (`0`:
+/// one per available CPU), returning `(name, outcome)` pairs in
+/// declaration order.
+///
+/// The abstraction is built once and shared; the properties are fanned out
+/// over a work queue and share one [`ProofCache`]. Because cached
+/// subproofs are pure functions of their keys (see [`ProofCache`]), every
+/// outcome and certificate is identical to [`prove_all`]'s, for every
+/// `jobs` value — thread timing decides only which property pays for a
+/// shared subproof first.
+pub fn prove_all_parallel(
+    checked: &CheckedProgram,
+    options: &ProverOptions,
+    jobs: usize,
+) -> Vec<(String, Outcome)> {
+    prove_all_parallel_with_stats(checked, options, jobs).0
+}
+
+/// [`prove_all_parallel`], also returning the run's [`ProverStats`].
+pub fn prove_all_parallel_with_stats(
+    checked: &CheckedProgram,
+    options: &ProverOptions,
+    jobs: usize,
+) -> (Vec<(String, Outcome)>, ProverStats) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    let jobs = options::resolve_jobs(jobs);
+    let start = Instant::now();
+    let paths_before = stats::paths_explored();
+    let memo_before = reflex_symbolic::entailment_memo_stats();
+
+    let abs = Abstraction::build(checked, options);
+    let cache = ProofCache::new();
+    let props = &checked.program().properties;
+    let slots: Vec<OnceLock<(Outcome, f64)>> = (0..props.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(props.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(prop) = props.get(i) else { break };
+                let prop_start = Instant::now();
+                let outcome = prove_with_cache(&abs, &prop.name, options, Some(&cache))
+                    .expect("property exists by construction");
+                let wall_ms = prop_start.elapsed().as_secs_f64() * 1e3;
+                let _ = slots[i].set((outcome, wall_ms));
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(props.len());
+    let mut rows = Vec::with_capacity(props.len());
+    for (prop, slot) in props.iter().zip(slots) {
+        let (outcome, wall_ms) = slot.into_inner().expect("every property slot filled");
+        rows.push(PropStats {
+            name: prop.name.clone(),
+            proved: outcome.is_proved(),
+            wall_ms,
+            obligations: outcome
+                .certificate()
+                .map_or(0, certificate::Certificate::obligation_count),
+        });
+        results.push((prop.name.clone(), outcome));
+    }
+    let memo_after = reflex_symbolic::entailment_memo_stats();
+    let stats = ProverStats {
+        jobs,
+        total_ms: start.elapsed().as_secs_f64() * 1e3,
+        properties: rows,
+        paths_explored: stats::paths_explored() - paths_before,
+        cache: cache.stats(),
+        solver_queries: memo_after.queries.saturating_sub(memo_before.queries),
+        solver_memo_hits: memo_after.hits.saturating_sub(memo_before.hits),
+        interned_terms: reflex_symbolic::intern_stats().nodes,
+    };
+    (results, stats)
 }

@@ -37,12 +37,12 @@ use crate::options::{Outcome, ProofFailure, ProverOptions};
 /// Proves a non-interference property.
 pub fn prove_ni(
     abs: &Abstraction<'_>,
-    _options: &ProverOptions,
+    options: &ProverOptions,
     prop: &PropertyDecl,
     spec: &NiSpec,
 ) -> Outcome {
     let prover = NiProver { abs, prop, spec };
-    match prover.prove() {
+    match prover.prove(options.effective_jobs()) {
         Ok(cert) => Outcome::Proved(Certificate::NonInterference(cert)),
         Err(e) => Outcome::Failed(e),
     }
@@ -80,7 +80,9 @@ fn high_match_terms(spec: &NiSpec, sigma0: &SymBindings, comp: &SymComp) -> Vec<
         let pat = reflex_ast::ActionPat::Spawn { comp: hp.clone() };
         match unify_action(&pat, &probe, sigma0) {
             Unify::Never => {}
-            Unify::Match { conditions: conds, .. } => out.push(conds_term(&conds)),
+            Unify::Match {
+                conditions: conds, ..
+            } => out.push(conds_term(&conds)),
         }
     }
     out
@@ -155,72 +157,113 @@ impl<'a, 'p> NiProver<'a, 'p> {
         s
     }
 
-    fn prove(&self) -> Result<NiCert, ProofFailure> {
+    fn prove(&self, jobs: usize) -> Result<NiCert, ProofFailure> {
         let sigma0 = self.sigma0();
-        let mut cases = Vec::new();
-        for (wi, world) in self.abs.worlds.iter().enumerate() {
-            for exchange in &world.exchanges {
-                let location = format!("world {wi}, case {}:{}", exchange.ctype, exchange.msg);
-                let sender_high = highness(self.spec, &sigma0, &exchange.sender);
-                let (check_low, check_high, low_assumption, high_assumption) = match &sender_high {
-                    Highness::Never => (true, false, Vec::new(), Vec::new()),
-                    Highness::Always => (false, true, Vec::new(), Vec::new()),
-                    Highness::When(terms) => {
-                        // Low: every pattern's condition false. High: their
-                        // disjunction true.
-                        let low: Vec<(Term, bool)> =
-                            terms.iter().map(|t| (t.clone(), false)).collect();
-                        let disj = terms
-                            .iter()
-                            .cloned()
-                            .reduce(|a, b| Term::bin(reflex_ast::BinOp::Or, a, b))
-                            .expect("nonempty");
-                        (true, true, low, vec![(disj, true)])
-                    }
-                };
-
-                let mut low_paths = None;
-                if check_low {
-                    for (pi, path) in exchange.paths.iter().enumerate() {
-                        self.check_nilo(world, exchange, path, &low_assumption, &sigma0)
-                            .map_err(|r| {
-                                self.fail(format!("{location}, path {pi} (NIlo)"), r)
-                            })?;
-                    }
-                    low_paths = Some(exchange.paths.len());
-                }
-                let mut high_paths = None;
-                if check_high {
-                    for (pi, path) in exchange.paths.iter().enumerate() {
-                        let strict =
-                            self.check_nihi(world, exchange, path, &high_assumption, &sigma0);
-                        if let Err(reason) = strict {
-                            // Fallback: a case with no high-visible effects
-                            // on ANY path is non-interfering even if its
-                            // branching is low-influenced — both runs
-                            // contribute nothing to the high observation
-                            // regardless of the paths they take.
-                            self.check_case_high_inert(world, exchange, &high_assumption, &sigma0)
-                                .map_err(|_| {
-                                    self.fail(format!("{location}, path {pi} (NIhi)"), reason)
-                                })?;
-                            high_paths = Some(exchange.paths.len());
+        let units: Vec<(usize, &World, &reflex_symbolic::Exchange)> = self
+            .abs
+            .worlds
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, world)| world.exchanges.iter().map(move |ex| (wi, world, ex)))
+            .collect();
+        let cases = if jobs > 1 && units.len() > 1 {
+            // Each case is a pure function of the abstraction, so they can
+            // be checked on worker threads. Results are collected in case
+            // order; on failure the lowest failing index is reported — both
+            // identical to the serial loop (which the certificate checker
+            // re-runs and compares against, so this must hold exactly).
+            let slots: Vec<std::sync::OnceLock<Result<NiCaseCert, ProofFailure>>> = (0..units
+                .len())
+                .map(|_| std::sync::OnceLock::new())
+                .collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..jobs.min(units.len()) {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(wi, world, exchange)) = units.get(i) else {
                             break;
-                        }
-                    }
-                    high_paths = Some(high_paths.unwrap_or(exchange.paths.len()));
+                        };
+                        let _ = slots[i].set(self.check_case(wi, world, exchange, &sigma0));
+                    });
                 }
-                cases.push(NiCaseCert {
-                    ctype: exchange.ctype.clone(),
-                    msg: exchange.msg.clone(),
-                    low_paths,
-                    high_paths,
-                });
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every NI case slot filled"))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            let mut cases = Vec::with_capacity(units.len());
+            for &(wi, world, exchange) in &units {
+                cases.push(self.check_case(wi, world, exchange, &sigma0)?);
             }
-        }
+            cases
+        };
         Ok(NiCert {
             property: self.prop.name.clone(),
             cases,
+        })
+    }
+
+    /// Checks both NI conditions for one exchange case.
+    fn check_case(
+        &self,
+        wi: usize,
+        world: &World,
+        exchange: &reflex_symbolic::Exchange,
+        sigma0: &SymBindings,
+    ) -> Result<NiCaseCert, ProofFailure> {
+        let location = format!("world {wi}, case {}:{}", exchange.ctype, exchange.msg);
+        let sender_high = highness(self.spec, sigma0, &exchange.sender);
+        let (check_low, check_high, low_assumption, high_assumption) = match &sender_high {
+            Highness::Never => (true, false, Vec::new(), Vec::new()),
+            Highness::Always => (false, true, Vec::new(), Vec::new()),
+            Highness::When(terms) => {
+                // Low: every pattern's condition false. High: their
+                // disjunction true.
+                let low: Vec<(Term, bool)> = terms.iter().map(|t| (t.clone(), false)).collect();
+                let disj = terms
+                    .iter()
+                    .cloned()
+                    .reduce(|a, b| Term::bin(reflex_ast::BinOp::Or, a, b))
+                    .expect("nonempty");
+                (true, true, low, vec![(disj, true)])
+            }
+        };
+
+        let mut low_paths = None;
+        if check_low {
+            for (pi, path) in exchange.paths.iter().enumerate() {
+                crate::stats::note_path();
+                self.check_nilo(world, exchange, path, &low_assumption, sigma0)
+                    .map_err(|r| self.fail(format!("{location}, path {pi} (NIlo)"), r))?;
+            }
+            low_paths = Some(exchange.paths.len());
+        }
+        let mut high_paths = None;
+        if check_high {
+            for (pi, path) in exchange.paths.iter().enumerate() {
+                crate::stats::note_path();
+                let strict = self.check_nihi(world, exchange, path, &high_assumption, sigma0);
+                if let Err(reason) = strict {
+                    // Fallback: a case with no high-visible effects
+                    // on ANY path is non-interfering even if its
+                    // branching is low-influenced — both runs
+                    // contribute nothing to the high observation
+                    // regardless of the paths they take.
+                    self.check_case_high_inert(world, exchange, &high_assumption, sigma0)
+                        .map_err(|_| self.fail(format!("{location}, path {pi} (NIhi)"), reason))?;
+                    high_paths = Some(exchange.paths.len());
+                    break;
+                }
+            }
+            high_paths = Some(high_paths.unwrap_or(exchange.paths.len()));
+        }
+        Ok(NiCaseCert {
+            ctype: exchange.ctype.clone(),
+            msg: exchange.msg.clone(),
+            low_paths,
+            high_paths,
         })
     }
 
@@ -282,8 +325,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
         assumption: &[(Term, bool)],
         sigma0: &SymBindings,
     ) -> Result<(), String> {
-        let full_solver =
-            Solver::with_assumptions(path.condition.iter().chain(assumption.iter()));
+        let full_solver = Solver::with_assumptions(path.condition.iter().chain(assumption.iter()));
         if full_solver.clone().is_unsat() {
             return Ok(());
         }
@@ -327,12 +369,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
             |allowed: &BTreeSet<SymVar>, t: &Term| syms_of(t).iter().all(|s| allowed.contains(s));
 
         // 1. Branch conditions and lookup predicates, in order.
-        for (k, ((term, _pol), kind)) in path
-            .condition
-            .iter()
-            .zip(&path.cond_kinds)
-            .enumerate()
-        {
+        for (k, ((term, _pol), kind)) in path.condition.iter().zip(&path.cond_kinds).enumerate() {
             match kind {
                 CondKind::Branch => {
                     if !is_allowed(&allowed, term) {
@@ -440,17 +477,14 @@ impl<'a, 'p> NiProver<'a, 'p> {
         sigma0: &SymBindings,
     ) -> Result<(), String> {
         for path in &exchange.paths {
-            let solver =
-                Solver::with_assumptions(path.condition.iter().chain(assumption.iter()));
+            let solver = Solver::with_assumptions(path.condition.iter().chain(assumption.iter()));
             if solver.clone().is_unsat() {
                 continue;
             }
             for action in &path.actions {
                 if let SymAction::Send { comp, .. } | SymAction::Spawn { comp } = action {
                     if !provably_low(&solver, self.spec, sigma0, comp) {
-                        return Err(format!(
-                            "case is not high-inert: may affect {comp}"
-                        ));
+                        return Err(format!("case is not high-inert: may affect {comp}"));
                     }
                 }
             }
@@ -489,8 +523,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
                 "lookup predicate in high handler reads low-influenced values: {pred_term}"
             ));
         }
-        let solver =
-            Solver::with_assumptions(prior_conditions.iter().chain(assumption.iter()));
+        let solver = Solver::with_assumptions(prior_conditions.iter().chain(assumption.iter()));
         if solver.clone().is_unsat() {
             return Ok(()); // this lookup cannot actually be reached high
         }

@@ -23,6 +23,21 @@ pub struct ProverOptions {
     /// Maximum depth of chained auxiliary invariants (the secondary
     /// inductions of §5.1 may themselves require supporting invariants).
     pub max_invariant_depth: usize,
+    /// Share proved auxiliary invariants and lemmas *across properties*
+    /// through a [`crate::ProofCache`] — §6.4's "saving subproofs at key
+    /// cut points" taken fleet-wide. Cached subproofs are self-contained
+    /// packages proved from a fresh context, so a cache hit and a fresh
+    /// derivation yield identical certificates (see `cache.rs`); and every
+    /// certificate is still validated step-by-step by the independent
+    /// checker, so a cache bug can surface only as a check failure, never a
+    /// wrong "Proved".
+    pub shared_cache: bool,
+    /// Worker threads for case-level parallelism *inside* one property
+    /// proof (the per-`(component type, message type)` inductive cases are
+    /// independent). `1` is fully serial; `0` means one worker per
+    /// available CPU. Results are collected in case order, so the emitted
+    /// certificate is identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for ProverOptions {
@@ -32,6 +47,8 @@ impl Default for ProverOptions {
             prune_paths: true,
             cache_invariants: true,
             max_invariant_depth: 6,
+            shared_cache: true,
+            jobs: 1,
         }
     }
 }
@@ -51,7 +68,26 @@ impl ProverOptions {
             prune_paths: false,
             cache_invariants: false,
             max_invariant_depth: 6,
+            shared_cache: false,
+            jobs: 1,
         }
+    }
+
+    /// The number of worker threads [`ProverOptions::jobs`] resolves to
+    /// (`0` means one per available CPU).
+    pub fn effective_jobs(&self) -> usize {
+        resolve_jobs(self.jobs)
+    }
+}
+
+/// Resolves a `jobs` request: `0` means one worker per available CPU.
+pub(crate) fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
     }
 }
 

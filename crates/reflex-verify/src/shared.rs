@@ -46,7 +46,10 @@ pub fn trigger_instances(
     for (index, act) in actions.iter().enumerate() {
         match unify_action(pattern, act, sigma0) {
             Unify::Never => {}
-            Unify::Match { bindings, conditions: conds } => out.push(TriggerInstance {
+            Unify::Match {
+                bindings,
+                conditions: conds,
+            } => out.push(TriggerInstance {
                 index,
                 bindings,
                 conds,
@@ -67,7 +70,9 @@ pub fn definite_match(
 ) -> bool {
     match unify_action(pattern, action, bindings) {
         Unify::Never => false,
-        Unify::Match { conditions: conds, .. } => conds_entailed(solver, &conds),
+        Unify::Match {
+            conditions: conds, ..
+        } => conds_entailed(solver, &conds),
     }
 }
 
@@ -82,7 +87,9 @@ pub fn definite_no_match(
 ) -> bool {
     match unify_action(pattern, action, bindings) {
         Unify::Never => true,
-        Unify::Match { conditions: conds, .. } => conds_refuted(solver, &conds),
+        Unify::Match {
+            conditions: conds, ..
+        } => conds_refuted(solver, &conds),
     }
 }
 
@@ -124,11 +131,7 @@ pub fn case_can_emit_match(
     body_can_emit(&handler.body, pattern, &mut scope)
 }
 
-fn body_can_emit(
-    cmd: &Cmd,
-    pattern: &ActionPat,
-    scope: &mut BTreeMap<String, String>,
-) -> bool {
+fn body_can_emit(cmd: &Cmd, pattern: &ActionPat, scope: &mut BTreeMap<String, String>) -> bool {
     let ctype_compat = |pat_ctype: &Option<String>, actual: Option<&str>| -> bool {
         match (pat_ctype, actual) {
             (None, _) => true,
@@ -218,20 +221,12 @@ pub fn specialize_pattern(pat: &ActionPat, bindings: &SymBindings) -> ActionPat 
     match pat {
         ActionPat::Select { comp: c } => ActionPat::Select { comp: comp(c) },
         ActionPat::Spawn { comp: c } => ActionPat::Spawn { comp: comp(c) },
-        ActionPat::Recv {
-            comp: c,
-            msg,
-            args,
-        } => ActionPat::Recv {
+        ActionPat::Recv { comp: c, msg, args } => ActionPat::Recv {
             comp: comp(c),
             msg: msg.clone(),
             args: args.iter().map(field).collect(),
         },
-        ActionPat::Send {
-            comp: c,
-            msg,
-            args,
-        } => ActionPat::Send {
+        ActionPat::Send { comp: c, msg, args } => ActionPat::Send {
             comp: comp(c),
             msg: msg.clone(),
             args: args.iter().map(field).collect(),
@@ -305,4 +300,3 @@ mod tests {
         assert!(!case_can_emit_match(&checked, "C", "M", &send_n_to_c));
     }
 }
-

@@ -24,11 +24,14 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use reflex_ast::{ActionPat, CompPat, PatField, PropertyDecl, TraceProp, TracePropKind, Ty};
 use reflex_symbolic::{CondKind, Path, Solver, SymAction, SymBindings, SymComp, Term};
 
 use crate::abstraction::{Abstraction, World};
+use crate::cache::{InvariantPackage, LemmaPackage, ProofCache, SharedInvKey, SharedLemmaKey};
 use crate::canon::{
     canonicalize_state_term, flatten_literals, generalize_literal, prop_term, weaken_guard, Guard,
 };
@@ -54,14 +57,29 @@ enum CacheEntry {
 /// Maximum nesting of component-origin lemmas.
 const MAX_LEMMA_DEPTH: usize = 2;
 
-/// Proves one trace property over the program abstraction.
+/// One trigger obligation of a path segment: already refuted, or open with
+/// the solver context under which it must be justified.
+enum ObligationCtx {
+    Refuted {
+        index: usize,
+    },
+    Open {
+        inst: TriggerInstance,
+        solver: Solver,
+        all_conds: Vec<(Term, bool)>,
+    },
+}
+
+/// Proves one trace property over the program abstraction, sharing
+/// subproofs through `shared` when one is supplied.
 pub fn prove_trace(
     abs: &Abstraction<'_>,
     options: &ProverOptions,
     prop: &PropertyDecl,
     tp: &TraceProp,
+    shared: Option<&ProofCache>,
 ) -> Outcome {
-    match prove_trace_inner(abs, options, prop, tp, 0) {
+    match prove_trace_inner(abs, options, prop, tp, 0, shared) {
         Ok(cert) => Outcome::Proved(Certificate::Trace(cert)),
         Err(failure) => Outcome::Failed(failure),
     }
@@ -73,6 +91,7 @@ fn prove_trace_inner(
     prop: &PropertyDecl,
     tp: &TraceProp,
     lemma_depth: usize,
+    shared: Option<&ProofCache>,
 ) -> Result<TraceCert, ProofFailure> {
     let prover = TraceProver {
         abs,
@@ -84,6 +103,7 @@ fn prove_trace_inner(
         lemmas: Vec::new(),
         lemma_cache: HashMap::new(),
         lemma_depth,
+        shared,
     };
     prover.prove()
 }
@@ -98,6 +118,9 @@ struct TraceProver<'a, 'p> {
     lemmas: Vec<LemmaCert>,
     lemma_cache: HashMap<(ActionPat, ActionPat), Option<usize>>,
     lemma_depth: usize,
+    /// Cross-property proof cache; `None` inside package computations (see
+    /// `cache.rs` for why packages must be computed detached).
+    shared: Option<&'a ProofCache>,
 }
 
 impl<'a, 'p> TraceProver<'a, 'p> {
@@ -115,17 +138,37 @@ impl<'a, 'p> TraceProver<'a, 'p> {
     fn prove(mut self) -> Result<TraceCert, ProofFailure> {
         let mut base = Vec::new();
         for (wi, world) in self.abs.worlds.iter().enumerate() {
+            crate::stats::note_path();
             let actions: Vec<&SymAction> = world.init.actions.iter().collect();
             let location = format!("init path {wi}");
-            base.push(self.check_actions(
-                &actions,
-                &world.init.condition,
-                None,
-                &location,
-            )?);
+            base.push(self.check_actions(&actions, &world.init.condition, None, &location)?);
         }
-        let mut cases = Vec::new();
         let trigger = self.tp.trigger().clone();
+        // `ImmBefore`/`ImmAfter`/`Ensures` obligations are discharged by
+        // local witnesses only — their justification never touches the
+        // invariant or lemma tables, so each inductive case is a pure
+        // function of the abstraction and can run on a worker thread.
+        let pure_kind = matches!(
+            self.tp.kind,
+            TracePropKind::ImmBefore | TracePropKind::ImmAfter | TracePropKind::Ensures
+        );
+        let jobs = self.options.effective_jobs();
+        let cases = if pure_kind && jobs > 1 {
+            self.prove_cases_parallel(&trigger, jobs)?
+        } else {
+            self.prove_cases_serial(&trigger)?
+        };
+        Ok(TraceCert {
+            property: self.prop.name.clone(),
+            base,
+            cases,
+            invariants: self.invariants,
+            lemmas: self.lemmas,
+        })
+    }
+
+    fn prove_cases_serial(&mut self, trigger: &ActionPat) -> Result<Vec<CaseCert>, ProofFailure> {
+        let mut cases = Vec::new();
         for (wi, world) in self.abs.worlds.iter().enumerate() {
             for exchange in &world.exchanges {
                 if self.options.syntactic_skip
@@ -133,7 +176,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                         self.abs.checked(),
                         &exchange.ctype,
                         &exchange.msg,
-                        &trigger,
+                        trigger,
                     )
                 {
                     cases.push(CaseCert {
@@ -146,6 +189,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 }
                 let mut paths = Vec::new();
                 for (pi, path) in exchange.paths.iter().enumerate() {
+                    crate::stats::note_path();
                     let actions = exchange.appended_actions(path);
                     let location = format!(
                         "world {wi}, case {}:{}, path {pi}",
@@ -174,13 +218,133 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 });
             }
         }
-        Ok(TraceCert {
-            property: self.prop.name.clone(),
-            base,
-            cases,
-            invariants: self.invariants,
-            lemmas: self.lemmas,
+        Ok(cases)
+    }
+
+    /// Checks all inductive cases of a witness-only (`ImmBefore` /
+    /// `ImmAfter` / `Ensures`) property on `jobs` worker threads.
+    ///
+    /// Results land in per-case slots and are collected in case order, so
+    /// the certificate — and, on failure, the reported case (the lowest
+    /// failing index, exactly what the serial loop stops at) — is identical
+    /// to the serial run's regardless of thread timing.
+    fn prove_cases_parallel(
+        &self,
+        trigger: &ActionPat,
+        jobs: usize,
+    ) -> Result<Vec<CaseCert>, ProofFailure> {
+        let units: Vec<(usize, &World, &reflex_symbolic::Exchange)> = self
+            .abs
+            .worlds
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, world)| world.exchanges.iter().map(move |ex| (wi, world, ex)))
+            .collect();
+        let slots: Vec<OnceLock<Result<CaseCert, ProofFailure>>> =
+            (0..units.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(units.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(wi, _, exchange)) = units.get(i) else {
+                        break;
+                    };
+                    let result = self.check_case_witness_only(wi, exchange, trigger);
+                    let _ = slots[i].set(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every case slot filled"))
+            .collect()
+    }
+
+    /// One inductive case of a witness-only property (shared by the
+    /// parallel path; takes `&self` because these justifications never
+    /// extend the invariant/lemma tables).
+    fn check_case_witness_only(
+        &self,
+        wi: usize,
+        exchange: &reflex_symbolic::Exchange,
+        trigger: &ActionPat,
+    ) -> Result<CaseCert, ProofFailure> {
+        if self.options.syntactic_skip
+            && !case_can_emit_match(self.abs.checked(), &exchange.ctype, &exchange.msg, trigger)
+        {
+            return Ok(CaseCert {
+                ctype: exchange.ctype.clone(),
+                msg: exchange.msg.clone(),
+                skipped: true,
+                paths: Vec::new(),
+            });
+        }
+        let world = &self.abs.worlds[wi];
+        let mut paths = Vec::new();
+        for (pi, path) in exchange.paths.iter().enumerate() {
+            crate::stats::note_path();
+            let actions = exchange.appended_actions(path);
+            let location = format!(
+                "world {wi}, case {}:{}, path {pi}",
+                exchange.ctype, exchange.msg
+            );
+            let conditions: Vec<(Term, bool)> = world
+                .range_assumptions
+                .iter()
+                .chain(path.condition.iter())
+                .cloned()
+                .collect();
+            paths.push(self.check_actions_witness_only(&actions, &conditions, &location)?);
+        }
+        Ok(CaseCert {
+            ctype: exchange.ctype.clone(),
+            msg: exchange.msg.clone(),
+            skipped: false,
+            paths,
         })
+    }
+
+    /// Enumerates the trigger obligations of one appended-action segment:
+    /// each trigger instance is either refuted (side conditions contradict
+    /// the path condition) or open, carrying the solver context extended
+    /// with its side conditions. Shared by the serial and parallel paths.
+    fn obligation_contexts(
+        &self,
+        actions: &[&SymAction],
+        conditions: &[(Term, bool)],
+    ) -> Vec<ObligationCtx> {
+        let trigger = self.tp.trigger().clone();
+        let solver0 = Solver::with_assumptions(conditions);
+        let mut out = Vec::new();
+        for inst in trigger_instances(&trigger, actions, &SymBindings::new()) {
+            if conds_refuted(&solver0, &inst.conds) {
+                out.push(ObligationCtx::Refuted { index: inst.index });
+                continue;
+            }
+            // The obligation only needs to hold in runs where the trigger
+            // actually matches: case-split by assuming the side conditions.
+            let mut solver = solver0.clone();
+            for (t, pol) in &inst.conds {
+                solver.assert_term(t.clone(), *pol);
+            }
+            if solver.is_unsat() {
+                out.push(ObligationCtx::Refuted { index: inst.index });
+                continue;
+            }
+            let all_conds: Vec<(Term, bool)> = conditions
+                .iter()
+                .cloned()
+                .chain(inst.conds.iter().cloned())
+                .collect();
+            out.push(ObligationCtx::Open {
+                inst,
+                solver,
+                all_conds,
+            });
+        }
+        out
     }
 
     /// Checks every trigger obligation over one appended-action segment.
@@ -191,58 +355,83 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         exchange_ctx: Option<(&SymComp, &Path)>,
         location: &str,
     ) -> Result<PathCert, ProofFailure> {
-
-        let trigger = self.tp.trigger().clone();
-        let solver0 = Solver::with_assumptions(conditions);
         let mut obligations = Vec::new();
-        for inst in trigger_instances(&trigger, actions, &SymBindings::new()) {
-            if conds_refuted(&solver0, &inst.conds) {
-                obligations.push((inst.index, Justification::Refuted));
-                continue;
-            }
-            // The obligation only needs to hold in runs where the trigger
-            // actually matches: case-split by assuming the side conditions.
-            let mut solver = solver0.clone();
-            for (t, pol) in &inst.conds {
-                solver.assert_term(t.clone(), *pol);
-            }
-            if solver.is_unsat() {
-                obligations.push((inst.index, Justification::Refuted));
-                continue;
-            }
-            let all_conds: Vec<(Term, bool)> = conditions
-                .iter()
-                .cloned()
-                .chain(inst.conds.iter().cloned())
-                .collect();
-            let just = match self.tp.kind {
-                TracePropKind::Enables => self.justify_enables(
-                    actions,
-                    &inst,
-                    &solver,
-                    &all_conds,
-                    exchange_ctx,
-                    location,
-                )?,
-                TracePropKind::Disables => self.justify_disables(
-                    actions,
-                    &inst,
-                    &solver,
-                    &all_conds,
-                    exchange_ctx,
-                    location,
-                )?,
-                TracePropKind::ImmBefore => {
-                    self.justify_imm_before(actions, &inst, &solver, location)?
+        for ctx in self.obligation_contexts(actions, conditions) {
+            match ctx {
+                ObligationCtx::Refuted { index } => {
+                    obligations.push((index, Justification::Refuted));
                 }
-                TracePropKind::ImmAfter => {
-                    self.justify_imm_after(actions, &inst, &solver, location)?
+                ObligationCtx::Open {
+                    inst,
+                    solver,
+                    all_conds,
+                } => {
+                    let just = match self.tp.kind {
+                        TracePropKind::Enables => self.justify_enables(
+                            actions,
+                            &inst,
+                            &solver,
+                            &all_conds,
+                            exchange_ctx,
+                            location,
+                        )?,
+                        TracePropKind::Disables => self.justify_disables(
+                            actions,
+                            &inst,
+                            &solver,
+                            &all_conds,
+                            exchange_ctx,
+                            location,
+                        )?,
+                        TracePropKind::ImmBefore => {
+                            self.justify_imm_before(actions, &inst, &solver, location)?
+                        }
+                        TracePropKind::ImmAfter => {
+                            self.justify_imm_after(actions, &inst, &solver, location)?
+                        }
+                        TracePropKind::Ensures => {
+                            self.justify_ensures(actions, &inst, &solver, location)?
+                        }
+                    };
+                    obligations.push((inst.index, just));
                 }
-                TracePropKind::Ensures => {
-                    self.justify_ensures(actions, &inst, &solver, location)?
+            }
+        }
+        Ok(PathCert { obligations })
+    }
+
+    /// `check_actions` restricted to the witness-only kinds, so it can run
+    /// on worker threads with `&self`.
+    fn check_actions_witness_only(
+        &self,
+        actions: &[&SymAction],
+        conditions: &[(Term, bool)],
+        location: &str,
+    ) -> Result<PathCert, ProofFailure> {
+        let mut obligations = Vec::new();
+        for ctx in self.obligation_contexts(actions, conditions) {
+            match ctx {
+                ObligationCtx::Refuted { index } => {
+                    obligations.push((index, Justification::Refuted));
                 }
-            };
-            obligations.push((inst.index, just));
+                ObligationCtx::Open { inst, solver, .. } => {
+                    let just = match self.tp.kind {
+                        TracePropKind::ImmBefore => {
+                            self.justify_imm_before(actions, &inst, &solver, location)?
+                        }
+                        TracePropKind::ImmAfter => {
+                            self.justify_imm_after(actions, &inst, &solver, location)?
+                        }
+                        TracePropKind::Ensures => {
+                            self.justify_ensures(actions, &inst, &solver, location)?
+                        }
+                        TracePropKind::Enables | TracePropKind::Disables => {
+                            unreachable!("witness-only path never sees Enables/Disables")
+                        }
+                    };
+                    obligations.push((inst.index, just));
+                }
+            }
         }
         Ok(PathCert { obligations })
     }
@@ -284,7 +473,13 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         // component), whose Spawn is in the prior trace; a lemma shows such
         // spawns are always preceded by the required action.
         match self.justify_via_comp_origin(
-            actions, inst, solver, sender, path, &obligation, location,
+            actions,
+            inst,
+            solver,
+            sender,
+            path,
+            &obligation,
+            location,
         ) {
             Ok(Some(just)) => Ok(just),
             Ok(None) | Err(_) => Err(inv_err),
@@ -309,8 +504,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         }
         let pattern = specialize_pattern(obligation, &inst.bindings);
         let free_vars = pattern.vars();
-        let mut origins: Vec<(CompOriginRef, &SymComp)> =
-            vec![(CompOriginRef::Sender, sender)];
+        let mut origins: Vec<(CompOriginRef, &SymComp)> = vec![(CompOriginRef::Sender, sender)];
         let mut li = 0;
         for kind in &path.cond_kinds {
             if let CondKind::LookupPred { comp } = kind {
@@ -324,22 +518,20 @@ impl<'a, 'p> TraceProver<'a, 'p> {
             // before the trigger; restrict to cases where no same-type
             // spawn occurs in this exchange.
             if matches!(oref, CompOriginRef::Lookup { .. })
-                && actions.iter().any(|a| {
-                    matches!(a, SymAction::Spawn { comp: c } if c.ctype == comp.ctype)
-                })
+                && actions
+                    .iter()
+                    .any(|a| matches!(a, SymAction::Spawn { comp: c } if c.ctype == comp.ctype))
             {
                 continue;
             }
             // Direct discharge: the obligation is itself a spawn pattern
             // that the origin component provably matches — its own Spawn
             // action (in the prior trace) is the witness.
-            if let reflex_symbolic::Unify::Match { conditions, .. } =
-                reflex_symbolic::unify_action(
-                    obligation,
-                    &SymAction::Spawn { comp: comp.clone() },
-                    &inst.bindings,
-                )
-            {
+            if let reflex_symbolic::Unify::Match { conditions, .. } = reflex_symbolic::unify_action(
+                obligation,
+                &SymAction::Spawn { comp: comp.clone() },
+                &inst.bindings,
+            ) {
                 if crate::shared::conds_entailed(solver, &conditions) {
                     return Ok(Some(Justification::ViaCompOrigin {
                         origin: oref,
@@ -396,13 +588,34 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         if let Some(cached) = self.lemma_cache.get(&key) {
             return Ok(*cached);
         }
-        self.lemma_cache.insert(key.clone(), None); // cycle guard
         let mut vars: Vec<(String, Ty)> = Vec::new();
         for v in b.vars().into_iter().chain(a.vars()) {
             if !vars.iter().any(|(n, _)| *n == v) {
                 vars.push((v.clone(), self.forall_ty(&v)));
             }
         }
+        // Property-level lemma requests go through the shared cache; nested
+        // lemmas (inside a lemma proof) stay local, exactly as the package
+        // computation itself proves them.
+        if self.lemma_depth == 0 {
+            if let Some(shared) = self.shared {
+                let skey: SharedLemmaKey = (vars.clone(), a.clone(), b.clone());
+                let pkg = shared.lemma_package(&skey, || {
+                    compute_lemma_package(self.abs, self.options, &skey, shared)
+                });
+                let cached = match &*pkg {
+                    Some(lemma) => {
+                        self.lemmas.push(lemma.clone());
+                        Some(self.lemmas.len() - 1)
+                    }
+                    None => None,
+                };
+                self.lemma_cache.insert(key, cached);
+                let _ = location;
+                return Ok(cached);
+            }
+        }
+        self.lemma_cache.insert(key.clone(), None); // cycle guard
         let lemma_prop = PropertyDecl {
             name: format!("lemma:{a} Enables {b}"),
             forall: vars.clone(),
@@ -421,6 +634,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
             &lemma_prop,
             lemma_tp,
             self.lemma_depth + 1,
+            self.shared,
         ) {
             Ok(cert) => {
                 self.lemmas.push(LemmaCert {
@@ -477,20 +691,15 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 prior: NegPrior::MissedLookup { lookup_index: li },
             });
         }
-        let inv_id = self.invariant_from_obligation(
-            &obligation,
-            inst,
-            all_conds,
-            false,
-            location,
-        )?;
+        let inv_id =
+            self.invariant_from_obligation(&obligation, inst, all_conds, false, location)?;
         Ok(Justification::NoMatch {
             prior: NegPrior::Invariant { inv_id },
         })
     }
 
     fn justify_imm_before(
-        &mut self,
+        &self,
         actions: &[&SymAction],
         inst: &TriggerInstance,
         solver: &Solver,
@@ -524,7 +733,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
     }
 
     fn justify_imm_after(
-        &mut self,
+        &self,
         actions: &[&SymAction],
         inst: &TriggerInstance,
         solver: &Solver,
@@ -559,7 +768,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
     }
 
     fn justify_ensures(
-        &mut self,
+        &self,
         actions: &[&SymAction],
         inst: &TriggerInstance,
         solver: &Solver,
@@ -679,9 +888,8 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(last_err.unwrap_or_else(|| {
-            self.fail(location, "no invariant candidate could be synthesized")
-        }))
+        Err(last_err
+            .unwrap_or_else(|| self.fail(location, "no invariant candidate could be synthesized")))
     }
 
     /// Proves (or reuses) the invariant `∀ vars, guard ⇒ (∃/∄) pattern`,
@@ -721,6 +929,9 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 ),
             ));
         }
+        if let Some(shared) = self.shared {
+            return self.splice_shared_invariant(shared, vars, guard, pattern, positive, location);
+        }
         self.cache.insert(key.clone(), CacheEntry::InProgress);
         let result = self.prove_invariant_inner(&vars, &guard, &pattern, positive, depth, location);
         match result {
@@ -744,6 +955,60 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         }
     }
 
+    /// Discharges an invariant request from the shared cross-property
+    /// cache: fetch (or compute) the self-contained package for the key and
+    /// splice its certificate slice into this proof's invariant table,
+    /// shifting the package's internal references by the splice offset.
+    ///
+    /// The package is a pure function of the key (see `cache.rs`), so this
+    /// returns exactly what proving the invariant locally from a fresh
+    /// context would have — whichever property, on whichever thread, paid
+    /// for the computation first.
+    fn splice_shared_invariant(
+        &mut self,
+        shared: &ProofCache,
+        vars: Vec<(String, Ty)>,
+        guard: Guard,
+        pattern: ActionPat,
+        positive: bool,
+        location: &str,
+    ) -> Result<usize, ProofFailure> {
+        let skey: SharedInvKey = (vars, guard, pattern, positive);
+        let pkg = shared.invariant_package(&skey, || {
+            compute_invariant_package(self.abs, self.options, &skey)
+        });
+        let (_, guard, pattern, positive) = skey;
+        match &*pkg {
+            Ok(certs) => {
+                let base = self.invariants.len();
+                for (i, cert) in certs.iter().enumerate() {
+                    let mut cert = cert.clone();
+                    shift_invariant_refs(&mut cert, base);
+                    if self.options.cache_invariants {
+                        // Make the package's sub-invariants (root included)
+                        // locally reusable; first splice wins on key
+                        // collisions between packages — later duplicates
+                        // still reference their own copies, so every
+                        // certificate link stays valid.
+                        self.cache
+                            .entry((cert.guard.clone(), cert.pattern.clone(), cert.positive))
+                            .or_insert(CacheEntry::Proved(base + i));
+                    }
+                    self.invariants.push(cert);
+                }
+                Ok(self.invariants.len() - 1)
+            }
+            Err(e) => {
+                self.cache
+                    .insert((guard, pattern, positive), CacheEntry::Failed);
+                Err(ProofFailure {
+                    location: location.to_owned(),
+                    reason: e.reason.clone(),
+                })
+            }
+        }
+    }
+
     fn prove_invariant_inner(
         &mut self,
         vars: &[(String, Ty)],
@@ -762,10 +1027,10 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         // Base cases.
         let mut base = Vec::new();
         for (wi, world) in self.abs.worlds.iter().enumerate() {
+            crate::stats::note_path();
             let post = guard.instantiate(&world.init.state);
-            let mut solver = Solver::with_assumptions(
-                world.init.condition.iter().chain(post.iter()),
-            );
+            let mut solver =
+                Solver::with_assumptions(world.init.condition.iter().chain(post.iter()));
             if solver.is_unsat() {
                 base.push(InvPathJust::GuardUnsat);
                 continue;
@@ -839,6 +1104,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 }
                 let mut paths = Vec::new();
                 for (pi, path) in exchange.paths.iter().enumerate() {
+                    crate::stats::note_path();
                     let step_loc = format!(
                         "{location} → invariant `{guard}` case {}:{} path {pi}",
                         exchange.ctype, exchange.msg
@@ -1006,6 +1272,113 @@ impl<'a, 'p> TraceProver<'a, 'p> {
     }
 }
 
+// ---- shared proof packages ---------------------------------------------
+
+/// Computes the self-contained proof package for one invariant key, in a
+/// fresh prover context (see `cache.rs`): empty tables, depth 0, and the
+/// shared cache detached so the result depends on nothing but the key.
+///
+/// The synthetic property exists only to carry the key's quantifier types
+/// (`forall_ty` lookups during sub-invariant synthesis resolve against it);
+/// its body is never proved.
+fn compute_invariant_package(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    key: &SharedInvKey,
+) -> InvariantPackage {
+    let (vars, guard, pattern, positive) = key;
+    let prop = PropertyDecl {
+        name: format!("invariant:{guard}"),
+        forall: vars.clone(),
+        body: reflex_ast::PropBody::Trace(TraceProp::new(
+            TracePropKind::Enables,
+            pattern.clone(),
+            pattern.clone(),
+        )),
+    };
+    let reflex_ast::PropBody::Trace(tp) = &prop.body else {
+        unreachable!("constructed as trace property");
+    };
+    let mut prover = TraceProver {
+        abs,
+        options,
+        prop: &prop,
+        tp,
+        invariants: Vec::new(),
+        cache: HashMap::new(),
+        lemmas: Vec::new(),
+        lemma_cache: HashMap::new(),
+        // Invariant proofs never reach the lemma machinery; saturate the
+        // depth so any future path there would be a no-op, not a package
+        // impurity.
+        lemma_depth: MAX_LEMMA_DEPTH,
+        shared: None,
+    };
+    prover.prove_invariant(
+        vars.clone(),
+        guard.clone(),
+        pattern.clone(),
+        *positive,
+        0,
+        "shared invariant",
+    )?;
+    // The root is the last certificate pushed; dependencies precede it and
+    // every internal reference points backwards within the slice.
+    Ok(prover.invariants)
+}
+
+/// Computes the self-contained proof package for one lemma key. Lemma
+/// proofs may themselves request invariants, which go through the shared
+/// cache (lemma packages read invariant packages, never other lemma
+/// packages, so the package dependency graph stays acyclic).
+fn compute_lemma_package(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    key: &SharedLemmaKey,
+    shared: &ProofCache,
+) -> LemmaPackage {
+    let (vars, a, b) = key;
+    let lemma_prop = PropertyDecl {
+        name: format!("lemma:{a} Enables {b}"),
+        forall: vars.clone(),
+        body: reflex_ast::PropBody::Trace(TraceProp::new(
+            TracePropKind::Enables,
+            a.clone(),
+            b.clone(),
+        )),
+    };
+    let reflex_ast::PropBody::Trace(lemma_tp) = &lemma_prop.body else {
+        unreachable!("constructed as trace property");
+    };
+    match prove_trace_inner(abs, options, &lemma_prop, lemma_tp, 1, Some(shared)) {
+        Ok(cert) => Some(LemmaCert {
+            vars: vars.clone(),
+            a: a.clone(),
+            b: b.clone(),
+            cert,
+        }),
+        Err(_) => None,
+    }
+}
+
+/// Shifts every intra-package invariant reference of a spliced certificate
+/// by the splice offset.
+fn shift_invariant_refs(cert: &mut InvariantCert, base: usize) {
+    for just in cert
+        .base
+        .iter_mut()
+        .chain(cert.cases.iter_mut().flat_map(|c| c.paths.iter_mut()))
+    {
+        match just {
+            InvPathJust::ViaInvariant { inv_id } => *inv_id += base,
+            InvPathJust::NegativeOk {
+                prior: NegPriorStep::Invariant { inv_id },
+            } => *inv_id += base,
+            _ => {}
+        }
+    }
+}
+
 /// The state variables mentioned by a guard.
 fn guard_state_vars(guard: &Guard) -> Vec<String> {
     let mut out = Vec::new();
@@ -1046,7 +1419,6 @@ fn invariant_vars(guard: &Guard, pattern: &ActionPat, prop: &PropertyDecl) -> Ve
     }
     vars
 }
-
 
 /// Finds a missed lookup on `path` that *covers* the forbidden spawn
 /// pattern: the lookup searched the pattern's component type and its

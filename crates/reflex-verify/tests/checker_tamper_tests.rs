@@ -65,7 +65,9 @@ properties {
 #[test]
 fn invariant_justification_tampering_is_rejected() {
     let (checked, cert) = proved(SSH, "AuthFirst");
-    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    let Certificate::Trace(t) = &cert else {
+        panic!("trace cert")
+    };
     assert!(!t.invariants.is_empty(), "proof should need an invariant");
 
     // 1. Point an obligation at a non-existent invariant.
@@ -155,7 +157,9 @@ fn invariant_justification_tampering_is_rejected() {
 #[test]
 fn witness_index_tampering_is_rejected() {
     let (checked, cert) = proved(SSH, "AuthFirst");
-    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    let Certificate::Trace(t) = &cert else {
+        panic!("trace cert")
+    };
     let mut t = t.clone();
     let mut tampered = false;
     for case in &mut t.cases {
@@ -201,7 +205,9 @@ properties {
 #[test]
 fn missed_lookup_tampering_is_rejected() {
     let (checked, cert) = proved(UNIQ, "NoDuplicates");
-    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
+    let Certificate::Trace(t) = &cert else {
+        panic!("trace cert")
+    };
     // The proof must have used the missed-lookup mechanism somewhere.
     let uses_ml = t
         .cases
@@ -281,8 +287,13 @@ properties {
 #[test]
 fn lemma_tampering_is_rejected() {
     let (checked, cert) = proved(ORIGIN, "OnlyLoggedIn");
-    let Certificate::Trace(t) = &cert else { panic!("trace cert") };
-    assert!(!t.lemmas.is_empty(), "proof should use a component-origin lemma");
+    let Certificate::Trace(t) = &cert else {
+        panic!("trace cert")
+    };
+    assert!(
+        !t.lemmas.is_empty(),
+        "proof should use a component-origin lemma"
+    );
 
     // 1. Drop the lemmas.
     {
@@ -359,7 +370,9 @@ properties {
 }
 "#;
     let (checked, cert) = proved(src, "NI");
-    let Certificate::NonInterference(n) = &cert else { panic!("NI cert") };
+    let Certificate::NonInterference(n) = &cert else {
+        panic!("NI cert")
+    };
     let mut bad = n.clone();
     bad.cases.pop();
     assert_rejected(

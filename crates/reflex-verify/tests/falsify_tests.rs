@@ -42,9 +42,7 @@ fn with_props(props: &str) -> CheckedProgram {
 #[test]
 fn violates_enables() {
     // B can be sent without A ever having happened.
-    let c = with_props(
-        "  P: forall s: str.\n    [Send(D(), A(s))] Enables [Send(D(), B(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Send(D(), A(s))] Enables [Send(D(), B(s))];");
     let cx = falsify(&c, "P", &FalsifyOptions::default()).expect("violation");
     // Minimal-ish: one exchange (Select, Recv, Send) suffices.
     assert!(cx.trace.len() <= 6, "trace:\n{}", cx.trace);
@@ -53,9 +51,7 @@ fn violates_enables() {
 
 #[test]
 fn violates_disables() {
-    let c = with_props(
-        "  P: forall s: str.\n    [Send(D(), A(s))] Disables [Send(D(), B(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Send(D(), A(s))] Disables [Send(D(), B(s))];");
     let cx = falsify(&c, "P", &FalsifyOptions::default()).expect("violation");
     assert_eq!(cx.violation.kind, reflex_ast::TracePropKind::Disables);
     // Needs an A-send followed by a B-send with the same payload.
@@ -78,9 +74,7 @@ fn violates_immafter_and_ensures() {
 
 #[test]
 fn violates_immbefore() {
-    let c = with_props(
-        "  P: forall s: str.\n    [Recv(C(), A(s))] ImmBefore [Send(D(), B(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Recv(C(), A(s))] ImmBefore [Send(D(), B(s))];");
     let cx = falsify(&c, "P", &FalsifyOptions::default()).expect("violation");
     assert_eq!(cx.violation.kind, reflex_ast::TracePropKind::ImmBefore);
 }
@@ -89,9 +83,7 @@ fn violates_immbefore() {
 fn respects_exchange_bound() {
     // The only violation needs two exchanges; with max_exchanges = 1 the
     // search must come up empty.
-    let c = with_props(
-        "  P: forall s: str.\n    [Send(D(), A(s))] Disables [Send(D(), B(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Send(D(), A(s))] Disables [Send(D(), B(s))];");
     let shallow = FalsifyOptions {
         max_exchanges: 1,
         ..FalsifyOptions::default()
@@ -108,9 +100,7 @@ fn respects_exchange_bound() {
 fn counterexample_traces_are_real_behaviors() {
     // Any counterexample the falsifier reports must itself be a valid
     // trace (checked via the certified trace checker on the violation).
-    let c = with_props(
-        "  P: forall s: str.\n    [Send(D(), A(s))] Enables [Send(D(), B(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Send(D(), A(s))] Enables [Send(D(), B(s))];");
     let cx = falsify(&c, "P", &FalsifyOptions::default()).expect("violation");
     let prop = c.program().property("P").expect("exists");
     let reflex_ast::PropBody::Trace(tp) = &prop.body else {
@@ -123,9 +113,7 @@ fn counterexample_traces_are_real_behaviors() {
 
 #[test]
 fn true_properties_yield_no_counterexample() {
-    let c = with_props(
-        "  P: forall s: str.\n    [Recv(C(), A(s))] Enables [Send(D(), A(s))];",
-    );
+    let c = with_props("  P: forall s: str.\n    [Recv(C(), A(s))] Enables [Send(D(), A(s))];");
     assert!(falsify(&c, "P", &FalsifyOptions::default()).is_none());
 }
 

@@ -35,12 +35,16 @@ fn unrelated_edit_reuses_local_certificates() {
         report.reused
     );
     assert!(
-        report.reused.contains(&"UniqueCookieMgrPerDomain".to_owned()),
+        report
+            .reused
+            .contains(&"UniqueCookieMgrPerDomain".to_owned()),
         "reused: {:?}",
         report.reused
     );
     // The socket property's trigger lives in the edited handler: re-proved.
-    assert!(report.reproved.contains(&"SocketsOnlyToOwnDomain".to_owned()));
+    assert!(report
+        .reproved
+        .contains(&"SocketsOnlyToOwnDomain".to_owned()));
     // Invariant-based and NI certificates are never reused.
     assert!(report.reproved.contains(&"UniqueTabIds".to_owned()));
     assert!(report.reproved.contains(&"DomainNI".to_owned()));
@@ -69,7 +73,9 @@ fn breaking_edit_is_still_caught() {
         .find(|(n, _)| n == "SocketsOnlyToOwnDomain")
         .expect("present");
     assert!(!socket.1.is_proved(), "the regression must be caught");
-    assert!(report.reproved.contains(&"SocketsOnlyToOwnDomain".to_owned()));
+    assert!(report
+        .reproved
+        .contains(&"SocketsOnlyToOwnDomain".to_owned()));
 }
 
 #[test]
@@ -82,10 +88,8 @@ fn declaration_changes_force_full_reproving() {
         .collect();
 
     // Adding a message type changes the case split: nothing is reusable.
-    let edited_src = reflex_kernels::ssh::SOURCE.replace(
-        "messages {",
-        "messages {\n  Heartbeat();",
-    );
+    let edited_src =
+        reflex_kernels::ssh::SOURCE.replace("messages {", "messages {\n  Heartbeat();");
     let new = check(&parse_program("ssh", &edited_src).expect("parses")).expect("checks");
     let report = reverify(&old, &previous, &new, &options);
     assert!(report.reused.is_empty());
@@ -117,8 +121,5 @@ fn property_edits_are_never_reused() {
     let new = check(&parse_program("webserver", &edited_src).expect("parses")).expect("checks");
     let report = reverify(&old, &previous, &new, &options);
     assert!(report.reproved.contains(&"ReadsOnlyAuthorized".to_owned()));
-    assert!(report
-        .outcomes
-        .iter()
-        .all(|(_, o)| o.is_proved()));
+    assert!(report.outcomes.iter().all(|(_, o)| o.is_proved()));
 }

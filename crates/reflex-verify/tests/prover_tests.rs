@@ -3,9 +3,7 @@
 
 use reflex_parser::parse_program;
 use reflex_typeck::{check, CheckedProgram};
-use reflex_verify::{
-    check_certificate, falsify, prove, prove_all, FalsifyOptions, ProverOptions,
-};
+use reflex_verify::{check_certificate, falsify, prove, prove_all, FalsifyOptions, ProverOptions};
 
 fn checked(name: &str, src: &str) -> CheckedProgram {
     let p = parse_program(name, src).expect("parses");
@@ -122,8 +120,8 @@ fn rejects_false_variant_of_ssh_property() {
     let options = ProverOptions::default();
     assert_fails(&c, "AuthBeforeTerm", &options);
     // And it is genuinely false: the falsifier finds a concrete trace.
-    let cx = falsify(&c, "AuthBeforeTerm", &FalsifyOptions::default())
-        .expect("counterexample exists");
+    let cx =
+        falsify(&c, "AuthBeforeTerm", &FalsifyOptions::default()).expect("counterexample exists");
     assert_eq!(cx.property, "AuthBeforeTerm");
     assert!(cx.trace.len() >= 3);
 }
@@ -275,8 +273,7 @@ fn duplicate_ids_fail_and_falsify() {
     );
     let c = checked("tabs-dup", &buggy);
     assert_fails(&c, "UniqueTabIds", &ProverOptions::default());
-    let cx =
-        falsify(&c, "UniqueTabIds", &FalsifyOptions::default()).expect("two tabs share id 0");
+    let cx = falsify(&c, "UniqueTabIds", &FalsifyOptions::default()).expect("two tabs share id 0");
     assert!(cx.trace.len() >= 4);
 }
 
@@ -363,10 +360,7 @@ fn ni_fails_when_low_reaches_high() {
 
 #[test]
 fn ni_fails_when_high_branches_on_low_state() {
-    let bad = CAR.replace(
-        "state {",
-        "state {\n  radio_on: bool = false;",
-    );
+    let bad = CAR.replace("state {", "state {\n  radio_on: bool = false;");
     // radio_on written by a (low) Radio handler and branched on in a
     // (high) Engine handler.
     let bad = bad.replace(
@@ -384,10 +378,7 @@ fn ni_fails_when_high_branches_on_low_state() {
     let bad = if bad.contains("state {") {
         bad
     } else {
-        bad.replace(
-            "init {",
-            "state {\n  radio_on: bool = false;\n}\n\ninit {",
-        )
+        bad.replace("init {", "state {\n  radio_on: bool = false;\n}\n\ninit {")
     };
     let c = checked("car-lowbranch", &bad);
     let outcome = prove(&c, "EngineNI", &ProverOptions::default()).expect("exists");

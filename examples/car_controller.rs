@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run 1: crash with light low traffic.
     let run = |low_noise: usize, seed: u64| -> Result<_, Box<dyn std::error::Error>> {
-        let mut kernel =
-            Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed)?;
+        let mut kernel = Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed)?;
         let engine = kernel.components_of("Engine")[0].id;
         let radio = kernel.components_of("Radio")[0].id;
         let doors = kernel.components_of("Doors")[0].id;
@@ -52,17 +51,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let noisy = run(5, 99)?;
 
     println!("\n=== dynamic non-interference check ===");
-    println!("  quiet run: {} actions; noisy run: {} actions",
-        quiet.trace().len(), noisy.trace().len());
+    println!(
+        "  quiet run: {} actions; noisy run: {} actions",
+        quiet.trace().len(),
+        noisy.trace().len()
+    );
     // π_o restricted to the high component (the Engine) must agree.
     let high = |c: &reflex::trace::CompInst| c.ctype == "Engine";
     let a = observable_outputs(quiet.trace(), high);
     let b = observable_outputs(noisy.trace(), high);
     assert_eq!(a, b, "engine-observable outputs must be identical");
-    println!("  π_o(Engine) identical across runs ✓ ({} outputs)", a.len());
+    println!(
+        "  π_o(Engine) identical across runs ✓ ({} outputs)",
+        a.len()
+    );
 
     println!("\n=== crash response (from the noisy run's trace) ===");
-    for action in noisy.trace().iter_chrono().rev().take(6).collect::<Vec<_>>().into_iter().rev() {
+    for action in noisy
+        .trace()
+        .iter_chrono()
+        .rev()
+        .take(6)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
         println!("  {action}");
     }
     assert_eq!(noisy.state_var("crashed"), Some(&Value::Bool(true)));

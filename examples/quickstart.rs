@@ -55,8 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse and type-check.
     let program = parse_program("turnstile", KERNEL)?;
     let checked = check(&program)?;
-    println!("parsed `{}`: {} handlers, {} properties", program.name,
-        program.handlers.len(), program.properties.len());
+    println!(
+        "parsed `{}`: {} handlers, {} properties",
+        program.name,
+        program.handlers.len(),
+        program.properties.len()
+    );
 
     // 2. Pushbutton verification: no proof scripts, no annotations.
     let options = ProverOptions::default();

@@ -15,8 +15,13 @@ use reflex::verify::{check_certificate, prove_all, ProverOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let checked = reflex::kernels::ssh::checked();
-    println!("=== SSH kernel ({} lines of Reflex) ===",
-        reflex::kernels::ssh::SOURCE.lines().filter(|l| !l.trim().is_empty()).count());
+    println!(
+        "=== SSH kernel ({} lines of Reflex) ===",
+        reflex::kernels::ssh::SOURCE
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
+    );
 
     // Verify everything, pushbutton.
     let options = ProverOptions::default();
@@ -59,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("alice", "hunter2"),
         ("alice", "hunter2"), // 4th: over the limit, silently dropped
     ] {
-        kernel.inject(client, Msg::new("LoginReq", [Value::from(user), Value::from(pass)]))?;
+        kernel.inject(
+            client,
+            Msg::new("LoginReq", [Value::from(user), Value::from(pass)]),
+        )?;
         kernel.run(8)?;
         println!(
             "  login {user}/{pass}: attempts={} auth_ok={}",
@@ -82,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     reflex::runtime::oracle::check_trace_inclusion(&checked, kernel.trace())?;
     reflex::trace::check_trace_properties(kernel.trace(), &checked.program().properties)
         .map_err(|(name, e)| format!("{name}: {e}"))?;
-    println!("\ntrace of {} actions ⊆ BehAbs; all verified properties hold on it ✓",
-        kernel.trace().len());
+    println!(
+        "\ntrace of {} actions ⊆ BehAbs; all verified properties hold on it ✓",
+        kernel.trace().len()
+    );
     Ok(())
 }

@@ -44,10 +44,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // domain and never crosses the streams.
     let tabs: Vec<_> = kernel.components_of("Tab").iter().map(|t| t.id).collect();
     for (i, id) in tabs.iter().enumerate() {
-        kernel.inject(*id, Msg::new("SetCookie", [Value::from(format!("session={i}"))]))?;
+        kernel.inject(
+            *id,
+            Msg::new("SetCookie", [Value::from(format!("session={i}"))]),
+        )?;
     }
     kernel.run(16)?;
-    println!("  cookie processes: {}", kernel.components_of("CookieMgr").len());
+    println!(
+        "  cookie processes: {}",
+        kernel.components_of("CookieMgr").len()
+    );
     for a in kernel.trace().iter_chrono() {
         if let Action::Send { comp, msg } = a {
             if comp.ctype == "CookieMgr" {
@@ -57,8 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Socket policy in action.
-    kernel.inject(tabs[0], Msg::new("OpenSocket", [Value::from("mail.example")]))?;
-    kernel.inject(tabs[0], Msg::new("OpenSocket", [Value::from("evil.example")]))?;
+    kernel.inject(
+        tabs[0],
+        Msg::new("OpenSocket", [Value::from("mail.example")]),
+    )?;
+    kernel.inject(
+        tabs[0],
+        Msg::new("OpenSocket", [Value::from("evil.example")]),
+    )?;
     kernel.run(8)?;
     let connects = kernel
         .trace()

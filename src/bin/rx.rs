@@ -17,12 +17,13 @@ use std::process::ExitCode;
 use reflex::runtime::{EmptyWorld, Interpreter, Registry};
 use reflex::typeck::CheckedProgram;
 use reflex::verify::{
-    check_certificate, falsify, prove_all, prove_with, Abstraction, FalsifyOptions, ProverOptions,
+    check_certificate, falsify, prove_all_parallel_with_stats, prove_with, Abstraction,
+    FalsifyOptions, ProverOptions,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]]"
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]]\n\n  --jobs N   prove on N worker threads (0: one per CPU; default 1)\n  --stats    print prover counters (paths, caches, solver, per-property timing)"
     );
     ExitCode::from(2)
 }
@@ -45,8 +46,10 @@ fn main() -> ExitCode {
     };
     let result = match (cmd, rest) {
         ("check", [file]) => cmd_check(file),
-        ("verify", [file]) => cmd_verify(file, None),
-        ("verify", [file, prop]) => cmd_verify(file, Some(prop)),
+        ("verify", _) => match parse_verify_args(rest) {
+            Some((file, prop, jobs, stats)) => cmd_verify(&file, prop.as_deref(), jobs, stats),
+            None => return usage(),
+        },
         ("falsify", [file, prop]) => cmd_falsify(file, prop),
         ("explain", [file, prop]) => cmd_explain(file, prop),
         ("show", [file]) => cmd_show(file),
@@ -85,25 +88,53 @@ fn cmd_check(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(file: &str, only: Option<&str>) -> Result<(), String> {
+/// Parses `verify` operands: `FILE [PROP] [--jobs N] [--stats]` in any
+/// flag order. Returns `(file, prop, jobs, stats)`.
+fn parse_verify_args(rest: &[String]) -> Option<(String, Option<String>, usize, bool)> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut jobs = 1usize;
+    let mut stats = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = it.next()?.parse().ok()?,
+            "--stats" => stats = true,
+            _ if arg.starts_with("--") => return None,
+            _ => positional.push(arg),
+        }
+    }
+    match positional.as_slice() {
+        [file] => Some(((*file).clone(), None, jobs, stats)),
+        [file, prop] => Some(((*file).clone(), Some((*prop).clone()), jobs, stats)),
+        _ => None,
+    }
+}
+
+fn cmd_verify(file: &str, only: Option<&str>, jobs: usize, stats: bool) -> Result<(), String> {
     let checked = load(file)?;
-    let options = ProverOptions::default();
-    let outcomes = match only {
-        None => prove_all(&checked, &options),
+    let options = ProverOptions {
+        jobs,
+        ..ProverOptions::default()
+    };
+    let (outcomes, run_stats) = match only {
+        None => {
+            let (outcomes, run_stats) = prove_all_parallel_with_stats(&checked, &options, jobs);
+            (outcomes, Some(run_stats))
+        }
         Some(prop) => {
             let abs = Abstraction::build(&checked, &options);
-            vec![(
+            let outcomes = vec![(
                 prop.to_owned(),
                 prove_with(&abs, prop, &options).map_err(|e| e.to_string())?,
-            )]
+            )];
+            (outcomes, None)
         }
     };
     let mut failures = 0;
     for (name, outcome) in outcomes {
         match outcome.certificate() {
             Some(cert) => {
-                check_certificate(&checked, cert, &options)
-                    .map_err(|e| format!("{name}: {e}"))?;
+                check_certificate(&checked, cert, &options).map_err(|e| format!("{name}: {e}"))?;
                 println!(
                     "  ✓ {name}  ({} obligations, certificate checked)",
                     cert.obligation_count()
@@ -113,6 +144,14 @@ fn cmd_verify(file: &str, only: Option<&str>) -> Result<(), String> {
                 failures += 1;
                 println!("  ✗ {name}");
                 println!("      {}", outcome.failure().expect("failed"));
+            }
+        }
+    }
+    if stats {
+        match run_stats {
+            Some(s) => print!("{}", s.render()),
+            None => {
+                println!("(--stats requires proving all properties; ignored for a single property)")
             }
         }
     }

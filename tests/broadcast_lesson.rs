@@ -61,7 +61,9 @@ fn broadcast_runs_but_cannot_be_verified() {
         Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), 4).expect("boots");
     let mgr = kernel.components_of("Mgr")[0].id;
     for d in ["a.org", "a.org", "b.org", "a.org"] {
-        kernel.inject(mgr, Msg::new("NewTab", [Value::from(d)])).expect("inject");
+        kernel
+            .inject(mgr, Msg::new("NewTab", [Value::from(d)]))
+            .expect("inject");
     }
     kernel.run(8).expect("runs");
     kernel
@@ -141,7 +143,10 @@ fn forged_certificates_for_broadcast_programs_are_rejected() {
     )
     .expect("checks");
     let err = reflex::verify::check_certificate(&bcast, &cert, &options);
-    assert!(err.is_err(), "no certificate may validate against a broadcast program");
+    assert!(
+        err.is_err(),
+        "no certificate may validate against a broadcast program"
+    );
 }
 
 #[test]
@@ -155,5 +160,8 @@ fn broadcast_round_trips_and_type_checks() {
     // Type errors in broadcasts are caught like everywhere else.
     let bad = BROADCAST_KERNEL.replace("Refresh(v)", "Refresh(tabs)");
     let program = reflex::parser::parse_program("bad", &bad).expect("parses");
-    assert!(reflex::typeck::check(&program).is_err(), "num into str payload");
+    assert!(
+        reflex::typeck::check(&program).is_err(),
+        "num into str payload"
+    );
 }

@@ -15,7 +15,10 @@ fn rx(args: &[&str]) -> (bool, String, String) {
 }
 
 fn kernel(name: &str) -> String {
-    format!("{}/crates/reflex-kernels/rx/{name}.rx", env!("CARGO_MANIFEST_DIR"))
+    format!(
+        "{}/crates/reflex-kernels/rx/{name}.rx",
+        env!("CARGO_MANIFEST_DIR")
+    )
 }
 
 #[test]

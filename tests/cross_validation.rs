@@ -88,7 +88,8 @@ fn random_drive(
     }
     kernel.run(128).map_err(|e| e.to_string())?;
 
-    check_trace_inclusion(checked, kernel.trace()).map_err(|e| format!("{e}\n{}", kernel.trace()))?;
+    check_trace_inclusion(checked, kernel.trace())
+        .map_err(|e| format!("{e}\n{}", kernel.trace()))?;
     for p in &program.properties {
         if let PropBody::Trace(tp) = &p.body {
             check_trace(kernel.trace(), tp)

@@ -98,8 +98,7 @@ fn author_verify_run_modify_reverify() {
             Msg::new("Mute", [Value::from("bob")]),
         ]))
     });
-    let mut kernel =
-        Interpreter::new(&checked, registry, Box::new(EmptyWorld), 77).expect("boots");
+    let mut kernel = Interpreter::new(&checked, registry, Box::new(EmptyWorld), 77).expect("boots");
     kernel.run(20).expect("runs");
     assert_eq!(kernel.components_of("User").len(), 2);
 
@@ -139,14 +138,18 @@ fn author_verify_run_modify_reverify() {
     // The local-witness property still verifies (posts still name their
     // author), and so does everything else…
     for (name, outcome) in prove_all(&buggy, &options) {
-        assert!(outcome.is_proved(), "{name} unaffected by dropping the mute check");
+        assert!(
+            outcome.is_proved(),
+            "{name} unaffected by dropping the mute check"
+        );
     }
     // …because "muted users cannot post" was never stated! State it:
     let with_policy = buggy_src.replace(
         "properties {",
         "properties {\n  MutedStayMuted: forall n: str.\n    [Send(Log(), Audit(n))] Disables [Send(Log(), Post(n, _))];",
     );
-    let with_policy = check(&parse_program("chat3", &with_policy).expect("parses")).expect("checks");
+    let with_policy =
+        check(&parse_program("chat3", &with_policy).expect("parses")).expect("checks");
     let outcome = prove(&with_policy, "MutedStayMuted", &options).expect("exists");
     assert!(!outcome.is_proved(), "the dropped check must now be caught");
     let cx = falsify(&with_policy, "MutedStayMuted", &FalsifyOptions::default())

@@ -41,11 +41,7 @@ impl Rng {
 }
 
 const STRINGS: [&str; 3] = ["a", "b", "c"];
-const MSGS: [(&str, &[Ty]); 3] = [
-    ("M1", &[Ty::Str]),
-    ("M2", &[Ty::Str, Ty::Num]),
-    ("M3", &[]),
-];
+const MSGS: [(&str, &[Ty]); 3] = [("M1", &[Ty::Str]), ("M2", &[Ty::Str, Ty::Num]), ("M3", &[])];
 
 /// A random data expression of the given type over the fixed scope
 /// (state vars `sv`/`nv`/`bv`, handler params `p0…`).
@@ -268,13 +264,7 @@ fn gen_program(seed: u64) -> Program {
                 }
             }
         }
-        b = b.property(PropertyDecl::trace(
-            format!("P{k}"),
-            used,
-            kind,
-            a,
-            b_pat,
-        ));
+        b = b.property(PropertyDecl::trace(format!("P{k}"), used, kind, a, b_pat));
     }
     b.finish()
 }
@@ -286,12 +276,17 @@ fn fuzz_one(seed: u64) -> Result<(), String> {
     // Free parser coverage: every generated program must round-trip
     // through the pretty-printer.
     let printed = program.to_string();
-    let reparsed = reflex::parser::parse_program(&program.name, &printed)
-        .map_err(|e| format!("seed {seed}: reparse failed: {e}
-{printed}"))?;
+    let reparsed = reflex::parser::parse_program(&program.name, &printed).map_err(|e| {
+        format!(
+            "seed {seed}: reparse failed: {e}
+{printed}"
+        )
+    })?;
     if reparsed != program {
-        return Err(format!("seed {seed}: print→parse is not the identity
-{printed}"));
+        return Err(format!(
+            "seed {seed}: print→parse is not the identity
+{printed}"
+        ));
     }
     // Some generated programs are ill-formed (e.g. a binder name collides);
     // those are simply skipped — the fuzz targets the prover, not typeck.
@@ -305,8 +300,12 @@ fn fuzz_one(seed: u64) -> Result<(), String> {
             continue; // failure to prove is always acceptable
         };
         // (1) The certificate must validate.
-        check_certificate(&checked, cert, &options)
-            .map_err(|e| format!("seed {seed}, {}: certificate rejected: {e}\nprogram:\n{program}", prop.name))?;
+        check_certificate(&checked, cert, &options).map_err(|e| {
+            format!(
+                "seed {seed}, {}: certificate rejected: {e}\nprogram:\n{program}",
+                prop.name
+            )
+        })?;
         // (2) No bounded concrete counterexample.
         if let Some(cx) = falsify(
             &checked,
@@ -376,12 +375,59 @@ fn fuzz_one(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Shared-cache and parallel-prover agreement on one random program: the
+/// cross-property cache must never flip an outcome, and the parallel
+/// driver must reproduce the serial run exactly.
+fn agreement_one(seed: u64) -> Result<(), String> {
+    use reflex::verify::{prove_all, prove_all_parallel};
+    let program = gen_program(seed);
+    let Ok(checked) = reflex::typeck::check(&program) else {
+        return Ok(()); // generator occasionally types badly; skip
+    };
+    let cache_on = ProverOptions::default();
+    let cache_off = ProverOptions {
+        shared_cache: false,
+        ..ProverOptions::default()
+    };
+    let serial = prove_all(&checked, &cache_on);
+    let parallel = prove_all_parallel(&checked, &cache_on, 3);
+    let uncached = prove_all(&checked, &cache_off);
+    for (((name, a), (_, b)), (_, c)) in serial.iter().zip(&parallel).zip(&uncached) {
+        // Parallel vs serial: identical outcomes, certificates included.
+        match (a.certificate(), b.certificate()) {
+            (Some(ca), Some(cb)) if ca == cb => {}
+            (None, None) if a.failure() == b.failure() => {}
+            _ => {
+                return Err(format!(
+                    "seed {seed}: parallel prover diverged on {name}\nprogram:\n{program}"
+                ))
+            }
+        }
+        // Cache on vs off: same proved set (certificate shapes may differ).
+        if a.is_proved() != c.is_proved() {
+            return Err(format!(
+                "seed {seed}: shared cache changed the outcome of {name}\nprogram:\n{program}"
+            ));
+        }
+        if let Some(cert) = a.certificate() {
+            check_certificate(&checked, cert, &cache_on)
+                .map_err(|e| format!("seed {seed}: {name}: cert rejected: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn prover_is_sound_on_random_programs(seed in any::<u64>()) {
         fuzz_one(seed).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn shared_cache_and_parallelism_agree_on_random_programs(seed in any::<u64>()) {
+        agreement_one(seed).unwrap_or_else(|e| panic!("{e}"));
     }
 }
 
@@ -403,7 +449,9 @@ fn fuzz_statistics() {
     let mut total_props = 0;
     for seed in 0..200u64 {
         let program = gen_program(seed);
-        let Ok(checked) = reflex::typeck::check(&program) else { continue };
+        let Ok(checked) = reflex::typeck::check(&program) else {
+            continue;
+        };
         checked_ok += 1;
         let options = ProverOptions::default();
         for prop in &program.properties {

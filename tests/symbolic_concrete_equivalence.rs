@@ -118,9 +118,7 @@ fn ground(
             SymKind::StateVar(name) => {
                 // Match by identity with this world's pre-state symbols.
                 match pre.data.get(name) {
-                    Some(Term::Sym(s)) if s == sv => {
-                        Some(Term::Lit(pre_values[name].clone()))
-                    }
+                    Some(Term::Sym(s)) if s == sv => Some(Term::Lit(pre_values[name].clone())),
                     _ => None,
                 }
             }
@@ -162,7 +160,12 @@ fn run_case(seed: u64, s_arg: &str, n_arg: i64, pre_rounds: usize) -> Result<(),
     }
     let pre_values: std::collections::BTreeMap<String, Value> = ["sv", "nv", "bv"]
         .iter()
-        .map(|v| ((*v).to_owned(), kernel.state_var(v).expect("present").clone()))
+        .map(|v| {
+            (
+                (*v).to_owned(),
+                kernel.state_var(v).expect("present").clone(),
+            )
+        })
         .collect();
     let trace_before = kernel.trace().len();
     let payload = vec![Value::from(s_arg), Value::Num(n_arg)];

@@ -1,0 +1,164 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! as a plain wall-clock harness: per benchmark it runs one warm-up
+//! iteration plus `sample_size` timed samples and prints min/mean/max.
+//! No statistics, plots or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [FILTER]`; honor a
+        // positional filter, ignore harness flags we don't implement.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Define and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = self._criterion.filter.as_deref() {
+            if !full.contains(filter) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One unrecorded warm-up pass, then the recorded samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let (min, mean, max) = bencher.stats();
+        println!(
+            "bench {full:<50} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} samples)",
+            min,
+            mean,
+            max,
+            bencher.samples.len()
+        );
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure to time its hot loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` and record it as a sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        std_black_box(out);
+        self.samples.push(elapsed);
+    }
+
+    fn stats(&self) -> (Duration, Duration, Duration) {
+        if self.samples.is_empty() {
+            return (Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.samples.iter().min().expect("non-empty");
+        let max = *self.samples.iter().max().expect("non-empty");
+        let total: Duration = self.samples.iter().sum();
+        (min, total / self.samples.len() as u32, max)
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_records_samples() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}
