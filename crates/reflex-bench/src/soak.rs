@@ -1,0 +1,503 @@
+//! Long-horizon soak testing of the supervised runtime.
+//!
+//! Every Figure-6 kernel is driven for a configurable number of exchanges
+//! under a randomized (but fully deterministic) fault plan: external-call
+//! failures and timeouts, component crashes, message drop/duplication/
+//! reordering. The supervisor must recover from all of it, the runtime
+//! monitor must find no certificate violation, and — after a cooldown
+//! with fault injection disarmed — no component may remain down.
+//!
+//! Outcomes carry 64-bit fingerprints of the committed trace and the
+//! incident log, so determinism tests can assert byte-identical behavior
+//! across seeds, processes and `--jobs` values without shipping whole
+//! traces around.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use reflex_ast::{CompId, Fdesc, Ty, Value};
+use reflex_kernels::{all_benchmarks, Benchmark};
+use reflex_runtime::{EmptyWorld, FaultPlan, RetryPolicy, SupStep, Supervisor, SupervisorConfig};
+use reflex_trace::Msg;
+
+pub use reflex_runtime::{render_incident_log, IncidentReport};
+
+/// Soak parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Committed/recovered exchanges to drive per kernel (excluding the
+    /// cooldown phase).
+    pub steps: usize,
+    /// Global seed; per-kernel seeds are derived from it and the kernel's
+    /// index, so outcomes are independent of scheduling across workers.
+    pub seed: u64,
+    /// Per-exchange probability of one injected fault operation.
+    pub fault_rate: f64,
+    /// Per-attempt probability of a spontaneous external-call fault.
+    pub world_fault_rate: f64,
+    /// Re-check certificates online with the runtime monitor.
+    pub monitor: bool,
+    /// Worker threads (0 = one per available core).
+    pub jobs: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            steps: 10_000,
+            seed: 1,
+            fault_rate: 0.01,
+            world_fault_rate: 0.02,
+            monitor: true,
+            jobs: 0,
+        }
+    }
+}
+
+/// The outcome of soaking one kernel.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// Kernel name.
+    pub kernel: String,
+    /// Exchanges committed or recovered (excluding cooldown).
+    pub steps: usize,
+    /// Messages injected by the workload driver.
+    pub injected: usize,
+    /// Final committed trace length.
+    pub trace_len: usize,
+    /// FNV-1a fingerprint of the rendered trace.
+    pub trace_fingerprint: u64,
+    /// FNV-1a fingerprint of the rendered incident log.
+    pub incident_fingerprint: u64,
+    /// Incident counts by [`IncidentKind::label`](reflex_runtime::IncidentKind::label).
+    pub incident_counts: BTreeMap<&'static str, usize>,
+    /// Total incidents.
+    pub incidents: usize,
+    /// The rendered incident log (one line per incident).
+    pub incident_log: String,
+    /// Components still crashed after the cooldown (must be 0).
+    pub unrecovered: usize,
+    /// Monitor or unrecoverable runtime error, if any (must be `None`).
+    pub failure: Option<String>,
+    /// Wall-clock for this kernel's soak.
+    pub elapsed: Duration,
+}
+
+/// FNV-1a over a byte stream.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// SplitMix64-style derivation of per-kernel seeds from the global seed.
+fn derive_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Messages the workload driver may inject for each component type:
+/// `(ctype, handled message decls as (name, payload))`.
+type Catalog = Vec<(String, Vec<(String, Vec<Ty>)>)>;
+
+fn build_catalog(checked: &reflex_typeck::CheckedProgram) -> Catalog {
+    let program = checked.program();
+    program
+        .components
+        .iter()
+        .map(|c| {
+            let msgs = program
+                .messages
+                .iter()
+                .filter(|m| program.handler(&c.name, &m.name).is_some())
+                .map(|m| (m.name.clone(), m.payload.clone()))
+                .collect();
+            (c.name.clone(), msgs)
+        })
+        .collect()
+}
+
+const STR_POOL: [&str; 4] = ["", "a", "b", "x"];
+
+fn random_payload(rng: &mut StdRng, tys: &[Ty], comps: &[CompId]) -> Vec<Value> {
+    tys.iter()
+        .map(|ty| match ty {
+            Ty::Bool => Value::Bool(rng.random_bool(0.5)),
+            Ty::Num => Value::Num(rng.random_range(0..4i64)),
+            Ty::Str => Value::from(STR_POOL[rng.random_range(0..STR_POOL.len())]),
+            Ty::Fdesc => Value::Fdesc(Fdesc::new(rng.random_range(0..8u64))),
+            Ty::Comp => Value::Comp(comps[rng.random_range(0..comps.len())]),
+        })
+        .collect()
+}
+
+/// Soaks one kernel under a randomized fault plan derived from
+/// `cfg.seed` and `index` (its position in the kernel list). Fully
+/// deterministic: the same `(kernel, cfg, index)` yields the same
+/// fingerprints, on any machine, with any `jobs` value.
+pub fn soak_kernel(bench: &Benchmark, cfg: &SoakConfig, index: usize) -> SoakOutcome {
+    soak_program(bench.name, &(bench.checked)(), cfg, index)
+}
+
+/// [`soak_kernel`] for an arbitrary checked program — used by
+/// `rx run --faults` to drive user kernels with the soak workload.
+pub fn soak_program(
+    name: &str,
+    checked: &reflex_typeck::CheckedProgram,
+    cfg: &SoakConfig,
+    index: usize,
+) -> SoakOutcome {
+    soak_program_with_plan(name, checked, cfg, index, None)
+}
+
+/// [`soak_program`] with an explicit fault plan (e.g. one parsed from a
+/// `--faults` specification) instead of the randomized plan derived from
+/// the config's seed and fault rate.
+pub fn soak_program_with_plan(
+    name: &str,
+    checked: &reflex_typeck::CheckedProgram,
+    cfg: &SoakConfig,
+    index: usize,
+    plan: Option<FaultPlan>,
+) -> SoakOutcome {
+    let t0 = Instant::now();
+    let seed = derive_seed(cfg.seed, index);
+    let catalog = build_catalog(checked);
+    let plan =
+        plan.unwrap_or_else(|| FaultPlan::random(seed ^ 0xFA17_71A4_0000_0001, cfg.fault_rate));
+    let config = SupervisorConfig {
+        retry: RetryPolicy::attempts(4),
+        monitor: cfg.monitor,
+        world_fault_rate: cfg.world_fault_rate,
+        ..SupervisorConfig::default()
+    };
+    let mut sup = match Supervisor::new(
+        checked,
+        reflex_runtime::Registry::new(),
+        Box::new(EmptyWorld),
+        seed,
+        plan,
+        config,
+    ) {
+        Ok(sup) => sup,
+        Err(e) => {
+            return SoakOutcome {
+                kernel: name.to_owned(),
+                steps: 0,
+                injected: 0,
+                trace_len: 0,
+                trace_fingerprint: 0,
+                incident_fingerprint: 0,
+                incident_counts: BTreeMap::new(),
+                incidents: 0,
+                incident_log: String::new(),
+                unrecovered: 0,
+                failure: Some(e.to_string()),
+                elapsed: t0.elapsed(),
+            }
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10AD_6E4E_8A70_12D3);
+
+    let mut injected = 0usize;
+    let mut serviced = 0usize;
+    let mut failure = None;
+
+    // Main phase: inject one plausible message, service one exchange.
+    // The iteration bound guards against a (hypothetical) livelock where
+    // every injected message lands on a crashed component.
+    let max_iterations = cfg.steps * 4 + 1024;
+    let mut iterations = 0usize;
+    while serviced < cfg.steps && iterations < max_iterations && failure.is_none() {
+        iterations += 1;
+        inject_one(&mut sup, &catalog, &mut rng, &mut injected, &mut failure);
+        if failure.is_some() {
+            break;
+        }
+        match sup.step() {
+            Ok(SupStep::Idle) => {}
+            Ok(_) => serviced += 1,
+            Err(e) => failure = Some(e.to_string()),
+        }
+    }
+
+    // Cooldown: stop injecting faults and keep serving until every
+    // crashed component has been restarted (the restart-intensity window
+    // is at most `restart_window` exchanges wide, plus slack for the
+    // quarantine decisions themselves).
+    sup.disarm();
+    let mut cooldown = 0usize;
+    while failure.is_none()
+        && !sup.interpreter().crashed_components().is_empty()
+        && cooldown < SupervisorConfig::default().restart_window + 64
+    {
+        cooldown += 1;
+        inject_one(&mut sup, &catalog, &mut rng, &mut injected, &mut failure);
+        if failure.is_some() {
+            break;
+        }
+        match sup.step() {
+            Ok(_) => {}
+            Err(e) => failure = Some(e.to_string()),
+        }
+    }
+
+    let mut trace_fp = Fnv::new();
+    for act in sup.trace().actions() {
+        trace_fp.write(act.to_string().as_bytes());
+        trace_fp.write(b"\n");
+    }
+    let incidents = sup.take_incidents();
+    let incident_log = render_incident_log(&incidents);
+    let mut incident_fp = Fnv::new();
+    incident_fp.write(incident_log.as_bytes());
+    let mut incident_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for i in &incidents {
+        *incident_counts.entry(i.kind.label()).or_insert(0) += 1;
+    }
+
+    SoakOutcome {
+        kernel: name.to_owned(),
+        steps: serviced,
+        injected,
+        trace_len: sup.trace().len(),
+        trace_fingerprint: trace_fp.0,
+        incident_fingerprint: incident_fp.0,
+        incident_counts,
+        incidents: incidents.len(),
+        incident_log,
+        unrecovered: sup.interpreter().crashed_components().len(),
+        failure,
+        elapsed: t0.elapsed(),
+    }
+}
+
+fn inject_one(
+    sup: &mut Supervisor,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+    injected: &mut usize,
+    failure: &mut Option<String>,
+) {
+    let comps: Vec<(CompId, String)> = sup
+        .interpreter()
+        .components()
+        .iter()
+        .map(|c| (c.id, c.ctype.clone()))
+        .collect();
+    if comps.is_empty() {
+        return;
+    }
+    let ids: Vec<CompId> = comps.iter().map(|(id, _)| *id).collect();
+    let (comp, ctype) = &comps[rng.random_range(0..comps.len())];
+    let Some((_, msgs)) = catalog.iter().find(|(c, _)| c == ctype) else {
+        return;
+    };
+    if msgs.is_empty() {
+        return;
+    }
+    let (name, payload) = &msgs[rng.random_range(0..msgs.len())];
+    let msg = Msg::new(name.clone(), random_payload(rng, payload, &ids));
+    match sup.inject(*comp, msg) {
+        Ok(()) => *injected += 1,
+        Err(e) => *failure = Some(e.to_string()),
+    }
+}
+
+/// Soaks all Figure-6 kernels, fanning the kernels out over `cfg.jobs`
+/// worker threads. Results come back in kernel order regardless of
+/// scheduling, and each kernel's outcome is independent of the worker
+/// that ran it.
+pub fn run_soak(cfg: &SoakConfig) -> Vec<SoakOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    let jobs = if cfg.jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        cfg.jobs
+    };
+    let benches = all_benchmarks();
+    let slots: Vec<OnceLock<SoakOutcome>> = (0..benches.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(benches.len()).max(1) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(bench) = benches.get(i) else {
+                    break;
+                };
+                let _ = slots[i].set(soak_kernel(bench, cfg, i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every soak slot filled"))
+        .collect()
+}
+
+/// A with/without-monitor throughput comparison over the whole suite.
+#[derive(Debug, Clone)]
+pub struct SoakBench {
+    /// The configuration used (with `monitor` as in the monitored run).
+    pub config: SoakConfig,
+    /// Monitored outcomes, kernel order.
+    pub monitored: Vec<SoakOutcome>,
+    /// Unmonitored outcomes, kernel order.
+    pub unmonitored: Vec<SoakOutcome>,
+    /// Total wall-clock of the monitored run, milliseconds.
+    pub monitored_ms: f64,
+    /// Total wall-clock of the unmonitored run, milliseconds.
+    pub unmonitored_ms: f64,
+}
+
+impl SoakBench {
+    /// Suite steps/second with the monitor on.
+    pub fn monitored_throughput(&self) -> f64 {
+        throughput(&self.monitored, self.monitored_ms)
+    }
+
+    /// Suite steps/second with the monitor off.
+    pub fn unmonitored_throughput(&self) -> f64 {
+        throughput(&self.unmonitored, self.unmonitored_ms)
+    }
+}
+
+fn throughput(outcomes: &[SoakOutcome], ms: f64) -> f64 {
+    let steps: usize = outcomes.iter().map(|o| o.steps).sum();
+    if ms > 0.0 {
+        steps as f64 / (ms / 1e3)
+    } else {
+        0.0
+    }
+}
+
+/// Runs the soak suite twice — monitor on, monitor off — with identical
+/// seeds and fault schedules, for the `BENCH_soak.json` record.
+pub fn run_soak_bench(cfg: &SoakConfig) -> SoakBench {
+    let monitored_cfg = SoakConfig {
+        monitor: true,
+        ..*cfg
+    };
+    let unmonitored_cfg = SoakConfig {
+        monitor: false,
+        ..*cfg
+    };
+    let t0 = Instant::now();
+    let monitored = run_soak(&monitored_cfg);
+    let monitored_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let unmonitored = run_soak(&unmonitored_cfg);
+    let unmonitored_ms = t1.elapsed().as_secs_f64() * 1e3;
+    SoakBench {
+        config: monitored_cfg,
+        monitored,
+        unmonitored,
+        monitored_ms,
+        unmonitored_ms,
+    }
+}
+
+/// Renders a [`SoakBench`] as the `BENCH_soak.json` document.
+pub fn render_soak_json(bench: &SoakBench) -> String {
+    fn outcomes_json(outcomes: &[SoakOutcome], total_ms: f64, steps_per_sec: f64) -> String {
+        let rows: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "      {{\"kernel\": \"{}\", \"steps\": {}, \"injected\": {}, \
+                     \"trace_len\": {}, \"incidents\": {}, \"unrecovered\": {}, \
+                     \"trace_fingerprint\": \"{:016x}\", \"incident_fingerprint\": \"{:016x}\", \
+                     \"failure\": {}}}",
+                    o.kernel,
+                    o.steps,
+                    o.injected,
+                    o.trace_len,
+                    o.incidents,
+                    o.unrecovered,
+                    o.trace_fingerprint,
+                    o.incident_fingerprint,
+                    match &o.failure {
+                        Some(f) => format!("\"{}\"", f.replace('"', "'")),
+                        None => "null".to_owned(),
+                    }
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"total_ms\": {:.3},\n    \"steps_per_sec\": {:.1},\n    \
+             \"kernels\": [\n{}\n    ]\n  }}",
+            total_ms,
+            steps_per_sec,
+            rows.join(",\n")
+        )
+    }
+    format!(
+        "{{\n  \"suite\": \"soak\",\n  \"steps_per_kernel\": {},\n  \"seed\": {},\n  \
+         \"fault_rate\": {},\n  \"world_fault_rate\": {},\n  \"with_monitor\": {},\n  \
+         \"without_monitor\": {},\n  \"monitor_overhead\": {:.3}\n}}\n",
+        bench.config.steps,
+        bench.config.seed,
+        bench.config.fault_rate,
+        bench.config.world_fault_rate,
+        outcomes_json(
+            &bench.monitored,
+            bench.monitored_ms,
+            bench.monitored_throughput()
+        ),
+        outcomes_json(
+            &bench.unmonitored,
+            bench.unmonitored_ms,
+            bench.unmonitored_throughput()
+        ),
+        if bench.unmonitored_ms > 0.0 {
+            bench.monitored_ms / bench.unmonitored_ms
+        } else {
+            0.0
+        }
+    )
+}
+
+/// Renders soak outcomes as a text table.
+pub fn render_soak(outcomes: &[SoakOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8}  {}\n",
+        "kernel", "steps", "injected", "trace", "incidents", "unrecovered", "ms", "status"
+    ));
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8.0}  {}\n",
+            o.kernel,
+            o.steps,
+            o.injected,
+            o.trace_len,
+            o.incidents,
+            o.unrecovered,
+            o.elapsed.as_secs_f64() * 1e3,
+            match &o.failure {
+                Some(f) => f.as_str(),
+                None => "ok",
+            }
+        ));
+    }
+    out
+}

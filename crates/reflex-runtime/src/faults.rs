@@ -1,0 +1,473 @@
+//! Deterministic fault injection.
+//!
+//! The paper models the outside world as fully adversarial (§4.2's
+//! non-deterministic context trees): external calls may fail, components
+//! may die, and the sockets between them may lose, duplicate or reorder
+//! messages. This module schedules such faults *deterministically* — a
+//! [`FaultPlan`] names what goes wrong at which exchange index, and a
+//! [`FaultyWorld`] decorator makes external calls fail on cue — so every
+//! failure scenario is exactly replayable from `(seed, plan)`.
+//!
+//! All injected faults are refinements of non-determinism the behavioral
+//! abstraction already quantifies over: a crash only restricts which
+//! components the scheduler may select, and drop/duplicate/reorder only
+//! permute which component→kernel messages arrive. Committed traces under
+//! fault injection therefore stay inside `BehAbs`, which is what lets the
+//! runtime monitor ([`crate::monitor`]) treat any divergence as a real
+//! supervision bug rather than an artifact of the injected faults (see
+//! DESIGN.md §"Runtime supervision").
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reflex_ast::Value;
+
+use crate::world::{CallFault, CallFaultKind, World};
+
+/// One scheduled fault operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// The next `count` external call attempts fault with `kind`.
+    CallFault {
+        /// Failure or timeout.
+        kind: CallFaultKind,
+        /// How many consecutive attempts fault.
+        count: usize,
+    },
+    /// Crash the `nth` (mod population) live component.
+    Crash {
+        /// Victim index among live components, in spawn order.
+        nth: usize,
+    },
+    /// Drop the oldest pending message of the `nth` (mod population)
+    /// component with pending messages.
+    Drop {
+        /// Victim index among components with pending messages.
+        nth: usize,
+    },
+    /// Duplicate the oldest pending message of the `nth` component with
+    /// pending messages.
+    Duplicate {
+        /// Victim index among components with pending messages.
+        nth: usize,
+    },
+    /// Rotate the pending queue of the `nth` component with pending
+    /// messages (delivery reordering).
+    Reorder {
+        /// Victim index among components with pending messages.
+        nth: usize,
+    },
+}
+
+impl fmt::Display for FaultOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOp::CallFault { kind, count } => write!(f, "call-{}*{count}", kind.label()),
+            FaultOp::Crash { nth } => write!(f, "crash={nth}"),
+            FaultOp::Drop { nth } => write!(f, "drop={nth}"),
+            FaultOp::Duplicate { nth } => write!(f, "dup={nth}"),
+            FaultOp::Reorder { nth } => write!(f, "reorder={nth}"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PlanMode {
+    /// No faults at all.
+    None,
+    /// Explicit step → ops table.
+    Scripted(BTreeMap<usize, Vec<FaultOp>>),
+    /// Seeded pseudo-random ops, derived statelessly per step index.
+    Random {
+        seed: u64,
+        /// Probability that a given exchange gets one fault op.
+        rate: f64,
+    },
+}
+
+/// A deterministic schedule of fault operations, keyed by exchange index.
+///
+/// The same plan (and, for randomized plans, the same seed) always yields
+/// the same operations at the same steps, independent of any other
+/// randomness in the run — randomized plans derive a fresh generator from
+/// `(seed, step)` for each query, so the schedule does not depend on query
+/// order.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    mode: PlanMode,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever goes wrong.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            mode: PlanMode::None,
+        }
+    }
+
+    /// An empty scripted plan; add operations with [`at`](Self::at).
+    pub fn scripted() -> FaultPlan {
+        FaultPlan {
+            mode: PlanMode::Scripted(BTreeMap::new()),
+        }
+    }
+
+    /// Schedules `op` at exchange `step` (builder style; only valid on
+    /// scripted plans).
+    pub fn at(mut self, step: usize, op: FaultOp) -> FaultPlan {
+        match &mut self.mode {
+            PlanMode::Scripted(map) => map.entry(step).or_default().push(op),
+            _ => {
+                let mut map = BTreeMap::new();
+                map.insert(step, vec![op]);
+                self.mode = PlanMode::Scripted(map);
+            }
+        }
+        self
+    }
+
+    /// A randomized plan: each exchange suffers one fault op with
+    /// probability `rate`, derived deterministically from `seed`.
+    pub fn random(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            mode: PlanMode::Random {
+                seed,
+                rate: rate.clamp(0.0, 1.0),
+            },
+        }
+    }
+
+    /// Re-seeds a randomized plan (no-op for scripted/empty plans).
+    pub fn reseeded(mut self, seed: u64) -> FaultPlan {
+        if let PlanMode::Random { seed: s, .. } = &mut self.mode {
+            *s = seed;
+        }
+        self
+    }
+
+    /// The fault operations scheduled at exchange `step`.
+    pub fn ops_for(&self, step: usize) -> Vec<FaultOp> {
+        match &self.mode {
+            PlanMode::None => Vec::new(),
+            PlanMode::Scripted(map) => map.get(&step).cloned().unwrap_or_default(),
+            PlanMode::Random { seed, rate } => {
+                let mut rng = step_rng(*seed, step);
+                if !rng.random_bool(*rate) {
+                    return Vec::new();
+                }
+                let nth = rng.random_range(0..4usize);
+                let op = match rng.random_range(0..6u32) {
+                    0 => FaultOp::CallFault {
+                        kind: CallFaultKind::Failure,
+                        count: 1 + rng.random_range(0..2usize),
+                    },
+                    1 => FaultOp::CallFault {
+                        kind: CallFaultKind::Timeout,
+                        count: 1,
+                    },
+                    2 => FaultOp::Crash { nth },
+                    3 => FaultOp::Drop { nth },
+                    4 => FaultOp::Duplicate { nth },
+                    _ => FaultOp::Reorder { nth },
+                };
+                vec![op]
+            }
+        }
+    }
+
+    /// Parses a `--faults` specification:
+    ///
+    /// * `none` — the empty plan;
+    /// * `random:RATE` — randomized plan with per-exchange fault
+    ///   probability `RATE` (seeded from the run's `--seed`);
+    /// * a `;`-separated list of `STEP:OP` entries, where `OP` is one of
+    ///   `callfail[*N]`, `timeout[*N]`, `crash[=NTH]`, `drop[=NTH]`,
+    ///   `dup[=NTH]`, `reorder[=NTH]` — e.g.
+    ///   `5:callfail*3;10:crash;20:drop=1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(FaultPlan::none());
+        }
+        if let Some(rate) = spec.strip_prefix("random:") {
+            let rate: f64 = rate
+                .parse()
+                .map_err(|_| format!("bad fault rate `{rate}` (want e.g. random:0.05)"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("fault rate {rate} outside [0, 1]"));
+            }
+            return Ok(FaultPlan::random(seed, rate));
+        }
+        let mut plan = FaultPlan::scripted();
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (step, op) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault entry `{entry}` (want STEP:OP)"))?;
+            let step: usize = step
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad step index in `{entry}`"))?;
+            plan = plan.at(step, parse_op(op.trim())?);
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_op(op: &str) -> Result<FaultOp, String> {
+    let (name, arg) = match (op.split_once('*'), op.split_once('=')) {
+        (Some((n, c)), _) => (n, Some(('*', c))),
+        (None, Some((n, c))) => (n, Some(('=', c))),
+        (None, None) => (op, None),
+    };
+    let num = |what: &str| -> Result<usize, String> {
+        match arg {
+            None => Ok(1),
+            Some((_, c)) => c
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad {what} in fault op `{op}`")),
+        }
+    };
+    match name.trim() {
+        "callfail" => Ok(FaultOp::CallFault {
+            kind: CallFaultKind::Failure,
+            count: num("count")?.max(1),
+        }),
+        "timeout" => Ok(FaultOp::CallFault {
+            kind: CallFaultKind::Timeout,
+            count: num("count")?.max(1),
+        }),
+        "crash" => Ok(FaultOp::Crash {
+            nth: num("index")?.saturating_sub(if arg.is_none() { 1 } else { 0 }),
+        }),
+        "drop" => Ok(FaultOp::Drop {
+            nth: num("index")?.saturating_sub(if arg.is_none() { 1 } else { 0 }),
+        }),
+        "dup" => Ok(FaultOp::Duplicate {
+            nth: num("index")?.saturating_sub(if arg.is_none() { 1 } else { 0 }),
+        }),
+        "reorder" => Ok(FaultOp::Reorder {
+            nth: num("index")?.saturating_sub(if arg.is_none() { 1 } else { 0 }),
+        }),
+        other => Err(format!("unknown fault op `{other}`")),
+    }
+}
+
+/// Derives the per-step generator of a randomized plan: stateless in the
+/// query order, fully determined by `(seed, step)`.
+fn step_rng(seed: u64, step: usize) -> StdRng {
+    // One SplitMix64 scramble keeps neighboring steps uncorrelated.
+    let mut z = seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// A queue of scheduled call faults, shared between a [`FaultyWorld`]
+/// (boxed away inside the interpreter) and the supervisor that loads it.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSwitch {
+    queue: Arc<Mutex<VecDeque<CallFaultKind>>>,
+}
+
+impl FaultSwitch {
+    /// A new, empty switch.
+    pub fn new() -> FaultSwitch {
+        FaultSwitch::default()
+    }
+
+    /// Schedules the next call attempt to fault with `kind`.
+    pub fn push(&self, kind: CallFaultKind) {
+        self.queue.lock().expect("switch poisoned").push_back(kind);
+    }
+
+    /// Takes the next scheduled fault, if any.
+    pub fn pop(&self) -> Option<CallFaultKind> {
+        self.queue.lock().expect("switch poisoned").pop_front()
+    }
+
+    /// Number of scheduled faults not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().expect("switch poisoned").len()
+    }
+
+    /// Discards all scheduled faults.
+    pub fn clear(&self) {
+        self.queue.lock().expect("switch poisoned").clear();
+    }
+}
+
+/// Burst-bounded spontaneous call faults for soak testing.
+#[derive(Debug, Clone)]
+struct AutoFaults {
+    rng: StdRng,
+    rate: f64,
+    /// Longest run of consecutive faulted attempts — kept *below* the
+    /// supervisor's retry budget so every call eventually succeeds.
+    max_burst: usize,
+    burst: usize,
+}
+
+/// A [`World`] decorator that injects call faults: scripted ones from a
+/// shared [`FaultSwitch`] (loaded by the supervisor according to the
+/// [`FaultPlan`]) and, optionally, seeded spontaneous faults with bounded
+/// bursts ([`with_random`](Self::with_random)).
+///
+/// Only the fallible path ([`World::try_call`]) faults; the infallible
+/// [`World::call`] passes straight through to the inner world, since a
+/// caller ignoring faults could not observe them anyway.
+pub struct FaultyWorld {
+    inner: Box<dyn World>,
+    switch: Option<FaultSwitch>,
+    auto: Option<AutoFaults>,
+}
+
+impl fmt::Debug for FaultyWorld {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyWorld")
+            .field("switch", &self.switch.as_ref().map(FaultSwitch::pending))
+            .field("auto", &self.auto)
+            .finish()
+    }
+}
+
+impl FaultyWorld {
+    /// Wraps `inner` with no fault sources (add them with the builders).
+    pub fn new(inner: Box<dyn World>) -> FaultyWorld {
+        FaultyWorld {
+            inner,
+            switch: None,
+            auto: None,
+        }
+    }
+
+    /// Attaches a shared switch for scripted faults.
+    pub fn with_switch(mut self, switch: FaultSwitch) -> FaultyWorld {
+        self.switch = Some(switch);
+        self
+    }
+
+    /// Adds seeded spontaneous faults: each attempt faults with
+    /// probability `rate`, but never more than `max_burst` attempts in a
+    /// row — keep `max_burst` below the retry budget and every call
+    /// eventually succeeds.
+    pub fn with_random(mut self, seed: u64, rate: f64, max_burst: usize) -> FaultyWorld {
+        self.auto = Some(AutoFaults {
+            rng: StdRng::seed_from_u64(seed),
+            rate: rate.clamp(0.0, 1.0),
+            max_burst,
+            burst: 0,
+        });
+        self
+    }
+}
+
+impl World for FaultyWorld {
+    fn call(&mut self, func: &str, args: &[Value]) -> String {
+        self.inner.call(func, args)
+    }
+
+    fn try_call(&mut self, func: &str, args: &[Value]) -> Result<String, CallFault> {
+        if let Some(kind) = self.switch.as_ref().and_then(FaultSwitch::pop) {
+            return Err(CallFault {
+                kind,
+                message: format!("injected {} of `{func}`", kind.label()),
+            });
+        }
+        if let Some(auto) = &mut self.auto {
+            if auto.burst < auto.max_burst && auto.rng.random_bool(auto.rate) {
+                auto.burst += 1;
+                return Err(CallFault::failure(format!(
+                    "spontaneous failure of `{func}` (burst {})",
+                    auto.burst
+                )));
+            }
+            auto.burst = 0;
+        }
+        self.inner.try_call(func, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::EmptyWorld;
+
+    #[test]
+    fn scripted_plan_builder_and_lookup() {
+        let plan = FaultPlan::scripted()
+            .at(3, FaultOp::Crash { nth: 0 })
+            .at(
+                3,
+                FaultOp::CallFault {
+                    kind: CallFaultKind::Timeout,
+                    count: 2,
+                },
+            )
+            .at(7, FaultOp::Drop { nth: 1 });
+        assert_eq!(plan.ops_for(3).len(), 2);
+        assert_eq!(plan.ops_for(7), vec![FaultOp::Drop { nth: 1 }]);
+        assert!(plan.ops_for(4).is_empty());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_order_independent() {
+        let a = FaultPlan::random(9, 0.5);
+        let b = FaultPlan::random(9, 0.5);
+        // Query b in reverse order: per-step derivation must not care.
+        let fwd: Vec<_> = (0..50).map(|s| a.ops_for(s)).collect();
+        let mut rev: Vec<_> = (0..50).rev().map(|s| b.ops_for(s)).collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        assert!(fwd.iter().any(|ops| !ops.is_empty()), "rate 0.5 fired");
+        assert!(fwd.iter().any(|ops| ops.is_empty()));
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_examples() {
+        let plan = FaultPlan::parse("5:callfail*3;10:crash;20:drop=1", 0).unwrap();
+        assert_eq!(
+            plan.ops_for(5),
+            vec![FaultOp::CallFault {
+                kind: CallFaultKind::Failure,
+                count: 3
+            }]
+        );
+        assert_eq!(plan.ops_for(10), vec![FaultOp::Crash { nth: 0 }]);
+        assert_eq!(plan.ops_for(20), vec![FaultOp::Drop { nth: 1 }]);
+
+        assert!(FaultPlan::parse("none", 0).unwrap().ops_for(0).is_empty());
+        assert!(FaultPlan::parse("random:0.1", 1).is_ok());
+        assert!(FaultPlan::parse("random:7", 1).is_err());
+        assert!(FaultPlan::parse("x:crash", 1).is_err());
+        assert!(FaultPlan::parse("3:explode", 1).is_err());
+    }
+
+    #[test]
+    fn faulty_world_switch_faults_then_recovers() {
+        let switch = FaultSwitch::new();
+        let mut w = FaultyWorld::new(Box::new(EmptyWorld)).with_switch(switch.clone());
+        switch.push(CallFaultKind::Timeout);
+        let fault = w.try_call("f", &[]).unwrap_err();
+        assert_eq!(fault.kind, CallFaultKind::Timeout);
+        assert_eq!(w.try_call("f", &[]), Ok(String::new()));
+    }
+
+    #[test]
+    fn auto_faults_are_burst_bounded() {
+        let mut w = FaultyWorld::new(Box::new(EmptyWorld)).with_random(1, 1.0, 2);
+        // Rate 1.0 would fault forever without the burst bound.
+        assert!(w.try_call("f", &[]).is_err());
+        assert!(w.try_call("f", &[]).is_err());
+        assert!(w.try_call("f", &[]).is_ok());
+        assert!(w.try_call("f", &[]).is_err());
+    }
+}

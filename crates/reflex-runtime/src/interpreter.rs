@@ -9,7 +9,7 @@
 //! trace here is materialized so tests and the [`crate::oracle`] can
 //! inspect it.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -20,20 +20,60 @@ use reflex_trace::{Action, CompInst, Msg, Trace};
 use reflex_typeck::CheckedProgram;
 
 use crate::component::{ComponentBehavior, Registry};
-use crate::world::World;
+use crate::world::{CallFault, World};
 
-/// A runtime fault. With a type-checked program these indicate misuse of
-/// the embedding API (e.g. injecting a message for an undeclared
-/// component), not programming errors in the kernel.
+/// The broad class of a [`RuntimeError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeErrorKind {
+    /// Misuse of the embedding API (e.g. injecting a message for an
+    /// undeclared component) — cannot happen for checked programs driven
+    /// through the documented API.
+    Misuse,
+    /// An external call faulted and the retry budget was exhausted. The
+    /// supervisor recovers from these; an unsupervised run aborts.
+    CallFailed,
+}
+
+/// A runtime fault, carrying where it happened: the exchange index (`None`
+/// during init) and the component whose message was being serviced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
+    /// The class of fault.
+    pub kind: RuntimeErrorKind,
     /// What went wrong.
     pub message: String,
+    /// The exchange (step) index during which the fault occurred; `None`
+    /// for faults raised while running the init section or by direct API
+    /// misuse outside any exchange.
+    pub step: Option<usize>,
+    /// The component whose message was being serviced, if any.
+    pub comp: Option<CompId>,
+}
+
+impl RuntimeError {
+    /// Attaches the exchange index if not already present.
+    pub fn with_step(mut self, step: usize) -> RuntimeError {
+        self.step.get_or_insert(step);
+        self
+    }
+
+    /// Attaches the component if not already present.
+    pub fn with_comp(mut self, comp: CompId) -> RuntimeError {
+        self.comp.get_or_insert(comp);
+        self
+    }
 }
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "runtime error: {}", self.message)
+        write!(f, "runtime error")?;
+        if let Some(s) = self.step {
+            write!(f, " at exchange #{s}")?;
+        }
+        if let Some(c) = self.comp {
+            write!(f, " servicing {c}")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -41,7 +81,10 @@ impl std::error::Error for RuntimeError {}
 
 fn err(message: impl Into<String>) -> RuntimeError {
     RuntimeError {
+        kind: RuntimeErrorKind::Misuse,
         message: message.into(),
+        step: None,
+        comp: None,
     }
 }
 
@@ -54,6 +97,90 @@ pub struct StepReport {
     pub msg: Msg,
     /// Whether an explicit handler ran (`false` for the implicit no-op).
     pub handled: bool,
+}
+
+/// How the interpreter re-attempts faulted external calls.
+///
+/// Backoff is *simulated*: attempts are instantaneous and deterministic,
+/// and the would-be sleep is recorded in the [`CallAttempt`] log so
+/// incident reports show the schedule a production kernel would follow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per call (1 = no retry).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt, doubled per further attempt.
+    pub base_backoff_ms: u64,
+    /// Ceiling on the per-attempt backoff.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    /// No retries — the historical fail-fast behavior.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 10,
+            max_backoff_ms: 1000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and default backoff bounds.
+    pub fn attempts(max_attempts: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The simulated backoff before attempt `attempt` (2-based: no wait
+    /// precedes the first attempt): exponential, capped.
+    pub fn backoff_ms(&self, attempt: usize) -> u64 {
+        let exp = attempt.saturating_sub(2).min(32) as u32;
+        self.base_backoff_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_ms)
+    }
+}
+
+/// One faulted attempt of an external call, for incident reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallAttempt {
+    /// The exchange during which the call ran (`None` during init).
+    pub step: Option<usize>,
+    /// The called function.
+    pub func: String,
+    /// 1-based attempt number that faulted.
+    pub attempt: usize,
+    /// The fault.
+    pub fault: CallFault,
+    /// Simulated backoff before the next attempt (0 if this was the last).
+    pub backoff_ms: u64,
+    /// Whether a later attempt of the same call succeeded.
+    pub recovered: bool,
+}
+
+/// A restorable snapshot of the interpreter's kernel-visible state.
+///
+/// Component *behaviors* (the `Box<dyn ComponentBehavior>` test doubles)
+/// are not part of the snapshot — they model external processes, whose
+/// internal state the kernel cannot rewind. Rolling back an exchange
+/// therefore restores the kernel exactly, while behaviors keep whatever
+/// they observed; this mirrors a real kernel crash-recovery, where the
+/// outside world has already seen the aborted exchange's sends.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    data: BTreeMap<String, Value>,
+    comp_vars: BTreeMap<String, CompInst>,
+    comp_list: Vec<CompInst>,
+    mailboxes: BTreeMap<CompId, VecDeque<Msg>>,
+    dead: BTreeSet<CompId>,
+    trace_len: usize,
+    next_id: u64,
+    next_fd: u64,
+    steps: usize,
+    rng: StdRng,
 }
 
 /// Handler-local bindings, dropped when the handler returns.
@@ -73,9 +200,20 @@ pub struct Interpreter {
     comp_list: Vec<CompInst>,
     behaviors: HashMap<CompId, Box<dyn ComponentBehavior>>,
     mailboxes: BTreeMap<CompId, VecDeque<Msg>>,
+    /// Crashed components. They stay in `comp_list` at their spawn
+    /// position (so broadcast/lookup iteration order — and hence the
+    /// oracle's replay — is unchanged) but are never selected, and sends
+    /// to them are recorded without delivery, like writes to a closed
+    /// socket.
+    dead: BTreeSet<CompId>,
     trace: Trace,
     next_id: u64,
     next_fd: u64,
+    steps: usize,
+    /// The exchange currently being serviced (`None` outside `step`).
+    current_step: Option<usize>,
+    retry: RetryPolicy,
+    call_attempts: Vec<CallAttempt>,
     rng: StdRng,
 }
 
@@ -113,9 +251,14 @@ impl Interpreter {
             comp_list: Vec::new(),
             behaviors: HashMap::new(),
             mailboxes: BTreeMap::new(),
+            dead: BTreeSet::new(),
             trace: Trace::new(),
             next_id: 0,
             next_fd: 100,
+            steps: 0,
+            current_step: None,
+            retry: RetryPolicy::default(),
+            call_attempts: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         };
         let init = interp.checked.program().init.clone();
@@ -136,12 +279,13 @@ impl Interpreter {
         &self.trace
     }
 
-    /// All live components, in spawn order.
+    /// All spawned components, in spawn order (crashed ones included —
+    /// see [`is_crashed`](Self::is_crashed)).
     pub fn components(&self) -> &[CompInst] {
         &self.comp_list
     }
 
-    /// The live components of the given type.
+    /// The spawned components of the given type, in spawn order.
     pub fn components_of(&self, ctype: &str) -> Vec<&CompInst> {
         self.comp_list.iter().filter(|c| c.ctype == ctype).collect()
     }
@@ -163,7 +307,10 @@ impl Interpreter {
     /// undeclared / ill-typed.
     pub fn inject(&mut self, comp: CompId, msg: Msg) -> Result<(), RuntimeError> {
         if !self.comp_list.iter().any(|c| c.id == comp) {
-            return Err(err(format!("no live component {comp}")));
+            return Err(err(format!("no live component {comp}")).with_comp(comp));
+        }
+        if self.dead.contains(&comp) {
+            return Err(err(format!("component {comp} has crashed")).with_comp(comp));
         }
         let decl = self
             .checked
@@ -183,9 +330,179 @@ impl Interpreter {
         Ok(())
     }
 
-    /// Whether any component has a pending message.
+    /// Whether any live component has a pending message.
     pub fn has_ready(&self) -> bool {
-        self.mailboxes.values().any(|q| !q.is_empty())
+        self.mailboxes
+            .iter()
+            .any(|(id, q)| !q.is_empty() && !self.dead.contains(id))
+    }
+
+    /// Number of exchanges serviced so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The retry policy for faulted external calls.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the retry policy for faulted external calls.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Drains the log of faulted call attempts accumulated since the last
+    /// drain (successful first attempts are not logged).
+    pub fn take_call_attempts(&mut self) -> Vec<CallAttempt> {
+        std::mem::take(&mut self.call_attempts)
+    }
+
+    // ---- supervision hooks ----------------------------------------------
+
+    /// Snapshots the kernel-visible state (see [`Checkpoint`] for what is
+    /// and is not captured).
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            data: self.data.clone(),
+            comp_vars: self.comp_vars.clone(),
+            comp_list: self.comp_list.clone(),
+            mailboxes: self.mailboxes.clone(),
+            dead: self.dead.clone(),
+            trace_len: self.trace.len(),
+            next_id: self.next_id,
+            next_fd: self.next_fd,
+            steps: self.steps,
+            rng: self.rng.clone(),
+        }
+    }
+
+    /// Rolls the kernel back to `cp`, truncating the trace to its length
+    /// at checkpoint time. Only sound for checkpoints taken from this
+    /// interpreter at a point the trace has not been truncated past.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        self.data = cp.data.clone();
+        self.comp_vars = cp.comp_vars.clone();
+        self.comp_list = cp.comp_list.clone();
+        self.mailboxes = cp.mailboxes.clone();
+        self.dead = cp.dead.clone();
+        self.trace.truncate(cp.trace_len);
+        self.next_id = cp.next_id;
+        self.next_fd = cp.next_fd;
+        self.steps = cp.steps;
+        self.rng = cp.rng.clone();
+        // The call-attempt log is intentionally left alone: a rolled-back
+        // exchange's faulted attempts still happened and belong in the
+        // incident report. Drain with [`take_call_attempts`].
+    }
+
+    /// Whether `comp` has crashed (and not been restarted).
+    pub fn is_crashed(&self, comp: CompId) -> bool {
+        self.dead.contains(&comp)
+    }
+
+    /// The crashed components, in id order.
+    pub fn crashed_components(&self) -> Vec<CompId> {
+        self.dead.iter().copied().collect()
+    }
+
+    /// Crashes component `comp`: its pending messages are lost, it is
+    /// never selected, and sends to it are recorded in the trace but not
+    /// delivered (a write to a closed socket). The component keeps its
+    /// position in spawn order, so the scheduling semantics of the
+    /// survivors — and the oracle's replay — are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `comp` is not live or has already crashed.
+    pub fn kill_component(&mut self, comp: CompId) -> Result<CompInst, RuntimeError> {
+        let inst = self
+            .comp_list
+            .iter()
+            .find(|c| c.id == comp)
+            .cloned()
+            .ok_or_else(|| err(format!("no live component {comp}")).with_comp(comp))?;
+        if !self.dead.insert(comp) {
+            return Err(err(format!("component {comp} has already crashed")).with_comp(comp));
+        }
+        self.mailboxes.remove(&comp);
+        Ok(inst)
+    }
+
+    /// Restarts a crashed component: re-instantiates its behavior from the
+    /// registry (re-running its `on_start` init messages) and remaps its
+    /// file descriptor. The component keeps its identity — id, type and
+    /// configuration — so certificates over its spawn parameters persist.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `comp` is not a crashed component.
+    pub fn restart_component(&mut self, comp: CompId) -> Result<CompInst, RuntimeError> {
+        if !self.dead.remove(&comp) {
+            return Err(err(format!("component {comp} has not crashed")).with_comp(comp));
+        }
+        let inst = self
+            .comp_list
+            .iter()
+            .find(|c| c.id == comp)
+            .cloned()
+            .expect("crashed component is in comp_list");
+        let decl = self
+            .checked
+            .program()
+            .comp_type(&inst.ctype)
+            .ok_or_else(|| err(format!("undeclared component type `{}`", inst.ctype)))?;
+        // The restarted process gets a fresh socket.
+        self.next_fd += 1;
+        let mut behavior = self.registry.instantiate(&decl.exe, &inst);
+        let startup = behavior.on_start();
+        self.behaviors.insert(comp, behavior);
+        if !startup.is_empty() {
+            self.mailboxes.entry(comp).or_default().extend(startup);
+        }
+        Ok(inst)
+    }
+
+    // ---- mailbox fault hooks (used by deterministic fault plans) --------
+
+    /// Live components with at least one pending message, in id order.
+    pub fn comps_with_pending(&self) -> Vec<CompId> {
+        self.mailboxes
+            .iter()
+            .filter(|(id, q)| !q.is_empty() && !self.dead.contains(id))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Number of messages pending from `comp`.
+    pub fn pending_count(&self, comp: CompId) -> usize {
+        self.mailboxes.get(&comp).map_or(0, VecDeque::len)
+    }
+
+    /// Drops the oldest pending message of `comp` (a lossy channel).
+    pub fn drop_pending(&mut self, comp: CompId) -> Option<Msg> {
+        self.mailboxes.get_mut(&comp).and_then(VecDeque::pop_front)
+    }
+
+    /// Re-enqueues a copy of the oldest pending message of `comp` at the
+    /// back of its queue (a duplicating channel).
+    pub fn duplicate_pending(&mut self, comp: CompId) -> Option<Msg> {
+        let q = self.mailboxes.get_mut(&comp)?;
+        let m = q.front()?.clone();
+        q.push_back(m.clone());
+        Some(m)
+    }
+
+    /// Rotates the pending queue of `comp` by one (a reordering channel).
+    /// Returns the message moved to the back.
+    pub fn rotate_pending(&mut self, comp: CompId) -> Option<Msg> {
+        let q = self.mailboxes.get_mut(&comp)?;
+        if q.len() < 2 {
+            return None;
+        }
+        let m = q.pop_front()?;
+        q.push_back(m.clone());
+        Some(m)
     }
 
     /// Services one exchange: selects a ready component (uniformly at
@@ -199,7 +516,7 @@ impl Interpreter {
         let ready: Vec<CompId> = self
             .mailboxes
             .iter()
-            .filter(|(_, q)| !q.is_empty())
+            .filter(|(id, q)| !q.is_empty() && !self.dead.contains(id))
             .map(|(id, _)| *id)
             .collect();
         if ready.is_empty() {
@@ -218,6 +535,7 @@ impl Interpreter {
             .expect("ready component is live")
             .clone();
 
+        let step_index = self.steps;
         self.trace.push(Action::Select {
             comp: sender.clone(),
         });
@@ -240,8 +558,12 @@ impl Interpreter {
             for (p, v) in h.params.iter().zip(&msg.args) {
                 frame.data.insert(p.clone(), v.clone());
             }
-            self.exec(&h.body, &mut frame)?;
+            self.current_step = Some(step_index);
+            let outcome = self.exec(&h.body, &mut frame);
+            self.current_step = None;
+            outcome.map_err(|e| e.with_step(step_index).with_comp(sender.id))?;
         }
+        self.steps += 1;
         Ok(Some(StepReport {
             sender,
             msg,
@@ -300,10 +622,11 @@ impl Interpreter {
                     msg: m.clone(),
                 });
                 // Deliver to the component; its replies queue up for the
-                // kernel to service later.
+                // kernel to service later. A send to a crashed component
+                // is recorded but goes nowhere (closed socket).
                 let replies = match self.behaviors.get_mut(&comp.id) {
-                    Some(b) => b.on_message(&m),
-                    None => Vec::new(),
+                    Some(b) if !self.dead.contains(&comp.id) => b.on_message(&m),
+                    _ => Vec::new(),
                 };
                 if !replies.is_empty() {
                     self.mailboxes.entry(comp.id).or_default().extend(replies);
@@ -325,7 +648,7 @@ impl Interpreter {
                 let values: Result<Vec<Value>, _> =
                     args.iter().map(|a| self.eval(a, frame)).collect();
                 let values = values?;
-                let result = self.world.call(func, &values);
+                let result = self.call_with_retries(func, &values)?;
                 self.trace.push(Action::Call {
                     func: func.clone(),
                     args: values,
@@ -360,8 +683,8 @@ impl Interpreter {
                             msg: m.clone(),
                         });
                         let replies = match self.behaviors.get_mut(&c.id) {
-                            Some(b) => b.on_message(&m),
-                            None => Vec::new(),
+                            Some(b) if !self.dead.contains(&c.id) => b.on_message(&m),
+                            _ => Vec::new(),
                         };
                         if !replies.is_empty() {
                             self.mailboxes.entry(c.id).or_default().extend(replies);
@@ -398,6 +721,50 @@ impl Interpreter {
                 self.exec(missing, frame)
             }
         }
+    }
+
+    /// Runs `func(args…)` through [`World::try_call`] under the retry
+    /// policy, logging every faulted attempt.
+    fn call_with_retries(&mut self, func: &str, args: &[Value]) -> Result<String, RuntimeError> {
+        let step = self.current_step;
+        let attempts = self.retry.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            match self.world.try_call(func, args) {
+                Ok(result) => {
+                    // Mark this call's earlier attempts recovered.
+                    for a in self.call_attempts.iter_mut().rev().take(attempt - 1) {
+                        a.recovered = true;
+                    }
+                    return Ok(result);
+                }
+                Err(fault) => {
+                    let last = attempt == attempts;
+                    self.call_attempts.push(CallAttempt {
+                        step,
+                        func: func.to_owned(),
+                        attempt,
+                        backoff_ms: if last {
+                            0
+                        } else {
+                            self.retry.backoff_ms(attempt + 1)
+                        },
+                        recovered: false,
+                        fault: fault.clone(),
+                    });
+                    if last {
+                        return Err(RuntimeError {
+                            kind: RuntimeErrorKind::CallFailed,
+                            message: format!(
+                                "call `{func}` failed after {attempts} attempt(s): {fault}"
+                            ),
+                            step: None,
+                            comp: None,
+                        });
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on last attempt")
     }
 
     fn spawn(&mut self, ctype: &str, config: Vec<Value>) -> Result<CompInst, RuntimeError> {

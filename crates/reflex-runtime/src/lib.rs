@@ -14,6 +14,13 @@
 //! Coq theorem) and provides the identity-erased π_o projection used to
 //! test non-interference over pairs of runs.
 //!
+//! The supervised runtime layers deterministic robustness machinery on
+//! top: [`faults`] injects external-call faults, component crashes and
+//! message-level faults on a replayable schedule, [`supervisor`] recovers
+//! from them (retry/backoff, restart, quarantine, rollback), and
+//! [`monitor`] re-checks the kernel's certificates online so any
+//! supervision bug halts the run at the offending action.
+//!
 //! # Example
 //!
 //! ```
@@ -49,10 +56,24 @@
 #![warn(missing_docs)]
 
 mod component;
+pub mod faults;
 mod interpreter;
+pub mod monitor;
 pub mod oracle;
+pub mod supervisor;
 mod world;
 
 pub use component::{ComponentBehavior, Registry, ScriptedBehavior, SilentBehavior};
-pub use interpreter::{Interpreter, RuntimeError, StepReport};
-pub use world::{EmptyWorld, RandomWorld, ScriptedWorld, World};
+pub use faults::{FaultOp, FaultPlan, FaultSwitch, FaultyWorld};
+pub use interpreter::{
+    CallAttempt, Checkpoint, Interpreter, RetryPolicy, RuntimeError, RuntimeErrorKind, StepReport,
+};
+pub use monitor::{Monitor, MonitorError};
+pub use oracle::IncrementalOracle;
+pub use supervisor::{
+    render_incident_log, IncidentKind, IncidentReport, SupStep, Supervisor, SupervisorConfig,
+    SupervisorError,
+};
+pub use world::{
+    CallFault, CallFaultKind, EmptyWorld, RandomWorld, ScriptedWorld, UnscriptedPolicy, World,
+};

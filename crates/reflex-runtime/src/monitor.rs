@@ -1,0 +1,244 @@
+//! Certificate-backed runtime monitoring.
+//!
+//! The paper's guarantee is static: every trace of a verified kernel
+//! satisfies its proved properties. The supervisor ([`crate::supervisor`])
+//! is *not* covered by those proofs — restarts, retries and rollbacks are
+//! runtime machinery layered on top of the verified step function. The
+//! [`Monitor`] closes that gap dynamically: after every committed exchange
+//! it replays the new trace suffix through the behavioral-abstraction
+//! oracle ([`crate::oracle::IncrementalOracle`]) and through an incremental
+//! checker for the kernel's verified trace properties
+//! ([`reflex_trace::IncrementalChecker`]). Both are streaming, so the
+//! per-exchange cost is O(actions in the exchange), independent of how
+//! long the run already is.
+//!
+//! A [`MonitorError`] therefore means the *supervisor* (or the interpreter
+//! under it) emitted a trace the certificates forbid — a genuine
+//! supervision bug, reported with the absolute index of the offending
+//! action. What the monitor can and cannot catch is discussed in DESIGN.md
+//! §"Runtime supervision".
+
+use std::fmt;
+
+use reflex_trace::props::PropError;
+use reflex_trace::{IncrementalChecker, Trace};
+use reflex_typeck::CheckedProgram;
+
+use crate::oracle::{IncrementalOracle, OracleError};
+
+/// A committed trace that the kernel's certificates forbid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The trace left the behavioral abstraction `BehAbs`.
+    NotInBehAbs(OracleError),
+    /// The trace violates a verified trace property.
+    Property {
+        /// Name of the violated property declaration.
+        name: String,
+        /// The violation (or ill-formedness) report.
+        error: PropError,
+    },
+}
+
+impl MonitorError {
+    /// Absolute chronological index of the offending action.
+    ///
+    /// For property violations this is the trigger index of the
+    /// counterexample; for ill-formed properties (which the verifier
+    /// rejects before a run ever starts) there is no action and this
+    /// returns `None`.
+    pub fn action_index(&self) -> Option<usize> {
+        match self {
+            MonitorError::NotInBehAbs(e) => Some(e.position),
+            MonitorError::Property { error, .. } => match error {
+                PropError::Violation(v) => Some(v.trigger_index),
+                PropError::UnboundObligationVar { .. } => None,
+            },
+        }
+    }
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::NotInBehAbs(e) => write!(f, "monitor: {e}"),
+            MonitorError::Property { name, error } => {
+                write!(f, "monitor: property `{name}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MonitorError::NotInBehAbs(e) => Some(e),
+            MonitorError::Property { error, .. } => Some(error),
+        }
+    }
+}
+
+/// An online checker for the two certificate families of a verified
+/// kernel: trace inclusion in `BehAbs` and the kernel's trace properties.
+///
+/// Feed it the interpreter's trace after every *committed* exchange with
+/// [`observe`](Self::observe); it consumes only the suffix it has not seen
+/// yet. Rolled-back (uncommitted) exchanges must never reach the monitor —
+/// the supervisor restores the interpreter checkpoint first, so the trace
+/// it hands over only ever grows.
+#[derive(Debug, Clone)]
+pub struct Monitor {
+    oracle: IncrementalOracle,
+    checker: IncrementalChecker,
+    /// Number of trace actions already observed.
+    fed: usize,
+    /// Set once a violation is reported; the monitor refuses further input.
+    poisoned: bool,
+}
+
+impl Monitor {
+    /// A fresh monitor for `checked`, expecting the trace from a freshly
+    /// booted interpreter (init segment first).
+    pub fn new(checked: &CheckedProgram) -> Monitor {
+        Monitor {
+            oracle: IncrementalOracle::new(checked),
+            checker: IncrementalChecker::new(&checked.program().properties),
+            fed: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Number of trace actions observed so far.
+    pub fn observed(&self) -> usize {
+        self.fed
+    }
+
+    /// Checks the suffix of `trace` beyond what has already been observed.
+    /// `trace` must extend the previously observed trace and end at an
+    /// exchange boundary (both hold for an interpreter trace between
+    /// steps).
+    ///
+    /// # Errors
+    ///
+    /// The first certificate violation in the new suffix, with the
+    /// absolute index of the offending action. After an error the monitor
+    /// is poisoned and panics on further use.
+    pub fn observe(&mut self, trace: &Trace) -> Result<(), MonitorError> {
+        assert!(!self.poisoned, "monitor used after reporting a violation");
+        let actions = trace.actions();
+        assert!(
+            actions.len() >= self.fed,
+            "monitor fed a trace shorter than what it already observed"
+        );
+        let delta = &actions[self.fed..];
+        let result = (|| {
+            self.oracle.feed(delta).map_err(MonitorError::NotInBehAbs)?;
+            for act in delta {
+                self.checker
+                    .on_action(act)
+                    .map_err(|(name, error)| MonitorError::Property { name, error })?;
+            }
+            self.checker
+                .end_of_exchange()
+                .map_err(|(name, error)| MonitorError::Property { name, error })
+        })();
+        match result {
+            Ok(()) => {
+                self.fed = actions.len();
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Registry, ScriptedBehavior};
+    use crate::interpreter::Interpreter;
+    use crate::world::EmptyWorld;
+    use reflex_ast::Value;
+    use reflex_trace::{Action, Msg};
+
+    const ECHO: &str = r#"
+components { Echo "echo.py" (); }
+messages { Ping(str); Pong(str); }
+init { e <- spawn Echo(); }
+handlers {
+  when Echo:Ping(s) { send(sender, Pong(s)); }
+}
+properties {
+  PongOnlyAfterPing: forall v: str.
+    [Recv(Echo(), Ping(v))] Enables [Send(Echo(), Pong(v))];
+}
+"#;
+
+    fn echo_program() -> CheckedProgram {
+        let p = reflex_parser::parse_program("echo", ECHO).expect("parses");
+        reflex_typeck::check(&p).expect("well-formed")
+    }
+
+    fn registry() -> Registry {
+        Registry::new().register("echo.py", |_| Box::new(ScriptedBehavior::new()))
+    }
+
+    #[test]
+    fn monitor_accepts_a_clean_run_incrementally() {
+        let checked = echo_program();
+        let mut interp =
+            Interpreter::new(&checked, registry(), Box::new(EmptyWorld), 7).expect("boot");
+        let mut monitor = Monitor::new(&checked);
+        monitor.observe(interp.trace()).expect("init observed");
+        let echo = interp.components_of("Echo")[0].clone();
+        for i in 0..5 {
+            interp
+                .inject(echo.id, Msg::new("Ping", [Value::from(format!("m{i}"))]))
+                .unwrap();
+            interp.step().expect("step").expect("serviced");
+            monitor.observe(interp.trace()).expect("clean exchange");
+        }
+        assert_eq!(monitor.observed(), interp.trace().len());
+    }
+
+    #[test]
+    fn monitor_flags_a_forged_send_with_its_index() {
+        let checked = echo_program();
+        let interp =
+            Interpreter::new(&checked, registry(), Box::new(EmptyWorld), 7).expect("boot");
+        let mut monitor = Monitor::new(&checked);
+        monitor.observe(interp.trace()).expect("init observed");
+        let echo = interp.components_of("Echo")[0].clone();
+        // Forge a Pong the kernel never sent: property violation (Enables
+        // with no matching Ping) — and also outside BehAbs. The oracle
+        // runs first, so the report is NotInBehAbs at the forged index.
+        let mut forged = interp.trace().clone();
+        let index = forged.len();
+        forged.push(Action::Send {
+            comp: echo.clone(),
+            msg: Msg::new("Pong", [Value::from("forged")]),
+        });
+        let err = monitor.observe(&forged).expect_err("must flag");
+        assert_eq!(err.action_index(), Some(index), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "after reporting a violation")]
+    fn monitor_is_poisoned_after_a_violation() {
+        let checked = echo_program();
+        let interp = Interpreter::new(&checked, registry(), Box::new(EmptyWorld), 7).expect("boot");
+        let mut monitor = Monitor::new(&checked);
+        monitor.observe(interp.trace()).expect("init observed");
+        let echo = interp.components_of("Echo")[0].clone();
+        let mut forged = interp.trace().clone();
+        forged.push(Action::Send {
+            comp: echo,
+            msg: Msg::new("Pong", [Value::from("forged")]),
+        });
+        let _ = monitor.observe(&forged);
+        let _ = monitor.observe(&forged); // panics: poisoned
+    }
+}

@@ -6,11 +6,14 @@
 //! state that meta-theorem in Rust's type system; instead,
 //! [`check_trace_inclusion`] *decides* membership for any concrete trace
 //! by deterministic replay, and the property-based tests run it against
-//! thousands of random executions. A second oracle,
-//! [`observable_outputs`], provides the π_o projection used to test
-//! non-interference dynamically (comparing pairs of runs modulo component
-//! identities and file-descriptor values — allocator artifacts that
-//! legitimately differ between runs, see DESIGN.md).
+//! thousands of random executions. The replay state is packaged as a
+//! persistent [`IncrementalOracle`] so the runtime monitor
+//! ([`crate::monitor`]) can feed committed exchanges one at a time and pay
+//! only for the new actions. A second oracle, [`observable_outputs`],
+//! provides the π_o projection used to test non-interference dynamically
+//! (comparing pairs of runs modulo component identities and
+//! file-descriptor values — allocator artifacts that legitimately differ
+//! between runs, see DESIGN.md).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -41,13 +44,93 @@ impl fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
+/// A persistent trace-inclusion checker: the replay state survives between
+/// [`feed`](Self::feed) calls, so checking a growing trace costs O(new
+/// actions), not O(whole trace) per exchange.
+///
+/// Feed the init segment first (the trace of a freshly booted
+/// interpreter), then each committed exchange; every `feed` must end at an
+/// exchange boundary. After an error the oracle is poisoned — its replay
+/// state stops mid-command — and must not be fed further.
+#[derive(Debug, Clone)]
+pub struct IncrementalOracle {
+    checked: CheckedProgram,
+    data: BTreeMap<String, Value>,
+    globals: BTreeMap<String, CompInst>,
+    comp_list: Vec<CompInst>,
+    consumed: usize,
+    init_done: bool,
+}
+
+impl IncrementalOracle {
+    /// A fresh oracle for `checked`, expecting the init segment first.
+    pub fn new(checked: &CheckedProgram) -> IncrementalOracle {
+        IncrementalOracle {
+            checked: checked.clone(),
+            data: checked.state_initial_values().into_iter().collect(),
+            globals: BTreeMap::new(),
+            comp_list: Vec::new(),
+            consumed: 0,
+            init_done: false,
+        }
+    }
+
+    /// Number of actions consumed so far — feed it the trace suffix
+    /// starting here.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Replays the next committed segment of the trace. The first call
+    /// consumes the init segment (plus any exchanges after it); later
+    /// calls consume whole exchanges. Error positions are absolute indices
+    /// into the full trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the position and reason of the first divergence from
+    /// `BehAbs`.
+    pub fn feed(&mut self, actions: &[Action]) -> Result<(), OracleError> {
+        let init = (!self.init_done).then(|| self.checked.program().init.clone());
+        let mut replay = Replay {
+            checked: &self.checked,
+            actions,
+            cursor: 0,
+            base: self.consumed,
+            data: &mut self.data,
+            globals: &mut self.globals,
+            comp_list: &mut self.comp_list,
+        };
+        if let Some(init) = init {
+            let mut frame = BTreeMap::new();
+            let mut comps = BTreeMap::new();
+            replay.replay_cmd(&init, &mut frame, &mut comps)?;
+            // Init binders become global component variables.
+            for (k, v) in comps {
+                replay.globals.insert(k, v);
+            }
+            for (k, v) in frame {
+                replay.data.insert(k, v);
+            }
+            self.init_done = true;
+        }
+        while replay.cursor < actions.len() {
+            replay.replay_exchange()?;
+        }
+        self.consumed += actions.len();
+        Ok(())
+    }
+}
+
 struct Replay<'a> {
     checked: &'a CheckedProgram,
     actions: &'a [Action],
     cursor: usize,
-    data: BTreeMap<String, Value>,
-    globals: BTreeMap<String, CompInst>,
-    comp_list: Vec<CompInst>,
+    /// Absolute index of `actions[0]` in the full trace (for errors).
+    base: usize,
+    data: &'a mut BTreeMap<String, Value>,
+    globals: &'a mut BTreeMap<String, CompInst>,
+    comp_list: &'a mut Vec<CompInst>,
 }
 
 /// Decides whether `trace` is a possible behavior of the program: it must
@@ -60,38 +143,24 @@ struct Replay<'a> {
 ///
 /// Returns the position and reason of the first divergence.
 pub fn check_trace_inclusion(checked: &CheckedProgram, trace: &Trace) -> Result<(), OracleError> {
-    let mut replay = Replay {
-        checked,
-        actions: trace.actions(),
-        cursor: 0,
-        data: checked.state_initial_values().into_iter().collect(),
-        globals: BTreeMap::new(),
-        comp_list: Vec::new(),
-    };
-
-    // Init segment.
-    let init = checked.program().init.clone();
-    let mut frame = BTreeMap::new();
-    let mut comps = BTreeMap::new();
-    replay.replay_cmd(&init, &mut frame, &mut comps)?;
-    for (k, v) in comps {
-        replay.globals.insert(k, v);
-    }
-    for (k, v) in frame {
-        replay.data.insert(k, v);
-    }
-
-    // Exchange segments.
-    while replay.cursor < replay.actions.len() {
-        replay.replay_exchange()?;
-    }
-    Ok(())
+    IncrementalOracle::new(checked).feed(trace.actions())
 }
 
 impl<'a> Replay<'a> {
+    /// An error at the current cursor — for "trace ended" and for
+    /// evaluation errors raised before any action is consumed.
     fn fail(&self, message: impl Into<String>) -> OracleError {
         OracleError {
-            position: self.cursor,
+            position: self.base + self.cursor,
+            message: message.into(),
+        }
+    }
+
+    /// An error about the action just consumed by
+    /// [`next_action`](Self::next_action).
+    fn fail_here(&self, message: impl Into<String>) -> OracleError {
+        OracleError {
+            position: self.base + self.cursor.saturating_sub(1),
             message: message.into(),
         }
     }
@@ -108,23 +177,23 @@ impl<'a> Replay<'a> {
     fn replay_exchange(&mut self) -> Result<(), OracleError> {
         let select = self.next_action()?;
         let Action::Select { comp: sender } = select else {
-            return Err(self.fail(format!("expected Select, found {select}")));
+            return Err(self.fail_here(format!("expected Select, found {select}")));
         };
         if !self.comp_list.contains(sender) {
-            return Err(self.fail(format!("selected component {sender} is not live")));
+            return Err(self.fail_here(format!("selected component {sender} is not live")));
         }
         let recv = self.next_action()?;
         let Action::Recv { comp, msg } = recv else {
-            return Err(self.fail(format!("expected Recv, found {recv}")));
+            return Err(self.fail_here(format!("expected Recv, found {recv}")));
         };
         if comp != sender {
-            return Err(self.fail("Recv component differs from the selected one"));
+            return Err(self.fail_here("Recv component differs from the selected one"));
         }
         let decl = self
             .checked
             .program()
             .msg_decl(&msg.name)
-            .ok_or_else(|| self.fail(format!("undeclared message `{}`", msg.name)))?;
+            .ok_or_else(|| self.fail_here(format!("undeclared message `{}`", msg.name)))?;
         if decl.payload.len() != msg.args.len()
             || decl
                 .payload
@@ -132,7 +201,7 @@ impl<'a> Replay<'a> {
                 .zip(&msg.args)
                 .any(|(ty, v)| v.ty() != *ty)
         {
-            return Err(self.fail(format!("ill-typed payload for `{}`", msg.name)));
+            return Err(self.fail_here(format!("ill-typed payload for `{}`", msg.name)));
         }
         let handler = self
             .checked
@@ -193,7 +262,7 @@ impl<'a> Replay<'a> {
                         Ok(())
                     }
                     other => Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!("expected Send({comp}, {msg}(…)), found {other}"),
                     }),
                 }
@@ -209,13 +278,13 @@ impl<'a> Replay<'a> {
                 let action = self.next_action()?;
                 let Action::Spawn { comp } = action else {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!("expected Spawn({ctype}), found {action}"),
                     });
                 };
                 if comp.ctype != *ctype || comp.config != values {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!(
                             "spawned component {comp} does not match spawn of {ctype}"
                         ),
@@ -223,7 +292,7 @@ impl<'a> Replay<'a> {
                 }
                 if self.comp_list.iter().any(|c| c.id == comp.id) {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!("component id {} reused", comp.id),
                     });
                 }
@@ -243,19 +312,19 @@ impl<'a> Replay<'a> {
                 } = action
                 else {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!("expected Call({func}), found {action}"),
                     });
                 };
                 if f != func || *a != values {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: format!("call {f}({a:?}) does not match {func}({values:?})"),
                     });
                 }
                 let Value::Str(s) = result else {
                     return Err(OracleError {
-                        position: self.cursor - 1,
+                        position: self.base + self.cursor - 1,
                         message: "call results must be strings".into(),
                     });
                 };
@@ -289,7 +358,7 @@ impl<'a> Replay<'a> {
                                 if *comp == c && m.name == *msg && m.args == values => {}
                             other => {
                                 return Err(OracleError {
-                                    position: self.cursor - 1,
+                                    position: self.base + self.cursor - 1,
                                     message: format!(
                                         "expected broadcast Send({c}, {msg}(…)), found {other}"
                                     ),

@@ -1,0 +1,774 @@
+//! The supervised runtime.
+//!
+//! The interpreter ([`crate::interpreter`]) is the verified core: it
+//! executes exactly the behaviors the certificates speak about, and a
+//! faulted external call or crashed component simply surfaces as an error.
+//! The [`Supervisor`] wraps it with the recovery policies a deployed
+//! kernel needs — retry with bounded backoff for external calls, restart
+//! for crashed components, quarantine for components that crash too often,
+//! rollback for exchanges whose retry budget is exhausted — while staying
+//! *outside* the verified core: every recovery action only removes
+//! non-determinism the behavioral abstraction already permits, and the
+//! optional runtime [`Monitor`](crate::monitor::Monitor) re-checks the
+//! certificates online to catch any supervision bug (see DESIGN.md
+//! §"Runtime supervision").
+//!
+//! Everything is deterministic: the same `(program, seed, fault plan,
+//! config)` produces byte-identical traces and incident logs, so any
+//! incident is replayable from its parameters alone.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use reflex_ast::CompId;
+use reflex_trace::Trace;
+use reflex_typeck::CheckedProgram;
+
+use crate::component::Registry;
+use crate::faults::{FaultOp, FaultPlan, FaultSwitch, FaultyWorld};
+use crate::interpreter::{Interpreter, RetryPolicy, RuntimeError, RuntimeErrorKind, StepReport};
+use crate::monitor::{Monitor, MonitorError};
+use crate::world::World;
+
+/// Tunables of a [`Supervisor`].
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Retry policy for faulted external calls.
+    pub retry: RetryPolicy,
+    /// Maximum restarts of one component within
+    /// [`restart_window`](Self::restart_window) exchanges before it is
+    /// quarantined (Erlang-style restart intensity).
+    pub max_restarts: usize,
+    /// Width, in exchanges, of the sliding restart-intensity window.
+    pub restart_window: usize,
+    /// Re-check the certificates online with a
+    /// [`Monitor`](crate::monitor::Monitor).
+    pub monitor: bool,
+    /// Probability that the (decorated) world spontaneously faults a call
+    /// attempt; `0.0` disables spontaneous faults.
+    pub world_fault_rate: f64,
+    /// Longest spontaneous fault burst — kept below
+    /// [`retry`](Self::retry)`.max_attempts` so retried calls always
+    /// recover.
+    pub world_fault_burst: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            retry: RetryPolicy::attempts(4),
+            max_restarts: 3,
+            restart_window: 100,
+            monitor: true,
+            world_fault_rate: 0.0,
+            world_fault_burst: 2,
+        }
+    }
+}
+
+/// One recovery (or injected-fault) event, for the incident log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A call attempt faulted; `recovered` tells whether a later attempt
+    /// of the same call succeeded.
+    CallFaulted {
+        /// The called function.
+        func: String,
+        /// 1-based faulted attempt.
+        attempt: usize,
+        /// Whether a later attempt succeeded.
+        recovered: bool,
+    },
+    /// The retry budget was exhausted: the exchange was rolled back and
+    /// the poisoned message dropped.
+    CallAbandoned {
+        /// The component whose message was being serviced.
+        comp: Option<CompId>,
+    },
+    /// A component crashed (by fault injection).
+    CompCrashed {
+        /// The victim.
+        comp: CompId,
+    },
+    /// A crashed component was restarted.
+    CompRestarted {
+        /// The component.
+        comp: CompId,
+    },
+    /// A component exceeded the restart intensity and sits out until its
+    /// crash record ages past the window.
+    CompQuarantined {
+        /// The component.
+        comp: CompId,
+    },
+    /// A pending message was dropped (by fault injection).
+    MsgDropped {
+        /// The component whose message was dropped.
+        comp: CompId,
+    },
+    /// A pending message was duplicated (by fault injection).
+    MsgDuplicated {
+        /// The component whose message was duplicated.
+        comp: CompId,
+    },
+    /// A pending queue was rotated (delivery reordering, by fault
+    /// injection).
+    MsgReordered {
+        /// The component whose queue was rotated.
+        comp: CompId,
+    },
+}
+
+impl IncidentKind {
+    /// A short stable label for logs and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncidentKind::CallFaulted { .. } => "call-faulted",
+            IncidentKind::CallAbandoned { .. } => "call-abandoned",
+            IncidentKind::CompCrashed { .. } => "comp-crashed",
+            IncidentKind::CompRestarted { .. } => "comp-restarted",
+            IncidentKind::CompQuarantined { .. } => "comp-quarantined",
+            IncidentKind::MsgDropped { .. } => "msg-dropped",
+            IncidentKind::MsgDuplicated { .. } => "msg-duplicated",
+            IncidentKind::MsgReordered { .. } => "msg-reordered",
+        }
+    }
+}
+
+/// A structured record of one supervision event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentReport {
+    /// The exchange index at which the event happened.
+    pub step: usize,
+    /// What happened.
+    pub kind: IncidentKind,
+    /// Human-readable specifics (deterministic — no clocks).
+    pub detail: String,
+}
+
+impl fmt::Display for IncidentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[step {:>6}] {:<16} {}",
+            self.step,
+            self.kind.label(),
+            self.detail
+        )
+    }
+}
+
+/// Renders an incident log, one line per report.
+pub fn render_incident_log(incidents: &[IncidentReport]) -> String {
+    let mut out = String::new();
+    for i in incidents {
+        out.push_str(&i.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// What one supervised step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupStep {
+    /// An exchange was committed (possibly after retried calls).
+    Serviced(StepReport),
+    /// The exchange could not be completed; it was rolled back and the
+    /// poisoned message dropped — the kernel keeps serving everyone else.
+    Recovered,
+    /// No live component has a pending message.
+    Idle,
+}
+
+/// Why a supervised run must abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// An unrecoverable interpreter error (API misuse).
+    Runtime(RuntimeError),
+    /// The runtime monitor caught a certificate violation.
+    Monitor(MonitorError),
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::Runtime(e) => write!(f, "supervisor: unrecoverable: {e}"),
+            SupervisorError::Monitor(e) => write!(f, "supervisor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SupervisorError::Runtime(e) => Some(e),
+            SupervisorError::Monitor(e) => Some(e),
+        }
+    }
+}
+
+/// The supervised runtime: an [`Interpreter`] plus fault injection,
+/// recovery policies and an optional certificate monitor.
+#[derive(Debug)]
+pub struct Supervisor {
+    interp: Interpreter,
+    plan: FaultPlan,
+    switch: FaultSwitch,
+    monitor: Option<Monitor>,
+    config: SupervisorConfig,
+    incidents: Vec<IncidentReport>,
+    /// Exchange indices at which each component crashed.
+    crash_history: BTreeMap<CompId, Vec<usize>>,
+    quarantined: BTreeSet<CompId>,
+    /// The last exchange index whose plan ops were applied — the index
+    /// does not advance across idle or rolled-back steps, and the ops
+    /// must fire once per index, not once per `step()` call.
+    plan_cursor: Option<usize>,
+}
+
+impl Supervisor {
+    /// Boots a supervised kernel: wraps `world` in a
+    /// [`FaultyWorld`] wired to this supervisor's fault switch (plus
+    /// spontaneous faults per
+    /// [`world_fault_rate`](SupervisorConfig::world_fault_rate)), boots
+    /// the interpreter, and — if configured — observes the init trace
+    /// with a fresh monitor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter boot errors and init-trace monitor
+    /// violations.
+    pub fn new(
+        checked: &CheckedProgram,
+        registry: Registry,
+        world: Box<dyn World>,
+        seed: u64,
+        plan: FaultPlan,
+        config: SupervisorConfig,
+    ) -> Result<Supervisor, SupervisorError> {
+        let switch = FaultSwitch::new();
+        let mut faulty = FaultyWorld::new(world).with_switch(switch.clone());
+        if config.world_fault_rate > 0.0 {
+            // A seed distinct from the scheduler's keeps world faults and
+            // scheduling choices uncorrelated but jointly deterministic.
+            faulty = faulty.with_random(
+                seed ^ 0xC0FF_EE00_D15E_A5E5,
+                config.world_fault_rate,
+                config.world_fault_burst.min(config.retry.max_attempts - 1),
+            );
+        }
+        let mut interp = Interpreter::new(checked, registry, Box::new(faulty), seed)
+            .map_err(SupervisorError::Runtime)?;
+        interp.set_retry_policy(config.retry);
+        let mut monitor = config.monitor.then(|| Monitor::new(checked));
+        if let Some(m) = &mut monitor {
+            m.observe(interp.trace())
+                .map_err(SupervisorError::Monitor)?;
+        }
+        Ok(Supervisor {
+            interp,
+            plan,
+            switch,
+            monitor,
+            config,
+            incidents: Vec::new(),
+            crash_history: BTreeMap::new(),
+            quarantined: BTreeSet::new(),
+            plan_cursor: None,
+        })
+    }
+
+    /// The supervised interpreter (read-only).
+    pub fn interpreter(&self) -> &Interpreter {
+        &self.interp
+    }
+
+    /// The supervised interpreter. Mutating it behind the supervisor's
+    /// back (e.g. stepping it directly) will desynchronize the monitor —
+    /// use [`inject`](Self::inject) and [`step`](Self::step) instead.
+    pub fn interpreter_mut(&mut self) -> &mut Interpreter {
+        &mut self.interp
+    }
+
+    /// The committed trace so far.
+    pub fn trace(&self) -> &Trace {
+        self.interp.trace()
+    }
+
+    /// The incident log so far.
+    pub fn incidents(&self) -> &[IncidentReport] {
+        &self.incidents
+    }
+
+    /// Drains the incident log.
+    pub fn take_incidents(&mut self) -> Vec<IncidentReport> {
+        std::mem::take(&mut self.incidents)
+    }
+
+    /// Components currently quarantined.
+    pub fn quarantined(&self) -> Vec<CompId> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Enqueues `msg` as if `comp` had sent it (delegates to
+    /// [`Interpreter::inject`]). Messages for crashed components are
+    /// dropped silently — their socket is closed — so workloads need not
+    /// track which components are currently down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter misuse errors (unknown component, ill-typed
+    /// payload).
+    pub fn inject(&mut self, comp: CompId, msg: reflex_trace::Msg) -> Result<(), SupervisorError> {
+        if self.interp.is_crashed(comp) {
+            return Ok(());
+        }
+        self.interp
+            .inject(comp, msg)
+            .map_err(SupervisorError::Runtime)
+    }
+
+    /// One supervised exchange: applies due restarts and this step's
+    /// fault-plan operations, then services one message with
+    /// checkpoint/rollback protection and feeds the committed trace to
+    /// the monitor.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError::Monitor`] if the committed exchange violates a
+    /// certificate; [`SupervisorError::Runtime`] for unrecoverable
+    /// interpreter errors.
+    pub fn step(&mut self) -> Result<SupStep, SupervisorError> {
+        let s = self.interp.steps();
+        self.restart_due(s);
+        if self.plan_cursor != Some(s) {
+            self.plan_cursor = Some(s);
+            for op in self.plan.ops_for(s) {
+                self.apply_op(s, op);
+            }
+        }
+        if !self.interp.has_ready() {
+            return Ok(SupStep::Idle);
+        }
+        let cp = self.interp.checkpoint();
+        match self.interp.step() {
+            Ok(Some(report)) => {
+                self.drain_call_attempts(s);
+                if let Some(m) = &mut self.monitor {
+                    m.observe(self.interp.trace())
+                        .map_err(SupervisorError::Monitor)?;
+                }
+                Ok(SupStep::Serviced(report))
+            }
+            Ok(None) => Ok(SupStep::Idle),
+            Err(e) if e.kind == RuntimeErrorKind::CallFailed => {
+                self.interp.restore(&cp);
+                self.drain_call_attempts(s);
+                if let Some(comp) = e.comp {
+                    // The message that led into the doomed call is dropped:
+                    // redelivering it would fail the same way forever.
+                    self.interp.drop_pending(comp);
+                }
+                self.incidents.push(IncidentReport {
+                    step: s,
+                    kind: IncidentKind::CallAbandoned { comp: e.comp },
+                    detail: format!("{}; exchange rolled back, message dropped", e.message),
+                });
+                Ok(SupStep::Recovered)
+            }
+            Err(e) => Err(SupervisorError::Runtime(e)),
+        }
+    }
+
+    /// Services exchanges until idle or `max` exchanges, whichever first;
+    /// returns how many were committed or recovered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`Supervisor::step`] error.
+    pub fn run(&mut self, max: usize) -> Result<usize, SupervisorError> {
+        let mut n = 0;
+        while n < max {
+            match self.step()? {
+                SupStep::Idle => break,
+                _ => n += 1,
+            }
+        }
+        Ok(n)
+    }
+
+    /// Stops all fault injection: replaces the fault plan with the empty
+    /// plan and discards scheduled call faults. Spontaneous world faults
+    /// (if configured) keep firing — they are burst-bounded below the
+    /// retry budget, so they never prevent recovery. Used for the
+    /// cooldown phase at the end of a soak, where the run must prove that
+    /// every crashed component comes back once the faults stop.
+    pub fn disarm(&mut self) {
+        self.plan = FaultPlan::none();
+        self.switch.clear();
+    }
+
+    /// Restarts every crashed component immediately, bypassing the
+    /// restart-intensity window and clearing quarantine — for end-of-run
+    /// recovery, so a soak can assert that nothing stays down.
+    pub fn heal(&mut self) {
+        let s = self.interp.steps();
+        for comp in self.interp.crashed_components() {
+            self.quarantined.remove(&comp);
+            if let Ok(inst) = self.interp.restart_component(comp) {
+                self.incidents.push(IncidentReport {
+                    step: s,
+                    kind: IncidentKind::CompRestarted { comp },
+                    detail: format!("healed {inst} (restart window bypassed)"),
+                });
+            }
+        }
+    }
+
+    /// Restarts crashed components whose recent crash count fits the
+    /// restart-intensity budget; quarantines the others until their crash
+    /// record ages out of the window.
+    fn restart_due(&mut self, s: usize) {
+        for comp in self.interp.crashed_components() {
+            let recent = self
+                .crash_history
+                .get(&comp)
+                .map(|h| {
+                    h.iter()
+                        .filter(|&&c| s.saturating_sub(c) <= self.config.restart_window)
+                        .count()
+                })
+                .unwrap_or(0);
+            if recent > self.config.max_restarts {
+                if self.quarantined.insert(comp) {
+                    self.incidents.push(IncidentReport {
+                        step: s,
+                        kind: IncidentKind::CompQuarantined { comp },
+                        detail: format!(
+                            "{recent} crashes within {} exchanges exceeds the budget of {}",
+                            self.config.restart_window, self.config.max_restarts
+                        ),
+                    });
+                }
+            } else {
+                let left_quarantine = self.quarantined.remove(&comp);
+                if let Ok(inst) = self.interp.restart_component(comp) {
+                    self.incidents.push(IncidentReport {
+                        step: s,
+                        kind: IncidentKind::CompRestarted { comp },
+                        detail: if left_quarantine {
+                            format!("restarted {inst} after quarantine cooldown")
+                        } else {
+                            format!("restarted {inst}")
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    fn apply_op(&mut self, s: usize, op: FaultOp) {
+        match op {
+            FaultOp::CallFault { kind, count } => {
+                for _ in 0..count {
+                    self.switch.push(kind);
+                }
+            }
+            FaultOp::Crash { nth } => {
+                let live: Vec<CompId> = self
+                    .interp
+                    .components()
+                    .iter()
+                    .map(|c| c.id)
+                    .filter(|&id| !self.interp.is_crashed(id))
+                    .collect();
+                if live.is_empty() {
+                    return;
+                }
+                let victim = live[nth % live.len()];
+                if let Ok(inst) = self.interp.kill_component(victim) {
+                    self.crash_history.entry(victim).or_default().push(s);
+                    self.incidents.push(IncidentReport {
+                        step: s,
+                        kind: IncidentKind::CompCrashed { comp: victim },
+                        detail: format!("killed {inst} (fault injection)"),
+                    });
+                }
+            }
+            FaultOp::Drop { nth } => {
+                if let Some(victim) = nth_pending(&self.interp, nth) {
+                    if let Some(msg) = self.interp.drop_pending(victim) {
+                        self.incidents.push(IncidentReport {
+                            step: s,
+                            kind: IncidentKind::MsgDropped { comp: victim },
+                            detail: format!("dropped pending {msg} from {victim}"),
+                        });
+                    }
+                }
+            }
+            FaultOp::Duplicate { nth } => {
+                if let Some(victim) = nth_pending(&self.interp, nth) {
+                    if let Some(msg) = self.interp.duplicate_pending(victim) {
+                        self.incidents.push(IncidentReport {
+                            step: s,
+                            kind: IncidentKind::MsgDuplicated { comp: victim },
+                            detail: format!("duplicated pending {msg} from {victim}"),
+                        });
+                    }
+                }
+            }
+            FaultOp::Reorder { nth } => {
+                if let Some(victim) = nth_pending(&self.interp, nth) {
+                    if let Some(msg) = self.interp.rotate_pending(victim) {
+                        self.incidents.push(IncidentReport {
+                            step: s,
+                            kind: IncidentKind::MsgReordered { comp: victim },
+                            detail: format!("deferred pending {msg} from {victim}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_call_attempts(&mut self, s: usize) {
+        for a in self.interp.take_call_attempts() {
+            let detail = if a.recovered {
+                format!(
+                    "attempt {} of `{}`: {}; recovered after {} ms simulated backoff",
+                    a.attempt, a.func, a.fault, a.backoff_ms
+                )
+            } else {
+                format!("attempt {} of `{}`: {}", a.attempt, a.func, a.fault)
+            };
+            self.incidents.push(IncidentReport {
+                step: a.step.unwrap_or(s),
+                kind: IncidentKind::CallFaulted {
+                    func: a.func,
+                    attempt: a.attempt,
+                    recovered: a.recovered,
+                },
+                detail,
+            });
+        }
+    }
+}
+
+/// The `nth` (mod population) component with pending messages.
+fn nth_pending(interp: &Interpreter, nth: usize) -> Option<CompId> {
+    let targets = interp.comps_with_pending();
+    if targets.is_empty() {
+        None
+    } else {
+        Some(targets[nth % targets.len()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{Registry, ScriptedBehavior};
+    use crate::world::{CallFaultKind, EmptyWorld};
+    use reflex_ast::Value;
+    use reflex_trace::{Action, Msg};
+
+    /// A one-component kernel whose `Req` handler performs an external
+    /// call — the smallest program exercising every recovery policy.
+    const CACHE: &str = r#"
+components { C "c.py" (); }
+messages { Req(str); Resp(str); Nudge(); }
+init { c0 <- spawn C(); }
+handlers {
+  when C:Req(k) { v <- call lookup(k); send(c0, Resp(v)); }
+  when C:Nudge() { send(c0, Resp("ok")); }
+}
+"#;
+
+    fn cache_program() -> CheckedProgram {
+        let p = reflex_parser::parse_program("cache", CACHE).expect("parses");
+        reflex_typeck::check(&p).expect("well-formed")
+    }
+
+    fn boot(plan: FaultPlan, config: SupervisorConfig) -> Supervisor {
+        let checked = cache_program();
+        let registry = Registry::new().register("c.py", |_| Box::new(ScriptedBehavior::new()));
+        Supervisor::new(&checked, registry, Box::new(EmptyWorld), 42, plan, config).expect("boots")
+    }
+
+    fn comp(sup: &Supervisor) -> CompId {
+        sup.interpreter().components_of("C")[0].id
+    }
+
+    fn labels(sup: &Supervisor) -> Vec<&'static str> {
+        sup.incidents().iter().map(|i| i.kind.label()).collect()
+    }
+
+    #[test]
+    fn retried_call_recovers_within_budget() {
+        let plan = FaultPlan::scripted().at(
+            0,
+            FaultOp::CallFault {
+                kind: CallFaultKind::Failure,
+                count: 2,
+            },
+        );
+        let mut sup = boot(plan, SupervisorConfig::default());
+        let c = comp(&sup);
+        sup.inject(c, Msg::new("Req", [Value::from("k")])).unwrap();
+        assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+        // Two faulted attempts, both marked recovered; the exchange
+        // committed with its Call action intact.
+        let faulted: Vec<_> = sup
+            .incidents()
+            .iter()
+            .filter_map(|i| match &i.kind {
+                IncidentKind::CallFaulted {
+                    attempt, recovered, ..
+                } => Some((*attempt, *recovered)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faulted, vec![(1, true), (2, true)]);
+        let trace = sup.trace().actions();
+        assert!(trace.iter().any(|a| matches!(a, Action::Call { .. })));
+        assert!(trace
+            .iter()
+            .any(|a| matches!(a, Action::Send { msg, .. } if msg.name == "Resp")));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_rolls_back_and_drops_the_message() {
+        let plan = FaultPlan::scripted().at(
+            0,
+            FaultOp::CallFault {
+                kind: CallFaultKind::Timeout,
+                count: 10, // > the default budget of 4 attempts
+            },
+        );
+        let mut sup = boot(plan, SupervisorConfig::default());
+        let c = comp(&sup);
+        let committed = sup.trace().len();
+        sup.inject(c, Msg::new("Req", [Value::from("k")])).unwrap();
+        assert_eq!(sup.step().unwrap(), SupStep::Recovered);
+        // The exchange was rolled back action-for-action and the poisoned
+        // message dropped, so the kernel is idle again.
+        assert_eq!(sup.trace().len(), committed);
+        assert_eq!(sup.interpreter().pending_count(c), 0);
+        assert_eq!(
+            labels(&sup),
+            [
+                "call-faulted",
+                "call-faulted",
+                "call-faulted",
+                "call-faulted",
+                "call-abandoned"
+            ]
+        );
+        // And it keeps serving everyone else, monitor still attached.
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+    }
+
+    #[test]
+    fn plan_ops_fire_once_per_exchange_index() {
+        // A drop at exchange 0 empties the only mailbox; the very next
+        // injection at the *same* index must not be dropped again.
+        let plan = FaultPlan::scripted().at(0, FaultOp::Drop { nth: 0 });
+        let mut sup = boot(plan, SupervisorConfig::default());
+        let c = comp(&sup);
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        assert_eq!(labels(&sup), ["msg-dropped"]);
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+        assert_eq!(labels(&sup), ["msg-dropped"]);
+    }
+
+    #[test]
+    fn crash_restart_quarantine_and_heal() {
+        let plan = FaultPlan::scripted()
+            .at(0, FaultOp::Crash { nth: 0 })
+            .at(1, FaultOp::Crash { nth: 0 });
+        let config = SupervisorConfig {
+            max_restarts: 1,
+            restart_window: 1000,
+            ..SupervisorConfig::default()
+        };
+        let mut sup = boot(plan, config);
+        let c = comp(&sup);
+
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        // Exchange 0: the crash eats the component (and its mailbox).
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        assert!(sup.interpreter().is_crashed(c));
+        // Next step restarts it (1 recent crash fits the budget of 1).
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        assert!(!sup.interpreter().is_crashed(c));
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+        // Exchange 1: second crash exceeds the restart intensity.
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        assert_eq!(sup.quarantined(), vec![c]);
+        assert_eq!(
+            labels(&sup),
+            [
+                "comp-crashed",
+                "comp-restarted",
+                "comp-crashed",
+                "comp-quarantined"
+            ]
+        );
+        // Injections to the quarantined component are dropped silently.
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert_eq!(sup.step().unwrap(), SupStep::Idle);
+        // heal() bypasses the window: everything comes back.
+        sup.heal();
+        assert!(sup.quarantined().is_empty());
+        assert!(sup.interpreter().crashed_components().is_empty());
+        sup.inject(c, Msg::new("Nudge", [])).unwrap();
+        assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+    }
+
+    #[test]
+    fn spontaneous_world_faults_always_recover() {
+        let config = SupervisorConfig {
+            world_fault_rate: 1.0, // burst-bounded below the retry budget
+            ..SupervisorConfig::default()
+        };
+        let mut sup = boot(FaultPlan::none(), config);
+        let c = comp(&sup);
+        for _ in 0..5 {
+            sup.inject(c, Msg::new("Req", [Value::from("k")])).unwrap();
+            assert!(matches!(sup.step().unwrap(), SupStep::Serviced(_)));
+        }
+        assert!(labels(&sup).iter().all(|&l| l == "call-faulted"));
+        assert!(!sup.incidents().is_empty(), "rate 1.0 must fault");
+    }
+
+    #[test]
+    fn same_seed_and_plan_replay_byte_identically() {
+        let run = || {
+            let config = SupervisorConfig {
+                world_fault_rate: 0.5,
+                ..SupervisorConfig::default()
+            };
+            let mut sup = boot(FaultPlan::random(7, 0.4), config);
+            let c = comp(&sup);
+            for i in 0..40 {
+                sup.inject(c, Msg::new("Req", [Value::from(format!("k{i}"))]))
+                    .unwrap();
+                let _ = sup.step().expect("supervised step");
+            }
+            sup.heal();
+            let trace: Vec<String> = sup
+                .trace()
+                .actions()
+                .iter()
+                .map(|a| a.to_string())
+                .collect();
+            (trace, render_incident_log(sup.incidents()))
+        };
+        assert_eq!(run(), run());
+    }
+}

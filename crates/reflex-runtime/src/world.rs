@@ -12,11 +12,75 @@ use std::fmt;
 
 use reflex_ast::Value;
 
+/// Why an external call produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallFaultKind {
+    /// The call failed outright (connection refused, crash, …).
+    Failure,
+    /// The call did not answer within its deadline.
+    Timeout,
+}
+
+impl CallFaultKind {
+    /// A short lowercase label (`"failure"` / `"timeout"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CallFaultKind::Failure => "failure",
+            CallFaultKind::Timeout => "timeout",
+        }
+    }
+}
+
+/// A failed external call, as reported by [`World::try_call`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallFault {
+    /// How the call failed.
+    pub kind: CallFaultKind,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl CallFault {
+    /// A [`CallFaultKind::Failure`] with the given cause.
+    pub fn failure(message: impl Into<String>) -> CallFault {
+        CallFault {
+            kind: CallFaultKind::Failure,
+            message: message.into(),
+        }
+    }
+
+    /// A [`CallFaultKind::Timeout`] with the given cause.
+    pub fn timeout(message: impl Into<String>) -> CallFault {
+        CallFault {
+            kind: CallFaultKind::Timeout,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CallFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "external call {}: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for CallFault {}
+
 /// Supplies results for external `call`s.
 pub trait World {
     /// Produces the result of calling `func(args…)`. Reflex `call` results
     /// are strings.
     fn call(&mut self, func: &str, args: &[Value]) -> String;
+
+    /// Fallible variant of [`call`](Self::call): worlds that model an
+    /// unreliable exterior (see `FaultyWorld` in [`crate::faults`]) override
+    /// this to report failures/timeouts instead of inventing a result. The
+    /// interpreter routes every `call` command through here so a
+    /// [`RetryPolicy`](crate::interpreter::RetryPolicy) can re-attempt
+    /// faulted calls. The default never fails.
+    fn try_call(&mut self, func: &str, args: &[Value]) -> Result<String, CallFault> {
+        Ok(self.call(func, args))
+    }
 }
 
 /// A world where every call returns the empty string.
@@ -29,16 +93,33 @@ impl World for EmptyWorld {
     }
 }
 
-/// A world with per-function scripted implementations; unscripted
-/// functions return the empty string.
+/// What a [`ScriptedWorld`] does when an unscripted function is called.
+///
+/// Silently returning `""` (the historical behavior, still the default for
+/// compatibility) masks typos in test scripts — a misspelled `provides`
+/// key just makes every call of the real function return the empty string.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum UnscriptedPolicy {
+    /// Return the empty string (legacy default).
+    #[default]
+    Empty,
+    /// Report a [`CallFault`] through [`World::try_call`].
+    Error,
+    /// Panic immediately — for tests that want typos loud.
+    Panic,
+}
+
+/// A world with per-function scripted implementations; what happens for
+/// unscripted functions is governed by an [`UnscriptedPolicy`].
 #[derive(Default)]
 pub struct ScriptedWorld {
     #[allow(clippy::type_complexity)]
     functions: HashMap<String, Box<dyn FnMut(&[Value]) -> String>>,
+    policy: UnscriptedPolicy,
 }
 
 impl ScriptedWorld {
-    /// An empty scripted world.
+    /// An empty scripted world with the [`UnscriptedPolicy::Empty`] policy.
     pub fn new() -> ScriptedWorld {
         ScriptedWorld::default()
     }
@@ -52,21 +133,43 @@ impl ScriptedWorld {
         self.functions.insert(func.into(), Box::new(f));
         self
     }
+
+    /// Sets the policy for calls to unscripted functions.
+    pub fn unscripted(mut self, policy: UnscriptedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 impl fmt::Debug for ScriptedWorld {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScriptedWorld")
             .field("functions", &self.functions.keys().collect::<Vec<_>>())
+            .field("policy", &self.policy)
             .finish()
     }
 }
 
 impl World for ScriptedWorld {
     fn call(&mut self, func: &str, args: &[Value]) -> String {
+        match self.try_call(func, args) {
+            Ok(s) => s,
+            Err(fault) => panic!("{fault}"),
+        }
+    }
+
+    fn try_call(&mut self, func: &str, args: &[Value]) -> Result<String, CallFault> {
         match self.functions.get_mut(func) {
-            Some(f) => f(args),
-            None => String::new(),
+            Some(f) => Ok(f(args)),
+            None => match self.policy {
+                UnscriptedPolicy::Empty => Ok(String::new()),
+                UnscriptedPolicy::Error => Err(CallFault::failure(format!(
+                    "function `{func}` is not scripted in this ScriptedWorld"
+                ))),
+                UnscriptedPolicy::Panic => {
+                    panic!("ScriptedWorld: function `{func}` is not scripted")
+                }
+            },
         }
     }
 }
@@ -116,6 +219,33 @@ mod tests {
         assert_eq!(w.call("wget", &[Value::from("u")]), "page:1");
         assert_eq!(w.call("rand", &[]), "4");
         assert_eq!(w.call("unknown", &[]), "");
+    }
+
+    #[test]
+    fn scripted_world_unscripted_policies() {
+        let mut empty = ScriptedWorld::new().unscripted(UnscriptedPolicy::Empty);
+        assert_eq!(empty.try_call("nope", &[]), Ok(String::new()));
+
+        let mut erroring = ScriptedWorld::new()
+            .provides("ok", |_| "y".into())
+            .unscripted(UnscriptedPolicy::Error);
+        assert_eq!(erroring.try_call("ok", &[]), Ok("y".into()));
+        let fault = erroring.try_call("nope", &[]).unwrap_err();
+        assert_eq!(fault.kind, CallFaultKind::Failure);
+        assert!(fault.message.contains("`nope`"), "{fault}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not scripted")]
+    fn scripted_world_panic_policy_panics() {
+        let mut w = ScriptedWorld::new().unscripted(UnscriptedPolicy::Panic);
+        let _ = w.try_call("nope", &[]);
+    }
+
+    #[test]
+    fn default_try_call_never_fails() {
+        let mut w = EmptyWorld;
+        assert_eq!(w.try_call("anything", &[]), Ok(String::new()));
     }
 
     #[test]

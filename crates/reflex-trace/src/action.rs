@@ -230,6 +230,12 @@ impl Trace {
     pub fn most_recent(&self) -> Option<&Action> {
         self.actions.last()
     }
+
+    /// Discards every action after the first `len` (no-op if the trace is
+    /// already that short). Used to roll back an uncommitted exchange.
+    pub fn truncate(&mut self, len: usize) {
+        self.actions.truncate(len);
+    }
 }
 
 impl FromIterator<Action> for Trace {

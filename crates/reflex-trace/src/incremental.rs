@@ -1,0 +1,465 @@
+//! Incremental (online) checking of the five trace-property primitives.
+//!
+//! The batch checkers in [`crate::props`] rescan the whole trace per
+//! trigger — fine for tests, quadratic for a runtime monitor that watches
+//! a kernel execute hundreds of thousands of exchanges. This module keeps
+//! per-property *indices* so each new action is checked in O(1) amortized
+//! time:
+//!
+//! * `ImmBefore` / `ImmAfter` only ever look at the adjacent action;
+//! * `Enables` keeps a hash set of the ground instantiations of past
+//!   `A`-matches (the positive obligation of an `Enables` must be closed
+//!   under the trigger's variables, so the lookup key is fully ground);
+//! * `Ensures` keeps a hash map of grounded pending obligations, cleared
+//!   when a matching action arrives;
+//! * `Disables` keeps a hash map of past `A`-matches projected onto the
+//!   variables shared with the trigger pattern (extra variables act as
+//!   wildcards, so only the shared projection constrains the lookup),
+//!   remembering the earliest witness index for error reporting.
+//!
+//! The verdicts are *identical* — including the violation's trigger index,
+//! bindings, and detail text — to running [`crate::props::check_trace`] on
+//! every exchange-aligned prefix of the trace: calling
+//! [`IncrementalChecker::end_of_exchange`] after each committed exchange
+//! reports the pending-trigger violations (`ImmAfter` / `Ensures` whose
+//! obligation has not arrived) that the batch checker reports on a trace
+//! ending there. Equivalence is enforced by randomized tests in
+//! `tests/incremental_props.rs`.
+
+use std::collections::{HashMap, HashSet};
+
+use reflex_ast::{ActionPat, PropBody, PropertyDecl, TraceProp, TracePropKind, Value};
+
+use crate::action::Action;
+use crate::matching::{match_action, Bindings};
+use crate::props::{PropError, Violation};
+
+/// A fully ground projection of a substitution onto a fixed variable set —
+/// the hash key of the witness / obligation indices.
+type Key = Vec<(String, Value)>;
+
+fn project(sigma: &Bindings, vars: &[String]) -> Key {
+    vars.iter()
+        .filter_map(|v| sigma.get(v).map(|val| (v.clone(), val.clone())))
+        .collect()
+}
+
+fn ensure_closed(obligation: &ActionPat, sigma: &Bindings) -> Result<(), PropError> {
+    for v in obligation.vars() {
+        if sigma.get(&v).is_none() {
+            return Err(PropError::UnboundObligationVar { var: v });
+        }
+    }
+    Ok(())
+}
+
+/// Per-property incremental state.
+#[derive(Debug, Clone)]
+struct PropState {
+    name: String,
+    prop: TraceProp,
+    /// Variables of the `A` pattern.
+    a_vars: Vec<String>,
+    /// Variables of the `B` pattern.
+    b_vars: Vec<String>,
+    /// `vars(A) ∩ vars(B)` — the only variables that constrain a
+    /// `Disables` witness lookup (extra `A`-variables are wildcards).
+    shared_vars: Vec<String>,
+    /// `Enables`: ground `A`-instantiations seen so far.
+    enables_witnesses: HashSet<Key>,
+    /// `Disables`: past `A`-matches projected onto `shared_vars`, with the
+    /// earliest witness index (what the batch checker's scan reports).
+    disables_witnesses: HashMap<Key, usize>,
+    /// `ImmAfter`: the trigger matched at the previous action, awaiting its
+    /// obligation at the current one: `(index, σ, rendered trigger)`.
+    pending_imm_after: Option<(usize, Bindings, String)>,
+    /// `Ensures`: grounded obligations keyed by their projection onto
+    /// `vars(B)`, with the earliest unsatisfied trigger
+    /// `(index, σ, rendered trigger)`.
+    pending_ensures: HashMap<Key, (usize, Bindings, String)>,
+}
+
+impl PropState {
+    fn new(name: String, prop: TraceProp) -> PropState {
+        let a_vars = prop.a.vars();
+        let b_vars = prop.b.vars();
+        let shared_vars = a_vars
+            .iter()
+            .filter(|v| b_vars.contains(v))
+            .cloned()
+            .collect();
+        PropState {
+            name,
+            prop,
+            a_vars,
+            b_vars,
+            shared_vars,
+            enables_witnesses: HashSet::new(),
+            disables_witnesses: HashMap::new(),
+            pending_imm_after: None,
+            pending_ensures: HashMap::new(),
+        }
+    }
+
+    fn violation(&self, trigger_index: usize, bindings: Bindings, detail: String) -> PropError {
+        PropError::Violation(Violation {
+            kind: self.prop.kind,
+            trigger_index,
+            bindings,
+            detail,
+        })
+    }
+
+    /// Feeds action `act` at chronological index `i`; `prev` is the action
+    /// at `i - 1`, if any.
+    fn on_action(
+        &mut self,
+        i: usize,
+        act: &Action,
+        prev: Option<&Action>,
+    ) -> Result<(), PropError> {
+        let empty = Bindings::new();
+        match self.prop.kind {
+            TracePropKind::ImmBefore => {
+                if let Some(sigma) = match_action(&self.prop.b, act, &empty) {
+                    ensure_closed(&self.prop.a, &sigma)?;
+                    let ok = prev.is_some_and(|p| match_action(&self.prop.a, p, &sigma).is_some());
+                    if !ok {
+                        return Err(self.violation(
+                            i,
+                            sigma,
+                            format!(
+                                "no action matching [{}] immediately before [{act}]",
+                                self.prop.a
+                            ),
+                        ));
+                    }
+                }
+            }
+            TracePropKind::ImmAfter => {
+                if let Some((t, sigma, trigger)) = self.pending_imm_after.take() {
+                    if match_action(&self.prop.b, act, &sigma).is_none() {
+                        return Err(self.violation(
+                            t,
+                            sigma,
+                            format!(
+                                "no action matching [{}] immediately after [{trigger}]",
+                                self.prop.b
+                            ),
+                        ));
+                    }
+                }
+                if let Some(sigma) = match_action(&self.prop.a, act, &empty) {
+                    ensure_closed(&self.prop.b, &sigma)?;
+                    self.pending_imm_after = Some((i, sigma, act.to_string()));
+                }
+            }
+            TracePropKind::Enables => {
+                if let Some(sigma) = match_action(&self.prop.b, act, &empty) {
+                    ensure_closed(&self.prop.a, &sigma)?;
+                    let key = project(&sigma, &self.a_vars);
+                    if !self.enables_witnesses.contains(&key) {
+                        return Err(self.violation(
+                            i,
+                            sigma,
+                            format!(
+                                "no earlier action matching [{}] enables [{act}]",
+                                self.prop.a
+                            ),
+                        ));
+                    }
+                }
+                if let Some(sigma_a) = match_action(&self.prop.a, act, &empty) {
+                    self.enables_witnesses
+                        .insert(project(&sigma_a, &self.a_vars));
+                }
+            }
+            TracePropKind::Ensures => {
+                // Clear obligations satisfied by this action *before*
+                // registering this action's own trigger: the obligation
+                // must come strictly later than its trigger.
+                if let Some(sigma_b) = match_action(&self.prop.b, act, &empty) {
+                    self.pending_ensures
+                        .remove(&project(&sigma_b, &self.b_vars));
+                }
+                if let Some(sigma) = match_action(&self.prop.a, act, &empty) {
+                    ensure_closed(&self.prop.b, &sigma)?;
+                    let key = project(&sigma, &self.b_vars);
+                    self.pending_ensures
+                        .entry(key)
+                        .or_insert((i, sigma, act.to_string()));
+                }
+            }
+            TracePropKind::Disables => {
+                if let Some(sigma) = match_action(&self.prop.b, act, &empty) {
+                    let key = project(&sigma, &self.shared_vars);
+                    if let Some(&j) = self.disables_witnesses.get(&key) {
+                        return Err(self.violation(
+                            i,
+                            sigma,
+                            format!(
+                                "action #{j} matching [{}] precedes forbidden [{act}]",
+                                self.prop.a
+                            ),
+                        ));
+                    }
+                }
+                if let Some(sigma_a) = match_action(&self.prop.a, act, &empty) {
+                    self.disables_witnesses
+                        .entry(project(&sigma_a, &self.shared_vars))
+                        .or_insert(i);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the pending-trigger obligations that the batch checker
+    /// reports on a trace ending here.
+    fn end_of_exchange(&self) -> Result<(), PropError> {
+        if let Some((t, sigma, trigger)) = &self.pending_imm_after {
+            return Err(self.violation(
+                *t,
+                sigma.clone(),
+                format!(
+                    "no action matching [{}] immediately after [{trigger}]",
+                    self.prop.b
+                ),
+            ));
+        }
+        if let Some((t, sigma, trigger)) = self.pending_ensures.values().min_by_key(|(i, _, _)| *i)
+        {
+            return Err(self.violation(
+                *t,
+                sigma.clone(),
+                format!(
+                    "no later action matching [{}] after [{trigger}]",
+                    self.prop.b
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// An online checker for a set of named trace properties.
+///
+/// Feed each committed action with [`on_action`](Self::on_action); call
+/// [`end_of_exchange`](Self::end_of_exchange) at every exchange boundary
+/// (every point where the kernel could stop) to catch pending-obligation
+/// violations. Both return the name of the first violated property.
+///
+/// Non-trace (relational) properties in the input are skipped, exactly as
+/// in [`crate::props::check_trace_properties`].
+///
+/// When several properties are violated, the checker reports the one whose
+/// violation is *detected* first (i.e. at the earliest action) — the right
+/// semantics for a runtime monitor that halts at the offending action —
+/// whereas the batch [`check_trace_properties`](crate::check_trace_properties)
+/// reports failures in property-declaration order. Per individual property
+/// the verdicts coincide exactly.
+#[derive(Debug, Clone)]
+pub struct IncrementalChecker {
+    props: Vec<PropState>,
+    last: Option<Action>,
+    next_index: usize,
+}
+
+impl IncrementalChecker {
+    /// Builds a checker over the *trace* properties of `properties`
+    /// (relational properties are skipped).
+    pub fn new<'p>(properties: impl IntoIterator<Item = &'p PropertyDecl>) -> IncrementalChecker {
+        let props = properties
+            .into_iter()
+            .filter_map(|p| match &p.body {
+                PropBody::Trace(tp) => Some(PropState::new(p.name.clone(), tp.clone())),
+                _ => None,
+            })
+            .collect();
+        IncrementalChecker {
+            props,
+            last: None,
+            next_index: 0,
+        }
+    }
+
+    /// Builds a checker for a single property.
+    pub fn for_prop(name: impl Into<String>, prop: &TraceProp) -> IncrementalChecker {
+        IncrementalChecker {
+            props: vec![PropState::new(name.into(), prop.clone())],
+            last: None,
+            next_index: 0,
+        }
+    }
+
+    /// The chronological index the next fed action will get.
+    pub fn next_index(&self) -> usize {
+        self.next_index
+    }
+
+    /// Feeds the next committed action. On a violation, returns the
+    /// property name and the error; the checker must not be fed further.
+    pub fn on_action(&mut self, act: &Action) -> Result<(), (String, PropError)> {
+        let i = self.next_index;
+        for p in &mut self.props {
+            p.on_action(i, act, self.last.as_ref())
+                .map_err(|e| (p.name.clone(), e))?;
+        }
+        self.last = Some(act.clone());
+        self.next_index += 1;
+        Ok(())
+    }
+
+    /// Checks pending obligations at an exchange boundary: a trace ending
+    /// here must satisfy every property, so an outstanding `ImmAfter` or
+    /// `Ensures` trigger is a violation.
+    pub fn end_of_exchange(&self) -> Result<(), (String, PropError)> {
+        for p in &self.props {
+            p.end_of_exchange().map_err(|e| (p.name.clone(), e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{CompInst, Msg, Trace};
+    use crate::props::check_trace;
+    use reflex_ast::{CompId, CompPat, PatField};
+
+    fn recv(ctype: &str, id: u64, msg: &str, args: Vec<Value>) -> Action {
+        Action::Recv {
+            comp: CompInst::new(CompId::new(id), ctype, []),
+            msg: Msg::new(msg, args),
+        }
+    }
+
+    fn send(ctype: &str, id: u64, msg: &str, args: Vec<Value>) -> Action {
+        Action::Send {
+            comp: CompInst::new(CompId::new(id), ctype, []),
+            msg: Msg::new(msg, args),
+        }
+    }
+
+    fn feed_all(
+        checker: &mut IncrementalChecker,
+        trace: &Trace,
+    ) -> Result<(), (String, PropError)> {
+        for a in trace.iter_chrono() {
+            checker.on_action(a)?;
+        }
+        checker.end_of_exchange()
+    }
+
+    #[test]
+    fn enables_agrees_with_batch_checker() {
+        let prop = TraceProp::new(
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("P"),
+                msg: "Auth".into(),
+                args: vec![PatField::var("u")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("T"),
+                msg: "Req".into(),
+                args: vec![PatField::var("u")],
+            },
+        );
+        let good: Trace = [
+            recv("P", 1, "Auth", vec![Value::from("a")]),
+            send("T", 2, "Req", vec![Value::from("a")]),
+        ]
+        .into_iter()
+        .collect();
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        assert!(feed_all(&mut c, &good).is_ok());
+        assert!(check_trace(&good, &prop).is_ok());
+
+        let bad: Trace = [
+            recv("P", 1, "Auth", vec![Value::from("b")]),
+            send("T", 2, "Req", vec![Value::from("a")]),
+        ]
+        .into_iter()
+        .collect();
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        let (_, got) = feed_all(&mut c, &bad).unwrap_err();
+        let want = check_trace(&bad, &prop).unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ensures_pending_reported_at_boundary_only() {
+        let prop = TraceProp::new(
+            TracePropKind::Ensures,
+            ActionPat::Recv {
+                comp: CompPat::of_type("E"),
+                msg: "Crash".into(),
+                args: vec![],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("D"),
+                msg: "Unlock".into(),
+                args: vec![],
+            },
+        );
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        c.on_action(&recv("E", 1, "Crash", vec![])).unwrap();
+        // Mid-exchange the obligation is merely pending...
+        assert!(c.end_of_exchange().is_err());
+        // ...until the handler emits it.
+        c.on_action(&send("D", 2, "Unlock", vec![])).unwrap();
+        assert!(c.end_of_exchange().is_ok());
+    }
+
+    #[test]
+    fn disables_reports_earliest_witness_like_batch() {
+        let prop = TraceProp::new(
+            TracePropKind::Disables,
+            ActionPat::Send {
+                comp: CompPat::of_type("D"),
+                msg: "Lock".into(),
+                args: vec![PatField::var("w")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("D"),
+                msg: "Unlock".into(),
+                args: vec![],
+            },
+        );
+        let t: Trace = [
+            send("D", 1, "Lock", vec![Value::from("x")]),
+            send("D", 1, "Lock", vec![Value::from("y")]),
+            send("D", 1, "Unlock", vec![]),
+        ]
+        .into_iter()
+        .collect();
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        let (_, got) = feed_all(&mut c, &t).unwrap_err();
+        let want = check_trace(&t, &prop).unwrap_err();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unbound_obligation_var_is_reported() {
+        let prop = TraceProp::new(
+            TracePropKind::Enables,
+            ActionPat::Recv {
+                comp: CompPat::of_type("P"),
+                msg: "Auth".into(),
+                args: vec![PatField::var("v")],
+            },
+            ActionPat::Send {
+                comp: CompPat::of_type("T"),
+                msg: "Req".into(),
+                args: vec![PatField::var("u")],
+            },
+        );
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        let (_, e) = c
+            .on_action(&send("T", 2, "Req", vec![Value::from("a")]))
+            .unwrap_err();
+        assert!(matches!(e, PropError::UnboundObligationVar { var } if var == "v"));
+    }
+}

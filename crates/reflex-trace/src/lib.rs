@@ -46,10 +46,12 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod incremental;
 pub mod matching;
 pub mod ni;
 pub mod props;
 
 pub use action::{Action, CompInst, Msg, Trace};
+pub use incremental::IncrementalChecker;
 pub use matching::Bindings;
 pub use props::{check_trace, check_trace_properties, PropError, Violation};

@@ -1,0 +1,184 @@
+//! Equivalence of the incremental checker with the batch semantics.
+//!
+//! For every randomly generated (trace, property) pair and every prefix of
+//! the trace, feeding the prefix into [`IncrementalChecker`] and calling
+//! `end_of_exchange` must produce *exactly* the verdict of
+//! [`check_trace`] on that prefix — same `Ok`/`Err`, same trigger index,
+//! same bindings, same detail text.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use reflex_ast::{ActionPat, CompId, CompPat, PatField, TraceProp, TracePropKind, Value};
+use reflex_trace::props::PropError;
+use reflex_trace::{check_trace, Action, CompInst, IncrementalChecker, Msg, Trace};
+
+const CTYPES: [&str; 2] = ["C", "D"];
+const MSGS: [&str; 3] = ["A", "B", "M"];
+const STRS: [&str; 2] = ["x", "y"];
+
+fn rand_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0..3u32) {
+        0 => Value::from(STRS[rng.random_range(0..STRS.len())]),
+        1 => Value::Num(rng.random_range(0..3i64)),
+        _ => Value::Bool(rng.random_bool(0.5)),
+    }
+}
+
+fn rand_comp(rng: &mut StdRng) -> CompInst {
+    let ctype = CTYPES[rng.random_range(0..CTYPES.len())];
+    let id = rng.random_range(0..4u64);
+    let config = if rng.random_bool(0.5) {
+        vec![rand_value(rng)]
+    } else {
+        vec![]
+    };
+    CompInst::new(CompId::new(id), ctype, config)
+}
+
+fn rand_action(rng: &mut StdRng) -> Action {
+    let comp = rand_comp(rng);
+    match rng.random_range(0..6u32) {
+        0 => Action::Select { comp },
+        1 => Action::Spawn { comp },
+        2 => Action::Call {
+            func: "f".into(),
+            args: vec![rand_value(rng)],
+            result: rand_value(rng),
+        },
+        3 => Action::Recv {
+            comp,
+            msg: Msg::new(MSGS[rng.random_range(0..MSGS.len())], vec![rand_value(rng)]),
+        },
+        4 => Action::Send {
+            comp,
+            msg: Msg::new(MSGS[rng.random_range(0..MSGS.len())], vec![rand_value(rng)]),
+        },
+        _ => Action::Recv {
+            comp,
+            msg: Msg::new(MSGS[rng.random_range(0..MSGS.len())], vec![]),
+        },
+    }
+}
+
+fn rand_field(rng: &mut StdRng, vars: &[&str]) -> PatField {
+    match rng.random_range(0..3u32) {
+        0 => PatField::Any,
+        1 => PatField::lit(STRS[rng.random_range(0..STRS.len())]),
+        _ => PatField::var(vars[rng.random_range(0..vars.len())]),
+    }
+}
+
+fn rand_comp_pat(rng: &mut StdRng, vars: &[&str]) -> CompPat {
+    let ctype = CTYPES[rng.random_range(0..CTYPES.len())];
+    if rng.random_bool(0.4) {
+        CompPat::with_config(ctype, [rand_field(rng, vars)])
+    } else {
+        CompPat::of_type(ctype)
+    }
+}
+
+fn rand_pat(rng: &mut StdRng, vars: &[&str]) -> ActionPat {
+    match rng.random_range(0..4u32) {
+        0 => ActionPat::Select {
+            comp: rand_comp_pat(rng, vars),
+        },
+        1 => ActionPat::Spawn {
+            comp: rand_comp_pat(rng, vars),
+        },
+        2 => ActionPat::Recv {
+            comp: rand_comp_pat(rng, vars),
+            msg: MSGS[rng.random_range(0..MSGS.len())].into(),
+            args: vec![rand_field(rng, vars)],
+        },
+        _ => ActionPat::Send {
+            comp: rand_comp_pat(rng, vars),
+            msg: MSGS[rng.random_range(0..MSGS.len())].into(),
+            args: vec![rand_field(rng, vars)],
+        },
+    }
+}
+
+fn rand_prop(rng: &mut StdRng) -> TraceProp {
+    let kind = match rng.random_range(0..5u32) {
+        0 => TracePropKind::ImmBefore,
+        1 => TracePropKind::ImmAfter,
+        2 => TracePropKind::Enables,
+        3 => TracePropKind::Ensures,
+        _ => TracePropKind::Disables,
+    };
+    // Two variables maximize the interplay of shared and wildcard vars.
+    let vars = ["u", "v"];
+    TraceProp::new(kind, rand_pat(rng, &vars), rand_pat(rng, &vars))
+}
+
+fn incremental_verdict(prefix: &[Action], prop: &TraceProp) -> Result<(), PropError> {
+    let mut c = IncrementalChecker::for_prop("p", prop);
+    for a in prefix {
+        c.on_action(a).map_err(|(_, e)| e)?;
+    }
+    c.end_of_exchange().map_err(|(_, e)| e)
+}
+
+#[test]
+fn incremental_matches_batch_on_every_prefix() {
+    let mut rng = StdRng::seed_from_u64(0xfee1);
+    let mut checked = 0usize;
+    let mut violations = 0usize;
+    for _case in 0..300 {
+        let prop = rand_prop(&mut rng);
+        let len = rng.random_range(0..24usize);
+        let actions: Vec<Action> = (0..len).map(|_| rand_action(&mut rng)).collect();
+        for k in 0..=actions.len() {
+            let prefix: Trace = actions[..k].iter().cloned().collect();
+            let batch = check_trace(&prefix, &prop);
+            let inc = incremental_verdict(&actions[..k], &prop);
+            assert_eq!(
+                inc, batch,
+                "divergence on prefix of length {k} for {prop}\ntrace:\n{prefix}"
+            );
+            checked += 1;
+            if batch.is_err() {
+                violations += 1;
+            }
+        }
+    }
+    // Sanity: the generator must exercise both verdicts heavily.
+    assert!(checked > 3000, "too few prefixes checked: {checked}");
+    assert!(
+        violations > 100,
+        "generator too tame: {violations} violations"
+    );
+}
+
+#[test]
+fn incremental_is_streaming_not_prefix_restarted() {
+    // One long trace fed once, with end_of_exchange probed at every step,
+    // agrees with the batch checker on every prefix — as long as no
+    // violation has occurred yet (after the first violation the batch
+    // checker keeps reporting it; the incremental one stops).
+    let mut rng = StdRng::seed_from_u64(0xcafe);
+    for _case in 0..200 {
+        let prop = rand_prop(&mut rng);
+        let len = rng.random_range(0..32usize);
+        let actions: Vec<Action> = (0..len).map(|_| rand_action(&mut rng)).collect();
+        let mut c = IncrementalChecker::for_prop("p", &prop);
+        for k in 0..=actions.len() {
+            let prefix: Trace = actions[..k].iter().cloned().collect();
+            let batch = check_trace(&prefix, &prop);
+            let boundary = c.end_of_exchange().map_err(|(_, e)| e);
+            assert_eq!(boundary, batch, "boundary divergence at {k} for {prop}");
+            if k < actions.len() {
+                match c.on_action(&actions[k]) {
+                    Ok(()) => {}
+                    Err((_, e)) => {
+                        // Feeding must only fail where the batch checker
+                        // fails on the extended prefix.
+                        let extended: Trace = actions[..k + 1].iter().cloned().collect();
+                        assert_eq!(check_trace(&extended, &prop), Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}

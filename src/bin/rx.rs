@@ -7,14 +7,23 @@
 //! rx explain FILE PROP        print the discovered proof's structure
 //! rx show    FILE             pretty-print the kernel and its statistics
 //! rx run     FILE [N [SEED]]  boot the kernel and run up to N exchanges
+//! rx soak                     soak the bundled kernels under fault injection
 //! ```
+//!
+//! `rx run` accepts `--faults SPEC --supervise --monitor` to run the
+//! kernel under the supervised runtime with deterministic fault
+//! injection; `rx soak` drives every bundled Figure-6 kernel that way.
 //!
 //! Exit codes: 0 success, 1 the kernel/properties have problems,
 //! 2 usage errors.
 
 use std::process::ExitCode;
 
-use reflex::runtime::{EmptyWorld, Interpreter, Registry};
+use reflex::bench::soak::{
+    render_soak, render_soak_json, run_soak, run_soak_bench, soak_program_with_plan, SoakConfig,
+    SoakOutcome,
+};
+use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
 use reflex::typeck::CheckedProgram;
 use reflex::verify::{
     check_certificate, falsify, prove_all_parallel_with_stats, prove_with, Abstraction,
@@ -23,7 +32,7 @@ use reflex::verify::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]]\n\n  --jobs N   prove on N worker threads (0: one per CPU; default 1)\n  --stats    print prover counters (paths, caches, solver, per-property timing)"
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\n  --jobs N         prove/soak on N worker threads (0: one per CPU)\n  --stats          print prover counters (paths, caches, solver, timing)\n  --faults SPEC    deterministic fault plan: `none`, `random:RATE`, or\n                   `STEP:OP;...` with OP in callfail[*N] timeout[*N]\n                   crash[=K] drop[=K] dup[=K] reorder[=K]\n  --supervise      run under the supervisor (retry, restart, rollback);\n                   implied by --faults\n  --monitor        re-check certificates online (implies --supervise)\n  --fault-rate X   per-exchange fault probability for `rx soak` (default 0.01)\n  --incident-dir D write per-kernel incident logs into D"
     );
     ExitCode::from(2)
 }
@@ -53,14 +62,13 @@ fn main() -> ExitCode {
         ("falsify", [file, prop]) => cmd_falsify(file, prop),
         ("explain", [file, prop]) => cmd_explain(file, prop),
         ("show", [file]) => cmd_show(file),
-        ("run", [file]) => cmd_run(file, 64, 0),
-        ("run", [file, steps]) => match steps.parse() {
-            Ok(n) => cmd_run(file, n, 0),
-            Err(_) => return usage(),
+        ("run", _) => match parse_run_args(rest) {
+            Some(opts) => cmd_run(opts),
+            None => return usage(),
         },
-        ("run", [file, steps, seed]) => match (steps.parse(), seed.parse()) {
-            (Ok(n), Ok(s)) => cmd_run(file, n, s),
-            _ => return usage(),
+        ("soak", _) => match parse_soak_args(rest) {
+            Some(opts) => cmd_soak(opts),
+            None => return usage(),
         },
         _ => return usage(),
     };
@@ -214,15 +222,197 @@ fn cmd_show(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(file: &str, steps: usize, seed: u64) -> Result<(), String> {
-    let checked = load(file)?;
-    let mut kernel = Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), seed)
+/// Options of `rx run`.
+struct RunOpts {
+    file: String,
+    steps: usize,
+    seed: u64,
+    faults: Option<String>,
+    supervise: bool,
+    monitor: bool,
+}
+
+/// Parses `run` operands: `FILE [STEPS [SEED]]` plus `--faults SPEC`,
+/// `--supervise`, `--monitor` in any order.
+fn parse_run_args(rest: &[String]) -> Option<RunOpts> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut faults = None;
+    let mut supervise = false;
+    let mut monitor = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--faults" => faults = Some(it.next()?.clone()),
+            "--supervise" => supervise = true,
+            "--monitor" => monitor = true,
+            _ if arg.starts_with("--") => return None,
+            _ => positional.push(arg),
+        }
+    }
+    let (file, steps, seed) = match positional.as_slice() {
+        [file] => ((*file).clone(), 64, 0),
+        [file, steps] => ((*file).clone(), steps.parse().ok()?, 0),
+        [file, steps, seed] => ((*file).clone(), steps.parse().ok()?, seed.parse().ok()?),
+        _ => return None,
+    };
+    Some(RunOpts {
+        file,
+        steps,
+        seed,
+        supervise: supervise || monitor || faults.is_some(),
+        faults,
+        monitor,
+    })
+}
+
+fn cmd_run(opts: RunOpts) -> Result<(), String> {
+    let checked = load(&opts.file)?;
+    if opts.supervise {
+        return cmd_run_supervised(&opts, &checked);
+    }
+    let mut kernel = Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), opts.seed)
         .map_err(|e| e.to_string())?;
-    let n = kernel.run(steps).map_err(|e| e.to_string())?;
+    let n = kernel.run(opts.steps).map_err(|e| e.to_string())?;
     println!("ran init + {n} exchange(s); trace:");
     print!("{}", kernel.trace());
     reflex::runtime::oracle::check_trace_inclusion(&checked, kernel.trace())
         .map_err(|e| e.to_string())?;
     println!("trace ⊆ BehAbs ✓");
     Ok(())
+}
+
+/// `rx run --faults/--supervise/--monitor`: drive the kernel with the
+/// soak workload under the supervised runtime.
+fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), String> {
+    let spec = opts.faults.as_deref().unwrap_or("none");
+    let plan = FaultPlan::parse(spec, opts.seed).map_err(|e| format!("--faults: {e}"))?;
+    let cfg = SoakConfig {
+        steps: opts.steps,
+        seed: opts.seed,
+        monitor: opts.monitor,
+        world_fault_rate: 0.0,
+        ..SoakConfig::default()
+    };
+    let outcome = soak_program_with_plan(&opts.file, checked, &cfg, 0, Some(plan));
+    println!(
+        "supervised run of {}: {} exchange(s), {} injected message(s), trace length {}",
+        opts.file, outcome.steps, outcome.injected, outcome.trace_len
+    );
+    if outcome.incidents > 0 {
+        println!("incidents ({}):", outcome.incidents);
+        print!("{}", outcome.incident_log);
+    } else {
+        println!("incidents: none");
+    }
+    if opts.monitor && outcome.failure.is_none() {
+        println!("monitor: no certificate violations ✓");
+    }
+    if let Some(f) = &outcome.failure {
+        return Err(f.clone());
+    }
+    if outcome.unrecovered > 0 {
+        return Err(format!(
+            "{} component(s) still crashed after cooldown",
+            outcome.unrecovered
+        ));
+    }
+    Ok(())
+}
+
+/// Options of `rx soak`.
+struct SoakOpts {
+    cfg: SoakConfig,
+    kernel: Option<String>,
+    json: bool,
+    incident_dir: Option<String>,
+}
+
+fn parse_soak_args(rest: &[String]) -> Option<SoakOpts> {
+    let mut cfg = SoakConfig::default();
+    let mut kernel = None;
+    let mut json = false;
+    let mut incident_dir = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--steps" => cfg.steps = it.next()?.parse().ok()?,
+            "--seed" => cfg.seed = it.next()?.parse().ok()?,
+            "--jobs" => cfg.jobs = it.next()?.parse().ok()?,
+            "--fault-rate" => cfg.fault_rate = it.next()?.parse().ok()?,
+            "--no-monitor" => cfg.monitor = false,
+            "--kernel" => kernel = Some(it.next()?.clone()),
+            "--json" => json = true,
+            "--incident-dir" => incident_dir = Some(it.next()?.clone()),
+            _ => return None,
+        }
+    }
+    Some(SoakOpts {
+        cfg,
+        kernel,
+        json,
+        incident_dir,
+    })
+}
+
+fn cmd_soak(opts: SoakOpts) -> Result<(), String> {
+    let outcomes: Vec<SoakOutcome> = if let Some(name) = &opts.kernel {
+        let benches = reflex::kernels::all_benchmarks();
+        let (index, bench) = benches
+            .iter()
+            .enumerate()
+            .find(|(_, b)| b.name == *name)
+            .ok_or_else(|| format!("no bundled kernel named `{name}`"))?;
+        vec![reflex::bench::soak::soak_kernel(bench, &opts.cfg, index)]
+    } else if opts.json {
+        let bench = run_soak_bench(&opts.cfg);
+        let doc = render_soak_json(&bench);
+        std::fs::write("BENCH_soak.json", &doc).map_err(|e| format!("BENCH_soak.json: {e}"))?;
+        println!(
+            "with monitor {:.1} steps/s, without {:.1} steps/s (overhead {:.2}x) -> wrote BENCH_soak.json",
+            bench.monitored_throughput(),
+            bench.unmonitored_throughput(),
+            if bench.unmonitored_ms > 0.0 {
+                bench.monitored_ms / bench.unmonitored_ms
+            } else {
+                0.0
+            }
+        );
+        bench.monitored
+    } else {
+        run_soak(&opts.cfg)
+    };
+    print!("{}", render_soak(&outcomes));
+    if let Some(dir) = &opts.incident_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for o in &outcomes {
+            let path = format!("{dir}/{}.log", o.kernel);
+            std::fs::write(&path, &o.incident_log).map_err(|e| format!("{path}: {e}"))?;
+        }
+        println!("incident logs written to {dir}/");
+    }
+    let bad: Vec<&SoakOutcome> = outcomes
+        .iter()
+        .filter(|o| o.failure.is_some() || o.unrecovered > 0)
+        .collect();
+    if bad.is_empty() {
+        println!(
+            "soak ok: {} kernel(s), {} exchange(s) total, all faults recovered{}",
+            outcomes.len(),
+            outcomes.iter().map(|o| o.steps).sum::<usize>(),
+            if opts.cfg.monitor {
+                ", no certificate violations"
+            } else {
+                " (monitor off)"
+            }
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "soak failed for {}",
+            bad.iter()
+                .map(|o| o.kernel.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    }
 }

@@ -20,6 +20,8 @@
 //!   a `BehAbs` trace-inclusion oracle.
 //! * [`kernels`] — the paper's benchmark kernels (car, ssh, ssh2,
 //!   browser 1–3, webserver) and their 41 properties.
+//! * [`bench`] — the evaluation harness (Figure 6, Table 1, ablation) and
+//!   the supervised-runtime soak suite.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub use reflex_ast as ast;
+pub use reflex_bench as bench;
 pub use reflex_kernels as kernels;
 pub use reflex_parser as parser;
 pub use reflex_runtime as runtime;

@@ -113,3 +113,80 @@ fn parse_errors_carry_positions() {
     assert!(!ok);
     assert!(stderr.contains("parse error at 3:"), "{stderr}");
 }
+
+#[test]
+fn run_supervised_with_faults_reports_incidents_and_monitor_verdict() {
+    let (ok, stdout, stderr) = rx(&[
+        "run",
+        &kernel("car"),
+        "40",
+        "3",
+        "--faults",
+        "10:crash",
+        "--monitor",
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("supervised run"), "{stdout}");
+    assert!(stdout.contains("comp-crashed"), "{stdout}");
+    assert!(stdout.contains("comp-restarted"), "{stdout}");
+    assert!(
+        stdout.contains("monitor: no certificate violations ✓"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn run_supervised_without_faults_is_clean() {
+    let (ok, stdout, _) = rx(&["run", &kernel("ssh"), "20", "--supervise"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("incidents: none"), "{stdout}");
+}
+
+#[test]
+fn run_rejects_a_malformed_fault_spec() {
+    let (ok, _, stderr) = rx(&["run", &kernel("car"), "10", "--faults", "5:explode"]);
+    assert!(!ok);
+    assert!(stderr.contains("--faults"), "{stderr}");
+}
+
+#[test]
+fn soak_runs_the_suite_and_writes_incident_logs() {
+    let dir = std::env::temp_dir().join("rx-cli-test-soak");
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf8");
+    let (ok, stdout, stderr) = rx(&[
+        "soak",
+        "--steps",
+        "120",
+        "--seed",
+        "1",
+        "--jobs",
+        "2",
+        "--incident-dir",
+        dir_s,
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stdout.contains("soak ok: 7 kernel(s)"), "{stdout}");
+    for k in [
+        "car",
+        "browser",
+        "browser2",
+        "browser3",
+        "ssh",
+        "ssh2",
+        "webserver",
+    ] {
+        assert!(dir.join(format!("{k}.log")).is_file(), "missing {k}.log");
+    }
+}
+
+#[test]
+fn soak_single_kernel_row() {
+    let (ok, stdout, _) = rx(&["soak", "--kernel", "webserver", "--steps", "80"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("webserver"), "{stdout}");
+    assert!(stdout.contains("soak ok: 1 kernel(s)"), "{stdout}");
+    let (ok, _, stderr) = rx(&["soak", "--kernel", "nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("nope"), "{stderr}");
+}
