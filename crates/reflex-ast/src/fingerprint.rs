@@ -1,0 +1,272 @@
+//! Stable, canonical content fingerprints for program parts.
+//!
+//! The incremental verification pipeline keys proof artifacts by *what the
+//! proof consulted*: the declaration group (components, messages, state,
+//! init), individual `(component type, message type)` handlers, and
+//! individual properties. Each part is fingerprinted by hashing its
+//! **canonical rendering** — the pretty-printer output that the parser
+//! round-trips — so whitespace, comments and other formatting-irrelevant
+//! edits never invalidate a fingerprint, while any structural change does.
+//!
+//! The hash is FNV-1a (64-bit), implemented here rather than via
+//! [`std::collections::hash_map::DefaultHasher`] because fingerprints are
+//! persisted across processes and releases: `DefaultHasher`'s algorithm is
+//! explicitly unspecified and may change between Rust versions, while
+//! FNV-1a is fixed forever (and plenty for content addressing — these are
+//! cache keys, not security boundaries; the certificate checker, not the
+//! fingerprint, is what soundness rests on).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::program::Program;
+
+/// A 64-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fp(pub u64);
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Incremental FNV-1a (64-bit) hasher over byte strings.
+#[derive(Debug, Clone)]
+pub struct FpHasher(u64);
+
+impl FpHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a fresh hash.
+    pub fn new() -> FpHasher {
+        FpHasher(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorbs a string, terminated so adjacent fields cannot alias
+    /// (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(&self) -> Fp {
+        Fp(self.0)
+    }
+}
+
+impl Default for FpHasher {
+    fn default() -> Self {
+        FpHasher::new()
+    }
+}
+
+/// Fingerprints a single string.
+pub fn fp_str(s: &str) -> Fp {
+    let mut h = FpHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// The canonical fingerprints of one program, computed once (typically at
+/// type-check time) and consulted by the incremental planner and the proof
+/// store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramFingerprints {
+    /// Fingerprint of the declaration group: components, messages, state
+    /// variables and the init section. These jointly shape the induction's
+    /// case split and base cases, so every proof depends on them.
+    pub decls: Fp,
+    /// One fingerprint per `(component type, message type)` exchange case —
+    /// *every* pair, with implicit (`Nop`) handlers fingerprinted as such,
+    /// mirroring [`Program::exchange_cases`].
+    pub handlers: BTreeMap<(String, String), Fp>,
+    /// One fingerprint per property, by name.
+    pub properties: BTreeMap<String, Fp>,
+    /// Fingerprint of the verified subject as a whole: declarations plus
+    /// all handlers (properties excluded, so editing one property does not
+    /// invalidate proof-store entries for the others).
+    pub program: Fp,
+}
+
+impl ProgramFingerprints {
+    /// Computes the fingerprints of `program`.
+    pub fn compute(program: &Program) -> ProgramFingerprints {
+        let decls = decl_group_fp(program);
+        let mut handlers = BTreeMap::new();
+        for case in program.exchange_cases() {
+            handlers.insert(
+                (case.ctype.to_owned(), case.msg.to_owned()),
+                handler_fp(program, case.ctype, case.msg),
+            );
+        }
+        let mut properties = BTreeMap::new();
+        for prop in &program.properties {
+            properties.insert(prop.name.clone(), fp_str(&prop.to_string()));
+        }
+        let mut h = FpHasher::new();
+        h.write_str("program");
+        h.write(&decls.0.to_le_bytes());
+        for ((ctype, msg), fp) in &handlers {
+            h.write_str(ctype);
+            h.write_str(msg);
+            h.write(&fp.0.to_le_bytes());
+        }
+        ProgramFingerprints {
+            decls,
+            handlers,
+            properties,
+            program: h.finish(),
+        }
+    }
+
+    /// The fingerprint of the `(ctype, msg)` handler case, if the pair is
+    /// declared.
+    pub fn handler(&self, ctype: &str, msg: &str) -> Option<Fp> {
+        self.handlers
+            .get(&(ctype.to_owned(), msg.to_owned()))
+            .copied()
+    }
+
+    /// The fingerprint of the named property, if declared.
+    pub fn property(&self, name: &str) -> Option<Fp> {
+        self.properties.get(name).copied()
+    }
+}
+
+/// Fingerprints the declaration group of `program`.
+pub fn decl_group_fp(program: &Program) -> Fp {
+    let mut h = FpHasher::new();
+    h.write_str("decls");
+    for c in &program.components {
+        h.write_str("component");
+        h.write_str(&c.name);
+        h.write_str(&c.exe);
+        for (field, ty) in &c.config {
+            h.write_str(field);
+            h.write_str(&ty.to_string());
+        }
+    }
+    for m in &program.messages {
+        h.write_str("message");
+        h.write_str(&m.name);
+        for ty in &m.payload {
+            h.write_str(&ty.to_string());
+        }
+    }
+    for v in &program.state {
+        h.write_str("state");
+        h.write_str(&v.name);
+        h.write_str(&v.ty.to_string());
+        match &v.init {
+            Some(e) => h.write_str(&e.to_string()),
+            None => h.write_str("<none>"),
+        }
+    }
+    h.write_str("init");
+    h.write_str(&program.init.to_string());
+    h.finish()
+}
+
+/// Fingerprints the `(ctype, msg)` handler case of `program`.
+///
+/// Implicit (undeclared) handlers fingerprint as a distinguished `Nop`
+/// rendering: adding an explicit handler to a pair, or removing one,
+/// changes the pair's fingerprint, while edits to unrelated handlers never
+/// do.
+pub fn handler_fp(program: &Program, ctype: &str, msg: &str) -> Fp {
+    let mut h = FpHasher::new();
+    h.write_str("handler");
+    h.write_str(ctype);
+    h.write_str(msg);
+    match program.handler(ctype, msg) {
+        Some(decl) => {
+            h.write_str("explicit");
+            for p in &decl.params {
+                h.write_str(p);
+            }
+            h.write_str(&decl.body.to_string());
+        }
+        None => h.write_str("implicit"),
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::{Expr, Ty};
+
+    fn sample() -> Program {
+        ProgramBuilder::new("fp")
+            .component("A", "a.py", [("id", Ty::Num)])
+            .message("M", [Ty::Str])
+            .state("x", Ty::Num, Expr::lit(0i64))
+            .init_spawn("a0", "A", [Expr::lit(1i64)])
+            .handler("A", "M", ["s"], |h| {
+                h.assign("x", Expr::var("x").add(Expr::lit(1i64)));
+            })
+            .finish()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_computations() {
+        let p = sample();
+        assert_eq!(
+            ProgramFingerprints::compute(&p),
+            ProgramFingerprints::compute(&p)
+        );
+    }
+
+    #[test]
+    fn handler_edit_changes_only_that_handler() {
+        let p = sample();
+        let fps = ProgramFingerprints::compute(&p);
+        let mut q = p.clone();
+        q.handlers[0].body = crate::Cmd::Nop;
+        let qfps = ProgramFingerprints::compute(&q);
+        assert_eq!(fps.decls, qfps.decls);
+        assert_ne!(fps.handler("A", "M"), qfps.handler("A", "M"));
+        assert_ne!(fps.program, qfps.program);
+    }
+
+    #[test]
+    fn decl_edit_changes_decl_group() {
+        let p = sample();
+        let fps = ProgramFingerprints::compute(&p);
+        let mut q = p.clone();
+        q.state[0].init = Some(Expr::lit(7i64));
+        let qfps = ProgramFingerprints::compute(&q);
+        assert_ne!(fps.decls, qfps.decls);
+        assert_eq!(fps.handler("A", "M"), qfps.handler("A", "M"));
+    }
+
+    #[test]
+    fn implicit_and_explicit_nop_handlers_differ() {
+        let p = sample();
+        let mut q = p.clone();
+        q.handlers.clear();
+        assert_ne!(handler_fp(&p, "A", "M"), handler_fp(&q, "A", "M"));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Standard FNV-1a test vector: the empty string hashes to the
+        // offset basis; "a" to the published constant.
+        assert_eq!(FpHasher::new().finish(), Fp(0xcbf2_9ce4_8422_2325));
+        let mut h = FpHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), Fp(0xaf63_dc4c_8601_ec8c));
+    }
+}

@@ -47,6 +47,7 @@ pub mod build;
 mod cmd;
 mod display;
 mod expr;
+pub mod fingerprint;
 mod pattern;
 mod program;
 mod prop;
@@ -54,6 +55,7 @@ mod value;
 
 pub use cmd::Cmd;
 pub use expr::{BinOp, Expr, UnOp};
+pub use fingerprint::{Fp, ProgramFingerprints};
 pub use pattern::{ActionPat, CompPat, PatField};
 pub use program::{CompTypeDecl, Handler, MsgDecl, Program, StateVarDecl};
 pub use prop::{NiSpec, PropBody, PropertyDecl, TraceProp, TracePropKind};

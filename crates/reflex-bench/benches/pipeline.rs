@@ -98,7 +98,8 @@ fn incremental_reverification(c: &mut Criterion) {
     });
     group.bench_function("certificate_reuse", |b| {
         b.iter(|| {
-            let report = reflex_verify::reverify(&old, &previous, &new, &options);
+            let report =
+                reflex_verify::reverify(&previous, &new, &options).expect("well-formed previous");
             assert!(report.outcomes.iter().all(|(_, o)| o.is_proved()));
             assert!(!report.reused.is_empty());
             report.outcomes.len()

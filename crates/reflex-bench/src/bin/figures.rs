@@ -7,6 +7,7 @@
 //! cargo run -p reflex-bench --release --bin figures -- table1
 //! cargo run -p reflex-bench --release --bin figures -- ablation
 //! cargo run -p reflex-bench --release --bin figures -- utility
+//! cargo run -p reflex-bench --release --bin figures -- incr --json  # + BENCH_incr.json
 //! ```
 //!
 //! `fig6 --json` additionally measures the full suite serial (no shared
@@ -65,9 +66,29 @@ fn main() {
         println!("== §6.3 utility: seeded bugs caught by pushbutton re-verification ==\n");
         println!("{}", render_utility(&run_utility()));
     }
-    if !all && !["table1", "fig6", "ablation", "scaling", "utility"].contains(&what.as_str()) {
+    if all || what == "incr" {
+        println!(
+            "== Incremental verification: scripted 20-edit replay through the proof store ==\n"
+        );
+        let bench = reflex_bench::incr::run_incr(&ProverOptions::default(), 1);
+        println!("{}", reflex_bench::incr::render_incr(&bench));
+        if json {
+            let doc = reflex_bench::incr::render_incr_json(&bench);
+            let path = "BENCH_incr.json";
+            std::fs::write(path, &doc).expect("write BENCH_incr.json");
+            println!(
+                "reuse {:.0}%, warm {:.1} ms vs cold {:.1} ms -> wrote {path}",
+                bench.reuse_ratio * 100.0,
+                bench.warm_total_ms,
+                bench.cold_total_ms
+            );
+        }
+    }
+    if !all
+        && !["table1", "fig6", "ablation", "scaling", "utility", "incr"].contains(&what.as_str())
+    {
         eprintln!(
-            "unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | all)"
+            "unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | incr | all)"
         );
         std::process::exit(2);
     }

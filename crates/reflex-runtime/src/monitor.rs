@@ -207,8 +207,7 @@ properties {
     #[test]
     fn monitor_flags_a_forged_send_with_its_index() {
         let checked = echo_program();
-        let interp =
-            Interpreter::new(&checked, registry(), Box::new(EmptyWorld), 7).expect("boot");
+        let interp = Interpreter::new(&checked, registry(), Box::new(EmptyWorld), 7).expect("boot");
         let mut monitor = Monitor::new(&checked);
         monitor.observe(interp.trace()).expect("init observed");
         let echo = interp.components_of("Echo")[0].clone();

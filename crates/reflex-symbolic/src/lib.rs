@@ -60,6 +60,8 @@ pub use action::{binding_literal, unify_action, SymAction, SymBindings, Unify};
 pub use comp::{CompOrigin, SymComp};
 pub use eval::{CondKind, Evaluator, Exchange, MissedLookup, Path, SymState};
 pub use intern::{intern_stats, InternStats, TermRef};
-pub use memo::{entailment_memo_stats, reset_entailment_memo_stats, EntailmentMemoStats};
+pub use memo::{
+    clear_entailment_memo, entailment_memo_stats, reset_entailment_memo_stats, EntailmentMemoStats,
+};
 pub use solver::Solver;
 pub use term::{SymCtx, SymKind, SymVar, Term};

@@ -107,6 +107,18 @@ pub fn reset_entailment_memo_stats() {
     HITS.store(0, Ordering::Relaxed);
 }
 
+/// Drops every cached answer (the counters are kept).
+///
+/// Answers are pure functions of their keys, so clearing can never change
+/// a result — only make the next query recompute it. Benchmarks use this
+/// to simulate a fresh process (e.g. a cold `rx verify` run, as opposed to
+/// a long-lived `rx watch` session whose memo stays warm).
+pub fn clear_entailment_memo() {
+    for shard in &table().shards {
+        shard.lock().expect("memo shard poisoned").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

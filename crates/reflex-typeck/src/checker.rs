@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use reflex_ast::{BinOp, Cmd, Expr, Handler, Program, Ty, UnOp, Value};
+use reflex_ast::{BinOp, Cmd, Expr, Fp, Handler, Program, ProgramFingerprints, Ty, UnOp, Value};
 
 use crate::error::TypeError;
 
@@ -54,12 +54,35 @@ pub type Scope = BTreeMap<String, VarInfo>;
 pub struct CheckedProgram {
     program: Program,
     globals: Scope,
+    fingerprints: ProgramFingerprints,
 }
 
 impl CheckedProgram {
     /// The underlying program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The program's canonical content fingerprints (declaration group,
+    /// per-case handlers, properties), computed once at check time for the
+    /// incremental verification pipeline.
+    pub fn fingerprints(&self) -> &ProgramFingerprints {
+        &self.fingerprints
+    }
+
+    /// The fingerprint of the `(ctype, msg)` handler case, if declared.
+    pub fn handler_fp(&self, ctype: &str, msg: &str) -> Option<Fp> {
+        self.fingerprints.handler(ctype, msg)
+    }
+
+    /// The fingerprint of the named property, if declared.
+    pub fn property_fp(&self, name: &str) -> Option<Fp> {
+        self.fingerprints.property(name)
+    }
+
+    /// The fingerprint of the verified subject (declarations + handlers).
+    pub fn program_fp(&self) -> Fp {
+        self.fingerprints.program
     }
 
     /// The global scope: state variables and init spawn binders.
@@ -129,6 +152,7 @@ pub fn check(program: &Program) -> Result<CheckedProgram, TypeError> {
     Ok(CheckedProgram {
         program: program.clone(),
         globals,
+        fingerprints: ProgramFingerprints::compute(program),
     })
 }
 

@@ -72,6 +72,26 @@ impl<'p> Abstraction<'p> {
         self.checked
     }
 
+    /// A canonical fingerprint of the per-world interval range assumptions.
+    ///
+    /// The range assumptions are derived from *every* exchange path, so an
+    /// edit anywhere in the program may strengthen or weaken the solver
+    /// context of every inductive case. Certificates record this
+    /// fingerprint in their dependency set; the planner refuses any reuse
+    /// when it changes (see [`crate::certificate::DepSet`]).
+    pub fn ranges_fp(&self) -> reflex_ast::Fp {
+        let mut h = reflex_ast::fingerprint::FpHasher::new();
+        h.write_str("ranges");
+        for world in &self.worlds {
+            h.write_str("world");
+            for (term, pol) in &world.range_assumptions {
+                h.write_str(&term.to_string());
+                h.write(&[u8::from(*pol)]);
+            }
+        }
+        h.finish()
+    }
+
     /// Total number of symbolic paths across all worlds and cases (a
     /// proof-effort measure reported by the benches).
     pub fn path_count(&self) -> usize {

@@ -10,9 +10,123 @@
 
 use std::fmt;
 
+use reflex_ast::fingerprint::{Fp, FpHasher};
 use reflex_ast::{ActionPat, Ty};
+use reflex_typeck::CheckedProgram;
 
 use crate::canon::Guard;
+
+/// The dependency set of a certificate: the canonical fingerprints of
+/// everything its induction actually consulted.
+///
+/// Recorded at prove time (against the program the proof ran over), the
+/// dependency set lets the incremental planner decide — given only the
+/// previous certificates and the *new* program — whether a certificate can
+/// be reused wholesale, patched per-case, or must be re-proved. It
+/// supersedes the old `certificate_is_local` heuristic: instead of a
+/// yes/no "is this reusable at all", each certificate carries exactly which
+/// handler cases its proof depends on and how.
+///
+/// The dependency set is an *untrusted* planning artifact, like the rest of
+/// the certificate: every reused certificate is still re-validated by
+/// [`crate::check_certificate`] against the new program, so a wrong or
+/// stale dependency set can cost a missed reuse or a failed check — never a
+/// wrong "Proved".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DepSet {
+    /// Fingerprint of the declaration group (components, messages, state,
+    /// init). Declarations shape the case split, the base cases and the
+    /// pre-state, so every proof depends on them.
+    pub decls: Fp,
+    /// Fingerprint of the property statement being certified.
+    pub property: Fp,
+    /// Fingerprint of the abstraction's interval range assumptions, which
+    /// are derived from *all* exchange paths and injected into every
+    /// inductive-step solver context. If they change, per-case
+    /// justifications may be re-derived differently even in untouched
+    /// handlers, so any reuse must re-prove.
+    pub ranges: Fp,
+    /// The `(ctype, msg, fingerprint)` of every handler case whose symbolic
+    /// paths the proof analyzed. For certificates with auxiliary invariants
+    /// or lemmas — and for NI certificates — this is *every* case, recorded
+    /// explicitly (those arguments quantify over all handlers).
+    pub handlers: Vec<(String, String, Fp)>,
+    /// Handler cases the proof discharged purely syntactically (the §6.4
+    /// skip: the handler cannot emit an action unifiable with the trigger).
+    /// These cases are reusable under *any* edit that preserves the
+    /// syntactic impossibility; the planner re-runs the syntactic check
+    /// against the new program instead of comparing fingerprints.
+    pub syntactic_only: Vec<(String, String)>,
+}
+
+impl DepSet {
+    /// Computes the dependency set of `cert`, proved over `checked` with
+    /// range-assumption fingerprint `ranges`.
+    pub fn compute(checked: &CheckedProgram, ranges: Fp, cert: &Certificate) -> DepSet {
+        let fps = checked.fingerprints();
+        let property = fps.property(cert.property()).unwrap_or_default();
+        let mut tracked = std::collections::BTreeSet::new();
+        let mut syntactic = std::collections::BTreeSet::new();
+        match cert {
+            Certificate::Trace(t) if t.invariants.is_empty() && t.lemmas.is_empty() => {
+                for case in &t.cases {
+                    let key = (case.ctype.clone(), case.msg.clone());
+                    if case.skipped {
+                        syntactic.insert(key);
+                    } else {
+                        tracked.insert(key);
+                    }
+                }
+                // A case skipped in one world but analyzed in another (not
+                // possible today — the skip is world-independent — but cheap
+                // to guard) counts as analyzed.
+                for key in &tracked {
+                    syntactic.remove(key);
+                }
+            }
+            // Invariants, lemmas and the NI conditions quantify over every
+            // handler: record them all as fingerprint-tracked.
+            _ => {
+                for (ctype, msg) in fps.handlers.keys() {
+                    tracked.insert((ctype.clone(), msg.clone()));
+                }
+            }
+        }
+        let handlers = tracked
+            .into_iter()
+            .map(|(ctype, msg)| {
+                let fp = fps.handler(&ctype, &msg).unwrap_or_default();
+                (ctype, msg, fp)
+            })
+            .collect();
+        DepSet {
+            decls: fps.decls,
+            property,
+            ranges,
+            handlers,
+            syntactic_only: syntactic.into_iter().collect(),
+        }
+    }
+
+    /// A combined fingerprint of the whole dependency set (used by the
+    /// proof store's integrity line in diagnostics).
+    pub fn digest(&self) -> Fp {
+        let mut h = FpHasher::new();
+        h.write(&self.decls.0.to_le_bytes());
+        h.write(&self.property.0.to_le_bytes());
+        h.write(&self.ranges.0.to_le_bytes());
+        for (c, m, fp) in &self.handlers {
+            h.write_str(c);
+            h.write_str(m);
+            h.write(&fp.0.to_le_bytes());
+        }
+        for (c, m) in &self.syntactic_only {
+            h.write_str(c);
+            h.write_str(m);
+        }
+        h.finish()
+    }
+}
 
 /// How one trigger obligation is discharged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -215,6 +329,11 @@ pub struct TraceCert {
     pub invariants: Vec<InvariantCert>,
     /// Auxiliary `Enables` lemmas referenced by [`Justification::ViaCompOrigin`].
     pub lemmas: Vec<LemmaCert>,
+    /// What the proof consulted (empty for nested lemma certificates —
+    /// dependency tracking applies to top-level certificates, and a lemma's
+    /// dependencies are subsumed by its parent's, which records all
+    /// handlers whenever lemmas exist).
+    pub deps: DepSet,
 }
 
 /// An auxiliary trace lemma: `∀ vars, [a] Enables [Spawn(b)]` with its own
@@ -259,6 +378,9 @@ pub struct NiCert {
     pub property: String,
     /// Per-case summaries.
     pub cases: Vec<NiCaseCert>,
+    /// What the proof consulted: always every handler (the NIlo/NIhi
+    /// conditions are checked case by case over all of them).
+    pub deps: DepSet,
 }
 
 /// A proof certificate for one property.
@@ -276,6 +398,23 @@ impl Certificate {
         match self {
             Certificate::Trace(c) => &c.property,
             Certificate::NonInterference(c) => &c.property,
+        }
+    }
+
+    /// The certificate's dependency set.
+    pub fn deps(&self) -> &DepSet {
+        match self {
+            Certificate::Trace(c) => &c.deps,
+            Certificate::NonInterference(c) => &c.deps,
+        }
+    }
+
+    /// Replaces the certificate's dependency set (done once, by the
+    /// top-level prover entry points, after the proof search returns).
+    pub fn set_deps(&mut self, deps: DepSet) {
+        match self {
+            Certificate::Trace(c) => c.deps = deps,
+            Certificate::NonInterference(c) => c.deps = deps,
         }
     }
 

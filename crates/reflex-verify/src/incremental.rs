@@ -1,32 +1,41 @@
-//! Incremental re-verification — the future work flagged in the paper's
-//! §6.4: "Future work can explore incremental verification in order to
-//! further reduce the time required for re-verification."
+//! Dependency-driven incremental re-verification — the future work flagged
+//! in the paper's §6.4: "Future work can explore incremental verification
+//! in order to further reduce the time required for re-verification."
 //!
-//! After an edit, a property's previous certificate can be **reused**
-//! without any re-proving when the edit provably cannot affect its
-//! induction:
+//! Every certificate records a [`DepSet`]: the canonical fingerprints of
+//! the declaration group, the property, the abstraction's range
+//! assumptions, and each handler case its induction consulted (plus the
+//! cases it discharged purely syntactically). The planner here compares
+//! those recorded fingerprints against the *new* program's and sorts each
+//! property onto the **reuse ladder**:
 //!
-//! * the declarations (components, messages, state, init) are unchanged —
-//!   they shape the case split and base cases;
-//! * the property itself is unchanged;
-//! * the certificate is *local* — every obligation is discharged by
-//!   refutation, an in-exchange witness or a missed-lookup argument, with
-//!   no auxiliary invariants or lemmas (those quantify over *all*
-//!   handlers, so any handler edit can break them); and
-//! * every edited handler is one whose exchange can emit no action
-//!   unifiable with the property's trigger pattern (so the edited cases
-//!   carry no obligations).
+//! 1. **full reuse** — nothing the proof consulted changed: the previous
+//!    certificate is returned as-is (it is byte-identical to what a
+//!    from-scratch run would emit);
+//! 2. **per-case reuse** — only some handler cases changed and the
+//!    certificate is free of auxiliary invariants and lemmas (which
+//!    quantify over *all* handlers): the unchanged base and case proofs
+//!    are spliced and only the dirty cases re-proved
+//!    ([`crate::trace_prover`]'s partial entry point);
+//! 3. **re-prove** — anything else (declaration, property or
+//!    range-assumption changes, or invariant/lemma-bearing and NI
+//!    certificates with any dirty handler).
 //!
-//! Everything else is re-proved from scratch. The reuse decision is
-//! deliberately conservative: a reused outcome is exactly as trustworthy
-//! as the original run's, because the justifications of unchanged cases
-//! are facts about those cases alone.
+//! The planner is *untrusted*, like the proof search itself: a planning
+//! bug can cost a missed reuse or a certificate that fails the independent
+//! checker — never a wrong "Proved". Reused content is exactly as
+//! trustworthy as the original run's; certificates loaded from unreliable
+//! media (the on-disk proof store) are additionally re-validated through
+//! [`crate::check_certificate`] before being trusted at all.
 
-use reflex_ast::PropBody;
+use std::collections::{BTreeMap, BTreeSet};
+
+use reflex_ast::{Fp, PropBody};
 use reflex_typeck::CheckedProgram;
 
-use crate::certificate::{Certificate, Justification, NegPrior};
-use crate::options::{Outcome, ProverOptions};
+use crate::cache::ProofCache;
+use crate::certificate::{Certificate, DepSet};
+use crate::options::{Outcome, ProverOptions, VerifyError};
 use crate::shared::case_can_emit_match;
 use crate::Abstraction;
 
@@ -36,113 +45,333 @@ pub struct IncrementalReport {
     /// `(property, outcome)` in declaration order, as from
     /// [`crate::prove_all`].
     pub outcomes: Vec<(String, Outcome)>,
-    /// Properties whose previous certificates were reused.
+    /// Properties whose previous certificates were reused wholesale.
     pub reused: Vec<String>,
-    /// Properties that were re-proved.
+    /// Properties whose certificates were patched per-case: unchanged base
+    /// and exchange-case proofs spliced, dirty cases re-proved.
+    pub partial: Vec<String>,
+    /// Properties that were re-proved from scratch.
     pub reproved: Vec<String>,
 }
 
-/// Whether a certificate's every justification is local to its own
-/// exchange case (see module docs).
-fn certificate_is_local(cert: &Certificate) -> bool {
-    let Certificate::Trace(t) = cert else {
-        return false; // NI quantifies over every handler
-    };
-    if !t.invariants.is_empty() || !t.lemmas.is_empty() {
-        return false;
+impl IncrementalReport {
+    /// Properties served entirely or partially from previous proofs.
+    pub fn reuse_count(&self) -> usize {
+        self.reused.len() + self.partial.len()
     }
-    t.base
-        .iter()
-        .chain(t.cases.iter().flat_map(|c| c.paths.iter()))
-        .flat_map(|p| p.obligations.iter())
-        .all(|(_, just)| match just {
-            Justification::Refuted | Justification::Witness { .. } => true,
-            Justification::NoMatch { prior } => {
-                matches!(prior, NegPrior::EmptyTrace | NegPrior::MissedLookup { .. })
+}
+
+/// What the planner decided for one property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReusePlan {
+    /// Return the previous certificate unchanged.
+    Full,
+    /// Splice the previous certificate, re-proving only these
+    /// `(ctype, msg)` cases.
+    Partial {
+        /// The dirty exchange cases.
+        dirty: BTreeSet<(String, String)>,
+    },
+    /// Prove from scratch (also used when no previous certificate exists).
+    Reprove,
+}
+
+/// The dependency graph over a set of previous certificates: which
+/// properties consulted which handler cases, by fingerprint.
+///
+/// Built once per re-verification from the certificates' recorded
+/// [`DepSet`]s; [`DepGraph::plan`] maps the edit diff (expressed as the new
+/// program's fingerprints) to a [`ReusePlan`] per property.
+#[derive(Debug)]
+pub struct DepGraph<'c> {
+    /// Property name → its previous certificate.
+    certs: BTreeMap<&'c str, &'c Certificate>,
+    /// Handler case → properties whose proofs fingerprint-track it.
+    dependents: BTreeMap<(String, String), Vec<&'c str>>,
+}
+
+impl<'c> DepGraph<'c> {
+    /// Indexes `previous` by property name (one scan — the certificates
+    /// are consulted many times during planning).
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed inputs instead of panicking, so a bad slice can
+    /// never abort a long-running watch session:
+    /// [`VerifyError::DuplicateCertificate`] when a name appears twice,
+    /// [`VerifyError::CertificateMismatch`] when a pair's certificate was
+    /// issued for a different property than the name it is filed under.
+    pub fn build(previous: &'c [(String, Certificate)]) -> Result<DepGraph<'c>, VerifyError> {
+        let mut certs: BTreeMap<&str, &Certificate> = BTreeMap::new();
+        let mut dependents: BTreeMap<(String, String), Vec<&str>> = BTreeMap::new();
+        for (name, cert) in previous {
+            if cert.property() != name {
+                return Err(VerifyError::CertificateMismatch {
+                    name: name.clone(),
+                    certified: cert.property().to_owned(),
+                });
             }
-            Justification::Invariant { .. } | Justification::ViaCompOrigin { .. } => false,
-        })
-}
-
-/// Whether the non-handler parts of two programs agree.
-fn decls_unchanged(old: &reflex_ast::Program, new: &reflex_ast::Program) -> bool {
-    old.components == new.components
-        && old.messages == new.messages
-        && old.state == new.state
-        && old.init == new.init
-}
-
-/// The `(ctype, msg)` pairs whose handler differs between the programs
-/// (including added or removed handlers).
-fn changed_handlers(old: &reflex_ast::Program, new: &reflex_ast::Program) -> Vec<(String, String)> {
-    let mut changed = Vec::new();
-    for c in &new.components {
-        for m in &new.messages {
-            if old.handler(&c.name, &m.name) != new.handler(&c.name, &m.name) {
-                changed.push((c.name.clone(), m.name.clone()));
+            if certs.insert(name.as_str(), cert).is_some() {
+                return Err(VerifyError::DuplicateCertificate { name: name.clone() });
+            }
+            for (ctype, msg, _) in &cert.deps().handlers {
+                dependents
+                    .entry((ctype.clone(), msg.clone()))
+                    .or_default()
+                    .push(name.as_str());
             }
         }
+        Ok(DepGraph { certs, dependents })
     }
-    changed
+
+    /// The previous certificate for `property`, if any.
+    pub fn certificate(&self, property: &str) -> Option<&'c Certificate> {
+        self.certs.get(property).copied()
+    }
+
+    /// The properties whose proofs fingerprint-track the `(ctype, msg)`
+    /// handler case.
+    pub fn dependents_of(&self, ctype: &str, msg: &str) -> &[&'c str] {
+        self.dependents
+            .get(&(ctype.to_owned(), msg.to_owned()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Plans one property of `new` (whose abstraction has range-assumption
+    /// fingerprint `ranges`).
+    pub fn plan(&self, property: &str, new: &CheckedProgram, ranges: Fp) -> ReusePlan {
+        let Some(cert) = self.certificate(property) else {
+            return ReusePlan::Reprove;
+        };
+        let fps = new.fingerprints();
+        let deps = cert.deps();
+        // The declaration group shapes the case split and the base cases;
+        // the range assumptions feed every inductive solver context; the
+        // property is the statement itself. Any change invalidates every
+        // part of the proof.
+        if deps.decls != fps.decls
+            || Some(deps.property) != fps.property(property)
+            || deps.ranges != ranges
+        {
+            return ReusePlan::Reprove;
+        }
+        // Fingerprint-tracked cases: dirty where the handler changed.
+        let mut dirty: BTreeSet<(String, String)> = BTreeSet::new();
+        for (ctype, msg, fp) in &deps.handlers {
+            if fps.handler(ctype, msg) != Some(*fp) {
+                dirty.insert((ctype.clone(), msg.clone()));
+            }
+        }
+        // Syntactically-skipped cases: dirty only if the new handler could
+        // now emit an action unifiable with the trigger (the same check the
+        // independent checker re-runs to validate a skip).
+        let trigger = new
+            .program()
+            .property(property)
+            .and_then(|p| match &p.body {
+                PropBody::Trace(tp) => Some(tp.trigger()),
+                PropBody::NonInterference(_) => None,
+            });
+        for (ctype, msg) in &deps.syntactic_only {
+            let still_skippable = match trigger {
+                Some(pat) => !case_can_emit_match(new, ctype, msg, pat),
+                None => false,
+            };
+            if !still_skippable {
+                dirty.insert((ctype.clone(), msg.clone()));
+            }
+        }
+        if dirty.is_empty() {
+            return ReusePlan::Full;
+        }
+        // Per-case splicing is sound and deterministic only for
+        // certificates whose justifications are local to their own cases:
+        // auxiliary invariants and lemmas quantify over every handler, and
+        // the NI conditions are re-derived wholesale.
+        match cert {
+            Certificate::Trace(t) if t.invariants.is_empty() && t.lemmas.is_empty() => {
+                ReusePlan::Partial { dirty }
+            }
+            _ => ReusePlan::Reprove,
+        }
+    }
 }
 
-/// Re-verifies `new` given the previous program and its certificates.
+/// Re-verifies `new` given the certificates of a previous run.
 ///
 /// `previous` pairs property names with the certificates obtained from a
-/// successful [`crate::prove_all`] run over `old`.
+/// successful [`crate::prove_all`] (or earlier `reverify`) run under the
+/// *same* [`ProverOptions`]; mixing configurations is detected by the
+/// proof store but is the caller's responsibility here.
+///
+/// Outcomes are byte-identical to a from-scratch [`crate::prove_all`] over
+/// `new` — full reuse only triggers when everything the proof consulted is
+/// unchanged, and per-case splicing re-proves exactly the cases a scratch
+/// run would prove differently.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] when `previous` is malformed (duplicate or
+/// misfiled certificates); proof-search failures are reported per-property
+/// inside the report, never as errors.
 pub fn reverify(
-    old: &CheckedProgram,
     previous: &[(String, Certificate)],
     new: &CheckedProgram,
     options: &ProverOptions,
-) -> IncrementalReport {
-    let mut outcomes = Vec::new();
-    let mut reused = Vec::new();
-    let mut reproved = Vec::new();
+) -> Result<IncrementalReport, VerifyError> {
+    reverify_jobs(previous, new, options, 1)
+}
 
-    let structure_ok = decls_unchanged(old.program(), new.program());
-    let changed = changed_handlers(old.program(), new.program());
+/// [`reverify`] with the re-proving work fanned out over `jobs` worker
+/// threads (`0`: one per available CPU).
+///
+/// The parallel path schedules from the *same* dirty-set plan as the
+/// serial one and shares one [`ProofCache`], so outcomes, certificates and
+/// report classifications are byte-identical for every `jobs` value (the
+/// same guarantee [`crate::prove_all_parallel`] makes).
+pub fn reverify_jobs(
+    previous: &[(String, Certificate)],
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    jobs: usize,
+) -> Result<IncrementalReport, VerifyError> {
+    // In-memory certificates are exactly as trustworthy as the run that
+    // produced them, so reuse does not re-run the checker.
+    reverify_core(previous, new, options, jobs, false)
+}
 
-    // Build the abstraction lazily: only if something needs re-proving.
-    let mut abs: Option<Abstraction<'_>> = None;
+/// How a property's outcome was actually obtained (the plan, demoted to
+/// `Reproved` when validation rejects reused content).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Used {
+    Full,
+    Partial,
+    Reproved,
+}
 
-    for prop in &new.program().properties {
-        let reusable = structure_ok
-            && old.program().property(&prop.name) == Some(prop)
-            && previous.iter().any(|(name, cert)| {
-                if name != &prop.name {
-                    return false;
+/// The engine behind [`reverify_jobs`] and the proof store's
+/// [`crate::store::verify_with_store`].
+///
+/// With `validate` set, every outcome built from previous certificates
+/// (full reuse and per-case splices) must additionally pass
+/// [`crate::check_certificate`] against `new`; rejects fall back to a
+/// from-scratch re-prove. This is the trust boundary for certificates
+/// loaded from unreliable media: a corrupt or stale entry costs a re-prove,
+/// never a wrong "Proved".
+pub(crate) fn reverify_core(
+    previous: &[(String, Certificate)],
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    jobs: usize,
+    validate: bool,
+) -> Result<IncrementalReport, VerifyError> {
+    let graph = DepGraph::build(previous)?;
+    let abs = Abstraction::build(new, options);
+    let ranges = abs.ranges_fp();
+    let props = &new.program().properties;
+    let plans: Vec<(String, ReusePlan)> = props
+        .iter()
+        .map(|p| (p.name.clone(), graph.plan(&p.name, new, ranges)))
+        .collect();
+
+    let cache = ProofCache::new();
+    let shared = options.shared_cache.then_some(&cache);
+    let jobs = crate::options::resolve_jobs(jobs);
+
+    let reprove = |name: &str| -> Result<(Outcome, Used), VerifyError> {
+        Ok((
+            crate::prove_with_cache(&abs, name, options, shared)?,
+            Used::Reproved,
+        ))
+    };
+    let execute = |name: &str, plan: &ReusePlan| -> Result<(Outcome, Used), VerifyError> {
+        match plan {
+            ReusePlan::Full => {
+                let cert = graph
+                    .certificate(name)
+                    .expect("plan is Full only when a certificate exists");
+                if validate && crate::check_certificate_with(&abs, cert, options).is_err() {
+                    return reprove(name);
                 }
-                if !certificate_is_local(cert) {
-                    return false;
-                }
-                let PropBody::Trace(tp) = &prop.body else {
-                    return false;
+                Ok((Outcome::Proved(cert.clone()), Used::Full))
+            }
+            ReusePlan::Partial { dirty } => {
+                let prop = new
+                    .program()
+                    .property(name)
+                    .expect("planned properties come from the program");
+                let (PropBody::Trace(tp), Some(Certificate::Trace(prior))) =
+                    (&prop.body, graph.certificate(name))
+                else {
+                    unreachable!("plan is Partial only for trace certificates");
                 };
-                changed
-                    .iter()
-                    .all(|(ctype, msg)| !case_can_emit_match(new, ctype, msg, tp.trigger()))
-            });
-        if reusable {
-            let cert = previous
-                .iter()
-                .find(|(name, _)| name == &prop.name)
-                .map(|(_, c)| c.clone())
-                .expect("checked above");
-            reused.push(prop.name.clone());
-            outcomes.push((prop.name.clone(), Outcome::Proved(cert)));
-            continue;
+                let mut outcome = crate::trace_prover::prove_trace_partial(
+                    &abs, options, prop, tp, shared, prior, dirty,
+                );
+                if let Outcome::Proved(cert) = &mut outcome {
+                    let deps = DepSet::compute(new, ranges, cert);
+                    cert.set_deps(deps);
+                }
+                if validate {
+                    if let Outcome::Proved(cert) = &outcome {
+                        if crate::check_certificate_with(&abs, cert, options).is_err() {
+                            return reprove(name);
+                        }
+                    }
+                }
+                Ok((outcome, Used::Partial))
+            }
+            ReusePlan::Reprove => reprove(name),
         }
-        let abs = abs.get_or_insert_with(|| Abstraction::build(new, options));
-        let outcome =
-            crate::prove_with(abs, &prop.name, options).expect("property exists by iteration");
-        reproved.push(prop.name.clone());
-        outcomes.push((prop.name.clone(), outcome));
-    }
+    };
 
-    IncrementalReport {
+    let executed: Vec<Result<(Outcome, Used), VerifyError>> = if jobs > 1 && plans.len() > 1 {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::OnceLock;
+        let slots: Vec<OnceLock<Result<(Outcome, Used), VerifyError>>> =
+            (0..plans.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(plans.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((name, plan)) = plans.get(i) else {
+                        break;
+                    };
+                    let _ = slots[i].set(execute(name, plan));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every plan slot filled"))
+            .collect()
+    } else {
+        plans
+            .iter()
+            .map(|(name, plan)| execute(name, plan))
+            .collect()
+    };
+
+    let mut outcomes = Vec::with_capacity(plans.len());
+    let mut reused = Vec::new();
+    let mut partial = Vec::new();
+    let mut reproved = Vec::new();
+    for ((name, _), result) in plans.into_iter().zip(executed) {
+        let (outcome, used) = result?;
+        match used {
+            Used::Full => reused.push(name.clone()),
+            Used::Partial => partial.push(name.clone()),
+            Used::Reproved => reproved.push(name.clone()),
+        }
+        outcomes.push((name, outcome));
+    }
+    Ok(IncrementalReport {
         outcomes,
         reused,
+        partial,
         reproved,
-    }
+    })
 }

@@ -53,16 +53,20 @@ mod ni_prover;
 mod options;
 mod shared;
 mod stats;
+pub mod store;
 mod trace_prover;
+pub mod watch;
 
 pub use abstraction::{Abstraction, World};
 pub use cache::{CacheStats, ProofCache};
-pub use certificate::Certificate;
-pub use checker::{check_certificate, CheckError};
+pub use certificate::{Certificate, DepSet};
+pub use checker::{check_certificate, check_certificate_with, CheckError};
 pub use falsify::{falsify, Counterexample, FalsifyOptions};
-pub use incremental::{reverify, IncrementalReport};
+pub use incremental::{reverify, reverify_jobs, DepGraph, IncrementalReport, ReusePlan};
 pub use options::{Outcome, ProofFailure, ProverOptions, VerifyError};
 pub use stats::{paths_explored, PropStats, ProverStats};
+pub use store::{verify_with_store, ProofStore, StoreHead, StoreReport, STORE_VERSION};
+pub use watch::{WatchIteration, WatchSession};
 
 use reflex_ast::PropBody;
 use reflex_typeck::CheckedProgram;
@@ -144,10 +148,20 @@ why Reflex replaced broadcast)"
         }));
     }
     let shared = if options.shared_cache { cache } else { None };
-    Ok(match &prop.body {
+    let mut outcome = match &prop.body {
         PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp, shared),
         PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
-    })
+    };
+    // Stamp the certificate with what its induction consulted, so the
+    // incremental planner and the proof store can reason about it later.
+    // The dependency set is a deterministic function of the (deterministic)
+    // certificate and the program, so serial, parallel and re-proved runs
+    // all stamp identical sets.
+    if let Outcome::Proved(cert) = &mut outcome {
+        let deps = certificate::DepSet::compute(abs.checked(), abs.ranges_fp(), cert);
+        cert.set_deps(deps);
+    }
+    Ok(outcome)
 }
 
 /// Whether any handler or the init section uses the unautomatable

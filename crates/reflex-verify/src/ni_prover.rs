@@ -202,6 +202,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
         Ok(NiCert {
             property: self.prop.name.clone(),
             cases,
+            deps: Default::default(),
         })
     }
 

@@ -78,6 +78,27 @@ impl ProverOptions {
     pub fn effective_jobs(&self) -> usize {
         resolve_jobs(self.jobs)
     }
+
+    /// A stable fingerprint of the options that can affect the *content* of
+    /// an emitted certificate. Used as part of the proof-store key: a
+    /// certificate proved under one configuration must never be served to a
+    /// run using another.
+    ///
+    /// `jobs` and `shared_cache` are deliberately excluded — by
+    /// construction (see [`crate::ProofCache`] and the parallel provers)
+    /// they never change outcomes or certificates, and including them would
+    /// needlessly split the store between serial and parallel runs.
+    pub fn fingerprint(&self) -> reflex_ast::Fp {
+        let mut h = reflex_ast::fingerprint::FpHasher::new();
+        h.write_str("prover-options");
+        h.write(&[
+            u8::from(self.syntactic_skip),
+            u8::from(self.prune_paths),
+            u8::from(self.cache_invariants),
+        ]);
+        h.write(&(self.max_invariant_depth as u64).to_le_bytes());
+        h.finish()
+    }
 }
 
 /// Resolves a `jobs` request: `0` means one worker per available CPU.
@@ -153,6 +174,19 @@ pub enum VerifyError {
         /// The requested name.
         name: String,
     },
+    /// A previous-certificate slice contains the same property twice.
+    DuplicateCertificate {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A previous-certificate slice files a certificate under a name
+    /// different from the property it certifies.
+    CertificateMismatch {
+        /// The name the certificate was filed under.
+        name: String,
+        /// The property the certificate actually certifies.
+        certified: String,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -160,6 +194,15 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::NoSuchProperty { name } => {
                 write!(f, "no property named `{name}` in the program")
+            }
+            VerifyError::DuplicateCertificate { name } => {
+                write!(f, "two previous certificates for property `{name}`")
+            }
+            VerifyError::CertificateMismatch { name, certified } => {
+                write!(
+                    f,
+                    "certificate filed under `{name}` actually certifies `{certified}`"
+                )
             }
         }
     }

@@ -85,6 +85,81 @@ pub fn prove_trace(
     }
 }
 
+/// Re-proves only the `dirty` `(ctype, msg)` cases of `prior`, splicing the
+/// prior base and clean-case justifications — the middle rung of the
+/// incremental reuse ladder (full reuse → per-case reuse → re-prove).
+///
+/// # Preconditions (established by the planner, enforced by the checker)
+///
+/// The caller guarantees that, relative to the program `prior` was proved
+/// over: the declaration group, the property, and the range assumptions are
+/// unchanged; `prior` has no auxiliary invariants or lemmas (its clean-case
+/// justifications are then facts about those cases alone); and every case
+/// *not* in `dirty` has an unchanged handler (or is a still-valid
+/// syntactic skip). Under those conditions the spliced certificate is
+/// byte-identical to a from-scratch proof: local justifications are
+/// deterministic per-case functions, clean local cases contribute nothing
+/// to the prover's invariant/lemma state, and dirty cases are visited in
+/// the same global order a from-scratch run would visit them.
+///
+/// If the structure does not line up after all (planner bug, fingerprint
+/// collision), the result simply fails [`crate::check_certificate`] or
+/// differs from the scratch proof — soundness never rests on this path.
+pub(crate) fn prove_trace_partial(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    prop: &PropertyDecl,
+    tp: &TraceProp,
+    shared: Option<&ProofCache>,
+    prior: &TraceCert,
+    dirty: &std::collections::BTreeSet<(String, String)>,
+) -> Outcome {
+    let expected: usize = abs.worlds.iter().map(|w| w.exchanges.len()).sum();
+    if prior.cases.len() != expected || prior.base.len() != abs.worlds.len() {
+        // Structure drifted: partial splicing is meaningless; fall back to
+        // a full proof.
+        return prove_trace(abs, options, prop, tp, shared);
+    }
+    let mut prover = TraceProver {
+        abs,
+        options,
+        prop,
+        tp,
+        invariants: Vec::new(),
+        cache: HashMap::new(),
+        lemmas: Vec::new(),
+        lemma_cache: HashMap::new(),
+        lemma_depth: 0,
+        shared,
+    };
+    let trigger = tp.trigger().clone();
+    let mut cases = Vec::with_capacity(expected);
+    let mut flat = 0usize;
+    for wi in 0..abs.worlds.len() {
+        for ei in 0..abs.worlds[wi].exchanges.len() {
+            let exchange = &abs.worlds[wi].exchanges[ei];
+            let key = (exchange.ctype.clone(), exchange.msg.clone());
+            if dirty.contains(&key) {
+                match prover.prove_case_serial(wi, ei, &trigger) {
+                    Ok(case) => cases.push(case),
+                    Err(failure) => return Outcome::Failed(failure),
+                }
+            } else {
+                cases.push(prior.cases[flat].clone());
+            }
+            flat += 1;
+        }
+    }
+    Outcome::Proved(Certificate::Trace(TraceCert {
+        property: prop.name.clone(),
+        base: prior.base.clone(),
+        cases,
+        invariants: prover.invariants,
+        lemmas: prover.lemmas,
+        deps: Default::default(),
+    }))
+}
+
 fn prove_trace_inner(
     abs: &Abstraction<'_>,
     options: &ProverOptions,
@@ -164,61 +239,70 @@ impl<'a, 'p> TraceProver<'a, 'p> {
             cases,
             invariants: self.invariants,
             lemmas: self.lemmas,
+            deps: Default::default(),
         })
     }
 
     fn prove_cases_serial(&mut self, trigger: &ActionPat) -> Result<Vec<CaseCert>, ProofFailure> {
         let mut cases = Vec::new();
-        for (wi, world) in self.abs.worlds.iter().enumerate() {
-            for exchange in &world.exchanges {
-                if self.options.syntactic_skip
-                    && !case_can_emit_match(
-                        self.abs.checked(),
-                        &exchange.ctype,
-                        &exchange.msg,
-                        trigger,
-                    )
-                {
-                    cases.push(CaseCert {
-                        ctype: exchange.ctype.clone(),
-                        msg: exchange.msg.clone(),
-                        skipped: true,
-                        paths: Vec::new(),
-                    });
-                    continue;
-                }
-                let mut paths = Vec::new();
-                for (pi, path) in exchange.paths.iter().enumerate() {
-                    crate::stats::note_path();
-                    let actions = exchange.appended_actions(path);
-                    let location = format!(
-                        "world {wi}, case {}:{}, path {pi}",
-                        exchange.ctype, exchange.msg
-                    );
-                    // Inductive steps may assume the interval invariants of
-                    // the pre-state (they hold in every reachable state).
-                    let conditions: Vec<(Term, bool)> = world
-                        .range_assumptions
-                        .iter()
-                        .chain(path.condition.iter())
-                        .cloned()
-                        .collect();
-                    paths.push(self.check_actions(
-                        &actions,
-                        &conditions,
-                        Some((&exchange.sender, path)),
-                        &location,
-                    )?);
-                }
-                cases.push(CaseCert {
-                    ctype: exchange.ctype.clone(),
-                    msg: exchange.msg.clone(),
-                    skipped: false,
-                    paths,
-                });
+        for wi in 0..self.abs.worlds.len() {
+            for ei in 0..self.abs.worlds[wi].exchanges.len() {
+                let case = self.prove_case_serial(wi, ei, trigger)?;
+                cases.push(case);
             }
         }
         Ok(cases)
+    }
+
+    /// Proves one inductive case (the serial path; may extend the invariant
+    /// and lemma tables).
+    fn prove_case_serial(
+        &mut self,
+        wi: usize,
+        ei: usize,
+        trigger: &ActionPat,
+    ) -> Result<CaseCert, ProofFailure> {
+        let world = &self.abs.worlds[wi];
+        let exchange = &world.exchanges[ei];
+        if self.options.syntactic_skip
+            && !case_can_emit_match(self.abs.checked(), &exchange.ctype, &exchange.msg, trigger)
+        {
+            return Ok(CaseCert {
+                ctype: exchange.ctype.clone(),
+                msg: exchange.msg.clone(),
+                skipped: true,
+                paths: Vec::new(),
+            });
+        }
+        let mut paths = Vec::new();
+        for (pi, path) in exchange.paths.iter().enumerate() {
+            crate::stats::note_path();
+            let actions = exchange.appended_actions(path);
+            let location = format!(
+                "world {wi}, case {}:{}, path {pi}",
+                exchange.ctype, exchange.msg
+            );
+            // Inductive steps may assume the interval invariants of
+            // the pre-state (they hold in every reachable state).
+            let conditions: Vec<(Term, bool)> = world
+                .range_assumptions
+                .iter()
+                .chain(path.condition.iter())
+                .cloned()
+                .collect();
+            paths.push(self.check_actions(
+                &actions,
+                &conditions,
+                Some((&exchange.sender, path)),
+                &location,
+            )?);
+        }
+        Ok(CaseCert {
+            ctype: exchange.ctype.clone(),
+            msg: exchange.msg.clone(),
+            skipped: false,
+            paths,
+        })
     }
 
     /// Checks all inductive cases of a witness-only (`ImmBefore` /

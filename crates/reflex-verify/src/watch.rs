@@ -1,0 +1,132 @@
+//! The edit-verify loop behind `rx watch`: a long-lived session that
+//! re-verifies successive versions of one program, reusing proofs across
+//! iterations.
+//!
+//! The session is deliberately a library type — the CLI contributes only
+//! the file polling — so the loop's reuse behavior is testable without a
+//! filesystem or a terminal: feed it [`CheckedProgram`]s, inspect the
+//! per-iteration [`WatchIteration`] reports.
+//!
+//! Two operating modes:
+//!
+//! * **with a proof store** — every iteration runs through
+//!   [`crate::store::verify_with_store`]: candidates come from disk (which
+//!   the previous iteration populated, so warm iterations reuse exactly as
+//!   much as in-memory planning would), survive process restarts, and serve
+//!   edit-revert-edit cycles from old entries; every reused certificate is
+//!   re-validated by the independent checker first;
+//! * **in-memory** — iterations chain through [`crate::reverify_jobs`] on
+//!   the previous iteration's certificates (no disk, no re-validation:
+//!   reused content is as trustworthy as the run that produced it).
+
+use std::time::Instant;
+
+use reflex_typeck::CheckedProgram;
+
+use crate::certificate::Certificate;
+use crate::options::{Outcome, ProverOptions, VerifyError};
+use crate::store::{verify_with_store, ProofStore};
+
+/// A persistent edit-verify session.
+#[derive(Debug)]
+pub struct WatchSession {
+    options: ProverOptions,
+    jobs: usize,
+    store: Option<ProofStore>,
+    /// Last iteration's certificates (in-memory mode only; with a store,
+    /// the store itself carries them across iterations *and* restarts).
+    previous: Vec<(String, Certificate)>,
+}
+
+/// What one iteration of the loop did.
+#[derive(Debug)]
+pub struct WatchIteration {
+    /// `(property, outcome)` in declaration order.
+    pub outcomes: Vec<(String, Outcome)>,
+    /// Properties whose certificates were reused wholesale.
+    pub reused: Vec<String>,
+    /// Properties whose certificates were patched per-case.
+    pub partial: Vec<String>,
+    /// Properties re-proved from scratch.
+    pub reproved: Vec<String>,
+    /// Certificates served from the on-disk store (0 in in-memory mode).
+    pub store_loaded: usize,
+    /// Wall-clock time of the whole iteration, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl WatchIteration {
+    /// Number of properties that failed to verify.
+    pub fn failures(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| !o.is_proved()).count()
+    }
+
+    /// One summary line, e.g.
+    /// `5 reused, 1 patched, 2 re-proved (3 from store) in 412.0 ms`.
+    pub fn summary(&self) -> String {
+        let store = if self.store_loaded > 0 {
+            format!(" ({} from store)", self.store_loaded)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} reused, {} patched, {} re-proved{store} in {:.1} ms",
+            self.reused.len(),
+            self.partial.len(),
+            self.reproved.len(),
+            self.wall_ms
+        )
+    }
+}
+
+impl WatchSession {
+    /// Creates a session. `store` enables persistent cross-restart reuse;
+    /// `jobs` fans re-proving out over worker threads (`0`: one per CPU),
+    /// with byte-identical results for every value.
+    pub fn new(options: ProverOptions, jobs: usize, store: Option<ProofStore>) -> WatchSession {
+        WatchSession {
+            options,
+            jobs,
+            store,
+            previous: Vec::new(),
+        }
+    }
+
+    /// Verifies one version of the program, reusing previous iterations'
+    /// proofs where the dependency analysis allows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VerifyError`]s from planning (malformed previous
+    /// certificates — impossible for session-internal state). Per-property
+    /// proof failures are reported inside the iteration, not as errors.
+    pub fn verify(&mut self, checked: &CheckedProgram) -> Result<WatchIteration, VerifyError> {
+        let start = Instant::now();
+        let (report, store_loaded) = match &self.store {
+            Some(store) => {
+                let sr = verify_with_store(checked, &self.options, store, self.jobs)?;
+                (sr.report, sr.loaded)
+            }
+            None => {
+                let report =
+                    crate::reverify_jobs(&self.previous, checked, &self.options, self.jobs)?;
+                (report, 0)
+            }
+        };
+        if self.store.is_none() {
+            self.previous = report
+                .outcomes
+                .iter()
+                .filter_map(|(name, o)| Some((name.clone(), o.certificate()?.clone())))
+                .collect();
+        }
+        Ok(WatchIteration {
+            outcomes: report.outcomes,
+            reused: report.reused,
+            partial: report.partial,
+            reproved: report.reproved,
+            store_loaded,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        })
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests for the on-disk proof store: the file layer must
+//! round-trip certificates across store instances (i.e. across
+//! processes), shrug off corrupt or stale entries as cache misses, and
+//! produce bit-identical directories regardless of thread fan-out.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use reflex_parser::parse_program;
+use reflex_typeck::{check, CheckedProgram};
+use reflex_verify::{verify_with_store, ProofStore, ProverOptions};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rx-store-test-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn checked(name: &str, source: &str) -> CheckedProgram {
+    check(&parse_program(name, source).expect("parses")).expect("checks")
+}
+
+/// Every `.cert` entry file in the store directory.
+fn cert_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("store directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cert"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "store has certificate entries");
+    files
+}
+
+/// `file name -> bytes` for the whole store directory.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .expect("store directory exists")
+        .map(|e| {
+            let path = e.expect("readable entry").path();
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("utf-8 file name")
+                .to_owned();
+            (name, fs::read(&path).expect("readable file"))
+        })
+        .collect()
+}
+
+#[test]
+fn certificates_survive_process_boundaries() {
+    let dir = temp_store("roundtrip");
+    let options = ProverOptions::default();
+    let program = checked("ssh", reflex_kernels::ssh::SOURCE);
+
+    // First "process": everything proves from scratch and is saved.
+    let first = {
+        let store = ProofStore::open(&dir).expect("store opens");
+        let sr = verify_with_store(&program, &options, &store, 1).expect("verifies");
+        assert_eq!(sr.loaded, 0, "a fresh store has nothing to serve");
+        assert!(sr.saved > 0, "proved certificates are persisted");
+        assert_eq!(sr.report.reproved.len(), program.program().properties.len());
+        sr.report.outcomes
+    };
+
+    // Second "process": a brand-new store instance over the same
+    // directory serves every certificate, and each one is re-validated
+    // and byte-identical to the first run's.
+    let store = ProofStore::open(&dir).expect("store re-opens");
+    let sr = verify_with_store(&program, &options, &store, 1).expect("verifies");
+    assert_eq!(sr.loaded, program.program().properties.len());
+    assert_eq!(sr.report.reused.len(), program.program().properties.len());
+    assert!(sr.report.reproved.is_empty());
+    for ((n1, o1), (n2, o2)) in first.iter().zip(&sr.report.outcomes) {
+        assert_eq!(n1, n2);
+        assert_eq!(
+            o1.certificate(),
+            o2.certificate(),
+            "{n1}: store round-trip must be byte-identical"
+        );
+        assert!(o2.is_proved(), "{n1}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatch_degrades_to_a_miss() {
+    let dir = temp_store("version");
+    let options = ProverOptions::default();
+    let program = checked("ssh", reflex_kernels::ssh::SOURCE);
+    {
+        let store = ProofStore::open(&dir).expect("store opens");
+        verify_with_store(&program, &options, &store, 1).expect("verifies");
+    }
+    // Bump the format version byte of every entry (frame layout: 4 bytes
+    // magic, then the version as u32 LE).
+    for path in cert_files(&dir) {
+        let mut bytes = fs::read(&path).expect("readable entry");
+        bytes[4] ^= 0x01;
+        fs::write(&path, &bytes).expect("writable entry");
+    }
+    let store = ProofStore::open(&dir).expect("store re-opens");
+    let sr = verify_with_store(&program, &options, &store, 1).expect("still verifies");
+    assert_eq!(sr.loaded, 0, "future-version entries must read as misses");
+    assert_eq!(sr.report.reproved.len(), program.program().properties.len());
+    assert!(sr.report.outcomes.iter().all(|(_, o)| o.is_proved()));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_and_corrupted_entries_degrade_to_misses() {
+    let dir = temp_store("corrupt");
+    let options = ProverOptions::default();
+    let program = checked("browser", reflex_kernels::browser::SOURCE);
+    {
+        let store = ProofStore::open(&dir).expect("store opens");
+        verify_with_store(&program, &options, &store, 1).expect("verifies");
+    }
+    // Mangle each entry a different way: truncate to half, truncate to
+    // zero, flip a payload byte — round-robin over the entries.
+    for (i, path) in cert_files(&dir).into_iter().enumerate() {
+        let mut bytes = fs::read(&path).expect("readable entry");
+        match i % 3 {
+            0 => bytes.truncate(bytes.len() / 2),
+            1 => bytes.clear(),
+            _ => *bytes.last_mut().expect("non-empty entry") ^= 0xFF,
+        }
+        fs::write(&path, &bytes).expect("writable entry");
+    }
+    let store = ProofStore::open(&dir).expect("store re-opens");
+    let sr = verify_with_store(&program, &options, &store, 1).expect("still verifies");
+    assert_eq!(sr.loaded, 0, "mangled entries must read as misses");
+    assert_eq!(sr.report.reproved.len(), program.program().properties.len());
+    assert!(sr.report.outcomes.iter().all(|(_, o)| o.is_proved()));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn parallel_and_serial_stores_are_bit_identical() {
+    let options = ProverOptions::default();
+    let base = checked("browser", reflex_kernels::browser::SOURCE);
+    let edited_src = reflex_kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {",
+        "    if (host == sender.domain && host != \"\") {",
+    );
+    assert_ne!(edited_src, reflex_kernels::browser::SOURCE);
+    let edited = checked("browser", &edited_src);
+
+    // The same prime-then-edit session, serial and with 8 workers.
+    let mut snapshots = Vec::new();
+    for (tag, jobs) in [("serial", 1), ("jobs8", 8)] {
+        let dir = temp_store(tag);
+        let store = ProofStore::open(&dir).expect("store opens");
+        verify_with_store(&base, &options, &store, jobs).expect("prime verifies");
+        let sr = verify_with_store(&edited, &options, &store, jobs).expect("edit verifies");
+        assert!(sr.loaded > 0, "{tag}: the edit run uses stored proofs");
+        let contents = snapshot(&dir);
+        snapshots.push((dir, contents));
+    }
+    let (serial, parallel) = (&snapshots[0].1, &snapshots[1].1);
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "same entry set regardless of thread fan-out"
+    );
+    for (name, bytes) in serial {
+        assert_eq!(
+            Some(bytes),
+            parallel.get(name),
+            "{name}: store contents must be bit-identical across jobs counts"
+        );
+    }
+    for (dir, _) in &snapshots {
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -28,17 +28,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    if (host == sender.domain && host != \"\") {",
     );
     let new = reflex::typeck::check(&reflex::parser::parse_program("browser", &edited)?)?;
-    let report = reverify(&old, &previous, &new, &options);
+    let report = reverify(&previous, &new, &options)?;
     for name in &report.reused {
         println!("  reused   {name}");
+    }
+    for name in &report.partial {
+        println!("  partial  {name}");
     }
     for name in &report.reproved {
         println!("  reproved {name}");
     }
     assert!(report.outcomes.iter().all(|(_, o)| o.is_proved()));
     println!(
-        "  → {} certificates reused, {} properties re-proved",
+        "  → {} certificates reused, {} patched per-case, {} properties re-proved",
         report.reused.len(),
+        report.partial.len(),
         report.reproved.len()
     );
 
@@ -49,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "    send(N, Connect(host));",
     );
     let new = reflex::typeck::check(&reflex::parser::parse_program("browser", &broken)?)?;
-    let report = reverify(&old, &previous, &new, &options);
+    let report = reverify(&previous, &new, &options)?;
     for (name, outcome) in &report.outcomes {
         match outcome.failure() {
             None => println!("  ✓ {name}"),

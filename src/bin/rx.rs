@@ -3,12 +3,18 @@
 //! ```text
 //! rx check   FILE             parse and type-check a kernel
 //! rx verify  FILE [PROP]      prove all (or one) of its properties
+//! rx watch   FILE             re-verify on every change, reusing proofs
 //! rx falsify FILE PROP        search for a concrete counterexample
 //! rx explain FILE PROP        print the discovered proof's structure
 //! rx show    FILE             pretty-print the kernel and its statistics
 //! rx run     FILE [N [SEED]]  boot the kernel and run up to N exchanges
 //! rx soak                     soak the bundled kernels under fault injection
 //! ```
+//!
+//! `rx verify --store DIR` and `rx watch --store DIR` persist proof
+//! certificates into a content-addressed store, so unchanged properties
+//! are reused across processes (every stored certificate is re-validated
+//! by the independent checker before being trusted).
 //!
 //! `rx run` accepts `--faults SPEC --supervise --monitor` to run the
 //! kernel under the supervised runtime with deterministic fault
@@ -26,13 +32,13 @@ use reflex::bench::soak::{
 use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
 use reflex::typeck::CheckedProgram;
 use reflex::verify::{
-    check_certificate, falsify, prove_all_parallel_with_stats, prove_with, Abstraction,
-    FalsifyOptions, ProverOptions,
+    check_certificate, check_certificate_with, falsify, prove_all_parallel_with_stats, prove_with,
+    verify_with_store, Abstraction, FalsifyOptions, ProofStore, ProverOptions, WatchSession,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\n  --jobs N         prove/soak on N worker threads (0: one per CPU)\n  --stats          print prover counters (paths, caches, solver, timing)\n  --faults SPEC    deterministic fault plan: `none`, `random:RATE`, or\n                   `STEP:OP;...` with OP in callfail[*N] timeout[*N]\n                   crash[=K] drop[=K] dup[=K] reorder[=K]\n  --supervise      run under the supervisor (retry, restart, rollback);\n                   implied by --faults\n  --monitor        re-check certificates online (implies --supervise)\n  --fault-rate X   per-exchange fault probability for `rx soak` (default 0.01)\n  --incident-dir D write per-kernel incident logs into D"
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--store DIR]\n  rx watch   FILE [--jobs N] [--store DIR] [--interval MS] [--iterations N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\n  --jobs N         prove/soak on N worker threads (0: one per CPU)\n  --stats          print prover counters (paths, caches, solver, timing)\n  --store DIR      persist certificates in a content-addressed proof store\n                   and reuse them across runs (stored certificates are\n                   re-validated by the checker before being trusted)\n  --interval MS    watch: change-poll interval (default 200)\n  --iterations N   watch: stop after N verifications (default: run forever)\n  --faults SPEC    deterministic fault plan: `none`, `random:RATE`, or\n                   `STEP:OP;...` with OP in callfail[*N] timeout[*N]\n                   crash[=K] drop[=K] dup[=K] reorder[=K]\n  --supervise      run under the supervisor (retry, restart, rollback);\n                   implied by --faults\n  --monitor        re-check certificates online (implies --supervise)\n  --fault-rate X   per-exchange fault probability for `rx soak` (default 0.01)\n  --incident-dir D write per-kernel incident logs into D"
     );
     ExitCode::from(2)
 }
@@ -56,7 +62,11 @@ fn main() -> ExitCode {
     let result = match (cmd, rest) {
         ("check", [file]) => cmd_check(file),
         ("verify", _) => match parse_verify_args(rest) {
-            Some((file, prop, jobs, stats)) => cmd_verify(&file, prop.as_deref(), jobs, stats),
+            Some(opts) => cmd_verify(opts),
+            None => return usage(),
+        },
+        ("watch", _) => match parse_watch_args(rest) {
+            Some(opts) => cmd_watch(opts),
             None => return usage(),
         },
         ("falsify", [file, prop]) => cmd_falsify(file, prop),
@@ -96,37 +106,62 @@ fn cmd_check(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses `verify` operands: `FILE [PROP] [--jobs N] [--stats]` in any
-/// flag order. Returns `(file, prop, jobs, stats)`.
-fn parse_verify_args(rest: &[String]) -> Option<(String, Option<String>, usize, bool)> {
+/// Options of `rx verify`.
+struct VerifyOpts {
+    file: String,
+    prop: Option<String>,
+    jobs: usize,
+    stats: bool,
+    store: Option<String>,
+}
+
+/// Parses `verify` operands: `FILE [PROP] [--jobs N] [--stats]
+/// [--store DIR]` in any flag order.
+fn parse_verify_args(rest: &[String]) -> Option<VerifyOpts> {
     let mut positional: Vec<&String> = Vec::new();
     let mut jobs = 1usize;
     let mut stats = false;
+    let mut store = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--jobs" => jobs = it.next()?.parse().ok()?,
             "--stats" => stats = true,
+            "--store" => store = Some(it.next()?.clone()),
             _ if arg.starts_with("--") => return None,
             _ => positional.push(arg),
         }
     }
-    match positional.as_slice() {
-        [file] => Some(((*file).clone(), None, jobs, stats)),
-        [file, prop] => Some(((*file).clone(), Some((*prop).clone()), jobs, stats)),
-        _ => None,
-    }
+    let (file, prop) = match positional.as_slice() {
+        [file] => ((*file).clone(), None),
+        [file, prop] => ((*file).clone(), Some((*prop).clone())),
+        _ => return None,
+    };
+    Some(VerifyOpts {
+        file,
+        prop,
+        jobs,
+        stats,
+        store,
+    })
 }
 
-fn cmd_verify(file: &str, only: Option<&str>, jobs: usize, stats: bool) -> Result<(), String> {
-    let checked = load(file)?;
+fn cmd_verify(opts: VerifyOpts) -> Result<(), String> {
+    let checked = load(&opts.file)?;
     let options = ProverOptions {
-        jobs,
+        jobs: opts.jobs,
         ..ProverOptions::default()
     };
-    let (outcomes, run_stats) = match only {
+    if let Some(dir) = &opts.store {
+        if opts.prop.is_some() {
+            return Err("--store proves all properties; drop the PROP argument".into());
+        }
+        return cmd_verify_stored(&checked, &options, dir, opts.jobs);
+    }
+    let (outcomes, run_stats) = match opts.prop.as_deref() {
         None => {
-            let (outcomes, run_stats) = prove_all_parallel_with_stats(&checked, &options, jobs);
+            let (outcomes, run_stats) =
+                prove_all_parallel_with_stats(&checked, &options, opts.jobs);
             (outcomes, Some(run_stats))
         }
         Some(prop) => {
@@ -138,11 +173,13 @@ fn cmd_verify(file: &str, only: Option<&str>, jobs: usize, stats: bool) -> Resul
             (outcomes, None)
         }
     };
+    // One abstraction serves every certificate check below.
+    let abs = Abstraction::build(&checked, &options);
     let mut failures = 0;
     for (name, outcome) in outcomes {
         match outcome.certificate() {
             Some(cert) => {
-                check_certificate(&checked, cert, &options).map_err(|e| format!("{name}: {e}"))?;
+                check_certificate_with(&abs, cert, &options).map_err(|e| format!("{name}: {e}"))?;
                 println!(
                     "  ✓ {name}  ({} obligations, certificate checked)",
                     cert.obligation_count()
@@ -155,7 +192,7 @@ fn cmd_verify(file: &str, only: Option<&str>, jobs: usize, stats: bool) -> Resul
             }
         }
     }
-    if stats {
+    if opts.stats {
         match run_stats {
             Some(s) => print!("{}", s.render()),
             None => {
@@ -167,6 +204,144 @@ fn cmd_verify(file: &str, only: Option<&str>, jobs: usize, stats: bool) -> Resul
         Err(format!("{failures} propert(y/ies) failed to verify"))
     } else {
         println!("all properties verified.");
+        Ok(())
+    }
+}
+
+/// `rx verify --store DIR`: prove through the persistent proof store.
+fn cmd_verify_stored(
+    checked: &CheckedProgram,
+    options: &ProverOptions,
+    dir: &str,
+    jobs: usize,
+) -> Result<(), String> {
+    let store = ProofStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let sr = verify_with_store(checked, options, &store, jobs).map_err(|e| e.to_string())?;
+    let mut failures = 0;
+    for (name, outcome) in &sr.report.outcomes {
+        let how = if sr.report.reused.contains(name) {
+            " (reused from store, re-checked)"
+        } else if sr.report.partial.contains(name) {
+            " (patched per-case, re-checked)"
+        } else {
+            ""
+        };
+        match outcome.certificate() {
+            Some(cert) => {
+                println!("  ✓ {name}  ({} obligations){how}", cert.obligation_count());
+            }
+            None => {
+                failures += 1;
+                println!("  ✗ {name}");
+                println!("      {}", outcome.failure().expect("failed"));
+            }
+        }
+    }
+    println!(
+        "{} reused, {} patched, {} re-proved ({} loaded from {dir})",
+        sr.report.reused.len(),
+        sr.report.partial.len(),
+        sr.report.reproved.len(),
+        sr.loaded
+    );
+    if failures > 0 {
+        Err(format!("{failures} propert(y/ies) failed to verify"))
+    } else {
+        println!("all properties verified.");
+        Ok(())
+    }
+}
+
+/// Options of `rx watch`.
+struct WatchOpts {
+    file: String,
+    jobs: usize,
+    store: Option<String>,
+    interval_ms: u64,
+    iterations: Option<usize>,
+}
+
+/// Parses `watch` operands: `FILE [--jobs N] [--store DIR] [--interval MS]
+/// [--iterations N]`.
+fn parse_watch_args(rest: &[String]) -> Option<WatchOpts> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut jobs = 1usize;
+    let mut store = None;
+    let mut interval_ms = 200u64;
+    let mut iterations = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => jobs = it.next()?.parse().ok()?,
+            "--store" => store = Some(it.next()?.clone()),
+            "--interval" => interval_ms = it.next()?.parse().ok()?,
+            "--iterations" => iterations = Some(it.next()?.parse().ok()?),
+            _ if arg.starts_with("--") => return None,
+            _ => positional.push(arg),
+        }
+    }
+    let [file] = positional.as_slice() else {
+        return None;
+    };
+    Some(WatchOpts {
+        file: (*file).clone(),
+        jobs,
+        store,
+        interval_ms,
+        iterations,
+    })
+}
+
+/// `rx watch FILE`: re-verify on every change to the file, reusing
+/// unaffected proofs across iterations (and across restarts with
+/// `--store`).
+fn cmd_watch(opts: WatchOpts) -> Result<(), String> {
+    let store = match &opts.store {
+        Some(dir) => Some(ProofStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
+        None => None,
+    };
+    let mut session = WatchSession::new(ProverOptions::default(), opts.jobs, store);
+    let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+    let mut last_seen = None;
+    let mut iteration = 0usize;
+    let mut last_failures;
+    loop {
+        let stamp = mtime(&opts.file);
+        let changed = stamp != last_seen;
+        if changed || iteration == 0 {
+            last_seen = stamp;
+            iteration += 1;
+            match load(&opts.file) {
+                Ok(checked) => {
+                    let it = session.verify(&checked).map_err(|e| e.to_string())?;
+                    last_failures = it.failures();
+                    for (name, outcome) in &it.outcomes {
+                        match outcome.failure() {
+                            None => println!("  ✓ {name}"),
+                            Some(f) => println!("  ✗ {name}: {f}"),
+                        }
+                    }
+                    println!("[{iteration}] {}", it.summary());
+                }
+                Err(e) => {
+                    // A half-saved file is normal mid-edit: report and keep
+                    // watching.
+                    last_failures = 1;
+                    println!("[{}] {e}", iteration);
+                }
+            }
+            if opts.iterations.is_some_and(|n| iteration >= n) {
+                break;
+            }
+            println!("watching {} (ctrl-c to stop)…", opts.file);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+    }
+    if last_failures > 0 {
+        Err(format!(
+            "{last_failures} propert(y/ies) failed in the last iteration"
+        ))
+    } else {
         Ok(())
     }
 }
