@@ -16,9 +16,18 @@
 
 use reflex_bench::{
     render_ablation, render_figure6, render_figure6_bench_json, render_table1, render_utility,
-    run_ablation, run_figure6, run_figure6_bench, run_utility, table1,
+    run_ablation, run_figure6, run_figure6_bench, run_utility, table1, BenchError,
 };
 use reflex_verify::ProverOptions;
+
+/// Unwraps a harness result, exiting 1 with the failure on stderr — a
+/// failed verification is a real regression, not a panic.
+fn check<T>(result: Result<T, BenchError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("figures: {e}");
+        std::process::exit(1);
+    })
+}
 
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
@@ -31,13 +40,16 @@ fn main() {
     }
     if all || what == "fig6" {
         println!("== Figure 6: the 41 benchmark properties, proved fully automatically ==\n");
-        let results = run_figure6(&ProverOptions::default());
+        let results = check(run_figure6(&ProverOptions::default()));
         println!("{}", render_figure6(&results));
         if json {
-            let bench = run_figure6_bench();
+            let bench = check(run_figure6_bench());
             let doc = render_figure6_bench_json(&bench);
             let path = "BENCH_fig6.json";
-            std::fs::write(path, &doc).expect("write BENCH_fig6.json");
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("figures: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
             println!(
                 "serial {:.1} ms vs parallel+cache {:.1} ms on {} core(s): {:.2}x \
                  (outcomes identical: {}) -> wrote {path}",
@@ -51,7 +63,7 @@ fn main() {
     }
     if all || what == "ablation" {
         println!("== §6.4 ablation: effect of the proof-search optimizations ==\n");
-        println!("{}", render_ablation(&run_ablation()));
+        println!("{}", render_ablation(&check(run_ablation())));
     }
     if all || what == "scaling" {
         println!("== Optimization scaling (synthetic kernels; the §6.4 speedups grow with kernel size) ==\n");
@@ -64,7 +76,7 @@ fn main() {
     }
     if all || what == "utility" {
         println!("== §6.3 utility: seeded bugs caught by pushbutton re-verification ==\n");
-        println!("{}", render_utility(&run_utility()));
+        println!("{}", render_utility(&check(run_utility())));
     }
     if all || what == "incr" {
         println!(
@@ -75,7 +87,10 @@ fn main() {
         if json {
             let doc = reflex_bench::incr::render_incr_json(&bench);
             let path = "BENCH_incr.json";
-            std::fs::write(path, &doc).expect("write BENCH_incr.json");
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("figures: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
             println!(
                 "reuse {:.0}%, warm {:.1} ms vs cold {:.1} ms -> wrote {path}",
                 bench.reuse_ratio * 100.0,

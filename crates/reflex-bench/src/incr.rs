@@ -22,7 +22,8 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use reflex_verify::{prove_all, verify_with_store, ProofStore, ProverOptions};
+use reflex_driver::{Event, MemorySink, NullSink, SessionConfig, VerifySession};
+use reflex_verify::ProverOptions;
 
 /// One scripted edit: a `replacen(find, replace, 1)` on the named kernel's
 /// current source. Edits are cumulative within a kernel.
@@ -286,24 +287,26 @@ pub fn run_incr(options: &ProverOptions, jobs: usize) -> IncrBench {
     // millisecond-scale single shots are too noisy for a CI guard.
     const REPEATS: usize = 3;
 
-    // Cold pass: fresh `rx verify` process per edit — prove everything,
-    // then certificate-check everything, exactly the CLI's pipeline.
+    // Cold pass: fresh `rx verify` process per edit — a brand-new
+    // [`VerifySession`] (empty proof caches) proves and certificate-checks
+    // everything, exactly the CLI's pipeline.
     let mut cold_times = vec![f64::INFINITY; versions.len()];
     for _ in 0..REPEATS {
         for ((step, source), best) in versions.iter().zip(cold_times.iter_mut()) {
             let checked = parse_and_check(step.kernel, source);
             reflex_symbolic::clear_entailment_memo();
             let cold_start = Instant::now();
-            let cold = prove_all(&checked, options);
-            let abs = reflex_verify::Abstraction::build(&checked, options);
-            for (name, outcome) in &cold {
-                if let Some(cert) = outcome.certificate() {
-                    reflex_verify::check_certificate_with(&abs, cert, options)
-                        .unwrap_or_else(|e| panic!("{}: {name}: {e}", step.label));
-                }
-            }
+            let session = VerifySession::new(SessionConfig {
+                options: options.clone(),
+                jobs: 1,
+                ..SessionConfig::default()
+            })
+            .expect("cold session config is valid");
+            let report = session
+                .verify_checked(&checked, &NullSink)
+                .unwrap_or_else(|e| panic!("{}: {e}", step.label));
             *best = best.min(cold_start.elapsed().as_secs_f64() * 1e3);
-            assert_all_proved(step.label, &cold);
+            assert_all_proved(step.label, &report.outcomes);
         }
     }
 
@@ -316,7 +319,16 @@ pub fn run_incr(options: &ProverOptions, jobs: usize) -> IncrBench {
     for repeat in 0..REPEATS {
         let dir = scratch_store_dir();
         let _ = std::fs::remove_dir_all(&dir);
-        let store = ProofStore::open(&dir).expect("temp proof store opens");
+        // One long-lived session over the proof store: the watch loop's
+        // exact engine. Per-edit reuse classification and store traffic are
+        // read back from the session's in-memory event sink.
+        let session = VerifySession::new(SessionConfig {
+            options: options.clone(),
+            jobs,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            ..SessionConfig::default()
+        })
+        .expect("temp proof store opens");
         reflex_symbolic::clear_entailment_memo();
 
         // Prime the store with the base versions — the cold first run
@@ -324,27 +336,41 @@ pub fn run_incr(options: &ProverOptions, jobs: usize) -> IncrBench {
         let prime_start = Instant::now();
         for (name, source) in &base {
             let checked = parse_and_check(name, source);
-            let sr =
-                verify_with_store(&checked, options, &store, jobs).expect("priming run verifies");
-            assert_all_proved("prime", &sr.report.outcomes);
+            let report = session
+                .verify_checked(&checked, &NullSink)
+                .expect("priming run verifies");
+            assert_all_proved("prime", &report.outcomes);
         }
         prime_ms = prime_ms.min(prime_start.elapsed().as_secs_f64() * 1e3);
 
         for (i, ((step, source), cold_ms)) in versions.iter().zip(&cold_times).enumerate() {
             let checked = parse_and_check(step.kernel, source);
+            let sink = MemorySink::new();
             let warm_start = Instant::now();
-            let sr = verify_with_store(&checked, options, &store, jobs)
+            let report = session
+                .verify_checked(&checked, &sink)
                 .unwrap_or_else(|e| panic!("edit '{}' fails to verify: {e}", step.label));
             let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
-            assert_all_proved(step.label, &sr.report.outcomes);
+            assert_all_proved(step.label, &report.outcomes);
 
+            let (mut reused, mut partial, mut reproved) = (0usize, 0usize, 0usize);
+            for event in sink.properties() {
+                if let Event::Property { reuse, .. } = event {
+                    match reuse {
+                        Some("full") => reused += 1,
+                        Some("partial") => partial += 1,
+                        Some("reproved") => reproved += 1,
+                        _ => {}
+                    }
+                }
+            }
             let it = IncrIteration {
                 kernel: step.kernel,
                 label: step.label,
-                reused: sr.report.reused.len(),
-                partial: sr.report.partial.len(),
-                reproved: sr.report.reproved.len(),
-                loaded: sr.loaded,
+                reused,
+                partial,
+                reproved,
+                loaded: sink.counters().map_or(0, |c| c.store_loaded as usize),
                 warm_ms,
                 cold_ms: *cold_ms,
             };

@@ -25,10 +25,30 @@ pub mod incr;
 pub mod soak;
 pub mod stress;
 
+use std::fmt;
 use std::time::Instant;
 
+use reflex_driver::{
+    BatchItem, NullSink, SessionBatch, SessionConfig, SessionReport, VerifySession,
+};
 use reflex_kernels::{all_benchmarks, figure6, loc_split};
-use reflex_verify::{check_certificate, prove_with_cache, Abstraction, ProofCache, ProverOptions};
+use reflex_verify::{check_certificate, ProverOptions};
+
+/// A benchmark-harness failure: a property that should verify didn't, a
+/// certificate the checker rejected, or a session that failed to run.
+///
+/// The harness used to panic on these; callers (the `figures` binary, the
+/// Criterion benches) now get a typed error and decide the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchError(pub String);
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for BenchError {}
 
 /// One measured Figure 6 row.
 #[derive(Debug, Clone)]
@@ -43,126 +63,132 @@ pub struct Fig6Result {
     pub obligations: usize,
 }
 
-/// Proves (and certificate-checks) all 41 Figure 6 properties.
-///
-/// # Panics
-///
-/// Panics if any property fails to verify or any certificate is rejected —
-/// the headline claim of the reproduction.
-pub fn run_figure6(options: &ProverOptions) -> Vec<Fig6Result> {
-    let mut out = Vec::with_capacity(figure6::ROWS.len());
-    for bench in all_benchmarks() {
-        let checked = (bench.checked)();
-        let abs = Abstraction::build(&checked, options);
-        // One cross-property cache per benchmark, exactly as `prove_all`
-        // shares subproofs across a program's properties.
-        let cache = ProofCache::new();
-        for row in figure6::ROWS.iter().filter(|r| r.benchmark == bench.name) {
-            let t0 = Instant::now();
-            let outcome = prove_with_cache(&abs, row.property, options, Some(&cache))
-                .expect("property exists");
-            let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let cert = outcome.certificate().unwrap_or_else(|| {
-                panic!(
+/// Validates one benchmark's session report against the paper rows:
+/// every Figure 6 property must be proved, every certificate must pass
+/// the independent checker (timed here, so `prove_ms` stays pure proof
+/// search), and rows come back in `figure6::ROWS` order.
+fn rows_from_report(
+    bench_name: &str,
+    checked: &reflex_typeck::CheckedProgram,
+    report: &SessionReport,
+    options: &ProverOptions,
+) -> Result<Vec<Fig6Result>, BenchError> {
+    figure6::ROWS
+        .iter()
+        .filter(|r| r.benchmark == bench_name)
+        .map(|row| {
+            let (_, outcome) = report
+                .outcomes
+                .iter()
+                .find(|(name, _)| name == row.property)
+                .ok_or_else(|| {
+                    BenchError(format!(
+                        "{}::{}: property missing from session report",
+                        row.benchmark, row.property
+                    ))
+                })?;
+            let cert = outcome.certificate().ok_or_else(|| {
+                BenchError(format!(
                     "{}::{} failed: {}",
                     row.benchmark,
                     row.property,
-                    outcome.failure().expect("failed")
-                )
-            });
-            let t1 = Instant::now();
-            check_certificate(&checked, cert, options)
-                .unwrap_or_else(|e| panic!("{}::{}: {e}", row.benchmark, row.property));
-            let check_ms = t1.elapsed().as_secs_f64() * 1e3;
-            out.push(Fig6Result {
+                    outcome
+                        .failure()
+                        .map(ToString::to_string)
+                        .unwrap_or_else(|| "no failure recorded".into())
+                ))
+            })?;
+            let t0 = Instant::now();
+            check_certificate(checked, cert, options)
+                .map_err(|e| BenchError(format!("{}::{}: {e}", row.benchmark, row.property)))?;
+            let check_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let prove_ms = report
+                .stats
+                .properties
+                .iter()
+                .find(|p| p.name == row.property)
+                .map_or(0.0, |p| p.wall_ms);
+            Ok(Fig6Result {
                 row: *row,
                 prove_ms,
                 check_ms,
                 obligations: cert.obligation_count(),
-            });
-        }
-    }
-    out
+            })
+        })
+        .collect()
 }
 
-/// [`run_figure6`] with all 41 `(benchmark, property)` units fanned out
-/// over `jobs` worker threads (`0`: one per available CPU) through a
-/// global work queue. Each benchmark's abstraction is built once and its
-/// properties share one [`ProofCache`]; results come back in the same
-/// order as [`run_figure6`], with identical outcomes and certificates
-/// (cached subproofs are pure functions of their keys).
+/// Proves (and certificate-checks) all 41 Figure 6 properties, one
+/// serial [`VerifySession`] per benchmark (each with its own fresh
+/// cross-property cache, exactly as `prove_all` shares subproofs across a
+/// program's properties).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any property fails to verify or any certificate is rejected.
-pub fn run_figure6_parallel(options: &ProverOptions, jobs: usize) -> Vec<Fig6Result> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::OnceLock;
+/// Returns [`BenchError`] if any property fails to verify or any
+/// certificate is rejected — the headline claim of the reproduction.
+pub fn run_figure6(options: &ProverOptions) -> Result<Vec<Fig6Result>, BenchError> {
+    let mut out = Vec::with_capacity(figure6::ROWS.len());
+    for bench in all_benchmarks() {
+        let checked = (bench.checked)();
+        let config = SessionConfig {
+            options: options.clone(),
+            jobs: 1,
+            ..SessionConfig::default()
+        };
+        // Certificates are checked by `rows_from_report` (timed
+        // separately), not inside the session.
+        let session = VerifySession::new(config)
+            .map_err(|e| BenchError(e.to_string()))?
+            .without_certificate_checks();
+        let report = session
+            .verify_checked(&checked, &NullSink)
+            .map_err(|e| BenchError(format!("{}: {e}", bench.name)))?;
+        out.extend(rows_from_report(bench.name, &checked, &report, options)?);
+    }
+    Ok(out)
+}
 
-    let jobs = if jobs == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        jobs
-    };
+/// [`run_figure6`] with the seven kernels fanned out concurrently through
+/// a [`SessionBatch`] over `jobs` worker threads (`0`: one per available
+/// CPU). The batch's sessions share the process-global term interner and
+/// entailment memo, and each program's cross-property [`reflex_verify::ProofCache`]
+/// is shared across its properties; results come back in the same order
+/// as [`run_figure6`], with identical outcomes and certificates (cached
+/// subproof packages are pure functions of their keys).
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any property fails to verify or any
+/// certificate is rejected.
+pub fn run_figure6_parallel(
+    options: &ProverOptions,
+    jobs: usize,
+) -> Result<Vec<Fig6Result>, BenchError> {
     let benches = all_benchmarks();
-    let checked: Vec<_> = benches.iter().map(|b| (b.checked)()).collect();
-    let abses: Vec<_> = checked
+    let config = SessionConfig {
+        options: options.clone(),
+        jobs,
+        ..SessionConfig::default()
+    };
+    let batch = SessionBatch::new(config)
+        .map_err(|e| BenchError(e.to_string()))?
+        .without_certificate_checks();
+    let items: Vec<BatchItem> = benches
         .iter()
-        .map(|c| Abstraction::build(c, options))
-        .collect();
-    let caches: Vec<ProofCache> = benches.iter().map(|_| ProofCache::new()).collect();
-    // Work units in `run_figure6` output order.
-    let units: Vec<(usize, &figure6::Row)> = benches
-        .iter()
-        .enumerate()
-        .flat_map(|(bi, bench)| {
-            figure6::ROWS
-                .iter()
-                .filter(move |r| r.benchmark == bench.name)
-                .map(move |r| (bi, r))
+        .map(|b| BatchItem {
+            name: b.name.to_owned(),
+            source: b.source.to_owned(),
         })
         .collect();
-    let slots: Vec<OnceLock<Fig6Result>> = (0..units.len()).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(units.len()).max(1) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(bi, row)) = units.get(i) else {
-                    break;
-                };
-                let t0 = Instant::now();
-                let outcome =
-                    prove_with_cache(&abses[bi], row.property, options, Some(&caches[bi]))
-                        .expect("property exists");
-                let prove_ms = t0.elapsed().as_secs_f64() * 1e3;
-                let cert = outcome.certificate().unwrap_or_else(|| {
-                    panic!(
-                        "{}::{} failed: {}",
-                        row.benchmark,
-                        row.property,
-                        outcome.failure().expect("failed")
-                    )
-                });
-                let t1 = Instant::now();
-                check_certificate(&checked[bi], cert, options)
-                    .unwrap_or_else(|e| panic!("{}::{}: {e}", row.benchmark, row.property));
-                let check_ms = t1.elapsed().as_secs_f64() * 1e3;
-                let _ = slots[i].set(Fig6Result {
-                    row: *row,
-                    prove_ms,
-                    check_ms,
-                    obligations: cert.obligation_count(),
-                });
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every fig6 slot filled"))
-        .collect()
+    let reports = batch.verify(&items, &NullSink);
+    let mut out = Vec::with_capacity(figure6::ROWS.len());
+    for (bench, report) in benches.iter().zip(reports) {
+        let report = report.map_err(|e| BenchError(format!("{}: {e}", bench.name)))?;
+        let checked = (bench.checked)();
+        out.extend(rows_from_report(bench.name, &checked, &report, options)?);
+    }
+    Ok(out)
 }
 
 /// One configuration's measurement inside [`Fig6Bench`].
@@ -201,7 +227,11 @@ pub struct Fig6Bench {
 }
 
 /// Measures the full fig6 suite serial-baseline vs. parallel+cached.
-pub fn run_figure6_bench() -> Fig6Bench {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if either run fails to verify every property.
+pub fn run_figure6_bench() -> Result<Fig6Bench, BenchError> {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -211,7 +241,7 @@ pub fn run_figure6_bench() -> Fig6Bench {
         ..ProverOptions::default()
     };
     let t0 = Instant::now();
-    let serial_rows = run_figure6(&serial_options);
+    let serial_rows = run_figure6(&serial_options)?;
     let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let parallel_options = ProverOptions {
@@ -220,7 +250,7 @@ pub fn run_figure6_bench() -> Fig6Bench {
         ..ProverOptions::default()
     };
     let t1 = Instant::now();
-    let parallel_rows = run_figure6_parallel(&parallel_options, cores);
+    let parallel_rows = run_figure6_parallel(&parallel_options, cores)?;
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let outcomes_identical = serial_rows.len() == parallel_rows.len()
@@ -229,7 +259,7 @@ pub fn run_figure6_bench() -> Fig6Bench {
                 && a.row.property == b.row.property
                 && a.obligations == b.obligations
         });
-    Fig6Bench {
+    Ok(Fig6Bench {
         cores,
         serial: Fig6Run {
             label: "serial baseline (no shared cache)",
@@ -247,7 +277,7 @@ pub fn run_figure6_bench() -> Fig6Bench {
         },
         speedup: serial_ms / parallel_ms,
         outcomes_identical,
-    }
+    })
 }
 
 fn json_escape(s: &str) -> String {
@@ -444,19 +474,24 @@ pub fn ablation_configs() -> Vec<(&'static str, ProverOptions)> {
 
 /// Runs the §6.4 ablation: verifies all 41 properties under each
 /// configuration.
-pub fn run_ablation() -> Vec<AblationResult> {
+///
+/// # Errors
+///
+/// Returns [`BenchError`] if any configuration fails to verify every
+/// property (disabled optimizations may be slower, never weaker).
+pub fn run_ablation() -> Result<Vec<AblationResult>, BenchError> {
     ablation_configs()
         .into_iter()
         .map(|(config, options)| {
             let t0 = Instant::now();
-            let results = run_figure6(&options);
+            let results = run_figure6(&options)?;
             let total_ms = t0.elapsed().as_secs_f64() * 1e3;
-            AblationResult {
+            Ok(AblationResult {
                 config,
                 options,
                 total_ms,
                 total_obligations: results.iter().map(|r| r.obligations).sum(),
-            }
+            })
         })
         .collect()
 }
@@ -503,8 +538,13 @@ pub struct UtilityResult {
 }
 
 /// Runs the seeded-bug experiment of §6.3 on the benchmark kernels.
-pub fn run_utility() -> Vec<UtilityResult> {
-    use reflex_verify::{falsify, prove, FalsifyOptions};
+///
+/// Each mutant goes through a [`VerifySession`] scoped to the property the
+/// mutation is expected to break: "caught" means the session reports it
+/// unproved. Errors if a mutant no longer parses or typechecks (the seeded
+/// edits must stay syntactically valid to be meaningful).
+pub fn run_utility() -> Result<Vec<UtilityResult>, BenchError> {
+    use reflex_verify::{falsify, FalsifyOptions};
     let cases: Vec<(&'static str, String, &'static str)> = vec![
         (
             "browser: socket handler loses its domain check",
@@ -540,11 +580,22 @@ pub fn run_utility() -> Vec<UtilityResult> {
     cases
         .into_iter()
         .map(|(mutation, src, property)| {
-            let program = reflex_parser::parse_program("mutant", &src).expect("mutant parses");
-            let checked = reflex_typeck::check(&program).expect("mutant checks");
-            let caught = !prove(&checked, property, &options)
-                .expect("property exists")
-                .is_proved();
+            let program = reflex_parser::parse_program("mutant", &src)
+                .map_err(|e| BenchError(format!("{mutation}: mutant no longer parses: {e}")))?;
+            let checked = reflex_typeck::check(&program)
+                .map_err(|e| BenchError(format!("{mutation}: mutant no longer typechecks: {e}")))?;
+            let session = VerifySession::new(SessionConfig {
+                options: options.clone(),
+                jobs: 1,
+                property: Some(property.to_owned()),
+                ..SessionConfig::default()
+            })
+            .map_err(|e| BenchError(format!("{mutation}: {e}")))?
+            .without_certificate_checks();
+            let report = session
+                .verify_checked(&checked, &NullSink)
+                .map_err(|e| BenchError(format!("{mutation}: {e}")))?;
+            let caught = report.proved() == 0;
             let counterexample = falsify(
                 &checked,
                 property,
@@ -554,12 +605,12 @@ pub fn run_utility() -> Vec<UtilityResult> {
                 },
             )
             .is_some();
-            UtilityResult {
+            Ok(UtilityResult {
                 mutation,
                 property,
                 caught,
                 counterexample,
-            }
+            })
         })
         .collect()
 }
@@ -606,7 +657,7 @@ mod tests {
 
     #[test]
     fn utility_catches_every_seeded_bug() {
-        for r in run_utility() {
+        for r in run_utility().expect("utility mutants verify-able") {
             assert!(r.caught, "{} was not caught", r.mutation);
             assert!(r.counterexample, "{}: no counterexample", r.mutation);
         }

@@ -1,0 +1,909 @@
+//! The unified verification session engine behind every `rx` entry point.
+//!
+//! The paper's pushbutton thesis rests on one fixed pipeline shape —
+//! parse → typecheck → symbolically evaluate → prove over the behavioral
+//! abstraction — yet a growing toolchain keeps re-wiring that shape by
+//! hand: the CLI, the watch loop, the incremental validator and the
+//! benchmark harness each had private copies of the same staging, stats
+//! and error plumbing. This crate is the one copy they all share now:
+//!
+//! * [`VerifySession`] — a staged pipeline
+//!   (`Load → Parse → Typecheck → Plan → Prove → Persist → Report`) over a
+//!   shared [`Env`] (cross-property [`ProofCache`], prover options, proof
+//!   store handle, job pool, session budget);
+//! * [`Instrument`] — structured per-stage events (wall time, cache and
+//!   store hit counts, proof-search node counts) into pluggable sinks:
+//!   human text, JSON lines, in-memory for tests and benches;
+//! * cooperative cancellation and wall-clock/node budgets
+//!   ([`reflex_verify::ProofBudget`]) threaded into the provers, so a
+//!   stuck property degrades to a reported [`Outcome::Timeout`] instead of
+//!   hanging the batch;
+//! * [`SessionBatch`] — verifying many kernels concurrently while sharing
+//!   the term interner (process-global by construction) and the
+//!   cross-property proof cache.
+//!
+//! Determinism contract: outcomes and certificates are byte-identical for
+//! every `jobs` value (inherited from [`reflex_verify`]'s pure-package
+//! caches), and instrumentation event *counts* are a pure function of the
+//! input and configuration — only timings and completion order vary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod instrument;
+pub mod watch;
+
+pub use instrument::{
+    json_string, Counters, Event, HumanSink, Instrument, JsonLinesSink, MemorySink, NullSink,
+    PropertyStatus, Stage,
+};
+pub use watch::{WatchIteration, WatchSession};
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use reflex_ast::Fp;
+
+use reflex_typeck::CheckedProgram;
+use reflex_verify::certificate::Certificate;
+use reflex_verify::{
+    check_certificate_with, load_candidates, persist_outcomes, prove_with_cache, resolve_jobs,
+    reverify_observed, Abstraction, CacheStats, Outcome, ProofBudget, ProofCache, ProofStore,
+    PropStats, ProverOptions, ProverStats, Reuse, VerifyError,
+};
+
+/// Why a session could not run to completion (as opposed to per-property
+/// proof failures, which are reported inside [`SessionReport`]).
+#[derive(Debug)]
+pub enum SessionError {
+    /// The kernel source could not be read.
+    Load {
+        /// Offending path.
+        path: String,
+        /// The I/O error.
+        message: String,
+    },
+    /// The source did not parse.
+    Parse(String),
+    /// The program did not type-check.
+    Typecheck(String),
+    /// The prover rejected the request (unknown property, malformed
+    /// previous certificates).
+    Verify(VerifyError),
+    /// A freshly produced certificate failed the independent checker —
+    /// a prover bug surfacing exactly where the architecture routes it.
+    Check {
+        /// The property whose certificate was rejected.
+        property: String,
+        /// The checker's complaint.
+        message: String,
+    },
+    /// The proof store could not be opened.
+    Store {
+        /// Store directory.
+        path: String,
+        /// The I/O error.
+        message: String,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Load { path, message } => write!(f, "{path}: {message}"),
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Typecheck(e) => write!(f, "type error: {e}"),
+            SessionError::Verify(e) => write!(f, "{e}"),
+            SessionError::Check { property, message } => {
+                write!(
+                    f,
+                    "{property}: certificate rejected by the checker: {message}"
+                )
+            }
+            SessionError::Store { path, message } => write!(f, "{path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<VerifyError> for SessionError {
+    fn from(e: VerifyError) -> Self {
+        SessionError::Verify(e)
+    }
+}
+
+/// Configuration for a [`VerifySession`] or [`SessionBatch`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionConfig {
+    /// Proof-search configuration (a session budget configured below is
+    /// installed into `options.budget` automatically).
+    pub options: ProverOptions,
+    /// Worker threads for the property/kernel fan-out (`0`: one per CPU).
+    pub jobs: usize,
+    /// Persist and reuse certificates through a content-addressed proof
+    /// store at this directory.
+    pub store_dir: Option<String>,
+    /// Wall-clock budget for the whole session, milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Explored-path budget for the whole session.
+    pub budget_nodes: Option<u64>,
+    /// Verify only this property (all properties when `None`).
+    pub property: Option<String>,
+}
+
+/// Shared state of one session or batch: options, the cross-property
+/// proof caches, the store handle, the job pool width and the budget.
+///
+/// The term interner and the entailment memo are process-global by
+/// construction, so every [`Env`] shares them implicitly. The
+/// [`ProofCache`] tables are shared too, but namespaced by program
+/// fingerprint: cached subproof packages are pure functions of
+/// *(program, key)*, so serving a package across different programs
+/// would be wrong — a batch shares each program's cache across its
+/// properties and across repeated sessions (the watch loop), never
+/// across distinct programs.
+#[derive(Debug)]
+pub struct Env {
+    /// Prover configuration, with the session budget installed.
+    pub options: ProverOptions,
+    /// Per-program cross-property proof caches, keyed by the program's
+    /// canonical content fingerprint.
+    caches: RwLock<HashMap<Fp, Arc<ProofCache>>>,
+    /// Proof store, when persistence is configured.
+    pub store: Option<ProofStore>,
+    /// Resolved worker-thread count.
+    pub jobs: usize,
+    /// The session budget / cancellation token, if one was configured.
+    pub budget: Option<Arc<ProofBudget>>,
+}
+
+impl Env {
+    /// Builds the shared state: opens the store, creates the budget and
+    /// installs it into the prover options.
+    pub fn new(config: &SessionConfig) -> Result<Env, SessionError> {
+        let store = match &config.store_dir {
+            Some(dir) => Some(ProofStore::open(dir).map_err(|e| SessionError::Store {
+                path: dir.clone(),
+                message: e.to_string(),
+            })?),
+            None => None,
+        };
+        let budget = (config.budget_ms.is_some() || config.budget_nodes.is_some()).then(|| {
+            Arc::new(ProofBudget::new(
+                config.budget_ms.map(std::time::Duration::from_millis),
+                config.budget_nodes,
+            ))
+        });
+        let mut options = config.options.clone();
+        options.budget = budget.clone();
+        Ok(Env {
+            options,
+            caches: RwLock::new(HashMap::new()),
+            store,
+            jobs: resolve_jobs(config.jobs),
+            budget,
+        })
+    }
+
+    /// The proof cache for the program with canonical fingerprint `fp`
+    /// (created on first use). Repeated sessions over the same program —
+    /// watch iterations, batch retries — share one cache; distinct
+    /// programs never do.
+    pub fn cache_for(&self, fp: Fp) -> Arc<ProofCache> {
+        if let Some(cache) = self.caches.read().expect("cache map poisoned").get(&fp) {
+            return Arc::clone(cache);
+        }
+        Arc::clone(
+            self.caches
+                .write()
+                .expect("cache map poisoned")
+                .entry(fp)
+                .or_default(),
+        )
+    }
+}
+
+/// The result of one session run: outcomes, reuse classification, store
+/// traffic, the counter block, and the single serializer every `--stats`
+/// and `--json` consumer goes through.
+#[derive(Debug)]
+pub struct SessionReport {
+    /// Program name.
+    pub program: String,
+    /// `(property, outcome)` in declaration order.
+    pub outcomes: Vec<(String, Outcome)>,
+    /// Properties whose previous certificates were reused wholesale.
+    pub reused: Vec<String>,
+    /// Properties whose certificates were patched per-case.
+    pub partial: Vec<String>,
+    /// Properties proved from scratch.
+    pub reproved: Vec<String>,
+    /// Certificates loaded from the proof store.
+    pub store_loaded: usize,
+    /// Certificates written back to the proof store.
+    pub store_saved: usize,
+    /// Whether fresh certificates were validated by the independent
+    /// checker during this run (reused store certificates always are).
+    pub certificates_checked: bool,
+    /// The run's counter block and per-property rows.
+    pub stats: ProverStats,
+    /// Whole-session wall-clock, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl SessionReport {
+    /// Properties proved.
+    pub fn proved(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| o.is_proved()).count()
+    }
+
+    /// Properties not proved (genuine failures *and* budget timeouts —
+    /// both mean "no certificate", which is what exit codes care about).
+    pub fn failures(&self) -> usize {
+        self.outcomes.len() - self.proved()
+    }
+
+    /// Properties stopped by the session budget.
+    pub fn timeouts(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| o.is_timeout()).count()
+    }
+
+    /// One ✓/✗/⏱ line per property (plus an indented failure reason),
+    /// matching the `rx verify` output format.
+    pub fn render_properties(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (name, outcome) in &self.outcomes {
+            match outcome {
+                Outcome::Proved(cert) => {
+                    let how = if self.reused.iter().any(|n| n == name) {
+                        ", reused from store, re-checked"
+                    } else if self.partial.iter().any(|n| n == name) {
+                        ", patched per-case, re-checked"
+                    } else if self.certificates_checked {
+                        ", certificate checked"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(
+                        s,
+                        "  ✓ {name}  ({} obligations{how})",
+                        cert.obligation_count()
+                    );
+                }
+                Outcome::Timeout(failure) => {
+                    let _ = writeln!(s, "  ⏱ {name} (timeout)");
+                    let _ = writeln!(s, "      {failure}");
+                }
+                Outcome::Failed(failure) => {
+                    let _ = writeln!(s, "  ✗ {name}");
+                    let _ = writeln!(s, "      {failure}");
+                }
+            }
+        }
+        s
+    }
+
+    /// One summary line, e.g.
+    /// `5 reused, 1 patched, 2 re-proved (3 from store) in 412.0 ms`.
+    pub fn summary(&self) -> String {
+        let store = if self.store_loaded > 0 {
+            format!(" ({} from store)", self.store_loaded)
+        } else {
+            String::new()
+        };
+        format!(
+            "{} reused, {} patched, {} re-proved{store} in {:.1} ms",
+            self.reused.len(),
+            self.partial.len(),
+            self.reproved.len(),
+            self.wall_ms
+        )
+    }
+
+    /// The human-readable counter block (`rx verify --stats`).
+    pub fn render_stats(&self) -> String {
+        self.stats.render()
+    }
+
+    /// The whole report as one JSON document (`rx verify --json`). Same
+    /// field names as the event stream, so the two can be joined.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut props = String::new();
+        for (i, (name, outcome)) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                props.push(',');
+            }
+            let status = status_of(outcome);
+            let row = self.stats.properties.iter().find(|p| p.name == *name);
+            let _ = write!(
+                props,
+                r#"{{"name":{},"status":"{}","obligations":{},"wall_ms":{:.1}}}"#,
+                json_string(name),
+                status.as_str(),
+                outcome
+                    .certificate()
+                    .map_or(0, Certificate::obligation_count),
+                row.map_or(0.0, |p| p.wall_ms),
+            );
+        }
+        format!(
+            concat!(
+                r#"{{"program":{},"jobs":{},"wall_ms":{:.1},"#,
+                r#""proved":{},"failed":{},"timeout":{},"#,
+                r#""reused":{},"partial":{},"reproved":{},"#,
+                r#""store_loaded":{},"store_saved":{},"#,
+                r#""paths_explored":{},"cache_hits":{},"cache_misses":{},"#,
+                r#""solver_queries":{},"solver_memo_hits":{},"interned_terms":{},"#,
+                r#""properties":[{}]}}"#
+            ),
+            json_string(&self.program),
+            self.stats.jobs,
+            self.wall_ms,
+            self.proved(),
+            self.failures() - self.timeouts(),
+            self.timeouts(),
+            self.reused.len(),
+            self.partial.len(),
+            self.reproved.len(),
+            self.store_loaded,
+            self.store_saved,
+            self.stats.paths_explored,
+            self.stats.cache.invariant_hits + self.stats.cache.lemma_hits,
+            self.stats.cache.invariant_misses + self.stats.cache.lemma_misses,
+            self.stats.solver_queries,
+            self.stats.solver_memo_hits,
+            self.stats.interned_terms,
+            props
+        )
+    }
+}
+
+fn status_of(outcome: &Outcome) -> PropertyStatus {
+    match outcome {
+        Outcome::Proved(_) => PropertyStatus::Proved,
+        Outcome::Timeout(_) => PropertyStatus::Timeout,
+        Outcome::Failed(_) => PropertyStatus::Failed,
+    }
+}
+
+/// A staged, instrumented verification pipeline over a shared [`Env`].
+///
+/// One session verifies one program (from a path, source text, a checked
+/// program, or incrementally against previous certificates); construct
+/// many sessions over one [`Env`] — or use [`SessionBatch`] — to share
+/// the proof cache and budget across kernels.
+#[derive(Debug, Clone)]
+pub struct VerifySession {
+    env: Arc<Env>,
+    /// Verify only this property, when set.
+    property: Option<String>,
+    /// Validate fresh certificates with the independent checker.
+    check_certificates: bool,
+}
+
+impl VerifySession {
+    /// A session with its own fresh [`Env`].
+    pub fn new(config: SessionConfig) -> Result<VerifySession, SessionError> {
+        let property = config.property.clone();
+        Ok(VerifySession {
+            env: Arc::new(Env::new(&config)?),
+            property,
+            check_certificates: true,
+        })
+    }
+
+    /// A session over an existing shared [`Env`] (what [`SessionBatch`]
+    /// does internally).
+    pub fn with_env(env: Arc<Env>) -> VerifySession {
+        VerifySession {
+            env,
+            property: None,
+            check_certificates: true,
+        }
+    }
+
+    /// The shared state (options, cache, store, budget).
+    pub fn env(&self) -> &Arc<Env> {
+        &self.env
+    }
+
+    /// The session budget, for cooperative cancellation from another
+    /// thread ([`ProofBudget::cancel`]).
+    pub fn budget(&self) -> Option<&Arc<ProofBudget>> {
+        self.env.budget.as_ref()
+    }
+
+    /// Disables independent-checker validation of fresh certificates
+    /// (store-loaded certificates are always re-validated regardless).
+    pub fn without_certificate_checks(mut self) -> VerifySession {
+        self.check_certificates = false;
+        self
+    }
+
+    /// Runs the full pipeline on a kernel file: `Load` through `Report`.
+    pub fn verify_path(
+        &self,
+        path: &str,
+        sink: &dyn Instrument,
+    ) -> Result<SessionReport, SessionError> {
+        let load_start = Instant::now();
+        sink.event(&Event::StageStart { stage: Stage::Load });
+        let src = std::fs::read_to_string(path).map_err(|e| SessionError::Load {
+            path: path.to_owned(),
+            message: e.to_string(),
+        })?;
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("kernel")
+            .to_owned();
+        sink.event(&Event::StageFinish {
+            stage: Stage::Load,
+            wall_ms: ms_since(load_start),
+        });
+        self.verify_source(&name, &src, sink)
+    }
+
+    /// Runs the pipeline on in-memory source: `Parse` through `Report`.
+    pub fn verify_source(
+        &self,
+        name: &str,
+        src: &str,
+        sink: &dyn Instrument,
+    ) -> Result<SessionReport, SessionError> {
+        let parse_start = Instant::now();
+        sink.event(&Event::StageStart {
+            stage: Stage::Parse,
+        });
+        let program = reflex_parser::parse_program(name, src)
+            .map_err(|e| SessionError::Parse(e.to_string()))?;
+        sink.event(&Event::StageFinish {
+            stage: Stage::Parse,
+            wall_ms: ms_since(parse_start),
+        });
+
+        let typecheck_start = Instant::now();
+        sink.event(&Event::StageStart {
+            stage: Stage::Typecheck,
+        });
+        let checked =
+            reflex_typeck::check(&program).map_err(|e| SessionError::Typecheck(e.to_string()))?;
+        sink.event(&Event::StageFinish {
+            stage: Stage::Typecheck,
+            wall_ms: ms_since(typecheck_start),
+        });
+        self.verify_checked(&checked, sink)
+    }
+
+    /// Runs `Plan` through `Report` on an already-checked program.
+    pub fn verify_checked(
+        &self,
+        checked: &CheckedProgram,
+        sink: &dyn Instrument,
+    ) -> Result<SessionReport, SessionError> {
+        self.run(checked, None, sink)
+    }
+
+    /// Runs `Plan` through `Report`, reusing `previous` certificates from
+    /// an earlier in-process run (the watch loop's in-memory mode).
+    pub fn verify_incremental(
+        &self,
+        checked: &CheckedProgram,
+        previous: &[(String, Certificate)],
+        sink: &dyn Instrument,
+    ) -> Result<SessionReport, SessionError> {
+        self.run(checked, Some(previous), sink)
+    }
+
+    /// The `Plan → Prove → Persist → Report` core every entry point above
+    /// funnels into.
+    fn run(
+        &self,
+        checked: &CheckedProgram,
+        previous: Option<&[(String, Certificate)]>,
+        sink: &dyn Instrument,
+    ) -> Result<SessionReport, SessionError> {
+        let env = &*self.env;
+        let options = &env.options;
+        let session_start = Instant::now();
+        sink.event(&Event::SessionStart {
+            program: checked.program().name.clone(),
+            jobs: env.jobs,
+        });
+
+        let cache = env.cache_for(checked.fingerprints().program);
+        let paths_before = reflex_verify::paths_explored();
+        let memo_before = reflex_symbolic::entailment_memo_stats();
+        let cache_before = cache.stats();
+
+        // ---- Plan: store candidates / previous certificates -------------
+        let plan_start = Instant::now();
+        sink.event(&Event::StageStart { stage: Stage::Plan });
+        let candidates: Vec<(String, Certificate)> = match (previous, &env.store) {
+            (Some(prev), _) => prev.to_vec(),
+            (None, Some(store)) => load_candidates(checked, options, store),
+            (None, None) => Vec::new(),
+        };
+        let store_loaded = if env.store.is_some() && previous.is_none() {
+            candidates.len()
+        } else {
+            0
+        };
+        sink.event(&Event::StageFinish {
+            stage: Stage::Plan,
+            wall_ms: ms_since(plan_start),
+        });
+
+        // ---- Prove ------------------------------------------------------
+        let prove_start = Instant::now();
+        sink.event(&Event::StageStart {
+            stage: Stage::Prove,
+        });
+        let prop_rows: Mutex<Vec<PropStats>> = Mutex::new(Vec::new());
+        let observe = |name: &str, reuse: Reuse, outcome: &Outcome, wall_ms: f64| {
+            sink.event(&Event::Property {
+                name: name.to_owned(),
+                status: status_of(outcome),
+                reuse: Some(reuse.as_str()),
+                obligations: outcome
+                    .certificate()
+                    .map_or(0, Certificate::obligation_count),
+                wall_ms,
+            });
+            if let Ok(mut rows) = prop_rows.lock() {
+                rows.push(PropStats {
+                    name: name.to_owned(),
+                    proved: outcome.is_proved(),
+                    wall_ms,
+                    obligations: outcome
+                        .certificate()
+                        .map_or(0, Certificate::obligation_count),
+                });
+            }
+        };
+
+        let (outcomes, reused, partial, reproved) =
+            if candidates.is_empty() && previous.is_none() && env.store.is_none() {
+                // Plain proving: fan the properties out over the program's
+                // shared cross-property cache (env-wide, so a repeated
+                // session over the same program starts warm).
+                let proved = self.prove_fresh(checked, &cache, sink)?;
+                if let Ok(mut rows) = prop_rows.lock() {
+                    rows.extend(proved.iter().map(|(name, outcome, wall_ms)| {
+                        PropStats {
+                            name: name.clone(),
+                            proved: outcome.is_proved(),
+                            wall_ms: *wall_ms,
+                            obligations: outcome
+                                .certificate()
+                                .map_or(0, Certificate::obligation_count),
+                        }
+                    }));
+                }
+                let outcomes: Vec<(String, Outcome)> = proved
+                    .into_iter()
+                    .map(|(name, outcome, _)| (name, outcome))
+                    .collect();
+                let reproved = outcomes.iter().map(|(n, _)| n.clone()).collect();
+                (outcomes, Vec::new(), Vec::new(), reproved)
+            } else {
+                // Reuse ladder: store candidates are validated by the
+                // independent checker before being trusted; in-process
+                // certificates are exactly as trustworthy as their run.
+                let validate = previous.is_none();
+                let report = reverify_observed(
+                    &candidates,
+                    checked,
+                    options,
+                    env.jobs,
+                    validate,
+                    Some(&observe),
+                )?;
+                (
+                    report.outcomes,
+                    report.reused,
+                    report.partial,
+                    report.reproved,
+                )
+            };
+        sink.event(&Event::StageFinish {
+            stage: Stage::Prove,
+            wall_ms: ms_since(prove_start),
+        });
+
+        // ---- Persist ----------------------------------------------------
+        let mut store_saved = 0usize;
+        if let (Some(store), None) = (&env.store, previous) {
+            let persist_start = Instant::now();
+            sink.event(&Event::StageStart {
+                stage: Stage::Persist,
+            });
+            store_saved = persist_outcomes(checked, options, store, &outcomes);
+            sink.event(&Event::StageFinish {
+                stage: Stage::Persist,
+                wall_ms: ms_since(persist_start),
+            });
+        }
+
+        // ---- Report -----------------------------------------------------
+        let report_start = Instant::now();
+        sink.event(&Event::StageStart {
+            stage: Stage::Report,
+        });
+        let memo_after = reflex_symbolic::entailment_memo_stats();
+        let cache_stats = cache_delta(&cache_before, &cache.stats());
+        let mut rows = prop_rows.into_inner().unwrap_or_default();
+        // Worker threads pushed rows in completion order; report them in
+        // declaration order like every other consumer.
+        rows.sort_by_key(|r| {
+            outcomes
+                .iter()
+                .position(|(n, _)| *n == r.name)
+                .unwrap_or(usize::MAX)
+        });
+        let stats = ProverStats {
+            jobs: env.jobs,
+            total_ms: ms_since(session_start),
+            properties: rows,
+            paths_explored: reflex_verify::paths_explored() - paths_before,
+            cache: cache_stats,
+            solver_queries: memo_after.queries.saturating_sub(memo_before.queries),
+            solver_memo_hits: memo_after.hits.saturating_sub(memo_before.hits),
+            interned_terms: reflex_symbolic::intern_stats().nodes,
+        };
+        sink.event(&Event::Counters(Counters {
+            paths_explored: stats.paths_explored,
+            cache_hits: stats.cache.invariant_hits + stats.cache.lemma_hits,
+            cache_misses: stats.cache.invariant_misses + stats.cache.lemma_misses,
+            solver_queries: stats.solver_queries,
+            solver_memo_hits: stats.solver_memo_hits,
+            interned_terms: stats.interned_terms,
+            store_loaded: store_loaded as u64,
+            store_saved: store_saved as u64,
+        }));
+        sink.event(&Event::StageFinish {
+            stage: Stage::Report,
+            wall_ms: ms_since(report_start),
+        });
+
+        let report = SessionReport {
+            program: checked.program().name.clone(),
+            reused,
+            partial,
+            reproved,
+            store_loaded,
+            store_saved,
+            certificates_checked: self.check_certificates || env.store.is_some(),
+            wall_ms: ms_since(session_start),
+            stats,
+            outcomes,
+        };
+        sink.event(&Event::SessionFinish {
+            proved: report.proved(),
+            failed: report.failures() - report.timeouts(),
+            timeout: report.timeouts(),
+            wall_ms: report.wall_ms,
+        });
+        Ok(report)
+    }
+
+    /// Plain (non-incremental) proving: the property fan-out over the
+    /// env's shared cache, with per-property events and independent
+    /// certificate checking.
+    fn prove_fresh(
+        &self,
+        checked: &CheckedProgram,
+        cache: &ProofCache,
+        sink: &dyn Instrument,
+    ) -> Result<Vec<(String, Outcome, f64)>, SessionError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::OnceLock;
+
+        let env = &*self.env;
+        let options = &env.options;
+        let abs = Abstraction::build(checked, options);
+        let names: Vec<String> = match &self.property {
+            Some(p) => {
+                // Surface the unknown-property error before spawning
+                // anything.
+                if checked.program().property(p).is_none() {
+                    return Err(SessionError::Verify(VerifyError::NoSuchProperty {
+                        name: p.clone(),
+                    }));
+                }
+                vec![p.clone()]
+            }
+            None => checked
+                .program()
+                .properties
+                .iter()
+                .map(|p| p.name.clone())
+                .collect(),
+        };
+
+        type Slot = OnceLock<Result<(Outcome, f64), SessionError>>;
+        let slots: Vec<Slot> = (0..names.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = env.jobs.min(names.len()).max(1);
+        let prove_one = |name: &str| -> Result<(Outcome, f64), SessionError> {
+            let start = Instant::now();
+            let outcome = prove_with_cache(&abs, name, options, Some(cache))?;
+            if self.check_certificates {
+                if let Some(cert) = outcome.certificate() {
+                    check_certificate_with(&abs, cert, options).map_err(|e| {
+                        SessionError::Check {
+                            property: name.to_owned(),
+                            message: e.to_string(),
+                        }
+                    })?;
+                }
+            }
+            let wall_ms = ms_since(start);
+            sink.event(&Event::Property {
+                name: name.to_owned(),
+                status: status_of(&outcome),
+                reuse: None,
+                obligations: outcome
+                    .certificate()
+                    .map_or(0, Certificate::obligation_count),
+                wall_ms,
+            });
+            Ok((outcome, wall_ms))
+        };
+        if workers > 1 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(name) = names.get(i) else { break };
+                        let _ = slots[i].set(prove_one(name));
+                    });
+                }
+            });
+        } else {
+            for (i, name) in names.iter().enumerate() {
+                let _ = slots[i].set(prove_one(name));
+            }
+        }
+
+        let mut outcomes = Vec::with_capacity(names.len());
+        for (name, slot) in names.into_iter().zip(slots) {
+            let (outcome, wall_ms) = slot.into_inner().expect("every property slot filled")?;
+            outcomes.push((name, outcome, wall_ms));
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Verifies many kernels concurrently over one shared [`Env`]: the term
+/// interner (process-global), the cross-property proof cache and the
+/// session budget are all shared, so an auxiliary invariant proved for
+/// one kernel is free for every other, and one budget bounds the whole
+/// batch.
+#[derive(Debug)]
+pub struct SessionBatch {
+    env: Arc<Env>,
+    check_certificates: bool,
+}
+
+/// One kernel of a [`SessionBatch`].
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Program name (for reports and events).
+    pub name: String,
+    /// Kernel source text.
+    pub source: String,
+}
+
+impl SessionBatch {
+    /// A batch with a fresh shared [`Env`].
+    pub fn new(config: SessionConfig) -> Result<SessionBatch, SessionError> {
+        Ok(SessionBatch {
+            env: Arc::new(Env::new(&config)?),
+            check_certificates: true,
+        })
+    }
+
+    /// A batch over an existing shared [`Env`].
+    pub fn with_env(env: Arc<Env>) -> SessionBatch {
+        SessionBatch {
+            env,
+            check_certificates: true,
+        }
+    }
+
+    /// The shared state.
+    pub fn env(&self) -> &Arc<Env> {
+        &self.env
+    }
+
+    /// Disables independent-checker validation of fresh certificates.
+    pub fn without_certificate_checks(mut self) -> SessionBatch {
+        self.check_certificates = false;
+        self
+    }
+
+    /// Verifies every kernel, fanning them out over the env's job pool.
+    /// Results are in input order; each kernel gets its own
+    /// [`SessionReport`] (or [`SessionError`]), and all sessions emit
+    /// into the same sink.
+    pub fn verify(
+        &self,
+        items: &[BatchItem],
+        sink: &dyn Instrument,
+    ) -> Vec<Result<SessionReport, SessionError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::OnceLock;
+
+        type Slot = OnceLock<Result<SessionReport, SessionError>>;
+        let slots: Vec<Slot> = (0..items.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.env.jobs.min(items.len()).max(1);
+        let run_one = |item: &BatchItem| {
+            let mut session = VerifySession::with_env(self.env.clone());
+            session.check_certificates = self.check_certificates;
+            session.verify_source(&item.name, &item.source, sink)
+        };
+        if workers > 1 {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let _ = slots[i].set(run_one(item));
+                    });
+                }
+            });
+        } else {
+            for (i, item) in items.iter().enumerate() {
+                let _ = slots[i].set(run_one(item));
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every batch slot filled"))
+            .collect()
+    }
+}
+
+/// `Load → Parse → Typecheck` as a standalone helper, for entry points
+/// that need a checked program without proving anything (`rx check`,
+/// `rx falsify`, `rx show`, `rx run`).
+pub fn load_program(path: &str) -> Result<CheckedProgram, SessionError> {
+    let src = std::fs::read_to_string(path).map_err(|e| SessionError::Load {
+        path: path.to_owned(),
+        message: e.to_string(),
+    })?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel");
+    let program = reflex_parser::parse_program(name, &src)
+        .map_err(|e| SessionError::Parse(format!("{path}: {e}")))?;
+    reflex_typeck::check(&program).map_err(|e| SessionError::Typecheck(e.to_string()))
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Session-scoped cache counters: the difference between two snapshots of
+/// a long-lived (batch-shared) cache. Entry counts report the live table
+/// size, not a delta.
+fn cache_delta(before: &CacheStats, after: &CacheStats) -> CacheStats {
+    CacheStats {
+        invariant_entries: after.invariant_entries,
+        lemma_entries: after.lemma_entries,
+        invariant_hits: after.invariant_hits.saturating_sub(before.invariant_hits),
+        invariant_misses: after
+            .invariant_misses
+            .saturating_sub(before.invariant_misses),
+        lemma_hits: after.lemma_hits.saturating_sub(before.lemma_hits),
+        lemma_misses: after.lemma_misses.saturating_sub(before.lemma_misses),
+    }
+}

@@ -1,0 +1,78 @@
+//! The edit-verify loop: repeated [`VerifySession`] runs that carry
+//! certificates forward from one iteration to the next.
+//!
+//! With a proof store configured the carrying is done by the store itself
+//! (certificates persist across processes); without one, the session
+//! keeps the previous iteration's certificates in memory and hands them
+//! to the incremental planner each round.
+
+use reflex_typeck::CheckedProgram;
+use reflex_verify::certificate::Certificate;
+
+use crate::{Instrument, SessionConfig, SessionError, SessionReport, VerifySession};
+
+/// A long-lived verification session for the watch loop.
+#[derive(Debug)]
+pub struct WatchSession {
+    session: VerifySession,
+    store_mode: bool,
+    previous: Vec<(String, Certificate)>,
+}
+
+/// The result of one watch iteration.
+#[derive(Debug)]
+pub struct WatchIteration {
+    /// The underlying session report.
+    pub report: SessionReport,
+}
+
+impl WatchSession {
+    /// Creates a session. With `store_dir` set in the config, certificates
+    /// are reused through the proof store; otherwise they are carried
+    /// in memory from iteration to iteration.
+    pub fn new(config: SessionConfig) -> Result<WatchSession, SessionError> {
+        let store_mode = config.store_dir.is_some();
+        Ok(WatchSession {
+            session: VerifySession::new(config)?,
+            store_mode,
+            previous: Vec::new(),
+        })
+    }
+
+    /// Verifies the program, reusing whatever previous certificates still
+    /// apply, and remembers this iteration's certificates for the next.
+    pub fn verify(
+        &mut self,
+        checked: &CheckedProgram,
+        sink: &dyn Instrument,
+    ) -> Result<WatchIteration, SessionError> {
+        let report = if self.store_mode {
+            self.session.verify_checked(checked, sink)?
+        } else {
+            let report = self
+                .session
+                .verify_incremental(checked, &self.previous, sink)?;
+            self.previous = report
+                .outcomes
+                .iter()
+                .filter_map(|(name, o)| o.certificate().map(|c| (name.clone(), c.clone())))
+                .collect();
+            report
+        };
+        Ok(WatchIteration { report })
+    }
+}
+
+impl WatchIteration {
+    /// Number of properties that failed to verify this iteration
+    /// (including budget timeouts).
+    pub fn failures(&self) -> usize {
+        self.report.failures()
+    }
+
+    /// One-line summary, e.g.
+    /// `5 reused, 1 patched, 2 re-proved (3 from store) in 412.0 ms`.
+    pub fn summary(&self) -> String {
+        self.report.summary()
+    }
+}

@@ -1,0 +1,214 @@
+//! Integration tests for the `VerifySession` pipeline engine: budget
+//! expiry, event-count determinism across worker counts, in-memory watch
+//! reuse, and batch verification.
+
+use reflex_driver::{
+    BatchItem, Event, MemorySink, NullSink, PropertyStatus, SessionBatch, SessionConfig,
+    VerifySession, WatchSession,
+};
+use reflex_verify::ProverOptions;
+
+fn checked(name: &str, source: &str) -> reflex_typeck::CheckedProgram {
+    let program = reflex_parser::parse_program(name, source).expect("kernel parses");
+    reflex_typeck::check(&program).expect("kernel typechecks")
+}
+
+fn session(config: SessionConfig) -> VerifySession {
+    VerifySession::new(config).expect("session opens")
+}
+
+/// An exhausted wall-clock budget must stop every property with
+/// `Outcome::Timeout` — never hang, never report a plain failure.
+#[test]
+fn expired_wall_clock_budget_reports_timeout_for_every_property() {
+    let car = checked("car", reflex_kernels::car::SOURCE);
+    let sink = MemorySink::new();
+    let report = session(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 1,
+        budget_ms: Some(0),
+        ..SessionConfig::default()
+    })
+    .verify_checked(&car, &sink)
+    .expect("session completes despite the budget");
+
+    assert!(!report.outcomes.is_empty());
+    assert_eq!(
+        report.timeouts(),
+        report.outcomes.len(),
+        "all must time out"
+    );
+    assert_eq!(report.proved(), 0);
+    for (name, outcome) in &report.outcomes {
+        assert!(outcome.is_timeout(), "{name} should be a timeout");
+        let reason = outcome.failure().expect("timeout carries a reason");
+        assert!(
+            reason.reason.contains("budget"),
+            "{name}: reason should mention the budget: {}",
+            reason.reason
+        );
+    }
+    // The sink saw the same story.
+    let statuses: Vec<_> = sink
+        .properties()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Property { status, .. } => Some(*status),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(statuses.len(), report.outcomes.len());
+    assert!(statuses.iter().all(|s| *s == PropertyStatus::Timeout));
+}
+
+/// A node budget too small for real proof search must surface as timeouts,
+/// and the session must still terminate with a report.
+#[test]
+fn tiny_node_budget_reports_timeouts_not_hangs() {
+    let ssh = checked("ssh", reflex_kernels::ssh::SOURCE);
+    let report = session(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 2,
+        budget_nodes: Some(1),
+        ..SessionConfig::default()
+    })
+    .verify_checked(&ssh, &NullSink)
+    .expect("session completes despite the budget");
+
+    assert!(report.timeouts() > 0, "a 1-node budget cannot prove ssh");
+    assert_eq!(
+        report.failures(),
+        report.outcomes.len() - report.proved(),
+        "timeouts count as failures"
+    );
+}
+
+/// Serial and parallel runs must emit the same *events* (same properties,
+/// same statuses, same obligation counts) — only timings may differ — and
+/// byte-identical certificates.
+#[test]
+fn event_counts_and_certificates_match_across_job_counts() {
+    let car = checked("car", reflex_kernels::car::SOURCE);
+
+    let run = |jobs: usize| {
+        let sink = MemorySink::new();
+        let report = session(SessionConfig {
+            options: ProverOptions::default(),
+            jobs,
+            ..SessionConfig::default()
+        })
+        .verify_checked(&car, &sink)
+        .expect("car verifies");
+        (report, sink)
+    };
+    let (serial, serial_sink) = run(1);
+    let (parallel, parallel_sink) = run(8);
+
+    assert_eq!(
+        serial_sink.len(),
+        parallel_sink.len(),
+        "event counts differ"
+    );
+
+    let rows = |sink: &MemorySink| {
+        let mut v: Vec<(String, PropertyStatus, usize)> = sink
+            .properties()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Property {
+                    name,
+                    status,
+                    obligations,
+                    ..
+                } => Some((name.clone(), *status, *obligations)),
+                _ => None,
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    };
+    assert_eq!(rows(&serial_sink), rows(&parallel_sink));
+
+    // Certificates must be byte-identical, not merely equivalent.
+    assert_eq!(serial.outcomes.len(), parallel.outcomes.len());
+    for ((name_s, out_s), (name_p, out_p)) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(name_s, name_p, "property order must be declaration order");
+        assert_eq!(
+            out_s.certificate(),
+            out_p.certificate(),
+            "{name_s}: serial and parallel certificates differ"
+        );
+    }
+}
+
+/// The in-memory watch loop: iteration one proves from scratch, iteration
+/// two (unchanged program) reuses every certificate in full.
+#[test]
+fn watch_session_reuses_certificates_across_iterations() {
+    let car = checked("car", reflex_kernels::car::SOURCE);
+    let mut watch = WatchSession::new(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 1,
+        ..SessionConfig::default()
+    })
+    .expect("watch session opens");
+
+    let first = watch.verify(&car, &NullSink).expect("first iteration");
+    assert_eq!(first.failures(), 0);
+    assert!(first.report.reused.is_empty(), "nothing to reuse yet");
+
+    let second = watch.verify(&car, &NullSink).expect("second iteration");
+    assert_eq!(second.failures(), 0);
+    assert_eq!(
+        second.report.reused.len(),
+        second.report.outcomes.len(),
+        "an unchanged program must reuse every proof: {:?}",
+        second.report.summary()
+    );
+}
+
+/// A batch verifies distinct kernels concurrently, one report each, in
+/// input order — and the per-program cache namespacing keeps their
+/// packages from cross-contaminating.
+#[test]
+fn batch_verifies_many_kernels_in_input_order() {
+    let batch = SessionBatch::new(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 4,
+        ..SessionConfig::default()
+    })
+    .expect("batch opens");
+    let items = vec![
+        BatchItem {
+            name: "car".to_owned(),
+            source: reflex_kernels::car::SOURCE.to_owned(),
+        },
+        BatchItem {
+            name: "ssh".to_owned(),
+            source: reflex_kernels::ssh::SOURCE.to_owned(),
+        },
+    ];
+    let reports = batch.verify(&items, &NullSink);
+    assert_eq!(reports.len(), 2);
+    for (item, report) in items.iter().zip(&reports) {
+        let report = report.as_ref().expect("kernel verifies");
+        assert_eq!(report.program, item.name);
+        assert_eq!(report.failures(), 0, "{}: {}", item.name, report.summary());
+    }
+}
+
+/// Asking for a property that does not exist is a session error, not a
+/// silent empty report.
+#[test]
+fn unknown_property_filter_is_an_error() {
+    let car = checked("car", reflex_kernels::car::SOURCE);
+    let err = session(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 1,
+        property: Some("NoSuchThing".to_owned()),
+        ..SessionConfig::default()
+    })
+    .verify_checked(&car, &NullSink)
+    .expect_err("must refuse an unknown property");
+    assert!(err.to_string().contains("NoSuchThing"), "{err}");
+}

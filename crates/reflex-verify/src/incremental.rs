@@ -238,17 +238,57 @@ pub fn reverify_jobs(
 ) -> Result<IncrementalReport, VerifyError> {
     // In-memory certificates are exactly as trustworthy as the run that
     // produced them, so reuse does not re-run the checker.
-    reverify_core(previous, new, options, jobs, false)
+    reverify_core(previous, new, options, jobs, false, None)
+}
+
+/// [`reverify_jobs`] with a per-property [`PropObserver`] invoked as each
+/// outcome is decided, and an explicit trust decision for `previous`.
+///
+/// With `validate` set, every reused or spliced certificate must pass
+/// [`crate::check_certificate`] against `new` before it is reported
+/// (rejects fall back to a re-prove) — required when `previous` came from
+/// unreliable media like the on-disk proof store. Leave it unset for
+/// certificates produced in this process. This is the session engine's
+/// entry point; `(false, None)` is exactly [`reverify_jobs`].
+pub fn reverify_observed(
+    previous: &[(String, Certificate)],
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    jobs: usize,
+    validate: bool,
+    observer: Option<PropObserver<'_>>,
+) -> Result<IncrementalReport, VerifyError> {
+    reverify_core(previous, new, options, jobs, validate, observer)
 }
 
 /// How a property's outcome was actually obtained (the plan, demoted to
-/// `Reproved` when validation rejects reused content).
+/// [`Reuse::Reproved`] when validation rejects reused content).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Used {
+pub enum Reuse {
+    /// The previous certificate was returned unchanged.
     Full,
+    /// Unchanged cases were spliced from the previous certificate; dirty
+    /// cases re-proved.
     Partial,
+    /// Proved from scratch.
     Reproved,
 }
+
+impl Reuse {
+    /// Stable lower-case name, as used in instrumentation events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Reuse::Full => "full",
+            Reuse::Partial => "partial",
+            Reuse::Reproved => "reproved",
+        }
+    }
+}
+
+/// Per-property observer invoked as each property's outcome is decided:
+/// `(property, reuse, outcome, wall_ms)`. May be called from worker
+/// threads, in completion (not declaration) order.
+pub type PropObserver<'a> = &'a (dyn Fn(&str, Reuse, &Outcome, f64) + Sync);
 
 /// The engine behind [`reverify_jobs`] and the proof store's
 /// [`crate::store::verify_with_store`].
@@ -265,6 +305,7 @@ pub(crate) fn reverify_core(
     options: &ProverOptions,
     jobs: usize,
     validate: bool,
+    observer: Option<PropObserver<'_>>,
 ) -> Result<IncrementalReport, VerifyError> {
     let graph = DepGraph::build(previous)?;
     let abs = Abstraction::build(new, options);
@@ -279,13 +320,13 @@ pub(crate) fn reverify_core(
     let shared = options.shared_cache.then_some(&cache);
     let jobs = crate::options::resolve_jobs(jobs);
 
-    let reprove = |name: &str| -> Result<(Outcome, Used), VerifyError> {
+    let reprove = |name: &str| -> Result<(Outcome, Reuse), VerifyError> {
         Ok((
             crate::prove_with_cache(&abs, name, options, shared)?,
-            Used::Reproved,
+            Reuse::Reproved,
         ))
     };
-    let execute = |name: &str, plan: &ReusePlan| -> Result<(Outcome, Used), VerifyError> {
+    let execute_inner = |name: &str, plan: &ReusePlan| -> Result<(Outcome, Reuse), VerifyError> {
         match plan {
             ReusePlan::Full => {
                 let cert = graph
@@ -294,7 +335,7 @@ pub(crate) fn reverify_core(
                 if validate && crate::check_certificate_with(&abs, cert, options).is_err() {
                     return reprove(name);
                 }
-                Ok((Outcome::Proved(cert.clone()), Used::Full))
+                Ok((Outcome::Proved(cert.clone()), Reuse::Full))
             }
             ReusePlan::Partial { dirty } => {
                 let prop = new
@@ -320,16 +361,24 @@ pub(crate) fn reverify_core(
                         }
                     }
                 }
-                Ok((outcome, Used::Partial))
+                Ok((outcome, Reuse::Partial))
             }
             ReusePlan::Reprove => reprove(name),
         }
     };
+    let execute = |name: &str, plan: &ReusePlan| -> Result<(Outcome, Reuse), VerifyError> {
+        let start = std::time::Instant::now();
+        let result = execute_inner(name, plan);
+        if let (Some(observe), Ok((outcome, reuse))) = (observer, &result) {
+            observe(name, *reuse, outcome, start.elapsed().as_secs_f64() * 1e3);
+        }
+        result
+    };
 
-    let executed: Vec<Result<(Outcome, Used), VerifyError>> = if jobs > 1 && plans.len() > 1 {
+    let executed: Vec<Result<(Outcome, Reuse), VerifyError>> = if jobs > 1 && plans.len() > 1 {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::OnceLock;
-        let slots: Vec<OnceLock<Result<(Outcome, Used), VerifyError>>> =
+        let slots: Vec<OnceLock<Result<(Outcome, Reuse), VerifyError>>> =
             (0..plans.len()).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let workers = jobs.min(plans.len());
@@ -362,9 +411,9 @@ pub(crate) fn reverify_core(
     for ((name, _), result) in plans.into_iter().zip(executed) {
         let (outcome, used) = result?;
         match used {
-            Used::Full => reused.push(name.clone()),
-            Used::Partial => partial.push(name.clone()),
-            Used::Reproved => reproved.push(name.clone()),
+            Reuse::Full => reused.push(name.clone()),
+            Reuse::Partial => partial.push(name.clone()),
+            Reuse::Reproved => reproved.push(name.clone()),
         }
         outcomes.push((name, outcome));
     }

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod abstraction;
+pub mod budget;
 mod cache;
 pub mod canon;
 pub mod certificate;
@@ -55,18 +56,23 @@ mod shared;
 mod stats;
 pub mod store;
 mod trace_prover;
-pub mod watch;
 
 pub use abstraction::{Abstraction, World};
+pub use budget::{BudgetExceeded, ProofBudget};
 pub use cache::{CacheStats, ProofCache};
 pub use certificate::{Certificate, DepSet};
 pub use checker::{check_certificate, check_certificate_with, CheckError};
 pub use falsify::{falsify, Counterexample, FalsifyOptions};
-pub use incremental::{reverify, reverify_jobs, DepGraph, IncrementalReport, ReusePlan};
-pub use options::{Outcome, ProofFailure, ProverOptions, VerifyError};
+pub use incremental::{
+    reverify, reverify_jobs, reverify_observed, DepGraph, IncrementalReport, PropObserver, Reuse,
+    ReusePlan,
+};
+pub use options::{resolve_jobs, Outcome, ProofFailure, ProverOptions, VerifyError};
 pub use stats::{paths_explored, PropStats, ProverStats};
-pub use store::{verify_with_store, ProofStore, StoreHead, StoreReport, STORE_VERSION};
-pub use watch::{WatchIteration, WatchSession};
+pub use store::{
+    load_candidates, persist_outcomes, verify_with_store, verify_with_store_observed, ProofStore,
+    StoreHead, StoreReport, STORE_VERSION,
+};
 
 use reflex_ast::PropBody;
 use reflex_typeck::CheckedProgram;
@@ -147,11 +153,32 @@ why Reflex replaced broadcast)"
                 .into(),
         }));
     }
+    // Fail fast when the session budget is already spent: a batch whose
+    // budget tripped on one property should not burn the same allowance
+    // again on each remaining property.
+    if let Some(b) = &options.budget {
+        if let Err(why) = b.check() {
+            return Ok(Outcome::Timeout(ProofFailure {
+                location: format!("property `{property}`"),
+                reason: format!(
+                    "{} ({why}) before the search started",
+                    budget::BUDGET_REASON_PREFIX
+                ),
+            }));
+        }
+    }
     let shared = if options.shared_cache { cache } else { None };
     let mut outcome = match &prop.body {
         PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp, shared),
         PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
     };
+    // A failure manufactured by a budget tick is a *timeout*, not a verdict
+    // about the property; re-classify it at this (single) boundary.
+    if let Outcome::Failed(f) = &outcome {
+        if budget::is_budget_failure(f) {
+            outcome = Outcome::Timeout(f.clone());
+        }
+    }
     // Stamp the certificate with what its induction consulted, so the
     // incremental planner and the proof store can reason about it later.
     // The dependency set is a deterministic function of the (deterministic)

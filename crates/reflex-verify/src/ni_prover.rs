@@ -41,7 +41,12 @@ pub fn prove_ni(
     prop: &PropertyDecl,
     spec: &NiSpec,
 ) -> Outcome {
-    let prover = NiProver { abs, prop, spec };
+    let prover = NiProver {
+        abs,
+        prop,
+        spec,
+        options,
+    };
     match prover.prove(options.effective_jobs()) {
         Ok(cert) => Outcome::Proved(Certificate::NonInterference(cert)),
         Err(e) => Outcome::Failed(e),
@@ -52,6 +57,7 @@ struct NiProver<'a, 'p> {
     abs: &'a Abstraction<'p>,
     prop: &'a PropertyDecl,
     spec: &'a NiSpec,
+    options: &'a ProverOptions,
 }
 
 /// Conjunction of match side-conditions as a single boolean term
@@ -235,7 +241,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
         let mut low_paths = None;
         if check_low {
             for (pi, path) in exchange.paths.iter().enumerate() {
-                crate::stats::note_path();
+                crate::budget::tick_path(self.options, &format!("{location}, path {pi} (NIlo)"))?;
                 self.check_nilo(world, exchange, path, &low_assumption, sigma0)
                     .map_err(|r| self.fail(format!("{location}, path {pi} (NIlo)"), r))?;
             }
@@ -244,7 +250,7 @@ impl<'a, 'p> NiProver<'a, 'p> {
         let mut high_paths = None;
         if check_high {
             for (pi, path) in exchange.paths.iter().enumerate() {
-                crate::stats::note_path();
+                crate::budget::tick_path(self.options, &format!("{location}, path {pi} (NIhi)"))?;
                 let strict = self.check_nihi(world, exchange, path, &high_assumption, sigma0);
                 if let Err(reason) = strict {
                     // Fallback: a case with no high-visible effects

@@ -8,7 +8,7 @@ use std::fmt;
 /// paper reports (80× average speedup, 5× memory): disabling any of them
 /// only makes the search slower or weaker, never unsound. They exist so the
 /// ablation benches can reproduce that experiment.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ProverOptions {
     /// Skip symbolic analysis of handler cases that cannot syntactically
     /// emit an action matching the property's trigger pattern ("a simple
@@ -38,7 +38,29 @@ pub struct ProverOptions {
     /// available CPU. Results are collected in case order, so the emitted
     /// certificate is identical for every value.
     pub jobs: usize,
+    /// Optional cooperative wall-clock/node budget and cancellation token
+    /// (see [`crate::ProofBudget`]). Like `jobs`, a budget can only stop a
+    /// search early — it never changes what a completed search proves — so
+    /// it is excluded from [`ProverOptions::fingerprint`] and from
+    /// equality.
+    pub budget: Option<std::sync::Arc<crate::budget::ProofBudget>>,
 }
+
+// Manual impls: `budget` carries atomics (no `Eq`) and is run-scoped
+// scaffolding, not configuration — two options values are "the same
+// configuration" iff the deterministic fields agree.
+impl PartialEq for ProverOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.syntactic_skip == other.syntactic_skip
+            && self.prune_paths == other.prune_paths
+            && self.cache_invariants == other.cache_invariants
+            && self.max_invariant_depth == other.max_invariant_depth
+            && self.shared_cache == other.shared_cache
+            && self.jobs == other.jobs
+    }
+}
+
+impl Eq for ProverOptions {}
 
 impl Default for ProverOptions {
     fn default() -> Self {
@@ -49,6 +71,7 @@ impl Default for ProverOptions {
             max_invariant_depth: 6,
             shared_cache: true,
             jobs: 1,
+            budget: None,
         }
     }
 }
@@ -70,6 +93,7 @@ impl ProverOptions {
             max_invariant_depth: 6,
             shared_cache: false,
             jobs: 1,
+            budget: None,
         }
     }
 
@@ -102,7 +126,7 @@ impl ProverOptions {
 }
 
 /// Resolves a `jobs` request: `0` means one worker per available CPU.
-pub(crate) fn resolve_jobs(jobs: usize) -> usize {
+pub fn resolve_jobs(jobs: usize) -> usize {
     if jobs == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -140,6 +164,11 @@ pub enum Outcome {
     Proved(crate::certificate::Certificate),
     /// The proof search failed.
     Failed(ProofFailure),
+    /// The proof search was stopped by a session budget or cancellation
+    /// before it could finish (see [`crate::ProofBudget`]). Unlike
+    /// [`Outcome::Failed`], this says nothing about the property — a rerun
+    /// with a larger budget may well prove it.
+    Timeout(ProofFailure),
 }
 
 impl Outcome {
@@ -148,19 +177,24 @@ impl Outcome {
         matches!(self, Outcome::Proved(_))
     }
 
+    /// Whether the proof search was stopped by a budget or cancellation.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Outcome::Timeout(_))
+    }
+
     /// The certificate, if proved.
     pub fn certificate(&self) -> Option<&crate::certificate::Certificate> {
         match self {
             Outcome::Proved(c) => Some(c),
-            Outcome::Failed(_) => None,
+            Outcome::Failed(_) | Outcome::Timeout(_) => None,
         }
     }
 
-    /// The failure, if the proof search failed.
+    /// The failure, if the proof search failed or was stopped.
     pub fn failure(&self) -> Option<&ProofFailure> {
         match self {
             Outcome::Proved(_) => None,
-            Outcome::Failed(e) => Some(e),
+            Outcome::Failed(e) | Outcome::Timeout(e) => Some(e),
         }
     }
 }

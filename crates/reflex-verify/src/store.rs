@@ -54,7 +54,7 @@ use crate::certificate::{
     Justification, LemmaCert, NegPrior, NegPriorStep, NiCaseCert, NiCert, PathCert, TraceCert,
 };
 use crate::incremental::IncrementalReport;
-use crate::options::{ProverOptions, VerifyError};
+use crate::options::{Outcome, ProverOptions, VerifyError};
 
 /// On-disk format version; bumped whenever the encoding changes. Entries
 /// written by any other version read as misses.
@@ -256,6 +256,44 @@ pub fn verify_with_store(
     store: &ProofStore,
     jobs: usize,
 ) -> Result<StoreReport, VerifyError> {
+    verify_with_store_observed(new, options, store, jobs, None)
+}
+
+/// [`verify_with_store`] with a per-property [`crate::incremental::PropObserver`]
+/// invoked as each outcome is decided (used by the session engine's
+/// instrumentation; `None` is exactly `verify_with_store`).
+pub fn verify_with_store_observed(
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    store: &ProofStore,
+    jobs: usize,
+    observer: Option<crate::incremental::PropObserver<'_>>,
+) -> Result<StoreReport, VerifyError> {
+    let previous = load_candidates(new, options, store);
+    let loaded = previous.len();
+    let report = crate::incremental::reverify_core(&previous, new, options, jobs, true, observer)?;
+    let saved = persist_outcomes(new, options, store, &report.outcomes);
+    Ok(StoreReport {
+        report,
+        loaded,
+        saved,
+    })
+}
+
+/// The **plan** half of [`verify_with_store`]: loads every certificate the
+/// store can offer for `new`'s properties — exact entries keyed by the
+/// current program fingerprint, then the previous run's entries via the
+/// head record — filtered down to decodable, correctly-filed candidates.
+///
+/// The returned slice feeds the reuse planner
+/// ([`crate::reverify_jobs_observed`] with validation, or
+/// [`crate::DepGraph`] directly); nothing in it is trusted until it passes
+/// the independent checker.
+pub fn load_candidates(
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    store: &ProofStore,
+) -> Vec<(String, Certificate)> {
     let fps = new.fingerprints();
     let opts_fp = options.fingerprint();
     let head = store.load_head(&new.program().name, opts_fp);
@@ -284,12 +322,25 @@ pub fn verify_with_store(
             }
         }
     }
-    let loaded = previous.len();
+    previous
+}
 
-    let report = crate::incremental::reverify_core(&previous, new, options, jobs, true)?;
-
+/// The **persist** half of [`verify_with_store`]: writes this run's
+/// certificates and the program's head record back to the store,
+/// returning how many entries were saved.
+///
+/// Best-effort by design: I/O failures cost future misses, never
+/// verification failures.
+pub fn persist_outcomes(
+    new: &CheckedProgram,
+    options: &ProverOptions,
+    store: &ProofStore,
+    outcomes: &[(String, Outcome)],
+) -> usize {
+    let fps = new.fingerprints();
+    let opts_fp = options.fingerprint();
     let mut saved = 0usize;
-    for (name, outcome) in &report.outcomes {
+    for (name, outcome) in outcomes {
         let (Some(cert), Some(pfp)) = (outcome.certificate(), fps.property(name)) else {
             continue;
         };
@@ -307,12 +358,7 @@ pub fn verify_with_store(
             .collect(),
     };
     let _ = store.save_head(&new.program().name, opts_fp, &head);
-
-    Ok(StoreReport {
-        report,
-        loaded,
-        saved,
-    })
+    saved
 }
 
 // ---------------------------------------------------------------------------

@@ -213,9 +213,9 @@ impl<'a, 'p> TraceProver<'a, 'p> {
     fn prove(mut self) -> Result<TraceCert, ProofFailure> {
         let mut base = Vec::new();
         for (wi, world) in self.abs.worlds.iter().enumerate() {
-            crate::stats::note_path();
-            let actions: Vec<&SymAction> = world.init.actions.iter().collect();
             let location = format!("init path {wi}");
+            crate::budget::tick_path(self.options, &location)?;
+            let actions: Vec<&SymAction> = world.init.actions.iter().collect();
             base.push(self.check_actions(&actions, &world.init.condition, None, &location)?);
         }
         let trigger = self.tp.trigger().clone();
@@ -276,12 +276,12 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         }
         let mut paths = Vec::new();
         for (pi, path) in exchange.paths.iter().enumerate() {
-            crate::stats::note_path();
-            let actions = exchange.appended_actions(path);
             let location = format!(
                 "world {wi}, case {}:{}, path {pi}",
                 exchange.ctype, exchange.msg
             );
+            crate::budget::tick_path(self.options, &location)?;
+            let actions = exchange.appended_actions(path);
             // Inductive steps may assume the interval invariants of
             // the pre-state (they hold in every reachable state).
             let conditions: Vec<(Term, bool)> = world
@@ -368,12 +368,12 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         let world = &self.abs.worlds[wi];
         let mut paths = Vec::new();
         for (pi, path) in exchange.paths.iter().enumerate() {
-            crate::stats::note_path();
-            let actions = exchange.appended_actions(path);
             let location = format!(
                 "world {wi}, case {}:{}, path {pi}",
                 exchange.ctype, exchange.msg
             );
+            crate::budget::tick_path(self.options, &location)?;
+            let actions = exchange.appended_actions(path);
             let conditions: Vec<(Term, bool)> = world
                 .range_assumptions
                 .iter()
@@ -1111,7 +1111,7 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         // Base cases.
         let mut base = Vec::new();
         for (wi, world) in self.abs.worlds.iter().enumerate() {
-            crate::stats::note_path();
+            crate::budget::tick_path(self.options, location)?;
             let post = guard.instantiate(&world.init.state);
             let mut solver =
                 Solver::with_assumptions(world.init.condition.iter().chain(post.iter()));
@@ -1188,11 +1188,11 @@ impl<'a, 'p> TraceProver<'a, 'p> {
                 }
                 let mut paths = Vec::new();
                 for (pi, path) in exchange.paths.iter().enumerate() {
-                    crate::stats::note_path();
                     let step_loc = format!(
                         "{location} → invariant `{guard}` case {}:{} path {pi}",
                         exchange.ctype, exchange.msg
                     );
+                    crate::budget::tick_path(self.options, &step_loc)?;
                     paths.push(self.invariant_step(
                         world, exchange, path, guard, pattern, positive, &sigma0, depth, &step_loc,
                     )?);

@@ -11,10 +11,13 @@
 //! rx soak                     soak the bundled kernels under fault injection
 //! ```
 //!
-//! `rx verify --store DIR` and `rx watch --store DIR` persist proof
-//! certificates into a content-addressed store, so unchanged properties
-//! are reused across processes (every stored certificate is re-validated
-//! by the independent checker before being trusted).
+//! Every verifying subcommand is a thin adapter over
+//! [`reflex::driver::VerifySession`]: `rx verify --store DIR` and
+//! `rx watch --store DIR` persist proof certificates into a
+//! content-addressed store, `--budget-ms`/`--budget-nodes` bound the whole
+//! session (a stuck property reports a timeout instead of hanging), and
+//! `--trace-json PATH` streams the session's structured stage/property
+//! events as JSON lines.
 //!
 //! `rx run` accepts `--faults SPEC --supervise --monitor` to run the
 //! kernel under the supervised runtime with deterministic fault
@@ -29,28 +32,29 @@ use reflex::bench::soak::{
     render_soak, render_soak_json, run_soak, run_soak_bench, soak_program_with_plan, SoakConfig,
     SoakOutcome,
 };
+use reflex::cli::{self, FlagSpec};
+use reflex::driver::{
+    load_program, Instrument, JsonLinesSink, NullSink, SessionConfig, VerifySession, WatchSession,
+};
 use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
 use reflex::typeck::CheckedProgram;
-use reflex::verify::{
-    check_certificate, check_certificate_with, falsify, prove_all_parallel_with_stats, prove_with,
-    verify_with_store, Abstraction, FalsifyOptions, ProofStore, ProverOptions, WatchSession,
-};
+use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--store DIR]\n  rx watch   FILE [--jobs N] [--store DIR] [--interval MS] [--iterations N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\n  --jobs N         prove/soak on N worker threads (0: one per CPU)\n  --stats          print prover counters (paths, caches, solver, timing)\n  --store DIR      persist certificates in a content-addressed proof store\n                   and reuse them across runs (stored certificates are\n                   re-validated by the checker before being trusted)\n  --interval MS    watch: change-poll interval (default 200)\n  --iterations N   watch: stop after N verifications (default: run forever)\n  --faults SPEC    deterministic fault plan: `none`, `random:RATE`, or\n                   `STEP:OP;...` with OP in callfail[*N] timeout[*N]\n                   crash[=K] drop[=K] dup[=K] reorder[=K]\n  --supervise      run under the supervisor (retry, restart, rollback);\n                   implied by --faults\n  --monitor        re-check certificates online (implies --supervise)\n  --fault-rate X   per-exchange fault probability for `rx soak` (default 0.01)\n  --incident-dir D write per-kernel incident logs into D"
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--interval MS] [--iterations N]\n             [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
 
-fn load(path: &str) -> Result<CheckedProgram, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let name = std::path::Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("kernel");
-    let program = reflex::parser::parse_program(name, &src).map_err(|e| format!("{path}: {e}"))?;
-    reflex::typeck::check(&program).map_err(|e| format!("{path}: type error: {e}"))
+/// Prints a subcommand-specific usage error (bad flag, bad arity, bad
+/// value) with the subcommand's synopsis and flag table.
+fn usage_error(cmd: &str, synopsis: &str, flags: &[FlagSpec], message: &str) -> ExitCode {
+    eprint!(
+        "rx {cmd}: {message}\nusage: rx {cmd} {synopsis}\n{}",
+        cli::render_flag_help(flags)
+    );
+    ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
@@ -59,39 +63,282 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => return usage(),
     };
-    let result = match (cmd, rest) {
-        ("check", [file]) => cmd_check(file),
-        ("verify", _) => match parse_verify_args(rest) {
-            Some(opts) => cmd_verify(opts),
-            None => return usage(),
-        },
-        ("watch", _) => match parse_watch_args(rest) {
-            Some(opts) => cmd_watch(opts),
-            None => return usage(),
-        },
-        ("falsify", [file, prop]) => cmd_falsify(file, prop),
-        ("explain", [file, prop]) => cmd_explain(file, prop),
-        ("show", [file]) => cmd_show(file),
-        ("run", _) => match parse_run_args(rest) {
-            Some(opts) => cmd_run(opts),
-            None => return usage(),
-        },
-        ("soak", _) => match parse_soak_args(rest) {
-            Some(opts) => cmd_soak(opts),
-            None => return usage(),
-        },
-        _ => return usage(),
+    let spec: &CommandSpec = match COMMANDS.iter().find(|s| s.name == cmd) {
+        Some(s) => s,
+        None => return usage(),
     };
-    match result {
+    let parsed = match cli::parse(spec.flags, rest) {
+        Ok(p) => p,
+        Err(e) => return usage_error(spec.name, spec.synopsis, spec.flags, &e),
+    };
+    match (spec.run)(&parsed) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Usage(e)) => usage_error(spec.name, spec.synopsis, spec.flags, &e),
+        Err(CliError::Run(e)) => {
             eprintln!("rx: {e}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn cmd_check(file: &str) -> Result<(), String> {
+/// How a subcommand run can fail: a usage problem (exit 2, with the
+/// subcommand's flag help) or a runtime failure (exit 1).
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl CliError {
+    fn run(e: impl std::fmt::Display) -> CliError {
+        CliError::Run(e.to_string())
+    }
+}
+
+/// One subcommand: its flag table, synopsis and entry point.
+struct CommandSpec {
+    name: &'static str,
+    synopsis: &'static str,
+    flags: &'static [FlagSpec],
+    run: fn(&cli::Parsed) -> Result<(), CliError>,
+}
+
+const NO_FLAGS: &[FlagSpec] = &[];
+
+const VERIFY_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "prove on N worker threads (0: one per CPU)",
+    },
+    FlagSpec {
+        name: "--stats",
+        value: None,
+        help: "print prover counters (paths, caches, solver, timing)",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "print the session report as one JSON document",
+    },
+    FlagSpec {
+        name: "--store",
+        value: Some("DIR"),
+        help: "persist certificates in a content-addressed proof store",
+    },
+    FlagSpec {
+        name: "--trace-json",
+        value: Some("PATH"),
+        help: "stream per-stage/per-property events to PATH as JSON lines",
+    },
+    FlagSpec {
+        name: "--budget-ms",
+        value: Some("MS"),
+        help: "wall-clock budget for the whole session (reports timeouts)",
+    },
+    FlagSpec {
+        name: "--budget-nodes",
+        value: Some("N"),
+        help: "explored-path budget for the whole session",
+    },
+];
+
+const WATCH_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "prove on N worker threads (0: one per CPU)",
+    },
+    FlagSpec {
+        name: "--store",
+        value: Some("DIR"),
+        help: "reuse certificates across restarts through a proof store",
+    },
+    FlagSpec {
+        name: "--interval",
+        value: Some("MS"),
+        help: "change-poll interval (default 200)",
+    },
+    FlagSpec {
+        name: "--iterations",
+        value: Some("N"),
+        help: "stop after N verifications (default: run forever)",
+    },
+    FlagSpec {
+        name: "--budget-ms",
+        value: Some("MS"),
+        help: "wall-clock budget per iteration's session",
+    },
+    FlagSpec {
+        name: "--budget-nodes",
+        value: Some("N"),
+        help: "explored-path budget per iteration's session",
+    },
+];
+
+const RUN_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--faults",
+        value: Some("SPEC"),
+        help: "deterministic fault plan: none | random:RATE | STEP:OP;...",
+    },
+    FlagSpec {
+        name: "--supervise",
+        value: None,
+        help: "run under the supervisor (implied by --faults)",
+    },
+    FlagSpec {
+        name: "--monitor",
+        value: None,
+        help: "re-check certificates online (implies --supervise)",
+    },
+];
+
+const SOAK_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--steps",
+        value: Some("N"),
+        help: "exchanges per kernel",
+    },
+    FlagSpec {
+        name: "--seed",
+        value: Some("N"),
+        help: "deterministic seed",
+    },
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "soak kernels on N worker threads",
+    },
+    FlagSpec {
+        name: "--fault-rate",
+        value: Some("X"),
+        help: "per-exchange fault probability (default 0.01)",
+    },
+    FlagSpec {
+        name: "--no-monitor",
+        value: None,
+        help: "skip online certificate re-checking",
+    },
+    FlagSpec {
+        name: "--kernel",
+        value: Some("NAME"),
+        help: "soak only the named bundled kernel",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "measure monitored vs unmonitored and write BENCH_soak.json",
+    },
+    FlagSpec {
+        name: "--incident-dir",
+        value: Some("DIR"),
+        help: "write per-kernel incident logs into DIR",
+    },
+];
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "check",
+        synopsis: "FILE",
+        flags: NO_FLAGS,
+        run: cmd_check,
+    },
+    CommandSpec {
+        name: "verify",
+        synopsis: "FILE [PROP]",
+        flags: VERIFY_FLAGS,
+        run: cmd_verify,
+    },
+    CommandSpec {
+        name: "watch",
+        synopsis: "FILE",
+        flags: WATCH_FLAGS,
+        run: cmd_watch,
+    },
+    CommandSpec {
+        name: "falsify",
+        synopsis: "FILE PROP",
+        flags: NO_FLAGS,
+        run: cmd_falsify,
+    },
+    CommandSpec {
+        name: "explain",
+        synopsis: "FILE PROP",
+        flags: NO_FLAGS,
+        run: cmd_explain,
+    },
+    CommandSpec {
+        name: "show",
+        synopsis: "FILE",
+        flags: NO_FLAGS,
+        run: cmd_show,
+    },
+    CommandSpec {
+        name: "run",
+        synopsis: "FILE [STEPS [SEED]]",
+        flags: RUN_FLAGS,
+        run: cmd_run,
+    },
+    CommandSpec {
+        name: "soak",
+        synopsis: "",
+        flags: SOAK_FLAGS,
+        run: cmd_soak,
+    },
+];
+
+/// Exactly one positional operand, as a usage-class error otherwise.
+fn one_positional<'p>(parsed: &'p cli::Parsed, what: &str) -> Result<&'p str, CliError> {
+    match parsed.positional.as_slice() {
+        [one] => Ok(one),
+        _ => Err(CliError::Usage(format!("expected exactly one {what}"))),
+    }
+}
+
+fn two_positionals(parsed: &cli::Parsed) -> Result<(&str, &str), CliError> {
+    match parsed.positional.as_slice() {
+        [file, prop] => Ok((file, prop)),
+        _ => Err(CliError::Usage("expected FILE and PROP operands".into())),
+    }
+}
+
+fn load(path: &str) -> Result<CheckedProgram, CliError> {
+    load_program(path).map_err(CliError::run)
+}
+
+/// The event sink `--trace-json PATH` selects (a no-op sink otherwise).
+fn make_sink(parsed: &cli::Parsed) -> Result<Box<dyn Instrument>, CliError> {
+    match parsed.value("--trace-json") {
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+            Ok(Box::new(JsonLinesSink::new(file)))
+        }
+        None => Ok(Box::new(NullSink)),
+    }
+}
+
+/// The [`SessionConfig`] shared by `verify` and `watch`.
+fn session_config(
+    parsed: &cli::Parsed,
+    property: Option<String>,
+) -> Result<SessionConfig, CliError> {
+    let jobs: usize = parsed.get("--jobs", 1).map_err(CliError::Usage)?;
+    Ok(SessionConfig {
+        options: ProverOptions {
+            jobs,
+            ..ProverOptions::default()
+        },
+        jobs,
+        store_dir: parsed.value("--store").map(str::to_owned),
+        budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
+        budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
+        property,
+    })
+}
+
+fn cmd_check(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let file = one_positional(parsed, "FILE")?;
     let checked = load(file)?;
     let p = checked.program();
     println!(
@@ -106,288 +353,146 @@ fn cmd_check(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Options of `rx verify`.
-struct VerifyOpts {
-    file: String,
-    prop: Option<String>,
-    jobs: usize,
-    stats: bool,
-    store: Option<String>,
-}
-
-/// Parses `verify` operands: `FILE [PROP] [--jobs N] [--stats]
-/// [--store DIR]` in any flag order.
-fn parse_verify_args(rest: &[String]) -> Option<VerifyOpts> {
-    let mut positional: Vec<&String> = Vec::new();
-    let mut jobs = 1usize;
-    let mut stats = false;
-    let mut store = None;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--jobs" => jobs = it.next()?.parse().ok()?,
-            "--stats" => stats = true,
-            "--store" => store = Some(it.next()?.clone()),
-            _ if arg.starts_with("--") => return None,
-            _ => positional.push(arg),
-        }
-    }
-    let (file, prop) = match positional.as_slice() {
-        [file] => ((*file).clone(), None),
-        [file, prop] => ((*file).clone(), Some((*prop).clone())),
-        _ => return None,
+fn cmd_verify(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let (file, prop) = match parsed.positional.as_slice() {
+        [file] => (file.as_str(), None),
+        [file, prop] => (file.as_str(), Some(prop.clone())),
+        _ => return Err(CliError::Usage("expected FILE and optionally PROP".into())),
     };
-    Some(VerifyOpts {
-        file,
-        prop,
-        jobs,
-        stats,
-        store,
-    })
-}
-
-fn cmd_verify(opts: VerifyOpts) -> Result<(), String> {
-    let checked = load(&opts.file)?;
-    let options = ProverOptions {
-        jobs: opts.jobs,
-        ..ProverOptions::default()
-    };
-    if let Some(dir) = &opts.store {
-        if opts.prop.is_some() {
-            return Err("--store proves all properties; drop the PROP argument".into());
-        }
-        return cmd_verify_stored(&checked, &options, dir, opts.jobs);
+    if parsed.value("--store").is_some() && prop.is_some() {
+        return Err(CliError::Usage(
+            "--store proves all properties; drop the PROP argument".into(),
+        ));
     }
-    let (outcomes, run_stats) = match opts.prop.as_deref() {
-        None => {
-            let (outcomes, run_stats) =
-                prove_all_parallel_with_stats(&checked, &options, opts.jobs);
-            (outcomes, Some(run_stats))
-        }
-        Some(prop) => {
-            let abs = Abstraction::build(&checked, &options);
-            let outcomes = vec![(
-                prop.to_owned(),
-                prove_with(&abs, prop, &options).map_err(|e| e.to_string())?,
-            )];
-            (outcomes, None)
-        }
-    };
-    // One abstraction serves every certificate check below.
-    let abs = Abstraction::build(&checked, &options);
-    let mut failures = 0;
-    for (name, outcome) in outcomes {
-        match outcome.certificate() {
-            Some(cert) => {
-                check_certificate_with(&abs, cert, &options).map_err(|e| format!("{name}: {e}"))?;
-                println!(
-                    "  ✓ {name}  ({} obligations, certificate checked)",
-                    cert.obligation_count()
-                );
-            }
-            None => {
-                failures += 1;
-                println!("  ✗ {name}");
-                println!("      {}", outcome.failure().expect("failed"));
-            }
-        }
+    let store_mode = parsed.value("--store").is_some();
+    let session = VerifySession::new(session_config(parsed, prop)?).map_err(CliError::run)?;
+    let sink = make_sink(parsed)?;
+    let report = session.verify_path(file, &*sink).map_err(CliError::run)?;
+    print!("{}", report.render_properties());
+    if store_mode {
+        println!("{}", report.summary());
     }
-    if opts.stats {
-        match run_stats {
-            Some(s) => print!("{}", s.render()),
-            None => {
-                println!("(--stats requires proving all properties; ignored for a single property)")
-            }
-        }
+    if parsed.is_set("--stats") {
+        print!("{}", report.render_stats());
     }
+    if parsed.is_set("--json") {
+        println!("{}", report.render_json());
+    }
+    let failures = report.failures();
     if failures > 0 {
-        Err(format!("{failures} propert(y/ies) failed to verify"))
-    } else {
-        println!("all properties verified.");
-        Ok(())
-    }
-}
-
-/// `rx verify --store DIR`: prove through the persistent proof store.
-fn cmd_verify_stored(
-    checked: &CheckedProgram,
-    options: &ProverOptions,
-    dir: &str,
-    jobs: usize,
-) -> Result<(), String> {
-    let store = ProofStore::open(dir).map_err(|e| format!("{dir}: {e}"))?;
-    let sr = verify_with_store(checked, options, &store, jobs).map_err(|e| e.to_string())?;
-    let mut failures = 0;
-    for (name, outcome) in &sr.report.outcomes {
-        let how = if sr.report.reused.contains(name) {
-            " (reused from store, re-checked)"
-        } else if sr.report.partial.contains(name) {
-            " (patched per-case, re-checked)"
+        let timeouts = report.timeouts();
+        Err(CliError::Run(if timeouts > 0 {
+            format!(
+                "{failures} propert(y/ies) failed to verify ({timeouts} stopped by the session budget)"
+            )
         } else {
-            ""
-        };
-        match outcome.certificate() {
-            Some(cert) => {
-                println!("  ✓ {name}  ({} obligations){how}", cert.obligation_count());
-            }
-            None => {
-                failures += 1;
-                println!("  ✗ {name}");
-                println!("      {}", outcome.failure().expect("failed"));
-            }
-        }
-    }
-    println!(
-        "{} reused, {} patched, {} re-proved ({} loaded from {dir})",
-        sr.report.reused.len(),
-        sr.report.partial.len(),
-        sr.report.reproved.len(),
-        sr.loaded
-    );
-    if failures > 0 {
-        Err(format!("{failures} propert(y/ies) failed to verify"))
+            format!("{failures} propert(y/ies) failed to verify")
+        }))
     } else {
         println!("all properties verified.");
         Ok(())
     }
-}
-
-/// Options of `rx watch`.
-struct WatchOpts {
-    file: String,
-    jobs: usize,
-    store: Option<String>,
-    interval_ms: u64,
-    iterations: Option<usize>,
-}
-
-/// Parses `watch` operands: `FILE [--jobs N] [--store DIR] [--interval MS]
-/// [--iterations N]`.
-fn parse_watch_args(rest: &[String]) -> Option<WatchOpts> {
-    let mut positional: Vec<&String> = Vec::new();
-    let mut jobs = 1usize;
-    let mut store = None;
-    let mut interval_ms = 200u64;
-    let mut iterations = None;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--jobs" => jobs = it.next()?.parse().ok()?,
-            "--store" => store = Some(it.next()?.clone()),
-            "--interval" => interval_ms = it.next()?.parse().ok()?,
-            "--iterations" => iterations = Some(it.next()?.parse().ok()?),
-            _ if arg.starts_with("--") => return None,
-            _ => positional.push(arg),
-        }
-    }
-    let [file] = positional.as_slice() else {
-        return None;
-    };
-    Some(WatchOpts {
-        file: (*file).clone(),
-        jobs,
-        store,
-        interval_ms,
-        iterations,
-    })
 }
 
 /// `rx watch FILE`: re-verify on every change to the file, reusing
 /// unaffected proofs across iterations (and across restarts with
 /// `--store`).
-fn cmd_watch(opts: WatchOpts) -> Result<(), String> {
-    let store = match &opts.store {
-        Some(dir) => Some(ProofStore::open(dir).map_err(|e| format!("{dir}: {e}"))?),
-        None => None,
-    };
-    let mut session = WatchSession::new(ProverOptions::default(), opts.jobs, store);
+fn cmd_watch(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let file = one_positional(parsed, "FILE")?;
+    let interval_ms: u64 = parsed.get("--interval", 200).map_err(CliError::Usage)?;
+    let iterations: Option<usize> = parsed.get_opt("--iterations").map_err(CliError::Usage)?;
+    let mut session = WatchSession::new(session_config(parsed, None)?).map_err(CliError::run)?;
     let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
     let mut last_seen = None;
     let mut iteration = 0usize;
     let mut last_failures;
     loop {
-        let stamp = mtime(&opts.file);
+        let stamp = mtime(file);
         let changed = stamp != last_seen;
         if changed || iteration == 0 {
             last_seen = stamp;
             iteration += 1;
-            match load(&opts.file) {
+            match load_program(file) {
                 Ok(checked) => {
-                    let it = session.verify(&checked).map_err(|e| e.to_string())?;
+                    let it = session.verify(&checked, &NullSink).map_err(CliError::run)?;
                     last_failures = it.failures();
-                    for (name, outcome) in &it.outcomes {
-                        match outcome.failure() {
-                            None => println!("  ✓ {name}"),
-                            Some(f) => println!("  ✗ {name}: {f}"),
-                        }
-                    }
+                    print!("{}", it.report.render_properties());
                     println!("[{iteration}] {}", it.summary());
                 }
                 Err(e) => {
                     // A half-saved file is normal mid-edit: report and keep
                     // watching.
                     last_failures = 1;
-                    println!("[{}] {e}", iteration);
+                    println!("[{iteration}] {e}");
                 }
             }
-            if opts.iterations.is_some_and(|n| iteration >= n) {
+            if iterations.is_some_and(|n| iteration >= n) {
                 break;
             }
-            println!("watching {} (ctrl-c to stop)…", opts.file);
+            println!("watching {file} (ctrl-c to stop)…");
         }
-        std::thread::sleep(std::time::Duration::from_millis(opts.interval_ms));
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
     if last_failures > 0 {
-        Err(format!(
+        Err(CliError::Run(format!(
             "{last_failures} propert(y/ies) failed in the last iteration"
-        ))
+        )))
     } else {
         Ok(())
     }
 }
 
-fn cmd_falsify(file: &str, prop: &str) -> Result<(), String> {
+fn cmd_falsify(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let (file, prop) = two_positionals(parsed)?;
     let checked = load(file)?;
     if checked.program().property(prop).is_none() {
-        return Err(format!("no property named `{prop}`"));
+        return Err(CliError::Run(format!("no property named `{prop}`")));
     }
     match falsify(&checked, prop, &FalsifyOptions::default()) {
-        Some(cx) => {
-            println!("{cx}");
-            Ok(())
-        }
-        None => {
-            println!(
-                "no counterexample within bounds (this is NOT a proof — run `rx verify {file} {prop}`)"
-            );
-            Ok(())
-        }
+        Some(cx) => println!("{cx}"),
+        None => println!(
+            "no counterexample within bounds (this is NOT a proof — run `rx verify {file} {prop}`)"
+        ),
     }
+    Ok(())
 }
 
-fn cmd_explain(file: &str, prop: &str) -> Result<(), String> {
-    let checked = load(file)?;
-    let options = ProverOptions::default();
-    let abs = Abstraction::build(&checked, &options);
-    let outcome = prove_with(&abs, prop, &options).map_err(|e| e.to_string())?;
+fn cmd_explain(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let (file, prop) = two_positionals(parsed)?;
+    let config = SessionConfig {
+        property: Some(prop.to_owned()),
+        ..SessionConfig::default()
+    };
+    let session = VerifySession::new(config).map_err(CliError::run)?;
+    let report = session
+        .verify_path(file, &NullSink)
+        .map_err(CliError::run)?;
+    let Some((_, outcome)) = report.outcomes.first() else {
+        return Err(CliError::Run(format!("no outcome for `{prop}`")));
+    };
     match outcome.certificate() {
+        // The session already validated the certificate with the
+        // independent checker.
         Some(cert) => {
-            check_certificate(&checked, cert, &options).map_err(|e| e.to_string())?;
             print!("{}", cert.render_proof_sketch());
             Ok(())
         }
-        None => Err(format!(
+        None => Err(CliError::Run(format!(
             "`{prop}` did not verify: {}",
-            outcome.failure().expect("failed")
-        )),
+            outcome
+                .failure()
+                .map(ToString::to_string)
+                .unwrap_or_else(|| "no failure recorded".into())
+        ))),
     }
 }
 
-fn cmd_show(file: &str) -> Result<(), String> {
+fn cmd_show(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let file = one_positional(parsed, "FILE")?;
     let checked = load(file)?;
     print!("{}", checked.program());
     let options = ProverOptions::default();
-    let abs = Abstraction::build(&checked, &options);
+    let abs = reflex::verify::Abstraction::build(&checked, &options);
     println!(
         "\n// behavioral abstraction: {} world(s), {} exchange case(s), {} symbolic path(s)",
         abs.worlds.len(),
@@ -397,7 +502,7 @@ fn cmd_show(file: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Options of `rx run`.
+/// Options of `rx run`, decoded from the parsed flag table.
 struct RunOpts {
     file: String,
     steps: usize,
@@ -407,60 +512,61 @@ struct RunOpts {
     monitor: bool,
 }
 
-/// Parses `run` operands: `FILE [STEPS [SEED]]` plus `--faults SPEC`,
-/// `--supervise`, `--monitor` in any order.
-fn parse_run_args(rest: &[String]) -> Option<RunOpts> {
-    let mut positional: Vec<&String> = Vec::new();
-    let mut faults = None;
-    let mut supervise = false;
-    let mut monitor = false;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--faults" => faults = Some(it.next()?.clone()),
-            "--supervise" => supervise = true,
-            "--monitor" => monitor = true,
-            _ if arg.starts_with("--") => return None,
-            _ => positional.push(arg),
-        }
-    }
-    let (file, steps, seed) = match positional.as_slice() {
-        [file] => ((*file).clone(), 64, 0),
-        [file, steps] => ((*file).clone(), steps.parse().ok()?, 0),
-        [file, steps, seed] => ((*file).clone(), steps.parse().ok()?, seed.parse().ok()?),
-        _ => return None,
+fn run_opts(parsed: &cli::Parsed) -> Result<RunOpts, CliError> {
+    let (file, steps, seed) = match parsed.positional.as_slice() {
+        [file] => (file.clone(), 64, 0),
+        [file, steps] => (
+            file.clone(),
+            steps
+                .parse()
+                .map_err(|_| CliError::Usage(format!("STEPS: invalid value `{steps}`")))?,
+            0,
+        ),
+        [file, steps, seed] => (
+            file.clone(),
+            steps
+                .parse()
+                .map_err(|_| CliError::Usage(format!("STEPS: invalid value `{steps}`")))?,
+            seed.parse()
+                .map_err(|_| CliError::Usage(format!("SEED: invalid value `{seed}`")))?,
+        ),
+        _ => return Err(CliError::Usage("expected FILE [STEPS [SEED]]".into())),
     };
-    Some(RunOpts {
+    let faults = parsed.value("--faults").map(str::to_owned);
+    let monitor = parsed.is_set("--monitor");
+    Ok(RunOpts {
         file,
         steps,
         seed,
-        supervise: supervise || monitor || faults.is_some(),
+        supervise: parsed.is_set("--supervise") || monitor || faults.is_some(),
         faults,
         monitor,
     })
 }
 
-fn cmd_run(opts: RunOpts) -> Result<(), String> {
+fn cmd_run(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let opts = run_opts(parsed)?;
     let checked = load(&opts.file)?;
     if opts.supervise {
         return cmd_run_supervised(&opts, &checked);
     }
     let mut kernel = Interpreter::new(&checked, Registry::new(), Box::new(EmptyWorld), opts.seed)
-        .map_err(|e| e.to_string())?;
-    let n = kernel.run(opts.steps).map_err(|e| e.to_string())?;
+        .map_err(CliError::run)?;
+    let n = kernel.run(opts.steps).map_err(CliError::run)?;
     println!("ran init + {n} exchange(s); trace:");
     print!("{}", kernel.trace());
     reflex::runtime::oracle::check_trace_inclusion(&checked, kernel.trace())
-        .map_err(|e| e.to_string())?;
+        .map_err(CliError::run)?;
     println!("trace ⊆ BehAbs ✓");
     Ok(())
 }
 
 /// `rx run --faults/--supervise/--monitor`: drive the kernel with the
 /// soak workload under the supervised runtime.
-fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), String> {
+fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), CliError> {
     let spec = opts.faults.as_deref().unwrap_or("none");
-    let plan = FaultPlan::parse(spec, opts.seed).map_err(|e| format!("--faults: {e}"))?;
+    let plan =
+        FaultPlan::parse(spec, opts.seed).map_err(|e| CliError::Run(format!("--faults: {e}")))?;
     let cfg = SoakConfig {
         steps: opts.steps,
         seed: opts.seed,
@@ -483,65 +589,49 @@ fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), St
         println!("monitor: no certificate violations ✓");
     }
     if let Some(f) = &outcome.failure {
-        return Err(f.clone());
+        return Err(CliError::Run(f.clone()));
     }
     if outcome.unrecovered > 0 {
-        return Err(format!(
+        return Err(CliError::Run(format!(
             "{} component(s) still crashed after cooldown",
             outcome.unrecovered
-        ));
+        )));
     }
     Ok(())
 }
 
-/// Options of `rx soak`.
-struct SoakOpts {
-    cfg: SoakConfig,
-    kernel: Option<String>,
-    json: bool,
-    incident_dir: Option<String>,
-}
-
-fn parse_soak_args(rest: &[String]) -> Option<SoakOpts> {
-    let mut cfg = SoakConfig::default();
-    let mut kernel = None;
-    let mut json = false;
-    let mut incident_dir = None;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--steps" => cfg.steps = it.next()?.parse().ok()?,
-            "--seed" => cfg.seed = it.next()?.parse().ok()?,
-            "--jobs" => cfg.jobs = it.next()?.parse().ok()?,
-            "--fault-rate" => cfg.fault_rate = it.next()?.parse().ok()?,
-            "--no-monitor" => cfg.monitor = false,
-            "--kernel" => kernel = Some(it.next()?.clone()),
-            "--json" => json = true,
-            "--incident-dir" => incident_dir = Some(it.next()?.clone()),
-            _ => return None,
-        }
+fn cmd_soak(parsed: &cli::Parsed) -> Result<(), CliError> {
+    if !parsed.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "unexpected operand `{}`",
+            parsed.positional[0]
+        )));
     }
-    Some(SoakOpts {
-        cfg,
-        kernel,
-        json,
-        incident_dir,
-    })
-}
+    let mut cfg = SoakConfig::default();
+    cfg.steps = parsed.get("--steps", cfg.steps).map_err(CliError::Usage)?;
+    cfg.seed = parsed.get("--seed", cfg.seed).map_err(CliError::Usage)?;
+    cfg.jobs = parsed.get("--jobs", cfg.jobs).map_err(CliError::Usage)?;
+    cfg.fault_rate = parsed
+        .get("--fault-rate", cfg.fault_rate)
+        .map_err(CliError::Usage)?;
+    cfg.monitor = !parsed.is_set("--no-monitor");
+    let kernel = parsed.value("--kernel");
+    let json = parsed.is_set("--json");
+    let incident_dir = parsed.value("--incident-dir");
 
-fn cmd_soak(opts: SoakOpts) -> Result<(), String> {
-    let outcomes: Vec<SoakOutcome> = if let Some(name) = &opts.kernel {
+    let outcomes: Vec<SoakOutcome> = if let Some(name) = kernel {
         let benches = reflex::kernels::all_benchmarks();
         let (index, bench) = benches
             .iter()
             .enumerate()
-            .find(|(_, b)| b.name == *name)
-            .ok_or_else(|| format!("no bundled kernel named `{name}`"))?;
-        vec![reflex::bench::soak::soak_kernel(bench, &opts.cfg, index)]
-    } else if opts.json {
-        let bench = run_soak_bench(&opts.cfg);
+            .find(|(_, b)| b.name == name)
+            .ok_or_else(|| CliError::Run(format!("no bundled kernel named `{name}`")))?;
+        vec![reflex::bench::soak::soak_kernel(bench, &cfg, index)]
+    } else if json {
+        let bench = run_soak_bench(&cfg);
         let doc = render_soak_json(&bench);
-        std::fs::write("BENCH_soak.json", &doc).map_err(|e| format!("BENCH_soak.json: {e}"))?;
+        std::fs::write("BENCH_soak.json", &doc)
+            .map_err(|e| CliError::Run(format!("BENCH_soak.json: {e}")))?;
         println!(
             "with monitor {:.1} steps/s, without {:.1} steps/s (overhead {:.2}x) -> wrote BENCH_soak.json",
             bench.monitored_throughput(),
@@ -554,14 +644,15 @@ fn cmd_soak(opts: SoakOpts) -> Result<(), String> {
         );
         bench.monitored
     } else {
-        run_soak(&opts.cfg)
+        run_soak(&cfg)
     };
     print!("{}", render_soak(&outcomes));
-    if let Some(dir) = &opts.incident_dir {
-        std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    if let Some(dir) = incident_dir {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Run(format!("{dir}: {e}")))?;
         for o in &outcomes {
             let path = format!("{dir}/{}.log", o.kernel);
-            std::fs::write(&path, &o.incident_log).map_err(|e| format!("{path}: {e}"))?;
+            std::fs::write(&path, &o.incident_log)
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
         }
         println!("incident logs written to {dir}/");
     }
@@ -574,7 +665,7 @@ fn cmd_soak(opts: SoakOpts) -> Result<(), String> {
             "soak ok: {} kernel(s), {} exchange(s) total, all faults recovered{}",
             outcomes.len(),
             outcomes.iter().map(|o| o.steps).sum::<usize>(),
-            if opts.cfg.monitor {
+            if cfg.monitor {
                 ", no certificate violations"
             } else {
                 " (monitor off)"
@@ -582,12 +673,12 @@ fn cmd_soak(opts: SoakOpts) -> Result<(), String> {
         );
         Ok(())
     } else {
-        Err(format!(
+        Err(CliError::Run(format!(
             "soak failed for {}",
             bad.iter()
                 .map(|o| o.kernel.as_str())
                 .collect::<Vec<_>>()
                 .join(", ")
-        ))
+        )))
     }
 }

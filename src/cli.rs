@@ -1,0 +1,175 @@
+//! Shared option-table flag parsing for the `rx` frontend.
+//!
+//! Every `rx` subcommand declares its flags as a table of [`FlagSpec`]s
+//! and parses its operands with [`parse`]; unknown flags, missing values
+//! and malformed numbers all produce a specific error message (instead of
+//! the silent usage fallback the hand-rolled parsers used to share), and
+//! the same table renders the per-subcommand flag help.
+
+use std::collections::HashMap;
+
+/// One flag a subcommand accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag itself, e.g. `"--jobs"`.
+    pub name: &'static str,
+    /// For value-taking flags, the placeholder shown in help (e.g. `"N"`);
+    /// `None` for boolean switches.
+    pub value: Option<&'static str>,
+    /// One-line description for the help text.
+    pub help: &'static str,
+}
+
+/// The parsed operands of one subcommand invocation.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    /// Non-flag operands, in order.
+    pub positional: Vec<String>,
+    values: HashMap<&'static str, String>,
+    switches: Vec<&'static str>,
+}
+
+impl Parsed {
+    /// Whether a boolean switch was given.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// A value-taking flag's raw value, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// A value-taking flag parsed to `T`, or `default` when absent.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        self.get_opt(name).map(|v| v.unwrap_or(default))
+    }
+
+    /// A value-taking flag parsed to `T`, or `None` when absent.
+    pub fn get_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.values.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{name}: invalid value `{raw}`")),
+        }
+    }
+}
+
+/// Parses `rest` against the subcommand's flag table. Everything that is
+/// not a declared flag (or its value) is collected as a positional
+/// operand; a repeated flag's last occurrence wins.
+///
+/// # Errors
+///
+/// Returns a message naming the offending flag: unknown flag, or a
+/// value-taking flag at the end of the line with no value.
+pub fn parse(specs: &[FlagSpec], rest: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match specs.iter().find(|s| s.name == arg.as_str()) {
+            Some(spec) if spec.value.is_some() => {
+                let value = it.next().ok_or_else(|| {
+                    format!(
+                        "{} requires a value ({})",
+                        spec.name,
+                        spec.value.unwrap_or("VALUE")
+                    )
+                })?;
+                parsed.values.insert(spec.name, value.clone());
+            }
+            Some(spec) => parsed.switches.push(spec.name),
+            None if arg.starts_with("--") => {
+                return Err(format!("unknown flag `{arg}`"));
+            }
+            None => parsed.positional.push(arg.clone()),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Renders the flag table as indented help lines, one per flag.
+pub fn render_flag_help(specs: &[FlagSpec]) -> String {
+    let rows: Vec<(String, &str)> = specs
+        .iter()
+        .map(|s| {
+            let lhs = match s.value {
+                Some(v) => format!("{} {v}", s.name),
+                None => s.name.to_owned(),
+            };
+            (lhs, s.help)
+        })
+        .collect();
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    rows.iter()
+        .map(|(lhs, help)| format!("  {lhs:<width$}  {help}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPECS: &[FlagSpec] = &[
+        FlagSpec {
+            name: "--jobs",
+            value: Some("N"),
+            help: "worker threads",
+        },
+        FlagSpec {
+            name: "--stats",
+            value: None,
+            help: "print counters",
+        },
+    ];
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn positionals_flags_and_values_separate() {
+        let p = parse(SPECS, &args(&["file.rx", "--jobs", "4", "--stats", "Prop"])).unwrap();
+        assert_eq!(p.positional, vec!["file.rx", "Prop"]);
+        assert_eq!(p.get("--jobs", 1usize).unwrap(), 4);
+        assert!(p.is_set("--stats"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_not_a_silent_none() {
+        let err = parse(SPECS, &args(&["file.rx", "--bogus"])).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_names_the_flag_and_placeholder() {
+        let err = parse(SPECS, &args(&["--jobs"])).unwrap_err();
+        assert!(err.contains("--jobs") && err.contains('N'), "{err}");
+    }
+
+    #[test]
+    fn malformed_value_is_reported_at_parse_time() {
+        let p = parse(SPECS, &args(&["--jobs", "many"])).unwrap();
+        let err = p.get("--jobs", 1usize).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn repeated_flag_last_wins_and_defaults_apply() {
+        let p = parse(SPECS, &args(&["--jobs", "2", "--jobs", "8"])).unwrap();
+        assert_eq!(p.get("--jobs", 1usize).unwrap(), 8);
+        assert_eq!(p.get("--missing", 7usize).unwrap(), 7);
+        assert_eq!(p.get_opt::<u64>("--missing").unwrap(), None);
+    }
+
+    #[test]
+    fn help_lines_align_and_cover_every_flag() {
+        let help = render_flag_help(SPECS);
+        assert!(
+            help.contains("--jobs N") && help.contains("--stats"),
+            "{help}"
+        );
+    }
+}

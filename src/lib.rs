@@ -22,6 +22,9 @@
 //!   browser 1–3, webserver) and their 41 properties.
 //! * [`bench`] — the evaluation harness (Figure 6, Table 1, ablation) and
 //!   the supervised-runtime soak suite.
+//! * [`driver`] — the instrumented [`driver::VerifySession`] pipeline
+//!   engine every entry point (CLI, watch loop, benches) runs on.
+//! * [`cli`] — shared option-table flag parsing for the `rx` frontend.
 //!
 //! # Quickstart
 //!
@@ -42,8 +45,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 pub use reflex_ast as ast;
 pub use reflex_bench as bench;
+pub use reflex_driver as driver;
 pub use reflex_kernels as kernels;
 pub use reflex_parser as parser;
 pub use reflex_runtime as runtime;

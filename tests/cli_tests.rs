@@ -190,3 +190,56 @@ fn soak_single_kernel_row() {
     assert!(!ok);
     assert!(stderr.contains("nope"), "{stderr}");
 }
+
+#[test]
+fn watch_iterations_flag_ends_the_loop() {
+    let (ok, stdout, _) = rx(&["watch", &kernel("car"), "--iterations", "1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("[1]"), "{stdout}");
+    assert!(stdout.contains("re-proved"), "{stdout}");
+    assert!(
+        !stdout.contains("watching"),
+        "--iterations 1 must exit instead of waiting for edits: {stdout}"
+    );
+}
+
+#[test]
+fn verify_budget_expiry_reports_timeouts_with_nonzero_exit() {
+    let (ok, stdout, stderr) = rx(&["verify", &kernel("car"), "--budget-ms", "0"]);
+    assert!(!ok);
+    assert!(stdout.contains("⏱"), "{stdout}");
+    assert!(stderr.contains("stopped by the session budget"), "{stderr}");
+}
+
+#[test]
+fn verify_trace_json_writes_event_lines() {
+    let dir = std::env::temp_dir().join("rx-cli-test");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+    let path_s = path.to_str().expect("utf8");
+    let (ok, _, _) = rx(&["verify", &kernel("ssh"), "--trace-json", path_s]);
+    assert!(ok);
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(trace.contains(r#""event":"session_start""#), "{trace}");
+    assert_eq!(
+        trace.matches(r#""event":"property""#).count(),
+        5,
+        "ssh has 5 properties: {trace}"
+    );
+    assert!(trace.contains(r#""event":"session_finish""#), "{trace}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let (ok, _, stderr) = rx(&["verify", &kernel("car"), "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    assert!(stderr.contains("usage: rx verify"), "{stderr}");
+}
+
+#[test]
+fn bad_flag_value_is_a_usage_error() {
+    let (ok, _, stderr) = rx(&["verify", &kernel("car"), "--jobs", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid value"), "{stderr}");
+}
