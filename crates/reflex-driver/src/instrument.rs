@@ -69,6 +69,9 @@ pub enum PropertyStatus {
     Failed,
     /// Stopped by the session budget or cancellation.
     Timeout,
+    /// The proof task panicked and was isolated (see
+    /// [`reflex_verify::Outcome::Crashed`]).
+    Crashed,
 }
 
 impl PropertyStatus {
@@ -78,6 +81,7 @@ impl PropertyStatus {
             PropertyStatus::Proved => "proved",
             PropertyStatus::Failed => "failed",
             PropertyStatus::Timeout => "timeout",
+            PropertyStatus::Crashed => "crashed",
         }
     }
 }
@@ -154,9 +158,28 @@ pub enum Event {
         failed: usize,
         /// Properties stopped by the budget.
         timeout: usize,
+        /// Proof tasks that panicked and were isolated.
+        crashed: usize,
         /// Whole-session wall-clock, milliseconds.
         wall_ms: f64,
     },
+    /// The watch loop is retrying the proof store after a transient I/O
+    /// error, before the backoff sleep.
+    StoreRetry {
+        /// 1-based retry attempt.
+        attempt: u32,
+        /// Backoff sleep before this attempt, milliseconds.
+        delay_ms: u64,
+    },
+    /// The proof store failed repeatedly; the watch loop detached it and
+    /// dropped to in-memory caching.
+    StoreDegraded {
+        /// The last I/O failure that tripped the degradation.
+        reason: String,
+    },
+    /// A previously degraded store responded to a health probe and was
+    /// re-attached.
+    StoreRecovered,
 }
 
 impl Event {
@@ -209,11 +232,20 @@ impl Event {
                 proved,
                 failed,
                 timeout,
+                crashed,
                 wall_ms,
             } => format!(
-                r#"{{"event":"session_finish","proved":{proved},"failed":{failed},"timeout":{timeout},"wall_ms":{:.1}}}"#,
+                r#"{{"event":"session_finish","proved":{proved},"failed":{failed},"timeout":{timeout},"crashed":{crashed},"wall_ms":{:.1}}}"#,
                 wall_ms
             ),
+            Event::StoreRetry { attempt, delay_ms } => {
+                format!(r#"{{"event":"store_retry","attempt":{attempt},"delay_ms":{delay_ms}}}"#)
+            }
+            Event::StoreDegraded { reason } => format!(
+                r#"{{"event":"store_degraded","reason":{}}}"#,
+                json_string(reason)
+            ),
+            Event::StoreRecovered => r#"{"event":"store_recovered"}"#.to_owned(),
         }
     }
 
@@ -255,10 +287,18 @@ impl Event {
                 proved,
                 failed,
                 timeout,
+                crashed,
                 wall_ms,
             } => format!(
-                "session finished: {proved} proved, {failed} failed, {timeout} timed out in {wall_ms:.1} ms"
+                "session finished: {proved} proved, {failed} failed, {timeout} timed out, {crashed} crashed in {wall_ms:.1} ms"
             ),
+            Event::StoreRetry { attempt, delay_ms } => {
+                format!("store: transient I/O error, retry #{attempt} after {delay_ms} ms")
+            }
+            Event::StoreDegraded { reason } => {
+                format!("store: DEGRADED to in-memory caching ({reason})")
+            }
+            Event::StoreRecovered => "store: recovered, re-attached".to_owned(),
         }
     }
 }

@@ -37,7 +37,7 @@ pub use instrument::{
     json_string, Counters, Event, HumanSink, Instrument, JsonLinesSink, MemorySink, NullSink,
     PropertyStatus, Stage,
 };
-pub use watch::{WatchIteration, WatchSession};
+pub use watch::{BackoffPolicy, WatchIteration, WatchSession};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -132,6 +132,16 @@ pub struct SessionConfig {
     pub budget_nodes: Option<u64>,
     /// Verify only this property (all properties when `None`).
     pub property: Option<String>,
+    /// Filesystem the proof store runs on. `None` means the real
+    /// filesystem; tests and the chaos harness inject a
+    /// [`reflex_verify::vfs::FaultyFs`] here to exercise the store's
+    /// degradation paths end to end.
+    pub store_fs: Option<Arc<dyn reflex_verify::vfs::VerifyFs>>,
+    /// Treat a proof store that cannot be opened as fatal. Off by default
+    /// for the watch loop, which instead starts degraded (in-memory) and
+    /// re-attaches when the store recovers; `rx watch --strict-store`
+    /// turns it on.
+    pub strict_store: bool,
 }
 
 /// Shared state of one session or batch: options, the cross-property
@@ -152,8 +162,10 @@ pub struct Env {
     /// Per-program cross-property proof caches, keyed by the program's
     /// canonical content fingerprint.
     caches: RwLock<HashMap<Fp, Arc<ProofCache>>>,
-    /// Proof store, when persistence is configured.
-    pub store: Option<ProofStore>,
+    /// Proof store, when persistence is configured. Behind a lock so the
+    /// watch loop can detach it on repeated I/O failure (degraded mode)
+    /// and re-attach it on recovery without rebuilding the env.
+    store: RwLock<Option<ProofStore>>,
     /// Resolved worker-thread count.
     pub jobs: usize,
     /// The session budget / cancellation token, if one was configured.
@@ -165,10 +177,16 @@ impl Env {
     /// installs it into the prover options.
     pub fn new(config: &SessionConfig) -> Result<Env, SessionError> {
         let store = match &config.store_dir {
-            Some(dir) => Some(ProofStore::open(dir).map_err(|e| SessionError::Store {
-                path: dir.clone(),
-                message: e.to_string(),
-            })?),
+            Some(dir) => {
+                let opened = match &config.store_fs {
+                    Some(fs) => ProofStore::open_with(dir, Arc::clone(fs)),
+                    None => ProofStore::open(dir),
+                };
+                Some(opened.map_err(|e| SessionError::Store {
+                    path: dir.clone(),
+                    message: e.to_string(),
+                })?)
+            }
             None => None,
         };
         let budget = (config.budget_ms.is_some() || config.budget_nodes.is_some()).then(|| {
@@ -182,10 +200,35 @@ impl Env {
         Ok(Env {
             options,
             caches: RwLock::new(HashMap::new()),
-            store,
+            store: RwLock::new(store),
             jobs: resolve_jobs(config.jobs),
             budget,
         })
+    }
+
+    /// A snapshot of the proof store handle, if one is attached. The
+    /// handle is cheap to clone (a path plus shared counters); sessions
+    /// take one snapshot per run so a mid-run detach cannot split a run
+    /// between two store states.
+    pub fn store(&self) -> Option<ProofStore> {
+        self.store.read().expect("store slot poisoned").clone()
+    }
+
+    /// Whether a proof store is currently attached.
+    pub fn has_store(&self) -> bool {
+        self.store.read().expect("store slot poisoned").is_some()
+    }
+
+    /// Attaches (or replaces) the proof store — the watch loop's recovery
+    /// path.
+    pub fn attach_store(&self, store: ProofStore) {
+        *self.store.write().expect("store slot poisoned") = Some(store);
+    }
+
+    /// Detaches the proof store, returning the old handle — the watch
+    /// loop's degradation path. Subsequent sessions run purely in memory.
+    pub fn detach_store(&self) -> Option<ProofStore> {
+        self.store.write().expect("store slot poisoned").take()
     }
 
     /// The proof cache for the program with canonical fingerprint `fp`
@@ -251,6 +294,12 @@ impl SessionReport {
         self.outcomes.iter().filter(|(_, o)| o.is_timeout()).count()
     }
 
+    /// How many proof tasks panicked and were isolated as
+    /// [`Outcome::Crashed`].
+    pub fn crashes(&self) -> usize {
+        self.outcomes.iter().filter(|(_, o)| o.is_crashed()).count()
+    }
+
     /// One ✓/✗/⏱ line per property (plus an indented failure reason),
     /// matching the `rx verify` output format.
     pub fn render_properties(&self) -> String {
@@ -276,6 +325,10 @@ impl SessionReport {
                 }
                 Outcome::Timeout(failure) => {
                     let _ = writeln!(s, "  ⏱ {name} (timeout)");
+                    let _ = writeln!(s, "      {failure}");
+                }
+                Outcome::Crashed(failure) => {
+                    let _ = writeln!(s, "  ✗ {name} (crashed)");
                     let _ = writeln!(s, "      {failure}");
                 }
                 Outcome::Failed(failure) => {
@@ -334,7 +387,7 @@ impl SessionReport {
         format!(
             concat!(
                 r#"{{"program":{},"jobs":{},"wall_ms":{:.1},"#,
-                r#""proved":{},"failed":{},"timeout":{},"#,
+                r#""proved":{},"failed":{},"timeout":{},"crashed":{},"#,
                 r#""reused":{},"partial":{},"reproved":{},"#,
                 r#""store_loaded":{},"store_saved":{},"#,
                 r#""paths_explored":{},"cache_hits":{},"cache_misses":{},"#,
@@ -345,8 +398,9 @@ impl SessionReport {
             self.stats.jobs,
             self.wall_ms,
             self.proved(),
-            self.failures() - self.timeouts(),
+            self.failures() - self.timeouts() - self.crashes(),
             self.timeouts(),
+            self.crashes(),
             self.reused.len(),
             self.partial.len(),
             self.reproved.len(),
@@ -368,6 +422,7 @@ fn status_of(outcome: &Outcome) -> PropertyStatus {
         Outcome::Proved(_) => PropertyStatus::Proved,
         Outcome::Timeout(_) => PropertyStatus::Timeout,
         Outcome::Failed(_) => PropertyStatus::Failed,
+        Outcome::Crashed(_) => PropertyStatus::Crashed,
     }
 }
 
@@ -510,6 +565,9 @@ impl VerifySession {
     ) -> Result<SessionReport, SessionError> {
         let env = &*self.env;
         let options = &env.options;
+        // One store snapshot per run: a concurrent detach (watch
+        // degradation) must not split this run between two store states.
+        let store = env.store();
         let session_start = Instant::now();
         sink.event(&Event::SessionStart {
             program: checked.program().name.clone(),
@@ -524,12 +582,12 @@ impl VerifySession {
         // ---- Plan: store candidates / previous certificates -------------
         let plan_start = Instant::now();
         sink.event(&Event::StageStart { stage: Stage::Plan });
-        let candidates: Vec<(String, Certificate)> = match (previous, &env.store) {
+        let candidates: Vec<(String, Certificate)> = match (previous, &store) {
             (Some(prev), _) => prev.to_vec(),
             (None, Some(store)) => load_candidates(checked, options, store),
             (None, None) => Vec::new(),
         };
-        let store_loaded = if env.store.is_some() && previous.is_none() {
+        let store_loaded = if store.is_some() && previous.is_none() {
             candidates.len()
         } else {
             0
@@ -568,7 +626,7 @@ impl VerifySession {
         };
 
         let (outcomes, reused, partial, reproved) =
-            if candidates.is_empty() && previous.is_none() && env.store.is_none() {
+            if candidates.is_empty() && previous.is_none() && store.is_none() {
                 // Plain proving: fan the properties out over the program's
                 // shared cross-property cache (env-wide, so a repeated
                 // session over the same program starts warm).
@@ -618,7 +676,7 @@ impl VerifySession {
 
         // ---- Persist ----------------------------------------------------
         let mut store_saved = 0usize;
-        if let (Some(store), None) = (&env.store, previous) {
+        if let (Some(store), None) = (&store, previous) {
             let persist_start = Instant::now();
             sink.event(&Event::StageStart {
                 stage: Stage::Persist,
@@ -678,15 +736,16 @@ impl VerifySession {
             reproved,
             store_loaded,
             store_saved,
-            certificates_checked: self.check_certificates || env.store.is_some(),
+            certificates_checked: self.check_certificates || store.is_some(),
             wall_ms: ms_since(session_start),
             stats,
             outcomes,
         };
         sink.event(&Event::SessionFinish {
             proved: report.proved(),
-            failed: report.failures() - report.timeouts(),
+            failed: report.failures() - report.timeouts() - report.crashes(),
             timeout: report.timeouts(),
+            crashed: report.crashes(),
             wall_ms: report.wall_ms,
         });
         Ok(report)
@@ -732,7 +791,16 @@ impl VerifySession {
         let workers = env.jobs.min(names.len()).max(1);
         let prove_one = |name: &str| -> Result<(Outcome, f64), SessionError> {
             let start = Instant::now();
-            let outcome = prove_with_cache(&abs, name, options, Some(cache))?;
+            // Panic isolation: a panicking proof task becomes this
+            // property's Crashed outcome instead of unwinding into the
+            // job pool and killing the session. Serial and parallel runs
+            // share this closure, so they classify identically.
+            let outcome = match reflex_verify::catch_crash(name, || {
+                prove_with_cache(&abs, name, options, Some(cache))
+            }) {
+                Ok(result) => result?,
+                Err(crashed) => crashed,
+            };
             if self.check_certificates {
                 if let Some(cert) = outcome.certificate() {
                     check_certificate_with(&abs, cert, options).map_err(|e| {

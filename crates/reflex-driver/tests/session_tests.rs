@@ -212,3 +212,168 @@ fn unknown_property_filter_is_an_error() {
     .expect_err("must refuse an unknown property");
     assert!(err.to_string().contains("NoSuchThing"), "{err}");
 }
+
+/// A store that starts failing mid-loop must degrade the watch session
+/// to in-memory caching (after capped-backoff retries) without losing a
+/// single verdict, and re-attach the moment the disk heals.
+#[test]
+fn watch_session_degrades_and_recovers_on_store_failure() {
+    use std::sync::Arc;
+
+    use reflex_driver::BackoffPolicy;
+    use reflex_verify::{FaultyFs, VerifyFs};
+
+    let car = checked("car", reflex_kernels::car::SOURCE);
+    let dir = std::env::temp_dir().join(format!("rx-watch-degrade-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Every operation faults while unhealed; healed it is a passthrough.
+    let fs = FaultyFs::seeded(0, 1_000_000);
+    fs.heal();
+
+    let mut watch = WatchSession::new(SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 1,
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        store_fs: Some(Arc::new(fs.clone()) as Arc<dyn VerifyFs>),
+        ..SessionConfig::default()
+    })
+    .expect("healthy store opens")
+    .with_backoff(BackoffPolicy {
+        base_ms: 1,
+        cap_ms: 2,
+        retries: 2,
+    });
+    assert!(!watch.degraded());
+
+    let sink = MemorySink::new();
+    // 1: healthy store-backed iteration.
+    let it = watch.verify(&car, &sink).expect("iteration 1");
+    assert!(!it.degraded);
+    assert_eq!(it.failures(), 0);
+
+    // 2: the disk starts failing. The iteration still completes (errors
+    // are misses) and flags the store for a retry.
+    fs.unheal();
+    let it = watch.verify(&car, &sink).expect("iteration 2");
+    assert!(!it.degraded, "one bad iteration is tolerated");
+    assert_eq!(it.failures(), 0);
+
+    // 3: retries fail, the store detaches, the iteration runs degraded on
+    // the in-memory carry.
+    let it = watch.verify(&car, &sink).expect("iteration 3");
+    assert!(it.degraded, "persistent failure must degrade");
+    assert!(watch.degraded());
+    assert!(watch.degraded_reason().is_some());
+    assert_eq!(it.failures(), 0, "degraded mode loses no verdicts");
+    assert!(it.summary().contains("DEGRADED"));
+
+    // 4: the disk heals; the store is re-attached before the iteration.
+    fs.heal();
+    let it = watch.verify(&car, &sink).expect("iteration 4");
+    assert!(!it.degraded, "a healthy store must re-attach");
+    assert!(!watch.degraded());
+    assert_eq!(it.failures(), 0);
+
+    let (mut retries, mut degraded, mut recovered) = (0, 0, 0);
+    for event in sink.events() {
+        match event {
+            Event::StoreRetry { .. } => retries += 1,
+            Event::StoreDegraded { .. } => degraded += 1,
+            Event::StoreRecovered => recovered += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(retries, 2, "both backoff probes fired");
+    assert_eq!(degraded, 1);
+    assert_eq!(recovered, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A proof task that panics must be isolated as `Outcome::Crashed` —
+/// never torn down the session or poisoned its siblings — and classified
+/// identically whether the fan-out runs on one worker or eight. The
+/// siblings must still prove with certificates the independent checker
+/// accepts.
+#[test]
+fn injected_panic_is_isolated_and_deterministic_across_job_counts() {
+    const VICTIM: &str = "NoLockAfterCrash";
+    let car = checked("car", reflex_kernels::car::SOURCE);
+
+    let run = |jobs: usize| {
+        let sink = MemorySink::new();
+        let report = session(SessionConfig {
+            options: ProverOptions {
+                panic_on: Some(VICTIM.to_owned()),
+                ..ProverOptions::default()
+            },
+            jobs,
+            ..SessionConfig::default()
+        })
+        .verify_checked(&car, &sink)
+        .expect("the session survives a panicking proof task");
+        (report, sink)
+    };
+    let (serial, serial_sink) = run(1);
+    let (parallel, parallel_sink) = run(8);
+
+    for (label, report) in [("serial", &serial), ("parallel", &parallel)] {
+        assert_eq!(report.crashes(), 1, "{label}: exactly one crash");
+        assert_eq!(
+            report.proved(),
+            report.outcomes.len() - 1,
+            "{label}: every sibling still proves"
+        );
+        for (name, outcome) in &report.outcomes {
+            if name == VICTIM {
+                assert!(outcome.is_crashed(), "{label}: {name} must be Crashed");
+                let failure = outcome.failure().expect("a crash carries a reason");
+                assert!(
+                    failure.reason.contains("panicked"),
+                    "{label}: crash reason should mention the panic: {}",
+                    failure.reason
+                );
+            } else {
+                // The session already validated these; re-check anyway so
+                // this test stands alone.
+                let cert = outcome
+                    .certificate()
+                    .unwrap_or_else(|| panic!("{label}: {name} should have proved"));
+                reflex_verify::check_certificate(&car, cert, &ProverOptions::default())
+                    .unwrap_or_else(|e| panic!("{label}: {name}: {e}"));
+            }
+        }
+    }
+
+    // Identical classification and identical certificates across worker
+    // counts — a crash is a deterministic verdict, not a race artifact.
+    for ((n1, o1), (n2, o2)) in serial.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(n1, n2);
+        assert_eq!(o1.is_crashed(), o2.is_crashed(), "{n1}");
+        assert_eq!(o1.certificate(), o2.certificate(), "{n1}");
+        assert_eq!(
+            o1.failure().map(|f| f.reason.clone()),
+            o2.failure().map(|f| f.reason.clone()),
+            "{n1}: crash reasons must match"
+        );
+    }
+
+    // Both sinks told the same story: one crashed property event, the
+    // rest proved.
+    for sink in [&serial_sink, &parallel_sink] {
+        let crashed = sink
+            .properties()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Property {
+                        status: PropertyStatus::Crashed,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(crashed, 1);
+    }
+}

@@ -142,9 +142,12 @@ pub fn check_certificate_with(
                     }
                 }
                 crate::options::Outcome::Proved(_) => unreachable!("NI proof yields NI cert"),
-                crate::options::Outcome::Failed(e) | crate::options::Outcome::Timeout(e) => Err(
-                    reject("non-interference", format!("re-derivation failed: {e}")),
-                ),
+                crate::options::Outcome::Failed(e)
+                | crate::options::Outcome::Timeout(e)
+                | crate::options::Outcome::Crashed(e) => Err(reject(
+                    "non-interference",
+                    format!("re-derivation failed: {e}"),
+                )),
             }
         }
     }

@@ -368,7 +368,14 @@ pub(crate) fn reverify_core(
     };
     let execute = |name: &str, plan: &ReusePlan| -> Result<(Outcome, Reuse), VerifyError> {
         let start = std::time::Instant::now();
-        let result = execute_inner(name, plan);
+        // Panic isolation: a panicking proof task — prover defect or the
+        // injected chaos hook — becomes this property's Crashed outcome
+        // instead of unwinding into the worker pool and killing every
+        // sibling. Serial and parallel runs take the same path.
+        let result = match crate::options::catch_crash(name, || execute_inner(name, plan)) {
+            Ok(inner) => inner,
+            Err(crashed) => Ok((crashed, Reuse::Reproved)),
+        };
         if let (Some(observe), Ok((outcome, reuse))) = (observer, &result) {
             observe(name, *reuse, outcome, start.elapsed().as_secs_f64() * 1e3);
         }

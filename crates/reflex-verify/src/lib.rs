@@ -56,6 +56,7 @@ mod shared;
 mod stats;
 pub mod store;
 mod trace_prover;
+pub mod vfs;
 
 pub use abstraction::{Abstraction, World};
 pub use budget::{BudgetExceeded, ProofBudget};
@@ -67,12 +68,13 @@ pub use incremental::{
     reverify, reverify_jobs, reverify_observed, DepGraph, IncrementalReport, PropObserver, Reuse,
     ReusePlan,
 };
-pub use options::{resolve_jobs, Outcome, ProofFailure, ProverOptions, VerifyError};
+pub use options::{catch_crash, resolve_jobs, Outcome, ProofFailure, ProverOptions, VerifyError};
 pub use stats::{paths_explored, PropStats, ProverStats};
 pub use store::{
     load_candidates, persist_outcomes, verify_with_store, verify_with_store_observed, ProofStore,
-    StoreHead, StoreReport, STORE_VERSION,
+    ScrubReport, StoreHead, StoreReport, QUARANTINE_DIR, STORE_VERSION,
 };
+pub use vfs::{FaultyFs, FsFault, FsFaultPlan, FsOp, RealFs, VerifyFs};
 
 use reflex_ast::PropBody;
 use reflex_typeck::CheckedProgram;

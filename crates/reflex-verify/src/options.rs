@@ -44,11 +44,20 @@ pub struct ProverOptions {
     /// it is excluded from [`ProverOptions::fingerprint`] and from
     /// equality.
     pub budget: Option<std::sync::Arc<crate::budget::ProofBudget>>,
+    /// Test-only chaos hook: the name of a property whose proof task should
+    /// deliberately panic, exercising the session's panic isolation. The
+    /// panic only fires when the `panic-injection` cargo feature is enabled;
+    /// without it the field is inert. Like `budget`, this is run-scoped
+    /// scaffolding that can only *stop* a proof, never change what one
+    /// proves, so it is excluded from [`ProverOptions::fingerprint`] and
+    /// from equality — a crashed property must not fork the proof-store
+    /// namespace.
+    pub panic_on: Option<String>,
 }
 
-// Manual impls: `budget` carries atomics (no `Eq`) and is run-scoped
-// scaffolding, not configuration — two options values are "the same
-// configuration" iff the deterministic fields agree.
+// Manual impls: `budget` carries atomics (no `Eq`) and, like `panic_on`,
+// is run-scoped scaffolding, not configuration — two options values are
+// "the same configuration" iff the deterministic fields agree.
 impl PartialEq for ProverOptions {
     fn eq(&self, other: &Self) -> bool {
         self.syntactic_skip == other.syntactic_skip
@@ -72,6 +81,7 @@ impl Default for ProverOptions {
             shared_cache: true,
             jobs: 1,
             budget: None,
+            panic_on: None,
         }
     }
 }
@@ -94,6 +104,7 @@ impl ProverOptions {
             shared_cache: false,
             jobs: 1,
             budget: None,
+            panic_on: None,
         }
     }
 
@@ -169,6 +180,14 @@ pub enum Outcome {
     /// [`Outcome::Failed`], this says nothing about the property — a rerun
     /// with a larger budget may well prove it.
     Timeout(ProofFailure),
+    /// The proof task panicked and was isolated by [`catch_crash`]. Like
+    /// [`Outcome::Timeout`], this says nothing about the property itself —
+    /// it records a defect (or injected fault) in the prover run. A crashed
+    /// outcome carries no certificate, so it can never be persisted to a
+    /// [`crate::ProofStore`]; and because the crash hook is excluded from
+    /// [`ProverOptions::fingerprint`], a crash never forks the store
+    /// namespace either.
+    Crashed(ProofFailure),
 }
 
 impl Outcome {
@@ -182,19 +201,54 @@ impl Outcome {
         matches!(self, Outcome::Timeout(_))
     }
 
+    /// Whether the proof task panicked and was isolated.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, Outcome::Crashed(_))
+    }
+
     /// The certificate, if proved.
     pub fn certificate(&self) -> Option<&crate::certificate::Certificate> {
         match self {
             Outcome::Proved(c) => Some(c),
-            Outcome::Failed(_) | Outcome::Timeout(_) => None,
+            Outcome::Failed(_) | Outcome::Timeout(_) | Outcome::Crashed(_) => None,
         }
     }
 
-    /// The failure, if the proof search failed or was stopped.
+    /// The failure, if the proof search failed, was stopped, or crashed.
     pub fn failure(&self) -> Option<&ProofFailure> {
         match self {
             Outcome::Proved(_) => None,
-            Outcome::Failed(e) | Outcome::Timeout(e) => Some(e),
+            Outcome::Failed(e) | Outcome::Timeout(e) | Outcome::Crashed(e) => Some(e),
+        }
+    }
+}
+
+/// Runs one proof task with panic isolation: a panic inside `f` is caught
+/// and surfaced as `Err(Outcome::Crashed)` for the given property instead
+/// of unwinding into (and killing) the caller's job pool.
+///
+/// The crash reason is the panic payload when it is a string (the common
+/// case — `panic!`/`assert!` messages), so serial and parallel runs of the
+/// same deterministic panic classify identically; worker scheduling decides
+/// nothing.
+// The Err variant is the classified verdict itself, produced at most once
+// per crashed property — not an error type on a hot path worth boxing.
+#[allow(clippy::result_large_err)]
+pub fn catch_crash<R>(property: &str, f: impl FnOnce() -> R) -> Result<R, Outcome> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(value) => Ok(value),
+        Err(payload) => {
+            let reason = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "proof task panicked with a non-string payload".to_owned()
+            };
+            Err(Outcome::Crashed(ProofFailure {
+                location: format!("property `{property}`"),
+                reason: format!("proof task panicked: {reason}"),
+            }))
         }
     }
 }

@@ -39,9 +39,10 @@
 //! 4. writes go to a temporary file first and are renamed into place, so
 //!    readers never observe half-written entries.
 
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use reflex_ast::fingerprint::{Fp, FpHasher};
 use reflex_ast::{ActionPat, CompPat, PatField, Ty, Value};
@@ -55,6 +56,7 @@ use crate::certificate::{
 };
 use crate::incremental::IncrementalReport;
 use crate::options::{Outcome, ProverOptions, VerifyError};
+use crate::vfs::{RealFs, VerifyFs};
 
 /// On-disk format version; bumped whenever the encoding changes. Entries
 /// written by any other version read as misses.
@@ -63,9 +65,18 @@ pub const STORE_VERSION: u32 = 1;
 const MAGIC: &[u8; 4] = b"RXPS";
 
 /// A handle to an on-disk proof store directory.
+///
+/// Cheap to clone: clones share the same root, filesystem and I/O error
+/// counter.
 #[derive(Debug, Clone)]
 pub struct ProofStore {
     root: PathBuf,
+    /// Every disk touch goes through this, so tests and the chaos harness
+    /// can inject a [`crate::vfs::FaultyFs`].
+    fs: Arc<dyn VerifyFs>,
+    /// Unexpected I/O failures observed (not plain not-found misses) —
+    /// the watch loop's degradation signal.
+    io_errors: Arc<AtomicU64>,
 }
 
 /// What the last successful run against a program (by name) proved: the
@@ -80,20 +91,70 @@ pub struct StoreHead {
 }
 
 impl ProofStore {
-    /// Opens (creating if needed) the store rooted at `dir`.
+    /// Opens (creating if needed) the store rooted at `dir`, on the real
+    /// filesystem.
     ///
     /// # Errors
     ///
     /// Fails only if the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<ProofStore> {
+        ProofStore::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// Opens (creating if needed) the store rooted at `dir`, routing every
+    /// disk operation through `fs` — the fault-injection seam used by the
+    /// robustness tests and `rx chaos`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory cannot be created.
+    pub fn open_with(dir: impl AsRef<Path>, fs: Arc<dyn VerifyFs>) -> io::Result<ProofStore> {
         let root = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&root)?;
-        Ok(ProofStore { root })
+        fs.create_dir_all(&root)?;
+        Ok(ProofStore {
+            root,
+            fs,
+            io_errors: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Unexpected I/O failures observed by this handle (and its clones)
+    /// since opening. Plain not-found reads are misses, not errors; the
+    /// watch loop compares snapshots of this counter to decide when the
+    /// store has become unreliable.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::SeqCst)
+    }
+
+    fn count_io_error(&self) {
+        self.io_errors.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A quick read-back health check: writes a small framed probe entry,
+    /// reads it back, and removes it. The watch loop calls this before
+    /// re-attaching a degraded store.
+    ///
+    /// # Errors
+    ///
+    /// Any write, sync, rename or read-back failure.
+    pub fn probe(&self) -> io::Result<()> {
+        let path = self.root.join(format!(".probe-{}", std::process::id()));
+        self.write_framed(&path, b"probe")?;
+        let ok = matches!(self.read_framed(&path), Some(p) if p == b"probe");
+        let _ = self.fs.remove_file(&path);
+        if ok {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "probe entry did not read back intact",
+            ))
+        }
     }
 
     fn entry_path(&self, program: Fp, property: Fp, options: Fp) -> PathBuf {
@@ -112,7 +173,7 @@ impl ProofStore {
     /// absent, unreadable, truncated, corrupt or written by a different
     /// format version (all of these are cache misses, not errors).
     pub fn load(&self, program: Fp, property: Fp, options: Fp) -> Option<Certificate> {
-        let payload = read_framed(&self.entry_path(program, property, options))?;
+        let payload = self.read_framed(&self.entry_path(program, property, options))?;
         let mut d = Dec::new(&payload);
         let cert = dec_certificate(&mut d)?;
         d.finish()?;
@@ -135,32 +196,19 @@ impl ProofStore {
         cert: &Certificate,
     ) -> io::Result<()> {
         let path = self.entry_path(program, property, options);
-        if path.exists() {
+        if self.fs.exists(&path) {
             return Ok(());
         }
         let mut e = Enc::new();
         enc_certificate(&mut e, cert);
-        write_framed(&path, &e.buf)
+        self.write_framed(&path, &e.buf)
     }
 
     /// Loads the head record for (`program_name`, `options`), with the same
     /// miss semantics as [`ProofStore::load`].
     pub fn load_head(&self, program_name: &str, options: Fp) -> Option<StoreHead> {
-        let payload = read_framed(&self.head_path(program_name, options))?;
-        let mut d = Dec::new(&payload);
-        let program = d.fp()?;
-        let n = d.len()?;
-        let mut properties = Vec::with_capacity(n);
-        for _ in 0..n {
-            let name = d.str()?;
-            let fp = d.fp()?;
-            properties.push((name, fp));
-        }
-        d.finish()?;
-        Some(StoreHead {
-            program,
-            properties,
-        })
+        let payload = self.read_framed(&self.head_path(program_name, options))?;
+        decode_head(&payload)
     }
 
     /// Stores the head record for (`program_name`, `options`), atomically.
@@ -176,14 +224,79 @@ impl ProofStore {
             e.str(name);
             e.fp(*fp);
         }
-        write_framed(&self.head_path(program_name, options), &e.buf)
+        self.write_framed(&self.head_path(program_name, options), &e.buf)
+    }
+
+    /// Reads a framed file: magic, version, payload integrity fingerprint,
+    /// payload. Any mismatch is a miss (`None`); unexpected I/O errors
+    /// (anything but not-found) also bump [`ProofStore::io_errors`].
+    fn read_framed(&self, path: &Path) -> Option<Vec<u8>> {
+        let bytes = match self.fs.read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.count_io_error();
+                }
+                return None;
+            }
+        };
+        decode_frame(&bytes)
+    }
+
+    /// Writes a framed file atomically and durably: temporary file, then
+    /// `sync_all`, then rename. The fsync closes the crash window between
+    /// write and rename — without it, a crash (or a torn page-cache write)
+    /// could leave a *renamed* frame with lost bytes, which readers would
+    /// then pay for on every load. The bytes are a deterministic function
+    /// of the payload — no timestamps — so identical content always
+    /// produces identical files.
+    fn write_framed(&self, path: &Path, payload: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(16 + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
+        let mut h = FpHasher::new();
+        h.write(payload);
+        bytes.extend_from_slice(&h.finish().0.to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let tmp = dir.join(format!(".tmp-{}-{file_name}", std::process::id()));
+        let result = self
+            .fs
+            .write(&tmp, &bytes)
+            .and_then(|()| self.fs.sync(&tmp))
+            .and_then(|()| self.fs.rename(&tmp, path));
+        if result.is_err() {
+            self.count_io_error();
+            // Best-effort: do not leave the torn temporary behind (scrub
+            // sweeps up any that survive a crash).
+            let _ = self.fs.remove_file(&tmp);
+        }
+        result
     }
 }
 
-/// Reads a framed file: magic, version, payload integrity fingerprint,
-/// payload. Any mismatch is a miss (`None`).
-fn read_framed(path: &Path) -> Option<Vec<u8>> {
-    let bytes = fs::read(path).ok()?;
+/// Decodes a head record's payload.
+fn decode_head(payload: &[u8]) -> Option<StoreHead> {
+    let mut d = Dec::new(payload);
+    let program = d.fp()?;
+    let n = d.len()?;
+    let mut properties = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = d.str()?;
+        let fp = d.fp()?;
+        properties.push((name, fp));
+    }
+    d.finish()?;
+    Some(StoreHead {
+        program,
+        properties,
+    })
+}
+
+/// Validates and strips a framed file's header, returning the payload, or
+/// `None` for any mismatch.
+fn decode_frame(bytes: &[u8]) -> Option<Vec<u8>> {
     if bytes.len() < 16 || &bytes[0..4] != MAGIC {
         return None;
     }
@@ -201,22 +314,206 @@ fn read_framed(path: &Path) -> Option<Vec<u8>> {
     Some(payload.to_vec())
 }
 
-/// Writes a framed file atomically (temporary file + rename). The bytes are
-/// a deterministic function of the payload — no timestamps — so identical
-/// content always produces identical files.
-fn write_framed(path: &Path, payload: &[u8]) -> io::Result<()> {
-    let mut bytes = Vec::with_capacity(16 + payload.len());
-    bytes.extend_from_slice(MAGIC);
-    bytes.extend_from_slice(&STORE_VERSION.to_le_bytes());
-    let mut h = FpHasher::new();
-    h.write(payload);
-    bytes.extend_from_slice(&h.finish().0.to_le_bytes());
-    bytes.extend_from_slice(payload);
-    let dir = path.parent().unwrap_or_else(|| Path::new("."));
-    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
-    let tmp = dir.join(format!(".tmp-{}-{file_name}", std::process::id()));
-    fs::write(&tmp, &bytes)?;
-    fs::rename(&tmp, path)
+/// The quarantine subdirectory scrub moves bad entries into.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What one [`ProofStore::scrub`] pass found and did.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Framed entries examined (`.cert` and `.head` files).
+    pub scanned: usize,
+    /// Entries that validated clean and were kept.
+    pub ok: usize,
+    /// Stale temporary/probe files deleted (compaction).
+    pub tmp_removed: usize,
+    /// Quarantined entries that decoded fine but were rejected by the
+    /// certificate checker (a subset of `quarantined`).
+    pub checker_rejected: usize,
+    /// `(file name, reason)` for every entry moved to `quarantine/`.
+    pub quarantined: Vec<(String, String)>,
+}
+
+impl ScrubReport {
+    /// One human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "scrubbed {} entries: {} ok, {} quarantined ({} checker-rejected), {} stale tmp files removed",
+            self.scanned,
+            self.ok,
+            self.quarantined.len(),
+            self.checker_rejected,
+            self.tmp_removed
+        )
+    }
+
+    /// The machine-readable report written to `quarantine/report.json`.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut entries = String::new();
+        for (i, (file, reason)) in self.quarantined.iter().enumerate() {
+            if i > 0 {
+                entries.push(',');
+            }
+            let _ = write!(
+                entries,
+                r#"{{"file":{},"reason":{}}}"#,
+                json_str(file),
+                json_str(reason)
+            );
+        }
+        format!(
+            concat!(
+                r#"{{"scanned":{},"ok":{},"tmp_removed":{},"#,
+                r#""checker_rejected":{},"quarantined":[{}]}}"#
+            ),
+            self.scanned, self.ok, self.tmp_removed, self.checker_rejected, entries
+        )
+    }
+}
+
+/// Encodes a string as a JSON string literal (with quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ProofStore {
+    /// Validates every framed entry in the store, quarantining the bad
+    /// ones and compacting leftovers.
+    ///
+    /// * `.cert` files must carry an intact frame and decode to a
+    ///   certificate; `.head` files must decode to a head record. Failures
+    ///   are moved into [`QUARANTINE_DIR`] with a reason.
+    /// * With `validate` supplied, every entry keyed by that program and
+    ///   options is additionally run through the independent certificate
+    ///   checker; rejects are quarantined too ("checker rejected").
+    /// * Stale `.tmp-*` and `.probe-*` files — debris of crashed writers —
+    ///   are deleted.
+    /// * When anything was quarantined, a machine-readable
+    ///   `quarantine/report.json` is (re)written.
+    ///
+    /// Quarantining moves files, never deletes them, so a scrub
+    /// false-positive (e.g. a flaky read) costs a future miss, not data.
+    ///
+    /// # Errors
+    ///
+    /// Only if the store directory itself cannot be listed; per-entry
+    /// failures are reported inside the [`ScrubReport`].
+    pub fn scrub(
+        &self,
+        validate: Option<(&CheckedProgram, &ProverOptions)>,
+    ) -> io::Result<ScrubReport> {
+        let quarantine = self.root.join(QUARANTINE_DIR);
+        // File name → property name, for entries the supplied program can
+        // vouch for (same program, property and options fingerprints).
+        let mut expected: std::collections::HashMap<String, String> = Default::default();
+        if let Some((checked, options)) = validate {
+            let fps = checked.fingerprints();
+            let opts_fp = options.fingerprint();
+            for prop in &checked.program().properties {
+                if let Some(pfp) = fps.property(&prop.name) {
+                    let path = self.entry_path(fps.program, pfp, opts_fp);
+                    if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                        expected.insert(name.to_owned(), prop.name.clone());
+                    }
+                }
+            }
+        }
+
+        let mut report = ScrubReport::default();
+        for path in self.fs.read_dir(&self.root)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.starts_with(".tmp-") || name.starts_with(".probe-") {
+                if self.fs.remove_file(&path).is_ok() {
+                    report.tmp_removed += 1;
+                }
+                continue;
+            }
+            let is_cert = name.ends_with(".cert");
+            let is_head = name.ends_with(".head");
+            if !is_cert && !is_head {
+                continue; // quarantine/ itself, user files, …
+            }
+            report.scanned += 1;
+            let verdict: Result<(), String> = match self.fs.read(&path) {
+                Err(e) => Err(format!("unreadable: {e}")),
+                Ok(bytes) => match decode_frame(&bytes) {
+                    None => Err(
+                        "corrupt frame (bad magic, version, or integrity fingerprint)".to_owned(),
+                    ),
+                    Some(payload) if is_head => match decode_head(&payload) {
+                        Some(_) => Ok(()),
+                        None => Err("undecodable head payload".to_owned()),
+                    },
+                    Some(payload) => {
+                        let mut d = Dec::new(&payload);
+                        match dec_certificate(&mut d).filter(|_| d.finish().is_some()) {
+                            None => Err("undecodable certificate payload".to_owned()),
+                            Some(cert) => match (validate, expected.get(name)) {
+                                (Some((checked, options)), Some(prop_name)) => {
+                                    if cert.property() != *prop_name {
+                                        Err(format!(
+                                            "filed under `{prop_name}` but certifies `{}`",
+                                            cert.property()
+                                        ))
+                                    } else {
+                                        match crate::check_certificate(checked, &cert, options) {
+                                            Ok(()) => Ok(()),
+                                            Err(e) => {
+                                                report.checker_rejected += 1;
+                                                Err(format!("checker rejected: {e}"))
+                                            }
+                                        }
+                                    }
+                                }
+                                _ => Ok(()),
+                            },
+                        }
+                    }
+                },
+            };
+            match verdict {
+                Ok(()) => report.ok += 1,
+                Err(reason) => {
+                    let moved = self
+                        .fs
+                        .create_dir_all(&quarantine)
+                        .and_then(|()| self.fs.rename(&path, &quarantine.join(name)));
+                    let outcome = match moved {
+                        Ok(()) => reason,
+                        Err(e) => format!("{reason}; quarantine move failed: {e}"),
+                    };
+                    report.quarantined.push((name.to_owned(), outcome));
+                }
+            }
+        }
+        if !report.quarantined.is_empty() {
+            // Best-effort: the report is advisory; a failed write must not
+            // fail the scrub that just cleaned the store.
+            let _ = self.fs.create_dir_all(&quarantine).and_then(|()| {
+                self.fs.write(
+                    &quarantine.join("report.json"),
+                    report.render_json().as_bytes(),
+                )
+            });
+        }
+        Ok(report)
+    }
 }
 
 /// The result of a store-backed verification run.

@@ -79,6 +79,15 @@ pub fn prove_trace(
     tp: &TraceProp,
     shared: Option<&ProofCache>,
 ) -> Outcome {
+    // Chaos hook: deliberately crash this proof task so the session-level
+    // panic isolation can be exercised end to end. Compiled out unless the
+    // `panic-injection` feature is on; inert unless the option names this
+    // property. Fires before any lock is taken, so sibling properties
+    // sharing the ProofCache are unaffected.
+    #[cfg(feature = "panic-injection")]
+    if options.panic_on.as_deref() == Some(prop.name.as_str()) {
+        panic!("injected panic for `{}`", prop.name);
+    }
     match prove_trace_inner(abs, options, prop, tp, 0, shared) {
         Ok(cert) => Outcome::Proved(Certificate::Trace(cert)),
         Err(failure) => Outcome::Failed(failure),

@@ -1,0 +1,171 @@
+//! Fault-injection tests for the on-disk proof store: whatever a seeded
+//! I/O fault schedule does to the disk, a store round-trip must either
+//! produce byte-identical certificates or degrade to a miss (and a
+//! re-prove) — never hand back a wrong certificate the checker accepts.
+//! Also pins the crash-window fix: a torn write (reported as successful,
+//! tail lost) must be surfaced by the pre-rename fsync, so no damaged
+//! frame ever lands at a final entry path.
+
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use reflex_parser::parse_program;
+use reflex_typeck::{check, CheckedProgram};
+use reflex_verify::{
+    check_certificate, load_candidates, prove_all, verify_with_store, Certificate, FaultyFs,
+    FsFault, FsFaultPlan, FsOp, ProofStore, ProverOptions, VerifyFs,
+};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rx-storefault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn car() -> &'static CheckedProgram {
+    static CAR: OnceLock<CheckedProgram> = OnceLock::new();
+    CAR.get_or_init(|| {
+        check(&parse_program("car", reflex_kernels::car::SOURCE).expect("parses")).expect("checks")
+    })
+}
+
+/// The clean-run ground truth: every property proved, certificates in
+/// declaration order.
+fn baseline() -> &'static Vec<(String, Certificate)> {
+    static BASE: OnceLock<Vec<(String, Certificate)>> = OnceLock::new();
+    BASE.get_or_init(|| {
+        prove_all(car(), &ProverOptions::default())
+            .into_iter()
+            .map(|(name, o)| {
+                let cert = o.certificate().expect("car properties all prove").clone();
+                (name, cert)
+            })
+            .collect()
+    })
+}
+
+/// Asserts a store-backed run's outcomes match the baseline exactly.
+fn assert_matches_baseline(context: &str, outcomes: &[(String, reflex_verify::Outcome)]) {
+    assert_eq!(outcomes.len(), baseline().len(), "{context}: arity");
+    for ((name, outcome), (bname, bcert)) in outcomes.iter().zip(baseline()) {
+        assert_eq!(name, bname, "{context}: property order");
+        assert_eq!(
+            outcome.certificate(),
+            Some(bcert),
+            "{context}: {name} must carry the baseline certificate"
+        );
+    }
+}
+
+/// The crash window the fsync fix closes: a torn first write claims
+/// success but loses its tail. Without `sync` before the atomic rename
+/// the damaged frame would land at the final path; with it, the save
+/// aborts and the entry is simply missing — a future miss, re-proved
+/// with an identical certificate.
+#[test]
+fn torn_write_is_surfaced_by_fsync_and_never_lands() {
+    let dir = temp_store("torn");
+    let fs = FaultyFs::new(FsFaultPlan::Scripted(vec![(
+        FsOp::Write,
+        0,
+        FsFault::WriteTorn,
+    )]));
+    let options = ProverOptions::default();
+
+    let store = ProofStore::open_with(&dir, Arc::new(fs.clone()) as Arc<dyn VerifyFs>)
+        .expect("store opens");
+    let sr = verify_with_store(car(), &options, &store, 1).expect("verifies");
+    assert_matches_baseline("faulted save", &sr.report.outcomes);
+    assert_eq!(fs.injected(), 1, "exactly the scripted torn write fired");
+    assert_eq!(
+        sr.saved,
+        baseline().len() - 1,
+        "the torn entry must not count as saved"
+    );
+    assert!(store.io_errors() > 0, "the failed fsync is counted");
+
+    // No damaged frame landed: every entry on disk decodes and matches
+    // the baseline; the torn property is a plain miss.
+    let healed = ProofStore::open(&dir).expect("store re-opens on the real fs");
+    let candidates = load_candidates(car(), &options, &healed);
+    assert_eq!(
+        candidates.len(),
+        baseline().len() - 1,
+        "the torn entry is a miss, the rest are hits"
+    );
+    for (name, cert) in &candidates {
+        let (_, expected) = baseline()
+            .iter()
+            .find(|(b, _)| b == name)
+            .expect("known property");
+        assert_eq!(cert, expected, "{name}: store entry is byte-identical");
+    }
+
+    // A clean second run serves the survivors and re-proves (and
+    // re-saves) the missing one, converging to the baseline.
+    let sr2 = verify_with_store(car(), &options, &healed, 1).expect("verifies");
+    assert_matches_baseline("healed reload", &sr2.report.outcomes);
+    assert_eq!(sr2.loaded, baseline().len() - 1);
+    // Every entry reports saved: the survivors as content-addressed
+    // no-ops, the torn one re-persisted for real.
+    assert_eq!(sr2.saved, baseline().len());
+    let candidates = load_candidates(car(), &options, &healed);
+    assert_eq!(candidates.len(), baseline().len(), "store is whole again");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seeded fault schedule: store rounds either serve
+    /// byte-identical certificates or miss and re-prove — outcomes always
+    /// converge to the baseline, and everything the store serves passes
+    /// the independent checker. Never a wrong certificate.
+    #[test]
+    fn seeded_fault_schedules_round_trip_or_miss(seed in 0u64..64, rate_ppm in 1_000u32..150_000) {
+        let dir = temp_store(&format!("prop-{seed}-{rate_ppm}"));
+        let fs = FaultyFs::seeded(seed, rate_ppm);
+        let options = ProverOptions::default();
+        let Ok(store) = ProofStore::open_with(&dir, Arc::new(fs.clone()) as Arc<dyn VerifyFs>)
+        else {
+            // The schedule faulted the very mkdir: opening degraded to
+            // nothing, which is an acceptable (store-less) outcome.
+            return Ok(());
+        };
+
+        // Two faulted rounds: writes may be lost and reads may error, but
+        // every verdict must still match the clean baseline.
+        for round in 0..2 {
+            let sr = verify_with_store(car(), &options, &store, 1).expect("session never aborts");
+            assert_matches_baseline(&format!("faulted round {round}"), &sr.report.outcomes);
+        }
+
+        // Whatever the store is willing to serve — under faults or after
+        // healing — is byte-identical to the baseline and checker-accepted.
+        for healed in [false, true] {
+            if healed {
+                fs.heal();
+            }
+            for (name, cert) in load_candidates(car(), &options, &store) {
+                let (_, expected) = baseline()
+                    .iter()
+                    .find(|(b, _)| *b == name)
+                    .expect("known property");
+                prop_assert_eq!(
+                    &cert, expected,
+                    "healed={}: {} served a non-baseline certificate", healed, name
+                );
+                prop_assert!(
+                    check_certificate(car(), &cert, &options).is_ok(),
+                    "healed={}: {} served a certificate the checker rejects", healed, name
+                );
+            }
+        }
+
+        // After healing, one more round converges: everything proved,
+        // certificates identical to the baseline.
+        let sr = verify_with_store(car(), &options, &store, 1).expect("verifies");
+        assert_matches_baseline("healed round", &sr.report.outcomes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

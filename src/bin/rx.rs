@@ -9,6 +9,8 @@
 //! rx show    FILE             pretty-print the kernel and its statistics
 //! rx run     FILE [N [SEED]]  boot the kernel and run up to N exchanges
 //! rx soak                     soak the bundled kernels under fault injection
+//! rx chaos                    replay the watch loop under injected store faults
+//! rx store   scrub DIR [FILE] validate a proof store, quarantining bad entries
 //! ```
 //!
 //! Every verifying subcommand is a thin adapter over
@@ -22,6 +24,10 @@
 //! `rx run` accepts `--faults SPEC --supervise --monitor` to run the
 //! kernel under the supervised runtime with deterministic fault
 //! injection; `rx soak` drives every bundled Figure-6 kernel that way.
+//! `rx chaos` replays the scripted incremental session with the proof
+//! store on a seeded faulty filesystem and checks the robustness
+//! invariants (no aborts, no wrong reuse, no quarantine escapes);
+//! `rx store scrub` audits a store directory in place.
 //!
 //! Exit codes: 0 success, 1 the kernel/properties have problems,
 //! 2 usage errors.
@@ -42,7 +48,7 @@ use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--interval MS] [--iterations N]\n             [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N]\n  rx store   scrub DIR [FILE]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -154,6 +160,11 @@ const WATCH_FLAGS: &[FlagSpec] = &[
         help: "reuse certificates across restarts through a proof store",
     },
     FlagSpec {
+        name: "--strict-store",
+        value: None,
+        help: "fail instead of starting degraded when the store won't open",
+    },
+    FlagSpec {
         name: "--interval",
         value: Some("MS"),
         help: "change-poll interval (default 200)",
@@ -236,6 +247,24 @@ const SOAK_FLAGS: &[FlagSpec] = &[
     },
 ];
 
+const CHAOS_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--seeds",
+        value: Some("A..B"),
+        help: "fault-schedule seed range to replay (default 0..8)",
+    },
+    FlagSpec {
+        name: "--rate",
+        value: Some("PPM"),
+        help: "per-operation fault rate, parts per million (default 50000)",
+    },
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "prove on N worker threads (0: one per CPU)",
+    },
+];
+
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "check",
@@ -284,6 +313,18 @@ const COMMANDS: &[CommandSpec] = &[
         synopsis: "",
         flags: SOAK_FLAGS,
         run: cmd_soak,
+    },
+    CommandSpec {
+        name: "chaos",
+        synopsis: "",
+        flags: CHAOS_FLAGS,
+        run: cmd_chaos,
+    },
+    CommandSpec {
+        name: "store",
+        synopsis: "scrub DIR [FILE]",
+        flags: NO_FLAGS,
+        run: cmd_store,
     },
 ];
 
@@ -334,6 +375,8 @@ fn session_config(
         budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
         budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
         property,
+        strict_store: parsed.is_set("--strict-store"),
+        ..SessionConfig::default()
     })
 }
 
@@ -402,6 +445,13 @@ fn cmd_watch(parsed: &cli::Parsed) -> Result<(), CliError> {
     let interval_ms: u64 = parsed.get("--interval", 200).map_err(CliError::Usage)?;
     let iterations: Option<usize> = parsed.get_opt("--iterations").map_err(CliError::Usage)?;
     let mut session = WatchSession::new(session_config(parsed, None)?).map_err(CliError::run)?;
+    if let Some(reason) = session.degraded_reason() {
+        eprintln!(
+            "rx watch: warning: starting DEGRADED (in-memory caching only): {reason}\n\
+             rx watch: will re-attach the store when it becomes healthy \
+             (use --strict-store to make this fatal)"
+        );
+    }
     let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
     let mut last_seen = None;
     let mut iteration = 0usize;
@@ -598,6 +648,89 @@ fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), Cl
         )));
     }
     Ok(())
+}
+
+/// `rx chaos [--seeds A..B] [--rate PPM] [--jobs N]`: replay the scripted
+/// incremental session under seeded store faults, write `BENCH_chaos.json`
+/// and fail unless every robustness invariant held.
+fn cmd_chaos(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::bench::chaos::{render_chaos, render_chaos_json, run_chaos, ChaosConfig};
+    if !parsed.positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "unexpected operand `{}`",
+            parsed.positional[0]
+        )));
+    }
+    let mut cfg = ChaosConfig::default();
+    if let Some(spec) = parsed.value("--seeds") {
+        cfg.seeds = parse_seed_range(spec).map_err(CliError::Usage)?;
+    }
+    cfg.rate_ppm = parsed
+        .get("--rate", cfg.rate_ppm)
+        .map_err(CliError::Usage)?;
+    cfg.jobs = parsed.get("--jobs", cfg.jobs).map_err(CliError::Usage)?;
+    let bench = run_chaos(&cfg).map_err(CliError::run)?;
+    print!("{}", render_chaos(&bench));
+    std::fs::write("BENCH_chaos.json", render_chaos_json(&bench))
+        .map_err(|e| CliError::Run(format!("BENCH_chaos.json: {e}")))?;
+    println!("wrote BENCH_chaos.json");
+    if bench.violations() > 0 {
+        return Err(CliError::Run(format!(
+            "{} robustness invariant violation(s): {} abort(s), {} certificate mismatch(es), {} quarantine escape(s)",
+            bench.violations(),
+            bench.total_aborts(),
+            bench.total_cert_mismatches(),
+            bench.total_quarantine_escapes()
+        )));
+    }
+    Ok(())
+}
+
+/// `--seeds A..B` (half-open range) or a single seed `N`.
+fn parse_seed_range(spec: &str) -> Result<Vec<u64>, String> {
+    let parse = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| format!("--seeds: invalid value `{spec}` (expected A..B or N)"))
+    };
+    if let Some((a, b)) = spec.split_once("..") {
+        let (a, b) = (parse(a)?, parse(b)?);
+        if a >= b {
+            return Err(format!("--seeds: empty range `{spec}`"));
+        }
+        Ok((a..b).collect())
+    } else {
+        Ok(vec![parse(spec)?])
+    }
+}
+
+/// `rx store scrub DIR [FILE]`: validate every framed entry of a proof
+/// store, quarantining corrupt or checker-rejected ones. With FILE, cert
+/// entries belonging to that kernel's current properties are additionally
+/// re-validated by the independent checker.
+fn cmd_store(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let (dir, file) = match parsed.positional.as_slice() {
+        [action, dir] if action == "scrub" => (dir.as_str(), None),
+        [action, dir, file] if action == "scrub" => (dir.as_str(), Some(file.as_str())),
+        _ => return Err(CliError::Usage("expected `scrub DIR [FILE]`".into())),
+    };
+    let checked = file.map(load).transpose()?;
+    let options = ProverOptions::default();
+    let store =
+        reflex::verify::ProofStore::open(dir).map_err(|e| CliError::Run(format!("{dir}: {e}")))?;
+    let report = store
+        .scrub(checked.as_ref().map(|c| (c, &options)))
+        .map_err(|e| CliError::Run(format!("{dir}: scrub failed: {e}")))?;
+    println!("{}", report.summary());
+    if report.quarantined.is_empty() {
+        println!("{dir}: store is clean.");
+        Ok(())
+    } else {
+        Err(CliError::Run(format!(
+            "{} entr(y/ies) quarantined under {dir}/{} (see report.json there)",
+            report.quarantined.len(),
+            reflex::verify::QUARANTINE_DIR
+        )))
+    }
 }
 
 fn cmd_soak(parsed: &cli::Parsed) -> Result<(), CliError> {

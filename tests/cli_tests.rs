@@ -230,6 +230,97 @@ fn verify_trace_json_writes_event_lines() {
 }
 
 #[test]
+fn store_scrub_quarantines_corrupt_entries() {
+    let dir = std::env::temp_dir().join(format!("rx-cli-scrub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().expect("utf8");
+
+    // Populate the store, then bit-rot one certificate entry.
+    let (ok, stdout, _) = rx(&["verify", &kernel("car"), "--store", dir_s]);
+    assert!(ok, "{stdout}");
+    let mut certs: Vec<_> = std::fs::read_dir(&dir)
+        .expect("store exists")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cert"))
+        .collect();
+    certs.sort();
+    assert!(!certs.is_empty());
+    let victim = &certs[0];
+    let mut bytes = std::fs::read(victim).expect("readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(victim, &bytes).expect("writable");
+
+    // Scrub quarantines the damaged entry and exits nonzero.
+    let (ok, stdout, stderr) = rx(&["store", "scrub", dir_s]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("quarantined"), "{stdout}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    assert!(
+        dir.join("quarantine").join("report.json").is_file(),
+        "machine-readable quarantine report written"
+    );
+    assert!(
+        !victim.exists(),
+        "the damaged entry was moved out of the store"
+    );
+
+    // A second scrub — with the kernel supplied for full checker
+    // validation — finds a clean store.
+    let (ok, stdout, _) = rx(&["store", "scrub", dir_s, &kernel("car")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("store is clean"), "{stdout}");
+}
+
+#[test]
+fn watch_starts_degraded_when_the_store_cannot_open() {
+    // A store path that is a *file* cannot be opened as a directory.
+    let bogus = std::env::temp_dir().join(format!("rx-cli-notadir-{}", std::process::id()));
+    std::fs::write(&bogus, b"not a directory").expect("write");
+    let bogus_s = bogus.to_str().expect("utf8");
+
+    // Default: warn, start degraded, still verify everything.
+    let (ok, stdout, stderr) = rx(&[
+        "watch",
+        &kernel("car"),
+        "--store",
+        bogus_s,
+        "--iterations",
+        "1",
+    ]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(stderr.contains("DEGRADED"), "{stderr}");
+    assert!(stdout.contains("✓"), "{stdout}");
+
+    // --strict-store: the same situation is fatal.
+    let (ok, _, stderr) = rx(&[
+        "watch",
+        &kernel("car"),
+        "--store",
+        bogus_s,
+        "--strict-store",
+        "--iterations",
+        "1",
+    ]);
+    assert!(!ok);
+    assert!(!stderr.contains("DEGRADED"), "{stderr}");
+    let _ = std::fs::remove_file(&bogus);
+}
+
+#[test]
+fn chaos_single_seed_upholds_invariants_and_writes_json() {
+    let (ok, stdout, stderr) = rx(&["chaos", "--seeds", "0..1"]);
+    assert!(ok, "{stdout}\n{stderr}");
+    assert!(
+        stdout.contains("all robustness invariants held"),
+        "{stdout}"
+    );
+    let json = std::fs::read_to_string("BENCH_chaos.json").expect("BENCH_chaos.json written");
+    assert!(json.contains(r#""invariants_held": true"#), "{json}");
+    assert!(json.contains(r#""aborts": 0"#), "{json}");
+}
+
+#[test]
 fn unknown_flag_is_a_usage_error() {
     let (ok, _, stderr) = rx(&["verify", &kernel("car"), "--bogus"]);
     assert!(!ok);
