@@ -29,6 +29,16 @@ fn check<T>(result: Result<T, BenchError>) -> T {
     })
 }
 
+/// `--jobs N` from the raw argument list (`0`/absent: one per CPU).
+fn jobs_arg() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     let json = std::env::args().any(|a| a == "--json");
@@ -43,7 +53,7 @@ fn main() {
         let results = check(run_figure6(&ProverOptions::default()));
         println!("{}", render_figure6(&results));
         if json {
-            let bench = check(run_figure6_bench());
+            let bench = check(run_figure6_bench(jobs_arg()));
             let doc = render_figure6_bench_json(&bench);
             let path = "BENCH_fig6.json";
             if let Err(e) = std::fs::write(path, &doc) {
@@ -51,9 +61,10 @@ fn main() {
                 std::process::exit(1);
             }
             println!(
-                "serial {:.1} ms vs parallel+cache {:.1} ms on {} core(s): {:.2}x \
+                "serial {:.1} ms vs parallel+cache ({} jobs) {:.1} ms on {} core(s): {:.2}x \
                  (outcomes identical: {}) -> wrote {path}",
                 bench.serial.total_ms,
+                bench.parallel.jobs,
                 bench.parallel.total_ms,
                 bench.cores,
                 bench.speedup,
@@ -73,6 +84,24 @@ fn main() {
         println!("-- sweep 2: branch depth (8 irrelevant handlers; x-axis = depth) --");
         let points = reflex_bench::stress::run_depth_scaling(8, &[2, 4, 6, 8, 10, 12]);
         println!("{}", reflex_bench::stress::render_scaling(&points));
+    }
+    if what == "scale" {
+        println!("== Prover scaling: synthetic kernel presets ==\n");
+        let rows = check(reflex_bench::scale::run_scale(
+            reflex_bench::scale::PRESETS,
+            1,
+            jobs_arg(),
+        ));
+        println!("{}", reflex_bench::scale::render_scale(&rows));
+        if json {
+            let doc = reflex_bench::scale::render_scale_json(&rows);
+            let path = "BENCH_scale.json";
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("figures: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("-> wrote {path}");
+        }
     }
     if all || what == "utility" {
         println!("== §6.3 utility: seeded bugs caught by pushbutton re-verification ==\n");
@@ -100,10 +129,13 @@ fn main() {
         }
     }
     if !all
-        && !["table1", "fig6", "ablation", "scaling", "utility", "incr"].contains(&what.as_str())
+        && ![
+            "table1", "fig6", "ablation", "scaling", "scale", "utility", "incr",
+        ]
+        .contains(&what.as_str())
     {
         eprintln!(
-            "unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | utility | incr | all)"
+            "unknown figure `{what}` (expected table1 | fig6 | ablation | scaling | scale | utility | incr | all)"
         );
         std::process::exit(2);
     }

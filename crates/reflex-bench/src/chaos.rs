@@ -39,6 +39,9 @@ pub struct ChaosConfig {
     pub rate_ppm: u32,
     /// Worker threads for re-proving.
     pub jobs: usize,
+    /// Replay a generated kernel (small preset, this generator seed) and
+    /// its variant edit script instead of the scripted fig6 session.
+    pub gen_seed: Option<u64>,
 }
 
 impl Default for ChaosConfig {
@@ -47,6 +50,7 @@ impl Default for ChaosConfig {
             seeds: (0..8).collect(),
             rate_ppm: 50_000,
             jobs: 1,
+            gen_seed: None,
         }
     }
 }
@@ -91,6 +95,8 @@ pub struct ChaosSeedResult {
 /// The whole chaos suite: per-seed results plus invariant totals.
 #[derive(Debug, Clone)]
 pub struct ChaosBench {
+    /// Replayed workload: `fig6-script` or `synth-small-seedN`.
+    pub workload: String,
     /// Per-operation fault rate, parts per million.
     pub rate_ppm: u32,
     /// Worker threads used.
@@ -171,15 +177,17 @@ fn parse_and_check(name: &str, source: &str) -> Result<reflex_typeck::CheckedPro
 /// The replayed source sequence: both base kernels, then the 20 scripted
 /// edits, as `(kernel, source)` pairs. Identical for every seed and for
 /// the clean baseline.
-fn replay_sequence() -> Result<Vec<(&'static str, String)>, BenchError> {
+fn replay_sequence() -> Result<Vec<(String, String)>, BenchError> {
     let mut sources = BTreeMap::new();
     sources.insert("ssh", reflex_kernels::kernels::ssh::SOURCE.to_owned());
     sources.insert(
         "browser",
         reflex_kernels::kernels::browser::SOURCE.to_owned(),
     );
-    let mut sequence: Vec<(&'static str, String)> =
-        sources.iter().map(|(k, s)| (*k, s.clone())).collect();
+    let mut sequence: Vec<(String, String)> = sources
+        .iter()
+        .map(|(k, s)| ((*k).to_owned(), s.clone()))
+        .collect();
     for step in edit_script() {
         let source = sources.get_mut(step.kernel).expect("scripted kernel");
         if !source.contains(step.find) {
@@ -189,9 +197,24 @@ fn replay_sequence() -> Result<Vec<(&'static str, String)>, BenchError> {
             )));
         }
         *source = source.replacen(step.find, step.replace, 1);
-        sequence.push((step.kernel, source.clone()));
+        sequence.push((step.kernel.to_owned(), source.clone()));
     }
     Ok(sequence)
+}
+
+/// Edit sequence over a generated kernel: the small-preset base kernel
+/// for `seed`, then four deterministic variant edits (each appends a
+/// handler and its property), so the watch loop's reuse ladder and the
+/// store all see a synthetic workload instead of the scripted fig6 one.
+fn generated_sequence(seed: u64) -> Vec<(String, String)> {
+    let cfg =
+        reflex_kernels::synth::SynthConfig::preset("small", seed).expect("small preset exists");
+    (0..5)
+        .map(|variant| {
+            let kernel = reflex_kernels::synth::generate_variant(&cfg, variant);
+            (kernel.name, kernel.source)
+        })
+        .collect()
 }
 
 /// The certificates of one report, in declaration order (deterministic).
@@ -226,10 +249,13 @@ fn session_config(dir: &std::path::Path, jobs: usize) -> SessionConfig {
 /// edit failing to apply, the *clean* baseline failing to verify) —
 /// never for fault-induced behavior, which the result records instead.
 pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosBench, BenchError> {
-    let sequence = replay_sequence()?;
-    let checked: Vec<(&'static str, reflex_typeck::CheckedProgram)> = sequence
+    let sequence = match config.gen_seed {
+        Some(seed) => generated_sequence(seed),
+        None => replay_sequence()?,
+    };
+    let checked: Vec<(String, reflex_typeck::CheckedProgram)> = sequence
         .iter()
-        .map(|(k, s)| Ok((*k, parse_and_check(k, s)?)))
+        .map(|(k, s)| Ok((k.clone(), parse_and_check(k, s)?)))
         .collect::<Result<_, BenchError>>()?;
 
     // Clean baseline: the same replay over a healthy store. Its
@@ -237,7 +263,7 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosBench, BenchError> {
     let base_dir = scratch_dir("baseline");
     let _ = std::fs::remove_dir_all(&base_dir);
     let mut baseline: Vec<Vec<(String, Certificate)>> = Vec::with_capacity(checked.len());
-    let mut final_certs: BTreeMap<&'static str, Vec<(String, Certificate)>> = BTreeMap::new();
+    let mut final_certs: BTreeMap<String, Vec<(String, Certificate)>> = BTreeMap::new();
     {
         let mut watch = WatchSession::new(session_config(&base_dir, config.jobs))
             .map_err(|e| BenchError(format!("chaos baseline: {e}")))?;
@@ -253,7 +279,7 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosBench, BenchError> {
                 }
             }
             let certs = certs_of(&it.report);
-            final_certs.insert(kernel, certs.clone());
+            final_certs.insert(kernel.clone(), certs.clone());
             baseline.push(certs);
         }
     }
@@ -369,6 +395,10 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosBench, BenchError> {
     }
 
     Ok(ChaosBench {
+        workload: match config.gen_seed {
+            Some(seed) => format!("synth-small-seed{seed}"),
+            None => "fig6-script".to_owned(),
+        },
         rate_ppm: config.rate_ppm,
         jobs: config.jobs,
         iterations_per_seed: checked.len(),
@@ -408,8 +438,8 @@ fn seed_external_corruption(dir: &std::path::Path) -> usize {
 pub fn render_chaos(bench: &ChaosBench) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "Chaos replay: {} iterations/seed at {} ppm fault rate (jobs = {})\n\n",
-        bench.iterations_per_seed, bench.rate_ppm, bench.jobs
+        "Chaos replay ({}): {} iterations/seed at {} ppm fault rate (jobs = {})\n\n",
+        bench.workload, bench.iterations_per_seed, bench.rate_ppm, bench.jobs
     ));
     out.push_str(&format!(
         "{:>5} {:>7} {:>8} {:>9} {:>10} {:>9} {:>5} {:>5} {:>9} {:>8}\n",
@@ -485,10 +515,11 @@ pub fn render_chaos_json(bench: &ChaosBench) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"suite\": \"chaos\",\n  \"rate_ppm\": {},\n  \"jobs\": {},\n  \
+        "{{\n  \"suite\": \"chaos\",\n  \"workload\": \"{}\",\n  \"rate_ppm\": {},\n  \"jobs\": {},\n  \
          \"iterations_per_seed\": {},\n  \"total_faults\": {},\n  \
          \"aborts\": {},\n  \"cert_mismatches\": {},\n  \"quarantine_escapes\": {},\n  \
          \"invariants_held\": {},\n  \"seeds\": [\n{}\n  ]\n}}\n",
+        crate::json_escape(&bench.workload),
         bench.rate_ppm,
         bench.jobs,
         bench.iterations_per_seed,

@@ -23,6 +23,7 @@
 
 pub mod chaos;
 pub mod incr;
+pub mod scale;
 pub mod soak;
 pub mod stress;
 
@@ -229,13 +230,19 @@ pub struct Fig6Bench {
 
 /// Measures the full fig6 suite serial-baseline vs. parallel+cached.
 ///
+/// `jobs` is the worker count for the parallel arm (`0`: one per
+/// available CPU). The arm really runs with — and records — the resolved
+/// value, so the speedup row measures what it claims even when the
+/// requested count exceeds the core count.
+///
 /// # Errors
 ///
 /// Returns [`BenchError`] if either run fails to verify every property.
-pub fn run_figure6_bench() -> Result<Fig6Bench, BenchError> {
+pub fn run_figure6_bench(jobs: usize) -> Result<Fig6Bench, BenchError> {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let jobs = reflex_verify::resolve_jobs(jobs);
     let serial_options = ProverOptions {
         shared_cache: false,
         jobs: 1,
@@ -247,11 +254,11 @@ pub fn run_figure6_bench() -> Result<Fig6Bench, BenchError> {
 
     let parallel_options = ProverOptions {
         shared_cache: true,
-        jobs: cores,
+        jobs,
         ..ProverOptions::default()
     };
     let t1 = Instant::now();
-    let parallel_rows = run_figure6_parallel(&parallel_options, cores)?;
+    let parallel_rows = run_figure6_parallel(&parallel_options, jobs)?;
     let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     let outcomes_identical = serial_rows.len() == parallel_rows.len()
@@ -272,7 +279,7 @@ pub fn run_figure6_bench() -> Result<Fig6Bench, BenchError> {
         parallel: Fig6Run {
             label: "parallel + shared cache",
             shared_cache: true,
-            jobs: cores,
+            jobs,
             total_ms: parallel_ms,
             rows: parallel_rows,
         },
@@ -281,7 +288,7 @@ pub fn run_figure6_bench() -> Result<Fig6Bench, BenchError> {
     })
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),

@@ -170,6 +170,12 @@ pub struct Env {
     pub jobs: usize,
     /// The session budget / cancellation token, if one was configured.
     pub budget: Option<Arc<ProofBudget>>,
+    /// This env's own symbolic-engine counters (interner and entailment
+    /// memo traffic). The underlying tables are process-global, but these
+    /// counters are scoped onto every proof task this env runs, so
+    /// `--stats` reports this session's work alone — a long-lived process
+    /// (watch loop, test binary) never leaks counts across envs.
+    pub sym_stats: Arc<reflex_symbolic::SymSessionStats>,
 }
 
 impl Env {
@@ -203,7 +209,15 @@ impl Env {
             store: RwLock::new(store),
             jobs: resolve_jobs(config.jobs),
             budget,
+            sym_stats: reflex_symbolic::SymSessionStats::new(),
         })
+    }
+
+    /// Runs `f` with this env's symbolic counters scoped onto the current
+    /// thread. Every proof task (on any worker thread) must run inside
+    /// this so the env's counters see exactly this env's work.
+    pub fn with_sym_stats<R>(&self, f: impl FnOnce() -> R) -> R {
+        reflex_symbolic::with_session_stats(Arc::clone(&self.sym_stats), f)
     }
 
     /// A snapshot of the proof store handle, if one is attached. The
@@ -576,7 +590,12 @@ impl VerifySession {
 
         let cache = env.cache_for(checked.fingerprints().program);
         let paths_before = reflex_verify::paths_explored();
-        let memo_before = reflex_symbolic::entailment_memo_stats();
+        // This env's own counters (scoped onto every proof task below), so
+        // `--stats` reports this run alone even when other sessions share
+        // the process-global interner and memo. Snapshots, not resets: a
+        // reused env accumulates across its runs.
+        let queries_before = env.sym_stats.memo_queries();
+        let memo_hits_before = env.sym_stats.memo_hits();
         let cache_before = cache.stats();
 
         // ---- Plan: store candidates / previous certificates -------------
@@ -625,50 +644,56 @@ impl VerifySession {
             }
         };
 
+        // Scope the env's symbolic counters over the whole Prove stage;
+        // the verify crate's pool re-installs the scope on every worker.
         let (outcomes, reused, partial, reproved) =
-            if candidates.is_empty() && previous.is_none() && store.is_none() {
-                // Plain proving: fan the properties out over the program's
-                // shared cross-property cache (env-wide, so a repeated
-                // session over the same program starts warm).
-                let proved = self.prove_fresh(checked, &cache, sink)?;
-                if let Ok(mut rows) = prop_rows.lock() {
-                    rows.extend(proved.iter().map(|(name, outcome, wall_ms)| {
-                        PropStats {
-                            name: name.clone(),
-                            proved: outcome.is_proved(),
-                            wall_ms: *wall_ms,
-                            obligations: outcome
-                                .certificate()
-                                .map_or(0, Certificate::obligation_count),
+            env.with_sym_stats(|| -> Result<_, SessionError> {
+                Ok(
+                    if candidates.is_empty() && previous.is_none() && store.is_none() {
+                        // Plain proving: fan the properties out over the
+                        // program's shared cross-property cache (env-wide, so a
+                        // repeated session over the same program starts warm).
+                        let proved = self.prove_fresh(checked, &cache, sink)?;
+                        if let Ok(mut rows) = prop_rows.lock() {
+                            rows.extend(proved.iter().map(|(name, outcome, wall_ms)| {
+                                PropStats {
+                                    name: name.clone(),
+                                    proved: outcome.is_proved(),
+                                    wall_ms: *wall_ms,
+                                    obligations: outcome
+                                        .certificate()
+                                        .map_or(0, Certificate::obligation_count),
+                                }
+                            }));
                         }
-                    }));
-                }
-                let outcomes: Vec<(String, Outcome)> = proved
-                    .into_iter()
-                    .map(|(name, outcome, _)| (name, outcome))
-                    .collect();
-                let reproved = outcomes.iter().map(|(n, _)| n.clone()).collect();
-                (outcomes, Vec::new(), Vec::new(), reproved)
-            } else {
-                // Reuse ladder: store candidates are validated by the
-                // independent checker before being trusted; in-process
-                // certificates are exactly as trustworthy as their run.
-                let validate = previous.is_none();
-                let report = reverify_observed(
-                    &candidates,
-                    checked,
-                    options,
-                    env.jobs,
-                    validate,
-                    Some(&observe),
-                )?;
-                (
-                    report.outcomes,
-                    report.reused,
-                    report.partial,
-                    report.reproved,
+                        let outcomes: Vec<(String, Outcome)> = proved
+                            .into_iter()
+                            .map(|(name, outcome, _)| (name, outcome))
+                            .collect();
+                        let reproved = outcomes.iter().map(|(n, _)| n.clone()).collect();
+                        (outcomes, Vec::new(), Vec::new(), reproved)
+                    } else {
+                        // Reuse ladder: store candidates are validated by the
+                        // independent checker before being trusted; in-process
+                        // certificates are exactly as trustworthy as their run.
+                        let validate = previous.is_none();
+                        let report = reverify_observed(
+                            &candidates,
+                            checked,
+                            options,
+                            env.jobs,
+                            validate,
+                            Some(&observe),
+                        )?;
+                        (
+                            report.outcomes,
+                            report.reused,
+                            report.partial,
+                            report.reproved,
+                        )
+                    },
                 )
-            };
+            })?;
         sink.event(&Event::StageFinish {
             stage: Stage::Prove,
             wall_ms: ms_since(prove_start),
@@ -693,7 +718,6 @@ impl VerifySession {
         sink.event(&Event::StageStart {
             stage: Stage::Report,
         });
-        let memo_after = reflex_symbolic::entailment_memo_stats();
         let cache_stats = cache_delta(&cache_before, &cache.stats());
         let mut rows = prop_rows.into_inner().unwrap_or_default();
         // Worker threads pushed rows in completion order; report them in
@@ -710,8 +734,8 @@ impl VerifySession {
             properties: rows,
             paths_explored: reflex_verify::paths_explored() - paths_before,
             cache: cache_stats,
-            solver_queries: memo_after.queries.saturating_sub(memo_before.queries),
-            solver_memo_hits: memo_after.hits.saturating_sub(memo_before.hits),
+            solver_queries: env.sym_stats.memo_queries().saturating_sub(queries_before),
+            solver_memo_hits: env.sym_stats.memo_hits().saturating_sub(memo_hits_before),
             interned_terms: reflex_symbolic::intern_stats().nodes,
         };
         sink.event(&Event::Counters(Counters {
@@ -760,9 +784,6 @@ impl VerifySession {
         cache: &ProofCache,
         sink: &dyn Instrument,
     ) -> Result<Vec<(String, Outcome, f64)>, SessionError> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::OnceLock;
-
         let env = &*self.env;
         let options = &env.options;
         let abs = Abstraction::build(checked, options);
@@ -785,10 +806,6 @@ impl VerifySession {
                 .collect(),
         };
 
-        type Slot = OnceLock<Result<(Outcome, f64), SessionError>>;
-        let slots: Vec<Slot> = (0..names.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let workers = env.jobs.min(names.len()).max(1);
         let prove_one = |name: &str| -> Result<(Outcome, f64), SessionError> {
             let start = Instant::now();
             // Panic isolation: a panicking proof task becomes this
@@ -823,25 +840,13 @@ impl VerifySession {
             });
             Ok((outcome, wall_ms))
         };
-        if workers > 1 {
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(name) = names.get(i) else { break };
-                        let _ = slots[i].set(prove_one(name));
-                    });
-                }
-            });
-        } else {
-            for (i, name) in names.iter().enumerate() {
-                let _ = slots[i].set(prove_one(name));
-            }
-        }
-
+        // The verify crate's work-stealing pool schedules the property
+        // tasks; results land in declaration order regardless of timing.
+        let results =
+            reflex_verify::sched::run_indexed(env.jobs, names.len(), |i| prove_one(&names[i]));
         let mut outcomes = Vec::with_capacity(names.len());
-        for (name, slot) in names.into_iter().zip(slots) {
-            let (outcome, wall_ms) = slot.into_inner().expect("every property slot filled")?;
+        for (name, result) in names.into_iter().zip(results) {
+            let (outcome, wall_ms) = result?;
             outcomes.push((name, outcome, wall_ms));
         }
         Ok(outcomes)

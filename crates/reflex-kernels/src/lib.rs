@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod figure6;
+pub mod synth;
 
 /// The benchmark kernel modules.
 pub mod kernels {

@@ -1,0 +1,167 @@
+//! A thread-local scratch cache in front of the global term interner —
+//! the "term arena" a proof task allocates through.
+//!
+//! Proof search interns the same handful of nodes over and over within
+//! one obligation (every path re-builds the same guards, substitutions
+//! re-produce the same subterms). Each of those `TermRef::new` calls pays
+//! a shard lock plus a `HashMap` probe in the global table. The scratch
+//! is a small fixed-size, open-addressed, thread-local cache keyed by the
+//! node's structural hash that answers those repeats without touching the
+//! global table at all.
+//!
+//! **Uniqueness is preserved** because the scratch is strictly
+//! *write-through*: every handle it stores came out of the global
+//! interner, so a scratch hit returns the same canonical `Arc` the global
+//! table would have — `Arc::ptr_eq` equality stays sound *and* complete.
+//! Eviction (slots are overwritten on collision) or skipping the scratch
+//! entirely only costs a trip to the global table.
+//!
+//! A task opts in with [`with_scratch`]; the cache dies with the scope,
+//! so terms interned by one proof task add no thread-local footprint to
+//! the next. Without an active scope, lookups and records are no-ops.
+
+use std::cell::RefCell;
+
+use crate::intern::TermRef;
+use crate::term::Term;
+
+/// Slots in the scratch table (power of two; direct-mapped with one
+/// probe step).
+const SCRATCH_SLOTS: usize = 1 << 12;
+
+struct Scratch {
+    slots: Vec<Option<(u64, TermRef)>>,
+}
+
+impl Scratch {
+    fn new() -> Scratch {
+        Scratch {
+            slots: vec![None; SCRATCH_SLOTS],
+        }
+    }
+
+    fn lookup(&self, hash: u64, node: &Term) -> Option<TermRef> {
+        let mask = SCRATCH_SLOTS - 1;
+        for probe in 0..2 {
+            if let Some((h, handle)) = &self.slots[(hash as usize + probe) & mask] {
+                // Shallow structural equality: children are canonical
+                // handles, so this is O(node).
+                if *h == hash && handle.as_term() == node {
+                    return Some(handle.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn record(&mut self, hash: u64, handle: &TermRef) {
+        let mask = SCRATCH_SLOTS - 1;
+        // Prefer an empty slot of the two; otherwise evict the first.
+        let first = hash as usize & mask;
+        let second = (hash as usize + 1) & mask;
+        let slot = if self.slots[first].is_none() || self.slots[second].is_some() {
+            first
+        } else {
+            second
+        };
+        self.slots[slot] = Some((hash, handle.clone()));
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Option<Scratch>> = const { RefCell::new(None) };
+    static DEPTH: RefCell<usize> = const { RefCell::new(0) };
+}
+
+/// Runs `f` with a scratch intern cache installed on this thread. Nested
+/// calls share the outermost scope's cache; the cache is dropped when the
+/// outermost scope exits (also on unwind).
+pub fn with_scratch<R>(f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            let depth = DEPTH.with(|d| {
+                let mut d = d.borrow_mut();
+                *d -= 1;
+                *d
+            });
+            if depth == 0 {
+                SCRATCH.with(|s| *s.borrow_mut() = None);
+            }
+        }
+    }
+    DEPTH.with(|d| {
+        let mut d = d.borrow_mut();
+        if *d == 0 {
+            SCRATCH.with(|s| *s.borrow_mut() = Some(Scratch::new()));
+        }
+        *d += 1;
+    });
+    let _guard = Guard;
+    f()
+}
+
+/// Scratch lookup for an interned node; `None` when no scope is active or
+/// the node is not cached.
+pub(crate) fn lookup(hash: u64, node: &Term) -> Option<TermRef> {
+    SCRATCH.with(|s| s.borrow().as_ref().and_then(|sc| sc.lookup(hash, node)))
+}
+
+/// Write-through record of a canonical handle obtained from the global
+/// interner. No-op without an active scope.
+pub(crate) fn record(hash: u64, handle: &TermRef) {
+    SCRATCH.with(|s| {
+        if let Some(sc) = s.borrow_mut().as_mut() {
+            sc.record(hash, handle);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{SymCtx, SymKind};
+    use reflex_ast::{BinOp, Ty};
+
+    /// The left child handle of `x + n`, built fresh each call.
+    fn handle(x: &Term, n: i64) -> TermRef {
+        let Term::Bin(_, l, _) = Term::bin(BinOp::Add, x.clone(), Term::lit(n)) else {
+            panic!("expected Bin");
+        };
+        l
+    }
+
+    #[test]
+    fn scratch_returns_the_canonical_global_handle() {
+        let mut ctx = SymCtx::new();
+        let x = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+        let outside = handle(&x, 17);
+        let inside = with_scratch(|| {
+            let a = handle(&x, 17);
+            let b = handle(&x, 17);
+            assert!(a == b);
+            a
+        });
+        assert!(
+            inside == outside,
+            "write-through preserves the uniqueness invariant"
+        );
+        // After the scope, interning still yields the same canonical Arc.
+        assert!(handle(&x, 17) == outside);
+    }
+
+    #[test]
+    fn nested_scopes_share_and_then_tear_down() {
+        let mut ctx = SymCtx::new();
+        let x = ctx.fresh_term(Ty::Num, SymKind::Fresh);
+        with_scratch(|| {
+            let a = handle(&x, 5);
+            with_scratch(|| {
+                assert!(handle(&x, 5) == a);
+            });
+            // Inner exit must not tear down the outer scope's cache.
+            assert!(handle(&x, 5) == a);
+        });
+        SCRATCH.with(|s| assert!(s.borrow().is_none(), "cache freed at outermost exit"));
+    }
+}

@@ -23,7 +23,7 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::term::Term;
 
@@ -32,15 +32,18 @@ const SHARD_COUNT: usize = 64;
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Read-mostly sharded table: the dominant path (re-interning a node that
+/// already exists) takes only a read lock; misses upgrade to a write lock
+/// with a double-check.
 struct Interner {
-    shards: Vec<Mutex<HashMap<Term, TermRef>>>,
+    shards: Vec<RwLock<HashMap<Term, TermRef>>>,
 }
 
 fn interner() -> &'static Interner {
     static INTERNER: OnceLock<Interner> = OnceLock::new();
     INTERNER.get_or_init(|| Interner {
         shards: (0..SHARD_COUNT)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| RwLock::new(HashMap::new()))
             .collect(),
     })
 }
@@ -62,18 +65,39 @@ impl TermRef {
     /// shallow hash + shallow equality check suffices to uniquify it.
     pub fn new(node: Term) -> TermRef {
         let hash = stable_term_hash(&node);
+        // Fast path: the task-local scratch cache (see `arena.rs`) answers
+        // repeats without touching the global table. Strictly
+        // write-through, so it can only return the canonical handle.
+        if let Some(existing) = crate::arena::lookup(hash, &node) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            crate::stats::note_intern_hit();
+            return existing;
+        }
         let shard = &interner().shards[(hash as usize) % SHARD_COUNT];
-        let mut map = shard.lock().expect("interner shard poisoned");
+        if let Some(existing) = shard.read().expect("interner shard poisoned").get(&node) {
+            HITS.fetch_add(1, Ordering::Relaxed);
+            crate::stats::note_intern_hit();
+            crate::arena::record(hash, existing);
+            return existing.clone();
+        }
+        let mut map = shard.write().expect("interner shard poisoned");
+        // Double-check: another thread may have interned the node between
+        // the read unlock and the write lock.
         if let Some(existing) = map.get(&node) {
             HITS.fetch_add(1, Ordering::Relaxed);
+            crate::stats::note_intern_hit();
+            crate::arena::record(hash, existing);
             return existing.clone();
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
+        crate::stats::note_intern_miss();
         let handle = TermRef {
             node: Arc::new(node.clone()),
             hash,
         };
         map.insert(node, handle.clone());
+        drop(map);
+        crate::arena::record(hash, &handle);
         handle
     }
 
@@ -161,11 +185,14 @@ pub struct InternStats {
 }
 
 /// A snapshot of the global interner statistics.
+///
+/// Process-global: counts every session's work since process start. For
+/// per-session hit/miss counts, scope a [`crate::SymSessionStats`].
 pub fn intern_stats() -> InternStats {
     let nodes = interner()
         .shards
         .iter()
-        .map(|s| s.lock().expect("interner shard poisoned").len() as u64)
+        .map(|s| s.read().expect("interner shard poisoned").len() as u64)
         .sum();
     InternStats {
         nodes,
@@ -210,6 +237,16 @@ impl Hasher for StableHasher {
 pub(crate) fn stable_term_hash(node: &Term) -> u64 {
     let mut hasher = StableHasher::new();
     node.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Folds one `(term, polarity)` assertion into a rolling FNV fingerprint
+/// of a solver log — the batch-FNV-over-cached-hashes step that lets the
+/// entailment memo key a query in O(1) (see [`crate::memo`]).
+pub(crate) fn fp_fold(fp: u64, term: &Term, polarity: bool) -> u64 {
+    let mut hasher = StableHasher(fp ^ 0x9e37_79b9_7f4a_7c15);
+    hasher.write_u64(stable_term_hash(term));
+    hasher.write(&[u8::from(polarity)]);
     hasher.finish()
 }
 

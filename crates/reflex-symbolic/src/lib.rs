@@ -49,14 +49,17 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod arena;
 mod comp;
 mod eval;
 mod intern;
 mod memo;
 mod solver;
+mod stats;
 mod term;
 
 pub use action::{binding_literal, unify_action, SymAction, SymBindings, Unify};
+pub use arena::with_scratch;
 pub use comp::{CompOrigin, SymComp};
 pub use eval::{CondKind, Evaluator, Exchange, MissedLookup, Path, SymState};
 pub use intern::{intern_stats, InternStats, TermRef};
@@ -64,4 +67,5 @@ pub use memo::{
     clear_entailment_memo, entailment_memo_stats, reset_entailment_memo_stats, EntailmentMemoStats,
 };
 pub use solver::Solver;
+pub use stats::{current_session_stats, with_session_stats, SymSessionStats};
 pub use term::{SymCtx, SymKind, SymVar, Term};

@@ -7,9 +7,15 @@
 //! is a large constant-factor win.
 //!
 //! The memo key is the solver's **assertion log** (the exact sequence of
-//! `assert_term` calls) plus the queried literal. Interned terms make the
-//! key cheap: hashing uses the cached structural hashes and equality is a
-//! shallow node comparison with pointer-equal children.
+//! `assert_term` calls) plus the queried literal — but neither is hashed
+//! nor copied per query. The solver maintains a *rolling fingerprint* of
+//! its log (folded incrementally at each `assert_term` from cached
+//! structural hashes) and a lazily-materialized `Arc` snapshot shared by
+//! every query at the same state, so building and hashing a key is O(1) in
+//! the log length. The full log still participates in key *equality*
+//! (with an `Arc::ptr_eq` fast path), so a fingerprint collision degrades
+//! to a slower compare, never a wrong answer. Shards are `RwLock`s: the
+//! dominant hit path takes only a read lock.
 //!
 //! Determinism: on a miss the answer is computed by *replaying the log*
 //! into a fresh solver, never from the caller's (possibly pre-saturated)
@@ -19,11 +25,10 @@
 //! Soundness is unaffected either way: `is_unsat` is sound-for-UNSAT and
 //! every certificate is still replayed by the independent checker.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::solver::Solver;
 use crate::term::Term;
@@ -36,47 +41,80 @@ const SHARD_CAPACITY: usize = 8_192;
 static QUERIES: AtomicU64 = AtomicU64::new(0);
 static HITS: AtomicU64 = AtomicU64::new(0);
 
-#[derive(PartialEq, Eq, Hash)]
 struct Key {
-    log: Vec<(Term, bool)>,
+    /// Rolling fingerprint of `log` (see [`Solver`]); pre-computed, so
+    /// hashing a key never walks the log.
+    fp: u64,
     query: Term,
     polarity: bool,
+    /// The assertion log itself, shared with the issuing solver (and with
+    /// every other query at the same solver state). Participates in
+    /// equality only — a fingerprint collision is a slow compare, not a
+    /// wrong answer.
+    log: Arc<[(Term, bool)]>,
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp
+            && self.polarity == other.polarity
+            && self.query == other.query
+            && (Arc::ptr_eq(&self.log, &other.log)
+                || (self.log.len() == other.log.len() && self.log == other.log))
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // O(1): the log contributes through `fp`; the query node hashes
+        // shallowly (its children contribute cached hashes).
+        state.write_u64(self.fp);
+        self.query.hash(state);
+        self.polarity.hash(state);
+    }
 }
 
 struct MemoTable {
-    shards: Vec<Mutex<HashMap<Key, bool>>>,
+    shards: Vec<RwLock<HashMap<Key, bool>>>,
 }
 
 fn table() -> &'static MemoTable {
     static TABLE: OnceLock<MemoTable> = OnceLock::new();
     TABLE.get_or_init(|| MemoTable {
         shards: (0..SHARD_COUNT)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| RwLock::new(HashMap::new()))
             .collect(),
     })
 }
 
-/// Memoized `Φ ⊨ (query == polarity)` where `Φ` is the assertion log.
-pub(crate) fn entails_memoized(log: &[(Term, bool)], query: &Term, polarity: bool) -> bool {
+/// Memoized `Φ ⊨ (query == polarity)` where `Φ` is `solver`'s assertion
+/// log.
+pub(crate) fn entails_memoized(solver: &Solver, query: &Term, polarity: bool) -> bool {
     QUERIES.fetch_add(1, Ordering::Relaxed);
+    crate::stats::note_memo_query();
     let key = Key {
-        log: log.to_vec(),
+        fp: solver.log_fp(),
         query: query.clone(),
         polarity,
+        log: solver.log_snapshot(),
     };
-    let mut hasher = DefaultHasher::new();
-    key.hash(&mut hasher);
-    let shard = &table().shards[(hasher.finish() as usize) % SHARD_COUNT];
-    if let Some(&answer) = shard.lock().expect("memo shard poisoned").get(&key) {
+    let shard_hash = key.fp ^ crate::intern::stable_term_hash(&key.query);
+    let shard = &table().shards[(shard_hash as usize) % SHARD_COUNT];
+    if let Some(&answer) = shard.read().expect("memo shard poisoned").get(&key) {
         HITS.fetch_add(1, Ordering::Relaxed);
+        crate::stats::note_memo_hit();
         return answer;
     }
-    // Compute from a replay of the log so the result is a pure function of
+    // Compute by replaying the log so the result is a pure function of
     // the key (see module docs), then publish.
-    let mut probe = Solver::with_assumptions(key.log.iter());
-    probe.assert_term(query.clone(), !polarity);
-    let answer = probe.is_unsat();
-    let mut map = shard.lock().expect("memo shard poisoned");
+    let answer = {
+        let mut probe = Solver::with_assumptions(key.log.iter());
+        probe.assert_term(query.clone(), !polarity);
+        probe.is_unsat()
+    };
+    let mut map = shard.write().expect("memo shard poisoned");
     if map.len() >= SHARD_CAPACITY {
         map.clear();
     }
@@ -94,6 +132,9 @@ pub struct EntailmentMemoStats {
 }
 
 /// A snapshot of the global entailment-memo counters.
+///
+/// Process-global: counts every session's work since the last reset. For
+/// per-session counts, scope a [`crate::SymSessionStats`] instead.
 pub fn entailment_memo_stats() -> EntailmentMemoStats {
     EntailmentMemoStats {
         queries: QUERIES.load(Ordering::Relaxed),
@@ -115,7 +156,7 @@ pub fn reset_entailment_memo_stats() {
 /// a long-lived `rx watch` session whose memo stays warm).
 pub fn clear_entailment_memo() {
     for shard in &table().shards {
-        shard.lock().expect("memo shard poisoned").clear();
+        shard.write().expect("memo shard poisoned").clear();
     }
 }
 
@@ -140,5 +181,48 @@ mod tests {
             assert_eq!(s.entails(&probe, true), s.entails_uncached(&probe, true));
             assert_eq!(s.entails(&probe, false), s.entails_uncached(&probe, false));
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_assertion_order_and_content() {
+        let mut c = SymCtx::new();
+        let x = c.fresh_term(Ty::Num, SymKind::Fresh);
+        let y = c.fresh_term(Ty::Num, SymKind::Fresh);
+        let a = Term::bin(BinOp::Eq, x.clone(), Term::lit(1i64));
+        let b = Term::bin(BinOp::Eq, y.clone(), Term::lit(2i64));
+
+        let mut s1 = Solver::new();
+        s1.assert_term(a.clone(), true);
+        s1.assert_term(b.clone(), true);
+        let mut s2 = Solver::new();
+        s2.assert_term(a.clone(), true);
+        s2.assert_term(b.clone(), true);
+        assert_eq!(s1.log_fp(), s2.log_fp(), "same log, same fingerprint");
+
+        let mut s3 = Solver::new();
+        s3.assert_term(b, true);
+        s3.assert_term(a.clone(), true);
+        assert_ne!(s1.log_fp(), s3.log_fp(), "order is part of the log");
+
+        let mut s4 = Solver::new();
+        s4.assert_term(a, false);
+        let mut s5 = Solver::new();
+        assert_ne!(s4.log_fp(), s5.log_fp(), "polarity is part of the log");
+        s5.assert_term(Term::lit(true), true);
+        assert_ne!(s4.log_fp(), s5.log_fp());
+    }
+
+    #[test]
+    fn snapshot_is_shared_until_the_next_assert() {
+        let mut c = SymCtx::new();
+        let x = c.fresh_term(Ty::Num, SymKind::Fresh);
+        let mut s = Solver::new();
+        s.assert_term(Term::bin(BinOp::Eq, x.clone(), Term::lit(2i64)), true);
+        let snap1 = s.log_snapshot();
+        let snap2 = s.log_snapshot();
+        assert!(Arc::ptr_eq(&snap1, &snap2), "one allocation per state");
+        s.assert_term(Term::bin(BinOp::Eq, x, Term::lit(2i64)), true);
+        let snap3 = s.log_snapshot();
+        assert_eq!(snap3.len(), 2, "snapshot reflects the extended log");
     }
 }

@@ -19,6 +19,7 @@
 //! asserted disjunctions.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use reflex_ast::{BinOp, Ty, UnOp, Value};
 
@@ -42,6 +43,19 @@ pub struct Solver {
     /// is a pure function of this log, which makes it the memoization key
     /// for entailment queries (see [`crate::memo`]).
     log: Vec<(Term, bool)>,
+    /// Rolling FNV fingerprint of `log`, folded incrementally at each
+    /// `assert_term` from the asserted term's cached structural hash. Lets
+    /// the entailment memo hash a query in O(1) instead of re-hashing the
+    /// whole log (see [`crate::memo`]).
+    log_fp: u64,
+    /// Lazily materialized shared snapshot of `log`, so repeated entailment
+    /// queries at the same solver state share one allocation as their memo
+    /// key. Invalidated (replaced by an empty cell) on every `assert_term`.
+    log_snapshot: OnceLock<Arc<[(Term, bool)]>>,
+    /// Lazily built decision index over the saturated state (see
+    /// [`ProbeIndex`]); answers most entailment queries by lookup without
+    /// touching the memo. Invalidated on every `assert_term`.
+    probe: OnceLock<Arc<ProbeIndex>>,
     unsat: bool,
     saturated: bool,
 }
@@ -64,8 +78,25 @@ impl Solver {
     /// Asserts `term == polarity`.
     pub fn assert_term(&mut self, term: Term, polarity: bool) {
         self.saturated = false;
+        self.log_fp = crate::intern::fp_fold(self.log_fp, &term, polarity);
+        self.log_snapshot = OnceLock::new();
+        self.probe = OnceLock::new();
         self.log.push((term.clone(), polarity));
         self.push(term, polarity);
+    }
+
+    /// The rolling fingerprint of the assertion log (a pure function of
+    /// the `assert_term` sequence).
+    pub(crate) fn log_fp(&self) -> u64 {
+        self.log_fp
+    }
+
+    /// A shared snapshot of the assertion log, materialized at most once
+    /// per solver state.
+    pub(crate) fn log_snapshot(&self) -> Arc<[(Term, bool)]> {
+        self.log_snapshot
+            .get_or_init(|| self.log.as_slice().into())
+            .clone()
     }
 
     fn push(&mut self, term: Term, polarity: bool) {
@@ -118,12 +149,24 @@ impl Solver {
     ///
     /// Sound but incomplete: `true` is a proof, `false` is "unknown".
     ///
-    /// Answers are memoized globally on (assertion log, query) — interned
-    /// terms make the key cheap — and computed on a miss by replaying the
-    /// log, so the result is deterministic regardless of caller state or
-    /// thread interleaving. See [`crate::memo`].
+    /// Two tiers. If this solver is already saturated, its [`ProbeIndex`]
+    /// is consulted first: atoms that are established consequences of the
+    /// state answer `true` by lookup — the dominant case when a prover
+    /// walks every conjunct of a synthesized guard against one state.
+    /// Undecided queries fall through to the global memo, keyed on
+    /// (assertion log, query) and computed on a miss by replaying the log.
+    /// Both tiers are deterministic: the index is a pure function of this
+    /// solver's assertion history and the memo of its key, so no answer
+    /// ever depends on thread interleaving. See [`crate::memo`].
     pub fn entails(&self, term: &Term, polarity: bool) -> bool {
-        crate::memo::entails_memoized(&self.log, term, polarity)
+        if self.saturated && self.probe_index().decides_true(term, polarity) {
+            // Index answers count as query + hit: they are answered from a
+            // cache, just a per-solver one instead of the global table.
+            crate::stats::note_memo_query();
+            crate::stats::note_memo_hit();
+            return true;
+        }
+        crate::memo::entails_memoized(self, term, polarity)
     }
 
     /// The uncached reference implementation of [`Solver::entails`]:
@@ -198,20 +241,27 @@ impl Solver {
                 let mut new_eqs = Vec::with_capacity(self.eqs.len());
                 for (a, b) in std::mem::take(&mut self.eqs) {
                     let (na, nb) = (rewrite(&a), rewrite(&b));
-                    if na != a || nb != b {
-                        changed = true;
-                    }
                     match Term::bin(BinOp::Eq, na.clone(), nb.clone()) {
                         Term::Lit(Value::Bool(true)) => {
                             // Redundant — but keep leaf↦rep pairs so the
-                            // substitution itself stays derivable.
+                            // substitution itself stays derivable. The
+                            // stored eq is unchanged, so this must NOT
+                            // count as progress: marking it `changed`
+                            // would re-run an identical round (and did —
+                            // every saturation used to spin to MAX_ROUNDS
+                            // on these self-rewrites).
                             new_eqs.push((a, b));
                         }
                         Term::Lit(Value::Bool(false)) => {
                             self.unsat = true;
                             break;
                         }
-                        _ => new_eqs.push((na, nb)),
+                        _ => {
+                            if na != a || nb != b {
+                                changed = true;
+                            }
+                            new_eqs.push((na, nb));
+                        }
                     }
                 }
                 self.eqs = new_eqs;
@@ -273,6 +323,33 @@ impl Solver {
             }
         }
         self.saturated = true;
+    }
+
+    /// The [`ProbeIndex`] over the current saturated state: a read-only
+    /// decision table that answers "is this atom already an established
+    /// consequence?" in O(|atom|), without cloning or re-saturating.
+    ///
+    /// Built at most once per solver state (invalidated by `assert_term`).
+    /// Requires `self.saturated`; callers check before use.
+    fn probe_index(&self) -> Arc<ProbeIndex> {
+        debug_assert!(self.saturated);
+        self.probe
+            .get_or_init(|| {
+                let mut facts =
+                    std::collections::HashSet::with_capacity(self.lits.len() + self.eqs.len() + 1);
+                for (t, pol) in &self.lits {
+                    facts.insert((t.clone(), *pol));
+                }
+                for (a, b) in &self.eqs {
+                    facts.insert((Term::bin(BinOp::Eq, a.clone(), b.clone()), true));
+                }
+                Arc::new(ProbeIndex {
+                    unsat: self.unsat,
+                    subst: self.substitution(),
+                    facts,
+                })
+            })
+            .clone()
     }
 
     fn detect_conflicts(&mut self, uf: &mut UnionFind) -> bool {
@@ -500,6 +577,57 @@ enum BoundOutcome {
     Conflict,
     NewFacts(Vec<(Term, bool)>),
     Quiet,
+}
+
+/// A read-only decision index over one *saturated* solver state.
+///
+/// The prover's hot loop asks many single-atom entailments against the
+/// same assumption set (every conjunct of a synthesized guard, every match
+/// side-condition). Almost all of them are answerable by inspection of the
+/// saturated state: rewrite the atom through the equality substitution and
+/// check whether the result is a recorded fact (or folded to a literal).
+/// The index caches exactly that — substitution plus fact set — so each
+/// query costs a small rewrite and a hash lookup instead of a full
+/// clone + assert + saturate probe.
+///
+/// [`ProbeIndex::decides_true`] is *sound for `true`* only: the facts and
+/// the substitution are consequences of the assumptions, so a positive
+/// answer is a proof of entailment. A negative answer means "not decided
+/// here" and the caller must fall back to the memoized replay probe.
+/// The index is a deterministic function of the owning solver's
+/// `assert_term`/`saturate` history, which the provers drive identically
+/// regardless of scheduling — so, like the memo, it can never make an
+/// answer depend on thread interleaving.
+#[derive(Debug)]
+pub(crate) struct ProbeIndex {
+    unsat: bool,
+    subst: BTreeMap<Term, Term>,
+    facts: std::collections::HashSet<(Term, bool)>,
+}
+
+impl ProbeIndex {
+    /// Whether the indexed assumptions provably entail `query == polarity`.
+    /// `false` means *undecided*, not refuted.
+    pub(crate) fn decides_true(&self, query: &Term, polarity: bool) -> bool {
+        if self.unsat {
+            // Ex falso: an unsatisfiable base entails everything.
+            return true;
+        }
+        let (t, pol) = match query {
+            // Negations are asserted decomposed, so flip before lookup.
+            Term::Un(UnOp::Not, inner) => ((**inner).clone(), !polarity),
+            _ => (query.clone(), polarity),
+        };
+        let t = if self.subst.is_empty() {
+            t
+        } else {
+            t.rewrite_leaves(&|leaf| self.subst.get(leaf).cloned())
+        };
+        match &t {
+            Term::Lit(Value::Bool(b)) => *b == pol,
+            _ => self.facts.contains(&(t, pol)),
+        }
+    }
 }
 
 /// Union-find over terms, used for equality classes.

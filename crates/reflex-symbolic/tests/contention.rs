@@ -1,0 +1,117 @@
+//! Contention tests for the sharded, read-mostly interner and entailment
+//! memo: 8 threads hammer the same key space concurrently and every
+//! thread must still see canonical handles (stable [`TermRef`] identity),
+//! no lost inserts, and entailment answers identical to a serial
+//! [`Solver::entails_uncached`] oracle. A scratch-arena scope runs on
+//! half the threads so the write-through fast path is exercised under the
+//! same contention.
+
+use proptest::prelude::*;
+use reflex_ast::{BinOp, Ty};
+use reflex_symbolic::{with_scratch, Solver, SymCtx, SymKind, Term, TermRef};
+
+/// Deterministic term recipe: the same `(seed, i)` always builds the same
+/// structural term, from any thread.
+fn recipe(vars: &[Term], seed: u64, i: u64) -> Term {
+    let k = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+    let x = vars[(k % vars.len() as u64) as usize].clone();
+    let lit = Term::lit((k % 17) as i64 - 8);
+    let eq = Term::bin(BinOp::Eq, x.clone(), lit.clone());
+    match k % 3 {
+        0 => eq,
+        1 => Term::bin(BinOp::And, eq, Term::bin(BinOp::Lt, x, lit)),
+        _ => Term::bin(BinOp::Or, eq, Term::bin(BinOp::Lt, lit, x)),
+    }
+}
+
+/// Shared fixed variables (interned once, up front).
+fn variables() -> Vec<Term> {
+    let mut ctx = SymCtx::new();
+    (0..4)
+        .map(|_| ctx.fresh_term(Ty::Num, SymKind::Fresh))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// 8 threads intern the same recipes concurrently; every handle for a
+    /// structural key must be THE canonical node (`Arc::ptr_eq`), whether
+    /// or not the interning thread ran inside a scratch-arena scope.
+    #[test]
+    fn concurrent_interning_yields_canonical_handles(seed in any::<u64>()) {
+        let vars = variables();
+        let per_thread: Vec<Vec<TermRef>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|t| {
+                    let vars = &vars;
+                    scope.spawn(move || {
+                        let build = || -> Vec<TermRef> {
+                            (0..64)
+                                .map(|i| TermRef::new(recipe(vars, seed, i)))
+                                .collect()
+                        };
+                        // Half the threads intern through a scratch scope:
+                        // its hits must still return the canonical handle.
+                        if t % 2 == 0 {
+                            with_scratch(build)
+                        } else {
+                            build()
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let reference = &per_thread[0];
+        for handles in &per_thread[1..] {
+            for (a, b) in reference.iter().zip(handles) {
+                prop_assert_eq!(a.as_term(), b.as_term());
+                prop_assert!(
+                    std::ptr::eq(a.as_term(), b.as_term()),
+                    "same structural key must intern to one canonical node"
+                );
+            }
+        }
+    }
+
+    /// 8 threads fire the same entailment queries through the sharded
+    /// memo; every answer must equal the serial uncached oracle's, and
+    /// re-asking afterwards (all hits) must not change anything.
+    #[test]
+    fn concurrent_memoized_entailment_matches_serial_oracle(seed in any::<u64>()) {
+        let vars = variables();
+        let assumption = Term::bin(BinOp::Lt, Term::lit(0), vars[0].clone());
+        let queries: Vec<Term> = (0..48).map(|i| recipe(&vars, seed, i)).collect();
+
+        // Serial oracle, computed before any concurrent memoization.
+        let oracle: Vec<bool> = {
+            let mut s = Solver::new();
+            s.assert_term(assumption.clone(), true);
+            queries.iter().map(|q| s.entails_uncached(q, true)).collect()
+        };
+
+        let answers: Vec<Vec<bool>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let (assumption, queries) = (&assumption, &queries);
+                    scope.spawn(move || {
+                        let mut s = Solver::new();
+                        s.assert_term(assumption.clone(), true);
+                        queries.iter().map(|q| s.entails(q, true)).collect::<Vec<bool>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for thread_answers in &answers {
+            prop_assert_eq!(thread_answers, &oracle);
+        }
+
+        // Every entry is now memoized; a fresh pass must agree again.
+        let mut s = Solver::new();
+        s.assert_term(assumption.clone(), true);
+        let again: Vec<bool> = queries.iter().map(|q| s.entails(q, true)).collect();
+        prop_assert_eq!(again, oracle);
+    }
+}

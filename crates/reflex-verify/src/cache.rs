@@ -48,7 +48,9 @@
 //!
 //! [`Certificate`]: crate::Certificate
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -74,6 +76,73 @@ pub(crate) type InvariantPackage = Result<Vec<InvariantCert>, ProofFailure>;
 /// A memoized lemma proof (`None`: the lemma is not provable).
 pub(crate) type LemmaPackage = Option<LemmaCert>;
 
+/// Shards per table. Workers hammering the cache during obligation-level
+/// scheduling contend on a key's shard, not the whole table.
+const SHARD_COUNT: usize = 64;
+
+/// A sharded, read-mostly concurrent map: a hit takes one shard's read
+/// lock; a miss upgrades that shard to a write lock with an `or_insert`
+/// double-check so racing computations of the same key keep the first
+/// published package (they are equal anyway — packages are pure).
+struct Sharded<K, V> {
+    shards: Vec<RwLock<HashMap<K, Arc<V>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V> Sharded<K, V> {
+    fn new() -> Sharded<K, V> {
+        Sharded {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, Arc<V>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn get_or_compute(
+        &self,
+        key: &K,
+        compute: impl FnOnce() -> V,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+    ) -> Arc<V> {
+        let shard = self.shard(key);
+        if let Some(hit) = shard.read().expect("cache poisoned").get(key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        misses.fetch_add(1, Ordering::Relaxed);
+        let pkg = Arc::new(compute());
+        Arc::clone(
+            shard
+                .write()
+                .expect("cache poisoned")
+                .entry(key.clone())
+                .or_insert(pkg),
+        )
+    }
+
+    fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache poisoned").len() as u64)
+            .sum()
+    }
+}
+
+impl<K, V> Default for Sharded<K, V>
+where
+    K: Hash + Eq + Clone,
+{
+    fn default() -> Self {
+        Sharded::new()
+    }
+}
+
 /// Concurrency-safe cross-property cache of invariant and lemma proofs.
 ///
 /// Create one per program (or per [`crate::prove_all`] /
@@ -82,8 +151,8 @@ pub(crate) type LemmaPackage = Option<LemmaCert>;
 /// and soundness arguments.
 #[derive(Default)]
 pub struct ProofCache {
-    invariants: RwLock<HashMap<SharedInvKey, Arc<InvariantPackage>>>,
-    lemmas: RwLock<HashMap<SharedLemmaKey, Arc<LemmaPackage>>>,
+    invariants: Sharded<SharedInvKey, InvariantPackage>,
+    lemmas: Sharded<SharedLemmaKey, LemmaPackage>,
     invariant_hits: AtomicU64,
     invariant_misses: AtomicU64,
     lemma_hits: AtomicU64,
@@ -103,19 +172,8 @@ impl ProofCache {
         key: &SharedInvKey,
         compute: impl FnOnce() -> InvariantPackage,
     ) -> Arc<InvariantPackage> {
-        if let Some(hit) = self.invariants.read().expect("cache poisoned").get(key) {
-            self.invariant_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.invariant_misses.fetch_add(1, Ordering::Relaxed);
-        let pkg = Arc::new(compute());
-        Arc::clone(
-            self.invariants
-                .write()
-                .expect("cache poisoned")
-                .entry(key.clone())
-                .or_insert(pkg),
-        )
+        self.invariants
+            .get_or_compute(key, compute, &self.invariant_hits, &self.invariant_misses)
     }
 
     /// Returns the lemma package for `key`, computing (and publishing) it
@@ -125,26 +183,15 @@ impl ProofCache {
         key: &SharedLemmaKey,
         compute: impl FnOnce() -> LemmaPackage,
     ) -> Arc<LemmaPackage> {
-        if let Some(hit) = self.lemmas.read().expect("cache poisoned").get(key) {
-            self.lemma_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        self.lemma_misses.fetch_add(1, Ordering::Relaxed);
-        let pkg = Arc::new(compute());
-        Arc::clone(
-            self.lemmas
-                .write()
-                .expect("cache poisoned")
-                .entry(key.clone())
-                .or_insert(pkg),
-        )
+        self.lemmas
+            .get_or_compute(key, compute, &self.lemma_hits, &self.lemma_misses)
     }
 
     /// A snapshot of the cache's occupancy and hit counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            invariant_entries: self.invariants.read().expect("cache poisoned").len() as u64,
-            lemma_entries: self.lemmas.read().expect("cache poisoned").len() as u64,
+            invariant_entries: self.invariants.len(),
+            lemma_entries: self.lemmas.len(),
             invariant_hits: self.invariant_hits.load(Ordering::Relaxed),
             invariant_misses: self.invariant_misses.load(Ordering::Relaxed),
             lemma_hits: self.lemma_hits.load(Ordering::Relaxed),
@@ -158,6 +205,62 @@ impl std::fmt::Debug for ProofCache {
         f.debug_struct("ProofCache")
             .field("stats", &self.stats())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8 threads race `get_or_compute` over an overlapping key space: no
+    /// insert may be lost, every key must resolve to exactly one value on
+    /// every thread (first publish wins), and the hit/miss counters must
+    /// account for every request.
+    #[test]
+    fn sharded_map_under_contention_loses_no_inserts() {
+        const KEYS: u64 = 257;
+        const PER_THREAD: u64 = 1024;
+        let map: Sharded<u64, (u64, u64)> = Sharded::new();
+        let hits = AtomicU64::new(0);
+        let misses = AtomicU64::new(0);
+        let seen: Vec<Vec<(u64, u64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let (map, hits, misses) = (&map, &hits, &misses);
+                    scope.spawn(move || {
+                        (0..PER_THREAD)
+                            .map(|i| {
+                                let key = (t.wrapping_mul(31) + i) % KEYS;
+                                let v = map.get_or_compute(&key, || (t, i), hits, misses);
+                                (key, v.0 * PER_THREAD + v.1)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(map.len(), KEYS, "every key must be inserted exactly once");
+        // The first published value for a key is the value forever, for
+        // every thread.
+        let mut value_of = std::collections::HashMap::new();
+        for thread in &seen {
+            for &(key, value) in thread {
+                assert_eq!(
+                    *value_of.entry(key).or_insert(value),
+                    value,
+                    "key {key} must resolve to one stable value"
+                );
+            }
+        }
+        assert_eq!(
+            hits.load(Ordering::Relaxed) + misses.load(Ordering::Relaxed),
+            8 * PER_THREAD,
+            "every request is either a hit or a miss"
+        );
+        // Racing computations may both run (both count as misses), but at
+        // least one miss per key is structural.
+        assert!(misses.load(Ordering::Relaxed) >= KEYS);
     }
 }
 

@@ -111,6 +111,17 @@ pub fn check_certificate_with(
             "programs using `broadcast` have no checkable certificates",
         ));
     }
+    // Checking replays the proof's term construction; give it the same
+    // scratch term arena a proof task gets.
+    reflex_symbolic::with_scratch(|| check_certificate_inner(abs, certificate, options))
+}
+
+fn check_certificate_inner(
+    abs: &Abstraction<'_>,
+    certificate: &Certificate,
+    options: &ProverOptions,
+) -> Result<(), CheckError> {
+    let checked = abs.checked();
     match certificate {
         Certificate::Trace(cert) => check_trace_cert(checked, abs, cert, options),
         Certificate::NonInterference(cert) => {

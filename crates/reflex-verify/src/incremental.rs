@@ -382,34 +382,13 @@ pub(crate) fn reverify_core(
         result
     };
 
-    let executed: Vec<Result<(Outcome, Reuse), VerifyError>> = if jobs > 1 && plans.len() > 1 {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        use std::sync::OnceLock;
-        let slots: Vec<OnceLock<Result<(Outcome, Reuse), VerifyError>>> =
-            (0..plans.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let workers = jobs.min(plans.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((name, plan)) = plans.get(i) else {
-                        break;
-                    };
-                    let _ = slots[i].set(execute(name, plan));
-                });
-            }
+    // The shared work-stealing pool schedules the per-property plans (and
+    // carries the caller's session-stats scope onto its workers).
+    let executed: Vec<Result<(Outcome, Reuse), VerifyError>> =
+        crate::sched::run_indexed(jobs, plans.len(), |i| {
+            let (name, plan) = &plans[i];
+            execute(name, plan)
         });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every plan slot filled"))
-            .collect()
-    } else {
-        plans
-            .iter()
-            .map(|(name, plan)| execute(name, plan))
-            .collect()
-    };
 
     let mut outcomes = Vec::with_capacity(plans.len());
     let mut reused = Vec::new();

@@ -51,7 +51,9 @@ mod checker;
 mod falsify;
 pub mod incremental;
 mod ni_prover;
+mod oblig;
 mod options;
+pub mod sched;
 mod shared;
 mod stats;
 pub mod store;
@@ -142,12 +144,34 @@ pub fn prove_with_cache(
             .ok_or_else(|| VerifyError::NoSuchProperty {
                 name: property.to_owned(),
             })?;
+    if let Some(outcome) = pre_check(abs, options, property) {
+        return Ok(outcome);
+    }
+    let shared = if options.shared_cache { cache } else { None };
+    // The whole property proof is one task for the scratch term arena:
+    // nodes it re-interns stay thread-local, and the scratch is torn down
+    // when the task ends (see `reflex_symbolic::arena`).
+    let outcome = reflex_symbolic::with_scratch(|| match &prop.body {
+        PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp, shared),
+        PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
+    });
+    Ok(finalize_outcome(abs, outcome))
+}
+
+/// The pre-flight checks every prover entry (whole-property and
+/// obligation-scheduled alike) must run before searching: `Some` is a
+/// short-circuit outcome.
+pub(crate) fn pre_check(
+    abs: &Abstraction<'_>,
+    options: &ProverOptions,
+    property: &str,
+) -> Option<Outcome> {
     // The §7 design lesson, reproduced as a hard boundary: a `broadcast`
     // can emit an unbounded number of send actions, which the induction
     // over BehAbs cannot case-split. (The interpreter and the falsifier
     // execute broadcasts fine — only the *automation* refuses.)
     if program_uses_broadcast(abs.checked().program()) {
-        return Ok(Outcome::Failed(ProofFailure {
+        return Some(Outcome::Failed(ProofFailure {
             location: "program".into(),
             reason: "the program uses `broadcast`, which emits an unbounded \
 number of actions; rewrite it with `lookup` (paper §7: this is precisely \
@@ -160,7 +184,7 @@ why Reflex replaced broadcast)"
     // again on each remaining property.
     if let Some(b) = &options.budget {
         if let Err(why) = b.check() {
-            return Ok(Outcome::Timeout(ProofFailure {
+            return Some(Outcome::Timeout(ProofFailure {
                 location: format!("property `{property}`"),
                 reason: format!(
                     "{} ({why}) before the search started",
@@ -169,11 +193,12 @@ why Reflex replaced broadcast)"
             }));
         }
     }
-    let shared = if options.shared_cache { cache } else { None };
-    let mut outcome = match &prop.body {
-        PropBody::Trace(tp) => trace_prover::prove_trace(abs, options, prop, tp, shared),
-        PropBody::NonInterference(spec) => ni_prover::prove_ni(abs, options, prop, spec),
-    };
+    None
+}
+
+/// The shared post-processing every prover exit must apply. Idempotent, so
+/// the scheduled path may apply it to outcomes that already passed through.
+pub(crate) fn finalize_outcome(abs: &Abstraction<'_>, mut outcome: Outcome) -> Outcome {
     // A failure manufactured by a budget tick is a *timeout*, not a verdict
     // about the property; re-classify it at this (single) boundary.
     if let Outcome::Failed(f) = &outcome {
@@ -190,7 +215,7 @@ why Reflex replaced broadcast)"
         let deps = certificate::DepSet::compute(abs.checked(), abs.ranges_fp(), cert);
         cert.set_deps(deps);
     }
-    Ok(outcome)
+    outcome
 }
 
 /// Whether any handler or the init section uses the unautomatable
@@ -248,63 +273,93 @@ pub fn prove_all_parallel(
 }
 
 /// [`prove_all_parallel`], also returning the run's [`ProverStats`].
+///
+/// Parallelism is scheduled at the *obligation* level, not the property
+/// level: each property is first prepared (pre-checks, base cases,
+/// obligation enumeration — itself fanned out across workers), then every
+/// obligation of every property enters one flat work-stealing pool, so a
+/// single huge property no longer serializes a worker while its siblings'
+/// workers idle. Outcomes and certificates are identical to [`prove_all`]
+/// for every `jobs` value — see `oblig.rs` for the determinism argument.
 pub fn prove_all_parallel_with_stats(
     checked: &CheckedProgram,
     options: &ProverOptions,
     jobs: usize,
 ) -> (Vec<(String, Outcome)>, ProverStats) {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::OnceLock;
     use std::time::Instant;
 
     let jobs = options::resolve_jobs(jobs);
     let start = Instant::now();
     let paths_before = stats::paths_explored();
-    let memo_before = reflex_symbolic::entailment_memo_stats();
 
     let abs = Abstraction::build(checked, options);
     let cache = ProofCache::new();
     let props = &checked.program().properties;
-    let slots: Vec<OnceLock<(Outcome, f64)>> = (0..props.len()).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
-    let workers = jobs.min(props.len()).max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(prop) = props.get(i) else { break };
-                let prop_start = Instant::now();
-                let outcome = prove_with_cache(&abs, &prop.name, options, Some(&cache))
-                    .expect("property exists by construction");
-                let wall_ms = prop_start.elapsed().as_secs_f64() * 1e3;
-                let _ = slots[i].set((outcome, wall_ms));
-            });
-        }
-    });
 
-    let mut results = Vec::with_capacity(props.len());
-    let mut rows = Vec::with_capacity(props.len());
-    for (prop, slot) in props.iter().zip(slots) {
-        let (outcome, wall_ms) = slot.into_inner().expect("every property slot filled");
-        rows.push(PropStats {
-            name: prop.name.clone(),
-            proved: outcome.is_proved(),
-            wall_ms,
-            obligations: outcome
-                .certificate()
-                .map_or(0, certificate::Certificate::obligation_count),
+    // This run's own solver counters; the pool re-installs the scope on
+    // every worker, so the reported numbers cover exactly this run even
+    // when other sessions share the process-global interner and memo.
+    let session = reflex_symbolic::SymSessionStats::new();
+    let (results, rows) =
+        reflex_symbolic::with_session_stats(std::sync::Arc::clone(&session), || {
+            // Phase 1: prepare every property (pre-checks + base cases), in
+            // parallel across properties.
+            let prepared: Vec<(oblig::Prepared<'_, '_>, f64)> =
+                sched::run_indexed(jobs, props.len(), |i| {
+                    let t0 = Instant::now();
+                    let p = oblig::prepare(&abs, options, &props[i], Some(&cache));
+                    (p, t0.elapsed().as_secs_f64() * 1e3)
+                });
+
+            // Phase 2: one flat pool over every obligation of every property.
+            let tasks: Vec<(usize, usize)> = prepared
+                .iter()
+                .enumerate()
+                .flat_map(|(pi, (p, _))| (0..oblig::unit_count(p)).map(move |u| (pi, u)))
+                .collect();
+            let unit_results: Vec<(oblig::UnitOut, f64)> =
+                sched::run_indexed(jobs, tasks.len(), |t| {
+                    let (pi, u) = tasks[t];
+                    let t0 = Instant::now();
+                    let out = oblig::run_unit(&prepared[pi].0, u, &abs, options, Some(&cache));
+                    (out, t0.elapsed().as_secs_f64() * 1e3)
+                });
+
+            // Phase 3: reassemble per property, in declaration order. Task
+            // order is property-major, so a sequential split regroups the
+            // unit results.
+            let mut unit_iter = unit_results.into_iter();
+            let mut results = Vec::with_capacity(props.len());
+            let mut rows = Vec::with_capacity(props.len());
+            for (prop, (p, prep_ms)) in props.iter().zip(prepared) {
+                let mut units = Vec::with_capacity(oblig::unit_count(&p));
+                let mut wall_ms = prep_ms;
+                for _ in 0..oblig::unit_count(&p) {
+                    let (out, unit_ms) = unit_iter.next().expect("every obligation has a result");
+                    units.push(out);
+                    wall_ms += unit_ms;
+                }
+                let outcome = oblig::assemble(p, units, &abs);
+                rows.push(PropStats {
+                    name: prop.name.clone(),
+                    proved: outcome.is_proved(),
+                    wall_ms,
+                    obligations: outcome
+                        .certificate()
+                        .map_or(0, certificate::Certificate::obligation_count),
+                });
+                results.push((prop.name.clone(), outcome));
+            }
+            (results, rows)
         });
-        results.push((prop.name.clone(), outcome));
-    }
-    let memo_after = reflex_symbolic::entailment_memo_stats();
     let stats = ProverStats {
         jobs,
         total_ms: start.elapsed().as_secs_f64() * 1e3,
         properties: rows,
         paths_explored: stats::paths_explored() - paths_before,
         cache: cache.stats(),
-        solver_queries: memo_after.queries.saturating_sub(memo_before.queries),
-        solver_memo_hits: memo_after.hits.saturating_sub(memo_before.hits),
+        solver_queries: session.memo_queries(),
+        solver_memo_hits: session.memo_hits(),
         interned_terms: reflex_symbolic::intern_stats().nodes,
     };
     (results, stats)

@@ -60,6 +60,71 @@ struct NiProver<'a, 'p> {
     options: &'a ProverOptions,
 }
 
+/// A non-interference property prepared for cross-property obligation
+/// scheduling (see `oblig.rs`): every exchange case is an independent pure
+/// obligation, and [`PreparedNi::assemble`] rebuilds exactly the serial
+/// result (certificate, or first failure in case order).
+pub(crate) struct PreparedNi<'a, 'p> {
+    prover: NiProver<'a, 'p>,
+    sigma0: SymBindings,
+    /// Flat `(world, exchange)` indices in serial visit order.
+    units: Vec<(usize, usize)>,
+}
+
+/// Prepares one NI property for obligation-level scheduling.
+pub(crate) fn prepare_ni<'a, 'p>(
+    abs: &'a Abstraction<'p>,
+    options: &'a ProverOptions,
+    prop: &'a PropertyDecl,
+    spec: &'a NiSpec,
+) -> PreparedNi<'a, 'p> {
+    let prover = NiProver {
+        abs,
+        prop,
+        spec,
+        options,
+    };
+    let sigma0 = prover.sigma0();
+    let units: Vec<(usize, usize)> = abs
+        .worlds
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, world)| (0..world.exchanges.len()).map(move |ei| (wi, ei)))
+        .collect();
+    PreparedNi {
+        prover,
+        sigma0,
+        units,
+    }
+}
+
+impl<'a, 'p> PreparedNi<'a, 'p> {
+    /// Number of schedulable obligations.
+    pub(crate) fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Discharges obligation `u` (pure; callable from any worker).
+    pub(crate) fn run_unit(&self, u: usize) -> Result<NiCaseCert, ProofFailure> {
+        let (wi, ei) = self.units[u];
+        let world = &self.prover.abs.worlds[wi];
+        self.prover
+            .check_case(wi, world, &world.exchanges[ei], &self.sigma0)
+    }
+
+    /// Rebuilds the serial result from the per-obligation results.
+    pub(crate) fn assemble(self, cases: Vec<Result<NiCaseCert, ProofFailure>>) -> Outcome {
+        match cases.into_iter().collect::<Result<Vec<_>, _>>() {
+            Err(failure) => Outcome::Failed(failure),
+            Ok(cases) => Outcome::Proved(Certificate::NonInterference(NiCert {
+                property: self.prover.prop.name.clone(),
+                cases,
+                deps: Default::default(),
+            })),
+        }
+    }
+}
+
 /// Conjunction of match side-conditions as a single boolean term
 /// (`None` when the condition list is empty, i.e. the match is definite).
 fn conds_term(conds: &[(Term, bool)]) -> Option<Term> {
@@ -172,39 +237,17 @@ impl<'a, 'p> NiProver<'a, 'p> {
             .enumerate()
             .flat_map(|(wi, world)| world.exchanges.iter().map(move |ex| (wi, world, ex)))
             .collect();
-        let cases = if jobs > 1 && units.len() > 1 {
-            // Each case is a pure function of the abstraction, so they can
-            // be checked on worker threads. Results are collected in case
-            // order; on failure the lowest failing index is reported — both
-            // identical to the serial loop (which the certificate checker
-            // re-runs and compares against, so this must hold exactly).
-            let slots: Vec<std::sync::OnceLock<Result<NiCaseCert, ProofFailure>>> = (0..units
-                .len())
-                .map(|_| std::sync::OnceLock::new())
-                .collect();
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..jobs.min(units.len()) {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some(&(wi, world, exchange)) = units.get(i) else {
-                            break;
-                        };
-                        let _ = slots[i].set(self.check_case(wi, world, exchange, &sigma0));
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("every NI case slot filled"))
-                .collect::<Result<Vec<_>, _>>()?
-        } else {
-            let mut cases = Vec::with_capacity(units.len());
-            for &(wi, world, exchange) in &units {
-                cases.push(self.check_case(wi, world, exchange, &sigma0)?);
-            }
-            cases
-        };
+        // Each case is a pure function of the abstraction, so they can be
+        // checked on worker threads. Results are collected in case order;
+        // on failure the lowest failing index is reported — both identical
+        // to the serial loop (which the certificate checker re-runs and
+        // compares against, so this must hold exactly).
+        let cases = crate::sched::run_indexed(jobs, units.len(), |i| {
+            let (wi, world, exchange) = units[i];
+            self.check_case(wi, world, exchange, &sigma0)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         Ok(NiCert {
             property: self.prop.name.clone(),
             cases,

@@ -24,8 +24,6 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
 
 use reflex_ast::{ActionPat, CompPat, PatField, PropertyDecl, TraceProp, TracePropKind, Ty};
 use reflex_symbolic::{CondKind, Path, Solver, SymAction, SymBindings, SymComp, Term};
@@ -59,6 +57,9 @@ const MAX_LEMMA_DEPTH: usize = 2;
 
 /// One trigger obligation of a path segment: already refuted, or open with
 /// the solver context under which it must be justified.
+// `Open` is the variant that matters and these never outlive one segment
+// walk; boxing it would add an allocation per obligation for nothing.
+#[allow(clippy::large_enum_variant)]
 enum ObligationCtx {
     Refuted {
         index: usize,
@@ -167,6 +168,129 @@ pub(crate) fn prove_trace_partial(
         lemmas: prover.lemmas,
         deps: Default::default(),
     }))
+}
+
+/// The outcome of preparing a trace property for cross-property
+/// obligation scheduling (see `oblig.rs`).
+// `Prepared` is the common case and lives only for one prove call;
+// boxing it would cost an allocation per property for nothing.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum TracePrep<'a, 'p> {
+    /// Witness-only kind with a proved base: the inductive cases are
+    /// independent pure obligations ready for the scheduler.
+    Prepared(PreparedTrace<'a, 'p>),
+    /// `Enables`/`Disables` extend the invariant and lemma tables as they
+    /// go, which fixes a global visit order — the property must run whole.
+    NotSchedulable,
+    /// A base case already failed; no inductive obligations to schedule.
+    Failed(ProofFailure),
+}
+
+/// A witness-only trace property (`ImmBefore`/`ImmAfter`/`Ensures`) with
+/// its base cases proved and its inductive cases enumerated as independent
+/// obligations. Each obligation is a pure `&self` function of the
+/// abstraction, so a work-stealing scheduler may interleave them freely
+/// with other properties' obligations; [`PreparedTrace::assemble`] then
+/// rebuilds exactly the certificate (or the first-in-case-order failure)
+/// that the serial prover would have produced.
+pub(crate) struct PreparedTrace<'a, 'p> {
+    prover: TraceProver<'a, 'p>,
+    trigger: ActionPat,
+    base: Vec<PathCert>,
+    /// Flat `(world, exchange)` indices in serial visit order.
+    units: Vec<(usize, usize)>,
+}
+
+/// Prepares one trace property for obligation-level scheduling: runs the
+/// base cases (serially, as `prove` would) and enumerates the inductive
+/// cases. Mirrors the entry sequence of [`prove_trace`], including the
+/// chaos panic hook.
+pub(crate) fn prepare_trace<'a, 'p>(
+    abs: &'a Abstraction<'p>,
+    options: &'a ProverOptions,
+    prop: &'a PropertyDecl,
+    tp: &'a TraceProp,
+    shared: Option<&'a ProofCache>,
+) -> TracePrep<'a, 'p> {
+    #[cfg(feature = "panic-injection")]
+    if options.panic_on.as_deref() == Some(prop.name.as_str()) {
+        panic!("injected panic for `{}`", prop.name);
+    }
+    let pure_kind = matches!(
+        tp.kind,
+        TracePropKind::ImmBefore | TracePropKind::ImmAfter | TracePropKind::Ensures
+    );
+    if !pure_kind {
+        return TracePrep::NotSchedulable;
+    }
+    let mut prover = TraceProver {
+        abs,
+        options,
+        prop,
+        tp,
+        invariants: Vec::new(),
+        cache: HashMap::new(),
+        lemmas: Vec::new(),
+        lemma_cache: HashMap::new(),
+        lemma_depth: 0,
+        shared,
+    };
+    let mut base = Vec::new();
+    for (wi, world) in abs.worlds.iter().enumerate() {
+        let location = format!("init path {wi}");
+        if let Err(e) = crate::budget::tick_path(options, &location) {
+            return TracePrep::Failed(e);
+        }
+        let actions: Vec<&SymAction> = world.init.actions.iter().collect();
+        match prover.check_actions(&actions, &world.init.condition, None, &location) {
+            Ok(cert) => base.push(cert),
+            Err(e) => return TracePrep::Failed(e),
+        }
+    }
+    let trigger = tp.trigger().clone();
+    let units: Vec<(usize, usize)> = abs
+        .worlds
+        .iter()
+        .enumerate()
+        .flat_map(|(wi, world)| (0..world.exchanges.len()).map(move |ei| (wi, ei)))
+        .collect();
+    TracePrep::Prepared(PreparedTrace {
+        prover,
+        trigger,
+        base,
+        units,
+    })
+}
+
+impl<'a, 'p> PreparedTrace<'a, 'p> {
+    /// Number of schedulable inductive obligations.
+    pub(crate) fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Discharges obligation `u` (pure; callable from any worker).
+    pub(crate) fn run_unit(&self, u: usize) -> Result<CaseCert, ProofFailure> {
+        let (wi, ei) = self.units[u];
+        let exchange = &self.prover.abs.worlds[wi].exchanges[ei];
+        self.prover
+            .check_case_witness_only(wi, exchange, &self.trigger)
+    }
+
+    /// Rebuilds the serial result from the per-obligation results (in unit
+    /// order): the first failure in case order, or the full certificate.
+    pub(crate) fn assemble(self, cases: Vec<Result<CaseCert, ProofFailure>>) -> Outcome {
+        match cases.into_iter().collect::<Result<Vec<_>, _>>() {
+            Err(failure) => Outcome::Failed(failure),
+            Ok(cases) => Outcome::Proved(Certificate::Trace(TraceCert {
+                property: self.prover.prop.name.clone(),
+                base: self.base,
+                cases,
+                invariants: self.prover.invariants,
+                lemmas: self.prover.lemmas,
+                deps: Default::default(),
+            })),
+        }
+    }
 }
 
 fn prove_trace_inner(
@@ -333,26 +457,12 @@ impl<'a, 'p> TraceProver<'a, 'p> {
             .enumerate()
             .flat_map(|(wi, world)| world.exchanges.iter().map(move |ex| (wi, world, ex)))
             .collect();
-        let slots: Vec<OnceLock<Result<CaseCert, ProofFailure>>> =
-            (0..units.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let workers = jobs.min(units.len()).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(wi, _, exchange)) = units.get(i) else {
-                        break;
-                    };
-                    let result = self.check_case_witness_only(wi, exchange, trigger);
-                    let _ = slots[i].set(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every case slot filled"))
-            .collect()
+        crate::sched::run_indexed(jobs, units.len(), |i| {
+            let (wi, _, exchange) = units[i];
+            self.check_case_witness_only(wi, exchange, trigger)
+        })
+        .into_iter()
+        .collect()
     }
 
     /// One inductive case of a witness-only property (shared by the
@@ -411,7 +521,8 @@ impl<'a, 'p> TraceProver<'a, 'p> {
         let trigger = self.tp.trigger().clone();
         let solver0 = Solver::with_assumptions(conditions);
         let mut out = Vec::new();
-        for inst in trigger_instances(&trigger, actions, &SymBindings::new()) {
+        let insts = trigger_instances(&trigger, actions, &SymBindings::new());
+        for inst in insts {
             if conds_refuted(&solver0, &inst.conds) {
                 out.push(ObligationCtx::Refuted { index: inst.index });
                 continue;

@@ -1,0 +1,68 @@
+//! Scheduler-determinism tests: serial and `--jobs 8` runs must produce
+//! byte-identical outcomes and certificates, on the Figure-6 kernels and
+//! on generated kernels (several seeds), as promised by the obligation
+//! scheduler's design (DESIGN.md §6.9). The CI `scale` job re-checks the
+//! same property end-to-end through the `rx` binary.
+
+use reflex_verify::{prove_all, prove_all_parallel, ProverOptions};
+
+fn options() -> ProverOptions {
+    ProverOptions {
+        shared_cache: true,
+        ..ProverOptions::default()
+    }
+}
+
+/// Asserts serial and 8-way runs agree outcome-for-outcome on `checked`.
+fn assert_jobs_invariant(name: &str, checked: &reflex_typeck::CheckedProgram) {
+    let options = options();
+    let serial = prove_all(checked, &options);
+    let parallel = prove_all_parallel(checked, &options, 8);
+    assert_eq!(
+        serial.len(),
+        parallel.len(),
+        "{name}: run shapes must match"
+    );
+    for ((sn, so), (pn, po)) in serial.iter().zip(&parallel) {
+        assert_eq!(sn, pn, "{name}: property order must match");
+        assert_eq!(
+            so.is_proved(),
+            po.is_proved(),
+            "{name}/{sn}: verdict must not depend on the job count"
+        );
+        assert_eq!(
+            so.certificate(),
+            po.certificate(),
+            "{name}/{sn}: certificates must be identical under any job count"
+        );
+    }
+}
+
+#[test]
+fn fig6_kernels_are_certificate_identical_serial_vs_parallel() {
+    for bench in reflex_kernels::all_benchmarks() {
+        assert_jobs_invariant(bench.name, &(bench.checked)());
+    }
+}
+
+#[test]
+fn generated_kernels_are_certificate_identical_serial_vs_parallel() {
+    for seed in [1, 7, 42] {
+        let config =
+            reflex_kernels::synth::SynthConfig::preset("small", seed).expect("small preset exists");
+        let kernel = reflex_kernels::synth::generate(&config);
+        assert_jobs_invariant(&kernel.name, &kernel.checked());
+    }
+}
+
+#[test]
+fn generated_kernel_variants_stay_deterministic() {
+    // The chaos harness replays variants as watch-session edits; each
+    // variant must itself be schedulable deterministically.
+    let config =
+        reflex_kernels::synth::SynthConfig::preset("small", 3).expect("small preset exists");
+    for variant in [1, 4] {
+        let kernel = reflex_kernels::synth::generate_variant(&config, variant);
+        assert_jobs_invariant(&kernel.name, &kernel.checked());
+    }
+}

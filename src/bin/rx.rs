@@ -11,6 +11,8 @@
 //! rx soak                     soak the bundled kernels under fault injection
 //! rx chaos                    replay the watch loop under injected store faults
 //! rx store   scrub DIR [FILE] validate a proof store, quarantining bad entries
+//! rx gen     PRESET           emit a deterministic synthetic kernel
+//! rx bench   scale            prove the generated presets, report throughput
 //! ```
 //!
 //! Every verifying subcommand is a thin adapter over
@@ -48,7 +50,7 @@ use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N]\n  rx store   scrub DIR [FILE]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx store   scrub DIR [FILE]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -263,6 +265,57 @@ const CHAOS_FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "prove on N worker threads (0: one per CPU)",
     },
+    FlagSpec {
+        name: "--gen",
+        value: Some("SEED"),
+        help: "replay a generated kernel (small preset, seed SEED) instead of fig6",
+    },
+];
+
+const GEN_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--seed",
+        value: Some("N"),
+        help: "generator seed (default 1)",
+    },
+    FlagSpec {
+        name: "--variant",
+        value: Some("V"),
+        help: "append V deterministic edit variants (default 0: base kernel)",
+    },
+    FlagSpec {
+        name: "--out",
+        value: Some("PATH"),
+        help: "write the kernel to PATH instead of stdout",
+    },
+    FlagSpec {
+        name: "--check",
+        value: None,
+        help: "parse and type-check the generated kernel before emitting",
+    },
+];
+
+const BENCH_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--seed",
+        value: Some("N"),
+        help: "generator seed (default 1)",
+    },
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "prove on N worker threads (0: one per CPU)",
+    },
+    FlagSpec {
+        name: "--preset",
+        value: Some("NAME"),
+        help: "measure only this preset (small | medium | large)",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "also write BENCH_scale.json (baseline vs optimized rows)",
+    },
 ];
 
 const COMMANDS: &[CommandSpec] = &[
@@ -325,6 +378,18 @@ const COMMANDS: &[CommandSpec] = &[
         synopsis: "scrub DIR [FILE]",
         flags: NO_FLAGS,
         run: cmd_store,
+    },
+    CommandSpec {
+        name: "gen",
+        synopsis: "PRESET",
+        flags: GEN_FLAGS,
+        run: cmd_gen,
+    },
+    CommandSpec {
+        name: "bench",
+        synopsis: "scale",
+        flags: BENCH_FLAGS,
+        run: cmd_bench,
     },
 ];
 
@@ -669,6 +734,7 @@ fn cmd_chaos(parsed: &cli::Parsed) -> Result<(), CliError> {
         .get("--rate", cfg.rate_ppm)
         .map_err(CliError::Usage)?;
     cfg.jobs = parsed.get("--jobs", cfg.jobs).map_err(CliError::Usage)?;
+    cfg.gen_seed = parsed.get_opt("--gen").map_err(CliError::Usage)?;
     let bench = run_chaos(&cfg).map_err(CliError::run)?;
     print!("{}", render_chaos(&bench));
     std::fs::write("BENCH_chaos.json", render_chaos_json(&bench))
@@ -682,6 +748,84 @@ fn cmd_chaos(parsed: &cli::Parsed) -> Result<(), CliError> {
             bench.total_cert_mismatches(),
             bench.total_quarantine_escapes()
         )));
+    }
+    Ok(())
+}
+
+/// `rx gen PRESET [--seed N] [--variant V] [--out PATH] [--check]`:
+/// deterministically emit a synthetic kernel at one of the generator
+/// presets. The same preset/seed/variant always produces byte-identical
+/// source, so generated workloads never need to be committed.
+fn cmd_gen(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::kernels::synth;
+    let preset = match parsed.positional.as_slice() {
+        [] => "small",
+        [one] => one.as_str(),
+        _ => {
+            return Err(CliError::Usage(
+                "expected at most one PRESET operand".into(),
+            ))
+        }
+    };
+    let seed: u64 = parsed.get("--seed", 1).map_err(CliError::Usage)?;
+    let variant: u32 = parsed.get("--variant", 0).map_err(CliError::Usage)?;
+    let config = synth::SynthConfig::preset(preset, seed).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown preset `{preset}` (expected small, medium or large)"
+        ))
+    })?;
+    let kernel = synth::generate_variant(&config, variant);
+    if parsed.is_set("--check") {
+        let checked = kernel.checked();
+        eprintln!(
+            "{}: ok ({} components, {} handlers, {} properties)",
+            kernel.name,
+            checked.program().components.len(),
+            checked.program().handlers.len(),
+            checked.program().properties.len()
+        );
+    }
+    match parsed.value("--out") {
+        Some(path) => {
+            std::fs::write(path, &kernel.source)
+                .map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+            eprintln!(
+                "wrote {} ({} properties) to {path}",
+                kernel.name, kernel.properties
+            );
+        }
+        None => print!("{}", kernel.source),
+    }
+    Ok(())
+}
+
+/// `rx bench scale [--seed N] [--jobs N] [--preset NAME] [--json]`: prove
+/// the generated presets and report throughput; with `--json`, also write
+/// `BENCH_scale.json` pairing the live rows with the committed
+/// pre-optimization baseline.
+fn cmd_bench(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::bench::scale::{render_scale, render_scale_json, run_scale, PRESETS};
+    match parsed.positional.as_slice() {
+        [action] if action == "scale" => {}
+        _ => return Err(CliError::Usage("expected the `scale` operand".into())),
+    }
+    let seed: u64 = parsed.get("--seed", 1).map_err(CliError::Usage)?;
+    let jobs: usize = parsed.get("--jobs", 1).map_err(CliError::Usage)?;
+    let presets: Vec<&str> = match parsed.value("--preset") {
+        Some(p) if PRESETS.contains(&p) => vec![p],
+        Some(p) => {
+            return Err(CliError::Usage(format!(
+                "unknown preset `{p}` (expected small, medium or large)"
+            )))
+        }
+        None => PRESETS.to_vec(),
+    };
+    let rows = run_scale(&presets, seed, jobs).map_err(CliError::run)?;
+    print!("{}", render_scale(&rows));
+    if parsed.is_set("--json") {
+        std::fs::write("BENCH_scale.json", render_scale_json(&rows))
+            .map_err(|e| CliError::Run(format!("BENCH_scale.json: {e}")))?;
+        println!("wrote BENCH_scale.json");
     }
     Ok(())
 }
