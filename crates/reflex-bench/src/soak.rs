@@ -15,8 +15,8 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
+use reflex_rng::SimRng;
 
 use reflex_ast::{CompId, Fdesc, Ty, Value};
 use reflex_kernels::{all_benchmarks, Benchmark};
@@ -103,12 +103,12 @@ impl Fnv {
     }
 }
 
-/// SplitMix64-style derivation of per-kernel seeds from the global seed.
+/// SplitMix64-style derivation of per-kernel seeds from the global seed —
+/// [`reflex_rng::stream_u64`] at position `index + 1`, exactly the
+/// scramble this module used to inline, so recorded soak seeds keep their
+/// per-kernel schedules.
 fn derive_seed(seed: u64, index: usize) -> u64 {
-    let mut z = seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    reflex_rng::stream_u64(seed, index as u64 + 1)
 }
 
 /// Messages the workload driver may inject for each component type:
@@ -134,7 +134,7 @@ fn build_catalog(checked: &reflex_typeck::CheckedProgram) -> Catalog {
 
 const STR_POOL: [&str; 4] = ["", "a", "b", "x"];
 
-fn random_payload(rng: &mut StdRng, tys: &[Ty], comps: &[CompId]) -> Vec<Value> {
+fn random_payload(rng: &mut SimRng, tys: &[Ty], comps: &[CompId]) -> Vec<Value> {
     tys.iter()
         .map(|ty| match ty {
             Ty::Bool => Value::Bool(rng.random_bool(0.5)),
@@ -212,7 +212,7 @@ pub fn soak_program_with_plan(
             }
         }
     };
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x10AD_6E4E_8A70_12D3);
+    let mut rng = SimRng::new(seed ^ 0x10AD_6E4E_8A70_12D3);
 
     let mut injected = 0usize;
     let mut serviced = 0usize;
@@ -290,7 +290,7 @@ pub fn soak_program_with_plan(
 fn inject_one(
     sup: &mut Supervisor,
     catalog: &Catalog,
-    rng: &mut StdRng,
+    rng: &mut SimRng,
     injected: &mut usize,
     failure: &mut Option<String>,
 ) {

@@ -142,6 +142,12 @@ pub struct SessionConfig {
     /// re-attaches when the store recovers; `rx watch --strict-store`
     /// turns it on.
     pub strict_store: bool,
+    /// Clock behind the session budget's wall-clock axis and the watch
+    /// loop's retry backoff. `None` means the machine's monotonic clock;
+    /// the simulator injects a [`reflex_verify::VirtualClock`] so
+    /// `budget_ms` timeouts and backoff delays become deterministic
+    /// functions of the work performed rather than of the host's speed.
+    pub clock: Option<Arc<dyn reflex_verify::Clock>>,
 }
 
 /// Shared state of one session or batch: options, the cross-property
@@ -196,7 +202,12 @@ impl Env {
             None => None,
         };
         let budget = (config.budget_ms.is_some() || config.budget_nodes.is_some()).then(|| {
-            Arc::new(ProofBudget::new(
+            let clock = config
+                .clock
+                .clone()
+                .unwrap_or_else(reflex_verify::RealClock::shared);
+            Arc::new(ProofBudget::new_with_clock(
+                clock,
                 config.budget_ms.map(std::time::Duration::from_millis),
                 config.budget_nodes,
             ))

@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use reflex_typeck::CheckedProgram;
 use reflex_verify::certificate::Certificate;
-use reflex_verify::{ProofStore, VerifyFs};
+use reflex_verify::{Clock, ProofStore, VerifyFs};
 
 use crate::{Event, Instrument, SessionConfig, SessionError, SessionReport, VerifySession};
 
@@ -70,6 +70,9 @@ pub struct WatchSession {
     /// loop can re-open and re-attach the store when it recovers.
     store_dir: Option<String>,
     store_fs: Option<Arc<dyn VerifyFs>>,
+    /// Clock behind the retry backoff: real by default, virtual under the
+    /// simulator (backoff then costs simulated time only).
+    clock: Arc<dyn Clock>,
     backoff: BackoffPolicy,
     /// Store configured but currently detached.
     degraded: bool,
@@ -108,6 +111,10 @@ impl WatchSession {
     pub fn new(config: SessionConfig) -> Result<WatchSession, SessionError> {
         let store_dir = config.store_dir.clone();
         let store_fs = config.store_fs.clone();
+        let clock = config
+            .clock
+            .clone()
+            .unwrap_or_else(reflex_verify::RealClock::shared);
         match VerifySession::new(config.clone()) {
             Ok(session) => {
                 let io_errors_seen = session.env().store().map_or(0, |s| s.io_errors());
@@ -115,6 +122,7 @@ impl WatchSession {
                     session,
                     store_dir,
                     store_fs,
+                    clock,
                     backoff: BackoffPolicy::default(),
                     degraded: false,
                     degraded_reason: None,
@@ -131,6 +139,7 @@ impl WatchSession {
                     session,
                     store_dir,
                     store_fs,
+                    clock,
                     backoff: BackoffPolicy::default(),
                     degraded: true,
                     degraded_reason: Some(format!("store open failed: {path}: {message}")),
@@ -235,7 +244,7 @@ impl WatchSession {
         for attempt in 1..=self.backoff.retries {
             let delay_ms = self.backoff.delay_ms(attempt);
             sink.event(&Event::StoreRetry { attempt, delay_ms });
-            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+            self.clock.sleep_ms(delay_ms);
             match store.probe() {
                 Ok(()) => {
                     healthy = true;

@@ -19,6 +19,8 @@
 
 use std::fmt::Write as _;
 
+use reflex_rng::SimRng;
+
 /// Parameters of one synthetic kernel. Generation is deterministic in
 /// this whole struct; the seed controls topology and template choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,30 +95,6 @@ impl SynthKernel {
     }
 }
 
-/// splitmix64: tiny, deterministic, good-enough mixing for topology
-/// choices. Not used for anything security-relevant.
-#[derive(Debug, Clone)]
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Rng {
-        // Avoid the all-zeros fixpoint.
-        Rng(seed.wrapping_add(0x9e37_79b9_7f4a_7c15))
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
-
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n.max(1) as u64) as usize
-    }
-}
-
 /// One handler template instantiated at ring slot `(comp, slot)`. Each
 /// template knows the handlers, state and messages it needs and the
 /// properties its shape makes provable.
@@ -149,7 +127,10 @@ pub fn generate_variant(config: &SynthConfig, variant: u32) -> SynthKernel {
     let n = config.components.max(2);
     let m = config.handlers.max(1);
     let h = config.high_components;
-    let mut rng = Rng::new(config.seed);
+    // `synth_compat` reproduces the generator this module used to carry
+    // (state pre-advanced past the all-zeros fixpoint), so every recorded
+    // seed keeps producing byte-identical kernels.
+    let mut rng = SimRng::synth_compat(config.seed);
 
     let mut messages = String::new();
     let mut state = String::new();
@@ -266,7 +247,7 @@ pub fn generate_variant(config: &SynthConfig, variant: u32) -> SynthKernel {
 }
 
 /// Fisher–Yates with the generator's own rng.
-fn shuffle(v: &mut [String], rng: &mut Rng) {
+fn shuffle(v: &mut [String], rng: &mut SimRng) {
     for i in (1..v.len()).rev() {
         let j = rng.below(i + 1);
         v.swap(i, j);
@@ -396,6 +377,20 @@ mod tests {
         // Different seeds give different kernels.
         let c = generate(&SynthConfig { seed: 8, ..cfg });
         assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn generated_source_is_pinned_across_the_simrng_migration() {
+        // Golden FNV fingerprint of the small-preset seed-7 kernel,
+        // recorded before the private splitmix generator was replaced by
+        // `SimRng::synth_compat`: old seeds must keep producing
+        // byte-identical kernels (BENCH files and CI reference them).
+        let kernel = generate(&SynthConfig::preset("small", 7).unwrap());
+        assert_eq!(
+            reflex_ast::fingerprint::fp_str(&kernel.source).0,
+            0x25b5_b694_9729_f3c8,
+            "synth-s7 source drifted; seeded kernels are no longer stable"
+        );
     }
 
     #[test]

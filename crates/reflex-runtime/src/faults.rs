@@ -21,9 +21,9 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
 use reflex_ast::Value;
+use reflex_rng::SimRng;
 
 use crate::world::{CallFault, CallFaultKind, World};
 
@@ -262,13 +262,11 @@ fn parse_op(op: &str) -> Result<FaultOp, String> {
 }
 
 /// Derives the per-step generator of a randomized plan: stateless in the
-/// query order, fully determined by `(seed, step)`.
-fn step_rng(seed: u64, step: usize) -> StdRng {
-    // One SplitMix64 scramble keeps neighboring steps uncorrelated.
-    let mut z = seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
+/// query order, fully determined by `(seed, step)`. The derivation is
+/// [`reflex_rng::stream_u64`] — the scramble this module used to inline —
+/// so pre-existing seeds keep their schedules (pinned in the tests below).
+fn step_rng(seed: u64, step: usize) -> SimRng {
+    SimRng::new(reflex_rng::stream_u64(seed, step as u64))
 }
 
 /// A queue of scheduled call faults, shared between a [`FaultyWorld`]
@@ -308,7 +306,7 @@ impl FaultSwitch {
 /// Burst-bounded spontaneous call faults for soak testing.
 #[derive(Debug, Clone)]
 struct AutoFaults {
-    rng: StdRng,
+    rng: SimRng,
     rate: f64,
     /// Longest run of consecutive faulted attempts — kept *below* the
     /// supervisor's retry budget so every call eventually succeeds.
@@ -361,7 +359,7 @@ impl FaultyWorld {
     /// eventually succeeds.
     pub fn with_random(mut self, seed: u64, rate: f64, max_burst: usize) -> FaultyWorld {
         self.auto = Some(AutoFaults {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::new(seed),
             rate: rate.clamp(0.0, 1.0),
             max_burst,
             burst: 0,
@@ -449,6 +447,74 @@ mod tests {
         assert!(FaultPlan::parse("random:7", 1).is_err());
         assert!(FaultPlan::parse("x:crash", 1).is_err());
         assert!(FaultPlan::parse("3:explode", 1).is_err());
+    }
+
+    #[test]
+    fn random_plan_stream_is_pinned_to_the_pre_simrng_schedule() {
+        // Frozen copy of the original implementation (inline SplitMix64
+        // scramble seeding the vendored StdRng): the move to
+        // `reflex_rng::SimRng` must not shift any recorded seed's
+        // schedule.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        fn frozen_step_rng(seed: u64, step: usize) -> StdRng {
+            let mut z = seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng::seed_from_u64(z ^ (z >> 31))
+        }
+        fn frozen_ops_for(seed: u64, rate: f64, step: usize) -> Vec<FaultOp> {
+            let mut rng = frozen_step_rng(seed, step);
+            if !rng.random_bool(rate) {
+                return Vec::new();
+            }
+            let nth = rng.random_range(0..4usize);
+            let op = match rng.random_range(0..6u32) {
+                0 => FaultOp::CallFault {
+                    kind: CallFaultKind::Failure,
+                    count: 1 + rng.random_range(0..2usize),
+                },
+                1 => FaultOp::CallFault {
+                    kind: CallFaultKind::Timeout,
+                    count: 1,
+                },
+                2 => FaultOp::Crash { nth },
+                3 => FaultOp::Drop { nth },
+                4 => FaultOp::Duplicate { nth },
+                _ => FaultOp::Reorder { nth },
+            };
+            vec![op]
+        }
+        for seed in [0u64, 9, 1234] {
+            let plan = FaultPlan::random(seed, 0.5);
+            for step in 0..200 {
+                assert_eq!(
+                    plan.ops_for(step),
+                    frozen_ops_for(seed, 0.5, step),
+                    "seed {seed} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_fault_stream_is_pinned_to_stdrng() {
+        // `with_random` used to seed a StdRng; SimRng::new must draw the
+        // identical burst pattern.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut w = FaultyWorld::new(Box::new(EmptyWorld)).with_random(42, 0.5, 3);
+        let mut frozen = StdRng::seed_from_u64(42);
+        let mut burst = 0usize;
+        for _ in 0..200 {
+            let expect_fault = burst < 3 && frozen.random_bool(0.5);
+            if expect_fault {
+                burst += 1;
+            } else {
+                burst = 0;
+            }
+            assert_eq!(w.try_call("f", &[]).is_err(), expect_fault);
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::RngExt;
+use reflex_rng::SimRng;
 
 use reflex_ast::{BinOp, Cmd, CompId, Expr, Fdesc, Handler, UnOp, Value};
 use reflex_trace::{Action, CompInst, Msg, Trace};
@@ -180,7 +180,7 @@ pub struct Checkpoint {
     next_id: u64,
     next_fd: u64,
     steps: usize,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 /// Handler-local bindings, dropped when the handler returns.
@@ -214,7 +214,7 @@ pub struct Interpreter {
     current_step: Option<usize>,
     retry: RetryPolicy,
     call_attempts: Vec<CallAttempt>,
-    rng: StdRng,
+    rng: SimRng,
 }
 
 impl fmt::Debug for Interpreter {
@@ -259,7 +259,9 @@ impl Interpreter {
             current_step: None,
             retry: RetryPolicy::default(),
             call_attempts: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            // SimRng::new is stream-identical to the StdRng this field
+            // used to hold, so scheduler seeds keep their interleavings.
+            rng: SimRng::new(seed),
         };
         let init = interp.checked.program().init.clone();
         let mut frame = Frame::default();

@@ -1,0 +1,38 @@
+//! The pre-simulator robustness suites as presets.
+//!
+//! `rx chaos` and `rx soak` predate the simulator and have committed
+//! bench artifacts (`BENCH_chaos.json`, `BENCH_soak.json`) with CI
+//! guards over their invariant fields. They now route through this
+//! module: the simulator is the one front door for seeded whole-stack
+//! runs, and these presets delegate to the original `reflex-bench`
+//! engines so every recorded seed and every JSON field keeps its exact
+//! meaning. New work should prefer `rx sim run` / `rx sim swarm`,
+//! which add virtual time, scenario traces and automatic shrinking.
+
+pub use reflex_bench::chaos::{render_chaos, render_chaos_json, ChaosBench, ChaosConfig};
+pub use reflex_bench::soak::{render_soak, render_soak_json, SoakBench, SoakConfig, SoakOutcome};
+
+/// Runs the chaos preset: the scripted (or generated) watch replay
+/// under seeded store faults, exactly `reflex_bench::chaos::run_chaos`.
+///
+/// # Errors
+///
+/// Harness-level failures only (a scripted edit failing to apply, the
+/// clean baseline failing to verify) — fault-induced behavior is
+/// recorded in the bench, never an error.
+pub fn run_chaos_preset(config: &ChaosConfig) -> Result<ChaosBench, reflex_bench::BenchError> {
+    reflex_bench::chaos::run_chaos(config)
+}
+
+/// Runs the soak preset over every bundled kernel, exactly
+/// `reflex_bench::soak::run_soak`.
+pub fn run_soak_preset(config: &SoakConfig) -> Vec<SoakOutcome> {
+    reflex_bench::soak::run_soak(config)
+}
+
+/// Runs the monitored-vs-unmonitored soak measurement, exactly
+/// `reflex_bench::soak::run_soak_bench` (the `BENCH_soak.json`
+/// producer).
+pub fn run_soak_bench_preset(config: &SoakConfig) -> SoakBench {
+    reflex_bench::soak::run_soak_bench(config)
+}

@@ -1,0 +1,640 @@
+//! The whole-stack scenario drivers.
+//!
+//! Each driver executes one [`Scenario`](crate::Scenario) step by step,
+//! appending deterministic records to the trace and returning the first
+//! [`Violation`] it detects (or `None` for a clean run). All prover work
+//! runs at `jobs = 1` and on a [`VirtualClock`]: the store's `FaultyFs`
+//! decides faults by a *global* operation counter, so a parallel prover
+//! fan-out could reorder disk traffic and fork the fault schedule.
+//! Parallelism in the simulator lives one level up, across seeds, in
+//! [`crate::swarm`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use reflex_driver::{
+    BackoffPolicy, Event, Instrument, NullSink, SessionConfig, SessionReport, VerifySession,
+    WatchSession,
+};
+use reflex_rng::{RngExt, SimRng};
+use reflex_verify::{Certificate, FaultyFs, PanicPlan, ProverOptions, VerifyFs, VirtualClock};
+
+use crate::{injected_violation, scratch_dir, SimConfig, Trace, Violation, ViolationKind};
+
+/// The proved certificates of one report, in declaration order.
+fn certs_of(report: &SessionReport) -> Vec<(String, Certificate)> {
+    report
+        .outcomes
+        .iter()
+        .filter_map(|(name, o)| o.certificate().map(|c| (name.clone(), c.clone())))
+        .collect()
+}
+
+/// The session configuration every scenario verifies under: one worker
+/// (see the module docs) and simulated time.
+fn session_config(_config: &SimConfig, dir: Option<&std::path::Path>) -> SessionConfig {
+    SessionConfig {
+        options: ProverOptions::default(),
+        jobs: 1,
+        store_dir: dir.map(|d| d.to_string_lossy().into_owned()),
+        clock: Some(Arc::new(VirtualClock::new(1_000))),
+        ..SessionConfig::default()
+    }
+}
+
+/// The seeded prover panic plan for this run, if the `panic` stream is
+/// active.
+fn panic_plan(config: &SimConfig) -> Option<Arc<PanicPlan>> {
+    if !config.stream_enabled("panic") || config.panic_rate_ppm == 0 {
+        return None;
+    }
+    Some(Arc::new(PanicPlan::seeded(
+        config.stream_seed("panic"),
+        config.panic_rate_ppm,
+    )))
+}
+
+/// The seeded store filesystem for this run; rate zero when the `fs`
+/// stream is disabled (the schedule still exists, it just never fires).
+fn faulty_fs(config: &SimConfig) -> FaultyFs {
+    let rate = if config.stream_enabled("fs") {
+        config.fs_rate_ppm
+    } else {
+        0
+    };
+    FaultyFs::seeded(config.stream_seed("fs"), rate)
+}
+
+/// An event sink counting the store lifecycle events, for the trace.
+#[derive(Default)]
+struct StoreSink {
+    retries: AtomicUsize,
+    degraded: AtomicUsize,
+    recovered: AtomicUsize,
+}
+
+impl StoreSink {
+    fn totals(&self) -> (usize, usize, usize) {
+        (
+            self.retries.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+            self.recovered.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Instrument for StoreSink {
+    fn event(&self, event: &Event) {
+        match event {
+            Event::StoreRetry { .. } => self.retries.fetch_add(1, Ordering::Relaxed),
+            Event::StoreDegraded { .. } => self.degraded.fetch_add(1, Ordering::Relaxed),
+            Event::StoreRecovered => self.recovered.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+    }
+}
+
+/// Per-report outcome tallies for the trace and invariant checks.
+struct Tally {
+    proved: usize,
+    crashed: usize,
+    other: usize,
+}
+
+fn tally(report: &SessionReport) -> Tally {
+    let proved = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| o.is_proved())
+        .count();
+    let crashed = report
+        .outcomes
+        .iter()
+        .filter(|(_, o)| o.is_crashed())
+        .count();
+    Tally {
+        proved,
+        crashed,
+        other: report.outcomes.len() - proved - crashed,
+    }
+}
+
+/// Checks one faulted report against the clean baseline for the same
+/// step: every non-crashed property must be proved with the exact
+/// baseline certificate (crashed ones carry no certificate by
+/// construction and are excluded — their isolation is itself the
+/// invariant under test).
+fn check_against_baseline(
+    step: usize,
+    report: &SessionReport,
+    baseline: &[(String, Certificate)],
+    kind: ViolationKind,
+) -> Option<Violation> {
+    for (name, outcome) in &report.outcomes {
+        if outcome.is_crashed() {
+            continue;
+        }
+        let Some(cert) = outcome.certificate() else {
+            return Some(Violation {
+                step,
+                kind,
+                detail: format!("property `{name}` left unproved under faults"),
+            });
+        };
+        let expected = baseline.iter().find(|(n, _)| n == name).map(|(_, c)| c);
+        if expected != Some(cert) {
+            return Some(Violation {
+                step,
+                kind,
+                detail: format!("certificate for `{name}` differs from the clean baseline"),
+            });
+        }
+    }
+    None
+}
+
+/// The synthetic-kernel edit ladder for this run: the `small` preset at
+/// the `kernel` stream's seed, variants `0..steps`.
+fn synth_ladder(config: &SimConfig) -> Vec<reflex_kernels::synth::SynthKernel> {
+    let gen = reflex_kernels::synth::SynthConfig::preset("small", config.stream_seed("kernel"))
+        .expect("the small preset exists");
+    (0..u32::try_from(config.steps).unwrap_or(u32::MAX))
+        .map(|v| reflex_kernels::synth::generate_variant(&gen, v))
+        .collect()
+}
+
+/// Chaos: replay a synthetic edit ladder through a watch session over a
+/// seeded faulty store with seeded prover panics; then heal the disk,
+/// inflict external bit rot, scrub, and re-verify against the baseline.
+pub(crate) fn run_chaos(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    let ladder = synth_ladder(config);
+    let checked: Vec<_> = ladder
+        .iter()
+        .map(|k| (k.name.clone(), k.checked()))
+        .collect();
+
+    // Clean serial baseline over a healthy store: the ground truth.
+    let base_dir = scratch_dir(config, "base");
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let mut baseline: Vec<Vec<(String, Certificate)>> = Vec::with_capacity(checked.len());
+    {
+        let mut watch = match WatchSession::new(session_config(config, Some(&base_dir))) {
+            Ok(w) => w,
+            Err(e) => {
+                return Some(Violation {
+                    step: 0,
+                    kind: ViolationKind::Abort,
+                    detail: format!("baseline watch session failed to open: {e}"),
+                })
+            }
+        };
+        for (step, (name, program)) in checked.iter().enumerate() {
+            match watch.verify(program, &NullSink) {
+                Ok(it) => {
+                    let t = tally(&it.report);
+                    if t.proved != it.report.outcomes.len() {
+                        return Some(Violation {
+                            step,
+                            kind: ViolationKind::Abort,
+                            detail: format!("baseline left {} properties unproved", t.other),
+                        });
+                    }
+                    trace.push(format!(
+                        "step {step} baseline kernel={name} proved={}",
+                        t.proved
+                    ));
+                    baseline.push(certs_of(&it.report));
+                }
+                Err(e) => {
+                    return Some(Violation {
+                        step,
+                        kind: ViolationKind::Abort,
+                        detail: format!("baseline iteration failed: {e}"),
+                    })
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    // The faulted replay: same ladder, seeded disk faults and panics.
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let faulty = faulty_fs(config);
+    let mut cfg = session_config(config, Some(&dir));
+    cfg.store_fs = Some(Arc::new(faulty.clone()) as Arc<dyn VerifyFs>);
+    cfg.options.panic_plan = panic_plan(config);
+    let sink = StoreSink::default();
+    let result = run_chaos_faulted(
+        config, trace, &checked, &baseline, cfg, &sink, &faulty, &dir,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+// One parameter block per collaborating harness piece; bundling them
+// into a struct would only rename the coupling.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_faulted(
+    config: &SimConfig,
+    trace: &mut Trace,
+    checked: &[(String, reflex_typeck::CheckedProgram)],
+    baseline: &[Vec<(String, Certificate)>],
+    cfg: SessionConfig,
+    sink: &StoreSink,
+    faulty: &FaultyFs,
+    dir: &std::path::Path,
+) -> Option<Violation> {
+    let panic_plan = cfg.options.panic_plan.clone();
+    let mut watch = match WatchSession::new(cfg) {
+        Ok(w) => w.with_backoff(BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 4,
+            retries: 2,
+        }),
+        Err(e) => {
+            return Some(Violation {
+                step: 0,
+                kind: ViolationKind::Abort,
+                detail: format!("faulted watch session failed to open: {e}"),
+            })
+        }
+    };
+    let mut faults_seen = 0u64;
+    for (step, ((name, program), expected)) in checked.iter().zip(baseline).enumerate() {
+        if let Some(v) = injected_violation(config, trace, step) {
+            return Some(v);
+        }
+        let it = match watch.verify(program, sink) {
+            Ok(it) => it,
+            Err(e) => {
+                return Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("faulted iteration aborted: {e}"),
+                })
+            }
+        };
+        let t = tally(&it.report);
+        let injected = faulty.injected();
+        trace.push(format!(
+            "step {step} chaos kernel={name} proved={} crashed={} degraded={} faults={}",
+            t.proved,
+            t.crashed,
+            it.degraded,
+            injected - faults_seen
+        ));
+        faults_seen = injected;
+        trace.step_done();
+        if let Some(v) =
+            check_against_baseline(step, &it.report, expected, ViolationKind::CertMismatch)
+        {
+            return Some(v);
+        }
+    }
+    let (retries, degraded, recovered) = sink.totals();
+    trace.push(format!(
+        "chaos store retries={retries} degraded={degraded} recovered={recovered}"
+    ));
+
+    // The disk heals; rot one landed entry from outside the store's
+    // atomic-rename discipline, then scrub.
+    faulty.heal();
+    if let Some(plan) = &panic_plan {
+        plan.disarm();
+    }
+    let corrupted = rot_first_cert(dir);
+    let scrub = match reflex_verify::ProofStore::open(dir) {
+        Ok(store) => match store.scrub(None) {
+            Ok(s) => s,
+            Err(e) => {
+                return Some(Violation {
+                    step: config.steps,
+                    kind: ViolationKind::Abort,
+                    detail: format!("scrub failed: {e}"),
+                })
+            }
+        },
+        Err(e) => {
+            return Some(Violation {
+                step: config.steps,
+                kind: ViolationKind::Abort,
+                detail: format!("post-heal store open failed: {e}"),
+            })
+        }
+    };
+    trace.push(format!(
+        "chaos scrub corrupted={corrupted} scanned={} quarantined={} tmp_removed={}",
+        scrub.scanned,
+        scrub.quarantined.len(),
+        scrub.tmp_removed
+    ));
+    if corrupted > 0 && scrub.quarantined.is_empty() {
+        return Some(Violation {
+            step: config.steps,
+            kind: ViolationKind::QuarantineEscape,
+            detail: format!("{corrupted} rotted entries but nothing was quarantined"),
+        });
+    }
+
+    // Post-scrub: the final kernel re-verified over the scrubbed store
+    // must still match the baseline exactly (reuse or re-prove alike).
+    let (final_name, final_program) = checked.last().expect("at least one step");
+    let expected = baseline.last().expect("baseline matches ladder");
+    match VerifySession::new(session_config(config, Some(dir)))
+        .and_then(|s| s.verify_checked(final_program, &NullSink))
+    {
+        Ok(report) => {
+            let t = tally(&report);
+            trace.push(format!(
+                "chaos post-scrub kernel={final_name} proved={}",
+                t.proved
+            ));
+            check_against_baseline(
+                config.steps,
+                &report,
+                expected,
+                ViolationKind::QuarantineEscape,
+            )
+        }
+        Err(e) => Some(Violation {
+            step: config.steps,
+            kind: ViolationKind::Abort,
+            detail: format!("post-scrub verification aborted: {e}"),
+        }),
+    }
+}
+
+/// Flips a byte in the middle of the alphabetically first `.cert` entry
+/// and drops a stale temp file — damage the store's own fsync-gated
+/// writer can never produce. Returns how many entries were rotted.
+fn rot_first_cert(dir: &std::path::Path) -> usize {
+    let mut rotted = 0usize;
+    if let Ok(rd) = std::fs::read_dir(dir) {
+        let mut certs: Vec<_> = rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "cert"))
+            .collect();
+        certs.sort();
+        if let Some(path) = certs.first() {
+            if let Ok(mut bytes) = std::fs::read(path) {
+                if bytes.len() > 20 {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                    if std::fs::write(path, &bytes).is_ok() {
+                        rotted += 1;
+                    }
+                }
+            }
+        }
+    }
+    let _ = std::fs::write(dir.join(".tmp-0-sim-debris.cert"), b"crash debris");
+    rotted
+}
+
+/// Watch: one fixed kernel re-verified every step while a seeded gate
+/// flaps the store's disk; after the last step the disk is force-healed
+/// and the store must re-attach.
+pub(crate) fn run_watch(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    let car = reflex_kernels::car::checked();
+    let baseline = match VerifySession::new(session_config(config, None))
+        .and_then(|s| s.verify_checked(&car, &NullSink))
+    {
+        Ok(report) => certs_of(&report),
+        Err(e) => {
+            return Some(Violation {
+                step: 0,
+                kind: ViolationKind::Abort,
+                detail: format!("clean baseline failed: {e}"),
+            })
+        }
+    };
+
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let faulty = faulty_fs(config);
+    faulty.heal();
+    let mut cfg = session_config(config, Some(&dir));
+    cfg.store_fs = Some(Arc::new(faulty.clone()) as Arc<dyn VerifyFs>);
+    let sink = StoreSink::default();
+    let mut watch = match WatchSession::new(cfg) {
+        Ok(w) => w.with_backoff(BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 4,
+            retries: 2,
+        }),
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Some(Violation {
+                step: 0,
+                kind: ViolationKind::Abort,
+                detail: format!("watch session failed to open: {e}"),
+            });
+        }
+    };
+
+    // The disk gate: a dedicated stream decides, step by step, whether
+    // the disk is up or down.
+    let mut gate = SimRng::new(config.stream_seed("fsgate"));
+    let mut healthy = true;
+    let mut violation = None;
+    for step in 0..config.steps {
+        if let Some(v) = injected_violation(config, trace, step) {
+            violation = Some(v);
+            break;
+        }
+        let up = !config.stream_enabled("fs") || !gate.random_bool(0.5);
+        if up != healthy {
+            healthy = up;
+            if healthy {
+                faulty.heal();
+            } else {
+                faulty.unheal();
+            }
+        }
+        match watch.verify(&car, &sink) {
+            Ok(it) => {
+                let t = tally(&it.report);
+                trace.push(format!(
+                    "step {step} watch disk={} degraded={} proved={}",
+                    if healthy { "up" } else { "down" },
+                    it.degraded,
+                    t.proved
+                ));
+                trace.step_done();
+                if let Some(v) =
+                    check_against_baseline(step, &it.report, &baseline, ViolationKind::CertMismatch)
+                {
+                    violation = Some(v);
+                    break;
+                }
+            }
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("watch iteration aborted: {e}"),
+                });
+                break;
+            }
+        }
+    }
+
+    // Force-heal and re-attach: a healthy disk must always win.
+    if violation.is_none() {
+        faulty.heal();
+        violation = match watch.verify(&car, &sink) {
+            Ok(it) => {
+                let (retries, degraded, recovered) = sink.totals();
+                trace.push(format!(
+                    "watch final degraded={} retries={retries} degraded_events={degraded} recovered={recovered}",
+                    it.degraded
+                ));
+                if watch.degraded() {
+                    Some(Violation {
+                        step: config.steps,
+                        kind: ViolationKind::Unrecovered,
+                        detail: "store still degraded after the disk healed".to_owned(),
+                    })
+                } else {
+                    check_against_baseline(
+                        config.steps,
+                        &it.report,
+                        &baseline,
+                        ViolationKind::CertMismatch,
+                    )
+                }
+            }
+            Err(e) => Some(Violation {
+                step: config.steps,
+                kind: ViolationKind::Abort,
+                detail: format!("final watch iteration aborted: {e}"),
+            }),
+        };
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    violation
+}
+
+/// Soak: the supervised runtime under seeded workload and fault plans,
+/// certificate monitor on; every component must recover and the monitor
+/// must stay silent.
+pub(crate) fn run_soak(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    if let Some(k) = config.inject_violation_at {
+        if k < config.steps {
+            return injected_violation(config, trace, k);
+        }
+    }
+    let world_on = config.stream_enabled("world");
+    let soak_cfg = reflex_bench::soak::SoakConfig {
+        steps: config.steps,
+        seed: config.stream_seed("world"),
+        fault_rate: if world_on { 0.01 } else { 0.0 },
+        world_fault_rate: if world_on { 0.02 } else { 0.0 },
+        monitor: true,
+        jobs: 1,
+    };
+    let synth = synth_kernel(config);
+    let kernels: Vec<(String, reflex_typeck::CheckedProgram)> = vec![
+        ("car".to_owned(), reflex_kernels::car::checked()),
+        (synth.name.clone(), synth.checked()),
+    ];
+    for (index, (name, program)) in kernels.iter().enumerate() {
+        let outcome = reflex_bench::soak::soak_program(name, program, &soak_cfg, index);
+        trace.push(format!(
+            "soak kernel={name} steps={} injected={} incidents={} unrecovered={} trace_fp={:#018x} incident_fp={:#018x}",
+            outcome.steps,
+            outcome.injected,
+            outcome.incidents,
+            outcome.unrecovered,
+            outcome.trace_fingerprint,
+            outcome.incident_fingerprint
+        ));
+        trace.step_done();
+        if let Some(failure) = &outcome.failure {
+            return Some(Violation {
+                step: index,
+                kind: ViolationKind::MonitorAlarm,
+                detail: format!("{name}: {failure}"),
+            });
+        }
+        if outcome.unrecovered > 0 {
+            return Some(Violation {
+                step: index,
+                kind: ViolationKind::Unrecovered,
+                detail: format!(
+                    "{name}: {} component(s) still crashed after cooldown",
+                    outcome.unrecovered
+                ),
+            });
+        }
+    }
+    None
+}
+
+/// The soak scenario's synthetic kernel (the `kernel` stream's base
+/// variant of the `small` preset).
+fn synth_kernel(config: &SimConfig) -> reflex_kernels::synth::SynthKernel {
+    let gen = reflex_kernels::synth::SynthConfig::preset("small", config.stream_seed("kernel"))
+        .expect("the small preset exists");
+    reflex_kernels::synth::generate_variant(&gen, 0)
+}
+
+/// Scale-edits: the synthetic edit ladder verified variant by variant,
+/// store-backed incremental reuse against a storeless serial baseline.
+pub(crate) fn run_scale_edits(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    let ladder = synth_ladder(config);
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut violation = None;
+    for (step, kernel) in ladder.iter().enumerate() {
+        if let Some(v) = injected_violation(config, trace, step) {
+            violation = Some(v);
+            break;
+        }
+        let program = kernel.checked();
+        let baseline = match VerifySession::new(session_config(config, None))
+            .and_then(|s| s.verify_checked(&program, &NullSink))
+        {
+            Ok(report) => certs_of(&report),
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("serial baseline aborted: {e}"),
+                });
+                break;
+            }
+        };
+        match VerifySession::new(session_config(config, Some(&dir)))
+            .and_then(|s| s.verify_checked(&program, &NullSink))
+        {
+            Ok(report) => {
+                let t = tally(&report);
+                trace.push(format!(
+                    "step {step} scale kernel={} proved={} properties={}",
+                    kernel.name,
+                    t.proved,
+                    report.outcomes.len()
+                ));
+                trace.step_done();
+                if let Some(v) =
+                    check_against_baseline(step, &report, &baseline, ViolationKind::CertMismatch)
+                {
+                    violation = Some(v);
+                    break;
+                }
+            }
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("store-backed session aborted: {e}"),
+                });
+                break;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    violation
+}

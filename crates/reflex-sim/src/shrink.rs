@@ -1,0 +1,95 @@
+//! Automatic violation shrinking.
+//!
+//! A violating run is rarely minimal: the breach detected at step `v`
+//! usually needs only the step prefix up to `v`, and often only one of
+//! the fault streams that were active. [`shrink`] re-runs the scenario —
+//! each re-run is itself fully deterministic — to find the smallest
+//! configuration that still reproduces a violation of the same kind:
+//!
+//! 1. **Step prefix.** Scenario steps are executed in a fixed order and
+//!    every stream derives its decisions from per-step positions, so a
+//!    run over `k ≥ v+1` steps replays the violating run's first `k`
+//!    steps exactly. That monotonicity makes binary search sound: find
+//!    the smallest `k` whose run still violates.
+//! 2. **Fault streams.** Try disabling each stream in
+//!    [`crate::FAULT_STREAMS`]; keep it disabled if the violation
+//!    (same kind) survives without it.
+//!
+//! The result is the configuration written into `repro.json` — the one
+//! `rx sim replay` re-executes bit for bit.
+
+use crate::{Sim, SimConfig, Violation};
+
+/// A minimized reproduction: the smallest configuration found that
+/// still violates, the violation it produces, and how many candidate
+/// re-runs the search spent.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The original (violating) configuration.
+    pub original: SimConfig,
+    /// The minimized configuration; running it reproduces `violation`.
+    pub minimized: SimConfig,
+    /// The violation the minimized configuration produces.
+    pub violation: Violation,
+    /// Scenario re-runs the search performed.
+    pub attempts: usize,
+}
+
+/// Whether a candidate run still reproduces the violation being
+/// shrunk: same invariant kind (the step and detail may legitimately
+/// move as the configuration shrinks).
+fn still_violates(config: &SimConfig, original: &Violation) -> Option<Violation> {
+    Sim::run(config)
+        .violation
+        .filter(|v| v.kind == original.kind)
+}
+
+/// Shrinks a violating configuration to a minimal reproduction. The
+/// `violation` must be the one `Sim::run(config)` produces.
+pub fn shrink(config: &SimConfig, violation: &Violation) -> ShrinkResult {
+    let mut attempts = 0usize;
+    let mut best = config.clone();
+    let mut best_violation = violation.clone();
+
+    // Phase 1: binary-search the smallest still-violating step count.
+    // The detected step is a sound lower bound: a violation at step v
+    // needs at least v+1 steps to be reached.
+    let mut lo = (violation.step + 1).min(best.steps); // smallest candidate
+    let mut hi = best.steps; // known to violate
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let mut candidate = best.clone();
+        candidate.steps = mid;
+        attempts += 1;
+        match still_violates(&candidate, violation) {
+            Some(v) => {
+                hi = mid;
+                best = candidate;
+                best_violation = v;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    best.steps = hi;
+
+    // Phase 2: drop every fault stream the violation does not need.
+    for stream in crate::FAULT_STREAMS {
+        if !best.stream_enabled(stream) {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.disabled.push(stream.to_owned());
+        attempts += 1;
+        if let Some(v) = still_violates(&candidate, violation) {
+            best = candidate;
+            best_violation = v;
+        }
+    }
+
+    ShrinkResult {
+        original: config.clone(),
+        minimized: best,
+        violation: best_violation,
+        attempts,
+    }
+}

@@ -14,7 +14,10 @@
 //! early, never change what a completed search proves.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::{Clock, RealClock};
 
 /// Why a budgeted proof search was stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,17 +50,38 @@ impl std::fmt::Display for BudgetExceeded {
 /// burning the same allowance again on each.
 #[derive(Debug)]
 pub struct ProofBudget {
-    deadline: Option<Instant>,
+    clock: Arc<dyn Clock>,
+    deadline_ns: Option<u64>,
     max_nodes: Option<u64>,
     nodes: AtomicU64,
     cancelled: AtomicBool,
 }
 
 impl ProofBudget {
-    /// A budget with the given limits; `None` means unlimited on that axis.
+    /// A budget with the given limits; `None` means unlimited on that
+    /// axis. Deadlines are measured on the machine's monotonic clock; use
+    /// [`ProofBudget::new_with_clock`] to measure simulated time instead.
     pub fn new(wall: Option<Duration>, max_nodes: Option<u64>) -> Self {
+        Self::new_with_clock(RealClock::shared(), wall, max_nodes)
+    }
+
+    /// A budget whose wall-clock axis reads `clock`. Under a
+    /// [`crate::clock::VirtualClock`] the deadline becomes a deterministic
+    /// function of how many times the provers poll the budget, so the
+    /// same seed and budget yield the same timeout set on every machine.
+    pub fn new_with_clock(
+        clock: Arc<dyn Clock>,
+        wall: Option<Duration>,
+        max_nodes: Option<u64>,
+    ) -> Self {
+        let deadline_ns = wall.map(|d| {
+            clock
+                .now_ns()
+                .saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        });
         ProofBudget {
-            deadline: wall.map(|d| Instant::now() + d),
+            clock,
+            deadline_ns,
             max_nodes,
             nodes: AtomicU64::new(0),
             cancelled: AtomicBool::new(false),
@@ -107,8 +131,8 @@ impl ProofBudget {
                 return Err(BudgetExceeded::Nodes);
             }
         }
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
+        if let Some(deadline_ns) = self.deadline_ns {
+            if self.clock.now_ns() >= deadline_ns {
                 return Err(BudgetExceeded::WallClock);
             }
         }
@@ -175,6 +199,29 @@ mod tests {
     fn zero_wall_budget_trips_immediately() {
         let b = ProofBudget::new(Some(Duration::from_millis(0)), None);
         assert_eq!(b.tick(), Err(BudgetExceeded::WallClock));
+    }
+
+    #[test]
+    fn virtual_clock_budget_trips_after_a_fixed_poll_count() {
+        use crate::clock::VirtualClock;
+        // 1µs per poll, 10µs budget: construction reads the clock once,
+        // so exactly 9 polls pass and the 10th trips — on any machine,
+        // any number of times.
+        let trip_poll = |_| {
+            let b = ProofBudget::new_with_clock(
+                Arc::new(VirtualClock::new(1_000)),
+                Some(Duration::from_micros(10)),
+                None,
+            );
+            let mut polls = 0u64;
+            while b.tick().is_ok() {
+                polls += 1;
+            }
+            polls
+        };
+        let first = trip_poll(0);
+        assert_eq!(first, 9);
+        assert!((1..5).map(trip_poll).all(|p| p == first));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Injectable time for the verification pipeline.
+//!
+//! Two things in the pipeline read a clock: [`crate::ProofBudget`]'s
+//! wall-clock deadline and the watch session's store-retry backoff. Both
+//! used `std::time` directly, which made timeout outcomes and retry
+//! schedules depend on the machine running them — the one piece of
+//! nondeterminism no seed could reproduce. A [`Clock`] abstracts them:
+//! [`RealClock`] (the default everywhere) keeps the old behavior, while
+//! [`VirtualClock`] makes time a pure function of how often it is read,
+//! so the simulator can replay a budgeted, backoff-heavy session
+//! bit-identically from a seed.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic clock plus a sleep primitive.
+///
+/// `now_ns` is relative to an arbitrary per-clock epoch — callers only
+/// ever compare or subtract readings, never interpret them as dates.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+    /// Blocks (or simulates blocking) for `ms` milliseconds.
+    fn sleep_ms(&self, ms: u64);
+}
+
+/// The machine's monotonic clock; `sleep_ms` really sleeps.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A real clock with its epoch at construction time.
+    pub fn new() -> RealClock {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A shared real clock (the default for sessions built without an
+    /// explicit clock).
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(RealClock::new())
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+/// Deterministic simulated time: every reading advances the clock by a
+/// fixed tick, and sleeps advance it by the requested amount instead of
+/// blocking.
+///
+/// Under this clock a wall-clock proof budget becomes a pure function of
+/// how many times the provers poll it — i.e. of the work actually done —
+/// so the same seed and budget trip the same `Outcome::Timeout` set on
+/// every machine. Backoff delays likewise cost simulated time only, which
+/// is what lets a scenario with dozens of retry sleeps replay in
+/// microseconds.
+#[derive(Debug)]
+pub struct VirtualClock {
+    now: AtomicU64,
+    tick_ns: u64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at zero, advancing `tick_ns` per reading.
+    pub fn new(tick_ns: u64) -> VirtualClock {
+        VirtualClock {
+            now: AtomicU64::new(0),
+            tick_ns,
+        }
+    }
+
+    /// A shared virtual clock with a 1µs read tick — the simulator's
+    /// default granularity (a budget of N ms then allows exactly
+    /// N·1000 polls).
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new(1_000))
+    }
+
+    /// Advances the clock by `ns` without a reading.
+    pub fn advance_ns(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.fetch_add(self.tick_ns, Ordering::Relaxed) + self.tick_ns
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        self.advance_ns(ms.saturating_mul(1_000_000));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_time_is_a_function_of_reads_and_sleeps() {
+        let c = VirtualClock::new(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        assert_eq!(c.now_ns(), 2_000);
+        c.sleep_ms(3);
+        assert_eq!(c.now_ns(), 3_003_000);
+        let d = VirtualClock::new(1_000);
+        assert_eq!(d.now_ns(), 1_000, "fresh clocks replay identically");
+    }
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+}

@@ -48,6 +48,7 @@ mod cache;
 pub mod canon;
 pub mod certificate;
 mod checker;
+pub mod clock;
 mod falsify;
 pub mod incremental;
 mod ni_prover;
@@ -65,12 +66,15 @@ pub use budget::{BudgetExceeded, ProofBudget};
 pub use cache::{CacheStats, ProofCache};
 pub use certificate::{Certificate, DepSet};
 pub use checker::{check_certificate, check_certificate_with, CheckError};
+pub use clock::{Clock, RealClock, VirtualClock};
 pub use falsify::{falsify, Counterexample, FalsifyOptions};
 pub use incremental::{
     reverify, reverify_jobs, reverify_observed, DepGraph, IncrementalReport, PropObserver, Reuse,
     ReusePlan,
 };
-pub use options::{catch_crash, resolve_jobs, Outcome, ProofFailure, ProverOptions, VerifyError};
+pub use options::{
+    catch_crash, resolve_jobs, Outcome, PanicPlan, ProofFailure, ProverOptions, VerifyError,
+};
 pub use stats::{paths_explored, PropStats, ProverStats};
 pub use store::{
     load_candidates, persist_outcomes, verify_with_store, verify_with_store_observed, ProofStore,

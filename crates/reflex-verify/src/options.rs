@@ -53,6 +53,50 @@ pub struct ProverOptions {
     /// from equality — a crashed property must not fork the proof-store
     /// namespace.
     pub panic_on: Option<String>,
+    /// Seeded chaos hook: a [`PanicPlan`] deciding *per property name*
+    /// whether its proof task should deliberately panic. The simulator's
+    /// generalization of [`ProverOptions::panic_on`] (which names exactly
+    /// one victim): the plan is a pure function of `(seed, property)`, so
+    /// a root seed reproduces the crash set. Gated behind the same
+    /// `panic-injection` feature and excluded from fingerprints and
+    /// equality for the same reason.
+    pub panic_plan: Option<std::sync::Arc<PanicPlan>>,
+}
+
+/// A deterministic schedule of injected proof-task panics.
+///
+/// Each property panics iff the FNV/SplitMix roll of `(seed, name)` lands
+/// under `rate_ppm` parts per million — stateless, so serial and parallel
+/// runs crash the same set. [`PanicPlan::disarm`] turns the plan off (the
+/// "chaos stopped" switch the watch scenario flips before its recovery
+/// pass), after which every decision is `false`.
+#[derive(Debug)]
+pub struct PanicPlan {
+    seed: u64,
+    rate_ppm: u32,
+    armed: std::sync::atomic::AtomicBool,
+}
+
+impl PanicPlan {
+    /// A plan firing on `rate_ppm` parts per million of property names.
+    pub fn seeded(seed: u64, rate_ppm: u32) -> PanicPlan {
+        PanicPlan {
+            seed,
+            rate_ppm,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        }
+    }
+
+    /// Stops all injection (decisions become `false`).
+    pub fn disarm(&self) {
+        self.armed.store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the proof task for `property` should panic.
+    pub fn should_panic(&self, property: &str) -> bool {
+        self.armed.load(std::sync::atomic::Ordering::SeqCst)
+            && reflex_rng::derive(self.seed, property) % 1_000_000 < u64::from(self.rate_ppm)
+    }
 }
 
 // Manual impls: `budget` carries atomics (no `Eq`) and, like `panic_on`,
@@ -82,6 +126,7 @@ impl Default for ProverOptions {
             jobs: 1,
             budget: None,
             panic_on: None,
+            panic_plan: None,
         }
     }
 }
@@ -105,7 +150,20 @@ impl ProverOptions {
             jobs: 1,
             budget: None,
             panic_on: None,
+            panic_plan: None,
         }
+    }
+
+    /// Whether the chaos hooks request a deliberate panic for `property`
+    /// (either the single-victim [`ProverOptions::panic_on`] or a seeded
+    /// [`PanicPlan`]). Only consulted when the `panic-injection` feature
+    /// is compiled in.
+    pub fn panic_armed(&self, property: &str) -> bool {
+        self.panic_on.as_deref() == Some(property)
+            || self
+                .panic_plan
+                .as_ref()
+                .is_some_and(|plan| plan.should_panic(property))
     }
 
     /// The number of worker threads [`ProverOptions::jobs`] resolves to

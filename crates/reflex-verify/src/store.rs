@@ -402,8 +402,10 @@ impl ProofStore {
     ///   checker; rejects are quarantined too ("checker rejected").
     /// * Stale `.tmp-*` and `.probe-*` files — debris of crashed writers —
     ///   are deleted.
-    /// * When anything was quarantined, a machine-readable
-    ///   `quarantine/report.json` is (re)written.
+    /// * When anything was quarantined, a machine-readable report is
+    ///   written to a fresh `quarantine/report-NNNN.json` (one per scrub,
+    ///   never overwritten) and mirrored to `quarantine/report.json`
+    ///   (always the latest).
     ///
     /// Quarantining moves files, never deletes them, so a scrub
     /// false-positive (e.g. a flaky read) costs a future miss, not data.
@@ -504,8 +506,16 @@ impl ProofStore {
         }
         if !report.quarantined.is_empty() {
             // Best-effort: the report is advisory; a failed write must not
-            // fail the scrub that just cleaned the store.
+            // fail the scrub that just cleaned the store. Each scrub gets
+            // its own sequenced `report-NNNN.json` (earlier reports are
+            // evidence — a second scrub must not destroy the first's), and
+            // `report.json` is rewritten as a copy of the latest.
             let _ = self.fs.create_dir_all(&quarantine).and_then(|()| {
+                let seq = (0..u32::MAX)
+                    .map(|i| quarantine.join(format!("report-{i:04}.json")))
+                    .find(|p| !self.fs.exists(p))
+                    .expect("fewer than u32::MAX scrub reports");
+                self.fs.write(&seq, report.render_json().as_bytes())?;
                 self.fs.write(
                     &quarantine.join("report.json"),
                     report.render_json().as_bytes(),

@@ -86,7 +86,7 @@ pub fn prove_trace(
     // property. Fires before any lock is taken, so sibling properties
     // sharing the ProofCache are unaffected.
     #[cfg(feature = "panic-injection")]
-    if options.panic_on.as_deref() == Some(prop.name.as_str()) {
+    if options.panic_armed(&prop.name) {
         panic!("injected panic for `{}`", prop.name);
     }
     match prove_trace_inner(abs, options, prop, tp, 0, shared) {
@@ -213,7 +213,7 @@ pub(crate) fn prepare_trace<'a, 'p>(
     shared: Option<&'a ProofCache>,
 ) -> TracePrep<'a, 'p> {
     #[cfg(feature = "panic-injection")]
-    if options.panic_on.as_deref() == Some(prop.name.as_str()) {
+    if options.panic_armed(&prop.name) {
         panic!("injected panic for `{}`", prop.name);
     }
     let pure_kind = matches!(

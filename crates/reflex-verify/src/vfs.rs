@@ -154,11 +154,11 @@ impl FsFaultPlan {
         match self {
             FsFaultPlan::None => None,
             FsFaultPlan::Random { seed, rate_ppm } => {
-                let mut h = reflex_ast::fingerprint::FpHasher::new();
-                h.write_str("fs-fault");
-                h.write(&seed.to_le_bytes());
-                h.write(&global.to_le_bytes());
-                let roll = h.finish().0;
+                // The roll lives in `reflex-rng` (shared with the
+                // simulator's other injectors); it reproduces this
+                // module's original FNV derivation bit for bit, pinned by
+                // `fault_roll_matches_the_original_fp_hasher_derivation`.
+                let roll = reflex_rng::fault_roll(*seed, global);
                 if roll % 1_000_000 >= u64::from(*rate_ppm) {
                     return None;
                 }
@@ -379,6 +379,26 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().any(Option::is_some), "rate 20% must fire in 200");
         assert!(a.iter().any(Option::is_none), "rate 20% must also pass");
+    }
+
+    #[test]
+    fn fault_roll_matches_the_original_fp_hasher_derivation() {
+        // The roll used to be computed inline with reflex-ast's FpHasher;
+        // recorded chaos seeds must keep their schedules now that it
+        // lives in reflex-rng.
+        for seed in [0u64, 7, 0xBEEF] {
+            for global in 0..512u64 {
+                let mut h = reflex_ast::fingerprint::FpHasher::new();
+                h.write_str("fs-fault");
+                h.write(&seed.to_le_bytes());
+                h.write(&global.to_le_bytes());
+                assert_eq!(
+                    reflex_rng::fault_roll(seed, global),
+                    h.finish().0,
+                    "seed {seed} op {global}"
+                );
+            }
+        }
     }
 
     #[test]

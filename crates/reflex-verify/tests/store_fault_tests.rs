@@ -169,3 +169,59 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+/// Repeated scrubs must not destroy earlier evidence: each scrub writes a
+/// fresh sequenced `quarantine/report-NNNN.json` and mirrors the latest
+/// to `report.json`.
+#[test]
+fn repeated_scrubs_keep_every_report() {
+    let dir = temp_store("scrub-reports");
+    let options = ProverOptions::default();
+    {
+        let store = ProofStore::open(&dir).expect("store opens");
+        verify_with_store(car(), &options, &store, 1).expect("verifies");
+    }
+
+    let corrupt_one_cert = |skip: usize| {
+        let mut certs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("store dir")
+            .map(|e| e.expect("entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "cert"))
+            .collect();
+        certs.sort();
+        let victim = certs.get(skip).expect("enough certificates");
+        let mut bytes = std::fs::read(victim).expect("readable");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(victim, bytes).expect("writable");
+    };
+
+    let quarantine = dir.join(reflex_verify::QUARANTINE_DIR);
+    let store = ProofStore::open(&dir).expect("store re-opens");
+
+    corrupt_one_cert(0);
+    let first = store.scrub(None).expect("first scrub");
+    assert_eq!(first.quarantined.len(), 1);
+    assert!(quarantine.join("report-0000.json").exists());
+    assert!(quarantine.join("report.json").exists());
+    let first_seq = std::fs::read(quarantine.join("report-0000.json")).expect("report 0");
+
+    corrupt_one_cert(0);
+    let second = store.scrub(None).expect("second scrub");
+    assert_eq!(second.quarantined.len(), 1);
+    assert!(
+        quarantine.join("report-0001.json").exists(),
+        "second scrub must get its own sequenced report"
+    );
+    assert_eq!(
+        std::fs::read(quarantine.join("report-0000.json")).expect("report 0 still there"),
+        first_seq,
+        "earlier reports are never overwritten"
+    );
+    assert_eq!(
+        std::fs::read(quarantine.join("report.json")).expect("latest mirror"),
+        std::fs::read(quarantine.join("report-0001.json")).expect("report 1"),
+        "report.json mirrors the latest scrub"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,9 @@
 //! rx run     FILE [N [SEED]]  boot the kernel and run up to N exchanges
 //! rx soak                     soak the bundled kernels under fault injection
 //! rx chaos                    replay the watch loop under injected store faults
+//! rx sim     run              drive one deterministic whole-stack scenario
+//! rx sim     swarm            fan a seed range across every scenario (CI)
+//! rx sim     replay FILE      re-execute a repro.json bit for bit
 //! rx store   scrub DIR [FILE] validate a proof store, quarantining bad entries
 //! rx gen     PRESET           emit a deterministic synthetic kernel
 //! rx bench   scale            prove the generated presets, report throughput
@@ -29,28 +32,33 @@
 //! `rx chaos` replays the scripted incremental session with the proof
 //! store on a seeded faulty filesystem and checks the robustness
 //! invariants (no aborts, no wrong reuse, no quarantine escapes);
-//! `rx store scrub` audits a store directory in place.
+//! `rx store scrub` audits a store directory in place. Both `rx chaos`
+//! and `rx soak` are presets over the deterministic simulator's engine
+//! surface (`reflex::sim::presets`); `rx sim` is the simulator's own
+//! front door — one root seed drives every fault stream through a
+//! virtual clock, every run leaves a replayable trace, and violations
+//! are auto-shrunk into `repro.json` files `rx sim replay` re-executes.
 //!
 //! Exit codes: 0 success, 1 the kernel/properties have problems,
 //! 2 usage errors.
 
 use std::process::ExitCode;
 
-use reflex::bench::soak::{
-    render_soak, render_soak_json, run_soak, run_soak_bench, soak_program_with_plan, SoakConfig,
-    SoakOutcome,
-};
+use reflex::bench::soak::soak_program_with_plan;
 use reflex::cli::{self, FlagSpec};
 use reflex::driver::{
     load_program, Instrument, JsonLinesSink, NullSink, SessionConfig, VerifySession, WatchSession,
 };
 use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
+use reflex::sim::presets::{
+    render_soak, render_soak_json, run_soak_bench_preset, run_soak_preset, SoakConfig, SoakOutcome,
+};
 use reflex::typeck::CheckedProgram;
 use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx store   scrub DIR [FILE]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub DIR [FILE]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -272,6 +280,59 @@ const CHAOS_FLAGS: &[FlagSpec] = &[
     },
 ];
 
+const SIM_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--scenario",
+        value: Some("NAME"),
+        help: "chaos | watch | soak | scale-edits (swarm default: all)",
+    },
+    FlagSpec {
+        name: "--seed",
+        value: Some("N"),
+        help: "root seed for `sim run` (default 0)",
+    },
+    FlagSpec {
+        name: "--seeds",
+        value: Some("A..B"),
+        help: "seed range for `sim swarm` (default 0..16)",
+    },
+    FlagSpec {
+        name: "--steps",
+        value: Some("K"),
+        help: "scenario steps per run (default: per-scenario)",
+    },
+    FlagSpec {
+        name: "--fs-rate",
+        value: Some("PPM"),
+        help: "store-filesystem fault rate, parts per million (default 50000)",
+    },
+    FlagSpec {
+        name: "--panic-rate",
+        value: Some("PPM"),
+        help: "prover panic-injection rate, parts per million (default 20000)",
+    },
+    FlagSpec {
+        name: "--inject-at",
+        value: Some("K"),
+        help: "deliberately violate an invariant at step K (shrink/replay demo)",
+    },
+    FlagSpec {
+        name: "--jobs",
+        value: Some("N"),
+        help: "swarm worker threads (0: one per CPU; results are identical)",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "for `sim swarm`: also write BENCH_sim.json",
+    },
+    FlagSpec {
+        name: "--repro-dir",
+        value: Some("DIR"),
+        help: "for `sim swarm`: write repro-*.json for violating runs into DIR",
+    },
+];
+
 const GEN_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--seed",
@@ -372,6 +433,12 @@ const COMMANDS: &[CommandSpec] = &[
         synopsis: "",
         flags: CHAOS_FLAGS,
         run: cmd_chaos,
+    },
+    CommandSpec {
+        name: "sim",
+        synopsis: "run | swarm | replay FILE",
+        flags: SIM_FLAGS,
+        run: cmd_sim,
     },
     CommandSpec {
         name: "store",
@@ -719,7 +786,7 @@ fn cmd_run_supervised(opts: &RunOpts, checked: &CheckedProgram) -> Result<(), Cl
 /// incremental session under seeded store faults, write `BENCH_chaos.json`
 /// and fail unless every robustness invariant held.
 fn cmd_chaos(parsed: &cli::Parsed) -> Result<(), CliError> {
-    use reflex::bench::chaos::{render_chaos, render_chaos_json, run_chaos, ChaosConfig};
+    use reflex::sim::presets::{render_chaos, render_chaos_json, run_chaos_preset, ChaosConfig};
     if !parsed.positional.is_empty() {
         return Err(CliError::Usage(format!(
             "unexpected operand `{}`",
@@ -735,7 +802,7 @@ fn cmd_chaos(parsed: &cli::Parsed) -> Result<(), CliError> {
         .map_err(CliError::Usage)?;
     cfg.jobs = parsed.get("--jobs", cfg.jobs).map_err(CliError::Usage)?;
     cfg.gen_seed = parsed.get_opt("--gen").map_err(CliError::Usage)?;
-    let bench = run_chaos(&cfg).map_err(CliError::run)?;
+    let bench = run_chaos_preset(&cfg).map_err(CliError::run)?;
     print!("{}", render_chaos(&bench));
     std::fs::write("BENCH_chaos.json", render_chaos_json(&bench))
         .map_err(|e| CliError::Run(format!("BENCH_chaos.json: {e}")))?;
@@ -847,6 +914,131 @@ fn parse_seed_range(spec: &str) -> Result<Vec<u64>, String> {
     }
 }
 
+/// `rx sim run|swarm|replay`: the deterministic whole-stack simulator.
+/// `run` drives one scenario and prints its replayable trace; `swarm`
+/// fans a seed range across scenarios (writing `BENCH_sim.json` with
+/// `--json`); `replay FILE` re-executes a `repro.json` bit for bit.
+/// Any invariant violation is auto-shrunk to a minimal reproduction.
+fn cmd_sim(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::sim::{repro, shrink, swarm, Scenario, Sim, SimConfig};
+    let scenario_flag = parsed
+        .value("--scenario")
+        .map(|label| {
+            Scenario::parse(label).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown scenario `{label}` (expected chaos, watch, soak or scale-edits)"
+                ))
+            })
+        })
+        .transpose()?;
+    let steps: Option<usize> = parsed.get_opt("--steps").map_err(CliError::Usage)?;
+    if steps == Some(0) {
+        return Err(CliError::Usage("--steps must be at least 1".into()));
+    }
+    let fs_rate: u32 = parsed.get("--fs-rate", 50_000).map_err(CliError::Usage)?;
+    let panic_rate: u32 = parsed
+        .get("--panic-rate", 20_000)
+        .map_err(CliError::Usage)?;
+    let inject_at: Option<usize> = parsed.get_opt("--inject-at").map_err(CliError::Usage)?;
+
+    match parsed.positional.as_slice() {
+        [action] if action == "run" => {
+            let scenario = scenario_flag.unwrap_or(Scenario::Chaos);
+            let mut config =
+                SimConfig::new(scenario, parsed.get("--seed", 0).map_err(CliError::Usage)?);
+            if let Some(steps) = steps {
+                config.steps = steps;
+            }
+            config.fs_rate_ppm = fs_rate;
+            config.panic_rate_ppm = panic_rate;
+            config.inject_violation_at = inject_at;
+            let outcome = Sim::run(&config);
+            println!("{}", outcome.trace_text());
+            println!("trace fingerprint: {:#018x}", outcome.trace_fingerprint);
+            match &outcome.violation {
+                None => {
+                    println!(
+                        "sim ok: {} step(s), no invariant violations",
+                        outcome.steps_run
+                    );
+                    Ok(())
+                }
+                Some(violation) => {
+                    let shrunk = shrink::shrink(&config, violation);
+                    let minimized = Sim::run(&shrunk.minimized);
+                    let record = repro::Repro::of(&minimized);
+                    std::fs::write("repro.json", repro::render(&record))
+                        .map_err(|e| CliError::Run(format!("repro.json: {e}")))?;
+                    Err(CliError::Run(format!(
+                        "invariant violation ({violation}); shrunk to {} step(s) in {} attempt(s), wrote repro.json",
+                        shrunk.minimized.steps, shrunk.attempts
+                    )))
+                }
+            }
+        }
+        [action] if action == "swarm" => {
+            let mut cfg = swarm::SwarmConfig {
+                fs_rate_ppm: fs_rate,
+                panic_rate_ppm: panic_rate,
+                steps,
+                inject_violation_at: inject_at,
+                jobs: parsed.get("--jobs", 0).map_err(CliError::Usage)?,
+                repro_dir: parsed.value("--repro-dir").map(std::path::PathBuf::from),
+                ..swarm::SwarmConfig::default()
+            };
+            if let Some(scenario) = scenario_flag {
+                cfg.scenarios = vec![scenario];
+            }
+            if let Some(spec) = parsed.value("--seeds") {
+                cfg.seeds = parse_seed_range(spec).map_err(CliError::Usage)?;
+            }
+            let bench = swarm::run_swarm(&cfg);
+            print!("{}", swarm::render_swarm(&bench));
+            if parsed.is_set("--json") {
+                std::fs::write("BENCH_sim.json", swarm::render_swarm_json(&bench))
+                    .map_err(|e| CliError::Run(format!("BENCH_sim.json: {e}")))?;
+                println!("wrote BENCH_sim.json");
+            }
+            if bench.violations() > 0 {
+                return Err(CliError::Run(format!(
+                    "{} run(s) violated an invariant (see repro files above)",
+                    bench.violations()
+                )));
+            }
+            Ok(())
+        }
+        [action, file] if action == "replay" => {
+            let verdict = repro::replay_file(std::path::Path::new(file)).map_err(CliError::Run)?;
+            println!("{}", verdict.outcome.trace_text());
+            println!(
+                "trace fingerprint: {:#018x}",
+                verdict.outcome.trace_fingerprint
+            );
+            if verdict.reproduced() {
+                println!("replay ok: the recorded violation reproduced bit-identically");
+                Ok(())
+            } else {
+                Err(CliError::Run(format!(
+                    "replay diverged: violation {}, trace {}",
+                    if verdict.violation_matches {
+                        "matched"
+                    } else {
+                        "differed"
+                    },
+                    if verdict.trace_matches {
+                        "matched"
+                    } else {
+                        "differed"
+                    },
+                )))
+            }
+        }
+        _ => Err(CliError::Usage(
+            "expected `run`, `swarm` or `replay FILE`".into(),
+        )),
+    }
+}
+
 /// `rx store scrub DIR [FILE]`: validate every framed entry of a proof
 /// store, quarantining corrupt or checker-rejected ones. With FILE, cert
 /// entries belonging to that kernel's current properties are additionally
@@ -905,7 +1097,7 @@ fn cmd_soak(parsed: &cli::Parsed) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Run(format!("no bundled kernel named `{name}`")))?;
         vec![reflex::bench::soak::soak_kernel(bench, &cfg, index)]
     } else if json {
-        let bench = run_soak_bench(&cfg);
+        let bench = run_soak_bench_preset(&cfg);
         let doc = render_soak_json(&bench);
         std::fs::write("BENCH_soak.json", &doc)
             .map_err(|e| CliError::Run(format!("BENCH_soak.json: {e}")))?;
@@ -921,7 +1113,7 @@ fn cmd_soak(parsed: &cli::Parsed) -> Result<(), CliError> {
         );
         bench.monitored
     } else {
-        run_soak(&cfg)
+        run_soak_preset(&cfg)
     };
     print!("{}", render_soak(&outcomes));
     if let Some(dir) = incident_dir {

@@ -24,6 +24,11 @@
 //!   the supervised-runtime soak suite.
 //! * [`driver`] — the instrumented [`driver::VerifySession`] pipeline
 //!   engine every entry point (CLI, watch loop, benches) runs on.
+//! * [`rng`] — the one splittable deterministic RNG and the labelled
+//!   seed-derivation tree every stochastic component draws from.
+//! * [`sim`] — the deterministic whole-stack simulator behind
+//!   `rx sim run / swarm / replay`: one root seed, virtual time,
+//!   scenario traces, automatic shrinking.
 //! * [`cli`] — shared option-table flag parsing for the `rx` frontend.
 //!
 //! # Quickstart
@@ -52,7 +57,9 @@ pub use reflex_bench as bench;
 pub use reflex_driver as driver;
 pub use reflex_kernels as kernels;
 pub use reflex_parser as parser;
+pub use reflex_rng as rng;
 pub use reflex_runtime as runtime;
+pub use reflex_sim as sim;
 pub use reflex_symbolic as symbolic;
 pub use reflex_trace as trace;
 pub use reflex_typeck as typeck;
