@@ -406,26 +406,40 @@ pub fn run_chaos(config: &ChaosConfig) -> Result<ChaosBench, BenchError> {
     })
 }
 
-/// Flips a byte in the middle of the (alphabetically) first two `.cert`
-/// entries and drops a stale `.tmp-` file, returning how many entries
-/// were damaged. Mimics bit rot and crash debris from outside the
-/// store's own atomic-rename discipline.
+/// Flips a payload byte in the first frame of the (alphabetically) first
+/// two segment logs and drops a stale `.tmp-` file, returning how many
+/// segments were damaged. Mimics bit rot and crash debris from outside
+/// the store's own fsync-gated append discipline. The flip lands at
+/// offset 50 — past the 44-byte frame header, inside the first payload —
+/// so it provably breaks that frame's integrity fingerprint and the
+/// scrub must quarantine the segment tail.
 fn seed_external_corruption(dir: &std::path::Path) -> usize {
     let mut corrupted = 0usize;
+    let mut segments: Vec<PathBuf> = Vec::new();
     if let Ok(rd) = std::fs::read_dir(dir) {
-        let mut certs: Vec<PathBuf> = rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "cert"))
-            .collect();
-        certs.sort();
-        for path in certs.iter().take(2) {
-            if let Ok(mut bytes) = std::fs::read(path) {
-                if bytes.len() > 20 {
-                    let mid = bytes.len() / 2;
-                    bytes[mid] ^= 0x40;
-                    if std::fs::write(path, &bytes).is_ok() {
-                        corrupted += 1;
-                    }
+        for shard in rd.filter_map(|e| e.ok().map(|e| e.path())) {
+            let is_shard = shard
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-"));
+            if !(is_shard && shard.is_dir()) {
+                continue;
+            }
+            if let Ok(rd) = std::fs::read_dir(&shard) {
+                segments.extend(
+                    rd.filter_map(|e| e.ok().map(|e| e.path()))
+                        .filter(|p| p.extension().is_some_and(|x| x == "log")),
+                );
+            }
+        }
+    }
+    segments.sort();
+    for path in segments.iter().take(2) {
+        if let Ok(mut bytes) = std::fs::read(path) {
+            if bytes.len() > 50 {
+                bytes[50] ^= 0x40;
+                if std::fs::write(path, &bytes).is_ok() {
+                    corrupted += 1;
                 }
             }
         }

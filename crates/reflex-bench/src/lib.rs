@@ -25,6 +25,7 @@ pub mod chaos;
 pub mod incr;
 pub mod scale;
 pub mod soak;
+pub mod store;
 pub mod stress;
 
 use std::fmt;

@@ -53,15 +53,22 @@ pub enum Scenario {
     /// The scale workload: a synthetic kernel's edit ladder verified
     /// step by step, store-backed reuse against a serial baseline.
     ScaleEdits,
+    /// Compaction racing live verification: an edit ladder verified
+    /// through one handle of a log-structured store while a second
+    /// handle compacts the same store every step, over a seeded faulty
+    /// disk; compaction must never lose a live entry or let a corrupt
+    /// one escape quarantine.
+    CompactionRace,
 }
 
 impl Scenario {
     /// All scenarios, in the order the swarm runs them.
-    pub const ALL: [Scenario; 4] = [
+    pub const ALL: [Scenario; 5] = [
         Scenario::Chaos,
         Scenario::Watch,
         Scenario::Soak,
         Scenario::ScaleEdits,
+        Scenario::CompactionRace,
     ];
 
     /// The scenario's stable command-line / JSON label.
@@ -71,6 +78,7 @@ impl Scenario {
             Scenario::Watch => "watch",
             Scenario::Soak => "soak",
             Scenario::ScaleEdits => "scale-edits",
+            Scenario::CompactionRace => "compaction-race",
         }
     }
 
@@ -87,6 +95,7 @@ impl Scenario {
             Scenario::Watch => 8,
             Scenario::Soak => 120,
             Scenario::ScaleEdits => 4,
+            Scenario::CompactionRace => 4,
         }
     }
 }
@@ -163,6 +172,8 @@ pub enum ViolationKind {
     Unrecovered,
     /// The runtime certificate monitor raised an alarm.
     MonitorAlarm,
+    /// A compaction pass lost (or conjured) a live store entry.
+    CompactionLoss,
     /// The deliberate violation scheduled by
     /// [`SimConfig::inject_violation_at`].
     Injected,
@@ -177,6 +188,7 @@ impl ViolationKind {
             ViolationKind::QuarantineEscape => "quarantine-escape",
             ViolationKind::Unrecovered => "unrecovered",
             ViolationKind::MonitorAlarm => "monitor-alarm",
+            ViolationKind::CompactionLoss => "compaction-loss",
             ViolationKind::Injected => "injected",
         }
     }
@@ -189,6 +201,7 @@ impl ViolationKind {
             ViolationKind::QuarantineEscape,
             ViolationKind::Unrecovered,
             ViolationKind::MonitorAlarm,
+            ViolationKind::CompactionLoss,
             ViolationKind::Injected,
         ]
         .into_iter()
@@ -266,6 +279,7 @@ impl Sim {
             Scenario::Watch => scenario::run_watch(config, &mut trace),
             Scenario::Soak => scenario::run_soak(config, &mut trace),
             Scenario::ScaleEdits => scenario::run_scale_edits(config, &mut trace),
+            Scenario::CompactionRace => scenario::run_compaction_race(config, &mut trace),
         };
         if let Some(v) = &violation {
             trace.push(format!("violation {} step={} {}", v.kind, v.step, v.detail));

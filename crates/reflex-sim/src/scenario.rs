@@ -130,7 +130,18 @@ fn check_against_baseline(
     baseline: &[(String, Certificate)],
     kind: ViolationKind,
 ) -> Option<Violation> {
-    for (name, outcome) in &report.outcomes {
+    check_outcomes(step, &report.outcomes, baseline, kind)
+}
+
+/// [`check_against_baseline`] over a bare outcome list (for runs driven
+/// through `verify_with_store` rather than a session).
+fn check_outcomes(
+    step: usize,
+    outcomes: &[(String, reflex_verify::Outcome)],
+    baseline: &[(String, Certificate)],
+    kind: ViolationKind,
+) -> Option<Violation> {
+    for (name, outcome) in outcomes {
         if outcome.is_crashed() {
             continue;
         }
@@ -365,25 +376,39 @@ fn run_chaos_faulted(
     }
 }
 
-/// Flips a byte in the middle of the alphabetically first `.cert` entry
-/// and drops a stale temp file — damage the store's own fsync-gated
-/// writer can never produce. Returns how many entries were rotted.
+/// Flips a payload byte in the first frame of the alphabetically first
+/// segment log and drops a stale temp file — damage the store's own
+/// fsync-gated writer can never produce. The flip lands at offset 50,
+/// past the 44-byte frame header and inside the first payload, so the
+/// frame's integrity fingerprint provably breaks and the scrub must
+/// quarantine the segment tail. Returns how many segments were rotted.
 fn rot_first_cert(dir: &std::path::Path) -> usize {
     let mut rotted = 0usize;
+    let mut segments: Vec<std::path::PathBuf> = Vec::new();
     if let Ok(rd) = std::fs::read_dir(dir) {
-        let mut certs: Vec<_> = rd
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.extension().is_some_and(|x| x == "cert"))
-            .collect();
-        certs.sort();
-        if let Some(path) = certs.first() {
-            if let Ok(mut bytes) = std::fs::read(path) {
-                if bytes.len() > 20 {
-                    let mid = bytes.len() / 2;
-                    bytes[mid] ^= 0x40;
-                    if std::fs::write(path, &bytes).is_ok() {
-                        rotted += 1;
-                    }
+        for shard in rd.filter_map(|e| e.ok().map(|e| e.path())) {
+            let is_shard = shard
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("shard-"));
+            if !(is_shard && shard.is_dir()) {
+                continue;
+            }
+            if let Ok(rd) = std::fs::read_dir(&shard) {
+                segments.extend(
+                    rd.filter_map(|e| e.ok().map(|e| e.path()))
+                        .filter(|p| p.extension().is_some_and(|x| x == "log")),
+                );
+            }
+        }
+    }
+    segments.sort();
+    if let Some(path) = segments.first() {
+        if let Ok(mut bytes) = std::fs::read(path) {
+            if bytes.len() > 50 {
+                bytes[50] ^= 0x40;
+                if std::fs::write(path, &bytes).is_ok() {
+                    rotted += 1;
                 }
             }
         }
@@ -635,6 +660,206 @@ pub(crate) fn run_scale_edits(config: &SimConfig, trace: &mut Trace) -> Option<V
             }
         }
     }
+    let _ = std::fs::remove_dir_all(&dir);
+    violation
+}
+
+/// Compaction racing live verification: the synthetic edit ladder runs
+/// through one handle of a shared log-structured store while a second
+/// handle compacts the same store after every step, all over the seeded
+/// faulty disk. Compaction — successful or aborted by an injected fault
+/// — must never change the live entry set, and the served certificates
+/// must stay bit-identical to the clean baseline. The run ends like the
+/// chaos scenario: heal, rot one landed segment externally, scrub
+/// through the *live* handle, and re-verify.
+pub(crate) fn run_compaction_race(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    let ladder = synth_ladder(config);
+    let checked: Vec<_> = ladder
+        .iter()
+        .map(|k| (k.name.clone(), k.checked()))
+        .collect();
+    let options = ProverOptions::default();
+
+    // Clean storeless baseline per ladder variant: the ground truth.
+    let mut baseline: Vec<Vec<(String, Certificate)>> = Vec::with_capacity(checked.len());
+    for (step, (_, program)) in checked.iter().enumerate() {
+        match VerifySession::new(session_config(config, None))
+            .and_then(|s| s.verify_checked(program, &NullSink))
+        {
+            Ok(report) => baseline.push(certs_of(&report)),
+            Err(e) => {
+                return Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("clean baseline failed: {e}"),
+                })
+            }
+        }
+    }
+
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let faulty = faulty_fs(config);
+    let store = match reflex_verify::ProofStore::open_with(
+        &dir,
+        Arc::new(faulty.clone()) as Arc<dyn VerifyFs>,
+    ) {
+        Ok(s) => s,
+        Err(_) => {
+            // The schedule faulted the very mkdir: nothing to race over.
+            let _ = std::fs::remove_dir_all(&dir);
+            trace.push("compaction-race store never opened".to_owned());
+            trace.step_done();
+            return None;
+        }
+    };
+    // The racing handle: a clone shares the same log, index and hot tier.
+    let compactor = store.clone();
+
+    let mut violation = None;
+    for (step, ((name, program), expected)) in checked.iter().zip(&baseline).enumerate() {
+        if let Some(v) = injected_violation(config, trace, step) {
+            violation = Some(v);
+            break;
+        }
+        let sr = match reflex_verify::verify_with_store(program, &options, &store, 1) {
+            Ok(sr) => sr,
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("store-backed verification aborted: {e}"),
+                });
+                break;
+            }
+        };
+        if let Some(v) = check_outcomes(
+            step,
+            &sr.report.outcomes,
+            expected,
+            ViolationKind::CertMismatch,
+        ) {
+            violation = Some(v);
+            break;
+        }
+
+        // The race: compact through the second handle while the first
+        // keeps its hot tier and index live. Entry-set identity is the
+        // invariant — whether the pass commits or an injected fault
+        // aborts it mid-way, the store must keep serving the same keys.
+        // Odd steps compact over a healed disk so the commit path is
+        // exercised too; heal/unheal only gate injection, the operation
+        // counter keeps advancing, so the schedule stays deterministic.
+        let quiet = step % 2 == 1;
+        if quiet {
+            faulty.heal();
+        }
+        let _ = store.flush();
+        let before = store.entries();
+        let compacted = match compactor.compact(Some((program, &options))) {
+            Ok(report) => {
+                trace.push(format!(
+                    "step {step} race kernel={name} loaded={} saved={} compact: ok={} superseded={} quarantined={}",
+                    sr.loaded,
+                    sr.saved,
+                    report.ok,
+                    report.superseded,
+                    report.quarantined.len()
+                ));
+                true
+            }
+            Err(_) => {
+                // The error text carries scratch paths; keep the trace
+                // deterministic and record only the fact.
+                trace.push(format!(
+                    "step {step} race kernel={name} loaded={} saved={} compact: aborted by fault",
+                    sr.loaded, sr.saved
+                ));
+                false
+            }
+        };
+        if quiet {
+            faulty.unheal();
+        }
+        let after = store.entries();
+        if after != before {
+            violation = Some(Violation {
+                step,
+                kind: ViolationKind::CompactionLoss,
+                detail: format!(
+                    "live set changed across {} compaction: {} entries before, {} after",
+                    if compacted {
+                        "a committed"
+                    } else {
+                        "an aborted"
+                    },
+                    before.len(),
+                    after.len()
+                ),
+            });
+            break;
+        }
+        trace.step_done();
+    }
+    if violation.is_some() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return violation;
+    }
+
+    // Heal, rot one landed segment from outside the append discipline,
+    // scrub through the live handle, and the rot must be quarantined.
+    faulty.heal();
+    let corrupted = rot_first_cert(&dir);
+    let scrub = match store.scrub(None) {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Some(Violation {
+                step: config.steps,
+                kind: ViolationKind::Abort,
+                detail: format!("post-heal scrub failed: {e}"),
+            });
+        }
+    };
+    trace.push(format!(
+        "race scrub corrupted={corrupted} scanned={} quarantined={} migrated={}",
+        scrub.scanned,
+        scrub.quarantined.len(),
+        scrub.migrated
+    ));
+    if corrupted > 0 && scrub.quarantined.is_empty() {
+        let _ = std::fs::remove_dir_all(&dir);
+        return Some(Violation {
+            step: config.steps,
+            kind: ViolationKind::QuarantineEscape,
+            detail: format!("{corrupted} rotted segments but nothing was quarantined"),
+        });
+    }
+
+    // Post-scrub: the final variant re-verified over the scrubbed store
+    // must still match the baseline exactly (reuse or re-prove alike).
+    let (_, final_program) = checked.last().expect("at least one step");
+    let expected = baseline.last().expect("baseline matches ladder");
+    let violation = match reflex_verify::verify_with_store(final_program, &options, &store, 1) {
+        Ok(sr) => {
+            trace.push(format!(
+                "race post-scrub loaded={} entries={}",
+                sr.loaded,
+                store.entries().len()
+            ));
+            check_outcomes(
+                config.steps,
+                &sr.report.outcomes,
+                expected,
+                ViolationKind::QuarantineEscape,
+            )
+        }
+        Err(e) => Some(Violation {
+            step: config.steps,
+            kind: ViolationKind::Abort,
+            detail: format!("post-scrub verification aborted: {e}"),
+        }),
+    };
     let _ = std::fs::remove_dir_all(&dir);
     violation
 }

@@ -49,6 +49,7 @@ pub mod canon;
 pub mod certificate;
 mod checker;
 pub mod clock;
+mod codec;
 mod falsify;
 pub mod incremental;
 mod ni_prover;
@@ -78,7 +79,7 @@ pub use options::{
 pub use stats::{paths_explored, PropStats, ProverStats};
 pub use store::{
     load_candidates, persist_outcomes, verify_with_store, verify_with_store_observed, ProofStore,
-    ScrubReport, StoreHead, StoreReport, QUARANTINE_DIR, STORE_VERSION,
+    ScrubReport, StoreHead, StoreReport, StoreStat, QUARANTINE_DIR, STORE_VERSION,
 };
 pub use vfs::{FaultyFs, FsFault, FsFaultPlan, FsOp, RealFs, VerifyFs};
 

@@ -33,6 +33,15 @@ pub trait VerifyFs: fmt::Debug + Send + Sync {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
     /// Writes a whole file (create or truncate).
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends bytes to the end of a file, creating it if missing — the
+    /// log-structured store's segment writer.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Reads exactly `len` bytes starting at byte `offset`.
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>>;
+    /// Truncates a file to exactly `len` bytes (discarding the tail).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// The file's current length in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
     /// Flushes a previously written file's contents to durable storage
     /// (`sync_all`). A failure here means the bytes may not survive a
     /// crash — callers must treat the file as unwritten.
@@ -48,6 +57,14 @@ pub trait VerifyFs: fmt::Debug + Send + Sync {
     fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
     /// Whether the path exists.
     fn exists(&self, path: &Path) -> bool;
+    /// Whether callers may issue reads from multiple threads at once.
+    /// Fault-injecting filesystems return `false`: their schedules key on
+    /// a serial operation count, and concurrent reads would make fault
+    /// placement nondeterministic. Bulk readers (the store's open-time
+    /// index scan) fan out only when this is `true`.
+    fn concurrent_reads(&self) -> bool {
+        true
+    }
 }
 
 /// The real filesystem.
@@ -61,6 +78,32 @@ impl VerifyFs for RealFs {
 
     fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut f = fs::File::open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
     }
 
     fn sync(&self, path: &Path) -> io::Result<()> {
@@ -320,6 +363,52 @@ impl VerifyFs for FaultyFs {
         }
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Appends share the write fault class: the same schedules that tear
+        // whole-file writes tear segment appends, with the torn prefix
+        // confined to the appended bytes (the already-durable head of the
+        // segment is untouched, exactly like a real partial append).
+        match self.next_fault(FsOp::Write) {
+            Some(FsFault::WriteEnospc) => Err(injected("ENOSPC on append")),
+            Some(FsFault::WriteShort) => {
+                let _ = self.inner.real.append(path, &bytes[..bytes.len() / 2]);
+                self.mark_torn(path, true);
+                Err(injected("short append"))
+            }
+            Some(FsFault::WriteTorn) => {
+                self.inner.real.append(path, &bytes[..bytes.len() / 2])?;
+                self.mark_torn(path, true);
+                Ok(())
+            }
+            // Unlike `write`, a clean append does NOT clear an earlier torn
+            // mark: the lost bytes are still in the middle of the file, and
+            // only truncating them away (or rewriting the whole file) makes
+            // its contents trustworthy again.
+            _ => self.inner.real.append(path, bytes),
+        }
+    }
+
+    fn read_at(&self, path: &Path, offset: u64, len: usize) -> io::Result<Vec<u8>> {
+        match self.next_fault(FsOp::Read) {
+            Some(FsFault::ReadEio) => Err(injected("EIO on positioned read")),
+            _ => self.inner.real.read_at(path, offset, len),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        // Truncation is how the store discards an untrusted (possibly torn)
+        // tail after a failed append or fsync; once the tail is gone the
+        // surviving prefix is exactly the bytes that were last synced, so
+        // the torn mark is cleared.
+        self.inner.real.truncate(path, len)?;
+        self.mark_torn(path, false);
+        Ok(())
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.real.file_len(path)
+    }
+
     fn sync(&self, path: &Path) -> io::Result<()> {
         if self.is_torn(path) {
             // Syncing a torn file reports the lost bytes regardless of the
@@ -361,6 +450,12 @@ impl VerifyFs for FaultyFs {
 
     fn exists(&self, path: &Path) -> bool {
         self.inner.real.exists(path)
+    }
+
+    fn concurrent_reads(&self) -> bool {
+        // Fault schedules are keyed on a serial op count; concurrent
+        // readers would race for positions and break replay determinism.
+        false
     }
 }
 
@@ -434,6 +529,49 @@ mod tests {
         // A healthy rewrite clears the torn state.
         assert!(fs.write(&p, b"ok").is_ok());
         assert!(fs.sync(&p).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_appends_stay_torn_until_truncated() {
+        let fs = FaultyFs::new(FsFaultPlan::Scripted(vec![(
+            FsOp::Write,
+            1,
+            FsFault::WriteTorn,
+        )]));
+        let dir = std::env::temp_dir().join(format!("rx-vfs-append-{}", std::process::id()));
+        fs.create_dir_all(&dir).unwrap();
+        let p = dir.join("seg");
+        assert!(fs.append(&p, b"aaaa").is_ok());
+        assert!(fs.sync(&p).is_ok(), "clean append syncs");
+        assert!(fs.append(&p, b"bbbb").is_ok(), "torn append lies");
+        assert_eq!(fs.read(&p).unwrap(), b"aaaabb", "half the append landed");
+        assert!(fs.sync(&p).is_err(), "fsync surfaces the torn append");
+        // A later clean append does not absolve the torn middle…
+        assert!(fs.append(&p, b"cc").is_ok());
+        assert!(fs.sync(&p).is_err(), "file still untrustworthy");
+        // …but truncating the untrusted tail back to the durable prefix does.
+        assert!(fs.truncate(&p, 4).is_ok());
+        assert!(fs.sync(&p).is_ok());
+        assert_eq!(fs.read(&p).unwrap(), b"aaaa");
+        assert_eq!(fs.file_len(&p).unwrap(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn positioned_reads_share_the_read_fault_class() {
+        let fs = FaultyFs::new(FsFaultPlan::Scripted(vec![(
+            FsOp::Read,
+            0,
+            FsFault::ReadEio,
+        )]));
+        let dir = std::env::temp_dir().join(format!("rx-vfs-readat-{}", std::process::id()));
+        fs.create_dir_all(&dir).unwrap();
+        let p = dir.join("x");
+        fs.write(&p, b"0123456789").unwrap();
+        assert!(fs.read_at(&p, 2, 4).is_err(), "first read faults");
+        assert_eq!(fs.read_at(&p, 2, 4).unwrap(), b"2345");
+        assert_eq!(fs.injected(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

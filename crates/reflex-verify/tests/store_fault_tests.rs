@@ -182,31 +182,39 @@ fn repeated_scrubs_keep_every_report() {
         verify_with_store(car(), &options, &store, 1).expect("verifies");
     }
 
-    let corrupt_one_cert = |skip: usize| {
-        let mut certs: Vec<PathBuf> = std::fs::read_dir(&dir)
+    // Flips a payload byte in the first frame of the `skip`-th segment,
+    // breaking its integrity fingerprint so the next scrub quarantines it.
+    let corrupt_one_segment = |skip: usize| {
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(&dir)
             .expect("store dir")
             .map(|e| e.expect("entry").path())
-            .filter(|p| p.extension().is_some_and(|e| e == "cert"))
+            .filter(|p| p.is_dir())
+            .flat_map(|shard| {
+                std::fs::read_dir(shard)
+                    .into_iter()
+                    .flatten()
+                    .map(|e| e.expect("entry").path())
+            })
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
             .collect();
-        certs.sort();
-        let victim = certs.get(skip).expect("enough certificates");
+        segments.sort();
+        let victim = segments.get(skip).expect("enough segments");
         let mut bytes = std::fs::read(victim).expect("readable");
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x40;
+        bytes[50] ^= 0x40;
         std::fs::write(victim, bytes).expect("writable");
     };
 
     let quarantine = dir.join(reflex_verify::QUARANTINE_DIR);
     let store = ProofStore::open(&dir).expect("store re-opens");
 
-    corrupt_one_cert(0);
+    corrupt_one_segment(0);
     let first = store.scrub(None).expect("first scrub");
     assert_eq!(first.quarantined.len(), 1);
     assert!(quarantine.join("report-0000.json").exists());
     assert!(quarantine.join("report.json").exists());
     let first_seq = std::fs::read(quarantine.join("report-0000.json")).expect("report 0");
 
-    corrupt_one_cert(0);
+    corrupt_one_segment(0);
     let second = store.scrub(None).expect("second scrub");
     assert_eq!(second.quarantined.len(), 1);
     assert!(
@@ -223,5 +231,81 @@ fn repeated_scrubs_keep_every_report() {
         std::fs::read(quarantine.join("report-0001.json")).expect("report 1"),
         "report.json mirrors the latest scrub"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Head records get the same torn-write discipline as certificate
+/// frames: a torn tmp write is surfaced by the pre-rename fsync, the
+/// save aborts, and no damaged head ever lands at the final path.
+#[test]
+fn head_save_aborts_on_torn_write_and_recovers() {
+    use reflex_ast::fingerprint::Fp;
+    use reflex_verify::StoreHead;
+
+    let dir = temp_store("head-torn");
+    let fs = FaultyFs::new(FsFaultPlan::Scripted(vec![(
+        FsOp::Write,
+        0,
+        FsFault::WriteTorn,
+    )]));
+    let store = ProofStore::open_with(&dir, Arc::new(fs.clone()) as Arc<dyn VerifyFs>)
+        .expect("store opens");
+    let head = StoreHead {
+        program: Fp(0xabc),
+        properties: vec![("safe".into(), Fp(1)), ("sound".into(), Fp(2))],
+    };
+
+    assert!(
+        store.save_head("car", Fp(7), &head).is_err(),
+        "the torn head write must be surfaced by the fsync"
+    );
+    assert_eq!(fs.injected(), 1, "exactly the scripted torn write fired");
+    assert!(store.io_errors() > 0, "the failed fsync is counted");
+    assert!(
+        store.load_head("car", Fp(7)).is_none(),
+        "no damaged head lands at the final path"
+    );
+
+    // The script is spent: a clean retry round-trips bit-exactly.
+    store.save_head("car", Fp(7), &head).expect("clean save");
+    let back = store.load_head("car", Fp(7)).expect("head round-trips");
+    assert_eq!(back.program, head.program);
+    assert_eq!(back.properties, head.properties);
+}
+
+/// A read-EIO plan makes `load_head` a counted miss, never an error or a
+/// wrong head; healing the fs serves the intact record again.
+#[test]
+fn head_load_treats_read_eio_as_a_counted_miss() {
+    use reflex_ast::fingerprint::Fp;
+    use reflex_verify::StoreHead;
+
+    let dir = temp_store("head-eio");
+    let head = StoreHead {
+        program: Fp(0xf00d),
+        properties: vec![("resp".into(), Fp(9))],
+    };
+    {
+        let store = ProofStore::open(&dir).expect("store opens");
+        store.save_head("car", Fp(7), &head).expect("saves");
+    }
+
+    // Every read faults: the head is a miss and the error is counted.
+    let plan: Vec<(FsOp, u64, FsFault)> =
+        (0..64).map(|i| (FsOp::Read, i, FsFault::ReadEio)).collect();
+    let fs = FaultyFs::new(FsFaultPlan::Scripted(plan));
+    let store = ProofStore::open_with(&dir, Arc::new(fs.clone()) as Arc<dyn VerifyFs>)
+        .expect("store opens under read faults");
+    assert!(
+        store.load_head("car", Fp(7)).is_none(),
+        "a faulted head read is a miss"
+    );
+    assert!(store.io_errors() > 0, "the read fault is counted");
+
+    // Healed, the record on disk is still whole.
+    fs.heal();
+    let back = store.load_head("car", Fp(7)).expect("head survives intact");
+    assert_eq!(back.program, head.program);
+    assert_eq!(back.properties, head.properties);
     let _ = std::fs::remove_dir_all(&dir);
 }

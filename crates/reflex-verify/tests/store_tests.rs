@@ -21,32 +21,50 @@ fn checked(name: &str, source: &str) -> CheckedProgram {
     check(&parse_program(name, source).expect("parses")).expect("checks")
 }
 
-/// Every `.cert` entry file in the store directory.
-fn cert_files(dir: &Path) -> Vec<PathBuf> {
-    let mut files: Vec<PathBuf> = fs::read_dir(dir)
-        .expect("store directory exists")
-        .map(|e| e.expect("readable entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "cert"))
-        .collect();
+/// Every segment log file across the store's shard directories.
+fn segment_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir).expect("store directory exists") {
+        let path = entry.expect("readable entry").path();
+        let shard = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("shard-"));
+        if path.is_dir() && shard {
+            for seg in fs::read_dir(&path).expect("readable shard") {
+                let seg = seg.expect("readable entry").path();
+                if seg.extension().is_some_and(|e| e == "log") {
+                    files.push(seg);
+                }
+            }
+        }
+    }
     files.sort();
-    assert!(!files.is_empty(), "store has certificate entries");
+    assert!(!files.is_empty(), "store has segment files");
     files
 }
 
-/// `file name -> bytes` for the whole store directory.
+/// `relative path -> bytes` for the whole store tree (shards included).
 fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
-    fs::read_dir(dir)
-        .expect("store directory exists")
-        .map(|e| {
-            let path = e.expect("readable entry").path();
-            let name = path
-                .file_name()
-                .and_then(|n| n.to_str())
-                .expect("utf-8 file name")
-                .to_owned();
-            (name, fs::read(&path).expect("readable file"))
-        })
-        .collect()
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("store directory exists") {
+            let path = entry.expect("readable entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("under root")
+                    .to_str()
+                    .expect("utf-8 path")
+                    .to_owned();
+                out.insert(rel, fs::read(&path).expect("readable file"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
 }
 
 #[test]
@@ -94,12 +112,13 @@ fn version_mismatch_degrades_to_a_miss() {
         let store = ProofStore::open(&dir).expect("store opens");
         verify_with_store(&program, &options, &store, 1).expect("verifies");
     }
-    // Bump the format version byte of every entry (frame layout: 4 bytes
-    // magic, then the version as u32 LE).
-    for path in cert_files(&dir) {
-        let mut bytes = fs::read(&path).expect("readable entry");
+    // Bump the format version byte of every segment's first frame (frame
+    // layout: 4 bytes magic, then the version as u32 LE). The open-time
+    // scan stops at the first invalid frame, darkening the whole segment.
+    for path in segment_files(&dir) {
+        let mut bytes = fs::read(&path).expect("readable segment");
         bytes[4] ^= 0x01;
-        fs::write(&path, &bytes).expect("writable entry");
+        fs::write(&path, &bytes).expect("writable segment");
     }
     let store = ProofStore::open(&dir).expect("store re-opens");
     let sr = verify_with_store(&program, &options, &store, 1).expect("still verifies");
@@ -118,16 +137,17 @@ fn truncated_and_corrupted_entries_degrade_to_misses() {
         let store = ProofStore::open(&dir).expect("store opens");
         verify_with_store(&program, &options, &store, 1).expect("verifies");
     }
-    // Mangle each entry a different way: truncate to half, truncate to
-    // zero, flip a payload byte — round-robin over the entries.
-    for (i, path) in cert_files(&dir).into_iter().enumerate() {
-        let mut bytes = fs::read(&path).expect("readable entry");
+    // Mangle each segment a different way, always hitting the *first*
+    // frame so the scan finds nothing live: truncate mid-header, truncate
+    // to zero, flip the first payload byte — round-robin over segments.
+    for (i, path) in segment_files(&dir).into_iter().enumerate() {
+        let mut bytes = fs::read(&path).expect("readable segment");
         match i % 3 {
-            0 => bytes.truncate(bytes.len() / 2),
+            0 => bytes.truncate(22),
             1 => bytes.clear(),
-            _ => *bytes.last_mut().expect("non-empty entry") ^= 0xFF,
+            _ => bytes[44] ^= 0xFF,
         }
-        fs::write(&path, &bytes).expect("writable entry");
+        fs::write(&path, &bytes).expect("writable segment");
     }
     let store = ProofStore::open(&dir).expect("store re-opens");
     let sr = verify_with_store(&program, &options, &store, 1).expect("still verifies");
@@ -175,4 +195,100 @@ fn parallel_and_serial_stores_are_bit_identical() {
     for (dir, _) in &snapshots {
         let _ = fs::remove_dir_all(dir);
     }
+}
+
+#[test]
+fn flat_stores_read_transparently_and_migrate_into_segments() {
+    let dir = temp_store("migrate");
+    let options = ProverOptions::default();
+    let program = checked("ssh", reflex_kernels::ssh::SOURCE);
+    let props = program.program().properties.len();
+    let fps = program.fingerprints();
+    let opts_fp = options.fingerprint();
+
+    // A "legacy" store: one flat `.cert` file per certificate, written in
+    // the pre-segment format.
+    let outcomes = reflex_verify::prove_all(&program, &options);
+    {
+        let store = ProofStore::open(&dir).expect("store opens");
+        for (name, outcome) in &outcomes {
+            let cert = outcome.certificate().expect("ssh proves");
+            let pfp = fps.property(name).expect("known property");
+            store
+                .write_flat_entry(fps.program, pfp, opts_fp, cert)
+                .expect("flat write");
+        }
+    }
+    let flat_names: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cert"))
+        .collect();
+    assert_eq!(flat_names.len(), props, "legacy layout on disk");
+
+    // Transparent reads: a fresh open indexes the flat entries and serves
+    // every certificate without rewriting anything.
+    let store = ProofStore::open(&dir).expect("store re-opens");
+    let stat = store.stat().expect("stat");
+    assert_eq!(stat.flat_entries, props);
+    assert_eq!(stat.entries, 0);
+    let sr = verify_with_store(&program, &options, &store, 1).expect("verifies");
+    assert_eq!(sr.loaded, props, "flat entries are served transparently");
+    assert_eq!(sr.report.reused.len(), props);
+
+    // Migration rewrites them into segments and removes the flat files;
+    // the live set is unchanged key-for-key and byte-for-byte.
+    let before = store.entries();
+    let report = store.migrate().expect("migrates");
+    assert_eq!(report.migrated, props, "every flat entry moved");
+    assert!(report.quarantined.is_empty(), "nothing was corrupt");
+    assert_eq!(store.entries(), before, "live set unchanged by migration");
+    for path in &flat_names {
+        assert!(!path.exists(), "{}: flat entry swept", path.display());
+    }
+    let stat = store.stat().expect("stat after migrate");
+    assert_eq!(stat.flat_entries, 0);
+    assert_eq!(stat.entries, props);
+    assert!(stat.segments >= 1, "live entries now live in segments");
+
+    // And a from-scratch open over the migrated layout still serves all.
+    let store = ProofStore::open(&dir).expect("store re-opens post-migration");
+    let sr = verify_with_store(&program, &options, &store, 1).expect("verifies");
+    assert_eq!(sr.loaded, props, "migrated entries serve on reopen");
+    assert_eq!(sr.report.reused.len(), props);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_drops_superseded_frames_and_keeps_the_live_set() {
+    let dir = temp_store("compact");
+    let options = ProverOptions::default();
+    let base = checked("browser", reflex_kernels::browser::SOURCE);
+    let edited_src = reflex_kernels::browser::SOURCE.replace(
+        "    if (host == sender.domain) {",
+        "    if (host == sender.domain && host != \"\") {",
+    );
+    let edited = checked("browser", &edited_src);
+
+    let store = ProofStore::open(&dir).expect("store opens");
+    verify_with_store(&base, &options, &store, 1).expect("prime");
+    verify_with_store(&edited, &options, &store, 1).expect("edit");
+
+    let before = store.entries();
+    let loaded_before = {
+        let sr = verify_with_store(&edited, &options, &store, 1).expect("warm");
+        sr.loaded
+    };
+    let report = store.compact(Some((&edited, &options))).expect("compacts");
+    assert!(report.quarantined.is_empty(), "nothing was corrupt");
+    assert_eq!(report.checker_rejected, 0);
+    assert_eq!(store.entries(), before, "compaction preserves the live set");
+
+    // Reopen: the compacted layout serves exactly what it served before.
+    let store = ProofStore::open(&dir).expect("store re-opens");
+    assert_eq!(store.entries(), before);
+    let sr = verify_with_store(&edited, &options, &store, 1).expect("verifies");
+    assert_eq!(sr.loaded, loaded_before);
+    assert_eq!(sr.report.reused.len(), edited.program().properties.len());
+    let _ = fs::remove_dir_all(&dir);
 }

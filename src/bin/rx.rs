@@ -14,8 +14,12 @@
 //! rx sim     swarm            fan a seed range across every scenario (CI)
 //! rx sim     replay FILE      re-execute a repro.json bit for bit
 //! rx store   scrub DIR [FILE] validate a proof store, quarantining bad entries
+//! rx store   compact DIR      rewrite live entries into fresh segments
+//! rx store   migrate DIR      fold a flat-layout store into segment logs
+//! rx store   stat DIR         entry/segment/shard counts and index cost
 //! rx gen     PRESET           emit a deterministic synthetic kernel
 //! rx bench   scale            prove the generated presets, report throughput
+//! rx bench   store            flat vs log-structured store throughput
 //! ```
 //!
 //! Every verifying subcommand is a thin adapter over
@@ -58,7 +62,7 @@ use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub DIR [FILE]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub|compact DIR [FILE] [--json]\n  rx store   migrate|stat DIR [--json]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n  rx bench   store [--entries N] [--lookups N] [--seed N] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -284,7 +288,7 @@ const SIM_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--scenario",
         value: Some("NAME"),
-        help: "chaos | watch | soak | scale-edits (swarm default: all)",
+        help: "chaos | watch | soak | scale-edits | compaction-race (swarm default: all)",
     },
     FlagSpec {
         name: "--seed",
@@ -356,6 +360,12 @@ const GEN_FLAGS: &[FlagSpec] = &[
     },
 ];
 
+const STORE_FLAGS: &[FlagSpec] = &[FlagSpec {
+    name: "--json",
+    value: None,
+    help: "print the stat/scrub report as JSON instead of text",
+}];
+
 const BENCH_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--seed",
@@ -375,7 +385,17 @@ const BENCH_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--json",
         value: None,
-        help: "also write BENCH_scale.json (baseline vs optimized rows)",
+        help: "also write BENCH_scale.json / BENCH_store.json",
+    },
+    FlagSpec {
+        name: "--entries",
+        value: Some("N"),
+        help: "bench store: certificates to write (default 100000)",
+    },
+    FlagSpec {
+        name: "--lookups",
+        value: Some("N"),
+        help: "bench store: warm lookups to time (default 200000)",
     },
 ];
 
@@ -442,8 +462,8 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "store",
-        synopsis: "scrub DIR [FILE]",
-        flags: NO_FLAGS,
+        synopsis: "scrub|compact|migrate|stat DIR [FILE]",
+        flags: STORE_FLAGS,
         run: cmd_store,
     },
     CommandSpec {
@@ -874,7 +894,12 @@ fn cmd_bench(parsed: &cli::Parsed) -> Result<(), CliError> {
     use reflex::bench::scale::{render_scale, render_scale_json, run_scale, PRESETS};
     match parsed.positional.as_slice() {
         [action] if action == "scale" => {}
-        _ => return Err(CliError::Usage("expected the `scale` operand".into())),
+        [action] if action == "store" => return cmd_bench_store(parsed),
+        _ => {
+            return Err(CliError::Usage(
+                "expected the `scale` or `store` operand".into(),
+            ))
+        }
     }
     let seed: u64 = parsed.get("--seed", 1).map_err(CliError::Usage)?;
     let jobs: usize = parsed.get("--jobs", 1).map_err(CliError::Usage)?;
@@ -893,6 +918,35 @@ fn cmd_bench(parsed: &cli::Parsed) -> Result<(), CliError> {
         std::fs::write("BENCH_scale.json", render_scale_json(&rows))
             .map_err(|e| CliError::Run(format!("BENCH_scale.json: {e}")))?;
         println!("wrote BENCH_scale.json");
+    }
+    Ok(())
+}
+
+/// `rx bench store [--entries N] [--lookups N] [--seed N] [--json]`: the
+/// proof-store stress bench — N synthetic certificates written to a
+/// flat-layout store and to the log-structured store, then timed for
+/// open, warm lookup and write throughput; with `--json`, also write
+/// `BENCH_store.json` pairing both layouts with their speedups.
+fn cmd_bench_store(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::bench::store::{
+        render_store, render_store_json, run_store_bench, StoreBenchConfig,
+    };
+    let cfg = StoreBenchConfig {
+        entries: parsed.get("--entries", 100_000).map_err(CliError::Usage)?,
+        lookups: parsed.get("--lookups", 200_000).map_err(CliError::Usage)?,
+        seed: parsed.get("--seed", 1).map_err(CliError::Usage)?,
+    };
+    if cfg.entries == 0 || cfg.lookups == 0 {
+        return Err(CliError::Usage(
+            "--entries and --lookups must be at least 1".into(),
+        ));
+    }
+    let bench = run_store_bench(&cfg).map_err(CliError::run)?;
+    print!("{}", render_store(&bench));
+    if parsed.is_set("--json") {
+        std::fs::write("BENCH_store.json", render_store_json(&bench))
+            .map_err(|e| CliError::Run(format!("BENCH_store.json: {e}")))?;
+        println!("wrote BENCH_store.json");
     }
     Ok(())
 }
@@ -926,7 +980,8 @@ fn cmd_sim(parsed: &cli::Parsed) -> Result<(), CliError> {
         .map(|label| {
             Scenario::parse(label).ok_or_else(|| {
                 CliError::Usage(format!(
-                    "unknown scenario `{label}` (expected chaos, watch, soak or scale-edits)"
+                    "unknown scenario `{label}` (expected chaos, watch, soak, \
+                     scale-edits or compaction-race)"
                 ))
             })
         })
@@ -1039,26 +1094,66 @@ fn cmd_sim(parsed: &cli::Parsed) -> Result<(), CliError> {
     }
 }
 
-/// `rx store scrub DIR [FILE]`: validate every framed entry of a proof
-/// store, quarantining corrupt or checker-rejected ones. With FILE, cert
-/// entries belonging to that kernel's current properties are additionally
-/// re-validated by the independent checker.
+/// `rx store scrub|compact|migrate|stat DIR [FILE]`: audit or reshape a
+/// proof store in place. `scrub` and `compact` are the same pass —
+/// rewrite live entries into fresh segments, drop superseded frames,
+/// quarantine corrupt ones; with FILE, entries belonging to that
+/// kernel's current properties are additionally re-validated by the
+/// independent checker. `migrate` folds a flat-layout store into the
+/// segmented layout (compaction without a kernel). `stat` reports entry,
+/// segment and shard counts, on-disk bytes, and the open-time index
+/// build cost, as text or `--json`.
 fn cmd_store(parsed: &cli::Parsed) -> Result<(), CliError> {
-    let (dir, file) = match parsed.positional.as_slice() {
-        [action, dir] if action == "scrub" => (dir.as_str(), None),
-        [action, dir, file] if action == "scrub" => (dir.as_str(), Some(file.as_str())),
-        _ => return Err(CliError::Usage("expected `scrub DIR [FILE]`".into())),
-    };
-    let checked = file.map(load).transpose()?;
-    let options = ProverOptions::default();
+    let (action, dir, file) =
+        match parsed.positional.as_slice() {
+            [action, dir] => (action.as_str(), dir.as_str(), None),
+            [action, dir, file] if action == "scrub" || action == "compact" => {
+                (action.as_str(), dir.as_str(), Some(file.as_str()))
+            }
+            _ => return Err(CliError::Usage(
+                "expected `scrub DIR [FILE]`, `compact DIR [FILE]`, `migrate DIR` or `stat DIR`"
+                    .into(),
+            )),
+        };
     let store =
         reflex::verify::ProofStore::open(dir).map_err(|e| CliError::Run(format!("{dir}: {e}")))?;
-    let report = store
-        .scrub(checked.as_ref().map(|c| (c, &options)))
-        .map_err(|e| CliError::Run(format!("{dir}: scrub failed: {e}")))?;
-    println!("{}", report.summary());
+    let report = match action {
+        "stat" => {
+            let stat = store
+                .stat()
+                .map_err(|e| CliError::Run(format!("{dir}: stat failed: {e}")))?;
+            if parsed.is_set("--json") {
+                print!("{}", stat.render_json());
+            } else {
+                print!("{}", stat.render_text());
+            }
+            return Ok(());
+        }
+        "scrub" | "compact" => {
+            let checked = file.map(load).transpose()?;
+            let options = ProverOptions::default();
+            store
+                .compact(checked.as_ref().map(|c| (c, &options)))
+                .map_err(|e| CliError::Run(format!("{dir}: {action} failed: {e}")))?
+        }
+        "migrate" => store
+            .migrate()
+            .map_err(|e| CliError::Run(format!("{dir}: migrate failed: {e}")))?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown action `{other}` (expected scrub, compact, migrate or stat)"
+            )))
+        }
+    };
+    if parsed.is_set("--json") {
+        print!("{}", report.render_json());
+    } else {
+        println!("{}", report.summary());
+    }
     if report.quarantined.is_empty() {
-        println!("{dir}: store is clean.");
+        if !parsed.is_set("--json") {
+            println!("{dir}: store is clean.");
+        }
         Ok(())
     } else {
         Err(CliError::Run(format!(

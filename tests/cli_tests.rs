@@ -235,20 +235,27 @@ fn store_scrub_quarantines_corrupt_entries() {
     let _ = std::fs::remove_dir_all(&dir);
     let dir_s = dir.to_str().expect("utf8");
 
-    // Populate the store, then bit-rot one certificate entry.
+    // Populate the store, then bit-rot one segment's first frame (offset
+    // 50 is inside its payload, breaking the integrity fingerprint).
     let (ok, stdout, _) = rx(&["verify", &kernel("car"), "--store", dir_s]);
     assert!(ok, "{stdout}");
-    let mut certs: Vec<_> = std::fs::read_dir(&dir)
+    let mut segments: Vec<_> = std::fs::read_dir(&dir)
         .expect("store exists")
         .map(|e| e.expect("entry").path())
-        .filter(|p| p.extension().is_some_and(|x| x == "cert"))
+        .filter(|p| p.is_dir())
+        .flat_map(|shard| {
+            std::fs::read_dir(shard)
+                .into_iter()
+                .flatten()
+                .map(|e| e.expect("entry").path())
+        })
+        .filter(|p| p.extension().is_some_and(|x| x == "log"))
         .collect();
-    certs.sort();
-    assert!(!certs.is_empty());
-    let victim = &certs[0];
+    segments.sort();
+    assert!(!segments.is_empty());
+    let victim = &segments[0];
     let mut bytes = std::fs::read(victim).expect("readable");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x01;
+    bytes[50] ^= 0x01;
     std::fs::write(victim, &bytes).expect("writable");
 
     // Scrub quarantines the damaged entry and exits nonzero.
