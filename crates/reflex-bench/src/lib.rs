@@ -24,6 +24,7 @@
 pub mod chaos;
 pub mod incr;
 pub mod scale;
+pub mod serve;
 pub mod soak;
 pub mod store;
 pub mod stress;

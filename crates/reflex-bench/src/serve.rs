@@ -1,0 +1,292 @@
+//! The `rx bench serve` load generator: closed-loop clients hammering
+//! an `rxd` daemon, measuring sustained request throughput and latency
+//! percentiles into `BENCH_serve.json`.
+//!
+//! Each simulated client is one real connection (unix socket or TCP)
+//! running `requests` verify requests back to back; latency is measured
+//! per request at the client, throughput over the whole storm. With no
+//! endpoint configured the bench boots its own in-process daemon on a
+//! scratch unix socket — the default CI smoke path — and tears it down
+//! (drain + store flush) afterwards. After the storm the daemon's own
+//! counters are fetched and the bench fails on any protocol error, so
+//! the CI gate is "the wire held up under load", not just "it was
+//! fast".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use reflex_service::{
+    serve, Client, Endpoint, Request, ServerConfig, ServiceConfig, ServiceCore, StatsSnapshot,
+};
+
+use crate::BenchError;
+
+/// Knobs for one serve storm.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Concurrent closed-loop clients (connections).
+    pub clients: usize,
+    /// Verify requests per client.
+    pub requests: usize,
+    /// Daemon to load; `None` boots an in-process one on a scratch
+    /// unix socket.
+    pub endpoint: Option<Endpoint>,
+    /// When booting in-process: prover threads per request.
+    pub jobs: usize,
+    /// When booting in-process: concurrent request executors
+    /// (0: one per CPU).
+    pub workers: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            clients: 8,
+            requests: 16,
+            endpoint: None,
+            jobs: 1,
+            workers: 0,
+        }
+    }
+}
+
+/// The storm's measurements.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// Requests that completed with every property proved.
+    pub completed: usize,
+    /// Whole-storm wall-clock, seconds.
+    pub wall_s: f64,
+    /// Sustained completed requests per second.
+    pub req_per_s: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// The daemon's counters after the storm.
+    pub stats: StatsSnapshot,
+}
+
+/// The sorted-latency percentile (nearest-rank on an inclusive index).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the storm (booting a scratch daemon if no endpoint is given)
+/// and gates on zero protocol errors and zero failed proofs.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBench, BenchError> {
+    if config.clients == 0 || config.requests == 0 {
+        return Err(BenchError(
+            "serve bench needs at least one client and one request".into(),
+        ));
+    }
+    // One scratch daemon per run when no endpoint was given.
+    let scratch = config.endpoint.is_none().then(|| {
+        let path = std::env::temp_dir().join(format!(
+            "rxd-bench-{}-{:x}.sock",
+            std::process::id(),
+            Instant::now().elapsed().as_nanos()
+        ));
+        path
+    });
+    let local = match &scratch {
+        Some(path) => {
+            let core = ServiceCore::start(ServiceConfig {
+                jobs: config.jobs,
+                workers: config.workers,
+                ..ServiceConfig::default()
+            })
+            .map_err(|e| BenchError(format!("service core: {e}")))?;
+            let handle = serve(
+                Arc::new(core),
+                &ServerConfig {
+                    unix: Some(path.clone()),
+                    tcp: None,
+                },
+            )
+            .map_err(|e| BenchError(format!("bind {}: {e}", path.display())))?;
+            Some(handle)
+        }
+        None => None,
+    };
+    let endpoint = match (&config.endpoint, &scratch) {
+        (Some(e), _) => e.clone(),
+        (None, Some(path)) => Endpoint::Unix(path.clone()),
+        (None, None) => unreachable!("scratch socket exists when no endpoint was given"),
+    };
+
+    let source = reflex_kernels::car::SOURCE;
+    let verify_request = || Request::Verify {
+        name: "car".to_owned(),
+        source: source.to_owned(),
+        property: None,
+        budget_ms: None,
+        budget_nodes: None,
+        want_events: false,
+    };
+
+    // Warm the shared caches once so the storm measures the resident
+    // service's steady state, which is the thing being benchmarked.
+    {
+        let mut warm =
+            Client::connect(&endpoint).map_err(|e| BenchError(format!("warmup connect: {e}")))?;
+        warm.verify(verify_request(), &mut |_| {})
+            .map_err(|e| BenchError(format!("warmup verify: {e}")))?;
+    }
+
+    let failed_props = AtomicU64::new(0);
+    let storm_start = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(config.clients * config.requests);
+    let results: Vec<Result<Vec<f64>, BenchError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let endpoint = endpoint.clone();
+                let failed_props = &failed_props;
+                scope.spawn(move || {
+                    let mut client = Client::connect(&endpoint)
+                        .map_err(|e| BenchError(format!("client {c} connect: {e}")))?;
+                    let mut lat = Vec::with_capacity(config.requests);
+                    for i in 0..config.requests {
+                        let start = Instant::now();
+                        let report = client
+                            .verify(verify_request(), &mut |_| {})
+                            .map_err(|e| BenchError(format!("client {c} request {i}: {e}")))?;
+                        lat.push(start.elapsed().as_secs_f64() * 1e3);
+                        failed_props.fetch_add(report.failures() as u64, Ordering::Relaxed);
+                    }
+                    Ok(lat)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(BenchError("client thread panicked".into())))
+            })
+            .collect()
+    });
+    let wall_s = storm_start.elapsed().as_secs_f64();
+    for result in results {
+        latencies_ms.extend(result?);
+    }
+
+    // The daemon's own verdict on the storm.
+    let stats = {
+        let mut probe =
+            Client::connect(&endpoint).map_err(|e| BenchError(format!("stats connect: {e}")))?;
+        probe
+            .stats()
+            .map_err(|e| BenchError(format!("stats: {e}")))?
+    };
+    if let Some(handle) = local {
+        handle.stop();
+        handle.core().shutdown();
+    }
+    if let Some(path) = &scratch {
+        let _ = std::fs::remove_file(path);
+    }
+
+    if failed_props.load(Ordering::Relaxed) > 0 {
+        return Err(BenchError(format!(
+            "{} propert(y/ies) failed to prove under load",
+            failed_props.load(Ordering::Relaxed)
+        )));
+    }
+    if stats.protocol_errors > 0 {
+        return Err(BenchError(format!(
+            "{} protocol error(s) under load",
+            stats.protocol_errors
+        )));
+    }
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let completed = latencies_ms.len();
+    Ok(ServeBench {
+        clients: config.clients,
+        requests_per_client: config.requests,
+        completed,
+        wall_s,
+        req_per_s: if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms: percentile(&latencies_ms, 95.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        stats,
+    })
+}
+
+/// Renders the storm as human-readable text.
+pub fn render_serve(b: &ServeBench) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "serve bench: {} client(s) x {} request(s) in {:.2} s",
+        b.clients, b.requests_per_client, b.wall_s
+    );
+    let _ = writeln!(s, "  sustained:   {:.1} req/s", b.req_per_s);
+    let _ = writeln!(
+        s,
+        "  latency:     p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms",
+        b.p50_ms, b.p95_ms, b.p99_ms
+    );
+    let _ = writeln!(
+        s,
+        "  server:      {} served, {} busy-rejected, {} protocol error(s), {} connection(s)",
+        b.stats.requests_served,
+        b.stats.rejected_busy,
+        b.stats.protocol_errors,
+        b.stats.connections
+    );
+    s
+}
+
+/// Renders the storm as the `BENCH_serve.json` document.
+pub fn render_serve_json(b: &ServeBench) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"clients\": {},\n",
+            "  \"requests_per_client\": {},\n",
+            "  \"completed\": {},\n",
+            "  \"wall_s\": {:.3},\n",
+            "  \"req_per_s\": {:.1},\n",
+            "  \"p50_ms\": {:.2},\n",
+            "  \"p95_ms\": {:.2},\n",
+            "  \"p99_ms\": {:.2},\n",
+            "  \"requests_served\": {},\n",
+            "  \"rejected_busy\": {},\n",
+            "  \"protocol_errors\": {},\n",
+            "  \"connections\": {}\n",
+            "}}\n"
+        ),
+        b.clients,
+        b.requests_per_client,
+        b.completed,
+        b.wall_s,
+        b.req_per_s,
+        b.p50_ms,
+        b.p95_ms,
+        b.p99_ms,
+        b.stats.requests_served,
+        b.stats.rejected_busy,
+        b.stats.protocol_errors,
+        b.stats.connections
+    )
+}

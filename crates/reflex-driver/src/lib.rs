@@ -464,6 +464,12 @@ pub struct VerifySession {
     property: Option<String>,
     /// Validate fresh certificates with the independent checker.
     check_certificates: bool,
+    /// Request-scoped prover options: the env's options with this
+    /// session's own budget installed. `None` means the env's options
+    /// (and env-wide budget, if any) apply unchanged. This is what lets a
+    /// long-lived service env run many concurrent request sessions, each
+    /// under its own budget.
+    options_override: Option<ProverOptions>,
 }
 
 impl VerifySession {
@@ -474,6 +480,7 @@ impl VerifySession {
             env: Arc::new(Env::new(&config)?),
             property,
             check_certificates: true,
+            options_override: None,
         })
     }
 
@@ -484,7 +491,30 @@ impl VerifySession {
             env,
             property: None,
             check_certificates: true,
+            options_override: None,
         }
+    }
+
+    /// A request-scoped session over a shared [`Env`] with its own
+    /// budget: the env's interner, caches and store are shared, but this
+    /// session's proof work ticks (and is cancelled) against `budget`
+    /// alone. Pass `None` to drop an env-wide budget for this request.
+    pub fn with_env_budget(env: Arc<Env>, budget: Option<Arc<ProofBudget>>) -> VerifySession {
+        let mut options = env.options.clone();
+        options.budget = budget;
+        VerifySession {
+            env,
+            property: None,
+            check_certificates: true,
+            options_override: Some(options),
+        }
+    }
+
+    /// Restricts the session to one property (the service core's
+    /// single-property requests).
+    pub fn with_property(mut self, property: Option<String>) -> VerifySession {
+        self.property = property;
+        self
     }
 
     /// The shared state (options, cache, store, budget).
@@ -492,10 +522,20 @@ impl VerifySession {
         &self.env
     }
 
+    /// The prover options this session actually runs under: the env's,
+    /// unless a request-scoped budget was installed.
+    fn options(&self) -> &ProverOptions {
+        self.options_override.as_ref().unwrap_or(&self.env.options)
+    }
+
     /// The session budget, for cooperative cancellation from another
-    /// thread ([`ProofBudget::cancel`]).
+    /// thread ([`ProofBudget::cancel`]). A request-scoped budget shadows
+    /// the env-wide one.
     pub fn budget(&self) -> Option<&Arc<ProofBudget>> {
-        self.env.budget.as_ref()
+        match &self.options_override {
+            Some(options) => options.budget.as_ref(),
+            None => self.env.budget.as_ref(),
+        }
     }
 
     /// Disables independent-checker validation of fresh certificates
@@ -589,7 +629,7 @@ impl VerifySession {
         sink: &dyn Instrument,
     ) -> Result<SessionReport, SessionError> {
         let env = &*self.env;
-        let options = &env.options;
+        let options = self.options();
         // One store snapshot per run: a concurrent detach (watch
         // degradation) must not split this run between two store states.
         let store = env.store();
@@ -796,7 +836,7 @@ impl VerifySession {
         sink: &dyn Instrument,
     ) -> Result<Vec<(String, Outcome, f64)>, SessionError> {
         let env = &*self.env;
-        let options = &env.options;
+        let options = self.options();
         let abs = Abstraction::build(checked, options);
         let names: Vec<String> = match &self.property {
             Some(p) => {

@@ -152,6 +152,37 @@ impl WatchSession {
         }
     }
 
+    /// A watch loop over an existing session — the service core's
+    /// in-process watch path, where the core's long-lived [`Env`] (not
+    /// this loop) owns the store. The loop only drives the retry /
+    /// degrade / re-attach policy around the env's store slot; it starts
+    /// degraded if `store_dir` is configured but the env has no store
+    /// attached.
+    ///
+    /// [`Env`]: crate::Env
+    pub fn over(
+        session: VerifySession,
+        store_dir: Option<String>,
+        store_fs: Option<Arc<dyn VerifyFs>>,
+        clock: Arc<dyn Clock>,
+    ) -> WatchSession {
+        let attached = session.env().has_store();
+        let io_errors_seen = session.env().store().map_or(0, |s| s.io_errors());
+        let degraded = store_dir.is_some() && !attached;
+        WatchSession {
+            session,
+            store_dir,
+            store_fs,
+            clock,
+            backoff: BackoffPolicy::default(),
+            degraded,
+            degraded_reason: degraded.then(|| "store not attached at startup".to_owned()),
+            io_errors_seen,
+            pending_retry: false,
+            previous: Vec::new(),
+        }
+    }
+
     /// Overrides the store retry/backoff policy (tests use tiny delays).
     pub fn with_backoff(mut self, backoff: BackoffPolicy) -> WatchSession {
         self.backoff = backoff;

@@ -1,0 +1,274 @@
+//! The thin client SDK: connect, handshake, one request at a time.
+//!
+//! [`Client`] is the library face of `rx client` (and of the re-routed
+//! local subcommands when they talk to a remote daemon): it speaks the
+//! frame protocol over a unix socket or TCP, streams back the
+//! [`EVENT`](crate::protocol::EVENT) frames of a running verify through
+//! a caller-supplied callback, and decodes the terminal reply into the
+//! same [`SessionReport`] a local run produces — so rendering code
+//! downstream cannot tell a daemon run from a one-shot run.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use reflex_driver::SessionReport;
+
+use crate::protocol::{
+    decode_error, decode_reply, decode_stats, encode_hello, encode_request, read_frame,
+    write_frame, Frame, ProtoError, Reply, Request, StatsSnapshot, ERROR, EVENT, HELLO, HELLO_OK,
+    REPLY, REQUEST, SHUTDOWN, SHUTDOWN_OK, STATS, STATS_REPLY,
+};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A unix socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7171`.
+    Tcp(String),
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or transporting frames failed.
+    Io(String),
+    /// The server broke protocol (unexpected frame, undecodable reply).
+    Protocol(String),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// The `ERR_*` code.
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "{e}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::Io(m) => ClientError::Io(m),
+            ProtoError::Closed => ClientError::Io("connection closed by server".into()),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+enum Transport {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.read(buf),
+            Transport::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Transport::Tcp(s) => s.write(buf),
+            Transport::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Transport::Tcp(s) => s.flush(),
+            Transport::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected, handshaken daemon client.
+pub struct Client {
+    stream: Transport,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("next_id", &self.next_id)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, ClientError> {
+        let stream = match endpoint {
+            Endpoint::Unix(path) => Transport::Unix(
+                UnixStream::connect(path)
+                    .map_err(|e| ClientError::Io(format!("{}: {e}", path.display())))?,
+            ),
+            Endpoint::Tcp(addr) => Transport::Tcp(
+                TcpStream::connect(addr).map_err(|e| ClientError::Io(format!("{addr}: {e}")))?,
+            ),
+        };
+        let mut client = Client { stream, next_id: 1 };
+        client.send(HELLO, 0, encode_hello())?;
+        let frame = client.read()?;
+        match frame.kind {
+            HELLO_OK => Ok(client),
+            ERROR => Err(remote_error(&frame)),
+            kind => Err(ClientError::Protocol(format!(
+                "expected hello-ok, got frame kind {kind}"
+            ))),
+        }
+    }
+
+    fn send(&mut self, kind: u8, request_id: u64, payload: Vec<u8>) -> Result<(), ClientError> {
+        write_frame(
+            &mut self.stream,
+            &Frame {
+                kind,
+                request_id,
+                payload,
+            },
+        )
+        .map_err(ClientError::from)
+    }
+
+    fn read(&mut self) -> Result<Frame, ClientError> {
+        read_frame(&mut self.stream).map_err(ClientError::from)
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Sends one request and collects its terminal reply, feeding any
+    /// streamed event JSON lines to `on_event` along the way.
+    fn roundtrip(
+        &mut self,
+        request: &Request,
+        on_event: &mut dyn FnMut(&str),
+    ) -> Result<Reply, ClientError> {
+        let id = self.fresh_id();
+        self.send(REQUEST, id, encode_request(request))?;
+        loop {
+            let frame = self.read()?;
+            if frame.request_id != id && frame.kind != ERROR {
+                return Err(ClientError::Protocol(format!(
+                    "reply for unknown request id {}",
+                    frame.request_id
+                )));
+            }
+            match frame.kind {
+                EVENT => {
+                    if let Ok(line) = std::str::from_utf8(&frame.payload) {
+                        on_event(line);
+                    }
+                }
+                REPLY => {
+                    return decode_reply(&frame.payload).ok_or_else(|| {
+                        ClientError::Protocol("reply payload did not decode".into())
+                    });
+                }
+                ERROR => return Err(remote_error(&frame)),
+                kind => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected frame kind {kind} mid-request"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Ping, &mut |_| {})? {
+            Reply::Pong => Ok(()),
+            _ => Err(ClientError::Protocol("expected pong".into())),
+        }
+    }
+
+    /// Parses and type-checks a kernel on the daemon.
+    pub fn check(
+        &mut self,
+        name: &str,
+        source: &str,
+    ) -> Result<crate::protocol::CheckSummary, ClientError> {
+        let request = Request::Check {
+            name: name.to_owned(),
+            source: source.to_owned(),
+        };
+        match self.roundtrip(&request, &mut |_| {})? {
+            Reply::Checked(summary) => Ok(summary),
+            _ => Err(ClientError::Protocol("expected check summary".into())),
+        }
+    }
+
+    /// Verifies a kernel on the daemon, streaming event JSON lines to
+    /// `on_event`, and returns the full report (certificates included).
+    pub fn verify(
+        &mut self,
+        request: Request,
+        on_event: &mut dyn FnMut(&str),
+    ) -> Result<SessionReport, ClientError> {
+        debug_assert!(matches!(request, Request::Verify { .. }));
+        match self.roundtrip(&request, on_event)? {
+            Reply::Verify(report) => Ok(*report),
+            _ => Err(ClientError::Protocol("expected verify report".into())),
+        }
+    }
+
+    /// Fetches the daemon's service counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let id = self.fresh_id();
+        self.send(STATS, id, Vec::new())?;
+        let frame = self.read()?;
+        match frame.kind {
+            STATS_REPLY => decode_stats(&frame.payload)
+                .ok_or_else(|| ClientError::Protocol("stats payload did not decode".into())),
+            ERROR => Err(remote_error(&frame)),
+            kind => Err(ClientError::Protocol(format!(
+                "expected stats reply, got frame kind {kind}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        self.send(SHUTDOWN, id, Vec::new())?;
+        let frame = self.read()?;
+        match frame.kind {
+            SHUTDOWN_OK => Ok(()),
+            ERROR => Err(remote_error(&frame)),
+            kind => Err(ClientError::Protocol(format!(
+                "expected shutdown-ok, got frame kind {kind}"
+            ))),
+        }
+    }
+}
+
+fn remote_error(frame: &Frame) -> ClientError {
+    match decode_error(&frame.payload) {
+        Some((code, message)) => ClientError::Remote { code, message },
+        None => ClientError::Protocol("error frame did not decode".into()),
+    }
+}

@@ -1,0 +1,535 @@
+//! The resident service core: one long-lived shared [`Env`] serving
+//! many request-scoped sessions.
+//!
+//! [`ServiceCore`] inverts the ownership model of the one-shot CLI:
+//! instead of every invocation building (and tearing down) its own
+//! interner traffic, proof caches and proof store, the core owns them
+//! once and multiplexes verify/check requests from many clients over
+//! them. Each request runs as its own [`VerifySession`] with a
+//! *request-scoped* budget (clamped to the server's per-client cap), so
+//! one client's deadline never cancels another's work, while all of
+//! them share the warm caches and the open log-structured store.
+//!
+//! # Fairness and backpressure
+//!
+//! Requests queue per client; worker threads pick the next job by
+//! round-robin over clients with pending work, so a client issuing
+//! thousands of requests cannot starve one issuing a single request —
+//! between two consecutive picks of any active client, every other
+//! active client is picked at most once. A client whose queue is full
+//! (the per-client cap) is refused immediately with
+//! [`ServiceError::Busy`] rather than buffered without bound; the
+//! client retries after its in-flight work drains.
+//!
+//! # Shutdown
+//!
+//! [`ServiceCore::shutdown`] closes intake, drains every queued job to
+//! its terminal reply, then group-commits the proof store
+//! ([`reflex_verify::ProofStore::flush`]) so no accepted certificate is
+//! lost. [`ServiceCore::abandon`] is the crash path the simulator uses:
+//! queued jobs are dropped with [`ServiceError::ShuttingDown`] and the
+//! store is *not* flushed — restarting against the same directory must
+//! still find every previously committed certificate.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use reflex_driver::{Env, Instrument, SessionConfig, SessionError, VerifySession, WatchSession};
+use reflex_verify::{Clock, ProofBudget, ProverOptions};
+
+use crate::protocol::{CheckSummary, Reply, Request, StatsSnapshot};
+
+/// Configuration for a [`ServiceCore`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Persist and reuse certificates through a proof store here.
+    pub store_dir: Option<String>,
+    /// Filesystem the store runs on (`None`: the real one; the
+    /// simulator injects a faulty one).
+    pub store_fs: Option<Arc<dyn reflex_verify::vfs::VerifyFs>>,
+    /// Prover worker threads *per request* (0: one per CPU).
+    pub jobs: usize,
+    /// Concurrent request executors (0: one per CPU). Sim scenarios use
+    /// 1 so the round-robin pick order is deterministic.
+    pub workers: usize,
+    /// Per-client pending-request cap; a submit beyond it is refused
+    /// with [`ServiceError::Busy`]. 0 means the default (16).
+    pub queue_cap: usize,
+    /// Upper bound any request's wall-clock budget is clamped to.
+    pub max_budget_ms: Option<u64>,
+    /// Upper bound any request's explored-path budget is clamped to.
+    pub max_budget_nodes: Option<u64>,
+    /// Clock behind request budgets (`None`: the machine's monotonic
+    /// clock; the simulator injects a virtual one).
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Record the scheduler's client pick order (fairness tests).
+    pub record_schedule: bool,
+}
+
+/// Why the service refused or failed a request.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The client's queue is full — backpressure, retry after in-flight
+    /// work drains.
+    Busy {
+        /// The refused client.
+        client: u64,
+    },
+    /// The core is shutting down and takes no new work.
+    ShuttingDown,
+    /// The request ran and failed (parse, typecheck, store…).
+    Session(SessionError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Busy { client } => {
+                write!(f, "client {client}: queue full, retry later")
+            }
+            ServiceError::ShuttingDown => write!(f, "service shutting down"),
+            ServiceError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A pending request's completion slot: the submitting thread blocks in
+/// [`Ticket::wait`] until a worker fills it.
+#[derive(Debug, Default)]
+pub struct Ticket {
+    slot: Mutex<Option<Result<Reply, ServiceError>>>,
+    done: Condvar,
+}
+
+impl Ticket {
+    /// Blocks until the request reaches its terminal reply.
+    pub fn wait(&self) -> Result<Reply, ServiceError> {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.done.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    fn fill(&self, result: Result<Reply, ServiceError>) {
+        let mut slot = self.slot.lock().expect("ticket poisoned");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// One queued unit of work.
+struct Job {
+    request: Request,
+    sink: Arc<dyn Instrument + Send>,
+    ticket: Arc<Ticket>,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("request", &self.request)
+            .finish()
+    }
+}
+
+/// Scheduler state: per-client FIFO queues plus the round-robin ring of
+/// clients with pending work.
+#[derive(Debug, Default)]
+struct SchedState {
+    queues: HashMap<u64, VecDeque<Job>>,
+    /// Clients with at least one queued job, in pick order. Invariant
+    /// (at lock release): `client ∈ ring ⟺ !queues[client].is_empty()`.
+    ring: VecDeque<u64>,
+    /// Accepting new submissions.
+    open: bool,
+    /// Drop queued jobs instead of draining them (the crash path).
+    aborting: bool,
+    /// Jobs currently executing on workers.
+    active: usize,
+    /// Recorded client pick order, when enabled.
+    schedule: Vec<u64>,
+}
+
+impl SchedState {
+    /// Pops the next job round-robin; re-queues the client at the back
+    /// of the ring if it still has pending work.
+    fn pop_next(&mut self, record: bool) -> Option<Job> {
+        let client = self.ring.pop_front()?;
+        let queue = self.queues.get_mut(&client)?;
+        let job = queue.pop_front()?;
+        if !queue.is_empty() {
+            self.ring.push_back(client);
+        }
+        if record {
+            self.schedule.push(client);
+        }
+        Some(job)
+    }
+
+    fn drained(&self) -> bool {
+        self.active == 0 && self.queues.values().all(VecDeque::is_empty)
+    }
+}
+
+/// Service-wide counters (shared with the [`crate::server`] layer,
+/// which owns the protocol-error and connection counts).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into a client queue.
+    pub requests_submitted: AtomicU64,
+    /// Requests executed to a terminal reply.
+    pub requests_served: AtomicU64,
+    /// Requests refused for backpressure.
+    pub rejected_busy: AtomicU64,
+    /// Frames that failed to decode, across all connections.
+    pub protocol_errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl ServiceStats {
+    /// A point-in-time copy, in wire form.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_submitted: self.requests_submitted.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Inner {
+    env: Arc<Env>,
+    clock: Arc<dyn Clock>,
+    /// Filesystem the store runs on, kept for the watch loop's
+    /// degraded-mode reopen probes.
+    store_fs: Option<Arc<dyn reflex_verify::vfs::VerifyFs>>,
+    queue_cap: usize,
+    max_budget_ms: Option<u64>,
+    max_budget_nodes: Option<u64>,
+    record_schedule: bool,
+    state: Mutex<SchedState>,
+    /// Woken on submit, job completion and shutdown; workers and the
+    /// draining shutdown both wait on it.
+    changed: Condvar,
+    stats: ServiceStats,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("queue_cap", &self.queue_cap)
+            .finish()
+    }
+}
+
+/// The resident verification service: a long-lived shared [`Env`] plus
+/// a fair, backpressured request scheduler (see the module docs).
+#[derive(Debug)]
+pub struct ServiceCore {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServiceCore {
+    /// Opens the store (if configured), builds the shared [`Env`] and
+    /// spawns the worker pool.
+    pub fn start(config: ServiceConfig) -> Result<ServiceCore, SessionError> {
+        let session_config = SessionConfig {
+            options: ProverOptions {
+                jobs: config.jobs,
+                ..ProverOptions::default()
+            },
+            jobs: config.jobs,
+            store_dir: config.store_dir.clone(),
+            store_fs: config.store_fs.clone(),
+            clock: config.clock.clone(),
+            ..SessionConfig::default()
+        };
+        let env = Arc::new(Env::new(&session_config)?);
+        let clock = config
+            .clock
+            .clone()
+            .unwrap_or_else(reflex_verify::RealClock::shared);
+        let inner = Arc::new(Inner {
+            env,
+            clock,
+            store_fs: config.store_fs.clone(),
+            queue_cap: if config.queue_cap == 0 {
+                16
+            } else {
+                config.queue_cap
+            },
+            max_budget_ms: config.max_budget_ms,
+            max_budget_nodes: config.max_budget_nodes,
+            record_schedule: config.record_schedule,
+            state: Mutex::new(SchedState {
+                open: true,
+                ..SchedState::default()
+            }),
+            changed: Condvar::new(),
+            stats: ServiceStats::default(),
+        });
+        let workers = reflex_verify::resolve_jobs(config.workers);
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Ok(ServiceCore {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// The shared environment (caches, store slot, job pool).
+    pub fn env(&self) -> &Arc<Env> {
+        &self.inner.env
+    }
+
+    /// The clock request budgets tick against.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// The service counters (shared with the socket server).
+    pub fn stats(&self) -> &ServiceStats {
+        &self.inner.stats
+    }
+
+    /// Enqueues a request for `client`, refusing with
+    /// [`ServiceError::Busy`] when the client's queue is at its cap.
+    /// Events stream into `sink` while the request runs; the returned
+    /// ticket blocks until the terminal reply.
+    pub fn submit(
+        &self,
+        client: u64,
+        request: Request,
+        sink: Arc<dyn Instrument + Send>,
+    ) -> Result<Arc<Ticket>, ServiceError> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("scheduler poisoned");
+        if !state.open {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let queue = state.queues.entry(client).or_default();
+        if queue.len() >= inner.queue_cap {
+            inner.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Busy { client });
+        }
+        let ticket = Arc::new(Ticket::default());
+        let was_empty = queue.is_empty();
+        queue.push_back(Job {
+            request,
+            sink,
+            ticket: Arc::clone(&ticket),
+        });
+        if was_empty {
+            state.ring.push_back(client);
+        }
+        inner
+            .stats
+            .requests_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        inner.changed.notify_all();
+        Ok(ticket)
+    }
+
+    /// Submits and waits: the blocking convenience the in-process CLI
+    /// path uses.
+    pub fn request(
+        &self,
+        client: u64,
+        request: Request,
+        sink: Arc<dyn Instrument + Send>,
+    ) -> Result<Reply, ServiceError> {
+        self.submit(client, request, sink)?.wait()
+    }
+
+    /// A watch loop over this core's shared env: the in-process
+    /// `rx watch` path. The loop drives the store retry/degrade/
+    /// re-attach policy around the env's store slot. The budget (clamped
+    /// to the per-client caps, like any request's) spans the whole loop,
+    /// exactly as the one-shot watch command's env-wide budget did.
+    pub fn watch(
+        &self,
+        store_dir: Option<String>,
+        budget_ms: Option<u64>,
+        budget_nodes: Option<u64>,
+    ) -> WatchSession {
+        let budget = request_budget(&self.inner, budget_ms, budget_nodes);
+        let session = match budget {
+            Some(_) => VerifySession::with_env_budget(Arc::clone(&self.inner.env), budget),
+            None => VerifySession::with_env(Arc::clone(&self.inner.env)),
+        };
+        WatchSession::over(
+            session,
+            store_dir,
+            self.inner.store_fs.clone(),
+            Arc::clone(&self.inner.clock),
+        )
+    }
+
+    /// The recorded client pick order (empty unless
+    /// [`ServiceConfig::record_schedule`] was set).
+    pub fn schedule(&self) -> Vec<u64> {
+        self.inner
+            .state
+            .lock()
+            .expect("scheduler poisoned")
+            .schedule
+            .clone()
+    }
+
+    /// Graceful shutdown: closes intake, drains every queued job to its
+    /// reply, joins the workers and group-commits the proof store.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("scheduler poisoned");
+            state.open = false;
+            while !state.drained() {
+                self.inner.changed.notify_all();
+                state = self.inner.changed.wait(state).expect("scheduler poisoned");
+            }
+        }
+        self.inner.changed.notify_all();
+        self.join_workers();
+        if let Some(store) = self.inner.env.store() {
+            // Shutdown must not lose group-buffered writes; an fsync
+            // error here is the store's to count, not ours to panic on.
+            let _ = store.flush();
+        }
+    }
+
+    /// Crash shutdown (the simulator's kill switch): closes intake,
+    /// drops queued jobs with [`ServiceError::ShuttingDown`], joins the
+    /// workers and deliberately skips the store flush.
+    pub fn abandon(&self) {
+        let dropped: Vec<Job> = {
+            let mut state = self.inner.state.lock().expect("scheduler poisoned");
+            state.open = false;
+            state.aborting = true;
+            state.ring.clear();
+            state.queues.values_mut().flat_map(std::mem::take).collect()
+        };
+        for job in dropped {
+            job.ticket.fill(Err(ServiceError::ShuttingDown));
+        }
+        self.inner.changed.notify_all();
+        self.join_workers();
+    }
+
+    fn join_workers(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("scheduler poisoned");
+            loop {
+                if state.aborting {
+                    return;
+                }
+                if let Some(job) = state.pop_next(inner.record_schedule) {
+                    state.active += 1;
+                    break job;
+                }
+                if !state.open {
+                    // Intake is closed and nothing is queued: drained.
+                    return;
+                }
+                state = inner.changed.wait(state).expect("scheduler poisoned");
+            }
+        };
+        let result = execute(inner, job.request, &*job.sink);
+        inner.stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        job.ticket.fill(result);
+        {
+            let mut state = inner.state.lock().expect("scheduler poisoned");
+            state.active -= 1;
+        }
+        inner.changed.notify_all();
+    }
+}
+
+/// Runs one request to its terminal reply.
+fn execute(inner: &Inner, request: Request, sink: &dyn Instrument) -> Result<Reply, ServiceError> {
+    match request {
+        Request::Ping => Ok(Reply::Pong),
+        Request::Check { name, source } => {
+            let program = reflex_parser::parse_program(&name, &source)
+                .map_err(|e| ServiceError::Session(SessionError::Parse(e.to_string())))?;
+            let checked = reflex_typeck::check(&program)
+                .map_err(|e| ServiceError::Session(SessionError::Typecheck(e.to_string())))?;
+            let p = checked.program();
+            Ok(Reply::Checked(CheckSummary {
+                program: p.name.clone(),
+                components: p.components.len() as u64,
+                messages: p.messages.len() as u64,
+                state_vars: p.state.len() as u64,
+                handlers: p.handlers.len() as u64,
+                properties: p.properties.len() as u64,
+            }))
+        }
+        Request::Verify {
+            name,
+            source,
+            property,
+            budget_ms,
+            budget_nodes,
+            want_events: _,
+        } => {
+            let budget = request_budget(inner, budget_ms, budget_nodes);
+            let session = VerifySession::with_env_budget(Arc::clone(&inner.env), budget)
+                .with_property(property);
+            let report = session
+                .verify_source(&name, &source, sink)
+                .map_err(ServiceError::Session)?;
+            Ok(Reply::Verify(Box::new(report)))
+        }
+    }
+}
+
+/// The request's effective budget: its own asks clamped to the
+/// per-client caps (a capped dimension applies even when the request
+/// asked for nothing).
+fn request_budget(
+    inner: &Inner,
+    budget_ms: Option<u64>,
+    budget_nodes: Option<u64>,
+) -> Option<Arc<ProofBudget>> {
+    let ms = clamp(budget_ms, inner.max_budget_ms);
+    let nodes = clamp(budget_nodes, inner.max_budget_nodes);
+    (ms.is_some() || nodes.is_some()).then(|| {
+        Arc::new(ProofBudget::new_with_clock(
+            Arc::clone(&inner.clock),
+            ms.map(Duration::from_millis),
+            nodes,
+        ))
+    })
+}
+
+fn clamp(requested: Option<u64>, cap: Option<u64>) -> Option<u64> {
+    match (requested, cap) {
+        (Some(r), Some(c)) => Some(r.min(c)),
+        (Some(r), None) => Some(r),
+        (None, cap) => cap,
+    }
+}

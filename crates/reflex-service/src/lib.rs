@@ -1,0 +1,34 @@
+//! Resident verification service: a long-lived shared environment
+//! behind a small wire protocol.
+//!
+//! The one-shot pipeline (`reflex-driver`) rebuilds its world — interned
+//! terms, proof caches, the open proof store — on every invocation and
+//! throws it away at exit. This crate inverts that ownership:
+//!
+//! * [`core`] — [`ServiceCore`](core::ServiceCore) owns one
+//!   [`Env`](reflex_driver::Env) for the life of the process and serves
+//!   verify/check requests as request-scoped sessions with per-client
+//!   budgets, round-robin fairness and queue-cap backpressure;
+//! * [`protocol`] — the length-prefixed frame protocol `rxd` speaks:
+//!   request ids, streamed instrument events, typed errors, and a
+//!   deterministic report codec whose certificates are byte-identical
+//!   to a local run's;
+//! * [`server`] — unix-socket and TCP front ends multiplexing many
+//!   client connections onto one core;
+//! * [`client`] — the thin SDK `rx client` (and the re-routed local
+//!   subcommands) build on.
+//!
+//! See DESIGN.md §6.12 for the architecture discussion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod core;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, Endpoint};
+pub use core::{ServiceConfig, ServiceCore, ServiceError, ServiceStats, Ticket};
+pub use protocol::{CheckSummary, Reply, Request, StatsSnapshot};
+pub use server::{serve, ServerConfig, ServerHandle};

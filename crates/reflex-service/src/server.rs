@@ -1,0 +1,513 @@
+//! The `rxd` socket server: unix-socket and TCP front ends over one
+//! shared [`ServiceCore`].
+//!
+//! Each accepted connection gets its own thread and its own client id
+//! (so per-client queueing, budgets and fairness apply per connection).
+//! A connection is a strict request/reply conversation: after the
+//! version handshake the client sends one frame at a time and the
+//! server answers it — streamed [`EVENT`](crate::protocol::EVENT)
+//! frames first (written by core worker threads through a shared,
+//! locked write half while the request runs), then exactly one terminal
+//! frame. Concurrency comes from connections, not pipelining: eight
+//! clients are eight sockets, which is exactly how the load generator
+//! and the acceptance tests drive it.
+//!
+//! Malformed input is answered, counted and dropped — never panicked
+//! on: a frame that fails to decode gets a typed
+//! [`ERROR`](crate::protocol::ERROR) frame, bumps
+//! [`ServiceStats::protocol_errors`] and closes the connection.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use reflex_driver::{Event, Instrument, NullSink};
+
+use crate::core::{ServiceCore, ServiceError, ServiceStats};
+use crate::protocol::{
+    decode_hello, decode_request, encode_error, encode_reply, encode_stats, read_frame,
+    write_frame, Frame, ProtoError, ERROR, ERR_BUSY, ERR_MALFORMED, ERR_OVERSIZED, ERR_REQUEST,
+    ERR_SHUTDOWN, ERR_VERSION, EVENT, HELLO, HELLO_OK, REPLY, REQUEST, SHUTDOWN, SHUTDOWN_OK,
+    STATS, STATS_REPLY, VERSION,
+};
+
+/// Where the server listens. At least one of the two must be set.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Unix-socket path (a stale socket file is replaced).
+    pub unix: Option<PathBuf>,
+    /// TCP bind address, e.g. `127.0.0.1:7171` (port 0 picks a free
+    /// port, reported by [`ServerHandle::tcp_addr`]).
+    pub tcp: Option<String>,
+}
+
+/// One live transport stream (both halves).
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+        }
+    }
+
+    fn close(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// Forwards session events as [`EVENT`] frames through the connection's
+/// shared write half, tagged with the request they belong to.
+struct FrameSink {
+    writer: Arc<Mutex<Stream>>,
+    request_id: u64,
+}
+
+impl Instrument for FrameSink {
+    fn event(&self, event: &Event) {
+        let frame = Frame {
+            kind: EVENT,
+            request_id: self.request_id,
+            payload: event.to_json().into_bytes(),
+        };
+        if let Ok(mut w) = self.writer.lock() {
+            // A client that stopped reading mid-stream is its own
+            // problem; the reply path will surface the broken pipe.
+            let _ = write_frame(&mut *w, &frame);
+        }
+    }
+}
+
+/// A running server: its listeners, connection threads and shutdown
+/// switchboard.
+#[derive(Debug)]
+pub struct ServerHandle {
+    core: Arc<ServiceCore>,
+    /// Tells accept loops and connections to wind down.
+    stop: Arc<AtomicBool>,
+    /// Set when a client asked the daemon to shut down.
+    shutdown_requested: Arc<AtomicBool>,
+    accept_threads: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<Shared>,
+    /// The unix socket path actually bound, if any.
+    pub unix_path: Option<PathBuf>,
+    /// The TCP address actually bound, if any (resolves port 0).
+    pub tcp_addr: Option<SocketAddr>,
+}
+
+/// State shared by every accept loop and connection thread.
+struct Shared {
+    core: Arc<ServiceCore>,
+    stop: Arc<AtomicBool>,
+    shutdown_requested: Arc<AtomicBool>,
+    next_client: AtomicU64,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Read-half clones of live connections, closed on stop to unblock
+    /// their reader threads.
+    conns: Mutex<Vec<Stream>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish()
+    }
+}
+
+/// Binds the configured listeners and starts serving `core`.
+pub fn serve(core: Arc<ServiceCore>, config: &ServerConfig) -> io::Result<ServerHandle> {
+    if config.unix.is_none() && config.tcp.is_none() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "server needs a unix socket path or a tcp address",
+        ));
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let shutdown_requested = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        core: Arc::clone(&core),
+        stop: Arc::clone(&stop),
+        shutdown_requested: Arc::clone(&shutdown_requested),
+        next_client: AtomicU64::new(1),
+        conn_threads: Mutex::new(Vec::new()),
+        conns: Mutex::new(Vec::new()),
+    });
+    let mut accept_threads = Vec::new();
+    let mut unix_path = None;
+    if let Some(path) = &config.unix {
+        // A previous daemon's stale socket file would make bind fail;
+        // replacing it is the standard unix-daemon move.
+        if path.exists() {
+            let _ = std::fs::remove_file(path);
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        unix_path = Some(path.clone());
+        let shared = Arc::clone(&shared);
+        accept_threads.push(std::thread::spawn(move || {
+            accept_loop(&shared, || listener.accept().map(|(s, _)| Stream::Unix(s)));
+        }));
+    }
+    let mut tcp_addr = None;
+    if let Some(addr) = &config.tcp {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        tcp_addr = Some(listener.local_addr()?);
+        let shared = Arc::clone(&shared);
+        accept_threads.push(std::thread::spawn(move || {
+            accept_loop(&shared, || listener.accept().map(|(s, _)| Stream::Tcp(s)));
+        }));
+    }
+    Ok(ServerHandle {
+        core,
+        stop,
+        shutdown_requested,
+        accept_threads: Mutex::new(accept_threads),
+        shared,
+        unix_path,
+        tcp_addr,
+    })
+}
+
+impl ServerHandle {
+    /// Whether a client has requested daemon shutdown.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until a client requests shutdown (the `rxd` main loop).
+    pub fn wait_for_shutdown(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// The core this server fronts.
+    pub fn core(&self) -> &Arc<ServiceCore> {
+        &self.core
+    }
+
+    /// Stops accepting, closes live connections, joins every server
+    /// thread and removes the unix socket file. The core itself is left
+    /// running — call [`ServiceCore::shutdown`] after this to drain and
+    /// flush.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for handle in std::mem::take(&mut *self.accept_threads.lock().expect("accept poisoned")) {
+            let _ = handle.join();
+        }
+        for conn in std::mem::take(&mut *self.shared.conns.lock().expect("conns poisoned")) {
+            conn.close();
+        }
+        for handle in
+            std::mem::take(&mut *self.shared.conn_threads.lock().expect("threads poisoned"))
+        {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Polls a nonblocking listener until told to stop, spawning one thread
+/// per accepted connection.
+fn accept_loop(shared: &Arc<Shared>, mut accept: impl FnMut() -> io::Result<Stream>) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match accept() {
+            Ok(stream) => {
+                shared
+                    .core
+                    .stats()
+                    .connections
+                    .fetch_add(1, Ordering::Relaxed);
+                let client = shared.next_client.fetch_add(1, Ordering::Relaxed);
+                if let Ok(reader_clone) = stream.try_clone() {
+                    shared
+                        .conns
+                        .lock()
+                        .expect("conns poisoned")
+                        .push(reader_clone);
+                }
+                let shared2 = Arc::clone(shared);
+                let handle = std::thread::spawn(move || {
+                    let mut stream = stream;
+                    handle_connection(&shared2, &mut stream, client);
+                    // The clone parked in `conns` (for stop()) keeps the
+                    // descriptor alive; shut the socket down so the peer
+                    // sees the close the moment this connection ends.
+                    stream.close();
+                });
+                shared
+                    .conn_threads
+                    .lock()
+                    .expect("threads poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Listener trouble (shutdown race, transient accept
+                // failure): back off and re-check the stop flag.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Sends an [`ERROR`] frame (best-effort) and bumps the protocol-error
+/// counter when `count` is set.
+fn send_error(
+    writer: &Arc<Mutex<Stream>>,
+    stats: &ServiceStats,
+    request_id: u64,
+    code: u16,
+    message: &str,
+    count: bool,
+) {
+    if count {
+        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Ok(mut w) = writer.lock() {
+        let _ = write_frame(
+            &mut *w,
+            &Frame {
+                kind: ERROR,
+                request_id,
+                payload: encode_error(code, message),
+            },
+        );
+    }
+}
+
+fn send_frame(writer: &Arc<Mutex<Stream>>, kind: u8, request_id: u64, payload: Vec<u8>) {
+    if let Ok(mut w) = writer.lock() {
+        let _ = write_frame(
+            &mut *w,
+            &Frame {
+                kind,
+                request_id,
+                payload,
+            },
+        );
+    }
+}
+
+/// Runs one connection to completion: handshake, then the
+/// request/reply loop. Every exit path is a clean close; nothing in
+/// here panics on hostile input.
+fn handle_connection(shared: &Arc<Shared>, reader: &mut Stream, client: u64) {
+    let stats = shared.core.stats();
+    let writer = match reader.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+
+    // ---- Handshake ------------------------------------------------------
+    match read_frame(reader) {
+        Ok(frame) if frame.kind == HELLO => match decode_hello(&frame.payload) {
+            Some(version) if version == VERSION => {
+                let mut e = crate::protocol::Enc::new();
+                e.u16(VERSION);
+                send_frame(&writer, HELLO_OK, frame.request_id, e.buf);
+            }
+            Some(version) => {
+                send_error(
+                    &writer,
+                    stats,
+                    frame.request_id,
+                    ERR_VERSION,
+                    &format!("unsupported protocol version {version} (server speaks {VERSION})"),
+                    true,
+                );
+                return;
+            }
+            None => {
+                send_error(
+                    &writer,
+                    stats,
+                    frame.request_id,
+                    ERR_VERSION,
+                    "bad hello payload",
+                    true,
+                );
+                return;
+            }
+        },
+        Ok(frame) => {
+            send_error(
+                &writer,
+                stats,
+                frame.request_id,
+                ERR_MALFORMED,
+                "expected hello frame first",
+                true,
+            );
+            return;
+        }
+        Err(e) => {
+            report_read_error(&writer, stats, &e);
+            return;
+        }
+    }
+
+    // ---- Request loop ---------------------------------------------------
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let frame = match read_frame(reader) {
+            Ok(frame) => frame,
+            Err(e) => {
+                report_read_error(&writer, stats, &e);
+                return;
+            }
+        };
+        match frame.kind {
+            REQUEST => {
+                let Some(request) = decode_request(&frame.payload) else {
+                    send_error(
+                        &writer,
+                        stats,
+                        frame.request_id,
+                        ERR_MALFORMED,
+                        "request payload did not decode",
+                        true,
+                    );
+                    return;
+                };
+                let want_events = matches!(
+                    request,
+                    crate::protocol::Request::Verify {
+                        want_events: true,
+                        ..
+                    }
+                );
+                let sink: Arc<dyn Instrument + Send> = if want_events {
+                    Arc::new(FrameSink {
+                        writer: Arc::clone(&writer),
+                        request_id: frame.request_id,
+                    })
+                } else {
+                    Arc::new(NullSink)
+                };
+                match shared.core.submit(client, request, sink) {
+                    Ok(ticket) => match ticket.wait() {
+                        Ok(reply) => {
+                            send_frame(&writer, REPLY, frame.request_id, encode_reply(&reply));
+                        }
+                        Err(e) => {
+                            let code = error_code(&e);
+                            send_error(
+                                &writer,
+                                stats,
+                                frame.request_id,
+                                code,
+                                &e.to_string(),
+                                false,
+                            );
+                        }
+                    },
+                    Err(e) => {
+                        let code = error_code(&e);
+                        send_error(
+                            &writer,
+                            stats,
+                            frame.request_id,
+                            code,
+                            &e.to_string(),
+                            false,
+                        );
+                    }
+                }
+            }
+            STATS => {
+                send_frame(
+                    &writer,
+                    STATS_REPLY,
+                    frame.request_id,
+                    encode_stats(&stats.snapshot()),
+                );
+            }
+            SHUTDOWN => {
+                send_frame(&writer, SHUTDOWN_OK, frame.request_id, Vec::new());
+                shared.shutdown_requested.store(true, Ordering::Relaxed);
+                return;
+            }
+            _ => {
+                send_error(
+                    &writer,
+                    stats,
+                    frame.request_id,
+                    ERR_MALFORMED,
+                    &format!("unknown frame kind {}", frame.kind),
+                    true,
+                );
+                return;
+            }
+        }
+    }
+}
+
+fn error_code(e: &ServiceError) -> u16 {
+    match e {
+        ServiceError::Busy { .. } => ERR_BUSY,
+        ServiceError::ShuttingDown => ERR_SHUTDOWN,
+        ServiceError::Session(_) => ERR_REQUEST,
+    }
+}
+
+/// Classifies a failed read: hostile frames get a typed error reply and
+/// count as protocol errors; a peer that just went away does not.
+fn report_read_error(writer: &Arc<Mutex<Stream>>, stats: &ServiceStats, e: &ProtoError) {
+    match e {
+        ProtoError::Oversized { .. } => {
+            send_error(writer, stats, 0, ERR_OVERSIZED, &e.to_string(), true);
+        }
+        ProtoError::Malformed(_) => {
+            send_error(writer, stats, 0, ERR_MALFORMED, &e.to_string(), true);
+        }
+        ProtoError::Closed | ProtoError::Io(_) => {}
+    }
+}

@@ -1,0 +1,410 @@
+//! Service-core and daemon tests: backpressure, fairness, budget
+//! clamps, shutdown draining, the ≥8-concurrent-clients acceptance run
+//! over unix socket AND TCP with daemon certificates byte-identical to
+//! a one-shot session, and hostile raw-socket input answered with typed
+//! protocol errors while the server stays up.
+
+use std::collections::BTreeMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+use reflex_driver::{Event, Instrument, NullSink, SessionConfig, VerifySession};
+use reflex_kernels::car;
+use reflex_service::protocol::{
+    read_frame, write_frame, Frame, ProtoError, ERROR, ERR_MALFORMED, ERR_OVERSIZED, MAX_FRAME,
+    REQUEST,
+};
+use reflex_service::{
+    serve, Client, Endpoint, Reply, Request, ServerConfig, ServiceConfig, ServiceCore, ServiceError,
+};
+use reflex_verify::{certificate_to_bytes, Outcome};
+
+/// A sink whose first event parks its worker until the test opens the
+/// gate — the deterministic way to hold the single executor mid-request
+/// while the test lines up queue state behind it.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<(bool, bool)>, // (open, entered)
+    cv: Condvar,
+}
+
+impl Gate {
+    fn wait_entered(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        while !s.1 {
+            s = self.cv.wait(s).expect("gate poisoned");
+        }
+    }
+
+    fn open(&self) {
+        self.state.lock().expect("gate poisoned").0 = true;
+        self.cv.notify_all();
+    }
+}
+
+struct GateSink(Arc<Gate>);
+
+impl Instrument for GateSink {
+    fn event(&self, _event: &Event) {
+        let mut s = self.0.state.lock().expect("gate poisoned");
+        s.1 = true;
+        self.0.cv.notify_all();
+        while !s.0 {
+            s = self.0.cv.wait(s).expect("gate poisoned");
+        }
+    }
+}
+
+fn single_worker_core(config: ServiceConfig) -> ServiceCore {
+    ServiceCore::start(ServiceConfig {
+        jobs: 1,
+        workers: 1,
+        ..config
+    })
+    .expect("core starts")
+}
+
+fn car_verify() -> Request {
+    Request::Verify {
+        name: "car".into(),
+        source: car::SOURCE.to_owned(),
+        property: None,
+        budget_ms: None,
+        budget_nodes: None,
+        want_events: false,
+    }
+}
+
+fn hold_worker(core: &ServiceCore) -> (Arc<Gate>, Arc<reflex_service::Ticket>) {
+    let gate = Arc::new(Gate::default());
+    let held = core
+        .submit(0, car_verify(), Arc::new(GateSink(Arc::clone(&gate))))
+        .expect("the held request submits");
+    // Once the sink has fired, the worker has *popped* the job: client
+    // 0's queue is empty again and the executor is pinned.
+    gate.wait_entered();
+    (gate, held)
+}
+
+/// With `queue_cap = 1` and the only worker pinned, a client gets
+/// exactly one queued slot; the next submit is refused with
+/// [`ServiceError::Busy`] and counted.
+#[test]
+fn backpressure_refuses_past_the_queue_cap() {
+    let core = single_worker_core(ServiceConfig {
+        queue_cap: 1,
+        ..ServiceConfig::default()
+    });
+    let (gate, held) = hold_worker(&core);
+
+    let queued = core
+        .submit(0, Request::Ping, Arc::new(NullSink))
+        .expect("one queued request fits the cap");
+    match core.submit(0, Request::Ping, Arc::new(NullSink)) {
+        Err(ServiceError::Busy { client }) => assert_eq!(client, 0),
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // Backpressure is per client: another client still gets its slot.
+    let other = core
+        .submit(1, Request::Ping, Arc::new(NullSink))
+        .expect("a different client is not throttled");
+
+    assert_eq!(core.stats().rejected_busy.load(Ordering::Relaxed), 1);
+
+    gate.open();
+    assert!(matches!(held.wait(), Ok(Reply::Verify(_))));
+    assert!(matches!(queued.wait(), Ok(Reply::Pong)));
+    assert!(matches!(other.wait(), Ok(Reply::Pong)));
+    core.shutdown();
+    assert_eq!(core.stats().requests_served.load(Ordering::Relaxed), 3);
+}
+
+/// Fairness: a client with a burst queued cannot starve later arrivals.
+/// The recorded pick order must interleave round-robin, not drain the
+/// burst first.
+#[test]
+fn scheduler_round_robins_across_clients() {
+    let core = single_worker_core(ServiceConfig {
+        record_schedule: true,
+        ..ServiceConfig::default()
+    });
+    let (gate, held) = hold_worker(&core);
+
+    // Client 1 bursts two requests; clients 2 and 3 arrive after.
+    let tickets: Vec<_> = [1u64, 1, 2, 3]
+        .into_iter()
+        .map(|client| {
+            core.submit(client, Request::Ping, Arc::new(NullSink))
+                .expect("queued")
+        })
+        .collect();
+
+    gate.open();
+    held.wait().expect("held request completes");
+    for ticket in tickets {
+        assert!(matches!(ticket.wait(), Ok(Reply::Pong)));
+    }
+    core.shutdown();
+
+    // Pick 0 is the held request (client 0). The burst's second request
+    // must wait for clients 2 and 3 despite arriving before them.
+    assert_eq!(core.schedule(), vec![0, 1, 2, 3, 1]);
+}
+
+/// The per-core budget cap clamps every request: with a 0 ms ceiling no
+/// proof search gets to run, and every property lands on `Timeout` —
+/// never a hang, never a panic.
+#[test]
+fn budget_cap_clamps_every_request() {
+    let core = single_worker_core(ServiceConfig {
+        max_budget_ms: Some(0),
+        ..ServiceConfig::default()
+    });
+    let reply = core
+        .request(0, car_verify(), Arc::new(NullSink))
+        .expect("the request itself succeeds");
+    let Reply::Verify(report) = reply else {
+        panic!("verify reply expected");
+    };
+    assert!(!report.outcomes.is_empty());
+    assert_eq!(report.proved(), 0);
+    for (name, outcome) in &report.outcomes {
+        assert!(
+            matches!(outcome, Outcome::Timeout(_)),
+            "{name}: a zero budget must time out, got a different outcome"
+        );
+    }
+    core.shutdown();
+}
+
+/// Graceful shutdown closes intake immediately but drains what was
+/// already accepted: every queued ticket resolves with its real reply.
+#[test]
+fn shutdown_drains_queued_requests() {
+    let core = Arc::new(single_worker_core(ServiceConfig::default()));
+    let (gate, held) = hold_worker(&core);
+
+    let queued: Vec<_> = (1u64..=3)
+        .map(|client| {
+            core.submit(client, Request::Ping, Arc::new(NullSink))
+                .expect("queued")
+        })
+        .collect();
+
+    let closer = {
+        let core = Arc::clone(&core);
+        std::thread::spawn(move || core.shutdown())
+    };
+    // Intake closes as soon as the shutdown thread takes the lock; only
+    // then does the gate open, so the drain provably covers the queue.
+    // Submits that race in before the close are legitimate accepts —
+    // they must drain too, so keep their tickets and check them below.
+    let mut raced_in = Vec::new();
+    loop {
+        match core.submit(7, Request::Ping, Arc::new(NullSink)) {
+            Err(ServiceError::ShuttingDown) => break,
+            Ok(ticket) => raced_in.push(ticket),
+            Err(other) => panic!("unexpected submit error: {other:?}"),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    gate.open();
+    closer.join().expect("shutdown thread joins");
+
+    assert!(matches!(held.wait(), Ok(Reply::Verify(_))));
+    for ticket in queued.into_iter().chain(raced_in) {
+        assert!(matches!(ticket.wait(), Ok(Reply::Pong)));
+    }
+    assert!(matches!(
+        core.submit(0, Request::Ping, Arc::new(NullSink)),
+        Err(ServiceError::ShuttingDown)
+    ));
+}
+
+fn baseline_certificates() -> BTreeMap<String, Vec<u8>> {
+    let report = VerifySession::new(SessionConfig {
+        jobs: 1,
+        ..SessionConfig::default()
+    })
+    .expect("session opens")
+    .verify_checked(&car::checked(), &NullSink)
+    .expect("car verifies");
+    let mut map = BTreeMap::new();
+    for (name, outcome) in &report.outcomes {
+        let cert = outcome
+            .certificate()
+            .expect("every car property proves one-shot");
+        map.insert(name.clone(), certificate_to_bytes(cert));
+    }
+    assert!(!map.is_empty());
+    map
+}
+
+fn temp_socket_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rxd-test-{tag}-{}.sock", std::process::id()))
+}
+
+/// The acceptance run: one daemon, both transports, eight concurrent
+/// clients — and every certificate that comes back over the wire is
+/// byte-identical to the one-shot session's.
+#[test]
+fn eight_concurrent_clients_get_oneshot_identical_certificates() {
+    let baseline = Arc::new(baseline_certificates());
+    let core = Arc::new(
+        ServiceCore::start(ServiceConfig {
+            jobs: 1,
+            workers: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("core starts"),
+    );
+    let socket = temp_socket_path("accept");
+    let handle = serve(
+        Arc::clone(&core),
+        &ServerConfig {
+            unix: Some(socket.clone()),
+            tcp: Some("127.0.0.1:0".into()),
+        },
+    )
+    .expect("server binds");
+    let tcp_addr = handle.tcp_addr.expect("tcp bound");
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            let endpoint = if i % 2 == 0 {
+                Endpoint::Unix(socket.clone())
+            } else {
+                Endpoint::Tcp(tcp_addr.to_string())
+            };
+            let baseline = Arc::clone(&baseline);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint).expect("client connects");
+                client.ping().expect("ping");
+                let report = client
+                    .verify(car_verify(), &mut |_| {})
+                    .expect("remote verify");
+                assert_eq!(report.outcomes.len(), baseline.len());
+                for (name, outcome) in &report.outcomes {
+                    let cert = outcome.certificate().unwrap_or_else(|| {
+                        panic!("{name}: daemon failed to prove what one-shot proved")
+                    });
+                    assert_eq!(
+                        &certificate_to_bytes(cert),
+                        baseline.get(name).expect("known property"),
+                        "{name}: daemon certificate differs from the one-shot bytes"
+                    );
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread succeeds");
+    }
+
+    let stats = core.stats().snapshot();
+    assert!(stats.connections >= 8, "stats: {stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "stats: {stats:?}");
+    assert_eq!(stats.rejected_busy, 0, "stats: {stats:?}");
+
+    handle.stop();
+    core.shutdown();
+    let _ = std::fs::remove_file(&socket);
+}
+
+fn hostile_connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connects");
+    // A server regression must fail the test, not hang it.
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .expect("timeout set");
+    stream
+}
+
+fn read_error_frame(stream: &mut TcpStream) -> Frame {
+    let frame = read_frame(stream).expect("server answers before closing");
+    assert_eq!(frame.kind, ERROR, "expected a typed error frame");
+    frame
+}
+
+/// Hostile bytes on a raw socket: the server answers with a typed
+/// ERROR frame, counts it, closes that connection — and keeps serving
+/// well-behaved clients.
+#[test]
+fn hostile_frames_get_typed_errors_and_the_server_survives() {
+    let core = Arc::new(
+        ServiceCore::start(ServiceConfig {
+            jobs: 1,
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .expect("core starts"),
+    );
+    let handle = serve(
+        Arc::clone(&core),
+        &ServerConfig {
+            unix: None,
+            tcp: Some("127.0.0.1:0".into()),
+        },
+    )
+    .expect("server binds");
+    let addr = handle.tcp_addr.expect("tcp bound");
+
+    // A first frame that is not HELLO: malformed handshake.
+    {
+        let mut stream = hostile_connect(addr);
+        write_frame(
+            &mut stream,
+            &Frame {
+                kind: REQUEST,
+                request_id: 1,
+                payload: vec![1, 2, 3],
+            },
+        )
+        .expect("frame writes");
+        let error = read_error_frame(&mut stream);
+        let (code, _) =
+            reflex_service::protocol::decode_error(&error.payload).expect("error decodes");
+        assert_eq!(code, ERR_MALFORMED);
+        // The connection is closed after the error.
+        assert!(matches!(
+            read_frame(&mut stream),
+            Err(ProtoError::Closed | ProtoError::Io(_))
+        ));
+    }
+
+    // An oversized length prefix: refused before any allocation.
+    {
+        let mut stream = hostile_connect(addr);
+        stream
+            .write_all(&(MAX_FRAME + 1).to_le_bytes())
+            .expect("prefix writes");
+        stream.write_all(&[0u8; 32]).expect("junk writes");
+        let error = read_error_frame(&mut stream);
+        let (code, _) =
+            reflex_service::protocol::decode_error(&error.payload).expect("error decodes");
+        assert_eq!(code, ERR_OVERSIZED);
+    }
+
+    // Raw garbage that parses as a short frame: still a typed answer or
+    // a clean close — the accept loop must not die either way.
+    {
+        let mut stream = hostile_connect(addr);
+        stream.write_all(&[0xff; 7]).expect("garbage writes");
+        stream.shutdown(std::net::Shutdown::Write).ok();
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+    }
+
+    assert!(core.stats().protocol_errors.load(Ordering::Relaxed) >= 2);
+
+    // The server is still alive for a well-behaved client.
+    let mut client = Client::connect(&Endpoint::Tcp(addr.to_string())).expect("still serving");
+    client.ping().expect("ping after hostile traffic");
+    let summary = client.check("car", car::SOURCE).expect("check works");
+    assert!(summary.properties > 0);
+
+    handle.stop();
+    core.shutdown();
+}

@@ -59,16 +59,30 @@ pub enum Scenario {
     /// disk; compaction must never lose a live entry or let a corrupt
     /// one escape quarantine.
     CompactionRace,
+    /// Simulated clients hammering one resident service core: a greedy
+    /// client bursts requests while single-shot clients interleave, all
+    /// over the shared warm store. Every served certificate must match
+    /// the serial clean baseline and the round-robin scheduler must
+    /// serve every client every step.
+    ClientStorm,
+    /// The resident core killed mid-flight: a service core verifies and
+    /// group-commits part of an edit ladder, is abandoned with work
+    /// queued (no final flush), and a fresh core over the same store
+    /// directory must warm-reuse every committed certificate with
+    /// nothing quarantined.
+    DaemonRestart,
 }
 
 impl Scenario {
     /// All scenarios, in the order the swarm runs them.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 7] = [
         Scenario::Chaos,
         Scenario::Watch,
         Scenario::Soak,
         Scenario::ScaleEdits,
         Scenario::CompactionRace,
+        Scenario::ClientStorm,
+        Scenario::DaemonRestart,
     ];
 
     /// The scenario's stable command-line / JSON label.
@@ -79,6 +93,8 @@ impl Scenario {
             Scenario::Soak => "soak",
             Scenario::ScaleEdits => "scale-edits",
             Scenario::CompactionRace => "compaction-race",
+            Scenario::ClientStorm => "client-storm",
+            Scenario::DaemonRestart => "daemon-crash-restart",
         }
     }
 
@@ -96,6 +112,8 @@ impl Scenario {
             Scenario::Soak => 120,
             Scenario::ScaleEdits => 4,
             Scenario::CompactionRace => 4,
+            Scenario::ClientStorm => 4,
+            Scenario::DaemonRestart => 4,
         }
     }
 }
@@ -174,6 +192,12 @@ pub enum ViolationKind {
     MonitorAlarm,
     /// A compaction pass lost (or conjured) a live store entry.
     CompactionLoss,
+    /// The service scheduler failed to serve a client its fair share of
+    /// a storm step.
+    Starvation,
+    /// A certificate group-committed before a crash was not served warm
+    /// after the restart.
+    RestartLoss,
     /// The deliberate violation scheduled by
     /// [`SimConfig::inject_violation_at`].
     Injected,
@@ -189,6 +213,8 @@ impl ViolationKind {
             ViolationKind::Unrecovered => "unrecovered",
             ViolationKind::MonitorAlarm => "monitor-alarm",
             ViolationKind::CompactionLoss => "compaction-loss",
+            ViolationKind::Starvation => "starvation",
+            ViolationKind::RestartLoss => "restart-loss",
             ViolationKind::Injected => "injected",
         }
     }
@@ -202,6 +228,8 @@ impl ViolationKind {
             ViolationKind::Unrecovered,
             ViolationKind::MonitorAlarm,
             ViolationKind::CompactionLoss,
+            ViolationKind::Starvation,
+            ViolationKind::RestartLoss,
             ViolationKind::Injected,
         ]
         .into_iter()
@@ -280,6 +308,8 @@ impl Sim {
             Scenario::Soak => scenario::run_soak(config, &mut trace),
             Scenario::ScaleEdits => scenario::run_scale_edits(config, &mut trace),
             Scenario::CompactionRace => scenario::run_compaction_race(config, &mut trace),
+            Scenario::ClientStorm => scenario::run_client_storm(config, &mut trace),
+            Scenario::DaemonRestart => scenario::run_daemon_restart(config, &mut trace),
         };
         if let Some(v) = &violation {
             trace.push(format!("violation {} step={} {}", v.kind, v.step, v.detail));

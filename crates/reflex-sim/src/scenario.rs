@@ -17,6 +17,7 @@ use reflex_driver::{
     WatchSession,
 };
 use reflex_rng::{RngExt, SimRng};
+use reflex_service::{Reply, Request, ServiceConfig, ServiceCore};
 use reflex_verify::{Certificate, FaultyFs, PanicPlan, ProverOptions, VerifyFs, VirtualClock};
 
 use crate::{injected_violation, scratch_dir, SimConfig, Trace, Violation, ViolationKind};
@@ -860,6 +861,436 @@ pub(crate) fn run_compaction_race(config: &SimConfig, trace: &mut Trace) -> Opti
             detail: format!("post-scrub verification aborted: {e}"),
         }),
     };
+    let _ = std::fs::remove_dir_all(&dir);
+    violation
+}
+
+/// The service configuration the resident-core scenarios run under: one
+/// worker so request execution is serial (see the module docs — the
+/// concurrency under test is the *scheduler's*, across clients, and
+/// its round-robin pick order is only deterministic at one executor),
+/// prover `jobs = 1`, simulated time, and a scratch store.
+fn storm_config(dir: &std::path::Path, record_schedule: bool) -> ServiceConfig {
+    ServiceConfig {
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        jobs: 1,
+        workers: 1,
+        clock: Some(Arc::new(VirtualClock::new(1_000))),
+        record_schedule,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A full no-budget verify request for one synthetic kernel.
+fn verify_request(kernel: &reflex_kernels::synth::SynthKernel) -> Request {
+    Request::Verify {
+        name: kernel.name.clone(),
+        source: kernel.source.clone(),
+        property: None,
+        budget_ms: None,
+        budget_nodes: None,
+        want_events: false,
+    }
+}
+
+/// One blocking verify request through a service core, unwrapped to its
+/// session report.
+fn request_verify(
+    core: &ServiceCore,
+    client: u64,
+    kernel: &reflex_kernels::synth::SynthKernel,
+) -> Result<SessionReport, String> {
+    match core.request(client, verify_request(kernel), Arc::new(NullSink)) {
+        Ok(Reply::Verify(report)) => Ok(*report),
+        Ok(other) => Err(format!("unexpected reply to a verify request: {other:?}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Client storm: simulated clients hammer one resident [`ServiceCore`]
+/// over a shared warm store — a greedy client bursts three requests per
+/// step while two single-shot clients interleave, each wave fully
+/// drained before the next. Every served certificate must match the
+/// storeless serial baseline (zero cross-client mismatches, store and
+/// cache reuse included) and the recorded round-robin schedule must
+/// serve every client its whole wave every step (no starved client).
+pub(crate) fn run_client_storm(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    const CLIENTS: usize = 3;
+    const BURST: usize = 3;
+
+    let ladder = synth_ladder(config);
+    // Storeless serial baseline per variant: the ground truth.
+    let mut baseline: Vec<Vec<(String, Certificate)>> = Vec::with_capacity(ladder.len());
+    for (step, kernel) in ladder.iter().enumerate() {
+        match VerifySession::new(session_config(config, None))
+            .and_then(|s| s.verify_checked(&kernel.checked(), &NullSink))
+        {
+            Ok(report) => baseline.push(certs_of(&report)),
+            Err(e) => {
+                return Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("clean baseline failed: {e}"),
+                })
+            }
+        }
+    }
+
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let core = match ServiceCore::start(storm_config(&dir, true)) {
+        Ok(core) => core,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Some(Violation {
+                step: 0,
+                kind: ViolationKind::Abort,
+                detail: format!("service core failed to start: {e}"),
+            });
+        }
+    };
+
+    let mut violation = None;
+    let mut schedule_seen = 0usize;
+    'steps: for step in 0..config.steps {
+        if let Some(v) = injected_violation(config, trace, step) {
+            violation = Some(v);
+            break;
+        }
+        // Submit the step's whole wave, then await every ticket: the
+        // schedule decomposes into per-step segments and the next wave
+        // never races this one.
+        let mut tickets = Vec::new();
+        for client in 0..CLIENTS {
+            let variant = (step + client) % ladder.len();
+            let count = if client == 0 { BURST } else { 1 };
+            for _ in 0..count {
+                match core.submit(
+                    client as u64,
+                    verify_request(&ladder[variant]),
+                    Arc::new(NullSink),
+                ) {
+                    Ok(ticket) => tickets.push((client, variant, ticket)),
+                    Err(e) => {
+                        violation = Some(Violation {
+                            step,
+                            kind: ViolationKind::Abort,
+                            detail: format!("client {client} submit refused: {e}"),
+                        });
+                        break 'steps;
+                    }
+                }
+            }
+        }
+        let mut proved = 0usize;
+        for (client, variant, ticket) in tickets {
+            match ticket.wait() {
+                Ok(Reply::Verify(report)) => {
+                    let t = tally(&report);
+                    if t.proved != report.outcomes.len() {
+                        violation = Some(Violation {
+                            step,
+                            kind: ViolationKind::Abort,
+                            detail: format!(
+                                "client {client} left {} propert(y/ies) unproved",
+                                report.outcomes.len() - t.proved
+                            ),
+                        });
+                        break 'steps;
+                    }
+                    proved += t.proved;
+                    if let Some(v) = check_against_baseline(
+                        step,
+                        &report,
+                        &baseline[variant],
+                        ViolationKind::CertMismatch,
+                    ) {
+                        violation = Some(Violation {
+                            detail: format!("client {client}: {}", v.detail),
+                            ..v
+                        });
+                        break 'steps;
+                    }
+                }
+                Ok(other) => {
+                    violation = Some(Violation {
+                        step,
+                        kind: ViolationKind::Abort,
+                        detail: format!("client {client} got an unexpected reply: {other:?}"),
+                    });
+                    break 'steps;
+                }
+                Err(e) => {
+                    violation = Some(Violation {
+                        step,
+                        kind: ViolationKind::Abort,
+                        detail: format!("client {client} request failed: {e}"),
+                    });
+                    break 'steps;
+                }
+            }
+        }
+        // Fairness: this step's schedule segment must hold exactly the
+        // wave — the burst for the greedy client, one pick for each
+        // single-shot client. A short count is a starved client.
+        let schedule = core.schedule();
+        let mut served = [0usize; CLIENTS];
+        for &client in &schedule[schedule_seen..] {
+            served[client as usize] += 1;
+        }
+        schedule_seen = schedule.len();
+        for (client, &count) in served.iter().enumerate() {
+            let expected = if client == 0 { BURST } else { 1 };
+            if count != expected {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Starvation,
+                    detail: format!(
+                        "client {client} was served {count} of its {expected} request(s)"
+                    ),
+                });
+                break 'steps;
+            }
+        }
+        trace.push(format!(
+            "step {step} storm served c0={} c1={} c2={} proved={proved}",
+            served[0], served[1], served[2]
+        ));
+        trace.step_done();
+    }
+    core.shutdown();
+    if violation.is_none() {
+        let stats = core.stats().snapshot();
+        trace.push(format!(
+            "storm totals submitted={} served={} busy={}",
+            stats.requests_submitted, stats.requests_served, stats.rejected_busy
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    violation
+}
+
+/// Daemon crash and restart: a resident core verifies the front half of
+/// the edit ladder, group-committing after every request, then is
+/// [`ServiceCore::abandon`]ed with a request still queued — the crash
+/// path, queued work dropped, final flush skipped. A fresh core over
+/// the same store directory must serve every committed certificate warm
+/// (zero re-proves for the front half), prove the back half fresh, all
+/// byte-identical to the storeless baseline, and a closing scrub must
+/// quarantine nothing.
+pub(crate) fn run_daemon_restart(config: &SimConfig, trace: &mut Trace) -> Option<Violation> {
+    let ladder = synth_ladder(config);
+    // Storeless serial baseline per variant: the ground truth on both
+    // sides of the crash.
+    let mut baseline: Vec<Vec<(String, Certificate)>> = Vec::with_capacity(ladder.len());
+    for (step, kernel) in ladder.iter().enumerate() {
+        match VerifySession::new(session_config(config, None))
+            .and_then(|s| s.verify_checked(&kernel.checked(), &NullSink))
+        {
+            Ok(report) => baseline.push(certs_of(&report)),
+            Err(e) => {
+                return Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("clean baseline failed: {e}"),
+                })
+            }
+        }
+    }
+
+    let dir = scratch_dir(config, "store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let split = config.steps.div_ceil(2);
+
+    // Phase one: the first core serves the ladder's front half.
+    let core = match ServiceCore::start(storm_config(&dir, false)) {
+        Ok(core) => core,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Some(Violation {
+                step: 0,
+                kind: ViolationKind::Abort,
+                detail: format!("service core failed to start: {e}"),
+            });
+        }
+    };
+    let mut violation = None;
+    for (step, kernel) in ladder.iter().take(split).enumerate() {
+        if let Some(v) = injected_violation(config, trace, step) {
+            violation = Some(v);
+            break;
+        }
+        match request_verify(&core, 0, kernel) {
+            Ok(report) => {
+                let t = tally(&report);
+                if t.proved != report.outcomes.len() {
+                    violation = Some(Violation {
+                        step,
+                        kind: ViolationKind::Abort,
+                        detail: format!(
+                            "pre-crash core left {} propert(y/ies) unproved",
+                            report.outcomes.len() - t.proved
+                        ),
+                    });
+                    break;
+                }
+                trace.push(format!(
+                    "step {step} serve kernel={} proved={} saved={}",
+                    kernel.name, t.proved, report.store_saved
+                ));
+                if let Some(v) = check_against_baseline(
+                    step,
+                    &report,
+                    &baseline[step],
+                    ViolationKind::CertMismatch,
+                ) {
+                    violation = Some(v);
+                    break;
+                }
+                // The daemon's group-commit cadence: flush after every
+                // served request, so the crash below only loses work
+                // accepted after the last commit.
+                if let Some(store) = core.env().store() {
+                    let _ = store.flush();
+                }
+            }
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("pre-crash request failed: {e}"),
+                });
+                break;
+            }
+        }
+    }
+    if violation.is_some() {
+        core.abandon();
+        let _ = std::fs::remove_dir_all(&dir);
+        return violation;
+    }
+
+    // The crash: kill the core with one more request still in flight.
+    // The doomed request re-verifies an already-committed variant, so
+    // the store's on-disk state is the same whether the worker got to it
+    // or the abandon dropped it — the trace stays deterministic.
+    let _ = core.submit(0, verify_request(&ladder[0]), Arc::new(NullSink));
+    core.abandon();
+    trace.push("crash: core abandoned mid-flight (no final group commit)".to_owned());
+
+    // Phase two: a fresh core over the same directory. The front half
+    // must be served warm from the store; the back half proves fresh.
+    let core = match ServiceCore::start(storm_config(&dir, false)) {
+        Ok(core) => core,
+        Err(e) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Some(Violation {
+                step: split,
+                kind: ViolationKind::RestartLoss,
+                detail: format!("restart against the crashed store failed: {e}"),
+            });
+        }
+    };
+    for (step, kernel) in ladder.iter().enumerate() {
+        if step >= split {
+            if let Some(v) = injected_violation(config, trace, step) {
+                violation = Some(v);
+                break;
+            }
+        }
+        match request_verify(&core, 0, kernel) {
+            Ok(report) => {
+                let t = tally(&report);
+                if t.proved != report.outcomes.len() {
+                    violation = Some(Violation {
+                        step,
+                        kind: ViolationKind::Abort,
+                        detail: format!(
+                            "post-crash core left {} propert(y/ies) unproved",
+                            report.outcomes.len() - t.proved
+                        ),
+                    });
+                    break;
+                }
+                trace.push(format!(
+                    "step {step} restart kernel={} proved={} loaded={}",
+                    kernel.name, t.proved, report.store_loaded
+                ));
+                if step < split && report.store_loaded != report.outcomes.len() {
+                    violation = Some(Violation {
+                        step,
+                        kind: ViolationKind::RestartLoss,
+                        detail: format!(
+                            "kernel `{}`: only {} of {} certificates served warm after restart",
+                            kernel.name,
+                            report.store_loaded,
+                            report.outcomes.len()
+                        ),
+                    });
+                    break;
+                }
+                if let Some(v) = check_against_baseline(
+                    step,
+                    &report,
+                    &baseline[step],
+                    ViolationKind::CertMismatch,
+                ) {
+                    violation = Some(v);
+                    break;
+                }
+                trace.step_done();
+            }
+            Err(e) => {
+                violation = Some(Violation {
+                    step,
+                    kind: ViolationKind::Abort,
+                    detail: format!("post-crash request failed: {e}"),
+                });
+                break;
+            }
+        }
+    }
+
+    // The crash must have left nothing for the scrub to quarantine: the
+    // store's append discipline makes a dropped batch invisible, never
+    // corrupt.
+    if violation.is_none() {
+        match core.env().store().map(|s| s.scrub(None)) {
+            Some(Ok(scrub)) => {
+                trace.push(format!(
+                    "restart scrub scanned={} quarantined={} tmp_removed={}",
+                    scrub.scanned,
+                    scrub.quarantined.len(),
+                    scrub.tmp_removed
+                ));
+                if !scrub.quarantined.is_empty() {
+                    violation = Some(Violation {
+                        step: config.steps,
+                        kind: ViolationKind::QuarantineEscape,
+                        detail: format!(
+                            "{} entr(y/ies) quarantined after a clean-crash restart",
+                            scrub.quarantined.len()
+                        ),
+                    });
+                }
+            }
+            Some(Err(e)) => {
+                violation = Some(Violation {
+                    step: config.steps,
+                    kind: ViolationKind::Abort,
+                    detail: format!("post-restart scrub failed: {e}"),
+                });
+            }
+            None => {
+                violation = Some(Violation {
+                    step: config.steps,
+                    kind: ViolationKind::RestartLoss,
+                    detail: "store not attached after restart".to_owned(),
+                });
+            }
+        }
+    }
+    core.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
     violation
 }

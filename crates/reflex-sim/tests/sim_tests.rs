@@ -162,6 +162,9 @@ fn labels_round_trip() {
         ViolationKind::QuarantineEscape,
         ViolationKind::Unrecovered,
         ViolationKind::MonitorAlarm,
+        ViolationKind::CompactionLoss,
+        ViolationKind::Starvation,
+        ViolationKind::RestartLoss,
         ViolationKind::Injected,
     ] {
         assert_eq!(ViolationKind::parse(kind.label()), Some(kind));

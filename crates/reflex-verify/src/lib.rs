@@ -86,6 +86,29 @@ pub use vfs::{FaultyFs, FsFault, FsFaultPlan, FsOp, RealFs, VerifyFs};
 use reflex_ast::PropBody;
 use reflex_typeck::CheckedProgram;
 
+/// Encodes a certificate with the store's deterministic binary codec.
+///
+/// Equal certificates produce equal bytes (no padding, no timestamps), so
+/// byte-comparing two encodings is exactly certificate equality — the
+/// wire protocol ships certificates this way, and the daemon-vs-one-shot
+/// identity tests diff these bytes directly.
+pub fn certificate_to_bytes(cert: &Certificate) -> Vec<u8> {
+    let mut e = codec::Enc::new();
+    codec::enc_certificate(&mut e, cert);
+    e.buf
+}
+
+/// Decodes a certificate produced by [`certificate_to_bytes`].
+///
+/// Returns `None` on any truncation, trailing garbage or tag mismatch —
+/// the same corrupt-means-miss discipline the proof store uses.
+pub fn certificate_from_bytes(bytes: &[u8]) -> Option<Certificate> {
+    let mut d = codec::Dec::new(bytes);
+    let cert = codec::dec_certificate(&mut d)?;
+    d.finish()?;
+    Some(cert)
+}
+
 /// Proves the named property of a checked program.
 ///
 /// Builds the program's behavioral abstraction and runs the appropriate

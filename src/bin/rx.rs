@@ -20,15 +20,23 @@
 //! rx gen     PRESET           emit a deterministic synthetic kernel
 //! rx bench   scale            prove the generated presets, report throughput
 //! rx bench   store            flat vs log-structured store throughput
+//! rx bench   serve            storm a daemon, report req/s and latency
+//! rx client  ACTION           talk to a running rxd daemon
 //! ```
 //!
-//! Every verifying subcommand is a thin adapter over
-//! [`reflex::driver::VerifySession`]: `rx verify --store DIR` and
-//! `rx watch --store DIR` persist proof certificates into a
-//! content-addressed store, `--budget-ms`/`--budget-nodes` bound the whole
-//! session (a stuck property reports a timeout instead of hanging), and
+//! Every verifying subcommand is a thin client of the resident service
+//! core ([`reflex::service::ServiceCore`]): `rx check`, `rx verify` and
+//! `rx watch` boot an in-process core and run as its client, so a local
+//! one-shot run and a request served by a long-lived `rxd` daemon take
+//! the same code path (and produce byte-identical certificates).
+//! `rx verify --store DIR` and `rx watch --store DIR` persist proof
+//! certificates into a content-addressed store,
+//! `--budget-ms`/`--budget-nodes` bound the whole session (a stuck
+//! property reports a timeout instead of hanging), and
 //! `--trace-json PATH` streams the session's structured stage/property
-//! events as JSON lines.
+//! events as JSON lines. `rx client ACTION --socket PATH | --tcp ADDR`
+//! sends the same requests to an already-running `rxd`; `rx bench serve`
+//! storms one with concurrent clients and writes `BENCH_serve.json`.
 //!
 //! `rx run` accepts `--faults SPEC --supervise --monitor` to run the
 //! kernel under the supervised runtime with deterministic fault
@@ -47,13 +55,17 @@
 //! 2 usage errors.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use reflex::bench::soak::soak_program_with_plan;
 use reflex::cli::{self, FlagSpec};
 use reflex::driver::{
-    load_program, Instrument, JsonLinesSink, NullSink, SessionConfig, VerifySession, WatchSession,
+    load_program, Instrument, JsonLinesSink, NullSink, SessionConfig, SessionError, VerifySession,
 };
 use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
+use reflex::service::{
+    Client, Endpoint, Reply, Request, ServiceConfig, ServiceCore, ServiceError, StatsSnapshot,
+};
 use reflex::sim::presets::{
     render_soak, render_soak_json, run_soak_bench_preset, run_soak_preset, SoakConfig, SoakOutcome,
 };
@@ -62,7 +74,7 @@ use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub|compact DIR [FILE] [--json]\n  rx store   migrate|stat DIR [--json]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n  rx bench   store [--entries N] [--lookups N] [--seed N] [--json]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub|compact DIR [FILE] [--json]\n  rx store   migrate|stat DIR [--json]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n  rx bench   store [--entries N] [--lookups N] [--seed N] [--json]\n  rx bench   serve [--clients N] [--requests N] [--socket PATH | --tcp ADDR]\n             [--jobs N] [--json]\n  rx client  ping|stats|shutdown|check FILE|verify FILE [PROP]\n             (--socket PATH | --tcp ADDR) [--json] [--stats]\n             [--budget-ms MS] [--budget-nodes N] [--trace-json PATH]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -288,7 +300,8 @@ const SIM_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         name: "--scenario",
         value: Some("NAME"),
-        help: "chaos | watch | soak | scale-edits | compaction-race (swarm default: all)",
+        help: "chaos | watch | soak | scale-edits | compaction-race | client-storm \
+               | daemon-crash-restart (swarm default: all)",
     },
     FlagSpec {
         name: "--seed",
@@ -397,6 +410,64 @@ const BENCH_FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "bench store: warm lookups to time (default 200000)",
     },
+    FlagSpec {
+        name: "--clients",
+        value: Some("N"),
+        help: "bench serve: concurrent client connections (default 8)",
+    },
+    FlagSpec {
+        name: "--requests",
+        value: Some("N"),
+        help: "bench serve: verify requests per client (default 16)",
+    },
+    FlagSpec {
+        name: "--socket",
+        value: Some("PATH"),
+        help: "bench serve: storm the daemon on this unix socket",
+    },
+    FlagSpec {
+        name: "--tcp",
+        value: Some("ADDR"),
+        help: "bench serve: storm the daemon at this TCP address",
+    },
+];
+
+const CLIENT_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "--socket",
+        value: Some("PATH"),
+        help: "connect to the daemon's unix socket at PATH",
+    },
+    FlagSpec {
+        name: "--tcp",
+        value: Some("ADDR"),
+        help: "connect to the daemon at a TCP address, e.g. 127.0.0.1:7171",
+    },
+    FlagSpec {
+        name: "--stats",
+        value: None,
+        help: "for verify: print prover counters from the daemon's report",
+    },
+    FlagSpec {
+        name: "--json",
+        value: None,
+        help: "print the report (verify) or counters (stats) as JSON",
+    },
+    FlagSpec {
+        name: "--trace-json",
+        value: Some("PATH"),
+        help: "for verify: stream the daemon's events to PATH as JSON lines",
+    },
+    FlagSpec {
+        name: "--budget-ms",
+        value: Some("MS"),
+        help: "for verify: wall-clock budget (the daemon may clamp it)",
+    },
+    FlagSpec {
+        name: "--budget-nodes",
+        value: Some("N"),
+        help: "for verify: explored-path budget (the daemon may clamp it)",
+    },
 ];
 
 const COMMANDS: &[CommandSpec] = &[
@@ -474,9 +545,15 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "bench",
-        synopsis: "scale",
+        synopsis: "scale | store | serve",
         flags: BENCH_FLAGS,
         run: cmd_bench,
+    },
+    CommandSpec {
+        name: "client",
+        synopsis: "ping|stats|shutdown|check FILE|verify FILE [PROP]",
+        flags: CLIENT_FLAGS,
+        run: cmd_client,
     },
 ];
 
@@ -500,52 +577,81 @@ fn load(path: &str) -> Result<CheckedProgram, CliError> {
 }
 
 /// The event sink `--trace-json PATH` selects (a no-op sink otherwise).
-fn make_sink(parsed: &cli::Parsed) -> Result<Box<dyn Instrument>, CliError> {
+/// Shared (`Arc`) because the service core streams events from its
+/// worker threads.
+fn make_sink(parsed: &cli::Parsed) -> Result<Arc<dyn Instrument + Send>, CliError> {
     match parsed.value("--trace-json") {
         Some(path) => {
             let file =
                 std::fs::File::create(path).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
-            Ok(Box::new(JsonLinesSink::new(file)))
+            Ok(Arc::new(JsonLinesSink::new(file)))
         }
-        None => Ok(Box::new(NullSink)),
+        None => Ok(Arc::new(NullSink)),
     }
 }
 
-/// The [`SessionConfig`] shared by `verify` and `watch`.
-fn session_config(
-    parsed: &cli::Parsed,
-    property: Option<String>,
-) -> Result<SessionConfig, CliError> {
-    let jobs: usize = parsed.get("--jobs", 1).map_err(CliError::Usage)?;
-    Ok(SessionConfig {
-        options: ProverOptions {
-            jobs,
-            ..ProverOptions::default()
-        },
-        jobs,
-        store_dir: parsed.value("--store").map(str::to_owned),
-        budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
-        budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
-        property,
-        strict_store: parsed.is_set("--strict-store"),
-        ..SessionConfig::default()
-    })
+/// Reads a kernel file into (program name, source) the way the service
+/// protocol wants it: the program is named after the file stem.
+fn read_kernel(path: &str) -> Result<(String, String), CliError> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| CliError::Run(format!("{path}: {e}")))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("kernel")
+        .to_owned();
+    Ok((name, source))
+}
+
+/// Boots an in-process [`ServiceCore`], runs `f` as its (only) client,
+/// and always shuts the core down — draining queued work and
+/// group-committing the proof store — before reporting `f`'s result.
+/// This is the tentpole's local path: one-shot commands are clients of
+/// the same core `rxd` serves remotely.
+fn with_core<T>(
+    config: ServiceConfig,
+    f: impl FnOnce(&ServiceCore) -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    let core = ServiceCore::start(config).map_err(CliError::run)?;
+    let result = f(&core);
+    core.shutdown();
+    result
+}
+
+/// Renders the one-line `rx check` summary (shared with `rx client
+/// check`, whose numbers come back over the wire).
+fn render_check(file: &str, s: &reflex::service::CheckSummary) -> String {
+    format!(
+        "{}: ok ({} component types, {} message types, {} state vars, {} handlers, {} properties)",
+        file, s.components, s.messages, s.state_vars, s.handlers, s.properties
+    )
 }
 
 fn cmd_check(parsed: &cli::Parsed) -> Result<(), CliError> {
     let file = one_positional(parsed, "FILE")?;
-    let checked = load(file)?;
-    let p = checked.program();
-    println!(
-        "{}: ok ({} component types, {} message types, {} state vars, {} handlers, {} properties)",
-        file,
-        p.components.len(),
-        p.messages.len(),
-        p.state.len(),
-        p.handlers.len(),
-        p.properties.len()
-    );
+    let (name, source) = read_kernel(file)?;
+    let summary = with_core(ServiceConfig::default(), |core| {
+        match core
+            .request(0, Request::Check { name, source }, Arc::new(NullSink))
+            .map_err(|e| check_error(file, e))?
+        {
+            Reply::Checked(summary) => Ok(summary),
+            _ => Err(CliError::Run("unexpected reply to check".into())),
+        }
+    })?;
+    println!("{}", render_check(file, &summary));
     Ok(())
+}
+
+/// Maps a check failure to the one-shot CLI's historical message shape:
+/// parse errors carry the offending path as a prefix.
+fn check_error(file: &str, e: ServiceError) -> CliError {
+    match e {
+        ServiceError::Session(SessionError::Parse(message)) => {
+            CliError::Run(format!("{file}: {message}"))
+        }
+        other => CliError::run(other),
+    }
 }
 
 fn cmd_verify(parsed: &cli::Parsed) -> Result<(), CliError> {
@@ -560,9 +666,38 @@ fn cmd_verify(parsed: &cli::Parsed) -> Result<(), CliError> {
         ));
     }
     let store_mode = parsed.value("--store").is_some();
-    let session = VerifySession::new(session_config(parsed, prop)?).map_err(CliError::run)?;
+    let (name, source) = read_kernel(file)?;
+    let request = Request::Verify {
+        name,
+        source,
+        property: prop,
+        budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
+        budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
+        want_events: false,
+    };
+    let config = ServiceConfig {
+        store_dir: parsed.value("--store").map(str::to_owned),
+        jobs: parsed.get("--jobs", 1).map_err(CliError::Usage)?,
+        workers: 1,
+        ..ServiceConfig::default()
+    };
     let sink = make_sink(parsed)?;
-    let report = session.verify_path(file, &*sink).map_err(CliError::run)?;
+    let report = with_core(config, |core| {
+        match core.request(0, request, sink).map_err(CliError::run)? {
+            Reply::Verify(report) => Ok(*report),
+            _ => Err(CliError::Run("unexpected reply to verify".into())),
+        }
+    })?;
+    render_verify_report(parsed, store_mode, &report)
+}
+
+/// Renders a verify report and turns proof failures into the exit-1
+/// error, identically for the in-process path and `rx client verify`.
+fn render_verify_report(
+    parsed: &cli::Parsed,
+    store_mode: bool,
+    report: &reflex::driver::SessionReport,
+) -> Result<(), CliError> {
     print!("{}", report.render_properties());
     if store_mode {
         println!("{}", report.summary());
@@ -591,57 +726,93 @@ fn cmd_verify(parsed: &cli::Parsed) -> Result<(), CliError> {
 
 /// `rx watch FILE`: re-verify on every change to the file, reusing
 /// unaffected proofs across iterations (and across restarts with
-/// `--store`).
+/// `--store`). The loop runs over an in-process [`ServiceCore`] whose
+/// long-lived env owns the store; a store that cannot open starts the
+/// loop degraded (in-memory only) unless `--strict-store` makes it
+/// fatal.
 fn cmd_watch(parsed: &cli::Parsed) -> Result<(), CliError> {
     let file = one_positional(parsed, "FILE")?;
     let interval_ms: u64 = parsed.get("--interval", 200).map_err(CliError::Usage)?;
     let iterations: Option<usize> = parsed.get_opt("--iterations").map_err(CliError::Usage)?;
-    let mut session = WatchSession::new(session_config(parsed, None)?).map_err(CliError::run)?;
-    if let Some(reason) = session.degraded_reason() {
+    let store_dir = parsed.value("--store").map(str::to_owned);
+    let config = ServiceConfig {
+        store_dir: store_dir.clone(),
+        jobs: parsed.get("--jobs", 1).map_err(CliError::Usage)?,
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    // Mirror the historical degraded-start policy: a store that cannot
+    // open is fatal only under --strict-store; otherwise the core boots
+    // storeless and the watch loop keeps probing for recovery.
+    let (core, open_failure) = match ServiceCore::start(config.clone()) {
+        Ok(core) => (core, None),
+        Err(SessionError::Store { path, message }) if !parsed.is_set("--strict-store") => {
+            let memory_config = ServiceConfig {
+                store_dir: None,
+                ..config
+            };
+            let core = ServiceCore::start(memory_config).map_err(CliError::run)?;
+            (core, Some(format!("store open failed: {path}: {message}")))
+        }
+        Err(e) => return Err(CliError::run(e)),
+    };
+    let mut session = core.watch(
+        store_dir,
+        parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
+        parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
+    );
+    if let Some(reason) = open_failure
+        .as_deref()
+        .or_else(|| session.degraded_reason())
+    {
         eprintln!(
             "rx watch: warning: starting DEGRADED (in-memory caching only): {reason}\n\
              rx watch: will re-attach the store when it becomes healthy \
              (use --strict-store to make this fatal)"
         );
     }
-    let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
-    let mut last_seen = None;
-    let mut iteration = 0usize;
-    let mut last_failures;
-    loop {
-        let stamp = mtime(file);
-        let changed = stamp != last_seen;
-        if changed || iteration == 0 {
-            last_seen = stamp;
-            iteration += 1;
-            match load_program(file) {
-                Ok(checked) => {
-                    let it = session.verify(&checked, &NullSink).map_err(CliError::run)?;
-                    last_failures = it.failures();
-                    print!("{}", it.report.render_properties());
-                    println!("[{iteration}] {}", it.summary());
+    let result = (|| {
+        let mtime = |path: &str| std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        let mut last_seen = None;
+        let mut iteration = 0usize;
+        let mut last_failures;
+        loop {
+            let stamp = mtime(file);
+            let changed = stamp != last_seen;
+            if changed || iteration == 0 {
+                last_seen = stamp;
+                iteration += 1;
+                match load_program(file) {
+                    Ok(checked) => {
+                        let it = session.verify(&checked, &NullSink).map_err(CliError::run)?;
+                        last_failures = it.failures();
+                        print!("{}", it.report.render_properties());
+                        println!("[{iteration}] {}", it.summary());
+                    }
+                    Err(e) => {
+                        // A half-saved file is normal mid-edit: report and
+                        // keep watching.
+                        last_failures = 1;
+                        println!("[{iteration}] {e}");
+                    }
                 }
-                Err(e) => {
-                    // A half-saved file is normal mid-edit: report and keep
-                    // watching.
-                    last_failures = 1;
-                    println!("[{iteration}] {e}");
+                if iterations.is_some_and(|n| iteration >= n) {
+                    break;
                 }
+                println!("watching {file} (ctrl-c to stop)…");
             }
-            if iterations.is_some_and(|n| iteration >= n) {
-                break;
-            }
-            println!("watching {file} (ctrl-c to stop)…");
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
         }
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
-    }
-    if last_failures > 0 {
-        Err(CliError::Run(format!(
-            "{last_failures} propert(y/ies) failed in the last iteration"
-        )))
-    } else {
-        Ok(())
-    }
+        if last_failures > 0 {
+            Err(CliError::Run(format!(
+                "{last_failures} propert(y/ies) failed in the last iteration"
+            )))
+        } else {
+            Ok(())
+        }
+    })();
+    core.shutdown();
+    result
 }
 
 fn cmd_falsify(parsed: &cli::Parsed) -> Result<(), CliError> {
@@ -895,9 +1066,10 @@ fn cmd_bench(parsed: &cli::Parsed) -> Result<(), CliError> {
     match parsed.positional.as_slice() {
         [action] if action == "scale" => {}
         [action] if action == "store" => return cmd_bench_store(parsed),
+        [action] if action == "serve" => return cmd_bench_serve(parsed),
         _ => {
             return Err(CliError::Usage(
-                "expected the `scale` or `store` operand".into(),
+                "expected the `scale`, `store` or `serve` operand".into(),
             ))
         }
     }
@@ -951,6 +1123,138 @@ fn cmd_bench_store(parsed: &cli::Parsed) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `rx bench serve [--clients N] [--requests N] [--socket PATH | --tcp
+/// ADDR] [--jobs N] [--json]`: storm a daemon (an in-process one on a
+/// scratch unix socket by default) with concurrent closed-loop clients
+/// and report sustained req/s plus p50/p95/p99 latency; with `--json`,
+/// also write `BENCH_serve.json`. Fails on any protocol error or
+/// failed proof under load.
+fn cmd_bench_serve(parsed: &cli::Parsed) -> Result<(), CliError> {
+    use reflex::bench::serve::{
+        render_serve, render_serve_json, run_serve_bench, ServeBenchConfig,
+    };
+    let cfg = ServeBenchConfig {
+        clients: parsed.get("--clients", 8).map_err(CliError::Usage)?,
+        requests: parsed.get("--requests", 16).map_err(CliError::Usage)?,
+        endpoint: endpoint_flags(parsed)?,
+        jobs: parsed.get("--jobs", 1).map_err(CliError::Usage)?,
+        workers: 0,
+    };
+    if cfg.clients == 0 || cfg.requests == 0 {
+        return Err(CliError::Usage(
+            "--clients and --requests must be at least 1".into(),
+        ));
+    }
+    let bench = run_serve_bench(&cfg).map_err(CliError::run)?;
+    print!("{}", render_serve(&bench));
+    if parsed.is_set("--json") {
+        std::fs::write("BENCH_serve.json", render_serve_json(&bench))
+            .map_err(|e| CliError::Run(format!("BENCH_serve.json: {e}")))?;
+        println!("wrote BENCH_serve.json");
+    }
+    Ok(())
+}
+
+/// Decodes `--socket PATH` / `--tcp ADDR` into an endpoint (at most one
+/// of the two).
+fn endpoint_flags(parsed: &cli::Parsed) -> Result<Option<Endpoint>, CliError> {
+    match (parsed.value("--socket"), parsed.value("--tcp")) {
+        (Some(_), Some(_)) => Err(CliError::Usage(
+            "give --socket PATH or --tcp ADDR, not both".into(),
+        )),
+        (Some(path), None) => Ok(Some(Endpoint::Unix(path.into()))),
+        (None, Some(addr)) => Ok(Some(Endpoint::Tcp(addr.to_owned()))),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Renders `rx client stats` output.
+fn render_stats_snapshot(s: &StatsSnapshot, json: bool) -> String {
+    if json {
+        format!(
+            concat!(
+                "{{\"requests_submitted\": {}, \"requests_served\": {}, ",
+                "\"rejected_busy\": {}, \"protocol_errors\": {}, \"connections\": {}}}"
+            ),
+            s.requests_submitted,
+            s.requests_served,
+            s.rejected_busy,
+            s.protocol_errors,
+            s.connections
+        )
+    } else {
+        format!(
+            "requests: {} submitted, {} served, {} busy-rejected\nprotocol errors: {}\nconnections: {}",
+            s.requests_submitted, s.requests_served, s.rejected_busy, s.protocol_errors,
+            s.connections
+        )
+    }
+}
+
+/// `rx client ACTION (--socket PATH | --tcp ADDR)`: talk to a running
+/// `rxd`. `verify` renders the daemon's report with exactly the code
+/// the in-process path uses, so the output (and the exit code) cannot
+/// tell the two apart.
+fn cmd_client(parsed: &cli::Parsed) -> Result<(), CliError> {
+    let endpoint = endpoint_flags(parsed)?.ok_or_else(|| {
+        CliError::Usage("nothing to connect to (give --socket PATH or --tcp ADDR)".into())
+    })?;
+    let mut client = Client::connect(&endpoint).map_err(CliError::run)?;
+    match parsed.positional.as_slice() {
+        [action] if action == "ping" => {
+            client.ping().map_err(CliError::run)?;
+            println!("pong");
+            Ok(())
+        }
+        [action] if action == "stats" => {
+            let stats = client.stats().map_err(CliError::run)?;
+            println!("{}", render_stats_snapshot(&stats, parsed.is_set("--json")));
+            Ok(())
+        }
+        [action] if action == "shutdown" => {
+            client.shutdown().map_err(CliError::run)?;
+            println!("daemon is draining and shutting down.");
+            Ok(())
+        }
+        [action, file] if action == "check" => {
+            let (name, source) = read_kernel(file)?;
+            let summary = client.check(&name, &source).map_err(CliError::run)?;
+            println!("{}", render_check(file, &summary));
+            Ok(())
+        }
+        [action, file, rest @ ..] if action == "verify" && rest.len() <= 1 => {
+            let (name, source) = read_kernel(file)?;
+            let request = Request::Verify {
+                name,
+                source,
+                property: rest.first().cloned(),
+                budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
+                budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
+                want_events: parsed.value("--trace-json").is_some(),
+            };
+            let mut trace = match parsed.value("--trace-json") {
+                Some(path) => Some(
+                    std::fs::File::create(path)
+                        .map_err(|e| CliError::Run(format!("{path}: {e}")))?,
+                ),
+                None => None,
+            };
+            let report = client
+                .verify(request, &mut |line| {
+                    if let Some(file) = trace.as_mut() {
+                        use std::io::Write as _;
+                        let _ = writeln!(file, "{line}");
+                    }
+                })
+                .map_err(CliError::run)?;
+            render_verify_report(parsed, false, &report)
+        }
+        _ => Err(CliError::Usage(
+            "expected `ping`, `stats`, `shutdown`, `check FILE` or `verify FILE [PROP]`".into(),
+        )),
+    }
+}
+
 /// `--seeds A..B` (half-open range) or a single seed `N`.
 fn parse_seed_range(spec: &str) -> Result<Vec<u64>, String> {
     let parse = |s: &str| {
@@ -981,7 +1285,7 @@ fn cmd_sim(parsed: &cli::Parsed) -> Result<(), CliError> {
             Scenario::parse(label).ok_or_else(|| {
                 CliError::Usage(format!(
                     "unknown scenario `{label}` (expected chaos, watch, soak, \
-                     scale-edits or compaction-race)"
+                     scale-edits, compaction-race, client-storm or daemon-crash-restart)"
                 ))
             })
         })

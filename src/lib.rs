@@ -29,6 +29,9 @@
 //! * [`sim`] — the deterministic whole-stack simulator behind
 //!   `rx sim run / swarm / replay`: one root seed, virtual time,
 //!   scenario traces, automatic shrinking.
+//! * [`service`] — the resident service core behind `rxd` and
+//!   `rx client`: one long-lived shared `Env`, a framed wire protocol
+//!   with streamed events, and the thin client SDK.
 //! * [`cli`] — shared option-table flag parsing for the `rx` frontend.
 //!
 //! # Quickstart
@@ -59,6 +62,7 @@ pub use reflex_kernels as kernels;
 pub use reflex_parser as parser;
 pub use reflex_rng as rng;
 pub use reflex_runtime as runtime;
+pub use reflex_service as service;
 pub use reflex_sim as sim;
 pub use reflex_symbolic as symbolic;
 pub use reflex_trace as trace;

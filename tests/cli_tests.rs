@@ -341,3 +341,84 @@ fn bad_flag_value_is_a_usage_error() {
     assert!(!ok);
     assert!(stderr.contains("invalid value"), "{stderr}");
 }
+
+#[test]
+fn client_without_an_endpoint_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rx"))
+        .args(["client", "ping"])
+        .output()
+        .expect("rx runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nothing to connect to"), "{stderr}");
+}
+
+#[test]
+fn client_connect_failure_is_a_run_error_not_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rx"))
+        .args(["client", "--socket", "/nonexistent/rxd.sock", "ping"])
+        .output()
+        .expect("rx runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn bench_serve_validates_its_flags() {
+    let (ok, _, stderr) = rx(&["bench", "serve", "--clients", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("at least 1"), "{stderr}");
+    let (ok, _, stderr) = rx(&["bench", "serve", "--socket", "a", "--tcp", "b"]);
+    assert!(!ok);
+    assert!(stderr.contains("not both"), "{stderr}");
+}
+
+#[test]
+fn rxd_without_a_listener_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rxd"))
+        .output()
+        .expect("rxd runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nothing to listen on"), "{stderr}");
+    assert!(stderr.contains("usage: rxd"), "{stderr}");
+}
+
+/// End to end over a real unix socket: boot `rxd`, talk to it with
+/// `rx client`, shut it down cleanly.
+#[test]
+fn daemon_serves_rx_client_over_a_unix_socket() {
+    let socket = std::env::temp_dir().join(format!("rx-cli-rxd-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_rxd"))
+        .args(["--socket", socket.to_str().expect("utf8"), "--workers", "1"])
+        .spawn()
+        .expect("rxd boots");
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(socket.exists(), "rxd never bound its socket");
+    let sock = socket.to_str().expect("utf8");
+
+    let (ok, stdout, stderr) = rx(&["client", "--socket", sock, "ping"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("pong"), "{stdout}");
+
+    let (ok, stdout, stderr) = rx(&["client", "--socket", sock, "check", &kernel("car")]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("properties"), "{stdout}");
+
+    let (ok, stdout, _) = rx(&["client", "--socket", sock, "stats", "--json"]);
+    assert!(ok);
+    assert!(stdout.contains("\"requests_served\""), "{stdout}");
+
+    let (ok, stdout, _) = rx(&["client", "--socket", sock, "shutdown"]);
+    assert!(ok);
+    assert!(stdout.contains("shutting down"), "{stdout}");
+
+    let status = daemon.wait().expect("rxd exits");
+    assert!(status.success(), "rxd must exit 0 after a clean shutdown");
+    let _ = std::fs::remove_file(&socket);
+}
