@@ -11,11 +11,22 @@
 //! counters are fetched and the bench fails on any protocol error, so
 //! the CI gate is "the wire held up under load", not just "it was
 //! fast".
+//!
+//! The `--overload` mode measures what admission control buys: it runs
+//! the same storm at 4x the executor capacity twice — once against a
+//! daemon with shedding disabled (every request queues, latency is
+//! dominated by queueing) and once with the queue-depth watermark
+//! enabled (excess requests get a typed `Overloaded` fast-reject).
+//! The bench records goodput, shed rate and the p99 of the requests
+//! that *were* admitted; the CI gate is that the shedding daemon's p99
+//! stays below the saturated daemon's p99 — i.e. shedding converts
+//! unbounded queueing delay into explicit, retryable rejections.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use reflex_service::protocol::{ERR_BUSY, ERR_OVERLOADED};
 use reflex_service::{
     serve, Client, Endpoint, Request, ServerConfig, ServiceConfig, ServiceCore, StatsSnapshot,
 };
@@ -37,6 +48,9 @@ pub struct ServeBenchConfig {
     /// When booting in-process: concurrent request executors
     /// (0: one per CPU).
     pub workers: usize,
+    /// Also run the 4x-capacity overload comparison (needs the
+    /// in-process daemon, so incompatible with `endpoint`).
+    pub overload: bool,
 }
 
 impl Default for ServeBenchConfig {
@@ -47,8 +61,31 @@ impl Default for ServeBenchConfig {
             endpoint: None,
             jobs: 1,
             workers: 0,
+            overload: false,
         }
     }
+}
+
+/// The overload comparison's measurements (see the module docs).
+#[derive(Debug, Clone)]
+pub struct OverloadBench {
+    /// Concurrent clients driven at the daemons (4x executor capacity).
+    pub clients: usize,
+    /// Requests attempted against the shedding daemon.
+    pub offered: usize,
+    /// Requests the shedding daemon admitted and completed.
+    pub completed: usize,
+    /// Requests the shedding daemon fast-rejected with `Overloaded`.
+    pub shed: usize,
+    /// Completed requests per second under shedding.
+    pub goodput_req_per_s: f64,
+    /// `shed / offered`.
+    pub shed_rate: f64,
+    /// p99 latency of admitted requests under shedding, milliseconds.
+    pub p99_ms: f64,
+    /// p99 latency of the same storm with shedding disabled
+    /// (everything queues), milliseconds — the number shedding beats.
+    pub saturated_p99_ms: f64,
 }
 
 /// The storm's measurements.
@@ -72,6 +109,8 @@ pub struct ServeBench {
     pub p99_ms: f64,
     /// The daemon's counters after the storm.
     pub stats: StatsSnapshot,
+    /// The overload comparison, when requested.
+    pub overload: Option<OverloadBench>,
 }
 
 /// The sorted-latency percentile (nearest-rank on an inclusive index).
@@ -83,87 +122,119 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.min(sorted_ms.len() - 1)]
 }
 
-/// Runs the storm (booting a scratch daemon if no endpoint is given)
-/// and gates on zero protocol errors and zero failed proofs.
-pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBench, BenchError> {
-    if config.clients == 0 || config.requests == 0 {
-        return Err(BenchError(
-            "serve bench needs at least one client and one request".into(),
-        ));
-    }
-    // One scratch daemon per run when no endpoint was given.
-    let scratch = config.endpoint.is_none().then(|| {
-        let path = std::env::temp_dir().join(format!(
-            "rxd-bench-{}-{:x}.sock",
-            std::process::id(),
-            Instant::now().elapsed().as_nanos()
-        ));
-        path
-    });
-    let local = match &scratch {
-        Some(path) => {
-            let core = ServiceCore::start(ServiceConfig {
-                jobs: config.jobs,
-                workers: config.workers,
-                ..ServiceConfig::default()
-            })
-            .map_err(|e| BenchError(format!("service core: {e}")))?;
-            let handle = serve(
-                Arc::new(core),
-                &ServerConfig {
-                    unix: Some(path.clone()),
-                    tcp: None,
-                },
-            )
-            .map_err(|e| BenchError(format!("bind {}: {e}", path.display())))?;
-            Some(handle)
-        }
-        None => None,
-    };
-    let endpoint = match (&config.endpoint, &scratch) {
-        (Some(e), _) => e.clone(),
-        (None, Some(path)) => Endpoint::Unix(path.clone()),
-        (None, None) => unreachable!("scratch socket exists when no endpoint was given"),
-    };
-
-    let source = reflex_kernels::car::SOURCE;
-    let verify_request = || Request::Verify {
+fn verify_request() -> Request {
+    Request::Verify {
         name: "car".to_owned(),
-        source: source.to_owned(),
+        source: reflex_kernels::car::SOURCE.to_owned(),
         property: None,
         budget_ms: None,
         budget_nodes: None,
         want_events: false,
-    };
+        deadline_ms: None,
+        idempotency_key: None,
+    }
+}
 
+/// A booted scratch daemon on a unique unix socket.
+struct ScratchDaemon {
+    path: std::path::PathBuf,
+    handle: reflex_service::ServerHandle,
+}
+
+impl ScratchDaemon {
+    fn boot(config: ServiceConfig, tag: &str) -> Result<ScratchDaemon, BenchError> {
+        let path = std::env::temp_dir().join(format!(
+            "rxd-bench-{tag}-{}-{:x}.sock",
+            std::process::id(),
+            Instant::now().elapsed().as_nanos()
+        ));
+        let core =
+            ServiceCore::start(config).map_err(|e| BenchError(format!("service core: {e}")))?;
+        let handle = serve(
+            Arc::new(core),
+            &ServerConfig {
+                unix: Some(path.clone()),
+                tcp: None,
+                ..ServerConfig::default()
+            },
+        )
+        .map_err(|e| BenchError(format!("bind {}: {e}", path.display())))?;
+        Ok(ScratchDaemon { path, handle })
+    }
+
+    fn endpoint(&self) -> Endpoint {
+        Endpoint::Unix(self.path.clone())
+    }
+
+    fn stop(self) {
+        self.handle.stop();
+        self.handle.core().shutdown();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// What one closed-loop storm measured.
+struct Storm {
+    /// Sorted latencies of completed requests, milliseconds.
+    latencies_ms: Vec<f64>,
+    /// Requests fast-rejected as Busy/Overloaded.
+    shed: usize,
+    /// Wall-clock for the whole storm, seconds.
+    wall_s: f64,
+}
+
+/// Drives `clients` x `requests` at `endpoint`. When `count_shed` is
+/// set, Busy/Overloaded rejections are tallied instead of failing the
+/// storm (the overload mode's shedding run); every other error is
+/// fatal either way.
+fn run_storm(
+    endpoint: &Endpoint,
+    clients: usize,
+    requests: usize,
+    count_shed: bool,
+) -> Result<Storm, BenchError> {
     // Warm the shared caches once so the storm measures the resident
     // service's steady state, which is the thing being benchmarked.
     {
         let mut warm =
-            Client::connect(&endpoint).map_err(|e| BenchError(format!("warmup connect: {e}")))?;
+            Client::connect(endpoint).map_err(|e| BenchError(format!("warmup connect: {e}")))?;
         warm.verify(verify_request(), &mut |_| {})
             .map_err(|e| BenchError(format!("warmup verify: {e}")))?;
     }
 
     let failed_props = AtomicU64::new(0);
+    let shed_total = AtomicU64::new(0);
     let storm_start = Instant::now();
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(config.clients * config.requests);
     let results: Vec<Result<Vec<f64>, BenchError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.clients)
+        let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let endpoint = endpoint.clone();
                 let failed_props = &failed_props;
+                let shed_total = &shed_total;
                 scope.spawn(move || {
                     let mut client = Client::connect(&endpoint)
                         .map_err(|e| BenchError(format!("client {c} connect: {e}")))?;
-                    let mut lat = Vec::with_capacity(config.requests);
-                    for i in 0..config.requests {
+                    let mut lat = Vec::with_capacity(requests);
+                    for i in 0..requests {
                         let start = Instant::now();
-                        let report = client
-                            .verify(verify_request(), &mut |_| {})
-                            .map_err(|e| BenchError(format!("client {c} request {i}: {e}")))?;
-                        lat.push(start.elapsed().as_secs_f64() * 1e3);
-                        failed_props.fetch_add(report.failures() as u64, Ordering::Relaxed);
+                        match client.verify(verify_request(), &mut |_| {}) {
+                            Ok(report) => {
+                                lat.push(start.elapsed().as_secs_f64() * 1e3);
+                                failed_props.fetch_add(report.failures() as u64, Ordering::Relaxed);
+                            }
+                            Err(e)
+                                if count_shed
+                                    && matches!(
+                                        e.remote_code(),
+                                        Some(ERR_BUSY) | Some(ERR_OVERLOADED)
+                                    ) =>
+                            {
+                                shed_total.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                return Err(BenchError(format!("client {c} request {i}: {e}")))
+                            }
+                        }
                     }
                     Ok(lat)
                 })
@@ -178,32 +249,132 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBench, BenchErr
             .collect()
     });
     let wall_s = storm_start.elapsed().as_secs_f64();
+    let mut latencies_ms = Vec::with_capacity(clients * requests);
     for result in results {
         latencies_ms.extend(result?);
     }
-
-    // The daemon's own verdict on the storm.
-    let stats = {
-        let mut probe =
-            Client::connect(&endpoint).map_err(|e| BenchError(format!("stats connect: {e}")))?;
-        probe
-            .stats()
-            .map_err(|e| BenchError(format!("stats: {e}")))?
-    };
-    if let Some(handle) = local {
-        handle.stop();
-        handle.core().shutdown();
-    }
-    if let Some(path) = &scratch {
-        let _ = std::fs::remove_file(path);
-    }
-
     if failed_props.load(Ordering::Relaxed) > 0 {
         return Err(BenchError(format!(
             "{} propert(y/ies) failed to prove under load",
             failed_props.load(Ordering::Relaxed)
         )));
     }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Ok(Storm {
+        latencies_ms,
+        shed: shed_total.load(Ordering::Relaxed) as usize,
+        wall_s,
+    })
+}
+
+/// Runs the 4x-capacity comparison: saturated (no shedding) vs shed
+/// (queue-depth watermark on), both on fresh in-process daemons.
+fn run_overload(config: &ServeBenchConfig) -> Result<OverloadBench, BenchError> {
+    let workers = if config.workers == 0 {
+        2
+    } else {
+        config.workers
+    };
+    let clients = (workers * 4).max(config.clients);
+    let requests = config.requests;
+
+    let base = ServiceConfig {
+        jobs: config.jobs,
+        workers,
+        ..ServiceConfig::default()
+    };
+
+    // Saturated baseline: everything queues, latency absorbs the queue.
+    let daemon = ScratchDaemon::boot(base.clone(), "sat")?;
+    let saturated = run_storm(&daemon.endpoint(), clients, requests, false);
+    daemon.stop();
+    let saturated = saturated?;
+
+    // Shedding run: admit roughly what the executors can drain, shed
+    // the rest with a typed fast-reject.
+    let daemon = ScratchDaemon::boot(
+        ServiceConfig {
+            shed_queue_depth: workers * 2,
+            shed_retry_after_ms: 25,
+            ..base
+        },
+        "shed",
+    )?;
+    let shed_storm = run_storm(&daemon.endpoint(), clients, requests, true);
+    daemon.stop();
+    let shed_storm = shed_storm?;
+
+    let offered = clients * requests;
+    let completed = shed_storm.latencies_ms.len();
+    Ok(OverloadBench {
+        clients,
+        offered,
+        completed,
+        shed: shed_storm.shed,
+        goodput_req_per_s: if shed_storm.wall_s > 0.0 {
+            completed as f64 / shed_storm.wall_s
+        } else {
+            0.0
+        },
+        shed_rate: if offered > 0 {
+            shed_storm.shed as f64 / offered as f64
+        } else {
+            0.0
+        },
+        p99_ms: percentile(&shed_storm.latencies_ms, 99.0),
+        saturated_p99_ms: percentile(&saturated.latencies_ms, 99.0),
+    })
+}
+
+/// Runs the storm (booting a scratch daemon if no endpoint is given)
+/// and gates on zero protocol errors and zero failed proofs.
+pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBench, BenchError> {
+    if config.clients == 0 || config.requests == 0 {
+        return Err(BenchError(
+            "serve bench needs at least one client and one request".into(),
+        ));
+    }
+    if config.overload && config.endpoint.is_some() {
+        return Err(BenchError(
+            "--overload boots its own daemons and cannot target an external endpoint".into(),
+        ));
+    }
+    // One scratch daemon per run when no endpoint was given.
+    let local = match &config.endpoint {
+        Some(_) => None,
+        None => Some(ScratchDaemon::boot(
+            ServiceConfig {
+                jobs: config.jobs,
+                workers: config.workers,
+                ..ServiceConfig::default()
+            },
+            "base",
+        )?),
+    };
+    let endpoint = match (&config.endpoint, &local) {
+        (Some(e), _) => e.clone(),
+        (None, Some(daemon)) => daemon.endpoint(),
+        (None, None) => unreachable!("scratch daemon exists when no endpoint was given"),
+    };
+
+    let storm = run_storm(&endpoint, config.clients, config.requests, false);
+
+    // The daemon's own verdict on the storm (fetched before teardown).
+    let stats = if storm.is_ok() {
+        Some(
+            Client::connect(&endpoint)
+                .map_err(|e| BenchError(format!("stats connect: {e}")))
+                .and_then(|mut probe| probe.stats().map_err(|e| BenchError(format!("stats: {e}")))),
+        )
+    } else {
+        None
+    };
+    if let Some(daemon) = local {
+        daemon.stop();
+    }
+    let storm = storm?;
+    let stats = stats.expect("storm succeeded")?;
+
     if stats.protocol_errors > 0 {
         return Err(BenchError(format!(
             "{} protocol error(s) under load",
@@ -211,22 +382,28 @@ pub fn run_serve_bench(config: &ServeBenchConfig) -> Result<ServeBench, BenchErr
         )));
     }
 
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let completed = latencies_ms.len();
+    let overload = if config.overload {
+        Some(run_overload(config)?)
+    } else {
+        None
+    };
+
+    let completed = storm.latencies_ms.len();
     Ok(ServeBench {
         clients: config.clients,
         requests_per_client: config.requests,
         completed,
-        wall_s,
-        req_per_s: if wall_s > 0.0 {
-            completed as f64 / wall_s
+        wall_s: storm.wall_s,
+        req_per_s: if storm.wall_s > 0.0 {
+            completed as f64 / storm.wall_s
         } else {
             0.0
         },
-        p50_ms: percentile(&latencies_ms, 50.0),
-        p95_ms: percentile(&latencies_ms, 95.0),
-        p99_ms: percentile(&latencies_ms, 99.0),
+        p50_ms: percentile(&storm.latencies_ms, 50.0),
+        p95_ms: percentile(&storm.latencies_ms, 95.0),
+        p99_ms: percentile(&storm.latencies_ms, 99.0),
         stats,
+        overload,
     })
 }
 
@@ -253,12 +430,32 @@ pub fn render_serve(b: &ServeBench) -> String {
         b.stats.protocol_errors,
         b.stats.connections
     );
+    if let Some(o) = &b.overload {
+        let _ = writeln!(
+            s,
+            "  overload:    {} clients offered {}, completed {} ({:.1} req/s goodput), shed {} ({:.0}%)",
+            o.clients,
+            o.offered,
+            o.completed,
+            o.goodput_req_per_s,
+            o.shed,
+            o.shed_rate * 100.0
+        );
+        let _ = writeln!(
+            s,
+            "  overload p99: {:.1} ms under shedding vs {:.1} ms saturated",
+            o.p99_ms, o.saturated_p99_ms
+        );
+    }
     s
 }
 
 /// Renders the storm as the `BENCH_serve.json` document.
 pub fn render_serve_json(b: &ServeBench) -> String {
-    format!(
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
         concat!(
             "{{\n",
             "  \"bench\": \"serve\",\n",
@@ -273,8 +470,7 @@ pub fn render_serve_json(b: &ServeBench) -> String {
             "  \"requests_served\": {},\n",
             "  \"rejected_busy\": {},\n",
             "  \"protocol_errors\": {},\n",
-            "  \"connections\": {}\n",
-            "}}\n"
+            "  \"connections\": {}"
         ),
         b.clients,
         b.requests_per_client,
@@ -288,5 +484,33 @@ pub fn render_serve_json(b: &ServeBench) -> String {
         b.stats.rejected_busy,
         b.stats.protocol_errors,
         b.stats.connections
-    )
+    );
+    if let Some(o) = &b.overload {
+        let _ = write!(
+            s,
+            concat!(
+                ",\n",
+                "  \"overload\": {{\n",
+                "    \"clients\": {},\n",
+                "    \"offered\": {},\n",
+                "    \"completed\": {},\n",
+                "    \"shed\": {},\n",
+                "    \"goodput_req_per_s\": {:.1},\n",
+                "    \"shed_rate\": {:.3},\n",
+                "    \"p99_ms\": {:.2},\n",
+                "    \"saturated_p99_ms\": {:.2}\n",
+                "  }}"
+            ),
+            o.clients,
+            o.offered,
+            o.completed,
+            o.shed,
+            o.goodput_req_per_s,
+            o.shed_rate,
+            o.p99_ms,
+            o.saturated_p99_ms
+        );
+    }
+    s.push_str("\n}\n");
+    s
 }

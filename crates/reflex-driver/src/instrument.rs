@@ -67,8 +67,11 @@ pub enum PropertyStatus {
     /// The proof search failed (the property may still be false or just
     /// beyond the automation).
     Failed,
-    /// Stopped by the session budget or cancellation.
+    /// Stopped by the session budget.
     Timeout,
+    /// Stopped by an explicit cancellation request (see
+    /// [`reflex_verify::Outcome::Cancelled`]).
+    Cancelled,
     /// The proof task panicked and was isolated (see
     /// [`reflex_verify::Outcome::Crashed`]).
     Crashed,
@@ -81,6 +84,7 @@ impl PropertyStatus {
             PropertyStatus::Proved => "proved",
             PropertyStatus::Failed => "failed",
             PropertyStatus::Timeout => "timeout",
+            PropertyStatus::Cancelled => "cancelled",
             PropertyStatus::Crashed => "crashed",
         }
     }

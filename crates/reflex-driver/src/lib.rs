@@ -56,7 +56,7 @@ use reflex_verify::{
 
 /// Why a session could not run to completion (as opposed to per-property
 /// proof failures, which are reported inside [`SessionReport`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum SessionError {
     /// The kernel source could not be read.
     Load {
@@ -276,8 +276,9 @@ impl Env {
 
 /// The result of one session run: outcomes, reuse classification, store
 /// traffic, the counter block, and the single serializer every `--stats`
-/// and `--json` consumer goes through.
-#[derive(Debug)]
+/// and `--json` consumer goes through. `Clone` so a resident service can
+/// cache whole reports for idempotent retries.
+#[derive(Debug, Clone)]
 pub struct SessionReport {
     /// Program name.
     pub program: String,
@@ -319,6 +320,14 @@ impl SessionReport {
         self.outcomes.iter().filter(|(_, o)| o.is_timeout()).count()
     }
 
+    /// Properties stopped by an explicit cancellation request.
+    pub fn cancellations(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.is_cancelled())
+            .count()
+    }
+
     /// How many proof tasks panicked and were isolated as
     /// [`Outcome::Crashed`].
     pub fn crashes(&self) -> usize {
@@ -350,6 +359,10 @@ impl SessionReport {
                 }
                 Outcome::Timeout(failure) => {
                     let _ = writeln!(s, "  ⏱ {name} (timeout)");
+                    let _ = writeln!(s, "      {failure}");
+                }
+                Outcome::Cancelled(failure) => {
+                    let _ = writeln!(s, "  ⊘ {name} (cancelled)");
                     let _ = writeln!(s, "      {failure}");
                 }
                 Outcome::Crashed(failure) => {
@@ -412,7 +425,7 @@ impl SessionReport {
         format!(
             concat!(
                 r#"{{"program":{},"jobs":{},"wall_ms":{:.1},"#,
-                r#""proved":{},"failed":{},"timeout":{},"crashed":{},"#,
+                r#""proved":{},"failed":{},"timeout":{},"cancelled":{},"crashed":{},"#,
                 r#""reused":{},"partial":{},"reproved":{},"#,
                 r#""store_loaded":{},"store_saved":{},"#,
                 r#""paths_explored":{},"cache_hits":{},"cache_misses":{},"#,
@@ -423,8 +436,9 @@ impl SessionReport {
             self.stats.jobs,
             self.wall_ms,
             self.proved(),
-            self.failures() - self.timeouts() - self.crashes(),
+            self.failures() - self.timeouts() - self.cancellations() - self.crashes(),
             self.timeouts(),
+            self.cancellations(),
             self.crashes(),
             self.reused.len(),
             self.partial.len(),
@@ -446,6 +460,7 @@ fn status_of(outcome: &Outcome) -> PropertyStatus {
     match outcome {
         Outcome::Proved(_) => PropertyStatus::Proved,
         Outcome::Timeout(_) => PropertyStatus::Timeout,
+        Outcome::Cancelled(_) => PropertyStatus::Cancelled,
         Outcome::Failed(_) => PropertyStatus::Failed,
         Outcome::Crashed(_) => PropertyStatus::Crashed,
     }

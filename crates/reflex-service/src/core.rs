@@ -67,10 +67,25 @@ pub struct ServiceConfig {
     pub clock: Option<Arc<dyn Clock>>,
     /// Record the scheduler's client pick order (fairness tests).
     pub record_schedule: bool,
+    /// Admission-control high watermark on *total* queued jobs across
+    /// all clients: a submit at or above it is shed immediately with
+    /// [`ServiceError::Overloaded`] instead of queueing. 0 disables.
+    pub shed_queue_depth: usize,
+    /// Per-client cap on queued + executing requests; beyond it a
+    /// submit is shed with [`ServiceError::Overloaded`]. 0 disables.
+    pub client_inflight_cap: usize,
+    /// `retry_after_ms` hint attached to shed rejections. 0 means the
+    /// default (100 ms).
+    pub shed_retry_after_ms: u64,
+    /// Completed-reply entries kept in the idempotency dedup window.
+    /// 0 means the default (256).
+    pub idempotency_window: usize,
 }
 
-/// Why the service refused or failed a request.
-#[derive(Debug)]
+/// Why the service refused or failed a request. `Clone` so an
+/// idempotent in-flight attempt can fan its result out to every
+/// attached retry.
+#[derive(Debug, Clone)]
 pub enum ServiceError {
     /// The client's queue is full — backpressure, retry after in-flight
     /// work drains.
@@ -78,6 +93,17 @@ pub enum ServiceError {
         /// The refused client.
         client: u64,
     },
+    /// Admission control shed the request before queueing it (global
+    /// queue depth or per-client in-flight watermark).
+    Overloaded {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was cancelled while still queued (a running request
+    /// instead finishes with a typed `Outcome::Cancelled` reply).
+    Cancelled,
+    /// The request's deadline expired before a worker picked it up.
+    DeadlineExpired,
     /// The core is shutting down and takes no new work.
     ShuttingDown,
     /// The request ran and failed (parse, typecheck, store…).
@@ -89,6 +115,13 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Busy { client } => {
                 write!(f, "client {client}: queue full, retry later")
+            }
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded, retry after {retry_after_ms} ms")
+            }
+            ServiceError::Cancelled => write!(f, "request cancelled while queued"),
+            ServiceError::DeadlineExpired => {
+                write!(f, "request deadline expired while queued")
             }
             ServiceError::ShuttingDown => write!(f, "service shutting down"),
             ServiceError::Session(e) => write!(f, "{e}"),
@@ -127,9 +160,15 @@ impl Ticket {
 
 /// One queued unit of work.
 struct Job {
+    client: u64,
+    request_id: u64,
     request: Request,
     sink: Arc<dyn Instrument + Send>,
     ticket: Arc<Ticket>,
+    /// Absolute deadline on the core clock, if the request carried one.
+    deadline_ns: Option<u64>,
+    /// The request's idempotency key, if any (Verify only).
+    idem_key: Option<u64>,
 }
 
 impl std::fmt::Debug for Job {
@@ -148,6 +187,11 @@ struct SchedState {
     /// Clients with at least one queued job, in pick order. Invariant
     /// (at lock release): `client ∈ ring ⟺ !queues[client].is_empty()`.
     ring: VecDeque<u64>,
+    /// Total queued jobs across all clients (the shed watermark input).
+    queued_total: usize,
+    /// Budgets of jobs currently executing, keyed `(client, request_id)`
+    /// — the handle [`ServiceCore::cancel`] trips for mid-run stops.
+    running: HashMap<(u64, u64), Arc<ProofBudget>>,
     /// Accepting new submissions.
     open: bool,
     /// Drop queued jobs instead of draining them (the crash path).
@@ -165,6 +209,7 @@ impl SchedState {
         let client = self.ring.pop_front()?;
         let queue = self.queues.get_mut(&client)?;
         let job = queue.pop_front()?;
+        self.queued_total -= 1;
         if !queue.is_empty() {
             self.ring.push_back(client);
         }
@@ -174,9 +219,43 @@ impl SchedState {
         Some(job)
     }
 
+    /// Removes a specific queued job, maintaining the ring invariant.
+    fn remove_queued(&mut self, client: u64, request_id: u64) -> Option<Job> {
+        let queue = self.queues.get_mut(&client)?;
+        let at = queue.iter().position(|j| j.request_id == request_id)?;
+        let job = queue.remove(at)?;
+        self.queued_total -= 1;
+        if queue.is_empty() {
+            self.ring.retain(|c| *c != client);
+        }
+        Some(job)
+    }
+
+    /// Queued + executing requests for one client.
+    fn inflight_of(&self, client: u64) -> usize {
+        let queued = self.queues.get(&client).map_or(0, VecDeque::len);
+        let running = self.running.keys().filter(|(c, _)| *c == client).count();
+        queued + running
+    }
+
     fn drained(&self) -> bool {
         self.active == 0 && self.queues.values().all(VecDeque::is_empty)
     }
+}
+
+/// What [`ServiceCore::cancel`] found to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelStatus {
+    /// The request was still queued; its ticket was filled with
+    /// [`ServiceError::Cancelled`] without running.
+    Queued,
+    /// The request was executing; its budget's cancellation flag was
+    /// set, so it will finish with a typed `Outcome::Cancelled` reply.
+    Running,
+    /// No such request is queued or running (already completed, or the
+    /// id was never submitted). Cancellation is idempotent: this is an
+    /// acknowledgement, not an error.
+    Unknown,
 }
 
 /// Service-wide counters (shared with the [`crate::server`] layer,
@@ -193,6 +272,20 @@ pub struct ServiceStats {
     pub protocol_errors: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Requests shed by admission control.
+    pub rejected_overloaded: AtomicU64,
+    /// Requests cancelled (queued kills and mid-run stops).
+    pub cancelled: AtomicU64,
+    /// Requests whose deadline expired while still queued.
+    pub deadline_expired: AtomicU64,
+    /// Verify requests answered from the idempotency window.
+    pub idempotent_hits: AtomicU64,
+    /// Verify requests that actually ran a proof session.
+    pub requests_executed: AtomicU64,
+    /// Connections reaped by the server's read/idle deadline.
+    pub reaped_connections: AtomicU64,
+    /// Transient `accept()` errors survived by the listener loop.
+    pub accept_errors: AtomicU64,
 }
 
 impl ServiceStats {
@@ -204,6 +297,72 @@ impl ServiceStats {
             rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            idempotent_hits: self.idempotent_hits.load(Ordering::Relaxed),
+            requests_executed: self.requests_executed.load(Ordering::Relaxed),
+            reaped_connections: self.reaped_connections.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One idempotency-window entry.
+enum IdemEntry {
+    /// The keyed request is queued or executing; retries attach their
+    /// tickets here and are filled when the first attempt finishes.
+    InFlight { followers: Vec<Arc<Ticket>> },
+    /// The keyed request completed; retries get the cached reply (the
+    /// certificates inside are the very bytes the first attempt
+    /// produced).
+    Done(Reply),
+}
+
+/// Bounded dedup window: key → entry, with completed entries evicted
+/// oldest-first past the cap. In-flight entries are bounded by the
+/// queues themselves and never evicted.
+#[derive(Default)]
+struct IdemWindow {
+    entries: HashMap<u64, IdemEntry>,
+    /// Completed keys in insertion order (the eviction queue).
+    done_order: VecDeque<u64>,
+}
+
+impl IdemWindow {
+    /// Records a completed keyed request and wakes attached retries.
+    /// Only successful replies are cached: a deterministic failure will
+    /// fail identically on a re-run, and caching errors would let one
+    /// transient fault poison every retry.
+    fn complete(&mut self, key: u64, result: &Result<Reply, ServiceError>, cap: usize) {
+        let followers = match self.entries.remove(&key) {
+            Some(IdemEntry::InFlight { followers }) => followers,
+            _ => Vec::new(),
+        };
+        for f in followers {
+            f.fill(result.clone());
+        }
+        if let Ok(reply) = result {
+            self.entries.insert(key, IdemEntry::Done(reply.clone()));
+            self.done_order.push_back(key);
+            while self.done_order.len() > cap {
+                if let Some(old) = self.done_order.pop_front() {
+                    if matches!(self.entries.get(&old), Some(IdemEntry::Done(_))) {
+                        self.entries.remove(&old);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops an in-flight entry whose first attempt died before
+    /// executing (cancelled / deadline-expired / abandoned), failing
+    /// attached retries with the same typed error.
+    fn fail_inflight(&mut self, key: u64, error: &ServiceError) {
+        if let Some(IdemEntry::InFlight { followers }) = self.entries.remove(&key) {
+            for f in followers {
+                f.fill(Err(error.clone()));
+            }
         }
     }
 }
@@ -218,7 +377,18 @@ struct Inner {
     max_budget_ms: Option<u64>,
     max_budget_nodes: Option<u64>,
     record_schedule: bool,
+    shed_queue_depth: usize,
+    client_inflight_cap: usize,
+    shed_retry_after_ms: u64,
+    idempotency_cap: usize,
     state: Mutex<SchedState>,
+    /// The idempotency dedup window. Lock order: `state` before `idem`
+    /// when both are held (submit); workers take `idem` alone.
+    idem: Mutex<IdemWindow>,
+    /// Internal request-id source for [`ServiceCore::request`] callers
+    /// that have no wire ids; starts in the top half of the id space so
+    /// it can never collide with a connection's frame ids.
+    next_internal_id: AtomicU64,
     /// Woken on submit, job completion and shutdown; workers and the
     /// draining shutdown both wait on it.
     changed: Condvar,
@@ -273,10 +443,24 @@ impl ServiceCore {
             max_budget_ms: config.max_budget_ms,
             max_budget_nodes: config.max_budget_nodes,
             record_schedule: config.record_schedule,
+            shed_queue_depth: config.shed_queue_depth,
+            client_inflight_cap: config.client_inflight_cap,
+            shed_retry_after_ms: if config.shed_retry_after_ms == 0 {
+                100
+            } else {
+                config.shed_retry_after_ms
+            },
+            idempotency_cap: if config.idempotency_window == 0 {
+                256
+            } else {
+                config.idempotency_window
+            },
             state: Mutex::new(SchedState {
                 open: true,
                 ..SchedState::default()
             }),
+            idem: Mutex::new(IdemWindow::default()),
+            next_internal_id: AtomicU64::new(1 << 63),
             changed: Condvar::new(),
             stats: ServiceStats::default(),
         });
@@ -309,12 +493,17 @@ impl ServiceCore {
     }
 
     /// Enqueues a request for `client`, refusing with
-    /// [`ServiceError::Busy`] when the client's queue is at its cap.
-    /// Events stream into `sink` while the request runs; the returned
-    /// ticket blocks until the terminal reply.
+    /// [`ServiceError::Busy`] when the client's queue is at its cap and
+    /// with [`ServiceError::Overloaded`] when admission control's
+    /// watermarks say queueing would only grow the backlog. Events
+    /// stream into `sink` while the request runs; the returned ticket
+    /// blocks until the terminal reply. `request_id` must be unique
+    /// among the client's live requests — it is the handle
+    /// [`ServiceCore::cancel`] takes.
     pub fn submit(
         &self,
         client: u64,
+        request_id: u64,
         request: Request,
         sink: Arc<dyn Instrument + Send>,
     ) -> Result<Arc<Ticket>, ServiceError> {
@@ -323,18 +512,97 @@ impl ServiceCore {
         if !state.open {
             return Err(ServiceError::ShuttingDown);
         }
+        // Idempotency first: a retry of known work is never shed — it
+        // costs nothing to answer from the window.
+        let (deadline_ms, idem_key) = match &request {
+            Request::Verify {
+                deadline_ms,
+                idempotency_key,
+                ..
+            } => (*deadline_ms, *idempotency_key),
+            _ => (None, None),
+        };
+        if let Some(key) = idem_key {
+            let mut idem = inner.idem.lock().expect("idempotency window poisoned");
+            match idem.entries.get_mut(&key) {
+                Some(IdemEntry::Done(reply)) => {
+                    let ticket = Arc::new(Ticket::default());
+                    ticket.fill(Ok(reply.clone()));
+                    inner.stats.idempotent_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ticket);
+                }
+                Some(IdemEntry::InFlight { followers }) => {
+                    let ticket = Arc::new(Ticket::default());
+                    followers.push(Arc::clone(&ticket));
+                    inner.stats.idempotent_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(ticket);
+                }
+                None => {
+                    idem.entries.insert(
+                        key,
+                        IdemEntry::InFlight {
+                            followers: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
+        // Admission control: shed fast while the backlog is high
+        // instead of buffering up to the hard cap.
+        let shed = (inner.shed_queue_depth > 0 && state.queued_total >= inner.shed_queue_depth)
+            || (inner.client_inflight_cap > 0
+                && state.inflight_of(client) >= inner.client_inflight_cap);
+        if shed {
+            if let Some(key) = idem_key {
+                inner
+                    .idem
+                    .lock()
+                    .expect("idempotency window poisoned")
+                    .entries
+                    .remove(&key);
+            }
+            inner
+                .stats
+                .rejected_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                retry_after_ms: inner.shed_retry_after_ms,
+            });
+        }
         let queue = state.queues.entry(client).or_default();
         if queue.len() >= inner.queue_cap {
+            if let Some(key) = idem_key {
+                inner
+                    .idem
+                    .lock()
+                    .expect("idempotency window poisoned")
+                    .entries
+                    .remove(&key);
+            }
             inner.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
             return Err(ServiceError::Busy { client });
         }
+        // Only read the clock when a deadline was actually asked for:
+        // under the simulator's virtual clock every read advances time,
+        // so deadline-free requests must stay read-free.
+        let deadline_ns = deadline_ms.map(|ms| {
+            inner
+                .clock
+                .now_ns()
+                .saturating_add(ms.saturating_mul(1_000_000))
+        });
         let ticket = Arc::new(Ticket::default());
         let was_empty = queue.is_empty();
         queue.push_back(Job {
+            client,
+            request_id,
             request,
             sink,
             ticket: Arc::clone(&ticket),
+            deadline_ns,
+            idem_key,
         });
+        state.queued_total += 1;
         if was_empty {
             state.ring.push_back(client);
         }
@@ -348,14 +616,46 @@ impl ServiceCore {
     }
 
     /// Submits and waits: the blocking convenience the in-process CLI
-    /// path uses.
+    /// path uses. Request ids are allocated internally (no wire ids to
+    /// collide with).
     pub fn request(
         &self,
         client: u64,
         request: Request,
         sink: Arc<dyn Instrument + Send>,
     ) -> Result<Reply, ServiceError> {
-        self.submit(client, request, sink)?.wait()
+        let id = self.inner.next_internal_id.fetch_add(1, Ordering::Relaxed);
+        self.submit(client, id, request, sink)?.wait()
+    }
+
+    /// Cancels a queued or running request. A queued request dies here
+    /// with [`ServiceError::Cancelled`]; a running one gets its
+    /// budget's cancellation flag set and finishes with a typed
+    /// `Outcome::Cancelled` reply. Unknown or completed ids are a
+    /// no-op acknowledgement.
+    pub fn cancel(&self, client: u64, request_id: u64) -> CancelStatus {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("scheduler poisoned");
+        if let Some(job) = state.remove_queued(client, request_id) {
+            drop(state);
+            if let Some(key) = job.idem_key {
+                inner
+                    .idem
+                    .lock()
+                    .expect("idempotency window poisoned")
+                    .fail_inflight(key, &ServiceError::Cancelled);
+            }
+            job.ticket.fill(Err(ServiceError::Cancelled));
+            inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            inner.changed.notify_all();
+            return CancelStatus::Queued;
+        }
+        if let Some(budget) = state.running.get(&(client, request_id)) {
+            budget.cancel();
+            inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            return CancelStatus::Running;
+        }
+        CancelStatus::Unknown
     }
 
     /// A watch loop over this core's shared env: the in-process
@@ -369,7 +669,15 @@ impl ServiceCore {
         budget_ms: Option<u64>,
         budget_nodes: Option<u64>,
     ) -> WatchSession {
-        let budget = request_budget(&self.inner, budget_ms, budget_nodes);
+        let ms = clamp(budget_ms, self.inner.max_budget_ms);
+        let nodes = clamp(budget_nodes, self.inner.max_budget_nodes);
+        let budget = (ms.is_some() || nodes.is_some()).then(|| {
+            Arc::new(ProofBudget::new_with_clock(
+                Arc::clone(&self.inner.clock),
+                ms.map(Duration::from_millis),
+                nodes,
+            ))
+        });
         let session = match budget {
             Some(_) => VerifySession::with_env_budget(Arc::clone(&self.inner.env), budget),
             None => VerifySession::with_env(Arc::clone(&self.inner.env)),
@@ -422,9 +730,17 @@ impl ServiceCore {
             state.open = false;
             state.aborting = true;
             state.ring.clear();
+            state.queued_total = 0;
             state.queues.values_mut().flat_map(std::mem::take).collect()
         };
         for job in dropped {
+            if let Some(key) = job.idem_key {
+                self.inner
+                    .idem
+                    .lock()
+                    .expect("idempotency window poisoned")
+                    .fail_inflight(key, &ServiceError::ShuttingDown);
+            }
             job.ticket.fill(Err(ServiceError::ShuttingDown));
         }
         self.inner.changed.notify_all();
@@ -441,15 +757,42 @@ impl ServiceCore {
 
 fn worker_loop(inner: &Inner) {
     loop {
-        let job = {
+        let (job, budget) = {
             let mut state = inner.state.lock().expect("scheduler poisoned");
             loop {
                 if state.aborting {
                     return;
                 }
                 if let Some(job) = state.pop_next(inner.record_schedule) {
+                    // Expired-in-queue: answer with the typed error
+                    // without spending a worker on it.
+                    if let Some(deadline_ns) = job.deadline_ns {
+                        if inner.clock.now_ns() >= deadline_ns {
+                            drop(state);
+                            if let Some(key) = job.idem_key {
+                                inner
+                                    .idem
+                                    .lock()
+                                    .expect("idempotency window poisoned")
+                                    .fail_inflight(key, &ServiceError::DeadlineExpired);
+                            }
+                            inner.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                            job.ticket.fill(Err(ServiceError::DeadlineExpired));
+                            inner.changed.notify_all();
+                            state = inner.state.lock().expect("scheduler poisoned");
+                            continue;
+                        }
+                    }
                     state.active += 1;
-                    break job;
+                    // Every job gets a budget — unlimited if nothing was
+                    // asked — so it is always cancellable mid-run. The
+                    // remaining deadline folds into the wall axis, so
+                    // mid-run expiry surfaces as a typed Timeout reply.
+                    let budget = request_budget(inner, &job);
+                    state
+                        .running
+                        .insert((job.client, job.request_id), Arc::clone(&budget));
+                    break (job, budget);
                 }
                 if !state.open {
                     // Intake is closed and nothing is queued: drained.
@@ -458,11 +801,19 @@ fn worker_loop(inner: &Inner) {
                 state = inner.changed.wait(state).expect("scheduler poisoned");
             }
         };
-        let result = execute(inner, job.request, &*job.sink);
+        let result = execute(inner, job.request, &*job.sink, budget);
         inner.stats.requests_served.fetch_add(1, Ordering::Relaxed);
+        if let Some(key) = job.idem_key {
+            inner
+                .idem
+                .lock()
+                .expect("idempotency window poisoned")
+                .complete(key, &result, inner.idempotency_cap);
+        }
         job.ticket.fill(result);
         {
             let mut state = inner.state.lock().expect("scheduler poisoned");
+            state.running.remove(&(job.client, job.request_id));
             state.active -= 1;
         }
         inner.changed.notify_all();
@@ -470,7 +821,12 @@ fn worker_loop(inner: &Inner) {
 }
 
 /// Runs one request to its terminal reply.
-fn execute(inner: &Inner, request: Request, sink: &dyn Instrument) -> Result<Reply, ServiceError> {
+fn execute(
+    inner: &Inner,
+    request: Request,
+    sink: &dyn Instrument,
+    budget: Arc<ProofBudget>,
+) -> Result<Reply, ServiceError> {
     match request {
         Request::Ping => Ok(Reply::Pong),
         Request::Check { name, source } => {
@@ -492,12 +848,13 @@ fn execute(inner: &Inner, request: Request, sink: &dyn Instrument) -> Result<Rep
             name,
             source,
             property,
-            budget_ms,
-            budget_nodes,
-            want_events: _,
+            ..
         } => {
-            let budget = request_budget(inner, budget_ms, budget_nodes);
-            let session = VerifySession::with_env_budget(Arc::clone(&inner.env), budget)
+            inner
+                .stats
+                .requests_executed
+                .fetch_add(1, Ordering::Relaxed);
+            let session = VerifySession::with_env_budget(Arc::clone(&inner.env), Some(budget))
                 .with_property(property);
             let report = session
                 .verify_source(&name, &source, sink)
@@ -507,23 +864,35 @@ fn execute(inner: &Inner, request: Request, sink: &dyn Instrument) -> Result<Rep
     }
 }
 
-/// The request's effective budget: its own asks clamped to the
-/// per-client caps (a capped dimension applies even when the request
-/// asked for nothing).
-fn request_budget(
-    inner: &Inner,
-    budget_ms: Option<u64>,
-    budget_nodes: Option<u64>,
-) -> Option<Arc<ProofBudget>> {
-    let ms = clamp(budget_ms, inner.max_budget_ms);
+/// The job's effective budget: its own asks clamped to the per-client
+/// caps (a capped dimension applies even when the request asked for
+/// nothing), with any remaining deadline folded into the wall axis.
+/// Always present, so every running job doubles as a cancellation
+/// target; an unlimited budget never reads the clock, keeping
+/// deadline-free simulator runs read-for-read identical.
+fn request_budget(inner: &Inner, job: &Job) -> Arc<ProofBudget> {
+    let (budget_ms, budget_nodes) = match &job.request {
+        Request::Verify {
+            budget_ms,
+            budget_nodes,
+            ..
+        } => (*budget_ms, *budget_nodes),
+        _ => (None, None),
+    };
+    let mut ms = clamp(budget_ms, inner.max_budget_ms);
+    if let Some(deadline_ns) = job.deadline_ns {
+        let left_ms = deadline_ns
+            .saturating_sub(inner.clock.now_ns())
+            .div_ceil(1_000_000)
+            .max(1);
+        ms = Some(ms.map_or(left_ms, |m| m.min(left_ms)));
+    }
     let nodes = clamp(budget_nodes, inner.max_budget_nodes);
-    (ms.is_some() || nodes.is_some()).then(|| {
-        Arc::new(ProofBudget::new_with_clock(
-            Arc::clone(&inner.clock),
-            ms.map(Duration::from_millis),
-            nodes,
-        ))
-    })
+    Arc::new(ProofBudget::new_with_clock(
+        Arc::clone(&inner.clock),
+        ms.map(Duration::from_millis),
+        nodes,
+    ))
 }
 
 fn clamp(requested: Option<u64>, cap: Option<u64>) -> Option<u64> {

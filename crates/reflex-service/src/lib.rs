@@ -28,7 +28,7 @@ pub mod core;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, Endpoint};
-pub use core::{ServiceConfig, ServiceCore, ServiceError, ServiceStats, Ticket};
+pub use client::{Client, ClientError, Duplex, Endpoint, RetryPolicy, RetryStats, RetryingClient};
+pub use core::{CancelStatus, ServiceConfig, ServiceCore, ServiceError, ServiceStats, Ticket};
 pub use protocol::{CheckSummary, Reply, Request, StatsSnapshot};
 pub use server::{serve, ServerConfig, ServerHandle};

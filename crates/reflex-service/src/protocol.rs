@@ -37,7 +37,11 @@ use reflex_verify::{
 pub const MAGIC: u32 = 0x5258_4431;
 
 /// Protocol version, bumped on any incompatible frame change.
-pub const VERSION: u16 = 1;
+/// Version 2 added [`CANCEL`], per-request deadlines and idempotency
+/// keys on `Verify`, the overload/cancel/deadline [`ERROR`] codes
+/// (with an optional `retry_after_ms` hint), and the extended
+/// [`StatsSnapshot`].
+pub const VERSION: u16 = 2;
 
 /// Upper bound on `len` (kind + request id + payload), 8 MiB. A frame
 /// announcing more is answered with [`ERR_OVERSIZED`] and the
@@ -66,6 +70,16 @@ pub const SHUTDOWN: u8 = 9;
 /// Server → client: shutdown acknowledged; the server drains queued
 /// work, group-commits the store and exits.
 pub const SHUTDOWN_OK: u8 = 10;
+/// Client → server: cancel the in-flight or queued request whose id is
+/// in the frame header (empty payload). Answered through the original
+/// request's terminal frame: a queued request dies with
+/// [`ERR_CANCELLED`], a running one finishes with a typed
+/// `Outcome::Cancelled` reply. A CANCEL for an unknown or completed id
+/// is acknowledged with [`CANCEL_OK`] and otherwise ignored.
+pub const CANCEL: u8 = 11;
+/// Server → client: the [`CANCEL`] frame was processed (whether or not
+/// it found a live request), tagged with the cancelled request's id.
+pub const CANCEL_OK: u8 = 12;
 
 /// [`ERROR`] code: a frame or payload failed to decode.
 pub const ERR_MALFORMED: u16 = 1;
@@ -83,6 +97,20 @@ pub const ERR_SHUTDOWN: u16 = 5;
 pub const ERR_REQUEST: u16 = 6;
 /// [`ERROR`] code: an internal invariant broke while serving.
 pub const ERR_INTERNAL: u16 = 7;
+/// [`ERROR`] code: the request was cancelled while still queued (a
+/// request cancelled mid-run instead gets a typed `Cancelled` reply).
+pub const ERR_CANCELLED: u16 = 8;
+/// [`ERROR`] code: the request's deadline expired before it started
+/// running (expiry mid-run yields a typed `Timeout` reply instead).
+pub const ERR_DEADLINE: u16 = 9;
+/// [`ERROR`] code: admission control shed the request before queueing
+/// it (load above the high watermark or the per-client in-flight cap).
+/// The payload carries a `retry_after_ms` hint — see
+/// [`decode_error_retry`].
+pub const ERR_OVERLOADED: u16 = 10;
+/// [`ERROR`] code: the connection sat idle (or mid-frame) past the
+/// server's read deadline and is being reaped.
+pub const ERR_IDLE: u16 = 11;
 
 /// One decoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -384,6 +412,17 @@ pub enum Request {
         /// Stream per-stage/per-property [`EVENT`] frames back while
         /// the request runs.
         want_events: bool,
+        /// Relative deadline, ms from admission on the server's clock.
+        /// A request still queued when it expires dies with
+        /// [`ERR_DEADLINE`]; one already running is stopped with a
+        /// typed `Timeout` reply. Folds into the wall budget.
+        deadline_ms: Option<u64>,
+        /// Client-generated idempotency key. Two `Verify` requests with
+        /// the same key inside the server's dedup window are one unit
+        /// of work: a retry of a completed attempt returns the cached
+        /// reply (byte-identical certificates), a retry of an in-flight
+        /// attempt attaches to it instead of re-proving.
+        idempotency_key: Option<u64>,
     },
 }
 
@@ -408,6 +447,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             budget_ms,
             budget_nodes,
             want_events,
+            deadline_ms,
+            idempotency_key,
         } => {
             e.u8(REQ_VERIFY);
             e.str(name);
@@ -416,6 +457,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.opt_u64(*budget_ms);
             e.opt_u64(*budget_nodes);
             e.bool(*want_events);
+            e.opt_u64(*deadline_ms);
+            e.opt_u64(*idempotency_key);
         }
     }
     e.buf
@@ -437,6 +480,8 @@ pub fn decode_request(payload: &[u8]) -> Option<Request> {
             budget_ms: d.opt_u64()?,
             budget_nodes: d.opt_u64()?,
             want_events: d.bool()?,
+            deadline_ms: d.opt_u64()?,
+            idempotency_key: d.opt_u64()?,
         },
         _ => return None,
     };
@@ -461,8 +506,9 @@ pub struct CheckSummary {
     pub properties: u64,
 }
 
-/// The terminal answer to one [`Request`].
-#[derive(Debug)]
+/// The terminal answer to one [`Request`]. `Clone` so the service core
+/// can cache replies for idempotent retries.
+#[derive(Debug, Clone)]
 pub enum Reply {
     /// Answer to [`Request::Ping`].
     Pong,
@@ -524,6 +570,7 @@ const OUT_PROVED: u8 = 0;
 const OUT_FAILED: u8 = 1;
 const OUT_TIMEOUT: u8 = 2;
 const OUT_CRASHED: u8 = 3;
+const OUT_CANCELLED: u8 = 4;
 
 fn enc_outcome(e: &mut Enc, outcome: &Outcome) {
     match outcome {
@@ -531,10 +578,11 @@ fn enc_outcome(e: &mut Enc, outcome: &Outcome) {
             e.u8(OUT_PROVED);
             e.bytes(&certificate_to_bytes(cert));
         }
-        Outcome::Failed(f) | Outcome::Timeout(f) | Outcome::Crashed(f) => {
+        Outcome::Failed(f) | Outcome::Timeout(f) | Outcome::Cancelled(f) | Outcome::Crashed(f) => {
             e.u8(match outcome {
                 Outcome::Failed(_) => OUT_FAILED,
                 Outcome::Timeout(_) => OUT_TIMEOUT,
+                Outcome::Cancelled(_) => OUT_CANCELLED,
                 _ => OUT_CRASHED,
             });
             e.str(&f.location);
@@ -555,6 +603,7 @@ fn dec_outcome(d: &mut Dec) -> Option<Outcome> {
     match tag {
         OUT_FAILED => Some(Outcome::Failed(failure)),
         OUT_TIMEOUT => Some(Outcome::Timeout(failure)),
+        OUT_CANCELLED => Some(Outcome::Cancelled(failure)),
         OUT_CRASHED => Some(Outcome::Crashed(failure)),
         _ => None,
     }
@@ -693,6 +742,22 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     /// Connections accepted over the daemon's lifetime.
     pub connections: u64,
+    /// Requests shed with [`ERR_OVERLOADED`] by admission control.
+    pub rejected_overloaded: u64,
+    /// Requests that ended cancelled (queued kills and mid-run stops).
+    pub cancelled: u64,
+    /// Requests whose deadline expired while still queued.
+    pub deadline_expired: u64,
+    /// Verify requests answered from the idempotency window (cached
+    /// reply or attach-to-in-flight) without re-proving.
+    pub idempotent_hits: u64,
+    /// Verify requests that actually executed a proof session (the
+    /// denominator for the duplicate-work invariant).
+    pub requests_executed: u64,
+    /// Connections reaped by the server's read/idle deadline.
+    pub reaped_connections: u64,
+    /// Transient `accept()` errors survived by the listener loop.
+    pub accept_errors: u64,
 }
 
 /// Encodes a [`StatsSnapshot`] as a [`STATS_REPLY`] payload.
@@ -703,6 +768,13 @@ pub fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
     e.u64(s.rejected_busy);
     e.u64(s.protocol_errors);
     e.u64(s.connections);
+    e.u64(s.rejected_overloaded);
+    e.u64(s.cancelled);
+    e.u64(s.deadline_expired);
+    e.u64(s.idempotent_hits);
+    e.u64(s.requests_executed);
+    e.u64(s.reaped_connections);
+    e.u64(s.accept_errors);
     e.buf
 }
 
@@ -715,26 +787,48 @@ pub fn decode_stats(payload: &[u8]) -> Option<StatsSnapshot> {
         rejected_busy: d.u64()?,
         protocol_errors: d.u64()?,
         connections: d.u64()?,
+        rejected_overloaded: d.u64()?,
+        cancelled: d.u64()?,
+        deadline_expired: d.u64()?,
+        idempotent_hits: d.u64()?,
+        requests_executed: d.u64()?,
+        reaped_connections: d.u64()?,
+        accept_errors: d.u64()?,
     };
     d.finish()?;
     Some(s)
 }
 
-/// Builds an [`ERROR`] frame payload.
+/// Builds an [`ERROR`] frame payload (no retry hint).
 pub fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    encode_error_retry(code, message, None)
+}
+
+/// Builds an [`ERROR`] frame payload carrying an optional
+/// `retry_after_ms` hint (used by [`ERR_OVERLOADED`]).
+pub fn encode_error_retry(code: u16, message: &str, retry_after_ms: Option<u64>) -> Vec<u8> {
     let mut e = Enc::new();
     e.u16(code);
     e.str(message);
+    e.opt_u64(retry_after_ms);
     e.buf
 }
 
-/// Decodes an [`ERROR`] frame payload into `(code, message)`.
+/// Decodes an [`ERROR`] frame payload into `(code, message)`, dropping
+/// any retry hint.
 pub fn decode_error(payload: &[u8]) -> Option<(u16, String)> {
+    decode_error_retry(payload).map(|(code, message, _)| (code, message))
+}
+
+/// Decodes an [`ERROR`] frame payload into
+/// `(code, message, retry_after_ms)`.
+pub fn decode_error_retry(payload: &[u8]) -> Option<(u16, String, Option<u64>)> {
     let mut d = Dec::new(payload);
     let code = d.u16()?;
     let message = d.str()?;
+    let retry_after_ms = d.opt_u64()?;
     d.finish()?;
-    Some((code, message))
+    Some((code, message, retry_after_ms))
 }
 
 /// Builds the [`HELLO`] payload.

@@ -7,10 +7,10 @@ use std::io::Cursor;
 use proptest::prelude::*;
 use reflex_driver::{NullSink, SessionConfig, VerifySession};
 use reflex_service::protocol::{
-    decode_error, decode_hello, decode_reply, decode_request, decode_stats, enc_report,
-    encode_error, encode_hello, encode_reply, encode_request, encode_stats, read_frame,
-    write_frame, Dec, Enc, Frame, ProtoError, Reply, Request, StatsSnapshot, HELLO, MAX_FRAME,
-    REQUEST,
+    decode_error, decode_error_retry, decode_hello, decode_reply, decode_request, decode_stats,
+    enc_report, encode_error, encode_error_retry, encode_hello, encode_reply, encode_request,
+    encode_stats, read_frame, write_frame, Dec, Enc, Frame, ProtoError, Reply, Request,
+    StatsSnapshot, HELLO, MAX_FRAME, REQUEST,
 };
 
 fn roundtrip_frame(frame: &Frame) -> Frame {
@@ -115,6 +115,8 @@ fn request_payloads_roundtrip() {
             budget_ms: Some(250),
             budget_nodes: None,
             want_events: true,
+            deadline_ms: Some(5_000),
+            idempotency_key: Some(0xfeed_beef_dead_cafe),
         },
         Request::Verify {
             name: String::new(),
@@ -123,6 +125,8 @@ fn request_payloads_roundtrip() {
             budget_ms: None,
             budget_nodes: Some(u64::MAX),
             want_events: false,
+            deadline_ms: None,
+            idempotency_key: None,
         },
     ] {
         let decoded = decode_request(&encode_request(&request)).expect("request decodes");
@@ -138,11 +142,31 @@ fn stats_error_and_hello_payloads_roundtrip() {
         rejected_busy: 3,
         protocol_errors: 4,
         connections: 5,
+        rejected_overloaded: 6,
+        cancelled: 7,
+        deadline_expired: 8,
+        idempotent_hits: 9,
+        requests_executed: 10,
+        reaped_connections: 11,
+        accept_errors: 12,
     };
     assert_eq!(decode_stats(&encode_stats(&stats)), Some(stats));
 
     let (code, message) = decode_error(&encode_error(6, "queue full")).expect("error decodes");
     assert_eq!((code, message.as_str()), (6, "queue full"));
+
+    // The retry-hint variant round-trips both with and without a hint,
+    // and the hintless decoder still reads a hinted payload.
+    let hinted = encode_error_retry(10, "shedding", Some(250));
+    assert_eq!(
+        decode_error_retry(&hinted),
+        Some((10, "shedding".to_owned(), Some(250)))
+    );
+    assert_eq!(decode_error(&hinted), Some((10, "shedding".to_owned())));
+    assert_eq!(
+        decode_error_retry(&encode_error(6, "queue full")),
+        Some((6, "queue full".to_owned(), None))
+    );
 
     assert_eq!(
         decode_hello(&encode_hello()),
@@ -237,6 +261,8 @@ proptest! {
             budget_ms: budget,
             budget_nodes: budget.map(|b| b.saturating_mul(2)),
             want_events: budget.is_some(),
+            deadline_ms: budget.map(|b| b + 1),
+            idempotency_key: budget,
         };
         let mut payload = encode_request(&request);
         let index = flip_at % payload.len();

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
 pub mod presets;
 pub mod repro;
 pub mod scenario;
@@ -71,11 +72,24 @@ pub enum Scenario {
     /// directory must warm-reuse every committed certificate with
     /// nothing quarantined.
     DaemonRestart,
+    /// A retrying client talking to a real daemon through FaultyNet, the
+    /// seeded fault-injecting transport: frames are dropped, duplicated,
+    /// truncated and cut mid-stream. Every logical request must end in a
+    /// report or a typed error (never a hang or protocol confusion), the
+    /// idempotency window must prevent duplicate proof work, and every
+    /// served certificate must match the one-shot baseline bytes.
+    NetPartition,
+    /// Hostile slow peers against a daemon with tight read deadlines: a
+    /// slow-loris connection trickles a frame byte by byte while a
+    /// well-behaved client verifies. The slow peer must be reaped with a
+    /// typed error within its deadline and the worker pool must keep
+    /// serving throughout.
+    SlowClient,
 }
 
 impl Scenario {
     /// All scenarios, in the order the swarm runs them.
-    pub const ALL: [Scenario; 7] = [
+    pub const ALL: [Scenario; 9] = [
         Scenario::Chaos,
         Scenario::Watch,
         Scenario::Soak,
@@ -83,6 +97,8 @@ impl Scenario {
         Scenario::CompactionRace,
         Scenario::ClientStorm,
         Scenario::DaemonRestart,
+        Scenario::NetPartition,
+        Scenario::SlowClient,
     ];
 
     /// The scenario's stable command-line / JSON label.
@@ -95,6 +111,8 @@ impl Scenario {
             Scenario::CompactionRace => "compaction-race",
             Scenario::ClientStorm => "client-storm",
             Scenario::DaemonRestart => "daemon-crash-restart",
+            Scenario::NetPartition => "net-partition",
+            Scenario::SlowClient => "slow-client",
         }
     }
 
@@ -114,6 +132,8 @@ impl Scenario {
             Scenario::CompactionRace => 4,
             Scenario::ClientStorm => 4,
             Scenario::DaemonRestart => 4,
+            Scenario::NetPartition => 8,
+            Scenario::SlowClient => 2,
         }
     }
 }
@@ -128,7 +148,7 @@ impl std::fmt::Display for Scenario {
 /// one (see [`SimConfig::disabled`]) zeroes that source of injected
 /// nondeterminism; the shrinker uses this to report which streams a
 /// violation actually needs.
-pub const FAULT_STREAMS: [&str; 3] = ["fs", "world", "panic"];
+pub const FAULT_STREAMS: [&str; 4] = ["fs", "world", "panic", "net"];
 
 /// One deterministic simulation run: scenario, root seed, step bound and
 /// the knobs the shrinker minimizes over.
@@ -198,6 +218,15 @@ pub enum ViolationKind {
     /// A certificate group-committed before a crash was not served warm
     /// after the restart.
     RestartLoss,
+    /// A logical request ended without a reply *and* without a typed
+    /// error: the client hung, or was left protocol-confused.
+    LostReply,
+    /// The service executed the same idempotent request more than once
+    /// inside the dedup window.
+    DuplicateWork,
+    /// The worker pool (or a hostile peer's reaping) stalled: a
+    /// well-behaved request or the reap deadline did not complete.
+    Stall,
     /// The deliberate violation scheduled by
     /// [`SimConfig::inject_violation_at`].
     Injected,
@@ -215,6 +244,9 @@ impl ViolationKind {
             ViolationKind::CompactionLoss => "compaction-loss",
             ViolationKind::Starvation => "starvation",
             ViolationKind::RestartLoss => "restart-loss",
+            ViolationKind::LostReply => "lost-reply",
+            ViolationKind::DuplicateWork => "duplicate-work",
+            ViolationKind::Stall => "stall",
             ViolationKind::Injected => "injected",
         }
     }
@@ -230,6 +262,9 @@ impl ViolationKind {
             ViolationKind::CompactionLoss,
             ViolationKind::Starvation,
             ViolationKind::RestartLoss,
+            ViolationKind::LostReply,
+            ViolationKind::DuplicateWork,
+            ViolationKind::Stall,
             ViolationKind::Injected,
         ]
         .into_iter()
@@ -310,6 +345,8 @@ impl Sim {
             Scenario::CompactionRace => scenario::run_compaction_race(config, &mut trace),
             Scenario::ClientStorm => scenario::run_client_storm(config, &mut trace),
             Scenario::DaemonRestart => scenario::run_daemon_restart(config, &mut trace),
+            Scenario::NetPartition => net::run_net_partition(config, &mut trace),
+            Scenario::SlowClient => net::run_slow_client(config, &mut trace),
         };
         if let Some(v) = &violation {
             trace.push(format!("violation {} step={} {}", v.kind, v.step, v.detail));

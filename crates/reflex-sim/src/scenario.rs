@@ -890,6 +890,8 @@ fn verify_request(kernel: &reflex_kernels::synth::SynthKernel) -> Request {
         budget_ms: None,
         budget_nodes: None,
         want_events: false,
+        deadline_ms: None,
+        idempotency_key: None,
     }
 }
 
@@ -961,12 +963,15 @@ pub(crate) fn run_client_storm(config: &SimConfig, trace: &mut Trace) -> Option<
         // schedule decomposes into per-step segments and the next wave
         // never races this one.
         let mut tickets = Vec::new();
+        let mut wave_id = 0u64;
         for client in 0..CLIENTS {
             let variant = (step + client) % ladder.len();
             let count = if client == 0 { BURST } else { 1 };
             for _ in 0..count {
+                wave_id += 1;
                 match core.submit(
                     client as u64,
+                    (step as u64) * 100 + wave_id,
                     verify_request(&ladder[variant]),
                     Arc::new(NullSink),
                 ) {
@@ -1174,7 +1179,7 @@ pub(crate) fn run_daemon_restart(config: &SimConfig, trace: &mut Trace) -> Optio
     // The doomed request re-verifies an already-committed variant, so
     // the store's on-disk state is the same whether the worker got to it
     // or the abandon dropped it — the trace stays deterministic.
-    let _ = core.submit(0, verify_request(&ladder[0]), Arc::new(NullSink));
+    let _ = core.submit(0, u64::MAX, verify_request(&ladder[0]), Arc::new(NullSink));
     core.abandon();
     trace.push("crash: core abandoned mid-flight (no final group commit)".to_owned());
 

@@ -165,6 +165,9 @@ fn labels_round_trip() {
         ViolationKind::CompactionLoss,
         ViolationKind::Starvation,
         ViolationKind::RestartLoss,
+        ViolationKind::LostReply,
+        ViolationKind::DuplicateWork,
+        ViolationKind::Stall,
         ViolationKind::Injected,
     ] {
         assert_eq!(ViolationKind::parse(kind.label()), Some(kind));

@@ -151,6 +151,14 @@ pub(crate) fn is_budget_failure(failure: &crate::ProofFailure) -> bool {
     failure.reason.starts_with(BUDGET_REASON_PREFIX)
 }
 
+/// Whether a budget failure was specifically an explicit cancellation
+/// (as opposed to an exhausted wall-clock or node allowance). The reason
+/// embeds [`BudgetExceeded`]'s Display, so `(cancelled)` appears exactly
+/// when [`ProofBudget::cancel`] tripped the search.
+pub(crate) fn is_cancel_failure(failure: &crate::ProofFailure) -> bool {
+    is_budget_failure(failure) && failure.reason.contains("(cancelled)")
+}
+
 /// Records one explored path and charges it against the session budget,
 /// if any. Every prover path loop calls this; the `Err` unwinds the
 /// search like an ordinary unprovable obligation and is re-classified as

@@ -155,6 +155,7 @@ fn check_certificate_inner(
                 crate::options::Outcome::Proved(_) => unreachable!("NI proof yields NI cert"),
                 crate::options::Outcome::Failed(e)
                 | crate::options::Outcome::Timeout(e)
+                | crate::options::Outcome::Cancelled(e)
                 | crate::options::Outcome::Crashed(e) => Err(reject(
                     "non-interference",
                     format!("re-derivation failed: {e}"),

@@ -212,13 +212,18 @@ why Reflex replaced broadcast)"
     // again on each remaining property.
     if let Some(b) = &options.budget {
         if let Err(why) = b.check() {
-            return Some(Outcome::Timeout(ProofFailure {
+            let failure = ProofFailure {
                 location: format!("property `{property}`"),
                 reason: format!(
                     "{} ({why}) before the search started",
                     budget::BUDGET_REASON_PREFIX
                 ),
-            }));
+            };
+            return Some(if matches!(why, budget::BudgetExceeded::Cancelled) {
+                Outcome::Cancelled(failure)
+            } else {
+                Outcome::Timeout(failure)
+            });
         }
     }
     None
@@ -227,10 +232,13 @@ why Reflex replaced broadcast)"
 /// The shared post-processing every prover exit must apply. Idempotent, so
 /// the scheduled path may apply it to outcomes that already passed through.
 pub(crate) fn finalize_outcome(abs: &Abstraction<'_>, mut outcome: Outcome) -> Outcome {
-    // A failure manufactured by a budget tick is a *timeout*, not a verdict
-    // about the property; re-classify it at this (single) boundary.
+    // A failure manufactured by a budget tick is a *timeout* (or, for an
+    // explicit cancel, a *cancellation*), not a verdict about the
+    // property; re-classify it at this (single) boundary.
     if let Outcome::Failed(f) = &outcome {
-        if budget::is_budget_failure(f) {
+        if budget::is_cancel_failure(f) {
+            outcome = Outcome::Cancelled(f.clone());
+        } else if budget::is_budget_failure(f) {
             outcome = Outcome::Timeout(f.clone());
         }
     }

@@ -238,6 +238,11 @@ pub enum Outcome {
     /// [`Outcome::Failed`], this says nothing about the property — a rerun
     /// with a larger budget may well prove it.
     Timeout(ProofFailure),
+    /// The proof search was stopped by an explicit cancellation request
+    /// ([`crate::ProofBudget::cancel`]) rather than an exhausted
+    /// allowance. Like [`Outcome::Timeout`], this says nothing about the
+    /// property — the caller asked for the work to stop.
+    Cancelled(ProofFailure),
     /// The proof task panicked and was isolated by [`catch_crash`]. Like
     /// [`Outcome::Timeout`], this says nothing about the property itself —
     /// it records a defect (or injected fault) in the prover run. A crashed
@@ -254,9 +259,14 @@ impl Outcome {
         matches!(self, Outcome::Proved(_))
     }
 
-    /// Whether the proof search was stopped by a budget or cancellation.
+    /// Whether the proof search was stopped by an exhausted budget.
     pub fn is_timeout(&self) -> bool {
         matches!(self, Outcome::Timeout(_))
+    }
+
+    /// Whether the proof search was stopped by explicit cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, Outcome::Cancelled(_))
     }
 
     /// Whether the proof task panicked and was isolated.
@@ -268,7 +278,10 @@ impl Outcome {
     pub fn certificate(&self) -> Option<&crate::certificate::Certificate> {
         match self {
             Outcome::Proved(c) => Some(c),
-            Outcome::Failed(_) | Outcome::Timeout(_) | Outcome::Crashed(_) => None,
+            Outcome::Failed(_)
+            | Outcome::Timeout(_)
+            | Outcome::Cancelled(_)
+            | Outcome::Crashed(_) => None,
         }
     }
 
@@ -276,7 +289,10 @@ impl Outcome {
     pub fn failure(&self) -> Option<&ProofFailure> {
         match self {
             Outcome::Proved(_) => None,
-            Outcome::Failed(e) | Outcome::Timeout(e) | Outcome::Crashed(e) => Some(e),
+            Outcome::Failed(e)
+            | Outcome::Timeout(e)
+            | Outcome::Cancelled(e)
+            | Outcome::Crashed(e) => Some(e),
         }
     }
 }

@@ -64,7 +64,8 @@ use reflex::driver::{
 };
 use reflex::runtime::{EmptyWorld, FaultPlan, Interpreter, Registry};
 use reflex::service::{
-    Client, Endpoint, Reply, Request, ServiceConfig, ServiceCore, ServiceError, StatsSnapshot,
+    Client, ClientError, Endpoint, Reply, Request, RetryPolicy, RetryingClient, ServiceConfig,
+    ServiceCore, ServiceError, StatsSnapshot,
 };
 use reflex::sim::presets::{
     render_soak, render_soak_json, run_soak_bench_preset, run_soak_preset, SoakConfig, SoakOutcome,
@@ -74,7 +75,7 @@ use reflex::verify::{falsify, FalsifyOptions, ProverOptions};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub|compact DIR [FILE] [--json]\n  rx store   migrate|stat DIR [--json]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n  rx bench   store [--entries N] [--lookups N] [--seed N] [--json]\n  rx bench   serve [--clients N] [--requests N] [--socket PATH | --tcp ADDR]\n             [--jobs N] [--json]\n  rx client  ping|stats|shutdown|check FILE|verify FILE [PROP]\n             (--socket PATH | --tcp ADDR) [--json] [--stats]\n             [--budget-ms MS] [--budget-nodes N] [--trace-json PATH]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
+        "usage:\n  rx check   FILE\n  rx verify  FILE [PROP] [--jobs N] [--stats] [--json] [--store DIR]\n             [--trace-json PATH] [--budget-ms MS] [--budget-nodes N]\n  rx watch   FILE [--jobs N] [--store DIR] [--strict-store] [--interval MS]\n             [--iterations N] [--budget-ms MS] [--budget-nodes N]\n  rx falsify FILE PROP\n  rx explain FILE PROP\n  rx show    FILE\n  rx run     FILE [STEPS [SEED]] [--faults SPEC] [--supervise] [--monitor]\n  rx soak    [--steps N] [--seed N] [--jobs N] [--kernel NAME] [--fault-rate X]\n             [--no-monitor] [--json] [--incident-dir DIR]\n  rx chaos   [--seeds A..B] [--rate PPM] [--jobs N] [--gen SEED]\n  rx sim     run [--scenario NAME] [--seed N] [--steps K] [--inject-at K]\n  rx sim     swarm [--seeds A..B] [--scenario NAME] [--steps K] [--jobs N]\n             [--json] [--repro-dir DIR]\n  rx sim     replay FILE\n  rx store   scrub|compact DIR [FILE] [--json]\n  rx store   migrate|stat DIR [--json]\n  rx gen     [PRESET] [--seed N] [--variant V] [--out PATH] [--check]\n  rx bench   scale [--seed N] [--jobs N] [--preset NAME] [--json]\n  rx bench   store [--entries N] [--lookups N] [--seed N] [--json]\n  rx bench   serve [--clients N] [--requests N] [--socket PATH | --tcp ADDR]\n             [--jobs N] [--json] [--overload]\n  rx client  ping|stats|shutdown|check FILE|verify FILE [PROP]\n             (--socket PATH | --tcp ADDR) [--json] [--stats]\n             [--budget-ms MS] [--budget-nodes N] [--deadline-ms MS]\n             [--trace-json PATH] [--retries N] [--retry-base-ms MS]\n             [--retry-seed N]\n\nrun `rx SUBCOMMAND --help` is not supported; each subcommand reports its\nown flags on a usage error."
     );
     ExitCode::from(2)
 }
@@ -110,14 +111,22 @@ fn main() -> ExitCode {
             eprintln!("rx: {e}");
             ExitCode::FAILURE
         }
+        Err(CliError::Retry(e)) => {
+            eprintln!("rx: {e} (retryable; try again)");
+            ExitCode::from(3)
+        }
     }
 }
 
 /// How a subcommand run can fail: a usage problem (exit 2, with the
-/// subcommand's flag help) or a runtime failure (exit 1).
+/// subcommand's flag help), a fatal runtime failure (exit 1), or a
+/// transient failure worth retrying — daemon busy/overloaded, transport
+/// lost — (exit 3, so scripts can distinguish "try later" from
+/// "broken").
 enum CliError {
     Usage(String),
     Run(String),
+    Retry(String),
 }
 
 impl CliError {
@@ -301,7 +310,7 @@ const SIM_FLAGS: &[FlagSpec] = &[
         name: "--scenario",
         value: Some("NAME"),
         help: "chaos | watch | soak | scale-edits | compaction-race | client-storm \
-               | daemon-crash-restart (swarm default: all)",
+               | daemon-crash-restart | net-partition | slow-client (swarm default: all)",
     },
     FlagSpec {
         name: "--seed",
@@ -430,6 +439,11 @@ const BENCH_FLAGS: &[FlagSpec] = &[
         value: Some("ADDR"),
         help: "bench serve: storm the daemon at this TCP address",
     },
+    FlagSpec {
+        name: "--overload",
+        value: None,
+        help: "bench serve: also drive 4x capacity with and without shedding",
+    },
 ];
 
 const CLIENT_FLAGS: &[FlagSpec] = &[
@@ -467,6 +481,26 @@ const CLIENT_FLAGS: &[FlagSpec] = &[
         name: "--budget-nodes",
         value: Some("N"),
         help: "for verify: explored-path budget (the daemon may clamp it)",
+    },
+    FlagSpec {
+        name: "--deadline-ms",
+        value: Some("MS"),
+        help: "for verify: whole-request deadline; expiry yields a typed reply",
+    },
+    FlagSpec {
+        name: "--retries",
+        value: Some("N"),
+        help: "retry transient failures up to N times (default 3; 0 disables)",
+    },
+    FlagSpec {
+        name: "--retry-base-ms",
+        value: Some("MS"),
+        help: "first-retry backoff, doubling per retry, capped at 1000 (default 25)",
+    },
+    FlagSpec {
+        name: "--retry-seed",
+        value: Some("N"),
+        help: "seed for the deterministic backoff jitter and idempotency keys",
     },
 ];
 
@@ -674,6 +708,8 @@ fn cmd_verify(parsed: &cli::Parsed) -> Result<(), CliError> {
         budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
         budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
         want_events: false,
+        deadline_ms: None,
+        idempotency_key: None,
     };
     let config = ServiceConfig {
         store_dir: parsed.value("--store").map(str::to_owned),
@@ -1139,6 +1175,7 @@ fn cmd_bench_serve(parsed: &cli::Parsed) -> Result<(), CliError> {
         endpoint: endpoint_flags(parsed)?,
         jobs: parsed.get("--jobs", 1).map_err(CliError::Usage)?,
         workers: 0,
+        overload: parsed.is_set("--overload"),
     };
     if cfg.clients == 0 || cfg.requests == 0 {
         return Err(CliError::Usage(
@@ -1174,51 +1211,133 @@ fn render_stats_snapshot(s: &StatsSnapshot, json: bool) -> String {
         format!(
             concat!(
                 "{{\"requests_submitted\": {}, \"requests_served\": {}, ",
-                "\"rejected_busy\": {}, \"protocol_errors\": {}, \"connections\": {}}}"
+                "\"requests_executed\": {}, \"idempotent_hits\": {}, ",
+                "\"rejected_busy\": {}, \"rejected_overloaded\": {}, ",
+                "\"cancelled\": {}, \"deadline_expired\": {}, ",
+                "\"protocol_errors\": {}, \"connections\": {}, ",
+                "\"reaped_connections\": {}, \"accept_errors\": {}}}"
             ),
             s.requests_submitted,
             s.requests_served,
+            s.requests_executed,
+            s.idempotent_hits,
             s.rejected_busy,
+            s.rejected_overloaded,
+            s.cancelled,
+            s.deadline_expired,
             s.protocol_errors,
-            s.connections
+            s.connections,
+            s.reaped_connections,
+            s.accept_errors
         )
     } else {
         format!(
-            "requests: {} submitted, {} served, {} busy-rejected\nprotocol errors: {}\nconnections: {}",
-            s.requests_submitted, s.requests_served, s.rejected_busy, s.protocol_errors,
-            s.connections
+            concat!(
+                "requests: {} submitted, {} served ({} executed, {} deduped), ",
+                "{} busy-rejected, {} shed\n",
+                "cancelled: {} ({} deadline-expired)\n",
+                "protocol errors: {}\n",
+                "connections: {} ({} reaped, {} accept errors)"
+            ),
+            s.requests_submitted,
+            s.requests_served,
+            s.requests_executed,
+            s.idempotent_hits,
+            s.rejected_busy,
+            s.rejected_overloaded,
+            s.cancelled,
+            s.deadline_expired,
+            s.protocol_errors,
+            s.connections,
+            s.reaped_connections,
+            s.accept_errors
         )
+    }
+}
+
+/// Maps a client failure to its exit class — retryable transients
+/// (daemon busy/overloaded, transport lost) exit 3, everything else
+/// exit 1 — and with `--json` first prints a machine-readable error
+/// object carrying the typed `ERR_*` code.
+fn client_error(json: bool, e: ClientError) -> CliError {
+    if json {
+        let escaped: String = e
+            .to_string()
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect();
+        let code = match e.remote_code() {
+            Some(code) => code.to_string(),
+            None => "null".to_owned(),
+        };
+        let retry_after = match e.retry_after_ms() {
+            Some(ms) => ms.to_string(),
+            None => "null".to_owned(),
+        };
+        println!(
+            "{{\"error\": \"{escaped}\", \"code\": {code}, \"retryable\": {}, \"retry_after_ms\": {retry_after}}}",
+            e.is_retryable()
+        );
+    }
+    if e.is_retryable() {
+        CliError::Retry(e.to_string())
+    } else {
+        CliError::Run(e.to_string())
     }
 }
 
 /// `rx client ACTION (--socket PATH | --tcp ADDR)`: talk to a running
 /// `rxd`. `verify` renders the daemon's report with exactly the code
 /// the in-process path uses, so the output (and the exit code) cannot
-/// tell the two apart.
+/// tell the two apart. Transient failures — connect refused, daemon
+/// busy or shedding load, connection lost mid-request — are retried
+/// with capped exponential backoff (deterministic jitter from
+/// `--retry-seed`); requests carry idempotency keys so a retry of a
+/// verify whose reply was lost is answered from the daemon's dedup
+/// window, not re-proved.
 fn cmd_client(parsed: &cli::Parsed) -> Result<(), CliError> {
     let endpoint = endpoint_flags(parsed)?.ok_or_else(|| {
         CliError::Usage("nothing to connect to (give --socket PATH or --tcp ADDR)".into())
     })?;
-    let mut client = Client::connect(&endpoint).map_err(CliError::run)?;
+    let json = parsed.is_set("--json");
+    let retries: u32 = parsed.get("--retries", 3).map_err(CliError::Usage)?;
+    let policy = RetryPolicy {
+        max_attempts: retries + 1,
+        base_delay_ms: parsed.get("--retry-base-ms", 25).map_err(CliError::Usage)?,
+        seed: parsed
+            .get("--retry-seed", u64::from(std::process::id()))
+            .map_err(CliError::Usage)?,
+        ..RetryPolicy::default()
+    };
+    let mut client = RetryingClient::connect(&endpoint, policy);
     match parsed.positional.as_slice() {
         [action] if action == "ping" => {
-            client.ping().map_err(CliError::run)?;
+            client.ping().map_err(|e| client_error(json, e))?;
             println!("pong");
             Ok(())
         }
         [action] if action == "stats" => {
-            let stats = client.stats().map_err(CliError::run)?;
-            println!("{}", render_stats_snapshot(&stats, parsed.is_set("--json")));
+            let stats = client.server_stats().map_err(|e| client_error(json, e))?;
+            println!("{}", render_stats_snapshot(&stats, json));
             Ok(())
         }
         [action] if action == "shutdown" => {
-            client.shutdown().map_err(CliError::run)?;
+            // Deliberately unretried: a connection that dies mid-shutdown
+            // most likely means the daemon exited before flushing the ack.
+            let mut plain = Client::connect(&endpoint).map_err(|e| client_error(json, e))?;
+            plain.shutdown().map_err(|e| client_error(json, e))?;
             println!("daemon is draining and shutting down.");
             Ok(())
         }
         [action, file] if action == "check" => {
             let (name, source) = read_kernel(file)?;
-            let summary = client.check(&name, &source).map_err(CliError::run)?;
+            let summary = client
+                .check(&name, &source)
+                .map_err(|e| client_error(json, e))?;
             println!("{}", render_check(file, &summary));
             Ok(())
         }
@@ -1231,6 +1350,8 @@ fn cmd_client(parsed: &cli::Parsed) -> Result<(), CliError> {
                 budget_ms: parsed.get_opt("--budget-ms").map_err(CliError::Usage)?,
                 budget_nodes: parsed.get_opt("--budget-nodes").map_err(CliError::Usage)?,
                 want_events: parsed.value("--trace-json").is_some(),
+                deadline_ms: parsed.get_opt("--deadline-ms").map_err(CliError::Usage)?,
+                idempotency_key: None,
             };
             let mut trace = match parsed.value("--trace-json") {
                 Some(path) => Some(
@@ -1246,7 +1367,7 @@ fn cmd_client(parsed: &cli::Parsed) -> Result<(), CliError> {
                         let _ = writeln!(file, "{line}");
                     }
                 })
-                .map_err(CliError::run)?;
+                .map_err(|e| client_error(json, e))?;
             render_verify_report(parsed, false, &report)
         }
         _ => Err(CliError::Usage(
@@ -1285,7 +1406,8 @@ fn cmd_sim(parsed: &cli::Parsed) -> Result<(), CliError> {
             Scenario::parse(label).ok_or_else(|| {
                 CliError::Usage(format!(
                     "unknown scenario `{label}` (expected chaos, watch, soak, \
-                     scale-edits, compaction-race, client-storm or daemon-crash-restart)"
+                     scale-edits, compaction-race, client-storm, daemon-crash-restart, \
+                     net-partition or slow-client)"
                 ))
             })
         })

@@ -3,6 +3,8 @@
 //! ```text
 //! rxd --socket PATH [--tcp ADDR] [--store DIR] [--jobs N] [--workers N]
 //!     [--queue N] [--max-budget-ms MS] [--max-budget-nodes N]
+//!     [--shed-queue-depth N] [--client-inflight N] [--idem-window N]
+//!     [--frame-timeout-ms MS] [--idle-timeout-ms MS] [--write-timeout-ms MS]
 //! ```
 //!
 //! One long-lived [`reflex::service::ServiceCore`] owns the interner,
@@ -65,6 +67,36 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "clamp every request's explored-path budget to N",
     },
+    FlagSpec {
+        name: "--shed-queue-depth",
+        value: Some("N"),
+        help: "shed submits once N jobs are queued in total (0: never shed)",
+    },
+    FlagSpec {
+        name: "--client-inflight",
+        value: Some("N"),
+        help: "shed a client past N queued+running requests (0: no cap)",
+    },
+    FlagSpec {
+        name: "--idem-window",
+        value: Some("N"),
+        help: "completed replies kept for idempotency dedup (default 256)",
+    },
+    FlagSpec {
+        name: "--frame-timeout-ms",
+        value: Some("MS"),
+        help: "reap a peer whose frame stalls mid-transfer for MS (default 10000)",
+    },
+    FlagSpec {
+        name: "--idle-timeout-ms",
+        value: Some("MS"),
+        help: "reap a peer idle with nothing in flight for MS (default 300000)",
+    },
+    FlagSpec {
+        name: "--write-timeout-ms",
+        value: Some("MS"),
+        help: "socket write timeout towards slow readers (default 30000)",
+    },
 ];
 
 fn usage_error(message: &str) -> ExitCode {
@@ -119,11 +151,31 @@ fn run(parsed: &cli::Parsed) -> Result<(), RxdError> {
         max_budget_nodes: parsed
             .get_opt("--max-budget-nodes")
             .map_err(RxdError::Usage)?,
+        shed_queue_depth: parsed
+            .get("--shed-queue-depth", 0)
+            .map_err(RxdError::Usage)?,
+        client_inflight_cap: parsed
+            .get("--client-inflight", 0)
+            .map_err(RxdError::Usage)?,
+        idempotency_window: parsed.get("--idem-window", 0).map_err(RxdError::Usage)?,
         ..ServiceConfig::default()
     };
     let core = Arc::new(ServiceCore::start(config).map_err(|e| RxdError::Run(e.to_string()))?);
-    let handle = serve(Arc::clone(&core), &ServerConfig { unix, tcp })
-        .map_err(|e| RxdError::Run(e.to_string()))?;
+    let server_config = ServerConfig {
+        unix,
+        tcp,
+        frame_timeout_ms: parsed
+            .get("--frame-timeout-ms", 0)
+            .map_err(RxdError::Usage)?,
+        idle_timeout_ms: parsed
+            .get("--idle-timeout-ms", 0)
+            .map_err(RxdError::Usage)?,
+        write_timeout_ms: parsed
+            .get("--write-timeout-ms", 0)
+            .map_err(RxdError::Usage)?,
+    };
+    let handle =
+        serve(Arc::clone(&core), &server_config).map_err(|e| RxdError::Run(e.to_string()))?;
     if let Some(path) = &handle.unix_path {
         println!("rxd: listening on unix socket {}", path.display());
     }

@@ -354,12 +354,45 @@ fn client_without_an_endpoint_is_a_usage_error() {
 }
 
 #[test]
-fn client_connect_failure_is_a_run_error_not_a_usage_error() {
+fn client_connect_failure_exits_with_the_retryable_code() {
+    // Transport failures are transient by classification: exit 3, so a
+    // wrapping script can tell "try again" (3) from broken (1) and
+    // mis-invoked (2).
     let out = Command::new(env!("CARGO_BIN_EXE_rx"))
-        .args(["client", "--socket", "/nonexistent/rxd.sock", "ping"])
+        .args([
+            "client",
+            "--socket",
+            "/nonexistent/rxd.sock",
+            "--retries",
+            "0",
+            "ping",
+        ])
         .output()
         .expect("rx runs");
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("retryable"), "{stderr}");
+}
+
+#[test]
+fn client_json_errors_carry_the_typed_code() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rx"))
+        .args([
+            "client",
+            "--socket",
+            "/nonexistent/rxd.sock",
+            "--retries",
+            "0",
+            "--json",
+            "ping",
+        ])
+        .output()
+        .expect("rx runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"retryable\": true"), "{stdout}");
+    // A connect failure has no remote ERR_* code; the field is null.
+    assert!(stdout.contains("\"code\": null"), "{stdout}");
 }
 
 #[test]
